@@ -1,0 +1,71 @@
+// Shared helpers for the reproduction benchmarks. Each binary regenerates
+// one table or figure of the paper and prints the paper's corresponding
+// numbers next to the measured ones (absolute values differ — the
+// substrate is a simulator on a small host — the reproduced target is the
+// *shape*: who wins, by what rough factor, where the knees are).
+//
+// Environment knobs:
+//   DRTM_BENCH_MS     per-point measure duration in ms (default per bench)
+//   DRTM_BENCH_QUICK  when set, sweeps use fewer points
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace drtm {
+namespace benchutil {
+
+inline uint64_t DurationMs(uint64_t dflt) {
+  const char* env = std::getenv("DRTM_BENCH_MS");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : dflt;
+}
+
+inline bool Quick() { return std::getenv("DRTM_BENCH_QUICK") != nullptr; }
+
+inline void Header(const char* id, const char* title) {
+  std::printf("\n=== %s: %s ===\n", id, title);
+}
+
+inline void PaperNote(const char* note) { std::printf("paper: %s\n", note); }
+
+// Runs `threads` copies of op for duration_ms and returns ops/sec.
+// op(thread_index) performs one operation.
+inline double MeasureOpsPerSec(int threads, uint64_t duration_ms,
+                               const std::function<void(int)>& op) {
+  std::atomic<bool> running{true};
+  std::atomic<uint64_t> total{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      uint64_t local = 0;
+      while (running.load(std::memory_order_acquire)) {
+        op(t);
+        ++local;
+      }
+      total.fetch_add(local);
+    });
+  }
+  const uint64_t begin = MonotonicNanos();
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  running.store(false, std::memory_order_release);
+  const uint64_t end = MonotonicNanos();
+  for (auto& thread : pool) {
+    thread.join();
+  }
+  return static_cast<double>(total.load()) /
+         (static_cast<double>(end - begin) / 1e9);
+}
+
+}  // namespace benchutil
+}  // namespace drtm
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,436 @@
+#include "src/calvin/calvin.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "src/common/clock.h"
+
+namespace drtm {
+namespace calvin {
+
+namespace {
+constexpr uint32_t kMsgBatch = 1;
+constexpr uint32_t kMsgReads = 2;
+
+void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  const size_t base = out->size();
+  out->resize(base + 8);
+  std::memcpy(out->data() + base, &v, 8);
+}
+
+uint64_t ReadU64(const std::vector<uint8_t>& in, size_t* pos) {
+  uint64_t v;
+  std::memcpy(&v, in.data() + *pos, 8);
+  *pos += 8;
+  return v;
+}
+}  // namespace
+
+struct CalvinCluster::LockQueue {
+  struct Waiter {
+    std::shared_ptr<PendingTxn> txn;
+    bool exclusive;
+    bool granted = false;
+  };
+  std::deque<Waiter> waiters;
+};
+
+struct CalvinCluster::PendingTxn {
+  std::shared_ptr<TxnRequest> request;
+  std::vector<std::pair<RecordKey, bool>> local_locks;  // key, exclusive
+  size_t locks_granted = 0;
+  std::vector<int> participants;
+  int awaiting_peers = 0;
+  bool reads_collected = false;
+  ReadMap reads;
+};
+
+struct CalvinCluster::NodeState {
+  int id = 0;
+  std::mutex mu;
+  std::condition_variable ready_cv;
+  std::unordered_map<RecordKey, LockQueue, RecordKeyHash> lock_table;
+  std::deque<std::shared_ptr<PendingTxn>> ready;
+  std::unordered_map<uint64_t, std::shared_ptr<PendingTxn>> pending;
+  // Remote reads that arrived before this node processed the batch.
+  std::unordered_map<uint64_t, ReadMap> early_reads;
+  std::unordered_map<uint64_t, int> early_read_sources;
+  std::unordered_map<RecordKey, Row, RecordKeyHash> rows;
+};
+
+CalvinCluster::CalvinCluster(const Config& config) : config_(config) {
+  rdma::Fabric::Config fabric_config;
+  fabric_config.num_nodes = config.num_nodes;
+  fabric_config.region_bytes = 1 << 20;  // messaging only
+  fabric_config.latency = config.latency_scale == 0.0
+                              ? rdma::LatencyModel::Zero()
+                              : rdma::LatencyModel::Ipoib(config.latency_scale);
+  fabric_ = std::make_unique<rdma::Fabric>(fabric_config);
+  for (int i = 0; i < config.num_nodes; ++i) {
+    auto node = std::make_unique<NodeState>();
+    node->id = i;
+    nodes_.push_back(std::move(node));
+  }
+}
+
+CalvinCluster::~CalvinCluster() { Stop(); }
+
+int CalvinCluster::AddTable(std::function<int(uint64_t)> partition) {
+  partitions_.push_back(std::move(partition));
+  return static_cast<int>(partitions_.size()) - 1;
+}
+
+void CalvinCluster::LoadRow(int table, uint64_t key, Row row) {
+  NodeState& node = *nodes_[static_cast<size_t>(PartitionOf(table, key))];
+  node.rows[RecordKey{table, key}] = std::move(row);
+}
+
+bool CalvinCluster::PeekRow(int table, uint64_t key, Row* out) {
+  NodeState& node = *nodes_[static_cast<size_t>(PartitionOf(table, key))];
+  std::lock_guard<std::mutex> lock(node.mu);
+  auto it = node.rows.find(RecordKey{table, key});
+  if (it == node.rows.end()) {
+    return false;
+  }
+  *out = it->second;
+  return true;
+}
+
+std::vector<int> CalvinCluster::ParticipantsOf(
+    const TxnRequest& request) const {
+  std::vector<int> nodes;
+  auto add = [&](const RecordKey& key) {
+    const int node = PartitionOf(key.table, key.key);
+    if (std::find(nodes.begin(), nodes.end(), node) == nodes.end()) {
+      nodes.push_back(node);
+    }
+  };
+  for (const RecordKey& key : request.read_set) {
+    add(key);
+  }
+  for (const RecordKey& key : request.write_set) {
+    add(key);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+void CalvinCluster::Start() {
+  if (running_.exchange(true)) {
+    return;
+  }
+  threads_.emplace_back([this] { SequencerLoop(); });
+  for (int n = 0; n < config_.num_nodes; ++n) {
+    threads_.emplace_back([this, n] { SchedulerLoop(n); });
+    for (int w = 0; w < config_.workers_per_node; ++w) {
+      threads_.emplace_back([this, n] { WorkerLoop(n); });
+    }
+  }
+}
+
+void CalvinCluster::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  for (int n = 0; n < config_.num_nodes; ++n) {
+    fabric_->queue(n).Shutdown();
+    nodes_[static_cast<size_t>(n)]->ready_cv.notify_all();
+  }
+  for (auto& thread : threads_) {
+    if (thread.joinable()) {
+      thread.join();
+    }
+  }
+  threads_.clear();
+}
+
+void CalvinCluster::Execute(std::shared_ptr<TxnRequest> request) {
+  // Client -> sequencer hop (one IPoIB message worth of latency).
+  SpinFor(fabric_->latency().SendNs(config_.bytes_per_txn_on_wire));
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    submit_queue_.push_back(request);
+  }
+  std::unique_lock<std::mutex> lock(request->done_mu);
+  request->done_cv.wait(lock, [&] { return request->done; });
+}
+
+void CalvinCluster::SequencerLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(config_.epoch_us));
+    std::deque<std::shared_ptr<TxnRequest>> batch;
+    {
+      std::lock_guard<std::mutex> lock(submit_mu_);
+      batch.swap(submit_queue_);
+    }
+    if (batch.empty()) {
+      continue;
+    }
+    std::vector<uint8_t> payload;
+    AppendU64(&payload, batch.size());
+    {
+      std::lock_guard<std::mutex> lock(registry_mu_);
+      for (auto& request : batch) {
+        request->global_id = next_global_id_.fetch_add(1);
+        AppendU64(&payload, registry_.size());
+        registry_.push_back(request);
+      }
+    }
+    // Account for the real wire size of shipping full transaction inputs.
+    payload.resize(payload.size() +
+                   batch.size() * config_.bytes_per_txn_on_wire);
+    for (int n = 0; n < config_.num_nodes; ++n) {
+      fabric_->Send(0, n, kMsgBatch, payload);
+    }
+  }
+}
+
+void CalvinCluster::RequestLocks(NodeState& node,
+                                 const std::shared_ptr<PendingTxn>& txn) {
+  // Deduplicated local keys; writes take exclusive locks.
+  std::map<RecordKey, bool> wanted;
+  for (const RecordKey& key : txn->request->read_set) {
+    if (PartitionOf(key.table, key.key) == node.id) {
+      wanted.emplace(key, false);
+    }
+  }
+  for (const RecordKey& key : txn->request->write_set) {
+    if (PartitionOf(key.table, key.key) == node.id) {
+      wanted[key] = true;
+    }
+  }
+  for (const auto& [key, exclusive] : wanted) {
+    txn->local_locks.emplace_back(key, exclusive);
+  }
+  for (const auto& [key, exclusive] : txn->local_locks) {
+    LockQueue& queue = node.lock_table[key];
+    queue.waiters.push_back(LockQueue::Waiter{txn, exclusive, false});
+    TryGrant(node, queue);
+  }
+  if (txn->local_locks.empty()) {
+    // Participant via reads hosted elsewhere only — cannot happen, since
+    // participation is defined by hosting a key; still, treat as granted.
+    OnAllLocksGranted(node, txn);
+  }
+}
+
+void CalvinCluster::TryGrant(NodeState& node, LockQueue& queue) {
+  bool exclusive_seen = false;
+  bool any_granted = false;
+  for (auto& waiter : queue.waiters) {
+    if (waiter.granted) {
+      any_granted = true;
+      exclusive_seen |= waiter.exclusive;
+      continue;
+    }
+    if (waiter.exclusive) {
+      if (any_granted || exclusive_seen) {
+        break;
+      }
+      waiter.granted = true;
+      any_granted = true;
+      exclusive_seen = true;
+      waiter.txn->locks_granted++;
+      if (waiter.txn->locks_granted == waiter.txn->local_locks.size()) {
+        OnAllLocksGranted(node, waiter.txn);
+      }
+      break;
+    }
+    if (exclusive_seen) {
+      break;
+    }
+    waiter.granted = true;
+    any_granted = true;
+    waiter.txn->locks_granted++;
+    if (waiter.txn->locks_granted == waiter.txn->local_locks.size()) {
+      OnAllLocksGranted(node, waiter.txn);
+    }
+  }
+}
+
+void CalvinCluster::OnAllLocksGranted(NodeState& node,
+                                      const std::shared_ptr<PendingTxn>& txn) {
+  // Collect this node's read values and push them to the other
+  // participants immediately (Calvin serves remote reads as soon as the
+  // locks are held, which is what makes bounded worker pools safe).
+  ReadMap local_reads;
+  for (const RecordKey& key : txn->request->read_set) {
+    if (PartitionOf(key.table, key.key) != node.id) {
+      continue;
+    }
+    auto it = node.rows.find(key);
+    local_reads[key] = it != node.rows.end() ? it->second : Row{};
+  }
+  txn->reads = local_reads;
+  txn->reads_collected = true;
+
+  if (txn->participants.size() > 1) {
+    std::vector<uint8_t> payload;
+    AppendU64(&payload, txn->request->global_id);
+    AppendU64(&payload, local_reads.size());
+    for (const auto& [key, row] : local_reads) {
+      AppendU64(&payload, static_cast<uint64_t>(key.table));
+      AppendU64(&payload, key.key);
+      AppendU64(&payload, row.size());
+      payload.insert(payload.end(), row.begin(), row.end());
+    }
+    for (int peer : txn->participants) {
+      if (peer != node.id) {
+        fabric_->Send(node.id, peer, kMsgReads, payload);
+      }
+    }
+  }
+
+  // Merge reads that raced ahead of the batch.
+  auto early = node.early_reads.find(txn->request->global_id);
+  if (early != node.early_reads.end()) {
+    for (auto& [key, row] : early->second) {
+      txn->reads[key] = std::move(row);
+    }
+    txn->awaiting_peers -= node.early_read_sources[txn->request->global_id];
+    node.early_reads.erase(early);
+    node.early_read_sources.erase(txn->request->global_id);
+  }
+
+  if (txn->awaiting_peers <= 0) {
+    node.ready.push_back(txn);
+    node.ready_cv.notify_one();
+  }
+}
+
+void CalvinCluster::SchedulerLoop(int node_index) {
+  NodeState& node = *nodes_[static_cast<size_t>(node_index)];
+  while (running_.load(std::memory_order_acquire)) {
+    rdma::Message msg;
+    if (!fabric_->queue(node_index).PopWait(&msg, 1000)) {
+      continue;
+    }
+    if (msg.kind == kMsgBatch) {
+      size_t pos = 0;
+      const uint64_t count = ReadU64(msg.payload, &pos);
+      for (uint64_t i = 0; i < count; ++i) {
+        const uint64_t registry_index = ReadU64(msg.payload, &pos);
+        std::shared_ptr<TxnRequest> request;
+        {
+          std::lock_guard<std::mutex> lock(registry_mu_);
+          request = registry_[registry_index];
+        }
+        const std::vector<int> participants = ParticipantsOf(*request);
+        if (std::find(participants.begin(), participants.end(), node_index) ==
+            participants.end()) {
+          continue;
+        }
+        auto txn = std::make_shared<PendingTxn>();
+        txn->request = request;
+        txn->participants = participants;
+        txn->awaiting_peers = static_cast<int>(participants.size()) - 1;
+        std::lock_guard<std::mutex> lock(node.mu);
+        node.pending.emplace(request->global_id, txn);
+        RequestLocks(node, txn);
+      }
+    } else if (msg.kind == kMsgReads) {
+      size_t pos = 0;
+      const uint64_t txn_id = ReadU64(msg.payload, &pos);
+      const uint64_t entries = ReadU64(msg.payload, &pos);
+      ReadMap reads;
+      for (uint64_t i = 0; i < entries; ++i) {
+        RecordKey key;
+        key.table = static_cast<int32_t>(ReadU64(msg.payload, &pos));
+        key.key = ReadU64(msg.payload, &pos);
+        const uint64_t len = ReadU64(msg.payload, &pos);
+        Row row(msg.payload.begin() + static_cast<long>(pos),
+                msg.payload.begin() + static_cast<long>(pos + len));
+        pos += len;
+        reads.emplace(key, std::move(row));
+      }
+      std::lock_guard<std::mutex> lock(node.mu);
+      auto it = node.pending.find(txn_id);
+      if (it == node.pending.end() || !it->second->reads_collected) {
+        // Reads raced ahead of the batch (or ahead of our lock grant).
+        auto& stash = node.early_reads[txn_id];
+        for (auto& [key, row] : reads) {
+          stash[key] = std::move(row);
+        }
+        node.early_read_sources[txn_id] += 1;
+        continue;
+      }
+      PendingTxn& txn = *it->second;
+      for (auto& [key, row] : reads) {
+        txn.reads[key] = std::move(row);
+      }
+      if (--txn.awaiting_peers == 0 &&
+          txn.locks_granted == txn.local_locks.size()) {
+        node.ready.push_back(it->second);
+        node.ready_cv.notify_one();
+      }
+    }
+  }
+}
+
+void CalvinCluster::ReleaseLocks(NodeState& node, PendingTxn& txn) {
+  for (const auto& [key, exclusive] : txn.local_locks) {
+    auto it = node.lock_table.find(key);
+    if (it == node.lock_table.end()) {
+      continue;
+    }
+    LockQueue& queue = it->second;
+    for (auto waiter = queue.waiters.begin(); waiter != queue.waiters.end();
+         ++waiter) {
+      if (waiter->txn.get() == &txn) {
+        queue.waiters.erase(waiter);
+        break;
+      }
+    }
+    if (queue.waiters.empty()) {
+      node.lock_table.erase(it);
+    } else {
+      TryGrant(node, queue);
+    }
+  }
+}
+
+void CalvinCluster::WorkerLoop(int node_index) {
+  NodeState& node = *nodes_[static_cast<size_t>(node_index)];
+  while (running_.load(std::memory_order_acquire)) {
+    std::shared_ptr<PendingTxn> txn;
+    {
+      std::unique_lock<std::mutex> lock(node.mu);
+      node.ready_cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        return !node.ready.empty() ||
+               !running_.load(std::memory_order_acquire);
+      });
+      if (node.ready.empty()) {
+        continue;
+      }
+      txn = node.ready.front();
+      node.ready.pop_front();
+    }
+
+    WriteMap writes;
+    txn->request->logic(txn->reads, &writes);
+
+    {
+      std::lock_guard<std::mutex> lock(node.mu);
+      for (auto& [key, row] : writes) {
+        if (PartitionOf(key.table, key.key) == node_index) {
+          node.rows[key] = std::move(row);
+        }
+      }
+      ReleaseLocks(node, *txn);
+      node.pending.erase(txn->request->global_id);
+    }
+
+    if (txn->request->home_node == node_index) {
+      committed_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(txn->request->done_mu);
+        txn->request->done = true;
+      }
+      txn->request->done_cv.notify_all();
+    }
+  }
+}
+
+}  // namespace calvin
+}  // namespace drtm

@@ -1,0 +1,37 @@
+// Reusable thread barrier for benchmark warmup/measure phases.
+#ifndef SRC_COMMON_BARRIER_H_
+#define SRC_COMMON_BARRIER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace drtm {
+
+class Barrier {
+ public:
+  explicit Barrier(size_t parties) : parties_(parties), waiting_(0) {}
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const size_t generation = generation_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != generation; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t parties_;
+  size_t waiting_;
+  size_t generation_ = 0;
+};
+
+}  // namespace drtm
+
+#endif  // SRC_COMMON_BARRIER_H_

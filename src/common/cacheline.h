@@ -1,0 +1,31 @@
+// Cache-line geometry shared by the HTM emulator and the stores.
+#ifndef SRC_COMMON_CACHELINE_H_
+#define SRC_COMMON_CACHELINE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace drtm {
+
+inline constexpr size_t kCacheLineSize = 64;
+inline constexpr size_t kCacheLineShift = 6;
+
+// Rounds an address down to its cache line.
+inline uintptr_t CacheLineOf(const void* addr) {
+  return reinterpret_cast<uintptr_t>(addr) >> kCacheLineShift;
+}
+
+// Number of cache lines an [addr, addr+len) range touches.
+inline size_t CacheLineSpan(const void* addr, size_t len) {
+  if (len == 0) {
+    return 0;
+  }
+  const uintptr_t first = reinterpret_cast<uintptr_t>(addr) >> kCacheLineShift;
+  const uintptr_t last =
+      (reinterpret_cast<uintptr_t>(addr) + len - 1) >> kCacheLineShift;
+  return static_cast<size_t>(last - first + 1);
+}
+
+}  // namespace drtm
+
+#endif  // SRC_COMMON_CACHELINE_H_

@@ -1,0 +1,25 @@
+#include "src/common/clock.h"
+
+#include <chrono>
+
+namespace drtm {
+
+uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SpinFor(uint64_t nanos) {
+  if (nanos == 0) {
+    return;
+  }
+  const uint64_t deadline = MonotonicNanos() + nanos;
+  while (MonotonicNanos() < deadline) {
+    // Busy wait: the latency model represents NIC/DMA time during which
+    // the issuing core is blocked on a verbs completion.
+  }
+}
+
+}  // namespace drtm

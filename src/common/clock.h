@@ -1,0 +1,24 @@
+// Monotonic wall-clock helpers used by the lease machinery and the
+// latency model. All durations in this codebase are nanoseconds or
+// microseconds as named.
+#ifndef SRC_COMMON_CLOCK_H_
+#define SRC_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace drtm {
+
+// Nanoseconds from a process-local monotonic clock.
+uint64_t MonotonicNanos();
+
+// Microseconds from the same clock.
+inline uint64_t MonotonicMicros() { return MonotonicNanos() / 1000; }
+
+// Spins (without yielding the core to the OS scheduler where possible)
+// for the requested number of nanoseconds. Used by the RDMA latency
+// model. A zero argument returns immediately.
+void SpinFor(uint64_t nanos);
+
+}  // namespace drtm
+
+#endif  // SRC_COMMON_CLOCK_H_

@@ -1,0 +1,96 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace drtm {
+
+void Histogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < 8) {
+    return static_cast<int>(value);
+  }
+  const int log2 = 63 - std::countl_zero(value);
+  const int sub = static_cast<int>((value >> (log2 - 3)) & 0x7);
+  const int bucket = log2 * 8 + sub;
+  return std::min(bucket, kBuckets - 1);
+}
+
+uint64_t Histogram::BucketLow(int bucket) {
+  if (bucket < 8) {
+    return static_cast<uint64_t>(bucket);
+  }
+  const int log2 = bucket / 8;
+  const int sub = bucket % 8;
+  return (uint64_t{1} << log2) | (static_cast<uint64_t>(sub) << (log2 - 3));
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[static_cast<size_t>(BucketFor(value))]++;
+  if (count_ == 0 || value < min_) {
+    min_ = value;
+  }
+  max_ = std::max(max_, value);
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) {
+      min_ = other.min_;
+    }
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const uint64_t in_bucket = buckets_[static_cast<size_t>(i)];
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      return BucketLow(i);
+    }
+    seen += in_bucket;
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1f p50=%llu p90=%llu p99=%llu max=%llu",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(Percentile(50)),
+                static_cast<unsigned long long>(Percentile(90)),
+                static_cast<unsigned long long>(Percentile(99)),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace drtm

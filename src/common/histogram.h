@@ -1,0 +1,47 @@
+// Latency histogram with logarithmic buckets, cheap enough to update on
+// every transaction. Percentile queries interpolate within a bucket.
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace drtm {
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64 * 8;  // 8 sub-buckets per power of two
+
+  Histogram() { Reset(); }
+
+  void Reset();
+  void Record(uint64_t value);
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  // p in [0, 100].
+  uint64_t Percentile(double p) const;
+
+  // "p50=... p90=... p99=..." convenience string (values in the unit the
+  // caller recorded).
+  std::string Summary() const;
+
+ private:
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketLow(int bucket);
+
+  std::array<uint64_t, kBuckets> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace drtm
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,62 @@
+// Fast per-thread PRNG (xoshiro256**). Deterministic given a seed, which
+// tests rely on.
+#ifndef SRC_COMMON_RAND_H_
+#define SRC_COMMON_RAND_H_
+
+#include <cstdint>
+
+namespace drtm {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the four lanes.
+    uint64_t x = seed;
+    for (auto& lane : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be nonzero.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextRange(uint64_t lo, uint64_t hi) {
+    return lo + NextBounded(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // True with the given probability in [0, 1].
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace drtm
+
+#endif  // SRC_COMMON_RAND_H_

@@ -1,0 +1,44 @@
+// Tiny test-and-test-and-set spinlock for short critical sections
+// (message rings, NIC atomics serialization).
+#ifndef SRC_COMMON_SPIN_LATCH_H_
+#define SRC_COMMON_SPIN_LATCH_H_
+
+#include <atomic>
+
+namespace drtm {
+
+class SpinLatch {
+ public:
+  void Lock() {
+    while (true) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      while (locked_.load(std::memory_order_relaxed)) {
+      }
+    }
+  }
+
+  bool TryLock() { return !locked_.exchange(true, std::memory_order_acquire); }
+
+  void Unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+class SpinLatchGuard {
+ public:
+  explicit SpinLatchGuard(SpinLatch& latch) : latch_(latch) { latch_.Lock(); }
+  ~SpinLatchGuard() { latch_.Unlock(); }
+
+  SpinLatchGuard(const SpinLatchGuard&) = delete;
+  SpinLatchGuard& operator=(const SpinLatchGuard&) = delete;
+
+ private:
+  SpinLatch& latch_;
+};
+
+}  // namespace drtm
+
+#endif  // SRC_COMMON_SPIN_LATCH_H_

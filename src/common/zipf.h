@@ -1,0 +1,34 @@
+// Zipfian key generator as specified by YCSB (Gray et al.'s rejection-free
+// method). Used by the KV benchmarks (theta = 0.99 in the paper).
+#ifndef SRC_COMMON_ZIPF_H_
+#define SRC_COMMON_ZIPF_H_
+
+#include <cstdint>
+
+#include "src/common/rand.h"
+
+namespace drtm {
+
+class ZipfGenerator {
+ public:
+  // Generates values in [0, n). theta in (0, 1); the paper uses 0.99.
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 1);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace drtm
+
+#endif  // SRC_COMMON_ZIPF_H_

@@ -1,0 +1,349 @@
+#include "src/htm/htm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/cacheline.h"
+
+namespace drtm {
+namespace htm {
+
+namespace {
+
+thread_local HtmThread* g_current_tx = nullptr;
+
+// Enumerates the version-table slot of every cache line in [addr, addr+len).
+template <typename Fn>
+void ForEachLineSlot(VersionTable* table, const void* addr, size_t len,
+                     Fn&& fn) {
+  const uintptr_t first = reinterpret_cast<uintptr_t>(addr) >> kCacheLineShift;
+  const uintptr_t last =
+      (reinterpret_cast<uintptr_t>(addr) + len - 1) >> kCacheLineShift;
+  for (uintptr_t line = first; line <= last; ++line) {
+    fn(table->SlotFor(reinterpret_cast<const void*>(line << kCacheLineShift)));
+  }
+}
+
+// Locks a slot's seqlock (even -> odd). Returns the pre-lock (even) base
+// version. Spins without bound: strong-access critical sections are a few
+// instructions long.
+uint64_t LockSlot(std::atomic<uint64_t>* slot) {
+  while (true) {
+    uint64_t v = slot->load(std::memory_order_acquire);
+    if (!VersionTable::IsLocked(v) &&
+        slot->compare_exchange_weak(v, v + 1, std::memory_order_acq_rel)) {
+      return v;
+    }
+  }
+}
+
+}  // namespace
+
+HtmThread::HtmThread(Config config, VersionTable* table)
+    : config_(config), table_(table) {
+  read_set_.reserve(256);
+  write_set_.reserve(64);
+  redo_log_.reserve(64);
+  redo_data_.reserve(4096);
+}
+
+HtmThread::~HtmThread() {
+  assert(depth_ == 0 && "HtmThread destroyed inside a transaction");
+}
+
+HtmThread* HtmThread::Current() {
+  return (g_current_tx != nullptr && g_current_tx->depth_ > 0) ? g_current_tx
+                                                               : nullptr;
+}
+
+void HtmThread::Begin() {
+  assert(depth_ == 0);
+  assert(g_current_tx == nullptr && "another HtmThread active on this thread");
+  depth_ = 1;
+  g_current_tx = this;
+  read_set_.clear();
+  write_set_.clear();
+  redo_log_.clear();
+  redo_data_.clear();
+}
+
+void HtmThread::AbortWith(unsigned status) { throw AbortException{status}; }
+
+void HtmThread::Abort(uint8_t user_code) {
+  assert(depth_ > 0);
+  AbortWith(kAbortExplicit | (static_cast<unsigned>(user_code) << 24));
+}
+
+void HtmThread::Rollback(unsigned status) {
+  depth_ = 0;
+  g_current_tx = nullptr;
+  if (status & kAbortCapacity) {
+    ++stats_.aborts_capacity;
+  } else if (status & kAbortExplicit) {
+    ++stats_.aborts_explicit;
+  } else {
+    ++stats_.aborts_conflict;
+  }
+  read_set_.clear();
+  write_set_.clear();
+  redo_log_.clear();
+  redo_data_.clear();
+}
+
+void HtmThread::TrackRead(const void* addr, size_t len) {
+  ForEachLineSlot(table_, addr, len, [&](std::atomic<uint64_t>* slot) {
+    auto it = read_set_.find(slot);
+    if (it != read_set_.end()) {
+      // Already tracked; freshness is verified by the post-copy check in
+      // Read() and by commit validation.
+      return;
+    }
+    uint64_t v = slot->load(std::memory_order_acquire);
+    int spins = 0;
+    while (VersionTable::IsLocked(v)) {
+      if (++spins > config_.lock_spin_limit) {
+        AbortWith(kAbortConflict | kAbortRetry);
+      }
+      v = slot->load(std::memory_order_acquire);
+    }
+    if (read_set_.size() >= config_.max_read_lines) {
+      AbortWith(kAbortCapacity);
+    }
+    read_set_.emplace(slot, v);
+  });
+}
+
+void HtmThread::Read(void* dst, const void* src, size_t len) {
+  assert(depth_ > 0);
+  if (len == 0) {
+    return;
+  }
+  TrackRead(src, len);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  std::memcpy(dst, src, len);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  // Seqlock re-check: every line must still carry the version this
+  // transaction first observed, otherwise a concurrent commit or strong
+  // write raced with the copy.
+  ForEachLineSlot(table_, src, len, [&](std::atomic<uint64_t>* slot) {
+    const uint64_t recorded = read_set_.find(slot)->second;
+    if (slot->load(std::memory_order_acquire) != recorded) {
+      AbortWith(kAbortConflict | kAbortRetry);
+    }
+  });
+  // Read-your-writes: overlay buffered writes, in program order.
+  const uintptr_t lo = reinterpret_cast<uintptr_t>(src);
+  const uintptr_t hi = lo + len;
+  for (const RedoEntry& e : redo_log_) {
+    const uintptr_t elo = e.dst;
+    const uintptr_t ehi = e.dst + e.len;
+    if (ehi <= lo || elo >= hi) {
+      continue;
+    }
+    const uintptr_t olo = std::max(lo, elo);
+    const uintptr_t ohi = std::min(hi, ehi);
+    std::memcpy(static_cast<uint8_t*>(dst) + (olo - lo),
+                redo_data_.data() + e.offset + (olo - elo), ohi - olo);
+  }
+}
+
+void HtmThread::Write(void* dst, const void* src, size_t len) {
+  assert(depth_ > 0);
+  if (len == 0) {
+    return;
+  }
+  ForEachLineSlot(table_, dst, len, [&](std::atomic<uint64_t>* slot) {
+    if (write_set_.find(slot) != write_set_.end()) {
+      return;
+    }
+    if (write_set_.size() >= config_.max_write_lines) {
+      AbortWith(kAbortCapacity);
+    }
+    write_set_.emplace(slot, 0);
+  });
+  const uint32_t offset = static_cast<uint32_t>(redo_data_.size());
+  redo_data_.insert(redo_data_.end(), static_cast<const uint8_t*>(src),
+                    static_cast<const uint8_t*>(src) + len);
+  redo_log_.push_back(RedoEntry{reinterpret_cast<uintptr_t>(dst), offset,
+                                static_cast<uint32_t>(len)});
+}
+
+void HtmThread::Commit() {
+  assert(depth_ > 0);
+  if (depth_ > 1) {
+    // Flattened inner region; the outer Transact() commits.
+    --depth_;
+    return;
+  }
+
+  // Phase 1: lock write lines in global (slot-address) order.
+  std::vector<std::pair<std::atomic<uint64_t>*, uint64_t>> locked;
+  locked.reserve(write_set_.size());
+  {
+    std::vector<std::atomic<uint64_t>*> slots;
+    slots.reserve(write_set_.size());
+    for (const auto& [slot, unused] : write_set_) {
+      slots.push_back(slot);
+    }
+    std::sort(slots.begin(), slots.end());
+    for (std::atomic<uint64_t>* slot : slots) {
+      int spins = 0;
+      while (true) {
+        uint64_t v = slot->load(std::memory_order_acquire);
+        if (!VersionTable::IsLocked(v) &&
+            slot->compare_exchange_weak(v, v + 1,
+                                        std::memory_order_acq_rel)) {
+          locked.emplace_back(slot, v);
+          break;
+        }
+        if (++spins > config_.lock_spin_limit) {
+          for (auto& [held, base] : locked) {
+            held->store(base, std::memory_order_release);
+          }
+          AbortWith(kAbortConflict | kAbortRetry);
+        }
+      }
+    }
+  }
+
+  // Phase 2: validate the read set against the snapshot versions.
+  bool valid = true;
+  for (const auto& [slot, recorded] : read_set_) {
+    uint64_t current = slot->load(std::memory_order_acquire);
+    if (VersionTable::IsLocked(current)) {
+      // Locked by us? Then its pre-lock base must match what we read.
+      auto it = std::find_if(locked.begin(), locked.end(),
+                             [&](const auto& p) { return p.first == slot; });
+      if (it == locked.end() || it->second != recorded) {
+        valid = false;
+        break;
+      }
+    } else if (current != recorded) {
+      valid = false;
+      break;
+    }
+  }
+  if (!valid) {
+    for (auto& [slot, base] : locked) {
+      slot->store(base, std::memory_order_release);
+    }
+    AbortWith(kAbortConflict | kAbortRetry);
+  }
+
+  // Phase 3: install buffered writes, then release with a version bump.
+  std::atomic_thread_fence(std::memory_order_release);
+  for (const RedoEntry& e : redo_log_) {
+    std::memcpy(reinterpret_cast<void*>(e.dst), redo_data_.data() + e.offset,
+                e.len);
+  }
+  std::atomic_thread_fence(std::memory_order_release);
+  for (auto& [slot, base] : locked) {
+    slot->store(base + 2, std::memory_order_release);
+  }
+
+  ++stats_.commits;
+  depth_ = 0;
+  g_current_tx = nullptr;
+  read_set_.clear();
+  write_set_.clear();
+  redo_log_.clear();
+  redo_data_.clear();
+}
+
+void AbortCurrentTransactionOrDie(const char* what) {
+  if (HtmThread::Current() != nullptr) {
+    throw AbortException{kAbortConflict | kAbortRetry};
+  }
+  std::fprintf(stderr, "invariant violated outside a transaction: %s\n",
+               what);
+  std::abort();
+}
+
+// --- Strong accesses --------------------------------------------------------
+
+void StrongRead(void* dst, const void* src, size_t len, VersionTable* table) {
+  if (len == 0) {
+    return;
+  }
+  std::vector<std::pair<std::atomic<uint64_t>*, uint64_t>> observed;
+  while (true) {
+    observed.clear();
+    ForEachLineSlot(table, src, len, [&](std::atomic<uint64_t>* slot) {
+      uint64_t v = slot->load(std::memory_order_acquire);
+      while (VersionTable::IsLocked(v)) {
+        v = slot->load(std::memory_order_acquire);
+      }
+      observed.emplace_back(slot, v);
+    });
+    std::atomic_thread_fence(std::memory_order_acquire);
+    std::memcpy(dst, src, len);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    bool stable = true;
+    for (const auto& [slot, v] : observed) {
+      if (slot->load(std::memory_order_acquire) != v) {
+        stable = false;
+        break;
+      }
+    }
+    if (stable) {
+      return;
+    }
+  }
+}
+
+void StrongWrite(void* dst, const void* src, size_t len, VersionTable* table) {
+  if (len == 0) {
+    return;
+  }
+  std::vector<std::atomic<uint64_t>*> slots;
+  ForEachLineSlot(table, dst, len, [&](std::atomic<uint64_t>* slot) {
+    slots.push_back(slot);
+  });
+  std::sort(slots.begin(), slots.end());
+  slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+  std::vector<uint64_t> bases;
+  bases.reserve(slots.size());
+  for (std::atomic<uint64_t>* slot : slots) {
+    bases.push_back(LockSlot(slot));
+  }
+  std::atomic_thread_fence(std::memory_order_release);
+  std::memcpy(dst, src, len);
+  std::atomic_thread_fence(std::memory_order_release);
+  for (size_t i = 0; i < slots.size(); ++i) {
+    slots[i]->store(bases[i] + 2, std::memory_order_release);
+  }
+}
+
+uint64_t StrongCas64(uint64_t* addr, uint64_t expected, uint64_t desired,
+                     VersionTable* table) {
+  assert(reinterpret_cast<uintptr_t>(addr) % 8 == 0);
+  std::atomic<uint64_t>* slot = table->SlotFor(addr);
+  const uint64_t base = LockSlot(slot);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  const uint64_t observed = *addr;
+  if (observed == expected) {
+    *addr = desired;
+    std::atomic_thread_fence(std::memory_order_release);
+    slot->store(base + 2, std::memory_order_release);
+  } else {
+    slot->store(base, std::memory_order_release);
+  }
+  return observed;
+}
+
+uint64_t StrongFaa64(uint64_t* addr, uint64_t delta, VersionTable* table) {
+  assert(reinterpret_cast<uintptr_t>(addr) % 8 == 0);
+  std::atomic<uint64_t>* slot = table->SlotFor(addr);
+  const uint64_t base = LockSlot(slot);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  const uint64_t observed = *addr;
+  *addr = observed + delta;
+  std::atomic_thread_fence(std::memory_order_release);
+  slot->store(base + 2, std::memory_order_release);
+  return observed;
+}
+
+}  // namespace htm
+}  // namespace drtm

@@ -1,0 +1,257 @@
+// Software emulation of Intel Restricted Transactional Memory (RTM).
+//
+// Real RTM traps every load/store inside XBEGIN/XEND through the cache
+// coherence protocol. A software emulation cannot trap raw loads, so all
+// transactional accesses go through htm::Load / htm::Store (or the
+// HtmThread::Read/Write primitives). The emulator provides the three RTM
+// properties DrTM depends on:
+//
+//   1. ACI: buffered (redo-log) writes, commit-time lock+validate over a
+//      global per-cache-line version table; a committed transaction is
+//      atomic and serializable against all other transactional and
+//      "strong" accesses.
+//   2. Capacity aborts: distinct cache lines in the read/write set are
+//      bounded (defaults mirror L1-write-set / L2-read-set tracking).
+//   3. Strong atomicity: non-transactional StrongWrite/StrongCas bump
+//      line versions, which aborts every conflicting in-flight
+//      transaction at its next access or at commit validation. (Real RTM
+//      aborts eagerly; aborting at validation is observationally
+//      equivalent — the doomed transaction can never commit.)
+//
+// The status word follows the RTM layout: kCommitted on success,
+// otherwise an OR of abort cause bits with the XABORT user code in bits
+// 31:24.
+#ifndef SRC_HTM_HTM_H_
+#define SRC_HTM_HTM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "src/htm/version_table.h"
+
+namespace drtm {
+namespace htm {
+
+// Abort cause bits (same bit positions as Intel RTM's EAX status).
+inline constexpr unsigned kAbortExplicit = 1u << 0;
+inline constexpr unsigned kAbortRetry = 1u << 1;
+inline constexpr unsigned kAbortConflict = 1u << 2;
+inline constexpr unsigned kAbortCapacity = 1u << 3;
+
+// Returned by Transact() when the transaction committed.
+inline constexpr unsigned kCommitted = ~0u;
+
+inline unsigned AbortUserCode(unsigned status) { return (status >> 24) & 0xff; }
+
+struct Config {
+  // Distinct cache lines trackable before a capacity abort. The defaults
+  // mirror a 32 KB L1 write set and a larger read-set tracking structure.
+  size_t max_write_lines = 512;
+  size_t max_read_lines = 8192;
+  // Bounded spin (iterations) on a locked line before declaring conflict.
+  int lock_spin_limit = 256;
+};
+
+struct Stats {
+  uint64_t commits = 0;
+  uint64_t aborts_conflict = 0;
+  uint64_t aborts_capacity = 0;
+  uint64_t aborts_explicit = 0;
+
+  uint64_t TotalAborts() const {
+    return aborts_conflict + aborts_capacity + aborts_explicit;
+  }
+  void Add(const Stats& o) {
+    commits += o.commits;
+    aborts_conflict += o.aborts_conflict;
+    aborts_capacity += o.aborts_capacity;
+    aborts_explicit += o.aborts_explicit;
+  }
+};
+
+// Thrown internally to unwind a transaction body on abort. Transaction
+// bodies must be abort-safe (no irreversible side effects before commit),
+// exactly like real RTM regions.
+struct AbortException {
+  unsigned status;
+};
+
+class HtmThread {
+ public:
+  explicit HtmThread(Config config = Config(),
+                     VersionTable* table = &VersionTable::Global());
+  ~HtmThread();
+
+  HtmThread(const HtmThread&) = delete;
+  HtmThread& operator=(const HtmThread&) = delete;
+
+  // Runs fn inside a transaction. Returns kCommitted, or the abort
+  // status. Nested calls flatten (like RTM): an inner abort aborts the
+  // outermost transaction.
+  template <typename Fn>
+  unsigned Transact(Fn&& fn) {
+    if (depth_ > 0) {
+      // Flat nesting: run inline; aborts propagate to the outer region.
+      ++depth_;
+      fn();
+      --depth_;
+      return kCommitted;
+    }
+    Begin();
+    try {
+      fn();
+      Commit();
+      return kCommitted;
+    } catch (const AbortException& e) {
+      Rollback(e.status);
+      return e.status;
+    }
+  }
+
+  // Transactional read/write of an arbitrary byte range.
+  void Read(void* dst, const void* src, size_t len);
+  void Write(void* dst, const void* src, size_t len);
+
+  template <typename T>
+  T Load(const T* src) {
+    T value;
+    Read(&value, src, sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+  void Store(T* dst, const T& value) {
+    Write(dst, &value, sizeof(T));
+  }
+
+  // XABORT: aborts the current transaction with a user code (0..255).
+  [[noreturn]] void Abort(uint8_t user_code);
+
+  bool InTransaction() const { return depth_ > 0; }
+
+  const Stats& stats() const { return stats_; }
+  Stats* mutable_stats() { return &stats_; }
+
+  // The HtmThread currently executing a transaction on this OS thread
+  // (nullptr outside transactions). Used by helpers that must dispatch
+  // between transactional and strong accesses.
+  static HtmThread* Current();
+
+ private:
+  struct RedoEntry {
+    uintptr_t dst;
+    uint32_t offset;  // into redo_data_
+    uint32_t len;
+  };
+
+  void Begin();
+  void Commit();
+  void Rollback(unsigned status);
+  [[noreturn]] void AbortWith(unsigned status);
+
+  // Tracks the lines of [addr, addr+len) in the read set, verifying a
+  // stable snapshot. Aborts on conflict/capacity.
+  void TrackRead(const void* addr, size_t len);
+
+  Config config_;
+  VersionTable* table_;
+  int depth_ = 0;
+  Stats stats_;
+
+  // slot -> version observed at first read.
+  std::unordered_map<std::atomic<uint64_t>*, uint64_t> read_set_;
+  // slot -> version observed when the line first entered the write set
+  // (used to validate read-after-write lines at commit).
+  std::unordered_map<std::atomic<uint64_t>*, uint64_t> write_set_;
+  std::vector<RedoEntry> redo_log_;
+  std::vector<uint8_t> redo_data_;
+};
+
+// --- Strong (non-transactional) accesses -----------------------------------
+//
+// These model accesses that bypass the transactional tracking but are
+// cache-coherent with it: one-sided RDMA operations and the softtime
+// timer thread. They lock the affected version-table slots, mutate
+// memory, and bump versions, thereby aborting conflicting transactions.
+
+void StrongRead(void* dst, const void* src, size_t len,
+                VersionTable* table = &VersionTable::Global());
+void StrongWrite(void* dst, const void* src, size_t len,
+                 VersionTable* table = &VersionTable::Global());
+
+// Atomic 64-bit compare-and-swap against addr; returns the value observed
+// before the swap (equal to expected iff the swap happened).
+uint64_t StrongCas64(uint64_t* addr, uint64_t expected, uint64_t desired,
+                     VersionTable* table = &VersionTable::Global());
+
+// Atomic 64-bit fetch-and-add; returns the previous value.
+uint64_t StrongFaa64(uint64_t* addr, uint64_t delta,
+                     VersionTable* table = &VersionTable::Global());
+
+template <typename T>
+T StrongLoad(const T* src) {
+  T value;
+  StrongRead(&value, src, sizeof(T));
+  return value;
+}
+
+template <typename T>
+void StrongStore(T* dst, const T& value) {
+  StrongWrite(dst, &value, sizeof(T));
+}
+
+// --- Dispatching helpers ----------------------------------------------------
+//
+// Store code paths (hash table, B+ tree) are written once and used both
+// inside HTM transactions (local operations) and outside (bulk loading).
+// These helpers route through the current transaction when one is active.
+
+template <typename T>
+T Load(const T* src) {
+  if (HtmThread* tx = HtmThread::Current()) {
+    return tx->Load(src);
+  }
+  return StrongLoad(src);
+}
+
+template <typename T>
+void Store(T* dst, const T& value) {
+  if (HtmThread* tx = HtmThread::Current()) {
+    tx->Store(dst, value);
+    return;
+  }
+  StrongStore(dst, value);
+}
+
+inline void ReadBytes(void* dst, const void* src, size_t len) {
+  if (HtmThread* tx = HtmThread::Current()) {
+    tx->Read(dst, src, len);
+    return;
+  }
+  StrongRead(dst, src, len);
+}
+
+inline void WriteBytes(void* dst, const void* src, size_t len) {
+  if (HtmThread* tx = HtmThread::Current()) {
+    tx->Write(dst, src, len);
+    return;
+  }
+  StrongWrite(dst, src, len);
+}
+
+// Sanity escape hatch for data structures traversed inside transactions.
+// The emulator (like TL2-style STMs) validates reads lazily, so a doomed
+// transaction can observe a torn multi-line structure before commit-time
+// validation kills it. Structures that dereference what they read (e.g.
+// the B+ tree following child ids) call this when an invariant fails:
+// inside a transaction it aborts the transaction (the data was torn);
+// outside one it is genuine corruption and the process aborts.
+[[noreturn]] void AbortCurrentTransactionOrDie(const char* what);
+
+}  // namespace htm
+}  // namespace drtm
+
+#endif  // SRC_HTM_HTM_H_

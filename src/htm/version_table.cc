@@ -1,0 +1,21 @@
+#include "src/htm/version_table.h"
+
+#include <cassert>
+
+namespace drtm {
+
+VersionTable::VersionTable(size_t slots) {
+  assert(slots != 0 && (slots & (slots - 1)) == 0);
+  slots_ = std::make_unique<std::atomic<uint64_t>[]>(slots);
+  for (size_t i = 0; i < slots; ++i) {
+    slots_[i].store(0, std::memory_order_relaxed);
+  }
+  mask_ = slots - 1;
+}
+
+VersionTable& VersionTable::Global() {
+  static VersionTable table;
+  return table;
+}
+
+}  // namespace drtm

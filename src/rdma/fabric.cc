@@ -1,0 +1,180 @@
+#include "src/rdma/fabric.h"
+
+#include <chrono>
+#include <condition_variable>
+
+#include "src/common/clock.h"
+#include "src/htm/htm.h"
+
+namespace drtm {
+namespace rdma {
+
+ThreadStats& LocalThreadStats() {
+  thread_local ThreadStats stats;
+  return stats;
+}
+
+struct Fabric::PendingRpc {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::vector<uint8_t> reply;
+};
+
+Fabric::Fabric(const Config& config) : config_(config) {
+  nodes_.reserve(static_cast<size_t>(config.num_nodes));
+  queues_.reserve(static_cast<size_t>(config.num_nodes));
+  nic_latches_.reserve(static_cast<size_t>(config.num_nodes));
+  alive_ = std::make_unique<std::atomic<bool>[]>(
+      static_cast<size_t>(config.num_nodes));
+  for (int i = 0; i < config.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<NodeMemory>(i, config.region_bytes));
+    queues_.push_back(std::make_unique<MessageQueue>());
+    nic_latches_.push_back(std::make_unique<SpinLatch>());
+    alive_[static_cast<size_t>(i)].store(true, std::memory_order_relaxed);
+  }
+}
+
+Fabric::~Fabric() {
+  for (auto& q : queues_) {
+    q->Shutdown();
+  }
+}
+
+OpStatus Fabric::Read(int target, uint64_t offset, void* dst, size_t len) {
+  if (!IsAlive(target)) {
+    return OpStatus::kNodeDown;
+  }
+  SpinFor(config_.latency.ReadNs(len));
+  htm::StrongRead(dst, memory(target).At(offset), len);
+  ThreadStats& stats = LocalThreadStats();
+  ++stats.reads;
+  stats.read_bytes += len;
+  return OpStatus::kOk;
+}
+
+OpStatus Fabric::Write(int target, uint64_t offset, const void* src,
+                       size_t len) {
+  if (!IsAlive(target)) {
+    return OpStatus::kNodeDown;
+  }
+  SpinFor(config_.latency.WriteNs(len));
+  htm::StrongWrite(memory(target).At(offset), src, len);
+  ThreadStats& stats = LocalThreadStats();
+  ++stats.writes;
+  stats.write_bytes += len;
+  return OpStatus::kOk;
+}
+
+OpStatus Fabric::Cas(int target, uint64_t offset, uint64_t expected,
+                     uint64_t desired, uint64_t* observed) {
+  if (!IsAlive(target)) {
+    return OpStatus::kNodeDown;
+  }
+  SpinFor(config_.latency.CasNs());
+  uint64_t* addr = static_cast<uint64_t*>(memory(target).At(offset));
+  {
+    // RDMA atomics serialize on the target NIC regardless of level; the
+    // difference between HCA and GLOB is whether processor atomics also
+    // serialize with them, which the transaction layer enforces by policy.
+    SpinLatchGuard nic(*nic_latches_[static_cast<size_t>(target)]);
+    *observed = htm::StrongCas64(addr, expected, desired);
+  }
+  ++LocalThreadStats().cas_ops;
+  return OpStatus::kOk;
+}
+
+OpStatus Fabric::Faa(int target, uint64_t offset, uint64_t delta,
+                     uint64_t* observed) {
+  if (!IsAlive(target)) {
+    return OpStatus::kNodeDown;
+  }
+  SpinFor(config_.latency.FaaNs());
+  uint64_t* addr = static_cast<uint64_t*>(memory(target).At(offset));
+  {
+    SpinLatchGuard nic(*nic_latches_[static_cast<size_t>(target)]);
+    *observed = htm::StrongFaa64(addr, delta);
+  }
+  ++LocalThreadStats().faa_ops;
+  return OpStatus::kOk;
+}
+
+OpStatus Fabric::Send(int from, int to, uint32_t kind,
+                      std::vector<uint8_t> payload) {
+  if (!IsAlive(to)) {
+    return OpStatus::kNodeDown;
+  }
+  SpinFor(config_.latency.SendNs(payload.size()));
+  Message msg;
+  msg.from = from;
+  msg.kind = kind;
+  msg.rpc_id = 0;
+  msg.payload = std::move(payload);
+  queue(to).Push(std::move(msg));
+  ++LocalThreadStats().sends;
+  return OpStatus::kOk;
+}
+
+OpStatus Fabric::Rpc(int from, int to, uint32_t kind,
+                     std::vector<uint8_t> payload, std::vector<uint8_t>* reply,
+                     uint64_t timeout_us) {
+  if (!IsAlive(to)) {
+    return OpStatus::kNodeDown;
+  }
+  const uint64_t rpc_id = next_rpc_id_.fetch_add(1, std::memory_order_relaxed);
+  auto pending = std::make_shared<PendingRpc>();
+  {
+    std::lock_guard<std::mutex> lock(rpc_mu_);
+    pending_rpcs_.emplace(rpc_id, pending);
+  }
+  SpinFor(config_.latency.SendNs(payload.size()));
+  Message msg;
+  msg.from = from;
+  msg.kind = kind;
+  msg.rpc_id = rpc_id;
+  msg.payload = std::move(payload);
+  queue(to).Push(std::move(msg));
+  ++LocalThreadStats().sends;
+
+  std::unique_lock<std::mutex> lock(pending->mu);
+  const bool ok =
+      pending->cv.wait_for(lock, std::chrono::microseconds(timeout_us),
+                           [&] { return pending->done; });
+  {
+    std::lock_guard<std::mutex> map_lock(rpc_mu_);
+    pending_rpcs_.erase(rpc_id);
+  }
+  if (!ok) {
+    return IsAlive(to) ? OpStatus::kTimeout : OpStatus::kNodeDown;
+  }
+  if (reply != nullptr) {
+    *reply = std::move(pending->reply);
+  }
+  return OpStatus::kOk;
+}
+
+void Fabric::Reply(const Message& request, std::vector<uint8_t> payload) {
+  if (request.rpc_id == 0) {
+    return;
+  }
+  SpinFor(config_.latency.SendNs(payload.size()));
+  std::shared_ptr<PendingRpc> pending;
+  {
+    std::lock_guard<std::mutex> lock(rpc_mu_);
+    auto it = pending_rpcs_.find(request.rpc_id);
+    if (it == pending_rpcs_.end()) {
+      return;  // Caller timed out and abandoned the RPC.
+    }
+    pending = it->second;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending->mu);
+    pending->reply = std::move(payload);
+    pending->done = true;
+  }
+  pending->cv.notify_one();
+  ++LocalThreadStats().sends;
+}
+
+}  // namespace rdma
+}  // namespace drtm

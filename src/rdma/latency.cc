@@ -1,0 +1,35 @@
+#include "src/rdma/latency.h"
+
+namespace drtm {
+namespace rdma {
+
+LatencyModel LatencyModel::Zero() {
+  LatencyModel m;
+  m.scale = 0.0;
+  return m;
+}
+
+LatencyModel LatencyModel::Calibrated(double scale) {
+  LatencyModel m;
+  m.scale = scale;
+  return m;
+}
+
+LatencyModel LatencyModel::Ipoib(double scale) {
+  LatencyModel m;
+  // IPoIB pays the kernel network stack on both sides: tens of
+  // microseconds per message instead of ~2.
+  m.send_base_ns = 50000;
+  m.send_per_byte_ns = 1.0;
+  // One-sided operations do not exist over IPoIB; Calvin never issues
+  // them, but keep them priced prohibitively in case of misuse.
+  m.read_base_ns = 50000;
+  m.write_base_ns = 50000;
+  m.cas_ns = 100000;
+  m.faa_ns = 100000;
+  m.scale = scale;
+  return m;
+}
+
+}  // namespace rdma
+}  // namespace drtm

@@ -1,0 +1,72 @@
+// Latency model for the simulated interconnect.
+//
+// Defaults are calibrated to the paper's testbed (Mellanox ConnectX-3
+// 56 Gbps InfiniBand): ~1.5 us one-sided READ/WRITE for small payloads
+// with a per-byte cost that reproduces the Fig. 10(a) payload curve,
+// 14.5 us RDMA CAS (paper section 6.3), ~3 us SEND/RECV verbs RPC legs and
+// ~30x that for IPoIB (used by the Calvin baseline).
+//
+// `scale` shrinks every constant uniformly so that oversubscribed
+// simulations (many logical nodes on few cores) still make progress;
+// relative shapes are preserved. Tests use LatencyModel::Zero().
+#ifndef SRC_RDMA_LATENCY_H_
+#define SRC_RDMA_LATENCY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace drtm {
+namespace rdma {
+
+struct LatencyModel {
+  uint64_t read_base_ns = 1500;
+  double read_per_byte_ns = 0.25;
+  uint64_t write_base_ns = 1400;
+  double write_per_byte_ns = 0.25;
+  uint64_t cas_ns = 14500;
+  uint64_t faa_ns = 14500;
+  // One direction of a SEND/RECV verbs message.
+  uint64_t send_base_ns = 1700;
+  double send_per_byte_ns = 0.3;
+  // Local CAS cost (paper: 0.08 us), charged when the transaction layer
+  // is allowed to use processor atomics for local records (GLOB mode).
+  uint64_t local_cas_ns = 80;
+
+  double scale = 1.0;
+
+  uint64_t ReadNs(size_t len) const {
+    return Scaled(read_base_ns +
+                  static_cast<uint64_t>(read_per_byte_ns * double(len)));
+  }
+  uint64_t WriteNs(size_t len) const {
+    return Scaled(write_base_ns +
+                  static_cast<uint64_t>(write_per_byte_ns * double(len)));
+  }
+  uint64_t CasNs() const { return Scaled(cas_ns); }
+  uint64_t FaaNs() const { return Scaled(faa_ns); }
+  uint64_t SendNs(size_t len) const {
+    return Scaled(send_base_ns +
+                  static_cast<uint64_t>(send_per_byte_ns * double(len)));
+  }
+  uint64_t LocalCasNs() const { return Scaled(local_cas_ns); }
+
+  // No simulated delay at all; unit tests use this.
+  static LatencyModel Zero();
+
+  // Paper-calibrated constants shrunk by `scale` (e.g. 0.1 = 10x faster),
+  // for oversubscribed benchmark runs.
+  static LatencyModel Calibrated(double scale);
+
+  // IPoIB: same fabric, socket emulation with heavy OS involvement.
+  static LatencyModel Ipoib(double scale);
+
+ private:
+  uint64_t Scaled(uint64_t ns) const {
+    return static_cast<uint64_t>(double(ns) * scale);
+  }
+};
+
+}  // namespace rdma
+}  // namespace drtm
+
+#endif  // SRC_RDMA_LATENCY_H_

@@ -1,0 +1,36 @@
+#include "src/rdma/node_memory.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace drtm {
+namespace rdma {
+
+NodeMemory::NodeMemory(int node_id, size_t capacity)
+    : node_id_(node_id), capacity_(capacity) {
+  base_ = std::make_unique<uint8_t[]>(capacity);
+  std::memset(base_.get(), 0, capacity);
+}
+
+uint64_t NodeMemory::Allocate(size_t bytes, size_t alignment) {
+  size_t current = next_.load(std::memory_order_relaxed);
+  while (true) {
+    const size_t aligned = (current + alignment - 1) & ~(alignment - 1);
+    const size_t end = aligned + bytes;
+    if (end > capacity_) {
+      std::fprintf(stderr,
+                   "NodeMemory[%d]: out of registered memory "
+                   "(want %zu, used %zu / %zu)\n",
+                   node_id_, bytes, current, capacity_);
+      std::abort();
+    }
+    if (next_.compare_exchange_weak(current, end,
+                                    std::memory_order_relaxed)) {
+      return aligned;
+    }
+  }
+}
+
+}  // namespace rdma
+}  // namespace drtm

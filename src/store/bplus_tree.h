@@ -1,0 +1,109 @@
+// Ordered store: an HTM-protected B+ tree (the paper reuses DBX's
+// HTM-protected B+ tree for its ordered tables; remote access to ordered
+// stores goes over SEND/RECV verbs, so this structure has no RDMA-side
+// layout obligations).
+//
+// All shared accesses go through the htm::Load/Store dispatch helpers:
+// inside a transaction the tree is isolated by the HTM emulator; outside
+// (bulk loading) the same code uses strong accesses.
+//
+// Structural simplifications, both standard for in-memory stores:
+//   * deletes remove keys from leaves without rebalancing;
+//   * nodes come from a fixed pool whose bump pointer lives in
+//     HTM-visible memory, so an aborted insert rolls its allocation back.
+#ifndef SRC_STORE_BPLUS_TREE_H_
+#define SRC_STORE_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace drtm {
+namespace store {
+
+class BPlusTree {
+ public:
+  static constexpr int kFanout = 16;
+
+  struct Config {
+    uint32_t value_size = 8;
+    uint32_t max_nodes = 1 << 16;
+  };
+
+  explicit BPlusTree(const Config& config);
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  uint32_t value_size() const { return config_.value_size; }
+
+  // Inserts key -> value; false on duplicate or node-pool exhaustion.
+  bool Insert(uint64_t key, const void* value);
+
+  // Copies the value for key; false if absent.
+  bool Get(uint64_t key, void* value_out);
+
+  // Overwrites the value for key; false if absent.
+  bool Put(uint64_t key, const void* value);
+
+  // Removes key from its leaf; false if absent.
+  bool Remove(uint64_t key);
+
+  // Visits [lo, hi] in ascending key order; fn returns false to stop.
+  // Returns the number of visited entries.
+  size_t Scan(uint64_t lo, uint64_t hi,
+              const std::function<bool(uint64_t, const void*)>& fn);
+
+  // Largest key <= bound within [lo, bound]; false if none.
+  bool FindFloor(uint64_t lo, uint64_t bound, uint64_t* key_out,
+                 void* value_out);
+
+  size_t size();
+
+ private:
+  // Node ids are pool indices + 1; 0 means "none".
+  struct NodeRef {
+    uint32_t id = 0;
+    bool valid() const { return id != 0; }
+  };
+
+  uint8_t* NodeAt(uint32_t id);
+  NodeRef AllocateNode(bool leaf);
+
+  // Field accessors (all through htm dispatch).
+  uint16_t IsLeaf(uint32_t id);
+  uint16_t NumKeys(uint32_t id);
+  void SetNumKeys(uint32_t id, uint16_t n);
+  uint32_t NextLeaf(uint32_t id);
+  void SetNextLeaf(uint32_t id, uint32_t next);
+  uint64_t KeyAt(uint32_t id, int i);
+  void SetKeyAt(uint32_t id, int i, uint64_t key);
+  uint32_t ChildAt(uint32_t id, int i);
+  void SetChildAt(uint32_t id, int i, uint32_t child);
+  void ReadValueAt(uint32_t id, int i, void* out);
+  void WriteValueAt(uint32_t id, int i, const void* value);
+
+  // Position of the first key >= key in node id.
+  int LowerBound(uint32_t id, uint64_t key);
+
+  // Descends to the leaf that should contain key, recording the path.
+  uint32_t DescendToLeaf(uint64_t key, uint32_t* path, int* path_child,
+                         int* depth);
+
+  void InsertIntoLeaf(uint32_t leaf, int pos, uint64_t key,
+                      const void* value);
+
+  Config config_;
+  size_t node_bytes_;
+  size_t keys_off_;
+  size_t payload_off_;
+  std::unique_ptr<uint8_t[]> pool_;
+  // HTM-visible control words: {root_id, bump, live_count}, 64-byte
+  // aligned inside the pool header.
+  uint64_t* control_;
+};
+
+}  // namespace store
+}  // namespace drtm
+
+#endif  // SRC_STORE_BPLUS_TREE_H_

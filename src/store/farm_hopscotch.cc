@@ -1,0 +1,278 @@
+#include "src/store/farm_hopscotch.h"
+
+#include <cstring>
+
+#include "src/htm/htm.h"
+#include "src/store/kv_layout.h"
+
+namespace drtm {
+namespace store {
+
+FarmHopscotchTable::FarmHopscotchTable(rdma::NodeMemory* memory,
+                                       const Config& config)
+    : memory_(memory), config_(config) {
+  slot_size_ = sizeof(SlotHeader);
+  if (config.mode == Mode::kInlineValue) {
+    slot_size_ += config.value_size;
+  }
+  slot_size_ = (slot_size_ + 7) & ~7ULL;
+  slots_off_ = memory_->Allocate(config.buckets * slot_size_, 64);
+  const uint64_t value_cell = (8 + config.value_size + 7) & ~7ULL;
+  if (config.mode == Mode::kOffsetValue) {
+    values_off_ = memory_->Allocate(config.buckets * value_cell, 64);
+  }
+  // Overflow cells for keys that hopscotch displacement cannot place
+  // (FaRM's variant tolerates high occupancy the same way; these chains
+  // are what push its lookup cost slightly above 1 READ in Table 4).
+  overflow_cell_size_ = (sizeof(OverflowCell) + config.value_size + 7) & ~7ULL;
+  overflow_off_ = memory_->Allocate((config.buckets / 4 + 16) *
+                                        overflow_cell_size_,
+                                    64);
+  overflow_capacity_ = config.buckets / 4 + 16;
+}
+
+FarmHopscotchTable::SlotHeader* FarmHopscotchTable::SlotAt(uint64_t index) {
+  return reinterpret_cast<SlotHeader*>(memory_->At(SlotOffset(index)));
+}
+
+const uint8_t* FarmHopscotchTable::SlotValue(const SlotHeader* slot) const {
+  return reinterpret_cast<const uint8_t*>(slot) + sizeof(SlotHeader);
+}
+
+uint64_t FarmHopscotchTable::Home(uint64_t key) const {
+  return MixHash(key) & (config_.buckets - 1);
+}
+
+bool FarmHopscotchTable::StoreValueFor(SlotHeader* header, uint64_t key,
+                                       const void* value, uint8_t* inline_at) {
+  if (config_.mode == Mode::kInlineValue) {
+    std::memcpy(inline_at, value, config_.value_size);
+    return true;
+  }
+  const uint64_t value_cell = (8 + config_.value_size + 7) & ~7ULL;
+  if (next_value_ >= config_.buckets) {
+    return false;
+  }
+  const uint64_t off = values_off_ + next_value_ * value_cell;
+  ++next_value_;
+  uint8_t* cell = static_cast<uint8_t*>(memory_->At(off));
+  std::memcpy(cell, &key, 8);
+  std::memcpy(cell + 8, value, config_.value_size);
+  header->value_off = off;
+  return true;
+}
+
+bool FarmHopscotchTable::InsertOverflow(uint64_t key, const void* value) {
+  if (next_overflow_ >= overflow_capacity_) {
+    return false;
+  }
+  const uint64_t cell_off =
+      overflow_off_ + next_overflow_ * overflow_cell_size_;
+  ++next_overflow_;
+  OverflowCell cell{};
+  cell.key = key;
+  SlotHeader* home_slot = SlotAt(Home(key));
+  cell.next = home_slot->overflow_off;
+  std::vector<uint8_t> buf(overflow_cell_size_, 0);
+  if (config_.mode == Mode::kOffsetValue) {
+    // Reuse the inline area of the overflow cell for the value in both
+    // modes; a remote reader fetches the whole cell in one READ.
+  }
+  std::memcpy(buf.data(), &cell, sizeof(cell));
+  std::memcpy(buf.data() + sizeof(OverflowCell), value, config_.value_size);
+  htm::StrongWrite(memory_->At(cell_off), buf.data(), buf.size());
+  // Publish: link from the home bucket.
+  SlotHeader updated = *home_slot;
+  updated.overflow_off = cell_off;
+  htm::StrongWrite(&home_slot->overflow_off, &updated.overflow_off, 8);
+  ++live_;
+  return true;
+}
+
+bool FarmHopscotchTable::Insert(uint64_t key, const void* value) {
+  const uint64_t home = Home(key);
+  // Duplicate check: neighborhood plus overflow chain.
+  for (int i = 0; i < kNeighborhood; ++i) {
+    SlotHeader* slot =
+        SlotAt((home + static_cast<uint64_t>(i)) & (config_.buckets - 1));
+    if (slot->used != 0 && slot->key == key) {
+      return false;
+    }
+  }
+  for (uint64_t off = SlotAt(home)->overflow_off; off != 0;) {
+    const OverflowCell* cell =
+        static_cast<const OverflowCell*>(memory_->At(off));
+    if (cell->key == key) {
+      return false;
+    }
+    off = cell->next;
+  }
+
+  // Linear probe for a free slot (wrapping), bounded.
+  uint64_t free_index = kInvalidOffset;
+  for (uint64_t d = 0; d < config_.buckets; ++d) {
+    const uint64_t index = (home + d) & (config_.buckets - 1);
+    if (SlotAt(index)->used == 0) {
+      free_index = index;
+      break;
+    }
+  }
+  if (free_index == kInvalidOffset) {
+    return InsertOverflow(key, value);
+  }
+  // Hopscotch displacement: walk the free slot back into the
+  // neighborhood of `home`.
+  auto distance = [&](uint64_t from, uint64_t to) {
+    return (to - from) & (config_.buckets - 1);
+  };
+  while (distance(home, free_index) >= kNeighborhood) {
+    bool moved = false;
+    for (uint64_t back = kNeighborhood - 1; back >= 1; --back) {
+      const uint64_t candidate = (free_index - back) & (config_.buckets - 1);
+      SlotHeader* cand = SlotAt(candidate);
+      if (cand->used == 0) {
+        continue;
+      }
+      if (distance(Home(cand->key), free_index) < kNeighborhood) {
+        SlotHeader* free_slot = SlotAt(free_index);
+        std::vector<uint8_t> tmp(slot_size_);
+        std::memcpy(tmp.data(), cand, slot_size_);
+        // Preserve the destination bucket's overflow link and clear the
+        // source's (overflow chains belong to buckets, not keys).
+        SlotHeader* moved_header = reinterpret_cast<SlotHeader*>(tmp.data());
+        moved_header->overflow_off = free_slot->overflow_off;
+        const uint64_t cand_overflow = cand->overflow_off;
+        htm::StrongWrite(free_slot, tmp.data(), slot_size_);
+        SlotHeader cleared{};
+        cleared.overflow_off = cand_overflow;
+        std::vector<uint8_t> cleared_buf(slot_size_, 0);
+        std::memcpy(cleared_buf.data(), &cleared, sizeof(cleared));
+        htm::StrongWrite(cand, cleared_buf.data(), slot_size_);
+        free_index = candidate;
+        moved = true;
+        break;
+      }
+    }
+    if (!moved) {
+      return InsertOverflow(key, value);
+    }
+  }
+
+  std::vector<uint8_t> incoming(slot_size_, 0);
+  SlotHeader header{};
+  header.key = key;
+  header.used = 1;
+  header.overflow_off = SlotAt(free_index)->overflow_off;
+  if (!StoreValueFor(&header, key, value,
+                     incoming.data() + sizeof(SlotHeader))) {
+    return false;
+  }
+  std::memcpy(incoming.data(), &header, sizeof(header));
+  htm::StrongWrite(SlotAt(free_index), incoming.data(), slot_size_);
+  ++live_;
+  return true;
+}
+
+bool FarmHopscotchTable::Get(uint64_t key, void* value_out) {
+  const uint64_t home = Home(key);
+  for (int i = 0; i < kNeighborhood; ++i) {
+    SlotHeader* slot =
+        SlotAt((home + static_cast<uint64_t>(i)) & (config_.buckets - 1));
+    if (slot->used == 0 || slot->key != key) {
+      continue;
+    }
+    if (config_.mode == Mode::kInlineValue) {
+      std::memcpy(value_out, SlotValue(slot), config_.value_size);
+    } else {
+      std::memcpy(value_out,
+                  static_cast<uint8_t*>(memory_->At(slot->value_off)) + 8,
+                  config_.value_size);
+    }
+    return true;
+  }
+  for (uint64_t off = SlotAt(home)->overflow_off; off != 0;) {
+    const uint8_t* raw = static_cast<const uint8_t*>(memory_->At(off));
+    OverflowCell cell;
+    std::memcpy(&cell, raw, sizeof(cell));
+    if (cell.key == key) {
+      std::memcpy(value_out, raw + sizeof(OverflowCell), config_.value_size);
+      return true;
+    }
+    off = cell.next;
+  }
+  return false;
+}
+
+bool FarmHopscotchTable::RemoteGet(rdma::Fabric* fabric, int target,
+                                   uint64_t key, void* value_out,
+                                   int* reads_out) {
+  int reads = 0;
+  const uint64_t home = Home(key);
+  std::vector<uint8_t> buf(NeighborhoodReadBytes());
+  const uint64_t wrap = config_.buckets - home;
+  if (wrap >= kNeighborhood) {
+    if (fabric->Read(target, SlotOffset(home), buf.data(), buf.size()) !=
+        rdma::OpStatus::kOk) {
+      *reads_out = reads;
+      return false;
+    }
+    ++reads;
+  } else {
+    const size_t first = static_cast<size_t>(wrap) * slot_size_;
+    if (fabric->Read(target, SlotOffset(home), buf.data(), first) !=
+            rdma::OpStatus::kOk ||
+        fabric->Read(target, SlotOffset(0), buf.data() + first,
+                     buf.size() - first) != rdma::OpStatus::kOk) {
+      *reads_out = reads;
+      return false;
+    }
+    reads += 2;
+  }
+  for (int i = 0; i < kNeighborhood; ++i) {
+    const uint8_t* raw = buf.data() + static_cast<size_t>(i) * slot_size_;
+    SlotHeader header;
+    std::memcpy(&header, raw, sizeof(header));
+    if (header.used == 0 || header.key != key) {
+      continue;
+    }
+    if (config_.mode == Mode::kInlineValue) {
+      std::memcpy(value_out, raw + sizeof(SlotHeader), config_.value_size);
+      *reads_out = reads;
+      return true;
+    }
+    std::vector<uint8_t> cell(8 + config_.value_size);
+    if (fabric->Read(target, header.value_off, cell.data(), cell.size()) !=
+        rdma::OpStatus::kOk) {
+      break;
+    }
+    ++reads;
+    std::memcpy(value_out, cell.data() + 8, config_.value_size);
+    *reads_out = reads;
+    return true;
+  }
+  // Overflow chain: home slot is the first in the buffer.
+  SlotHeader home_header;
+  std::memcpy(&home_header, buf.data(), sizeof(home_header));
+  std::vector<uint8_t> cell_buf(overflow_cell_size_);
+  for (uint64_t off = home_header.overflow_off; off != 0;) {
+    if (fabric->Read(target, off, cell_buf.data(), cell_buf.size()) !=
+        rdma::OpStatus::kOk) {
+      break;
+    }
+    ++reads;
+    OverflowCell cell;
+    std::memcpy(&cell, cell_buf.data(), sizeof(cell));
+    if (cell.key == key) {
+      std::memcpy(value_out, cell_buf.data() + sizeof(OverflowCell),
+                  config_.value_size);
+      *reads_out = reads;
+      return true;
+    }
+    off = cell.next;
+  }
+  *reads_out = reads;
+  return false;
+}
+
+}  // namespace store
+}  // namespace drtm

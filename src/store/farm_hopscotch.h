@@ -1,0 +1,91 @@
+// Simplified FaRM-KV (Dragojevic et al., NSDI'14) hopscotch hash table,
+// reimplemented as the paper's comparison does: neighborhood-8 hopscotch,
+// GET via one RDMA READ covering the whole neighborhood. Two variants:
+//   * inline  (FaRM-KV/I): values live in the slots; a GET reads
+//     8 * slot_size bytes and needs no second READ — fast for small
+//     values, wasteful for large ones (Fig. 10(b)).
+//   * offset  (FaRM-KV/O): slots hold an offset; a GET pays a second
+//     READ for the value.
+#ifndef SRC_STORE_FARM_HOPSCOTCH_H_
+#define SRC_STORE_FARM_HOPSCOTCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/rdma/fabric.h"
+#include "src/rdma/node_memory.h"
+
+namespace drtm {
+namespace store {
+
+class FarmHopscotchTable {
+ public:
+  static constexpr int kNeighborhood = 8;
+
+  enum class Mode { kInlineValue, kOffsetValue };
+
+  struct Config {
+    uint64_t buckets = 1 << 12;  // power of two
+    uint32_t value_size = 64;
+    Mode mode = Mode::kOffsetValue;
+  };
+
+  FarmHopscotchTable(rdma::NodeMemory* memory, const Config& config);
+
+  bool Insert(uint64_t key, const void* value);
+  bool Get(uint64_t key, void* value_out);
+  bool RemoteGet(rdma::Fabric* fabric, int target, uint64_t key,
+                 void* value_out, int* reads_out);
+
+  uint64_t size() const { return live_; }
+  Mode mode() const { return config_.mode; }
+
+  // Bytes fetched by the neighborhood READ (bench instrumentation).
+  size_t NeighborhoodReadBytes() const {
+    return static_cast<size_t>(kNeighborhood) * slot_size_;
+  }
+
+ private:
+  // Slot header; in inline mode the value follows within the slot.
+  struct SlotHeader {
+    uint64_t key;
+    uint64_t used;          // 0 = empty
+    uint64_t value_off;     // offset mode only
+    uint64_t overflow_off;  // bucket's overflow chain (0 = none)
+  };
+
+  // Overflow cell for keys displacement cannot place; the value bytes
+  // follow the header so a remote reader fetches a cell in one READ.
+  struct OverflowCell {
+    uint64_t key;
+    uint64_t next;  // 0 = end
+  };
+
+  bool StoreValueFor(SlotHeader* header, uint64_t key, const void* value,
+                     uint8_t* inline_at);
+  bool InsertOverflow(uint64_t key, const void* value);
+
+  uint64_t SlotOffset(uint64_t index) const {
+    return slots_off_ + index * slot_size_;
+  }
+  SlotHeader* SlotAt(uint64_t index);
+  const uint8_t* SlotValue(const SlotHeader* slot) const;
+  uint64_t Home(uint64_t key) const;
+
+  rdma::NodeMemory* memory_;
+  Config config_;
+  uint64_t slot_size_;
+  uint64_t slots_off_;
+  uint64_t values_off_ = 0;  // offset mode pool
+  uint64_t next_value_ = 0;
+  uint64_t overflow_off_ = 0;
+  uint64_t overflow_cell_size_ = 0;
+  uint64_t overflow_capacity_ = 0;
+  uint64_t next_overflow_ = 0;
+  uint64_t live_ = 0;
+};
+
+}  // namespace store
+}  // namespace drtm
+
+#endif  // SRC_STORE_FARM_HOPSCOTCH_H_

@@ -1,0 +1,111 @@
+// On-"NIC" layout of the DrTM-KV cluster-chaining hash table (paper
+// Fig. 9). Shared by the host-side table and the remote (one-sided RDMA)
+// client, which computes the same offsets against the target node's
+// registered region.
+//
+// Header slot (16 bytes):
+//   word0: [type:2][lossy_incarnation:14][offset:48]
+//   word1: key
+// Bucket: 8 slots (128 bytes), fetched by a single RDMA READ.
+// Entry: key(8) incarnation(4) version(4) state(8) value(V) — state and
+// value are contiguous so that a lock check plus value access touches a
+// minimal number of cache lines (section 4.3).
+#ifndef SRC_STORE_KV_LAYOUT_H_
+#define SRC_STORE_KV_LAYOUT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace drtm {
+namespace store {
+
+enum class SlotType : uint64_t {
+  kFree = 0,
+  kEntry = 1,   // offset points at a key-value entry
+  kHeader = 2,  // offset points at an indirect header bucket
+  kCached = 3,  // client-cache internal: offset is a local frame index
+};
+
+inline constexpr int kSlotsPerBucket = 8;
+inline constexpr size_t kSlotBytes = 16;
+inline constexpr size_t kBucketBytes = kSlotsPerBucket * kSlotBytes;  // 128
+inline constexpr uint64_t kInvalidOffset = ~uint64_t{0};
+
+inline constexpr uint64_t kTypeShift = 62;
+inline constexpr uint64_t kLossyShift = 48;
+inline constexpr uint64_t kLossyMask = 0x3fff;
+inline constexpr uint64_t kOffsetMask = (uint64_t{1} << 48) - 1;
+
+struct HeaderSlot {
+  uint64_t meta = 0;
+  uint64_t key = 0;
+
+  SlotType type() const { return static_cast<SlotType>(meta >> kTypeShift); }
+  uint16_t lossy_incarnation() const {
+    return static_cast<uint16_t>((meta >> kLossyShift) & kLossyMask);
+  }
+  uint64_t offset() const { return meta & kOffsetMask; }
+
+  static uint64_t Pack(SlotType type, uint16_t lossy, uint64_t offset) {
+    return (static_cast<uint64_t>(type) << kTypeShift) |
+           ((static_cast<uint64_t>(lossy) & kLossyMask) << kLossyShift) |
+           (offset & kOffsetMask);
+  }
+};
+static_assert(sizeof(HeaderSlot) == kSlotBytes);
+
+struct Bucket {
+  HeaderSlot slots[kSlotsPerBucket];
+};
+static_assert(sizeof(Bucket) == kBucketBytes);
+
+// Fixed-size prefix of every entry; the value follows immediately.
+struct EntryHeader {
+  uint64_t key;
+  uint32_t incarnation;
+  uint32_t version;
+  uint64_t state;  // the DrTM lock/lease word (txn/lock_state.h)
+};
+static_assert(sizeof(EntryHeader) == 24);
+inline constexpr uint64_t kEntryStateOffset = 16;
+inline constexpr uint64_t kEntryVersionOffset = 12;
+inline constexpr uint64_t kEntryValueOffset = sizeof(EntryHeader);
+
+inline uint64_t MixHash(uint64_t key) {
+  uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Geometry of one table instance inside one node's registered region.
+// Identical table configurations produce identical geometry, which lets
+// a client address any replica-free partition by (node, offset).
+struct Geometry {
+  uint64_t main_buckets = 0;  // power of two
+  uint32_t value_size = 0;
+  uint64_t entry_size = 0;  // sizeof(EntryHeader) + value_size, padded to 8
+  uint64_t main_offset = 0;
+  uint64_t indirect_offset = 0;
+  uint64_t indirect_buckets = 0;
+  uint64_t entry_base = 0;
+  uint64_t capacity = 0;  // number of entries
+
+  uint64_t MainBucketOffset(uint64_t key) const {
+    return main_offset + (MixHash(key) & (main_buckets - 1)) * kBucketBytes;
+  }
+  uint64_t EntryOffset(uint64_t index) const {
+    return entry_base + index * entry_size;
+  }
+  uint64_t StateOffset(uint64_t entry_off) const {
+    return entry_off + kEntryStateOffset;
+  }
+  uint64_t ValueOffset(uint64_t entry_off) const {
+    return entry_off + kEntryValueOffset;
+  }
+};
+
+}  // namespace store
+}  // namespace drtm
+
+#endif  // SRC_STORE_KV_LAYOUT_H_

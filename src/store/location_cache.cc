@@ -1,0 +1,60 @@
+#include "src/store/location_cache.h"
+
+#include <cstring>
+
+namespace drtm {
+namespace store {
+
+namespace {
+
+size_t FramesForBudget(size_t budget_bytes) {
+  const size_t frame_bytes = sizeof(Bucket) + 16;
+  size_t frames = budget_bytes / frame_bytes;
+  if (frames < 2) {
+    frames = 2;
+  }
+  // Round down to a power of two for masking.
+  size_t pow2 = 1;
+  while (pow2 * 2 <= frames) {
+    pow2 *= 2;
+  }
+  return pow2;
+}
+
+}  // namespace
+
+LocationCache::LocationCache(size_t budget_bytes)
+    : frames_count_(FramesForBudget(budget_bytes)),
+      frame_mask_(frames_count_ - 1) {
+  frames_ = std::make_unique<Frame[]>(frames_count_);
+}
+
+bool LocationCache::Lookup(uint64_t bucket_off, Bucket* out) {
+  Frame& frame = FrameFor(bucket_off);
+  SpinLatchGuard guard(frame.latch);
+  if (frame.tag != bucket_off) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::memcpy(out, &frame.bucket, sizeof(Bucket));
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void LocationCache::Install(uint64_t bucket_off, const Bucket& bucket) {
+  Frame& frame = FrameFor(bucket_off);
+  SpinLatchGuard guard(frame.latch);
+  frame.tag = bucket_off;
+  std::memcpy(&frame.bucket, &bucket, sizeof(Bucket));
+}
+
+void LocationCache::Invalidate(uint64_t bucket_off) {
+  Frame& frame = FrameFor(bucket_off);
+  SpinLatchGuard guard(frame.latch);
+  if (frame.tag == bucket_off) {
+    frame.tag = kInvalidOffset;
+  }
+}
+
+}  // namespace store
+}  // namespace drtm

@@ -1,0 +1,72 @@
+// Location-based, host-transparent cache (section 5.3).
+//
+// Caches header buckets of a remote DrTM-KV table, keyed by their offset
+// in the remote region, direct-mapped. Cached content is "a partially
+// stale snapshot": staleness is detected when the entry a cached slot
+// points at fails its key / lossy-incarnation check, which simply turns
+// into a cache miss — no invalidation traffic, fully transparent to the
+// host. The cache is shared by all client threads of a machine.
+#ifndef SRC_STORE_LOCATION_CACHE_H_
+#define SRC_STORE_LOCATION_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/common/spin_latch.h"
+#include "src/store/kv_layout.h"
+
+namespace drtm {
+namespace store {
+
+class LocationCache {
+ public:
+  // budget_bytes is divided into direct-mapped bucket frames
+  // (~144 bytes each); a 16 MB cache holds about one million locations
+  // (the paper's sizing example).
+  explicit LocationCache(size_t budget_bytes);
+
+  LocationCache(const LocationCache&) = delete;
+  LocationCache& operator=(const LocationCache&) = delete;
+
+  // Copies the cached bucket at remote offset bucket_off into *out.
+  bool Lookup(uint64_t bucket_off, Bucket* out);
+
+  // Installs (or replaces) the frame for bucket_off.
+  void Install(uint64_t bucket_off, const Bucket& bucket);
+
+  // Drops the frame for bucket_off if present (used after an
+  // incarnation-check miss so the stale snapshot is refreshed).
+  void Invalidate(uint64_t bucket_off);
+
+  size_t frames() const { return frames_count_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  void ResetStats() {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Frame {
+    SpinLatch latch;
+    uint64_t tag = kInvalidOffset;  // remote bucket offset
+    Bucket bucket;
+  };
+
+  Frame& FrameFor(uint64_t bucket_off) {
+    const uint64_t index = MixHash(bucket_off / kBucketBytes) & frame_mask_;
+    return frames_[index];
+  }
+
+  std::unique_ptr<Frame[]> frames_;
+  size_t frames_count_;
+  uint64_t frame_mask_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace store
+}  // namespace drtm
+
+#endif  // SRC_STORE_LOCATION_CACHE_H_

@@ -1,0 +1,163 @@
+#include "src/store/pilaf_cuckoo.h"
+
+#include <cstring>
+#include <vector>
+
+#include "src/htm/htm.h"
+#include "src/store/kv_layout.h"
+
+namespace drtm {
+namespace store {
+
+PilafCuckooTable::PilafCuckooTable(rdma::NodeMemory* memory,
+                                   const Config& config)
+    : memory_(memory), config_(config) {
+  entry_size_ = (8 + config.value_size + 7) & ~7ULL;
+  buckets_off_ =
+      memory_->Allocate(config.buckets * sizeof(BucketSlot), 64);
+  entries_off_ = memory_->Allocate(config.capacity * entry_size_, 64);
+}
+
+uint64_t PilafCuckooTable::HashIndex(uint64_t key, int which) const {
+  static constexpr uint64_t kSeeds[3] = {0x1234567887654321ULL,
+                                         0xdeadbeefcafebabeULL,
+                                         0x0f0f0f0ff0f0f0f0ULL};
+  return MixHash(key ^ kSeeds[which]) & (config_.buckets - 1);
+}
+
+uint64_t PilafCuckooTable::Checksum(const void* data, size_t len) {
+  // FNV-1a, 64-bit. Pilaf uses CRC64; any strong-enough mixing works for
+  // the self-verification role.
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t PilafCuckooTable::KvChecksum(uint64_t key, const void* value) const {
+  uint64_t h = Checksum(&key, sizeof(key));
+  return h ^ Checksum(value, config_.value_size);
+}
+
+void PilafCuckooTable::SealBucket(BucketSlot* slot) const {
+  slot->bucket_checksum = Checksum(slot, offsetof(BucketSlot, bucket_checksum));
+}
+
+PilafCuckooTable::BucketSlot* PilafCuckooTable::SlotAt(uint64_t index) {
+  return reinterpret_cast<BucketSlot*>(memory_->At(BucketOffset(index)));
+}
+
+uint8_t* PilafCuckooTable::EntryAt(uint64_t entry_off) {
+  return static_cast<uint8_t*>(memory_->At(entry_off));
+}
+
+bool PilafCuckooTable::Insert(uint64_t key, const void* value) {
+  if (next_entry_ >= config_.capacity) {
+    return false;
+  }
+  // Write the key-value object.
+  const uint64_t entry_off = entries_off_ + next_entry_ * entry_size_;
+  ++next_entry_;
+  uint8_t* entry = EntryAt(entry_off);
+  std::memcpy(entry, &key, 8);
+  std::memcpy(entry + 8, value, config_.value_size);
+
+  BucketSlot incoming;
+  incoming.key = key;
+  incoming.entry_off = entry_off;
+  incoming.kv_checksum = KvChecksum(key, value);
+  SealBucket(&incoming);
+
+  // Prefer an empty candidate bucket.
+  for (int which = 0; which < 3; ++which) {
+    BucketSlot* slot = SlotAt(HashIndex(key, which));
+    if (slot->entry_off == 0) {
+      htm::StrongWrite(slot, &incoming, sizeof(incoming));
+      ++live_;
+      return true;
+    }
+    if (slot->key == key) {
+      return false;  // duplicate
+    }
+  }
+
+  // Cuckoo displacement.
+  int which = 0;
+  for (int kick = 0; kick < config_.max_kicks; ++kick) {
+    const uint64_t index = HashIndex(incoming.key, which);
+    BucketSlot* slot = SlotAt(index);
+    BucketSlot evicted = *slot;
+    htm::StrongWrite(slot, &incoming, sizeof(incoming));
+    if (evicted.entry_off == 0) {
+      ++live_;
+      return true;
+    }
+    incoming = evicted;
+    // Move the evicted key to one of its other two candidate buckets.
+    uint64_t from = index;
+    which = 0;
+    for (int w = 0; w < 3; ++w) {
+      if (HashIndex(incoming.key, w) == from) {
+        which = (w + 1) % 3;
+        break;
+      }
+    }
+  }
+  return false;  // kick chain too long
+}
+
+bool PilafCuckooTable::Get(uint64_t key, void* value_out) {
+  for (int which = 0; which < 3; ++which) {
+    BucketSlot* slot = SlotAt(HashIndex(key, which));
+    if (slot->entry_off != 0 && slot->key == key) {
+      std::memcpy(value_out, EntryAt(slot->entry_off) + 8,
+                  config_.value_size);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PilafCuckooTable::RemoteGet(rdma::Fabric* fabric, int target,
+                                 uint64_t key, void* value_out,
+                                 int* reads_out) {
+  int reads = 0;
+  for (int which = 0; which < 3; ++which) {
+    BucketSlot slot;
+    if (fabric->Read(target, BucketOffset(HashIndex(key, which)), &slot,
+                     sizeof(slot)) != rdma::OpStatus::kOk) {
+      break;
+    }
+    ++reads;
+    if (slot.entry_off == 0 || slot.key != key) {
+      continue;
+    }
+    if (Checksum(&slot, offsetof(BucketSlot, bucket_checksum)) !=
+        slot.bucket_checksum) {
+      --which;  // concurrent update: self-verification failed, reread
+      continue;
+    }
+    std::vector<uint8_t> buf(8 + config_.value_size);
+    if (fabric->Read(target, slot.entry_off, buf.data(), buf.size()) !=
+        rdma::OpStatus::kOk) {
+      break;
+    }
+    ++reads;
+    uint64_t stored_key;
+    std::memcpy(&stored_key, buf.data(), 8);
+    if (stored_key == key &&
+        KvChecksum(key, buf.data() + 8) == slot.kv_checksum) {
+      std::memcpy(value_out, buf.data() + 8, config_.value_size);
+      *reads_out = reads;
+      return true;
+    }
+  }
+  *reads_out = reads;
+  return false;
+}
+
+}  // namespace store
+}  // namespace drtm

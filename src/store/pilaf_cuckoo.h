@@ -1,0 +1,75 @@
+// Simplified Pilaf-style key-value store (Mitchell et al., ATC'13),
+// reimplemented as the paper does for its comparison (its footnote 6):
+// 3-way cuckoo hashing, one slot per 32-byte self-verifying bucket
+// (two checksums: one over the bucket, one over the key-value object).
+// GETs use one-sided RDMA READs; PUT/INSERT are host-side operations.
+#ifndef SRC_STORE_PILAF_CUCKOO_H_
+#define SRC_STORE_PILAF_CUCKOO_H_
+
+#include <cstdint>
+
+#include "src/rdma/fabric.h"
+#include "src/rdma/node_memory.h"
+
+namespace drtm {
+namespace store {
+
+class PilafCuckooTable {
+ public:
+  struct Config {
+    uint64_t buckets = 1 << 12;  // power of two, 1 slot each
+    uint64_t capacity = 1 << 12;
+    uint32_t value_size = 64;
+    int max_kicks = 512;
+  };
+
+  // 32-byte self-verifying bucket.
+  struct BucketSlot {
+    uint64_t key;
+    uint64_t entry_off;  // 0 = empty
+    uint64_t kv_checksum;
+    uint64_t bucket_checksum;
+  };
+  static_assert(sizeof(BucketSlot) == 32);
+
+  PilafCuckooTable(rdma::NodeMemory* memory, const Config& config);
+
+  // Host-side insert with cuckoo displacement; false when the kick chain
+  // exceeds max_kicks or the entry pool is exhausted.
+  bool Insert(uint64_t key, const void* value);
+
+  // Host-side read (tests).
+  bool Get(uint64_t key, void* value_out);
+
+  // Remote GET over one-sided READs. reads_out counts RDMA READs issued.
+  bool RemoteGet(rdma::Fabric* fabric, int target, uint64_t key,
+                 void* value_out, int* reads_out);
+
+  uint64_t size() const { return live_; }
+  uint32_t value_size() const { return config_.value_size; }
+
+ private:
+  uint64_t BucketOffset(uint64_t index) const {
+    return buckets_off_ + index * sizeof(BucketSlot);
+  }
+  uint64_t HashIndex(uint64_t key, int which) const;
+  static uint64_t Checksum(const void* data, size_t len);
+  uint64_t KvChecksum(uint64_t key, const void* value) const;
+  void SealBucket(BucketSlot* slot) const;
+
+  BucketSlot* SlotAt(uint64_t index);
+  uint8_t* EntryAt(uint64_t entry_off);
+
+  rdma::NodeMemory* memory_;
+  Config config_;
+  uint64_t buckets_off_;
+  uint64_t entries_off_;
+  uint64_t entry_size_;
+  uint64_t next_entry_ = 0;
+  uint64_t live_ = 0;
+};
+
+}  // namespace store
+}  // namespace drtm
+
+#endif  // SRC_STORE_PILAF_CUCKOO_H_

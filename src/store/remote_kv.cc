@@ -1,0 +1,123 @@
+#include "src/store/remote_kv.h"
+
+#include <cstring>
+
+namespace drtm {
+namespace store {
+
+RemoteKv::RemoteKv(rdma::Fabric* fabric, int target_node,
+                   const Geometry& geometry, LocationCache* cache)
+    : fabric_(fabric), target_(target_node), geo_(geometry), cache_(cache) {}
+
+bool RemoteKv::FetchBucket(uint64_t bucket_off, Bucket* out, bool* from_cache,
+                           int* reads) {
+  if (cache_ != nullptr && cache_->Lookup(bucket_off, out)) {
+    *from_cache = true;
+    return true;
+  }
+  *from_cache = false;
+  if (fabric_->Read(target_, bucket_off, out, sizeof(Bucket)) !=
+      rdma::OpStatus::kOk) {
+    return false;
+  }
+  ++*reads;
+  if (cache_ != nullptr) {
+    cache_->Install(bucket_off, *out);
+  }
+  return true;
+}
+
+RemoteEntryRef RemoteKv::LookupInternal(uint64_t key, bool bypass_cache) {
+  RemoteEntryRef ref;
+  uint64_t bucket_off = geo_.MainBucketOffset(key);
+  // A chain longer than the indirect pool means corruption; bound the walk.
+  for (uint64_t hops = 0; hops <= geo_.indirect_buckets + 1; ++hops) {
+    Bucket bucket;
+    bool from_cache = false;
+    if (bypass_cache) {
+      if (fabric_->Read(target_, bucket_off, &bucket, sizeof(bucket)) !=
+          rdma::OpStatus::kOk) {
+        return ref;
+      }
+      ++ref.rdma_reads;
+      if (cache_ != nullptr) {
+        cache_->Install(bucket_off, bucket);
+      }
+    } else if (!FetchBucket(bucket_off, &bucket, &from_cache,
+                            &ref.rdma_reads)) {
+      return ref;
+    }
+    uint64_t next = kInvalidOffset;
+    for (const HeaderSlot& slot : bucket.slots) {
+      if (slot.type() == SlotType::kEntry && slot.key == key) {
+        ref.found = true;
+        ref.entry_off = slot.offset();
+        ref.incarnation = slot.lossy_incarnation();
+        return ref;
+      }
+      if (slot.type() == SlotType::kHeader) {
+        next = slot.offset();
+      }
+    }
+    if (next == kInvalidOffset) {
+      return ref;
+    }
+    bucket_off = next;
+  }
+  return ref;
+}
+
+RemoteEntryRef RemoteKv::Lookup(uint64_t key) {
+  return LookupInternal(key, /*bypass_cache=*/false);
+}
+
+bool RemoteKv::ReadEntry(uint64_t entry_off, RemoteEntrySnapshot* out) {
+  out->value.resize(geo_.value_size);
+  std::vector<uint8_t> buf(sizeof(EntryHeader) + geo_.value_size);
+  if (fabric_->Read(target_, entry_off, buf.data(), buf.size()) !=
+      rdma::OpStatus::kOk) {
+    return false;
+  }
+  std::memcpy(&out->header, buf.data(), sizeof(EntryHeader));
+  std::memcpy(out->value.data(), buf.data() + sizeof(EntryHeader),
+              geo_.value_size);
+  return true;
+}
+
+bool RemoteKv::ReadValue(uint64_t entry_off, void* out) {
+  return fabric_->Read(target_, geo_.ValueOffset(entry_off), out,
+                       geo_.value_size) == rdma::OpStatus::kOk;
+}
+
+bool RemoteKv::Get(uint64_t key, void* value_out) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const bool bypass = (attempt == 1);
+    const RemoteEntryRef ref = LookupInternal(key, bypass);
+    if (!ref.found) {
+      if (!bypass && cache_ != nullptr) {
+        // The miss may be a stale cached bucket; retry against the host.
+        continue;
+      }
+      return false;
+    }
+    RemoteEntrySnapshot snap;
+    if (!ReadEntry(ref.entry_off, &snap)) {
+      return false;
+    }
+    // Incarnation checking: the entry must still belong to this key and
+    // the slot's lossy incarnation must match the entry's (section 5.3).
+    if (snap.header.key == key &&
+        (snap.header.incarnation & kLossyMask) == ref.incarnation) {
+      std::memcpy(value_out, snap.value.data(), geo_.value_size);
+      return true;
+    }
+    if (cache_ == nullptr || bypass) {
+      return false;  // Entry mutated under an uncached reader: true miss.
+    }
+    cache_->Invalidate(geo_.MainBucketOffset(key));
+  }
+  return false;
+}
+
+}  // namespace store
+}  // namespace drtm

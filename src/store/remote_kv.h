@@ -1,0 +1,76 @@
+// One-sided RDMA client for a remote DrTM-KV table.
+//
+// Lookup walks the remote bucket chain with one RDMA READ per bucket
+// (each READ fetches all 8 candidate slots — the property that gives
+// cluster chaining its low lookup cost in Table 4), optionally short-
+// circuited by the location cache. A hit through the cache is validated
+// by incarnation checking against the fetched entry; a stale location
+// degrades to a cache miss and a refetch, never to a wrong answer.
+#ifndef SRC_STORE_REMOTE_KV_H_
+#define SRC_STORE_REMOTE_KV_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/rdma/fabric.h"
+#include "src/store/kv_layout.h"
+#include "src/store/location_cache.h"
+
+namespace drtm {
+namespace store {
+
+struct RemoteEntryRef {
+  bool found = false;
+  uint64_t entry_off = kInvalidOffset;
+  uint32_t incarnation = 0;
+  int rdma_reads = 0;  // READs spent on this lookup (bench instrumentation)
+};
+
+// Snapshot of a remote entry: header plus value bytes.
+struct RemoteEntrySnapshot {
+  EntryHeader header;
+  std::vector<uint8_t> value;
+};
+
+class RemoteKv {
+ public:
+  // cache may be nullptr (uncached client, as in Table 4).
+  RemoteKv(rdma::Fabric* fabric, int target_node, const Geometry& geometry,
+           LocationCache* cache = nullptr);
+
+  // Locates the entry for key. On a found result, entry_off addresses the
+  // entry in the target node's region.
+  RemoteEntryRef Lookup(uint64_t key);
+
+  // Reads header + value in one RDMA READ. Returns false if the node is
+  // down.
+  bool ReadEntry(uint64_t entry_off, RemoteEntrySnapshot* out);
+
+  // Reads only the value bytes.
+  bool ReadValue(uint64_t entry_off, void* out);
+
+  // Combined GET: lookup, fetch, incarnation check (retries once on a
+  // stale cached location).
+  bool Get(uint64_t key, void* value_out);
+
+  int target_node() const { return target_; }
+  const Geometry& geometry() const { return geo_; }
+
+ private:
+  // Fetches a bucket (through the cache when enabled). Returns false on
+  // node failure. *from_cache reports whether an RDMA READ was avoided.
+  bool FetchBucket(uint64_t bucket_off, Bucket* out, bool* from_cache,
+                   int* reads);
+
+  RemoteEntryRef LookupInternal(uint64_t key, bool bypass_cache);
+
+  rdma::Fabric* fabric_;
+  int target_;
+  Geometry geo_;
+  LocationCache* cache_;
+};
+
+}  // namespace store
+}  // namespace drtm
+
+#endif  // SRC_STORE_REMOTE_KV_H_

@@ -1,0 +1,49 @@
+#include "src/txn/chopping.h"
+
+#include <cassert>
+
+namespace drtm {
+namespace txn {
+
+namespace {
+
+struct ChopInfo {
+  uint32_t piece;
+  uint32_t total;
+};
+
+}  // namespace
+
+TxnStatus ChoppedTransaction::Run(Worker* worker) {
+  Cluster& cluster = worker->cluster();
+  const bool logging = cluster.config().logging;
+  const uint64_t chain_id =
+      cluster.NextTxnId(worker->node(), worker->worker_id());
+
+  for (size_t i = 0; i < pieces_.size(); ++i) {
+    if (logging && pieces_.size() > 1) {
+      // Chop-info ahead of each piece: on recovery, the highest logged
+      // piece index tells DrTM which pieces of the parent remain (§4.6).
+      const ChopInfo info{static_cast<uint32_t>(i),
+                          static_cast<uint32_t>(pieces_.size())};
+      cluster.log(worker->node())
+          ->Append(worker->worker_id(), LogType::kChopInfo, chain_id, &info,
+                   sizeof(info));
+    }
+    Transaction txn(worker);
+    pieces_[i].declare(txn);
+    const TxnStatus status = txn.Run(pieces_[i].body);
+    if (status == TxnStatus::kUserAbort) {
+      assert(i == 0 &&
+             "only the first piece of a chopped transaction may user-abort");
+      return status;
+    }
+    if (status != TxnStatus::kCommitted) {
+      return status;
+    }
+  }
+  return TxnStatus::kCommitted;
+}
+
+}  // namespace txn
+}  // namespace drtm

@@ -1,0 +1,51 @@
+// Transaction chopping runtime (paper section 3).
+//
+// DrTM fits large transactions into HTM capacity by decomposing them into
+// pieces; each piece runs as its own HTM+2PL transaction. Serializability
+// of the decomposition is a *static* property of the workload's SC-graph
+// (Shasha et al.), established offline — this runtime only executes a
+// given decomposition and maintains the two invariants the paper states:
+//   * only the first piece may user-abort;
+//   * when logging is on, the remaining-piece information is logged
+//     before each piece so recovery knows where to resume (§4.6).
+#ifndef SRC_TXN_CHOPPING_H_
+#define SRC_TXN_CHOPPING_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/txn/transaction.h"
+
+namespace drtm {
+namespace txn {
+
+class ChoppedTransaction {
+ public:
+  struct Piece {
+    // Declares the piece's read/write sets on a fresh Transaction.
+    std::function<void(Transaction&)> declare;
+    // The piece body.
+    Transaction::Body body;
+  };
+
+  void AddPiece(std::function<void(Transaction&)> declare,
+                Transaction::Body body) {
+    pieces_.push_back(Piece{std::move(declare), std::move(body)});
+  }
+
+  size_t piece_count() const { return pieces_.size(); }
+
+  // Runs the pieces in order. A kUserAbort from the first piece aborts
+  // the whole chain (nothing has committed yet); later pieces must not
+  // user-abort. Any piece failure after the first has committed is
+  // surfaced as-is — recovery (or the caller) finishes the chain.
+  TxnStatus Run(Worker* worker);
+
+ private:
+  std::vector<Piece> pieces_;
+};
+
+}  // namespace txn
+}  // namespace drtm
+
+#endif  // SRC_TXN_CHOPPING_H_

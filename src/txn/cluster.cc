@@ -1,0 +1,364 @@
+#include "src/txn/cluster.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace drtm {
+namespace txn {
+
+Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+  rdma::Fabric::Config fabric_config;
+  fabric_config.num_nodes = config.num_nodes;
+  fabric_config.region_bytes = config.region_bytes;
+  fabric_config.latency = config.latency;
+  fabric_config.atomic_level = config.atomic_level;
+  fabric_ = std::make_unique<rdma::Fabric>(fabric_config);
+  synctime_ =
+      std::make_unique<SyncTime>(fabric_.get(), config.softtime_interval_us);
+
+  hash_tables_.resize(static_cast<size_t>(config.num_nodes));
+  ordered_tables_.resize(static_cast<size_t>(config.num_nodes));
+  caches_.resize(static_cast<size_t>(config.num_nodes));
+  for (int n = 0; n < config.num_nodes; ++n) {
+    caches_[static_cast<size_t>(n)].resize(
+        static_cast<size_t>(config.num_nodes));
+    // NVRAM segments consume registered memory; only reserve them when
+    // durability is on.
+    logs_.push_back(config.logging
+                        ? std::make_unique<NvramLog>(
+                              &fabric_->memory(n),
+                              config.workers_per_node + 1,
+                              config.log_segment_bytes)
+                        : nullptr);
+    server_running_.push_back(std::make_unique<std::atomic<bool>>(false));
+    txn_seq_.push_back(std::make_unique<std::atomic<uint64_t>>(1));
+  }
+}
+
+Cluster::~Cluster() { Stop(); }
+
+int Cluster::AddTable(const TableSpec& spec) {
+  assert(!started_ && "tables must be registered before Start()");
+  assert(spec.partition && "a table needs a partition function");
+  const int id = static_cast<int>(tables_.size());
+  tables_.push_back(spec);
+  for (int n = 0; n < config_.num_nodes; ++n) {
+    auto& hash_row = hash_tables_[static_cast<size_t>(n)];
+    auto& ordered_row = ordered_tables_[static_cast<size_t>(n)];
+    if (spec.ordered) {
+      store::BPlusTree::Config tree_config;
+      tree_config.value_size = spec.value_size;
+      tree_config.max_nodes = spec.max_nodes;
+      hash_row.push_back(nullptr);
+      ordered_row.push_back(std::make_unique<store::BPlusTree>(tree_config));
+    } else {
+      store::ClusterHashTable::Config table_config;
+      table_config.main_buckets = spec.main_buckets;
+      table_config.indirect_buckets = spec.indirect_buckets;
+      table_config.capacity = spec.capacity;
+      table_config.value_size = spec.value_size;
+      hash_row.push_back(std::make_unique<store::ClusterHashTable>(
+          &fabric_->memory(n), table_config));
+      ordered_row.push_back(nullptr);
+    }
+  }
+  return id;
+}
+
+store::LocationCache* Cluster::cache(int local_node, int target_node) {
+  if (!config_.enable_location_cache || local_node == target_node) {
+    return nullptr;
+  }
+  auto& slot = caches_[static_cast<size_t>(local_node)]
+                      [static_cast<size_t>(target_node)];
+  if (slot == nullptr) {
+    slot = std::make_unique<store::LocationCache>(
+        config_.location_cache_bytes);
+  }
+  return slot.get();
+}
+
+void Cluster::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  synctime_->Start();
+  for (int n = 0; n < config_.num_nodes; ++n) {
+    server_running_[static_cast<size_t>(n)]->store(true);
+    servers_.emplace_back([this, n] { ServerLoop(n); });
+  }
+}
+
+void Cluster::Stop() {
+  if (!started_) {
+    return;
+  }
+  started_ = false;
+  for (int n = 0; n < config_.num_nodes; ++n) {
+    server_running_[static_cast<size_t>(n)]->store(false);
+    fabric_->queue(n).Shutdown();
+  }
+  for (auto& server : servers_) {
+    if (server.joinable()) {
+      server.join();
+    }
+  }
+  servers_.clear();
+  synctime_->Stop();
+}
+
+void Cluster::ServerLoop(int node) {
+  htm::HtmThread htm(config_.htm);
+  while (server_running_[static_cast<size_t>(node)]->load(
+      std::memory_order_acquire)) {
+    rdma::Message msg;
+    if (!fabric_->queue(node).PopWait(&msg, 1000)) {
+      continue;
+    }
+    std::vector<uint8_t> reply;
+    switch (msg.kind) {
+      case kRpcKvInsert:
+        reply = HandleKvInsert(node, msg);
+        break;
+      case kRpcKvRemove:
+        reply = HandleKvRemove(node, msg);
+        break;
+      case kRpcOrderedGet:
+        reply = HandleOrderedGet(node, msg);
+        break;
+      case kRpcOrderedScan:
+        reply = HandleOrderedScan(node, msg);
+        break;
+      default: {
+        auto it = handlers_.find(msg.kind);
+        if (it != handlers_.end()) {
+          reply = it->second(msg);
+        }
+        break;
+      }
+    }
+    fabric_->Reply(msg, std::move(reply));
+  }
+}
+
+namespace {
+
+struct KvRequest {
+  int32_t table;
+  uint64_t key;
+};
+
+}  // namespace
+
+std::vector<uint8_t> Cluster::HandleKvInsert(int node,
+                                             const rdma::Message& msg) {
+  KvRequest req;
+  std::memcpy(&req, msg.payload.data(), sizeof(req));
+  const uint8_t* value = msg.payload.data() + sizeof(req);
+  store::ClusterHashTable* table = hash_table(node, req.table);
+  htm::HtmThread htm(config_.htm);
+  bool ok = false;
+  while (true) {
+    const unsigned status =
+        htm.Transact([&] { ok = table->Insert(req.key, value); });
+    if (status == htm::kCommitted) {
+      break;
+    }
+  }
+  return {static_cast<uint8_t>(ok ? 1 : 0)};
+}
+
+std::vector<uint8_t> Cluster::HandleKvRemove(int node,
+                                             const rdma::Message& msg) {
+  KvRequest req;
+  std::memcpy(&req, msg.payload.data(), sizeof(req));
+  store::ClusterHashTable* table = hash_table(node, req.table);
+  htm::HtmThread htm(config_.htm);
+  bool ok = false;
+  while (true) {
+    const unsigned status =
+        htm.Transact([&] { ok = table->Remove(req.key); });
+    if (status == htm::kCommitted) {
+      break;
+    }
+  }
+  return {static_cast<uint8_t>(ok ? 1 : 0)};
+}
+
+namespace {
+
+struct OrderedGetRequest {
+  int32_t table;
+  uint64_t key;
+};
+
+struct OrderedScanRequest {
+  int32_t table;
+  uint32_t limit;
+  uint64_t lo;
+  uint64_t hi;
+};
+
+}  // namespace
+
+std::vector<uint8_t> Cluster::HandleOrderedGet(int node,
+                                               const rdma::Message& msg) {
+  OrderedGetRequest req;
+  std::memcpy(&req, msg.payload.data(), sizeof(req));
+  store::BPlusTree* tree = ordered_table(node, req.table);
+  const uint32_t value_size = tables_[static_cast<size_t>(req.table)]
+                                  .value_size;
+  std::vector<uint8_t> reply(1 + value_size, 0);
+  htm::HtmThread htm(config_.htm);
+  bool found = false;
+  while (true) {
+    const unsigned status =
+        htm.Transact([&] { found = tree->Get(req.key, reply.data() + 1); });
+    if (status == htm::kCommitted) {
+      break;
+    }
+  }
+  reply[0] = found ? 1 : 0;
+  return reply;
+}
+
+std::vector<uint8_t> Cluster::HandleOrderedScan(int node,
+                                                const rdma::Message& msg) {
+  OrderedScanRequest req;
+  std::memcpy(&req, msg.payload.data(), sizeof(req));
+  store::BPlusTree* tree = ordered_table(node, req.table);
+  const uint32_t value_size = tables_[static_cast<size_t>(req.table)]
+                                  .value_size;
+  std::vector<uint8_t> reply(4, 0);
+  htm::HtmThread htm(config_.htm);
+  uint32_t count = 0;
+  while (true) {
+    reply.resize(4);
+    count = 0;
+    const unsigned status = htm.Transact([&] {
+      tree->Scan(req.lo, req.hi, [&](uint64_t key, const void* value) {
+        const size_t base = reply.size();
+        reply.resize(base + 8 + value_size);
+        std::memcpy(reply.data() + base, &key, 8);
+        std::memcpy(reply.data() + base + 8, value, value_size);
+        return ++count < req.limit;
+      });
+    });
+    if (status == htm::kCommitted) {
+      break;
+    }
+  }
+  std::memcpy(reply.data(), &count, 4);
+  return reply;
+}
+
+bool Cluster::RemoteOrderedGet(int from_node, int target_node, int table,
+                               uint64_t key, void* value_out) {
+  OrderedGetRequest req{table, key};
+  std::vector<uint8_t> payload(sizeof(req));
+  std::memcpy(payload.data(), &req, sizeof(req));
+  std::vector<uint8_t> reply;
+  if (fabric_->Rpc(from_node, target_node, kRpcOrderedGet, std::move(payload),
+                   &reply) != rdma::OpStatus::kOk ||
+      reply.empty() || reply[0] == 0) {
+    return false;
+  }
+  std::memcpy(value_out, reply.data() + 1,
+              tables_[static_cast<size_t>(table)].value_size);
+  return true;
+}
+
+bool Cluster::RemoteOrderedScan(int from_node, int target_node, int table,
+                                uint64_t lo, uint64_t hi, uint32_t limit,
+                                std::vector<OrderedScanRow>* rows_out) {
+  OrderedScanRequest req{table, limit, lo, hi};
+  std::vector<uint8_t> payload(sizeof(req));
+  std::memcpy(payload.data(), &req, sizeof(req));
+  std::vector<uint8_t> reply;
+  if (fabric_->Rpc(from_node, target_node, kRpcOrderedScan,
+                   std::move(payload), &reply) != rdma::OpStatus::kOk ||
+      reply.size() < 4) {
+    return false;
+  }
+  uint32_t count = 0;
+  std::memcpy(&count, reply.data(), 4);
+  const uint32_t value_size = tables_[static_cast<size_t>(table)].value_size;
+  rows_out->clear();
+  size_t pos = 4;
+  for (uint32_t i = 0; i < count && pos + 8 + value_size <= reply.size();
+       ++i) {
+    OrderedScanRow row;
+    std::memcpy(&row.key, reply.data() + pos, 8);
+    row.value.assign(reply.begin() + static_cast<long>(pos + 8),
+                     reply.begin() + static_cast<long>(pos + 8 + value_size));
+    rows_out->push_back(std::move(row));
+    pos += 8 + value_size;
+  }
+  return true;
+}
+
+bool Cluster::RemoteInsert(int from_node, int table, uint64_t key,
+                           const void* value) {
+  const TableSpec& spec = tables_[static_cast<size_t>(table)];
+  KvRequest req{table, key};
+  std::vector<uint8_t> payload(sizeof(req) + spec.value_size);
+  std::memcpy(payload.data(), &req, sizeof(req));
+  std::memcpy(payload.data() + sizeof(req), value, spec.value_size);
+  std::vector<uint8_t> reply;
+  const int target = PartitionOf(table, key);
+  if (fabric_->Rpc(from_node, target, kRpcKvInsert, std::move(payload),
+                   &reply) != rdma::OpStatus::kOk) {
+    return false;
+  }
+  return !reply.empty() && reply[0] == 1;
+}
+
+bool Cluster::RemoteRemove(int from_node, int table, uint64_t key) {
+  KvRequest req{table, key};
+  std::vector<uint8_t> payload(sizeof(req));
+  std::memcpy(payload.data(), &req, sizeof(req));
+  std::vector<uint8_t> reply;
+  const int target = PartitionOf(table, key);
+  if (fabric_->Rpc(from_node, target, kRpcKvRemove, std::move(payload),
+                   &reply) != rdma::OpStatus::kOk) {
+    return false;
+  }
+  return !reply.empty() && reply[0] == 1;
+}
+
+void Cluster::RegisterRpcHandler(uint32_t kind, RpcHandler handler) {
+  assert(kind >= kUserRpcBase);
+  handlers_[kind] = std::move(handler);
+}
+
+rdma::OpStatus Cluster::Rpc(int from, int to, uint32_t kind,
+                            std::vector<uint8_t> payload,
+                            std::vector<uint8_t>* reply) {
+  return fabric_->Rpc(from, to, kind, std::move(payload), reply);
+}
+
+void Cluster::Crash(int node) {
+  fabric_->SetAlive(node, false);
+  server_running_[static_cast<size_t>(node)]->store(false);
+}
+
+void Cluster::Revive(int node) {
+  fabric_->queue(node).Reset();
+  fabric_->SetAlive(node, true);
+  if (started_) {
+    server_running_[static_cast<size_t>(node)]->store(true);
+    servers_.emplace_back([this, node] { ServerLoop(node); });
+  }
+}
+
+uint64_t Cluster::NextTxnId(int node, int worker) {
+  const uint64_t seq =
+      txn_seq_[static_cast<size_t>(node)]->fetch_add(1,
+                                                     std::memory_order_relaxed);
+  return (static_cast<uint64_t>(node) << 48) |
+         (static_cast<uint64_t>(worker) << 40) | seq;
+}
+
+}  // namespace txn
+}  // namespace drtm

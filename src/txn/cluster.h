@@ -1,0 +1,194 @@
+// The DrTM cluster: simulated machines, their memory stores, synchronized
+// time, NVRAM logs, location caches, and per-node server threads (which
+// play the role of the paper's SEND/RECV service for shipped INSERT /
+// DELETE, ordered-store access and transaction shipping, section 6.5).
+#ifndef SRC_TXN_CLUSTER_H_
+#define SRC_TXN_CLUSTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/htm/htm.h"
+#include "src/rdma/fabric.h"
+#include "src/store/bplus_tree.h"
+#include "src/store/cluster_hash.h"
+#include "src/store/location_cache.h"
+#include "src/txn/nvram_log.h"
+#include "src/txn/sync_time.h"
+
+namespace drtm {
+namespace txn {
+
+struct ClusterConfig {
+  int num_nodes = 2;
+  int workers_per_node = 2;
+  size_t region_bytes = size_t{256} << 20;
+  rdma::LatencyModel latency = rdma::LatencyModel::Zero();
+  rdma::AtomicLevel atomic_level = rdma::AtomicLevel::kHca;
+  htm::Config htm;
+
+  // Lease machinery (paper defaults are 400 us / 1 ms / small DELTA; the
+  // simulation oversubscribes cores, so defaults here are scaled up —
+  // relative behaviour is what matters).
+  // DELTA must absorb both PTP skew and softtime staleness (one update
+  // interval), so keep delta_us >= softtime_interval_us.
+  uint64_t lease_rw_us = 4000;
+  uint64_t lease_ro_us = 10000;
+  uint64_t delta_us = 300;
+  uint64_t softtime_interval_us = 200;
+
+  // Contention management: HTM retries before the fallback handler, and
+  // Start-phase (remote lock) retries before counting as an HTM retry.
+  int htm_retry_limit = 8;
+  int start_retry_limit = 64;
+
+  bool logging = false;
+  size_t log_segment_bytes = size_t{8} << 20;
+  size_t location_cache_bytes = size_t{16} << 20;
+  bool enable_location_cache = true;
+  // When false, remote reads take exclusive locks instead of leases
+  // (the paper's "w/o read lease" ablation, Fig. 17).
+  bool enable_read_lease = true;
+  // Fig. 11 ablation. DrTM's default (c) reuses the Start-phase softtime
+  // for all local lock/lease checks and only reads softtime
+  // transactionally at lease confirmation. Strategy (b) reads it
+  // transactionally in every local operation, widening the conflict
+  // window with the timer thread.
+  bool softtime_read_every_local_op = false;
+};
+
+struct TableSpec {
+  uint32_t value_size = 8;
+  bool ordered = false;
+  // Unordered (hash) sizing, per node:
+  uint64_t main_buckets = 1 << 12;
+  uint64_t indirect_buckets = 1 << 10;
+  uint64_t capacity = 1 << 15;
+  // Ordered (B+ tree) sizing, per node:
+  uint32_t max_nodes = 1 << 15;
+  // Key -> owning node.
+  std::function<int(uint64_t)> partition;
+};
+
+class Cluster {
+ public:
+  // Built-in RPC kinds; user handlers start at kUserRpcBase.
+  static constexpr uint32_t kRpcKvInsert = 1;
+  static constexpr uint32_t kRpcKvRemove = 2;
+  static constexpr uint32_t kRpcOrderedGet = 3;
+  static constexpr uint32_t kRpcOrderedScan = 4;
+  static constexpr uint32_t kUserRpcBase = 100;
+
+  using RpcHandler =
+      std::function<std::vector<uint8_t>(const rdma::Message&)>;
+
+  explicit Cluster(const ClusterConfig& config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // Table registration; call before Start(). Returns the table id.
+  int AddTable(const TableSpec& spec);
+
+  void Start();
+  void Stop();
+
+  const ClusterConfig& config() const { return config_; }
+  int num_nodes() const { return config_.num_nodes; }
+  int workers_per_node() const { return config_.workers_per_node; }
+  rdma::Fabric& fabric() { return *fabric_; }
+  SyncTime& synctime() { return *synctime_; }
+
+  const TableSpec& table(int id) const {
+    return tables_[static_cast<size_t>(id)];
+  }
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  int PartitionOf(int table, uint64_t key) const {
+    return tables_[static_cast<size_t>(table)].partition(key);
+  }
+
+  store::ClusterHashTable* hash_table(int node, int table) {
+    return hash_tables_[static_cast<size_t>(node)][static_cast<size_t>(table)]
+        .get();
+  }
+  store::BPlusTree* ordered_table(int node, int table) {
+    return ordered_tables_[static_cast<size_t>(node)]
+                          [static_cast<size_t>(table)]
+        .get();
+  }
+
+  // The location cache a client on local_node uses for target_node's
+  // memory (nullptr if caching is disabled).
+  store::LocationCache* cache(int local_node, int target_node);
+
+  NvramLog* log(int node) {
+    return logs_[static_cast<size_t>(node)].get();
+  }
+
+  // Ships an INSERT/DELETE to the key's host, which executes it inside an
+  // HTM transaction on its server thread (paper footnote 5).
+  bool RemoteInsert(int from_node, int table, uint64_t key,
+                    const void* value);
+  bool RemoteRemove(int from_node, int table, uint64_t key);
+
+  // Remote access to ordered stores over SEND/RECV verbs (the paper's
+  // stated mechanism for ordered tables, sections 3 and 6.5 — DrTM has
+  // no RDMA-friendly B+ tree). The host executes the operation inside an
+  // HTM transaction on its server thread; the result is a consistent
+  // snapshot of that one operation.
+  bool RemoteOrderedGet(int from_node, int target_node, int table,
+                        uint64_t key, void* value_out);
+  struct OrderedScanRow {
+    uint64_t key;
+    std::vector<uint8_t> value;
+  };
+  // Returns up to `limit` rows of [lo, hi]; false on node failure.
+  bool RemoteOrderedScan(int from_node, int target_node, int table,
+                         uint64_t lo, uint64_t hi, uint32_t limit,
+                         std::vector<OrderedScanRow>* rows_out);
+
+  // Registers a user RPC handler (kind must be >= kUserRpcBase). Handlers
+  // run on the target node's server thread.
+  void RegisterRpcHandler(uint32_t kind, RpcHandler handler);
+  rdma::OpStatus Rpc(int from, int to, uint32_t kind,
+                     std::vector<uint8_t> payload,
+                     std::vector<uint8_t>* reply);
+
+  // Fail-stop crash / restart (server thread included).
+  void Crash(int node);
+  void Revive(int node);
+
+  uint64_t NextTxnId(int node, int worker);
+
+ private:
+  void ServerLoop(int node);
+  std::vector<uint8_t> HandleKvInsert(int node, const rdma::Message& msg);
+  std::vector<uint8_t> HandleKvRemove(int node, const rdma::Message& msg);
+  std::vector<uint8_t> HandleOrderedGet(int node, const rdma::Message& msg);
+  std::vector<uint8_t> HandleOrderedScan(int node, const rdma::Message& msg);
+
+  ClusterConfig config_;
+  std::unique_ptr<rdma::Fabric> fabric_;
+  std::unique_ptr<SyncTime> synctime_;
+  std::vector<TableSpec> tables_;
+  std::vector<std::vector<std::unique_ptr<store::ClusterHashTable>>>
+      hash_tables_;
+  std::vector<std::vector<std::unique_ptr<store::BPlusTree>>> ordered_tables_;
+  std::vector<std::vector<std::unique_ptr<store::LocationCache>>> caches_;
+  std::vector<std::unique_ptr<NvramLog>> logs_;
+  std::unordered_map<uint32_t, RpcHandler> handlers_;
+  std::vector<std::thread> servers_;
+  std::vector<std::unique_ptr<std::atomic<bool>>> server_running_;
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> txn_seq_;
+  bool started_ = false;
+};
+
+}  // namespace txn
+}  // namespace drtm
+
+#endif  // SRC_TXN_CLUSTER_H_

@@ -1,0 +1,77 @@
+#include "src/txn/failure_detector.h"
+
+#include <chrono>
+
+#include "src/common/clock.h"
+
+namespace drtm {
+namespace txn {
+
+FailureDetector::FailureDetector(Cluster* cluster, uint64_t poll_interval_us,
+                                 uint64_t timeout_us, OnSuspect on_suspect)
+    : cluster_(cluster),
+      poll_interval_us_(poll_interval_us),
+      timeout_us_(timeout_us),
+      on_suspect_(std::move(on_suspect)),
+      suspected_(static_cast<size_t>(cluster->num_nodes())),
+      last_seen_(static_cast<size_t>(cluster->num_nodes()), 0),
+      last_change_ns_(static_cast<size_t>(cluster->num_nodes()), 0) {
+  for (auto& flag : suspected_) {
+    flag.store(false, std::memory_order_relaxed);
+  }
+}
+
+FailureDetector::~FailureDetector() { Stop(); }
+
+void FailureDetector::Start() {
+  if (running_.exchange(true)) {
+    return;
+  }
+  const uint64_t now = MonotonicNanos();
+  for (int n = 0; n < cluster_->num_nodes(); ++n) {
+    last_seen_[static_cast<size_t>(n)] = cluster_->synctime().ReadStrong(n);
+    last_change_ns_[static_cast<size_t>(n)] = now;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void FailureDetector::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void FailureDetector::Loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const uint64_t now = MonotonicNanos();
+    for (int n = 0; n < cluster_->num_nodes(); ++n) {
+      const size_t i = static_cast<size_t>(n);
+      // Out-of-band read (the "separate 10GbE network"): the region
+      // memory is accessible even when the simulated NIC rejects verbs.
+      const uint64_t heartbeat = cluster_->synctime().ReadStrong(n);
+      if (heartbeat != last_seen_[i]) {
+        last_seen_[i] = heartbeat;
+        last_change_ns_[i] = now;
+        if (suspected_[i].load(std::memory_order_acquire)) {
+          suspected_[i].store(false, std::memory_order_release);  // revived
+        }
+        continue;
+      }
+      if (!suspected_[i].load(std::memory_order_acquire) &&
+          now - last_change_ns_[i] > timeout_us_ * 1000) {
+        suspected_[i].store(true, std::memory_order_release);
+        if (on_suspect_) {
+          on_suspect_(n);
+        }
+      }
+    }
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(poll_interval_us_));
+  }
+}
+
+}  // namespace txn
+}  // namespace drtm

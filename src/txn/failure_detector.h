@@ -1,0 +1,62 @@
+// Failure detection (the paper uses Zookeeper over a separate 10GbE
+// network for heartbeats and recovery notification, section 4.6).
+//
+// Every live machine's timer publishes softtime into its region; a
+// crashed (fail-stop) machine's word stops advancing. The detector polls
+// the softtime words out-of-band — playing the separate-network role —
+// and notifies a callback (typically: run RecoveryManager) when a node's
+// heartbeat goes stale. Recovered/revived nodes are re-armed
+// automatically once their heartbeat resumes.
+#ifndef SRC_TXN_FAILURE_DETECTOR_H_
+#define SRC_TXN_FAILURE_DETECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "src/txn/cluster.h"
+
+namespace drtm {
+namespace txn {
+
+class FailureDetector {
+ public:
+  using OnSuspect = std::function<void(int node)>;
+
+  // timeout_us: how stale a heartbeat may be before the node is
+  // suspected. Must comfortably exceed the softtime update interval.
+  FailureDetector(Cluster* cluster, uint64_t poll_interval_us,
+                  uint64_t timeout_us, OnSuspect on_suspect);
+  ~FailureDetector();
+
+  FailureDetector(const FailureDetector&) = delete;
+  FailureDetector& operator=(const FailureDetector&) = delete;
+
+  void Start();
+  void Stop();
+
+  bool IsSuspected(int node) const {
+    return suspected_[static_cast<size_t>(node)].load(
+        std::memory_order_acquire);
+  }
+
+ private:
+  void Loop();
+
+  Cluster* cluster_;
+  uint64_t poll_interval_us_;
+  uint64_t timeout_us_;
+  OnSuspect on_suspect_;
+  std::vector<std::atomic<bool>> suspected_;
+  std::vector<uint64_t> last_seen_;
+  std::vector<uint64_t> last_change_ns_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace txn
+}  // namespace drtm
+
+#endif  // SRC_TXN_FAILURE_DETECTOR_H_

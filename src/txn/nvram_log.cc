@@ -1,0 +1,126 @@
+#include "src/txn/nvram_log.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/htm/htm.h"
+
+namespace drtm {
+namespace txn {
+
+namespace {
+
+struct RecordHeader {
+  uint32_t len;  // payload length
+  uint8_t type;
+  uint8_t pad[3];
+  uint64_t txn_id;
+};
+static_assert(sizeof(RecordHeader) == 16);
+
+}  // namespace
+
+NvramLog::NvramLog(rdma::NodeMemory* memory, int workers,
+                   size_t segment_bytes)
+    : memory_(memory), segment_bytes_(segment_bytes) {
+  segments_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    SegmentRef ref;
+    ref.head_off = memory_->Allocate(64, 64);
+    ref.base_off = memory_->Allocate(segment_bytes, 64);
+    segments_.push_back(ref);
+  }
+}
+
+bool NvramLog::Append(int worker, LogType type, uint64_t txn_id,
+                      const void* payload, size_t len) {
+  const SegmentRef& seg = segments_[static_cast<size_t>(worker)];
+  uint64_t* head =
+      static_cast<uint64_t*>(memory_->At(seg.head_off));
+  const uint64_t used = htm::Load(head);
+  const uint64_t need = sizeof(RecordHeader) + ((len + 7) & ~size_t{7});
+  if (used + need > segment_bytes_) {
+    return false;
+  }
+  RecordHeader header{};
+  header.len = static_cast<uint32_t>(len);
+  header.type = static_cast<uint8_t>(type);
+  header.txn_id = txn_id;
+  uint8_t* dst = static_cast<uint8_t*>(memory_->At(seg.base_off + used));
+  htm::WriteBytes(dst, &header, sizeof(header));
+  if (len > 0) {
+    htm::WriteBytes(dst + sizeof(header), payload, len);
+  }
+  htm::Store(head, used + need);
+  return true;
+}
+
+void NvramLog::ForEach(
+    const std::function<void(int worker, const LogRecord&)>& fn) const {
+  for (size_t w = 0; w < segments_.size(); ++w) {
+    const SegmentRef& seg = segments_[w];
+    const uint64_t used = htm::StrongLoad(
+        static_cast<const uint64_t*>(memory_->At(seg.head_off)));
+    uint64_t pos = 0;
+    while (pos + sizeof(RecordHeader) <= used) {
+      RecordHeader header;
+      htm::StrongRead(&header, memory_->At(seg.base_off + pos),
+                      sizeof(header));
+      LogRecord record;
+      record.type = static_cast<LogType>(header.type);
+      record.txn_id = header.txn_id;
+      record.payload.resize(header.len);
+      if (header.len > 0) {
+        htm::StrongRead(record.payload.data(),
+                        memory_->At(seg.base_off + pos + sizeof(header)),
+                        header.len);
+      }
+      fn(static_cast<int>(w), record);
+      pos += sizeof(RecordHeader) + ((header.len + 7) & ~uint64_t{7});
+    }
+  }
+}
+
+size_t NvramLog::UsedBytes(int worker) const {
+  const SegmentRef& seg = segments_[static_cast<size_t>(worker)];
+  return htm::StrongLoad(
+      static_cast<const uint64_t*>(memory_->At(seg.head_off)));
+}
+
+std::vector<uint8_t> NvramLog::EncodeLocks(const std::vector<LogLock>& locks) {
+  std::vector<uint8_t> out(locks.size() * sizeof(LogLock));
+  std::memcpy(out.data(), locks.data(), out.size());
+  return out;
+}
+
+std::vector<LogLock> NvramLog::DecodeLocks(
+    const std::vector<uint8_t>& payload) {
+  std::vector<LogLock> locks(payload.size() / sizeof(LogLock));
+  std::memcpy(locks.data(), payload.data(), locks.size() * sizeof(LogLock));
+  return locks;
+}
+
+void NvramLog::EncodeUpdate(std::vector<uint8_t>* out, const LogUpdate& update,
+                            const void* value) {
+  const size_t base = out->size();
+  out->resize(base + sizeof(LogUpdate) + update.value_len);
+  std::memcpy(out->data() + base, &update, sizeof(LogUpdate));
+  std::memcpy(out->data() + base + sizeof(LogUpdate), value,
+              update.value_len);
+}
+
+void NvramLog::DecodeUpdates(
+    const std::vector<uint8_t>& payload,
+    const std::function<void(const LogUpdate&, const uint8_t* value)>& fn) {
+  size_t pos = 0;
+  while (pos + sizeof(LogUpdate) <= payload.size()) {
+    LogUpdate update;
+    std::memcpy(&update, payload.data() + pos, sizeof(LogUpdate));
+    const uint8_t* value = payload.data() + pos + sizeof(LogUpdate);
+    fn(update, value);
+    pos += sizeof(LogUpdate) + update.value_len;
+  }
+}
+
+}  // namespace txn
+}  // namespace drtm

@@ -1,0 +1,105 @@
+// Durability logging to emulated NVRAM (paper section 4.6).
+//
+// The paper's failure model is whole-system persistence: UPS-backed
+// machines flush registers/caches to NVDIMM on power failure, so DRAM
+// content is effectively durable and no explicit flush ordering is
+// needed. Our emulation therefore keeps log bytes in ordinary memory;
+// a simulated crash loses nothing that was written.
+//
+// The crucial trick the paper relies on is reproduced exactly: the
+// write-ahead log is appended *inside* the HTM region (through htm::Store),
+// so HTM's all-or-nothing property guarantees the WAL record exists iff
+// the enclosing HTM transaction committed. Lock-ahead and chop-info
+// records are appended before the HTM region with strong writes.
+//
+// Each worker thread owns a private log segment to keep log appends out
+// of other transactions' conflict sets.
+#ifndef SRC_TXN_NVRAM_LOG_H_
+#define SRC_TXN_NVRAM_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/rdma/node_memory.h"
+
+namespace drtm {
+namespace txn {
+
+enum class LogType : uint8_t {
+  kChopInfo = 1,   // remaining pieces of a chopped parent transaction
+  kLockAhead = 2,  // remote records this txn will exclusively lock
+  kWriteAhead = 3, // all updates (local + remote), logged inside HTM
+  kComplete = 4,   // write-back finished; earlier records are obsolete
+};
+
+struct LogUpdate {
+  int32_t node;
+  int32_t table;
+  uint64_t key;
+  uint64_t entry_off;
+  uint32_t version;
+  uint32_t value_len;
+  // value bytes follow in the serialized record
+};
+
+struct LogLock {
+  int32_t node;
+  int32_t table;
+  uint64_t key;
+  uint64_t state_off;
+};
+
+// A parsed record, as seen by recovery.
+struct LogRecord {
+  LogType type;
+  uint64_t txn_id;
+  std::vector<uint8_t> payload;
+};
+
+class NvramLog {
+ public:
+  // One segment per worker thread of the node.
+  NvramLog(rdma::NodeMemory* memory, int workers, size_t segment_bytes);
+
+  NvramLog(const NvramLog&) = delete;
+  NvramLog& operator=(const NvramLog&) = delete;
+
+  // Appends a record to the worker's segment. When called inside an HTM
+  // transaction the append is transactional (WAL records use this).
+  // Returns false if the segment is full.
+  bool Append(int worker, LogType type, uint64_t txn_id, const void* payload,
+              size_t len);
+
+  // Iterates every record of every segment in append order per segment.
+  void ForEach(const std::function<void(int worker, const LogRecord&)>& fn)
+      const;
+
+  // Bytes used in a worker's segment.
+  size_t UsedBytes(int worker) const;
+
+  // --- payload builders / parsers -------------------------------------------
+  static std::vector<uint8_t> EncodeLocks(const std::vector<LogLock>& locks);
+  static std::vector<LogLock> DecodeLocks(const std::vector<uint8_t>& payload);
+  static void EncodeUpdate(std::vector<uint8_t>* out, const LogUpdate& update,
+                           const void* value);
+  // Walks all updates serialized in payload.
+  static void DecodeUpdates(
+      const std::vector<uint8_t>& payload,
+      const std::function<void(const LogUpdate&, const uint8_t* value)>& fn);
+
+ private:
+  struct SegmentRef {
+    uint64_t base_off;   // region offset of the segment
+    uint64_t head_off;   // region offset of the 8-byte head counter
+  };
+
+  rdma::NodeMemory* memory_;
+  size_t segment_bytes_;
+  std::vector<SegmentRef> segments_;
+};
+
+}  // namespace txn
+}  // namespace drtm
+
+#endif  // SRC_TXN_NVRAM_LOG_H_

@@ -1,0 +1,131 @@
+#include "src/txn/recovery.h"
+
+#include <map>
+#include <vector>
+
+#include "src/store/kv_layout.h"
+#include "src/txn/lock_state.h"
+#include "src/txn/nvram_log.h"
+
+namespace drtm {
+namespace txn {
+
+namespace {
+
+struct TxnLogState {
+  std::vector<LogLock> locks;
+  std::vector<uint8_t> wal;
+  bool has_wal = false;
+  bool complete = false;
+};
+
+}  // namespace
+
+RecoveryManager::Report RecoveryManager::Recover(int crashed_node) {
+  Report report;
+  std::map<uint64_t, TxnLogState> txns;
+  cluster_->log(crashed_node)
+      ->ForEach([&](int worker, const LogRecord& record) {
+        TxnLogState& state = txns[record.txn_id];
+        switch (record.type) {
+          case LogType::kLockAhead:
+            for (const LogLock& lock : NvramLog::DecodeLocks(record.payload)) {
+              state.locks.push_back(lock);
+            }
+            break;
+          case LogType::kWriteAhead:
+            state.wal = record.payload;
+            state.has_wal = true;
+            break;
+          case LogType::kComplete:
+            state.complete = true;
+            break;
+          case LogType::kChopInfo:
+            break;  // consumed by the chopping runtime, not here
+        }
+      });
+
+  rdma::Fabric& fabric = cluster_->fabric();
+  for (auto& [txn_id, state] : txns) {
+    if (state.complete) {
+      continue;
+    }
+    if (state.has_wal) {
+      // Committed: redo remote updates (version decides order), then
+      // release the locks the transaction still holds.
+      ++report.committed_txns;
+      NvramLog::DecodeUpdates(
+          state.wal, [&](const LogUpdate& update, const uint8_t* value) {
+            if (update.node == crashed_node) {
+              return;  // local effects committed with XEND and survived
+            }
+            if (!fabric.IsAlive(update.node)) {
+              return;
+            }
+            uint32_t current_version = 0;
+            if (fabric.Read(update.node,
+                            update.entry_off + store::kEntryVersionOffset,
+                            &current_version,
+                            sizeof(current_version)) != rdma::OpStatus::kOk) {
+              return;
+            }
+            if (current_version < update.version) {
+              std::vector<uint8_t> blob(4 + update.value_len);
+              std::memcpy(blob.data(), &update.version, 4);
+              std::memcpy(blob.data() + 4, value, update.value_len);
+              // Write version, skip the state word, then the value.
+              fabric.Write(update.node,
+                           update.entry_off + store::kEntryVersionOffset,
+                           blob.data(), 4);
+              fabric.Write(update.node,
+                           update.entry_off + store::kEntryValueOffset,
+                           blob.data() + 4, update.value_len);
+              ++report.redone_updates;
+            }
+            // Release the exclusive lock if the crashed machine owns it.
+            const uint64_t state_off =
+                update.entry_off + store::kEntryStateOffset;
+            uint64_t lock_word = 0;
+            if (fabric.Read(update.node, state_off, &lock_word,
+                            sizeof(lock_word)) != rdma::OpStatus::kOk) {
+              return;
+            }
+            if (IsWriteLocked(lock_word) &&
+                LockOwner(lock_word) == crashed_node) {
+              uint64_t observed = 0;
+              if (fabric.Cas(update.node, state_off, lock_word, kStateInit,
+                             &observed) == rdma::OpStatus::kOk &&
+                  observed == lock_word) {
+                ++report.released_locks;
+              }
+            }
+          });
+    } else if (!state.locks.empty()) {
+      // Aborted: the lock-ahead log names every record the transaction
+      // may have locked; clear the ones still owned by the crashed node.
+      ++report.aborted_txns;
+      for (const LogLock& lock : state.locks) {
+        if (!fabric.IsAlive(lock.node)) {
+          continue;
+        }
+        uint64_t lock_word = 0;
+        if (fabric.Read(lock.node, lock.state_off, &lock_word,
+                        sizeof(lock_word)) != rdma::OpStatus::kOk) {
+          continue;
+        }
+        if (IsWriteLocked(lock_word) && LockOwner(lock_word) == crashed_node) {
+          uint64_t observed = 0;
+          if (fabric.Cas(lock.node, lock.state_off, lock_word, kStateInit,
+                         &observed) == rdma::OpStatus::kOk &&
+              observed == lock_word) {
+            ++report.released_locks;
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace txn
+}  // namespace drtm

@@ -1,0 +1,47 @@
+// Cooperative recovery from a fail-stop crash (paper section 4.6).
+//
+// The failure model is whole-system persistence: on power loss a UPS
+// flushes caches/DRAM to NVRAM, so the crashed machine's memory — and in
+// particular its NVRAM log — survives. Recovery scans the crashed node's
+// log and:
+//   * for transactions whose write-ahead log exists (the HTM region
+//     committed, so the transaction must commit): re-applies remote
+//     updates whose target version is still older, and releases the
+//     exclusive locks the transaction held (Fig. 7(b));
+//   * for transactions with only a lock-ahead log (crashed before XEND,
+//     so the transaction must abort): releases any remote locks still
+//     owned by the crashed machine (Fig. 7(a));
+//   * transactions with a Complete record finished write-back and are
+//     skipped.
+#ifndef SRC_TXN_RECOVERY_H_
+#define SRC_TXN_RECOVERY_H_
+
+#include "src/txn/cluster.h"
+
+namespace drtm {
+namespace txn {
+
+class RecoveryManager {
+ public:
+  explicit RecoveryManager(Cluster* cluster) : cluster_(cluster) {}
+
+  struct Report {
+    int committed_txns = 0;   // redone from WAL
+    int aborted_txns = 0;     // rolled back via lock-ahead
+    int redone_updates = 0;   // remote records rewritten
+    int released_locks = 0;   // exclusive locks cleared
+  };
+
+  // Recovers the effects of crashed_node's in-flight transactions on the
+  // surviving nodes. Operations targeting nodes that are down are skipped
+  // (run again after Revive to finish).
+  Report Recover(int crashed_node);
+
+ private:
+  Cluster* cluster_;
+};
+
+}  // namespace txn
+}  // namespace drtm
+
+#endif  // SRC_TXN_RECOVERY_H_

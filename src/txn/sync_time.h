@@ -1,0 +1,76 @@
+// Synchronized time (paper section 6.1).
+//
+// The paper synchronizes machine clocks with PTP, but cannot call a time
+// service inside an RTM region, so each machine runs a timer thread that
+// periodically publishes a "softtime" word; transactions read that word.
+// We reproduce the same structure: one softtime word per node, placed in
+// that node's registered region, strong-written by a timer thread. A
+// transactional read of the word inside an HTM region can therefore
+// genuinely conflict with the timer (Fig. 11) — the Start-phase value is
+// read non-transactionally and reused, and only the lease confirmation
+// right before commit performs a transactional read.
+//
+// Optional per-node skew injection emulates imperfect PTP sync for the
+// DELTA tests.
+#ifndef SRC_TXN_SYNC_TIME_H_
+#define SRC_TXN_SYNC_TIME_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/rdma/fabric.h"
+
+namespace drtm {
+namespace txn {
+
+class SyncTime {
+ public:
+  SyncTime(rdma::Fabric* fabric, uint64_t update_interval_us);
+  ~SyncTime();
+
+  SyncTime(const SyncTime&) = delete;
+  SyncTime& operator=(const SyncTime&) = delete;
+
+  void Start();
+  void Stop();
+
+  // Non-transactional read of a node's softtime (Start phase).
+  uint64_t ReadStrong(int node) const;
+
+  // The softtime word of a node, for transactional reads inside an HTM
+  // region (lease confirmation).
+  const uint64_t* Word(int node) const {
+    return static_cast<const uint64_t*>(
+        const_cast<rdma::Fabric*>(fabric_)->memory(node).At(
+            offsets_[static_cast<size_t>(node)]));
+  }
+
+  // Injects a fixed skew (microseconds, may be negative) into a node's
+  // published time.
+  void SetSkew(int node, int64_t skew_us) {
+    skews_[static_cast<size_t>(node)].store(skew_us,
+                                            std::memory_order_relaxed);
+  }
+
+  uint64_t update_interval_us() const { return interval_us_; }
+
+  // Publishes the current time to every live node immediately (also used
+  // by tests to avoid waiting for the timer).
+  void PublishNow();
+
+ private:
+  rdma::Fabric* fabric_;
+  uint64_t interval_us_;
+  std::vector<uint64_t> offsets_;
+  std::vector<std::atomic<int64_t>> skews_;
+  std::thread timer_;
+  std::atomic<bool> running_{false};
+  uint64_t epoch_ns_;
+};
+
+}  // namespace txn
+}  // namespace drtm
+
+#endif  // SRC_TXN_SYNC_TIME_H_

@@ -1,0 +1,1141 @@
+#include "src/txn/transaction.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/store/kv_layout.h"
+#include "src/store/remote_kv.h"
+#include "src/txn/lock_state.h"
+
+namespace drtm {
+namespace txn {
+
+namespace {
+
+constexpr int kFallbackAttempts = 512;
+constexpr int kWaitTriesLimit = 4096;
+constexpr int kWriteBackRetries = 2000;
+
+void SleepUs(uint64_t us) {
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace
+
+void TxnStats::Add(const TxnStats& o) {
+  committed += o.committed;
+  user_aborts += o.user_aborts;
+  start_conflicts += o.start_conflicts;
+  htm_conflict_aborts += o.htm_conflict_aborts;
+  htm_capacity_aborts += o.htm_capacity_aborts;
+  htm_lock_aborts += o.htm_lock_aborts;
+  htm_lease_aborts += o.htm_lease_aborts;
+  fallbacks += o.fallbacks;
+  node_failures += o.node_failures;
+  read_only_committed += o.read_only_committed;
+  read_only_retries += o.read_only_retries;
+}
+
+Worker::Worker(Cluster* cluster, int node, int worker_id)
+    : cluster_(cluster),
+      node_(node),
+      worker_id_(worker_id),
+      htm_(cluster->config().htm),
+      rng_(0x5bd1e995u * static_cast<uint64_t>(node * 131 + worker_id + 7)) {}
+
+void Worker::Backoff(int attempt) {
+  const int shift = attempt < 8 ? attempt : 8;
+  const uint64_t ceiling = uint64_t{1} << shift;
+  SleepUs(1 + rng_.NextBounded(ceiling));
+}
+
+Transaction::Transaction(Worker* worker)
+    : worker_(worker),
+      cluster_(worker->cluster()),
+      cfg_(worker->cluster().config()) {}
+
+int Transaction::home_node() const { return worker_->node(); }
+
+void Transaction::AddRead(int table, uint64_t key) {
+  if (Ref* existing = FindRef(table, key)) {
+    (void)existing;  // write subsumes read; duplicate reads are idempotent
+    return;
+  }
+  Ref ref;
+  ref.table = table;
+  ref.key = key;
+  ref.write = false;
+  ref.node = cluster_.PartitionOf(table, key);
+  ref.local = (ref.node == worker_->node());
+  ref.value_size = cluster_.table(table).value_size;
+  refs_.push_back(std::move(ref));
+}
+
+void Transaction::AddWrite(int table, uint64_t key) {
+  if (Ref* existing = FindRef(table, key)) {
+    existing->write = true;  // upgrade
+    return;
+  }
+  AddRead(table, key);
+  refs_.back().write = true;
+}
+
+Transaction::Ref* Transaction::FindRef(int table, uint64_t key) {
+  for (Ref& ref : refs_) {
+    if (ref.table == table && ref.key == key) {
+      return &ref;
+    }
+  }
+  return nullptr;
+}
+
+void Transaction::SortRefs() {
+  std::sort(refs_.begin(), refs_.end(), [](const Ref& a, const Ref& b) {
+    return a.table != b.table ? a.table < b.table : a.key < b.key;
+  });
+}
+
+// --- lock helpers ------------------------------------------------------------
+
+rdma::OpStatus Transaction::StateCas(const Ref& ref, uint64_t expected,
+                                     uint64_t desired, uint64_t* observed) {
+  const uint64_t state_off = ref.entry_off + store::kEntryStateOffset;
+  if (ref.local &&
+      cluster_.fabric().atomic_level() == rdma::AtomicLevel::kGlob) {
+    // GLOB-level NICs keep RDMA CAS coherent with processor CAS, so the
+    // cheap local atomic is allowed (section 6.3).
+    SpinFor(cfg_.latency.LocalCasNs());
+    uint64_t* addr =
+        cluster_.hash_table(ref.node, ref.table)->StatePtr(ref.entry_off);
+    *observed = htm::StrongCas64(addr, expected, desired);
+    return rdma::OpStatus::kOk;
+  }
+  return cluster_.fabric().Cas(ref.node, state_off, expected, desired,
+                               observed);
+}
+
+void Transaction::UnlockRef(const Ref& ref) {
+  const uint64_t state_off = ref.entry_off + store::kEntryStateOffset;
+  const uint64_t init = kStateInit;
+  for (int attempt = 0; attempt < kWriteBackRetries; ++attempt) {
+    if (cluster_.fabric().Write(ref.node, state_off, &init, sizeof(init)) ==
+        rdma::OpStatus::kOk) {
+      return;
+    }
+    // Target down: the paper's surviving workers wait for recovery
+    // (Fig. 7(d)); recovery also clears locks from lock-ahead logs.
+    SleepUs(1000);
+  }
+}
+
+Transaction::StartResult Transaction::AcquireExclusive(Ref& ref, bool wait) {
+  const uint64_t locked_val =
+      MakeWriteLocked(static_cast<uint8_t>(worker_->node()));
+  uint64_t expected = kStateInit;
+  int tries = 0;
+  while (true) {
+    uint64_t observed = 0;
+    if (StateCas(ref, expected, locked_val, &observed) !=
+        rdma::OpStatus::kOk) {
+      return StartResult::kNodeDown;
+    }
+    if (observed == expected) {
+      ref.locked = true;
+      return StartResult::kOk;
+    }
+    if (IsWriteLocked(observed)) {
+      if (!wait || ++tries > kWaitTriesLimit) {
+        return StartResult::kConflict;
+      }
+      SleepUs(10 + worker_->rng().NextBounded(50));
+      expected = kStateInit;
+      continue;
+    }
+    // A read lease is present; writers must wait for expiry (Fig. 5).
+    const uint64_t end = LeaseEnd(observed);
+    while (true) {
+      const uint64_t now = cluster_.synctime().ReadStrong(worker_->node());
+      if (LeaseExpired(end, now, cfg_.delta_us)) {
+        break;
+      }
+      if (!wait || ++tries > kWaitTriesLimit) {
+        return StartResult::kConflict;
+      }
+      SleepUs(20);
+    }
+    expected = observed;  // CAS the expired lease away
+  }
+}
+
+Transaction::StartResult Transaction::AcquireLease(Ref& ref, bool wait) {
+  const uint64_t desired = MakeLease(lease_end_);
+  uint64_t expected = kStateInit;
+  int tries = 0;
+  // Fast path: an 8-byte READ of the state word. If a healthy lease is
+  // already installed, share it without any CAS — an RDMA CAS costs an
+  // order of magnitude more than a small READ (section 6.3), and under
+  // read-heavy sharing the optimistic CAS-on-INIT would fail anyway.
+  {
+    const uint64_t state_off = ref.entry_off + store::kEntryStateOffset;
+    uint64_t observed = 0;
+    if (cluster_.fabric().Read(ref.node, state_off, &observed,
+                               sizeof(observed)) != rdma::OpStatus::kOk) {
+      return StartResult::kNodeDown;
+    }
+    if (IsWriteLocked(observed)) {
+      if (!wait) {
+        return StartResult::kConflict;
+      }
+      // Leave expected = INIT; the CAS loop below waits the lock out.
+    } else if (HasLease(observed)) {
+      const uint64_t end = LeaseEnd(observed);
+      const uint64_t now = cluster_.synctime().ReadStrong(worker_->node());
+      if (end > now + 2 * cfg_.delta_us + cfg_.lease_rw_us / 8) {
+        ref.leased = true;
+        ref.lease_end = end;
+        return StartResult::kOk;
+      }
+      expected = observed;  // expired or short: steal/renew via CAS
+    }
+  }
+  while (true) {
+    uint64_t observed = 0;
+    if (StateCas(ref, expected, desired, &observed) != rdma::OpStatus::kOk) {
+      return StartResult::kNodeDown;
+    }
+    if (observed == expected) {
+      ref.leased = true;
+      ref.lease_end = lease_end_;
+      return StartResult::kOk;
+    }
+    if (IsWriteLocked(observed)) {
+      if (!wait || ++tries > kWaitTriesLimit) {
+        return StartResult::kConflict;
+      }
+      SleepUs(10 + worker_->rng().NextBounded(50));
+      expected = kStateInit;
+      continue;
+    }
+    const uint64_t end = LeaseEnd(observed);
+    const uint64_t now = cluster_.synctime().ReadStrong(worker_->node());
+    if (!LeaseExpired(end, now, cfg_.delta_us)) {
+      // Read-read sharing: adopt the existing lease and its end time —
+      // unless too little of it remains for this transaction to confirm
+      // it at commit, in which case renew it in place (extending a lease
+      // only delays writers; readers of the old end stay valid).
+      if (end > now + 2 * cfg_.delta_us + cfg_.lease_rw_us / 8) {
+        ref.leased = true;
+        ref.lease_end = end;
+        return StartResult::kOk;
+      }
+      expected = observed;  // renew
+      continue;
+    }
+    expected = observed;  // replace the expired lease with ours
+  }
+}
+
+Transaction::StartResult Transaction::PrefetchRef(Ref& ref) {
+  store::EntryHeader header;
+  ref.buf.resize(ref.value_size);
+  std::vector<uint8_t> raw(sizeof(header) + ref.value_size);
+  if (cluster_.fabric().Read(ref.node, ref.entry_off, raw.data(),
+                             raw.size()) != rdma::OpStatus::kOk) {
+    return StartResult::kNodeDown;
+  }
+  std::memcpy(&header, raw.data(), sizeof(header));
+  if (header.key != ref.key) {
+    // The entry was deleted (and possibly recycled) between lookup and
+    // lock; undo and let the retry re-resolve.
+    if (ref.locked) {
+      UnlockRef(ref);
+      ref.locked = false;
+    }
+    ref.leased = false;
+    ref.found = false;
+    return StartResult::kConflict;
+  }
+  ref.version = header.version;
+  std::memcpy(ref.buf.data(), raw.data() + sizeof(header), ref.value_size);
+  return StartResult::kOk;
+}
+
+bool Transaction::ResolveRef(Ref& ref) {
+  if (ref.local) {
+    ref.entry_off =
+        cluster_.hash_table(ref.node, ref.table)->FindEntry(ref.key);
+    ref.found = ref.entry_off != store::kInvalidOffset;
+    return true;
+  }
+  store::ClusterHashTable* host = cluster_.hash_table(ref.node, ref.table);
+  store::RemoteKv client(&cluster_.fabric(), ref.node, host->geometry(),
+                         cluster_.cache(worker_->node(), ref.node));
+  const store::RemoteEntryRef found = client.Lookup(ref.key);
+  if (!cluster_.fabric().IsAlive(ref.node)) {
+    return false;
+  }
+  ref.found = found.found;
+  ref.entry_off = found.entry_off;
+  return true;
+}
+
+// --- HTM path ----------------------------------------------------------------
+
+Transaction::StartResult Transaction::StartPhase() {
+  now_start_ = cluster_.synctime().ReadStrong(worker_->node());
+  lease_end_ = now_start_ + cfg_.lease_rw_us;
+
+  bool any_remote_write = false;
+  for (Ref& ref : refs_) {
+    if (!ref.local) {
+      if (!ResolveRef(ref)) {
+        return StartResult::kNodeDown;
+      }
+      any_remote_write |= (ref.write && ref.found);
+    }
+  }
+
+  if (cfg_.logging && any_remote_write) {
+    // Lock-ahead log: which remote records this transaction is about to
+    // lock, so recovery can unlock them if we crash pre-commit (§4.6).
+    std::vector<LogLock> locks;
+    for (const Ref& ref : refs_) {
+      if (!ref.local && ref.write && ref.found) {
+        locks.push_back(LogLock{ref.node, ref.table, ref.key,
+                                ref.entry_off + store::kEntryStateOffset});
+      }
+    }
+    const std::vector<uint8_t> payload = NvramLog::EncodeLocks(locks);
+    cluster_.log(worker_->node())
+        ->Append(worker_->worker_id(), LogType::kLockAhead, txn_id_,
+                 payload.data(), payload.size());
+  }
+
+  for (Ref& ref : refs_) {
+    if (ref.local || !ref.found) {
+      continue;
+    }
+    StartResult result;
+    if (ref.write || !cfg_.enable_read_lease) {
+      result = AcquireExclusive(ref, /*wait=*/false);
+    } else {
+      result = AcquireLease(ref, /*wait=*/false);
+    }
+    if (result != StartResult::kOk) {
+      return result;
+    }
+    result = PrefetchRef(ref);
+    if (result != StartResult::kOk) {
+      return result;
+    }
+  }
+  return StartResult::kOk;
+}
+
+void Transaction::ConfirmLeasesInHtm() {
+  bool any_lease = false;
+  for (const Ref& ref : refs_) {
+    if (ref.leased) {
+      any_lease = true;
+      break;
+    }
+  }
+  if (!any_lease) {
+    return;
+  }
+  // Fresh softtime via a *transactional* read: this is the only place the
+  // timer thread's word enters the HTM working set (Fig. 11(c)).
+  const uint64_t now =
+      worker_->htm().Load(cluster_.synctime().Word(worker_->node()));
+  for (const Ref& ref : refs_) {
+    if (ref.leased && !LeaseValid(ref.lease_end, now, cfg_.delta_us)) {
+      worker_->htm().Abort(kCodeLease);
+    }
+  }
+}
+
+void Transaction::RecordWalUpdate(const Ref& ref, const void* value) {
+  if (!cfg_.logging) {
+    return;
+  }
+  LogUpdate update;
+  update.node = ref.node;
+  update.table = ref.table;
+  update.key = ref.key;
+  update.entry_off = ref.entry_off;
+  update.version = ref.version + 1;
+  update.value_len = ref.value_size;
+  NvramLog::EncodeUpdate(&wal_buffer_, update, value);
+}
+
+void Transaction::WriteWalInHtm() {
+  if (!cfg_.logging) {
+    return;
+  }
+  // Local updates were recorded as they happened (LocalWriteInHtm);
+  // remote updates sit in their prefetch buffers until write-back, so
+  // log their final values here.
+  for (const Ref& ref : refs_) {
+    if (!ref.local && ref.dirty) {
+      RecordWalUpdate(ref, ref.buf.data());
+    }
+  }
+  if (wal_buffer_.empty()) {
+    return;
+  }
+  // Inside the HTM region: the record becomes durable iff XEND commits
+  // (all-or-nothing), which is what recovery keys off (§4.6).
+  cluster_.log(worker_->node())
+      ->Append(worker_->worker_id(), LogType::kWriteAhead, txn_id_,
+               wal_buffer_.data(), wal_buffer_.size());
+}
+
+void Transaction::WriteBackAndUnlock() {
+  const uint64_t locked_val =
+      MakeWriteLocked(static_cast<uint8_t>(worker_->node()));
+  for (Ref& ref : refs_) {
+    if (!ref.locked) {
+      continue;
+    }
+    if (ref.dirty) {
+      // One WRITE for version + (still-held) state + value, then one
+      // WRITE to unlock — the two-op commit of REMOTE_WRITE_BACK (Fig. 5).
+      std::vector<uint8_t> blob(12 + ref.value_size);
+      const uint32_t new_version = ref.version + 1;
+      std::memcpy(blob.data(), &new_version, 4);
+      std::memcpy(blob.data() + 4, &locked_val, 8);
+      std::memcpy(blob.data() + 12, ref.buf.data(), ref.value_size);
+      for (int attempt = 0; attempt < kWriteBackRetries; ++attempt) {
+        if (cluster_.fabric().Write(ref.node,
+                                    ref.entry_off + store::kEntryVersionOffset,
+                                    blob.data(),
+                                    blob.size()) == rdma::OpStatus::kOk) {
+          break;
+        }
+        SleepUs(1000);  // committed: wait for the node to recover (§4.6(e))
+      }
+    }
+    UnlockRef(ref);
+    ref.locked = false;
+  }
+}
+
+void Transaction::ReleaseRemoteLocks() {
+  for (Ref& ref : refs_) {
+    if (ref.locked) {
+      UnlockRef(ref);
+      ref.locked = false;
+    }
+    ref.leased = false;
+  }
+}
+
+void Transaction::ResetRefsForRetry() {
+  for (Ref& ref : refs_) {
+    ref.found = false;
+    ref.entry_off = ~uint64_t{0};
+    ref.locked = false;
+    ref.leased = false;
+    ref.dirty = false;
+    ref.version = 0;
+    ref.lease_end = 0;
+  }
+  wal_buffer_.clear();
+}
+
+TxnStatus Transaction::Run(const Body& body) {
+  assert(!ran_ && "a Transaction object runs once");
+  ran_ = true;
+  SortRefs();
+  txn_id_ = cluster_.NextTxnId(worker_->node(), worker_->worker_id());
+  TxnStats& stats = worker_->stats();
+
+  int start_conflicts = 0;
+  int attempt = 0;
+  while (attempt < cfg_.htm_retry_limit) {
+    const StartResult sr = StartPhase();
+    if (sr == StartResult::kNodeDown) {
+      ReleaseRemoteLocks();
+      ++stats.node_failures;
+      return TxnStatus::kNodeFailure;
+    }
+    if (sr == StartResult::kConflict) {
+      ReleaseRemoteLocks();
+      ResetRefsForRetry();
+      ++stats.start_conflicts;
+      if (++start_conflicts > cfg_.start_retry_limit) {
+        break;  // heavy remote contention: let the fallback serialize us
+      }
+      worker_->Backoff(start_conflicts);
+      continue;
+    }
+
+    user_abort_ = false;
+    wal_buffer_.clear();
+    htm::HtmThread& htm = worker_->htm();
+    const unsigned hstatus = htm.Transact([&] {
+      if (!body(*this)) {
+        user_abort_ = true;
+        htm.Abort(kCodeUser);
+      }
+      ConfirmLeasesInHtm();
+      WriteWalInHtm();
+    });
+
+    if (hstatus == htm::kCommitted) {
+      WriteBackAndUnlock();
+      if (cfg_.logging) {
+        cluster_.log(worker_->node())
+            ->Append(worker_->worker_id(), LogType::kComplete, txn_id_,
+                     nullptr, 0);
+      }
+      ++stats.committed;
+      return TxnStatus::kCommitted;
+    }
+
+    ReleaseRemoteLocks();
+    ResetRefsForRetry();
+    if (user_abort_) {
+      ++stats.user_aborts;
+      return TxnStatus::kUserAbort;
+    }
+    if (hstatus & htm::kAbortCapacity) {
+      ++stats.htm_capacity_aborts;
+    } else if (hstatus & htm::kAbortExplicit) {
+      const unsigned code = htm::AbortUserCode(hstatus);
+      if (code == kCodeLease) {
+        ++stats.htm_lease_aborts;
+      } else {
+        ++stats.htm_lock_aborts;
+      }
+    } else {
+      ++stats.htm_conflict_aborts;
+    }
+    ++attempt;
+    worker_->Backoff(attempt);
+  }
+
+  ++stats.fallbacks;
+  return RunFallback(body);
+}
+
+// --- body accessors ----------------------------------------------------------
+
+bool Transaction::LocalReadInHtm(Ref& ref, void* out) {
+  store::ClusterHashTable* table = cluster_.hash_table(ref.node, ref.table);
+  const uint64_t entry = table->FindEntry(ref.key);
+  if (entry == store::kInvalidOffset) {
+    return false;
+  }
+  htm::HtmThread& htm = worker_->htm();
+  // LOCAL_READ (Fig. 6): a write lock by a distributed transaction means
+  // we must abort; a read lease is fine for readers.
+  const uint64_t state = htm.Load(table->StatePtr(entry));
+  if (IsWriteLocked(state)) {
+    htm.Abort(kCodeLocked);
+  }
+  htm.Read(out, table->ValuePtr(entry), ref.value_size);
+  return true;
+}
+
+bool Transaction::LocalWriteInHtm(Ref& ref, const void* value) {
+  store::ClusterHashTable* table = cluster_.hash_table(ref.node, ref.table);
+  const uint64_t entry = table->FindEntry(ref.key);
+  if (entry == store::kInvalidOffset) {
+    return false;
+  }
+  htm::HtmThread& htm = worker_->htm();
+  // LOCAL_WRITE (Fig. 6): abort on a write lock or an unexpired lease;
+  // actively clear an expired lease (side effect: the state word joins
+  // the HTM write set, which is why LOCAL_READ does not do this).
+  const uint64_t state = htm.Load(table->StatePtr(entry));
+  if (IsWriteLocked(state)) {
+    htm.Abort(kCodeLocked);
+  }
+  if (HasLease(state)) {
+    // Fig. 11: the default reuses the Start-phase softtime; the (b)
+    // strategy reads it transactionally here, making every local write
+    // conflict-prone against the timer thread.
+    const uint64_t now =
+        cfg_.softtime_read_every_local_op
+            ? htm.Load(cluster_.synctime().Word(worker_->node()))
+            : now_start_;
+    if (!LeaseExpired(LeaseEnd(state), now, cfg_.delta_us)) {
+      htm.Abort(kCodeLocked);
+    }
+    htm.Store(table->StatePtr(entry), kStateInit);
+  }
+  const uint32_t version = htm.Load(table->VersionPtr(entry));
+  htm.Store(table->VersionPtr(entry), version + 1);
+  htm.Write(table->ValuePtr(entry), value, ref.value_size);
+  ref.entry_off = entry;
+  ref.version = version;
+  RecordWalUpdate(ref, value);
+  return true;
+}
+
+bool Transaction::Read(int table, uint64_t key, void* out) {
+  Ref* ref = FindRef(table, key);
+  assert(ref != nullptr && "record accessed without declaration");
+  if (mode_ == Mode::kFallback || !ref->local) {
+    if (!ref->found) {
+      return false;
+    }
+    std::memcpy(out, ref->buf.data(), ref->value_size);
+    return true;
+  }
+  return LocalReadInHtm(*ref, out);
+}
+
+bool Transaction::Write(int table, uint64_t key, const void* value) {
+  Ref* ref = FindRef(table, key);
+  assert(ref != nullptr && ref->write && "write requires AddWrite");
+  if (mode_ == Mode::kFallback || !ref->local) {
+    if (!ref->found) {
+      return false;
+    }
+    std::memcpy(ref->buf.data(), value, ref->value_size);
+    if (!ref->dirty) {
+      ref->dirty = true;
+    }
+    return true;
+  }
+  return LocalWriteInHtm(*ref, value);
+}
+
+bool Transaction::ReadDynamic(int table, uint64_t key, void* out) {
+  assert(cluster_.PartitionOf(table, key) == worker_->node() &&
+         "ReadDynamic is for locally hosted records");
+  if (mode_ == Mode::kHtm) {
+    Ref scratch;
+    scratch.table = table;
+    scratch.key = key;
+    scratch.node = worker_->node();
+    scratch.local = true;
+    scratch.value_size = cluster_.table(table).value_size;
+    return LocalReadInHtm(scratch, out);
+  }
+  // Fallback: lease-as-discovered. The lease is confirmed together with
+  // the static ones before any update is applied.
+  Ref ref;
+  ref.table = table;
+  ref.key = key;
+  ref.write = false;
+  ref.node = worker_->node();
+  ref.local = true;
+  ref.value_size = cluster_.table(table).value_size;
+  if (!ResolveRef(ref) || !ref.found) {
+    return false;
+  }
+  if (AcquireLease(ref, /*wait=*/true) != StartResult::kOk ||
+      PrefetchRef(ref) != StartResult::kOk) {
+    dynamic_conflict_ = true;
+    return false;
+  }
+  std::memcpy(out, ref.buf.data(), ref.value_size);
+  dynamic_refs_.push_back(std::move(ref));
+  return true;
+}
+
+bool Transaction::Insert(int table, uint64_t key, const void* value) {
+  assert(cluster_.PartitionOf(table, key) == worker_->node() &&
+         "in-transaction INSERT must target the local partition; remote "
+         "inserts are shipped outside transactions (paper footnote 5)");
+  store::ClusterHashTable* host = cluster_.hash_table(worker_->node(), table);
+  if (mode_ == Mode::kHtm) {
+    return host->Insert(key, value);
+  }
+  pending_local_ops_.push_back(
+      PendingOp{PendingOp::kHashInsert, table, key,
+                std::vector<uint8_t>(static_cast<const uint8_t*>(value),
+                                     static_cast<const uint8_t*>(value) +
+                                         cluster_.table(table).value_size)});
+  return true;
+}
+
+bool Transaction::Remove(int table, uint64_t key) {
+  assert(cluster_.PartitionOf(table, key) == worker_->node());
+  store::ClusterHashTable* host = cluster_.hash_table(worker_->node(), table);
+  if (mode_ == Mode::kHtm) {
+    return host->Remove(key);
+  }
+  pending_local_ops_.push_back(
+      PendingOp{PendingOp::kHashRemove, table, key, {}});
+  return true;
+}
+
+bool Transaction::OrderedInsert(int table, uint64_t key, const void* value) {
+  store::BPlusTree* tree = cluster_.ordered_table(worker_->node(), table);
+  if (mode_ == Mode::kHtm) {
+    return tree->Insert(key, value);
+  }
+  pending_local_ops_.push_back(
+      PendingOp{PendingOp::kOrderedInsert, table, key,
+                std::vector<uint8_t>(static_cast<const uint8_t*>(value),
+                                     static_cast<const uint8_t*>(value) +
+                                         cluster_.table(table).value_size)});
+  return true;
+}
+
+bool Transaction::OrderedPut(int table, uint64_t key, const void* value) {
+  store::BPlusTree* tree = cluster_.ordered_table(worker_->node(), table);
+  if (mode_ == Mode::kHtm) {
+    return tree->Put(key, value);
+  }
+  pending_local_ops_.push_back(
+      PendingOp{PendingOp::kOrderedPut, table, key,
+                std::vector<uint8_t>(static_cast<const uint8_t*>(value),
+                                     static_cast<const uint8_t*>(value) +
+                                         cluster_.table(table).value_size)});
+  return true;
+}
+
+bool Transaction::OrderedRemove(int table, uint64_t key) {
+  store::BPlusTree* tree = cluster_.ordered_table(worker_->node(), table);
+  if (mode_ == Mode::kHtm) {
+    return tree->Remove(key);
+  }
+  pending_local_ops_.push_back(
+      PendingOp{PendingOp::kOrderedRemove, table, key, {}});
+  return true;
+}
+
+bool Transaction::OrderedGet(int table, uint64_t key, void* out) {
+  store::BPlusTree* tree = cluster_.ordered_table(worker_->node(), table);
+  if (mode_ == Mode::kHtm) {
+    return tree->Get(key, out);
+  }
+  bool found = false;
+  htm::HtmThread& htm = worker_->htm();
+  while (htm.Transact([&] { found = tree->Get(key, out); }) !=
+         htm::kCommitted) {
+  }
+  return found;
+}
+
+size_t Transaction::OrderedScan(
+    int table, uint64_t lo, uint64_t hi,
+    const std::function<bool(uint64_t, const void*)>& fn) {
+  store::BPlusTree* tree = cluster_.ordered_table(worker_->node(), table);
+  if (mode_ == Mode::kHtm) {
+    return tree->Scan(lo, hi, fn);
+  }
+  size_t count = 0;
+  htm::HtmThread& htm = worker_->htm();
+  // Buffer results so a conflict-retry does not re-invoke fn.
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> rows;
+  const uint32_t value_size = cluster_.table(table).value_size;
+  while (true) {
+    rows.clear();
+    const unsigned status = htm.Transact([&] {
+      tree->Scan(lo, hi, [&](uint64_t key, const void* value) {
+        rows.emplace_back(key,
+                          std::vector<uint8_t>(
+                              static_cast<const uint8_t*>(value),
+                              static_cast<const uint8_t*>(value) + value_size));
+        return true;
+      });
+    });
+    if (status == htm::kCommitted) {
+      break;
+    }
+  }
+  for (const auto& [key, value] : rows) {
+    ++count;
+    if (!fn(key, value.data())) {
+      break;
+    }
+  }
+  return count;
+}
+
+bool Transaction::OrderedFindFloor(int table, uint64_t lo, uint64_t bound,
+                                   uint64_t* key_out, void* value_out) {
+  store::BPlusTree* tree = cluster_.ordered_table(worker_->node(), table);
+  if (mode_ == Mode::kHtm) {
+    return tree->FindFloor(lo, bound, key_out, value_out);
+  }
+  bool found = false;
+  htm::HtmThread& htm = worker_->htm();
+  while (htm.Transact([&] {
+           found = tree->FindFloor(lo, bound, key_out, value_out);
+         }) != htm::kCommitted) {
+  }
+  return found;
+}
+
+// --- fallback path -------------------------------------------------------------
+
+TxnStatus Transaction::RunFallback(const Body& body) {
+  mode_ = Mode::kFallback;
+  TxnStats& stats = worker_->stats();
+  htm::HtmThread& htm = worker_->htm();
+
+  for (int attempt = 0; attempt < kFallbackAttempts; ++attempt) {
+    now_start_ = cluster_.synctime().ReadStrong(worker_->node());
+    lease_end_ = now_start_ + cfg_.lease_rw_us;
+    pending_local_ops_.clear();
+    wal_buffer_.clear();
+
+    // Resolve and lock everything — local records included — in the
+    // global <table, key> order (refs_ is already sorted).
+    StartResult fail = StartResult::kOk;
+    for (Ref& ref : refs_) {
+      if (!ResolveRef(ref)) {
+        fail = StartResult::kNodeDown;
+        break;
+      }
+      if (!ref.found) {
+        continue;
+      }
+      StartResult result;
+      if (ref.write || !cfg_.enable_read_lease) {
+        result = AcquireExclusive(ref, /*wait=*/true);
+      } else {
+        result = AcquireLease(ref, /*wait=*/true);
+      }
+      if (result == StartResult::kOk) {
+        result = PrefetchRef(ref);
+      }
+      if (result != StartResult::kOk) {
+        fail = result;
+        break;
+      }
+    }
+    if (fail == StartResult::kOk) {
+      // Leases must be valid before any irreversible update (§6.2): the
+      // confirmation is the serialization point of the fallback.
+      const uint64_t now = cluster_.synctime().ReadStrong(worker_->node());
+      for (const Ref& ref : refs_) {
+        if (ref.leased && !LeaseValid(ref.lease_end, now, cfg_.delta_us)) {
+          fail = StartResult::kConflict;
+          break;
+        }
+      }
+    }
+    if (fail != StartResult::kOk) {
+      ReleaseRemoteLocks();
+      ResetRefsForRetry();
+      if (fail == StartResult::kNodeDown) {
+        ++stats.node_failures;
+        return TxnStatus::kNodeFailure;
+      }
+      worker_->Backoff(attempt);
+      continue;
+    }
+
+    user_abort_ = false;
+    dynamic_conflict_ = false;
+    dynamic_refs_.clear();
+    const bool body_ok = body(*this);
+    if (dynamic_conflict_) {
+      ReleaseRemoteLocks();
+      ResetRefsForRetry();
+      worker_->Backoff(attempt);
+      continue;
+    }
+    if (!body_ok) {
+      ReleaseRemoteLocks();
+      ResetRefsForRetry();
+      ++stats.user_aborts;
+      return TxnStatus::kUserAbort;
+    }
+    if (!dynamic_refs_.empty()) {
+      // Dynamic leases join the pre-body confirmation as the
+      // serialization point; all must still be valid before any update.
+      const uint64_t now2 = cluster_.synctime().ReadStrong(worker_->node());
+      bool dynamic_valid = true;
+      for (const Ref& ref : dynamic_refs_) {
+        if (!LeaseValid(ref.lease_end, now2, cfg_.delta_us)) {
+          dynamic_valid = false;
+          break;
+        }
+      }
+      if (!dynamic_valid) {
+        ReleaseRemoteLocks();
+        ResetRefsForRetry();
+        worker_->Backoff(attempt);
+        continue;
+      }
+    }
+
+    // Gather WAL updates for buffered hash writes (local ones were
+    // buffered, not applied through LocalWriteInHtm).
+    for (Ref& ref : refs_) {
+      if (ref.dirty) {
+        RecordWalUpdate(ref, ref.buf.data());
+      }
+    }
+    if (cfg_.logging && !wal_buffer_.empty()) {
+      cluster_.log(worker_->node())
+          ->Append(worker_->worker_id(), LogType::kWriteAhead, txn_id_,
+                   wal_buffer_.data(), wal_buffer_.size());
+    }
+
+    // Apply: hash-record write-backs (strong writes abort conflicting HTM
+    // readers; the state word is locked so local transactions stay away),
+    // then the buffered local structural operations, then unlock.
+    const uint64_t locked_val =
+        MakeWriteLocked(static_cast<uint8_t>(worker_->node()));
+    for (Ref& ref : refs_) {
+      if (!ref.locked) {
+        continue;
+      }
+      if (ref.dirty) {
+        std::vector<uint8_t> blob(12 + ref.value_size);
+        const uint32_t new_version = ref.version + 1;
+        std::memcpy(blob.data(), &new_version, 4);
+        std::memcpy(blob.data() + 4, &locked_val, 8);
+        std::memcpy(blob.data() + 12, ref.buf.data(), ref.value_size);
+        if (ref.local) {
+          htm::StrongWrite(cluster_.hash_table(ref.node, ref.table)
+                               ->EntryPtr(ref.entry_off) +
+                               store::kEntryVersionOffset,
+                           blob.data(), blob.size());
+        } else {
+          for (int retries = 0; retries < kWriteBackRetries; ++retries) {
+            if (cluster_.fabric().Write(
+                    ref.node, ref.entry_off + store::kEntryVersionOffset,
+                    blob.data(), blob.size()) == rdma::OpStatus::kOk) {
+              break;
+            }
+            SleepUs(1000);
+          }
+        }
+      }
+    }
+    for (const PendingOp& op : pending_local_ops_) {
+      store::ClusterHashTable* hash =
+          op.op == PendingOp::kHashInsert || op.op == PendingOp::kHashRemove
+              ? cluster_.hash_table(worker_->node(), op.table)
+              : nullptr;
+      store::BPlusTree* tree =
+          hash == nullptr ? cluster_.ordered_table(worker_->node(), op.table)
+                          : nullptr;
+      while (true) {
+        const unsigned status = htm.Transact([&] {
+          switch (op.op) {
+            case PendingOp::kHashInsert:
+              hash->Insert(op.key, op.value.data());
+              break;
+            case PendingOp::kHashRemove:
+              hash->Remove(op.key);
+              break;
+            case PendingOp::kOrderedInsert:
+              tree->Insert(op.key, op.value.data());
+              break;
+            case PendingOp::kOrderedPut:
+              tree->Put(op.key, op.value.data());
+              break;
+            case PendingOp::kOrderedRemove:
+              tree->Remove(op.key);
+              break;
+          }
+        });
+        if (status == htm::kCommitted) {
+          break;
+        }
+      }
+    }
+    for (Ref& ref : refs_) {
+      if (ref.locked) {
+        if (ref.local &&
+            cluster_.fabric().atomic_level() == rdma::AtomicLevel::kGlob) {
+          uint64_t* addr = cluster_.hash_table(ref.node, ref.table)
+                               ->StatePtr(ref.entry_off);
+          htm::StrongStore(addr, kStateInit);
+        } else {
+          UnlockRef(ref);
+        }
+        ref.locked = false;
+      }
+    }
+    if (cfg_.logging) {
+      cluster_.log(worker_->node())
+          ->Append(worker_->worker_id(), LogType::kComplete, txn_id_, nullptr,
+                   0);
+    }
+    ++stats.committed;
+    return TxnStatus::kCommitted;
+  }
+  return TxnStatus::kAborted;
+}
+
+// --- read-only transactions ----------------------------------------------------
+
+ReadOnlyTransaction::ReadOnlyTransaction(Worker* worker)
+    : worker_(worker), cluster_(worker->cluster()) {}
+
+void ReadOnlyTransaction::AddRead(int table, uint64_t key) {
+  RoRef ref;
+  ref.table = table;
+  ref.key = key;
+  ref.node = cluster_.PartitionOf(table, key);
+  refs_.push_back(std::move(ref));
+}
+
+TxnStatus ReadOnlyTransaction::Execute() {
+  const ClusterConfig& cfg = cluster_.config();
+  TxnStats& stats = worker_->stats();
+  std::sort(refs_.begin(), refs_.end(), [](const RoRef& a, const RoRef& b) {
+    return a.table != b.table ? a.table < b.table : a.key < b.key;
+  });
+
+  for (int attempt = 0; attempt < kFallbackAttempts; ++attempt) {
+    const uint64_t now0 = cluster_.synctime().ReadStrong(worker_->node());
+    const uint64_t end = now0 + cfg.lease_ro_us;
+    bool conflict = false;
+    bool node_down = false;
+
+    for (RoRef& ref : refs_) {
+      store::ClusterHashTable* host = cluster_.hash_table(ref.node, ref.table);
+      const bool local = ref.node == worker_->node();
+      if (local) {
+        ref.entry_off = host->FindEntry(ref.key);
+        ref.found = ref.entry_off != store::kInvalidOffset;
+      } else {
+        store::RemoteKv client(&cluster_.fabric(), ref.node, host->geometry(),
+                               cluster_.cache(worker_->node(), ref.node));
+        const store::RemoteEntryRef found = client.Lookup(ref.key);
+        if (!cluster_.fabric().IsAlive(ref.node)) {
+          node_down = true;
+          break;
+        }
+        ref.found = found.found;
+        ref.entry_off = found.entry_off;
+      }
+      if (!ref.found) {
+        continue;
+      }
+      // All records — local ones included — are leased with a common end
+      // time via CAS (sections 4.5 and 6.3). A healthy existing lease is
+      // shared from a plain state READ, CAS-free.
+      const uint64_t state_off = ref.entry_off + store::kEntryStateOffset;
+      const uint64_t desired = MakeLease(end);
+      uint64_t expected = kStateInit;
+      {
+        uint64_t observed = 0;
+        if (local) {
+          observed = htm::StrongLoad(host->StatePtr(ref.entry_off));
+        } else if (cluster_.fabric().Read(ref.node, state_off, &observed,
+                                          sizeof(observed)) !=
+                   rdma::OpStatus::kOk) {
+          node_down = true;
+          break;
+        }
+        if (HasLease(observed)) {
+          const uint64_t lease = LeaseEnd(observed);
+          const uint64_t now = cluster_.synctime().ReadStrong(worker_->node());
+          if (lease > now + 2 * cfg.delta_us + cfg.lease_ro_us / 8) {
+            ref.lease_end = lease;
+            goto lease_done;
+          }
+          expected = observed;
+        } else if (IsWriteLocked(observed)) {
+          conflict = true;
+          break;
+        }
+      }
+      while (true) {
+        uint64_t observed = 0;
+        rdma::OpStatus cas_status;
+        if (local &&
+            cluster_.fabric().atomic_level() == rdma::AtomicLevel::kGlob) {
+          SpinFor(cfg.latency.LocalCasNs());
+          observed = htm::StrongCas64(host->StatePtr(ref.entry_off), expected,
+                                      desired);
+          cas_status = rdma::OpStatus::kOk;
+        } else {
+          cas_status = cluster_.fabric().Cas(ref.node, state_off, expected,
+                                             desired, &observed);
+        }
+        if (cas_status != rdma::OpStatus::kOk) {
+          node_down = true;
+          break;
+        }
+        if (observed == expected) {
+          ref.lease_end = end;
+          break;
+        }
+        if (IsWriteLocked(observed)) {
+          conflict = true;
+          break;
+        }
+        const uint64_t lease = LeaseEnd(observed);
+        const uint64_t now = cluster_.synctime().ReadStrong(worker_->node());
+        if (!LeaseExpired(lease, now, cfg.delta_us)) {
+          if (lease > now + 2 * cfg.delta_us + cfg.lease_ro_us / 8) {
+            ref.lease_end = lease;  // share
+            break;
+          }
+          expected = observed;  // renew a nearly-expired lease
+          continue;
+        }
+        expected = observed;
+      }
+    lease_done:
+      if (conflict || node_down) {
+        break;
+      }
+      // Prefetch under the lease.
+      ref.buf.resize(cluster_.table(ref.table).value_size);
+      store::EntryHeader header;
+      std::vector<uint8_t> raw(sizeof(header) + ref.buf.size());
+      if (cluster_.fabric().Read(ref.node, ref.entry_off, raw.data(),
+                                 raw.size()) != rdma::OpStatus::kOk) {
+        node_down = true;
+        break;
+      }
+      std::memcpy(&header, raw.data(), sizeof(header));
+      if (header.key != ref.key) {
+        conflict = true;  // deleted under us; retry
+        break;
+      }
+      std::memcpy(ref.buf.data(), raw.data() + sizeof(header),
+                  ref.buf.size());
+    }
+
+    if (node_down) {
+      ++stats.node_failures;
+      return TxnStatus::kNodeFailure;
+    }
+    if (!conflict) {
+      // Confirmation: all leases still valid at one instant (Fig. 8).
+      const uint64_t now = cluster_.synctime().ReadStrong(worker_->node());
+      bool all_valid = true;
+      for (const RoRef& ref : refs_) {
+        if (ref.found && !LeaseValid(ref.lease_end, now, cfg.delta_us)) {
+          all_valid = false;
+          break;
+        }
+      }
+      if (all_valid) {
+        ++stats.read_only_committed;
+        return TxnStatus::kCommitted;
+      }
+    }
+    ++stats.read_only_retries;
+    worker_->Backoff(attempt);
+  }
+  return TxnStatus::kAborted;
+}
+
+bool ReadOnlyTransaction::Get(int table, uint64_t key, void* out) const {
+  for (const RoRef& ref : refs_) {
+    if (ref.table == table && ref.key == key) {
+      if (!ref.found) {
+        return false;
+      }
+      std::memcpy(out, ref.buf.data(), ref.buf.size());
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace txn
+}  // namespace drtm

@@ -1,0 +1,257 @@
+// The DrTM transaction layer (paper sections 4 and 6) — the core
+// contribution: HTM for local concurrency control, glued to strict 2PL
+// across machines with one-sided RDMA.
+//
+// A transaction runs in three phases (Fig. 2(a) / Fig. 3):
+//   Start    — remote records in the declared read/write sets are leased
+//              (shared) or CAS-locked (exclusive) and prefetched;
+//   LocalTX  — the body runs inside an HTM region; local records are
+//              read/written transactionally with the Fig. 6 state checks;
+//   Commit   — leases are confirmed against a fresh softtime, the HTM
+//              region commits (XEND), then remote updates are written
+//              back and exclusive locks released.
+//
+// Contention management (section 6.2): after the HTM retry budget is
+// exhausted, the fallback handler reruns the transaction under pure 2PL,
+// locking *all* records (local ones via RDMA CAS when the NIC only has
+// HCA-level atomicity, section 6.3) in a global <table, key> order.
+//
+// Read-only transactions (Fig. 8) skip HTM entirely: every record is
+// leased with one common end time, read, and the leases confirmed.
+#ifndef SRC_TXN_TRANSACTION_H_
+#define SRC_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/rand.h"
+#include "src/htm/htm.h"
+#include "src/txn/cluster.h"
+
+namespace drtm {
+namespace txn {
+
+enum class TxnStatus {
+  kCommitted,
+  kAborted,      // retry budget exhausted (should be rare: fallback wins)
+  kUserAbort,    // body returned false
+  kNodeFailure,  // a required remote node is down
+};
+
+// XABORT user codes used by the protocol.
+inline constexpr uint8_t kCodeUser = 1;
+inline constexpr uint8_t kCodeLocked = 2;   // local access hit a 2PL lock
+inline constexpr uint8_t kCodeLease = 3;    // lease confirmation failed
+inline constexpr uint8_t kCodeMissing = 4;  // record vanished mid-run
+
+struct TxnStats {
+  uint64_t committed = 0;
+  uint64_t user_aborts = 0;
+  uint64_t start_conflicts = 0;  // remote lock/lease acquisition failures
+  uint64_t htm_conflict_aborts = 0;
+  uint64_t htm_capacity_aborts = 0;
+  uint64_t htm_lock_aborts = 0;   // kCodeLocked
+  uint64_t htm_lease_aborts = 0;  // kCodeLease
+  uint64_t fallbacks = 0;
+  uint64_t node_failures = 0;
+  uint64_t read_only_committed = 0;
+  uint64_t read_only_retries = 0;
+
+  void Add(const TxnStats& o);
+};
+
+class Worker {
+ public:
+  Worker(Cluster* cluster, int node, int worker_id);
+
+  Cluster& cluster() { return *cluster_; }
+  int node() const { return node_; }
+  int worker_id() const { return worker_id_; }
+  htm::HtmThread& htm() { return htm_; }
+  Xoshiro256& rng() { return rng_; }
+  TxnStats& stats() { return stats_; }
+  Histogram& latency_us() { return latency_us_; }
+
+  // Randomized exponential backoff used between transaction retries.
+  void Backoff(int attempt);
+
+ private:
+  Cluster* cluster_;
+  int node_;
+  int worker_id_;
+  htm::HtmThread htm_;
+  Xoshiro256 rng_;
+  TxnStats stats_;
+  Histogram latency_us_;
+};
+
+class Transaction {
+ public:
+  using Body = std::function<bool(Transaction&)>;
+
+  explicit Transaction(Worker* worker);
+
+  // --- declaration (before Run) --------------------------------------------
+  void AddRead(int table, uint64_t key);
+  void AddWrite(int table, uint64_t key);
+
+  // Runs the body to commit (HTM path with retries, then fallback). The
+  // body may execute several times and must be idempotent in its effects
+  // outside this transaction; it returns false to user-abort.
+  TxnStatus Run(const Body& body);
+
+  // --- accessors usable inside the body -------------------------------------
+  // Declared hash-table records:
+  bool Read(int table, uint64_t key, void* out);
+  bool Write(int table, uint64_t key, const void* value);
+
+  // Dynamic (undeclared) read of a *local* hash record, for read sets
+  // discovered during execution (paper section 4.1 pairs this with a
+  // reconnaissance query; stock-level uses it directly). In HTM mode this
+  // is a plain LOCAL_READ; in fallback mode it takes a lease on the spot,
+  // which is confirmed with the static leases before any update.
+  bool ReadDynamic(int table, uint64_t key, void* out);
+
+  // Local dynamic operations (the key's partition must be this node):
+  bool Insert(int table, uint64_t key, const void* value);
+  bool Remove(int table, uint64_t key);
+
+  // Local ordered-store operations (HTM-protected; in fallback mode each
+  // runs as its own small HTM transaction while the 2PL locks on the
+  // declared records serialize the logical transaction):
+  bool OrderedInsert(int table, uint64_t key, const void* value);
+  bool OrderedGet(int table, uint64_t key, void* out);
+  bool OrderedPut(int table, uint64_t key, const void* value);
+  size_t OrderedScan(int table, uint64_t lo, uint64_t hi,
+                     const std::function<bool(uint64_t, const void*)>& fn);
+  bool OrderedFindFloor(int table, uint64_t lo, uint64_t bound,
+                        uint64_t* key_out, void* value_out);
+  bool OrderedRemove(int table, uint64_t key);
+
+  // Softtime captured at Start (reused for all local checks, Fig. 11(c)).
+  uint64_t start_time_us() const { return now_start_; }
+
+  bool in_fallback() const { return mode_ == Mode::kFallback; }
+  int home_node() const;
+
+ private:
+  enum class Mode { kHtm, kFallback };
+  enum class StartResult { kOk, kConflict, kNodeDown };
+
+  struct Ref {
+    int table;
+    uint64_t key;
+    bool write;
+    int node;
+    bool local;
+    bool found = false;
+    uint64_t entry_off = ~uint64_t{0};
+    uint32_t value_size = 0;
+    std::vector<uint8_t> buf;  // prefetched value (remote; fallback: all)
+    uint32_t version = 0;
+    uint64_t lease_end = 0;
+    bool locked = false;  // exclusive lock held by us
+    bool leased = false;
+    bool dirty = false;
+  };
+
+  // Local structural operations buffered by the fallback path until after
+  // lease confirmation (its serialization point), then applied inside
+  // small HTM transactions.
+  struct PendingOp {
+    enum Kind {
+      kHashInsert,
+      kHashRemove,
+      kOrderedInsert,
+      kOrderedPut,
+      kOrderedRemove,
+    };
+    Kind op;
+    int table;
+    uint64_t key;
+    std::vector<uint8_t> value;
+  };
+
+  Ref* FindRef(int table, uint64_t key);
+  void SortRefs();
+
+  // HTM path.
+  StartResult StartPhase();
+  void ConfirmLeasesInHtm();
+  void WriteWalInHtm();
+  void WriteBackAndUnlock();
+  void ReleaseRemoteLocks();
+  void ResetRefsForRetry();
+  TxnStatus RunHtmPath(const Body& body, bool* out_committed);
+
+  // Shared lock helpers (both paths).
+  StartResult AcquireExclusive(Ref& ref, bool wait);
+  StartResult AcquireLease(Ref& ref, bool wait);
+  StartResult PrefetchRef(Ref& ref);
+  rdma::OpStatus StateCas(const Ref& ref, uint64_t expected, uint64_t desired,
+                          uint64_t* observed);
+  void UnlockRef(const Ref& ref);
+
+  // Fallback path (section 6.2).
+  TxnStatus RunFallback(const Body& body);
+  bool ResolveRef(Ref& ref);  // strong/remote lookup of entry_off
+
+  // In-body helpers.
+  bool LocalReadInHtm(Ref& ref, void* out);
+  bool LocalWriteInHtm(Ref& ref, const void* value);
+  void RecordWalUpdate(const Ref& ref, const void* value);
+
+  Worker* worker_;
+  Cluster& cluster_;
+  const ClusterConfig& cfg_;
+  Mode mode_ = Mode::kHtm;
+  std::vector<Ref> refs_;
+  uint64_t txn_id_ = 0;
+  uint64_t now_start_ = 0;
+  uint64_t lease_end_ = 0;
+  bool user_abort_ = false;
+  std::vector<uint8_t> wal_buffer_;
+  std::vector<PendingOp> pending_local_ops_;
+  // Leases taken by ReadDynamic in fallback mode (confirmed post-body).
+  std::vector<Ref> dynamic_refs_;
+  bool dynamic_conflict_ = false;
+  bool ran_ = false;
+};
+
+// Read-only transactions (paper section 4.5, Fig. 8).
+class ReadOnlyTransaction {
+ public:
+  explicit ReadOnlyTransaction(Worker* worker);
+
+  void AddRead(int table, uint64_t key);
+
+  // Leases every declared record with one common end time, prefetches,
+  // and confirms. Retries internally on conflicts.
+  TxnStatus Execute();
+
+  // Valid after a kCommitted Execute(). Returns false if the key did not
+  // exist at snapshot time.
+  bool Get(int table, uint64_t key, void* out) const;
+
+ private:
+  struct RoRef {
+    int table;
+    uint64_t key;
+    int node;
+    bool found = false;
+    uint64_t entry_off = ~uint64_t{0};
+    uint64_t lease_end = 0;
+    std::vector<uint8_t> buf;
+  };
+
+  Worker* worker_;
+  Cluster& cluster_;
+  std::vector<RoRef> refs_;
+};
+
+}  // namespace txn
+}  // namespace drtm
+
+#endif  // SRC_TXN_TRANSACTION_H_

@@ -1,0 +1,82 @@
+// SmallBank on DrTM (paper sections 7.1/7.2, Fig. 15).
+//
+// Six transaction types over per-customer savings/checking rows (H-Store
+// mix): send-payment 25%, balance / deposit-checking / withdraw-from-
+// checking (write-check) / transfer-to-savings / amalgamate 15% each.
+// Working sets are tiny, so nothing is chopped (paper section 7.1).
+// Access is skewed: most picks hit a small hot set. send-payment and
+// amalgamate touch two customers; with probability
+// `cross_node_probability` the second lives on another node, which makes
+// the transaction distributed — the knob swept in Fig. 15.
+#ifndef SRC_WORKLOAD_SMALLBANK_H_
+#define SRC_WORKLOAD_SMALLBANK_H_
+
+#include <cstdint>
+
+#include "src/txn/cluster.h"
+#include "src/txn/transaction.h"
+
+namespace drtm {
+namespace workload {
+
+class SmallBankDb {
+ public:
+  struct Params {
+    uint64_t accounts_per_node = 10000;
+    uint64_t hot_accounts_per_node = 100;
+    double hot_probability = 0.9;
+    double cross_node_probability = 0.01;
+    int64_t initial_balance = 10000;
+  };
+
+  enum class TxnType {
+    kSendPayment,
+    kBalance,
+    kDepositChecking,
+    kWriteCheck,
+    kTransactSavings,
+    kAmalgamate,
+  };
+
+  SmallBankDb(txn::Cluster* cluster, const Params& params);
+
+  void Load();
+
+  struct MixResult {
+    TxnType type;
+    txn::TxnStatus status;
+  };
+  MixResult RunMix(txn::Worker* worker);
+
+  txn::TxnStatus RunSendPayment(txn::Worker* worker);
+  txn::TxnStatus RunBalance(txn::Worker* worker);
+  txn::TxnStatus RunDepositChecking(txn::Worker* worker);
+  txn::TxnStatus RunWriteCheck(txn::Worker* worker);
+  txn::TxnStatus RunTransactSavings(txn::Worker* worker);
+  txn::TxnStatus RunAmalgamate(txn::Worker* worker);
+
+  // Sum of all savings + checking balances (quiescent use only).
+  int64_t TotalMoney();
+
+  static uint64_t AccountKey(int node, uint64_t index) {
+    return (static_cast<uint64_t>(node) << 32) | index;
+  }
+
+  int savings_table() const { return savings_; }
+  int checking_table() const { return checking_; }
+  const Params& params() const { return params_; }
+
+ private:
+  uint64_t PickLocalAccount(txn::Worker* worker);
+  uint64_t PickSecondAccount(txn::Worker* worker);
+
+  txn::Cluster* cluster_;
+  Params params_;
+  int savings_;
+  int checking_;
+};
+
+}  // namespace workload
+}  // namespace drtm
+
+#endif  // SRC_WORKLOAD_SMALLBANK_H_

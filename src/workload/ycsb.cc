@@ -1,0 +1,144 @@
+#include "src/workload/ycsb.h"
+
+#include <cstring>
+#include <vector>
+
+namespace drtm {
+namespace workload {
+
+YcsbDb::YcsbDb(txn::Cluster* cluster, const Params& params)
+    : cluster_(cluster), params_(params) {
+  txn::TableSpec spec;
+  spec.value_size = params.value_size;
+  spec.capacity = params.records_per_node + 64;
+  spec.main_buckets = 1;
+  while (spec.main_buckets * 6 < spec.capacity) {
+    spec.main_buckets <<= 1;
+  }
+  spec.indirect_buckets = spec.main_buckets / 2 + 16;
+  const int nodes = cluster->num_nodes();
+  spec.partition = [nodes](uint64_t key) {
+    return static_cast<int>(key % static_cast<uint64_t>(nodes));
+  };
+  table_ = cluster->AddTable(spec);
+}
+
+uint64_t YcsbDb::KeyAt(uint64_t logical) const { return logical; }
+
+void YcsbDb::Load() {
+  std::vector<uint8_t> value(params_.value_size);
+  for (uint64_t k = 0; k < total_records(); ++k) {
+    for (size_t i = 0; i < value.size(); ++i) {
+      value[i] = static_cast<uint8_t>((k + i) & 0xff);
+    }
+    cluster_->hash_table(cluster_->PartitionOf(table_, k), table_)
+        ->Insert(k, value.data());
+  }
+}
+
+uint64_t YcsbDb::PickKey(txn::Worker* worker) {
+  if (params_.distribution == Distribution::kUniform) {
+    return worker->rng().NextBounded(total_records());
+  }
+  // Per-thread Zipf generator (zeta precomputation is per-thread too).
+  thread_local std::unique_ptr<ZipfGenerator> zipf;
+  thread_local uint64_t zipf_n = 0;
+  if (zipf == nullptr || zipf_n != total_records()) {
+    zipf = std::make_unique<ZipfGenerator>(
+        total_records(), params_.zipf_theta,
+        0x9c5b + static_cast<uint64_t>(worker->node()) * 131 +
+            static_cast<uint64_t>(worker->worker_id()));
+    zipf_n = total_records();
+  }
+  return zipf->Next();
+}
+
+bool YcsbDb::IsReadOp(Xoshiro256& rng) const {
+  switch (params_.mix) {
+    case Mix::kA:
+      return rng.NextBounded(100) < 50;
+    case Mix::kB:
+      return rng.NextBounded(100) < 95;
+    case Mix::kC:
+      return true;
+    case Mix::kF:
+      return rng.NextBounded(100) < 50;
+  }
+  return true;
+}
+
+YcsbDb::OpResult YcsbDb::RunTxn(txn::Worker* worker) {
+  struct Op {
+    uint64_t key;
+    bool read;
+  };
+  std::vector<Op> ops;
+  ops.reserve(static_cast<size_t>(params_.ops_per_txn));
+  bool all_reads = true;
+  for (int i = 0; i < params_.ops_per_txn; ++i) {
+    uint64_t key = PickKey(worker);
+    bool duplicate = false;
+    for (auto& op : ops) {
+      if (op.key == key) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
+      --i;
+      continue;
+    }
+    const bool read = IsReadOp(worker->rng());
+    all_reads &= read;
+    ops.push_back(Op{key, read});
+  }
+
+  OpResult result;
+  std::vector<uint8_t> buf(params_.value_size);
+
+  if (all_reads && params_.use_read_only_path) {
+    txn::ReadOnlyTransaction ro(worker);
+    for (const Op& op : ops) {
+      ro.AddRead(table_, op.key);
+    }
+    result.committed = ro.Execute() == txn::TxnStatus::kCommitted;
+    result.was_read_only = true;
+    if (result.committed) {
+      for (const Op& op : ops) {
+        ro.Get(table_, op.key, buf.data());
+      }
+    }
+    return result;
+  }
+
+  txn::Transaction txn(worker);
+  for (const Op& op : ops) {
+    if (op.read) {
+      txn.AddRead(table_, op.key);
+    } else {
+      txn.AddWrite(table_, op.key);
+    }
+  }
+  result.committed =
+      txn.Run([&](txn::Transaction& t) {
+        for (const Op& op : ops) {
+          if (!t.Read(table_, op.key, buf.data())) {
+            return false;
+          }
+          if (!op.read) {
+            // Update: YCSB overwrites a field; F additionally derives the
+            // new value from the read (read-modify-write) — both amount
+            // to a value mutation here.
+            buf[0] = static_cast<uint8_t>(buf[0] + 1);
+            if (!t.Write(table_, op.key, buf.data())) {
+              return false;
+            }
+          }
+        }
+        return true;
+      }) == txn::TxnStatus::kCommitted;
+  return result;
+}
+
+}  // namespace workload
+}  // namespace drtm

@@ -1,0 +1,81 @@
+// YCSB-style key-value workloads over DrTM (the paper drives its KV
+// evaluation with YCSB's key distributions, section 5.4). Core workload
+// mixes A (update-heavy 50/50), B (read-mostly 95/5), C (read-only) and
+// F (read-modify-write) over a table partitioned across the cluster;
+// keys are drawn uniformly or Zipf(theta)-skewed across the whole key
+// space, so most operations on a multi-node cluster are remote.
+#ifndef SRC_WORKLOAD_YCSB_H_
+#define SRC_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/zipf.h"
+#include "src/txn/cluster.h"
+#include "src/txn/transaction.h"
+
+namespace drtm {
+namespace workload {
+
+class YcsbDb {
+ public:
+  enum class Mix {
+    kA,  // 50% read / 50% update
+    kB,  // 95% read / 5% update
+    kC,  // 100% read
+    kF,  // 50% read / 50% read-modify-write
+  };
+
+  enum class Distribution {
+    kUniform,
+    kZipfian,
+  };
+
+  struct Params {
+    uint64_t records_per_node = 10000;
+    uint32_t value_size = 96;
+    Mix mix = Mix::kB;
+    Distribution distribution = Distribution::kZipfian;
+    double zipf_theta = 0.99;
+    // Operations grouped into one transaction (1 = plain YCSB ops).
+    int ops_per_txn = 1;
+    // Read-only transactions (single- or multi-read) go through the
+    // lease-based read-only scheme instead of HTM when true.
+    bool use_read_only_path = true;
+  };
+
+  YcsbDb(txn::Cluster* cluster, const Params& params);
+
+  void Load();
+
+  struct OpResult {
+    bool committed = false;
+    bool was_read_only = false;
+  };
+  OpResult RunTxn(txn::Worker* worker);
+
+  // Key space helpers.
+  uint64_t total_records() const {
+    return params_.records_per_node *
+           static_cast<uint64_t>(cluster_->num_nodes());
+  }
+  uint64_t KeyAt(uint64_t logical) const;
+
+  int table() const { return table_; }
+  const Params& params() const { return params_; }
+
+ private:
+  uint64_t PickKey(txn::Worker* worker);
+  bool IsReadOp(Xoshiro256& rng) const;
+
+  txn::Cluster* cluster_;
+  Params params_;
+  int table_;
+  // One generator per (worker-thread) caller would be ideal; ZipfGenerator
+  // is cheap, so workers each get a lazily built thread-local instance.
+};
+
+}  // namespace workload
+}  // namespace drtm
+
+#endif  // SRC_WORKLOAD_YCSB_H_

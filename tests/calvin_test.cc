@@ -1,0 +1,191 @@
+#include "src/calvin/calvin.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "src/common/rand.h"
+
+namespace drtm {
+namespace calvin {
+namespace {
+
+Row RowOf(uint64_t v) {
+  Row row(8);
+  std::memcpy(row.data(), &v, 8);
+  return row;
+}
+
+uint64_t ValueOf(const Row& row) {
+  uint64_t v = 0;
+  if (row.size() >= 8) {
+    std::memcpy(&v, row.data(), 8);
+  }
+  return v;
+}
+
+class CalvinTest : public ::testing::Test {
+ protected:
+  void SetUpCluster(int nodes, int workers = 2, uint64_t epoch_us = 500) {
+    CalvinCluster::Config config;
+    config.num_nodes = nodes;
+    config.workers_per_node = workers;
+    config.epoch_us = epoch_us;
+    config.latency_scale = 0.0;
+    cluster_ = std::make_unique<CalvinCluster>(config);
+    table_ = cluster_->AddTable(
+        [nodes](uint64_t key) { return static_cast<int>(key % nodes); });
+    for (uint64_t k = 0; k < 32; ++k) {
+      cluster_->LoadRow(table_, k, RowOf(1000));
+    }
+    cluster_->Start();
+  }
+
+  void TearDown() override {
+    if (cluster_ != nullptr) {
+      cluster_->Stop();
+    }
+  }
+
+  std::shared_ptr<TxnRequest> MakeTransfer(uint64_t from, uint64_t to,
+                                           uint64_t amount) {
+    auto request = std::make_shared<TxnRequest>();
+    request->read_set = {{table_, from}, {table_, to}};
+    request->write_set = {{table_, from}, {table_, to}};
+    request->home_node = cluster_->PartitionOf(table_, from);
+    const int table = table_;
+    request->logic = [table, from, to, amount](const ReadMap& reads,
+                                               WriteMap* writes) {
+      const uint64_t a = ValueOf(reads.at(RecordKey{table, from}));
+      const uint64_t b = ValueOf(reads.at(RecordKey{table, to}));
+      if (a < amount) {
+        return;
+      }
+      (*writes)[RecordKey{table, from}] = RowOf(a - amount);
+      (*writes)[RecordKey{table, to}] = RowOf(b + amount);
+    };
+    return request;
+  }
+
+  uint64_t Balance(uint64_t key) {
+    Row row;
+    EXPECT_TRUE(cluster_->PeekRow(table_, key, &row));
+    return ValueOf(row);
+  }
+
+  std::unique_ptr<CalvinCluster> cluster_;
+  int table_ = -1;
+};
+
+TEST_F(CalvinTest, SinglePartitionTransaction) {
+  SetUpCluster(1);
+  cluster_->Execute(MakeTransfer(1, 2, 100));
+  EXPECT_EQ(Balance(1), 900u);
+  EXPECT_EQ(Balance(2), 1100u);
+  EXPECT_EQ(cluster_->committed(), 1u);
+}
+
+TEST_F(CalvinTest, DistributedTransaction) {
+  SetUpCluster(2);
+  cluster_->Execute(MakeTransfer(0, 1, 300));  // key 0 -> node 0, 1 -> node 1
+  EXPECT_EQ(Balance(0), 700u);
+  EXPECT_EQ(Balance(1), 1300u);
+}
+
+TEST_F(CalvinTest, DeterministicLogicConditionalNoOp) {
+  SetUpCluster(2);
+  cluster_->Execute(MakeTransfer(0, 1, 10000));  // insufficient funds
+  EXPECT_EQ(Balance(0), 1000u);
+  EXPECT_EQ(Balance(1), 1000u);
+  EXPECT_EQ(cluster_->committed(), 1u);  // still a (no-op) commit
+}
+
+TEST_F(CalvinTest, ConcurrentTransfersConserveMoney) {
+  SetUpCluster(3, /*workers=*/2, /*epoch_us=*/200);
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 50;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Xoshiro256 rng(7 + static_cast<uint64_t>(c));
+      for (int i = 0; i < kPerClient; ++i) {
+        const uint64_t from = rng.NextBounded(32);
+        uint64_t to = rng.NextBounded(32);
+        if (to == from) {
+          to = (to + 1) % 32;
+        }
+        cluster_->Execute(MakeTransfer(from, to, 1 + rng.NextBounded(3)));
+      }
+    });
+  }
+  for (auto& client : clients) {
+    client.join();
+  }
+  EXPECT_EQ(cluster_->committed(),
+            static_cast<uint64_t>(kClients) * kPerClient);
+  uint64_t sum = 0;
+  for (uint64_t k = 0; k < 32; ++k) {
+    sum += Balance(k);
+  }
+  EXPECT_EQ(sum, 32u * 1000u);
+}
+
+TEST_F(CalvinTest, WritesToNewKeysAreInserted) {
+  SetUpCluster(2);
+  auto request = std::make_shared<TxnRequest>();
+  const int table = table_;
+  request->read_set = {};
+  request->write_set = {{table, 100}, {table, 101}};
+  request->home_node = cluster_->PartitionOf(table_, 100);
+  request->logic = [table](const ReadMap&, WriteMap* writes) {
+    (*writes)[RecordKey{table, 100}] = RowOf(5);
+    (*writes)[RecordKey{table, 101}] = RowOf(6);
+  };
+  cluster_->Execute(request);
+  EXPECT_EQ(Balance(100), 5u);
+  EXPECT_EQ(Balance(101), 6u);
+}
+
+TEST_F(CalvinTest, ReadSharingAllowsParallelReads) {
+  SetUpCluster(2);
+  // Many read-only transactions over the same key must all complete
+  // (shared locks do not serialize readers).
+  std::atomic<int> done{0};
+  constexpr int kReaders = 20;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kReaders; ++c) {
+    clients.emplace_back([&] {
+      auto request = std::make_shared<TxnRequest>();
+      const int table = table_;
+      request->read_set = {{table, 3}};
+      request->write_set = {};
+      request->home_node = cluster_->PartitionOf(table_, 3);
+      request->logic = [table](const ReadMap& reads, WriteMap*) {
+        EXPECT_EQ(ValueOf(reads.at(RecordKey{table, 3})), 1000u);
+      };
+      cluster_->Execute(request);
+      ++done;
+    });
+  }
+  for (auto& client : clients) {
+    client.join();
+  }
+  EXPECT_EQ(done.load(), kReaders);
+}
+
+TEST(CalvinKey, OrderingAndHashing) {
+  RecordKey a{1, 5};
+  RecordKey b{1, 6};
+  RecordKey c{2, 0};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_TRUE(a == (RecordKey{1, 5}));
+  RecordKeyHash hash;
+  EXPECT_NE(hash(a), hash(b));
+}
+
+}  // namespace
+}  // namespace calvin
+}  // namespace drtm

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "src/common/barrier.h"
+#include "src/common/cacheline.h"
+#include "src/common/clock.h"
+#include "src/common/histogram.h"
+#include "src/common/rand.h"
+#include "src/common/spin_latch.h"
+#include "src/common/zipf.h"
+
+namespace drtm {
+namespace {
+
+TEST(CacheLine, SpanCounting) {
+  alignas(64) char buf[256];
+  EXPECT_EQ(CacheLineSpan(buf, 0), 0u);
+  EXPECT_EQ(CacheLineSpan(buf, 1), 1u);
+  EXPECT_EQ(CacheLineSpan(buf, 64), 1u);
+  EXPECT_EQ(CacheLineSpan(buf, 65), 2u);
+  EXPECT_EQ(CacheLineSpan(buf + 63, 2), 2u);
+  EXPECT_EQ(CacheLineSpan(buf, 256), 4u);
+}
+
+TEST(CacheLine, LineOfAdjacentBytes) {
+  alignas(64) char buf[128];
+  EXPECT_EQ(CacheLineOf(buf), CacheLineOf(buf + 63));
+  EXPECT_NE(CacheLineOf(buf), CacheLineOf(buf + 64));
+}
+
+TEST(Clock, MonotonicAdvances) {
+  const uint64_t a = MonotonicNanos();
+  const uint64_t b = MonotonicNanos();
+  EXPECT_LE(a, b);
+}
+
+TEST(Clock, SpinForWaitsRoughly) {
+  const uint64_t start = MonotonicNanos();
+  SpinFor(200000);  // 200 us
+  EXPECT_GE(MonotonicNanos() - start, 200000u);
+}
+
+TEST(Clock, SpinForZeroReturnsImmediately) {
+  SpinFor(0);  // Must not hang.
+}
+
+TEST(Rand, DeterministicGivenSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rand, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rand, BoundedStaysInBound) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(Rand, RangeInclusive) {
+  Xoshiro256 rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.NextRange(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rand, DoubleInUnitInterval) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rand, BernoulliRate) {
+  Xoshiro256 rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Zipf, StaysInRange) {
+  ZipfGenerator zipf(1000, 0.99, 3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Next(), 1000u);
+  }
+}
+
+TEST(Zipf, SkewsTowardSmallKeys) {
+  ZipfGenerator zipf(100000, 0.99, 5);
+  uint64_t in_top_100 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Next() < 100) {
+      ++in_top_100;
+    }
+  }
+  // With theta=0.99, the hottest 0.1% of keys receive a large share
+  // (> 30%) of accesses.
+  EXPECT_GT(in_top_100, static_cast<uint64_t>(n) * 30 / 100);
+}
+
+TEST(Zipf, UniformThetaZeroIsFlat) {
+  ZipfGenerator zipf(10, 0.01, 17);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    counts[zipf.Next()]++;
+  }
+  EXPECT_EQ(counts.size(), 10u);
+}
+
+TEST(Histogram, BasicPercentiles) {
+  Histogram h;
+  for (uint64_t i = 1; i <= 1000; ++i) {
+    h.Record(i);
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 500.0, 80.0);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(99)), 990.0, 140.0);
+  EXPECT_NEAR(h.Mean(), 500.5, 0.01);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(Histogram, SummaryMentionsPercentiles) {
+  Histogram h;
+  h.Record(5);
+  const std::string s = h.Summary();
+  EXPECT_NE(s.find("p99"), std::string::npos);
+}
+
+TEST(SpinLatch, MutualExclusion) {
+  SpinLatch latch;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        SpinLatchGuard guard(latch);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(SpinLatch, TryLockFailsWhenHeld) {
+  SpinLatch latch;
+  ASSERT_TRUE(latch.TryLock());
+  EXPECT_FALSE(latch.TryLock());
+  latch.Unlock();
+  EXPECT_TRUE(latch.TryLock());
+  latch.Unlock();
+}
+
+TEST(Barrier, ReleasesAllParties) {
+  Barrier barrier(3);
+  std::atomic<int> before{0};
+  std::atomic<int> after{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      ++before;
+      barrier.Wait();
+      ++after;
+      barrier.Wait();  // Reusable.
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(before.load(), 3);
+  EXPECT_EQ(after.load(), 3);
+}
+
+}  // namespace
+}  // namespace drtm

@@ -1,0 +1,264 @@
+// Reproduces the paper's Table 1 / Table 2 semantics: which combinations
+// of local (HTM) and remote (RDMA) accesses to the same record share, and
+// which conflict — including the single benign false conflict the paper
+// identifies (a remote read aborting an earlier local read, Fig. 2(b)).
+#include <gtest/gtest.h>
+
+#include "src/htm/htm.h"
+#include "src/store/cluster_hash.h"
+#include "src/store/kv_layout.h"
+#include "src/txn/cluster.h"
+#include "src/txn/lock_state.h"
+#include "src/txn/transaction.h"
+
+namespace drtm {
+namespace txn {
+namespace {
+
+// The harness drives the interleavings at the primitive level: a local
+// HTM region performing LOCAL_READ / LOCAL_WRITE state checks, against
+// remote operations emulated by RDMA CAS / WRITE on the state word.
+class ConflictMatrixTest : public ::testing::Test {
+ protected:
+  ConflictMatrixTest() {
+    ClusterConfig config;
+    config.num_nodes = 2;
+    config.workers_per_node = 1;
+    config.region_bytes = 16 << 20;
+    cluster_ = std::make_unique<Cluster>(config);
+    TableSpec spec;
+    spec.value_size = 8;
+    spec.partition = [](uint64_t key) { return static_cast<int>(key % 2); };
+    table_ = cluster_->AddTable(spec);
+    cluster_->Start();
+    const uint64_t v = 7;
+    cluster_->hash_table(0, table_)->Insert(0, &v);  // record under test
+    host_ = cluster_->hash_table(0, table_);
+    entry_ = host_->FindEntry(0);
+    state_off_ = entry_ + store::kEntryStateOffset;
+  }
+  ~ConflictMatrixTest() override { cluster_->Stop(); }
+
+  // Remote primitives (issued "from node 1").
+  uint64_t RemoteCas(uint64_t expected, uint64_t desired) {
+    uint64_t observed = 0;
+    cluster_->fabric().Cas(0, state_off_, expected, desired, &observed);
+    return observed;
+  }
+  void RemoteWriteValue(uint64_t value) {
+    cluster_->fabric().Write(0, entry_ + store::kEntryValueOffset, &value, 8);
+  }
+  uint64_t Now() { return cluster_->synctime().ReadStrong(0); }
+
+  std::unique_ptr<Cluster> cluster_;
+  int table_;
+  store::ClusterHashTable* host_;
+  uint64_t entry_;
+  uint64_t state_off_;
+};
+
+// Table 2 row: L_RD then R_RD -> Conflict (the benign false conflict).
+// The remote read's lease CAS writes the state word, which sits in the
+// local reader's HTM read set.
+TEST_F(ConflictMatrixTest, LocalReadThenRemoteReadFalseConflict) {
+  htm::HtmThread htm;
+  const unsigned status = htm.Transact([&] {
+    // LOCAL_READ: state check + value read.
+    const uint64_t state = htm.Load(host_->StatePtr(entry_));
+    EXPECT_FALSE(IsWriteLocked(state));
+    (void)htm.Load(reinterpret_cast<uint64_t*>(host_->ValuePtr(entry_)));
+    // Remote reader arrives and CASes a lease into the state word.
+    EXPECT_EQ(RemoteCas(kStateInit, MakeLease(Now() + 1000)), kStateInit);
+  });
+  EXPECT_TRUE(status & htm::kAbortConflict);
+  // Clean up the lease (expire is fine too; just reset for other tests).
+  htm::StrongStore(host_->StatePtr(entry_), kStateInit);
+}
+
+// Table 2 row: L_WR then R_RD -> Conflict (correct conflict: the remote
+// reader must not see the uncommitted local write, and the CAS aborts the
+// local transaction).
+TEST_F(ConflictMatrixTest, LocalWriteThenRemoteReadConflicts) {
+  htm::HtmThread htm;
+  const unsigned status = htm.Transact([&] {
+    const uint64_t state = htm.Load(host_->StatePtr(entry_));
+    EXPECT_FALSE(IsWriteLocked(state));
+    htm.Store(reinterpret_cast<uint64_t*>(host_->ValuePtr(entry_)),
+              uint64_t{99});
+    EXPECT_EQ(RemoteCas(kStateInit, MakeLease(Now() + 1000)), kStateInit);
+  });
+  EXPECT_TRUE(status & htm::kAbortConflict);
+  uint64_t value = 0;
+  host_->Get(0, &value);
+  EXPECT_EQ(value, 7u) << "aborted local write must not be visible";
+  htm::StrongStore(host_->StatePtr(entry_), kStateInit);
+}
+
+// Table 2 row: R_RD (lease) then L_RD -> Share. A local reader ignores
+// read leases entirely (Fig. 6).
+TEST_F(ConflictMatrixTest, RemoteReadThenLocalReadShares) {
+  ASSERT_EQ(RemoteCas(kStateInit, MakeLease(Now() + 100000)), kStateInit);
+  htm::HtmThread htm;
+  uint64_t value = 0;
+  const unsigned status = htm.Transact([&] {
+    const uint64_t state = htm.Load(host_->StatePtr(entry_));
+    ASSERT_FALSE(IsWriteLocked(state));  // lease, not lock
+    ASSERT_TRUE(HasLease(state));
+    value = htm.Load(reinterpret_cast<uint64_t*>(host_->ValuePtr(entry_)));
+  });
+  EXPECT_EQ(status, htm::kCommitted);
+  EXPECT_EQ(value, 7u);
+  htm::StrongStore(host_->StatePtr(entry_), kStateInit);
+}
+
+// Table 2 row: R_RD (lease) then L_WR -> Conflict while the lease is
+// valid; a local writer must abort (Fig. 6's LOCAL_WRITE).
+TEST_F(ConflictMatrixTest, RemoteReadThenLocalWriteConflictsUntilExpiry) {
+  const uint64_t end = Now() + 100000;
+  ASSERT_EQ(RemoteCas(kStateInit, MakeLease(end)), kStateInit);
+  Worker worker(cluster_.get(), 0, 0);
+  htm::HtmThread& htm = worker.htm();
+  const uint64_t now_start = Now();
+  const unsigned status = htm.Transact([&] {
+    const uint64_t state = htm.Load(host_->StatePtr(entry_));
+    if (IsWriteLocked(state) ||
+        (HasLease(state) &&
+         !LeaseExpired(LeaseEnd(state), now_start,
+                       cluster_->config().delta_us))) {
+      htm.Abort(kCodeLocked);
+    }
+    htm.Store(reinterpret_cast<uint64_t*>(host_->ValuePtr(entry_)),
+              uint64_t{99});
+  });
+  EXPECT_TRUE(status & htm::kAbortExplicit);
+  EXPECT_EQ(htm::AbortUserCode(status), kCodeLocked);
+  htm::StrongStore(host_->StatePtr(entry_), kStateInit);
+}
+
+// Table 2 row: R_WR (exclusive) then L_RD -> Conflict: local readers must
+// abort on a write-locked record.
+TEST_F(ConflictMatrixTest, RemoteWriteLockBlocksLocalRead) {
+  ASSERT_EQ(RemoteCas(kStateInit, MakeWriteLocked(1)), kStateInit);
+  Worker worker(cluster_.get(), 0, 0);
+  htm::HtmThread& htm = worker.htm();
+  const unsigned status = htm.Transact([&] {
+    const uint64_t state = htm.Load(host_->StatePtr(entry_));
+    if (IsWriteLocked(state)) {
+      htm.Abort(kCodeLocked);
+    }
+    (void)htm.Load(reinterpret_cast<uint64_t*>(host_->ValuePtr(entry_)));
+  });
+  EXPECT_TRUE(status & htm::kAbortExplicit);
+  htm::StrongStore(host_->StatePtr(entry_), kStateInit);
+}
+
+// Fig. 2(c)/(d) cases: the remote lock lands BEFORE the local access —
+// the local transaction must observe it (read set contains the state
+// word), so a late remote CAS cannot let a conflicting local txn commit.
+TEST_F(ConflictMatrixTest, RemoteLockAfterLocalAccessAbortsAtCommit) {
+  htm::HtmThread htm;
+  const unsigned status = htm.Transact([&] {
+    const uint64_t state = htm.Load(host_->StatePtr(entry_));
+    EXPECT_FALSE(IsWriteLocked(state));
+    htm.Store(reinterpret_cast<uint64_t*>(host_->ValuePtr(entry_)),
+              uint64_t{55});
+    // Remote writer locks between the local access and XEND.
+    EXPECT_EQ(RemoteCas(kStateInit, MakeWriteLocked(1)), kStateInit);
+    RemoteWriteValue(1234);
+  });
+  EXPECT_NE(status, htm::kCommitted);
+  uint64_t value = 0;
+  host_->Get(0, &value);
+  EXPECT_EQ(value, 1234u) << "the remote write wins; local txn aborted";
+  htm::StrongStore(host_->StatePtr(entry_), kStateInit);
+}
+
+// Table 1: a local read keeps the state word OUT of its write set — two
+// concurrent local readers must not conflict with each other even when a
+// (expired) lease sits on the record. LOCAL_WRITE, by contrast, clears
+// an expired lease and therefore does join the write set.
+TEST_F(ConflictMatrixTest, LocalReadsDontFalselyConflictViaState) {
+  // Plant an expired lease.
+  ASSERT_EQ(RemoteCas(kStateInit, MakeLease(1)), kStateInit);
+  std::atomic<int> committed{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      htm::HtmThread htm;
+      for (int i = 0; i < 200; ++i) {
+        const unsigned status = htm.Transact([&] {
+          const uint64_t state = htm.Load(host_->StatePtr(entry_));
+          EXPECT_FALSE(IsWriteLocked(state));
+          // LOCAL_READ does not clear the expired lease (no state write).
+          (void)htm.Load(
+              reinterpret_cast<uint64_t*>(host_->ValuePtr(entry_)));
+        });
+        if (status == htm::kCommitted) {
+          ++committed;
+        }
+      }
+    });
+  }
+  for (auto& th : readers) {
+    th.join();
+  }
+  EXPECT_EQ(committed.load(), 400);
+  // The expired lease is still there: local reads never wrote the state.
+  EXPECT_TRUE(HasLease(htm::StrongLoad(host_->StatePtr(entry_))));
+  htm::StrongStore(host_->StatePtr(entry_), kStateInit);
+}
+
+// End-to-end Table 2: a full remote transaction's write lock makes a
+// concurrent full local transaction retry, and both effects serialize.
+TEST_F(ConflictMatrixTest, EndToEndLocalRemoteSerialization) {
+  const uint64_t extra = 100;
+  cluster_->hash_table(0, table_)->Insert(2, &extra);
+  cluster_->hash_table(1, table_)->Insert(1, &extra);
+
+  Worker local_worker(cluster_.get(), 0, 0);
+  Worker remote_worker(cluster_.get(), 1, 0);
+
+  // Remote transaction (from node 1) writes record 0 on node 0; local
+  // transaction (node 0) increments the same record. Run both many times
+  // concurrently; final value must equal initial + total increments.
+  constexpr int kRounds = 150;
+  std::thread remote([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      Transaction txn(&remote_worker);
+      txn.AddWrite(table_, 0);
+      ASSERT_EQ(txn.Run([&](Transaction& t) {
+        uint64_t v;
+        if (!t.Read(table_, 0, &v)) {
+          return false;
+        }
+        ++v;
+        return t.Write(table_, 0, &v);
+      }),
+                TxnStatus::kCommitted);
+    }
+  });
+  std::thread local([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      Transaction txn(&local_worker);
+      txn.AddWrite(table_, 0);
+      ASSERT_EQ(txn.Run([&](Transaction& t) {
+        uint64_t v;
+        if (!t.Read(table_, 0, &v)) {
+          return false;
+        }
+        ++v;
+        return t.Write(table_, 0, &v);
+      }),
+                TxnStatus::kCommitted);
+    }
+  });
+  remote.join();
+  local.join();
+  uint64_t value = 0;
+  ASSERT_TRUE(host_->Get(0, &value));
+  EXPECT_EQ(value, 7u + 2 * kRounds);
+}
+
+}  // namespace
+}  // namespace txn
+}  // namespace drtm

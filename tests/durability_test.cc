@@ -1,0 +1,363 @@
+// Durability and recovery tests (paper section 4.6): lock-ahead /
+// write-ahead logging, the HTM all-or-nothing WAL property end to end,
+// and cooperative recovery after fail-stop crashes.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/htm/htm.h"
+#include "src/store/kv_layout.h"
+#include "src/txn/cluster.h"
+#include "src/txn/lock_state.h"
+#include "src/txn/failure_detector.h"
+#include "src/txn/recovery.h"
+#include "src/txn/transaction.h"
+
+namespace drtm {
+namespace txn {
+namespace {
+
+class DurabilityTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kAccounts = 16;
+  static constexpr uint64_t kInitialBalance = 1000;
+
+  void SetUpCluster(int nodes) {
+    ClusterConfig config;
+    config.num_nodes = nodes;
+    config.workers_per_node = 2;
+    config.region_bytes = 32 << 20;
+    config.logging = true;
+    cluster_ = std::make_unique<Cluster>(config);
+    TableSpec spec;
+    spec.value_size = 8;
+    spec.main_buckets = 1 << 8;
+    spec.capacity = 1 << 12;
+    spec.partition = [nodes](uint64_t key) {
+      return static_cast<int>(key % static_cast<uint64_t>(nodes));
+    };
+    table_ = cluster_->AddTable(spec);
+    cluster_->Start();
+    for (uint64_t k = 0; k < kAccounts; ++k) {
+      const uint64_t balance = kInitialBalance;
+      ASSERT_TRUE(cluster_
+                      ->hash_table(cluster_->PartitionOf(table_, k), table_)
+                      ->Insert(k, &balance));
+    }
+  }
+
+  void TearDown() override {
+    if (cluster_ != nullptr) {
+      cluster_->Stop();
+    }
+  }
+
+  TxnStatus Transfer(Worker* worker, uint64_t from, uint64_t to,
+                     uint64_t amount) {
+    Transaction txn(worker);
+    txn.AddWrite(table_, from);
+    txn.AddWrite(table_, to);
+    return txn.Run([&](Transaction& t) {
+      uint64_t a = 0;
+      uint64_t b = 0;
+      if (!t.Read(table_, from, &a) || !t.Read(table_, to, &b)) {
+        return false;
+      }
+      a -= amount;
+      b += amount;
+      return t.Write(table_, from, &a) && t.Write(table_, to, &b);
+    });
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  int table_ = -1;
+};
+
+TEST_F(DurabilityTest, CommittedDistributedTxnLogsEverything) {
+  SetUpCluster(2);
+  Worker worker(cluster_.get(), 0, 0);
+  ASSERT_EQ(Transfer(&worker, 0, 1, 50), TxnStatus::kCommitted);
+  bool lock_ahead = false;
+  bool wal = false;
+  bool complete = false;
+  cluster_->log(0)->ForEach([&](int, const LogRecord& record) {
+    switch (record.type) {
+      case LogType::kLockAhead:
+        lock_ahead = true;
+        break;
+      case LogType::kWriteAhead: {
+        wal = true;
+        int updates = 0;
+        NvramLog::DecodeUpdates(record.payload,
+                                [&](const LogUpdate& u, const uint8_t*) {
+                                  ++updates;
+                                  EXPECT_EQ(u.value_len, 8u);
+                                });
+        EXPECT_EQ(updates, 2);  // both sides of the transfer
+        break;
+      }
+      case LogType::kComplete:
+        complete = true;
+        break;
+      default:
+        break;
+    }
+  });
+  EXPECT_TRUE(lock_ahead);
+  EXPECT_TRUE(wal);
+  EXPECT_TRUE(complete);
+}
+
+TEST_F(DurabilityTest, UserAbortedTxnLeavesNoWal) {
+  SetUpCluster(2);
+  Worker worker(cluster_.get(), 0, 0);
+  Transaction txn(&worker);
+  txn.AddWrite(table_, 0);
+  txn.AddWrite(table_, 1);
+  ASSERT_EQ(txn.Run([&](Transaction& t) {
+    const uint64_t v = 7;
+    t.Write(table_, 0, &v);
+    t.Write(table_, 1, &v);
+    return false;  // abort after writing: HTM discards the WAL append
+  }),
+            TxnStatus::kUserAbort);
+  bool wal = false;
+  cluster_->log(0)->ForEach([&](int, const LogRecord& record) {
+    if (record.type == LogType::kWriteAhead) {
+      wal = true;
+    }
+  });
+  EXPECT_FALSE(wal);
+}
+
+TEST_F(DurabilityTest, LocalOnlyTxnWritesWal) {
+  SetUpCluster(1);
+  Worker worker(cluster_.get(), 0, 0);
+  ASSERT_EQ(Transfer(&worker, 0, 1, 5), TxnStatus::kCommitted);
+  int wal_updates = 0;
+  cluster_->log(0)->ForEach([&](int, const LogRecord& record) {
+    if (record.type == LogType::kWriteAhead) {
+      NvramLog::DecodeUpdates(
+          record.payload,
+          [&](const LogUpdate&, const uint8_t*) { ++wal_updates; });
+    }
+  });
+  EXPECT_EQ(wal_updates, 2);
+}
+
+TEST_F(DurabilityTest, RecoveryReleasesLocksOfAbortedTxn) {
+  SetUpCluster(2);
+  // Construct the Fig. 7(a) scenario by hand: node 0 logged a lock-ahead
+  // record and locked a remote record, then crashed before XEND.
+  store::ClusterHashTable* host = cluster_->hash_table(1, table_);
+  const uint64_t entry = host->FindEntry(1);
+  const uint64_t state_off = entry + store::kEntryStateOffset;
+  uint64_t observed;
+  ASSERT_EQ(cluster_->fabric().Cas(1, state_off, kStateInit,
+                                   MakeWriteLocked(0), &observed),
+            rdma::OpStatus::kOk);
+  const std::vector<LogLock> locks = {{1, table_, 1, state_off}};
+  const auto payload = NvramLog::EncodeLocks(locks);
+  ASSERT_TRUE(cluster_->log(0)->Append(0, LogType::kLockAhead, 777,
+                                       payload.data(), payload.size()));
+
+  cluster_->Crash(0);
+  RecoveryManager recovery(cluster_.get());
+  const auto report = recovery.Recover(0);
+  EXPECT_EQ(report.aborted_txns, 1);
+  EXPECT_EQ(report.released_locks, 1);
+  EXPECT_EQ(htm::StrongLoad(host->StatePtr(entry)), kStateInit);
+}
+
+TEST_F(DurabilityTest, RecoveryRedoesCommittedTxn) {
+  SetUpCluster(2);
+  // Fig. 7(b): node 0's HTM committed (WAL durable) but it crashed before
+  // writing back the remote update on node 1.
+  store::ClusterHashTable* host = cluster_->hash_table(1, table_);
+  const uint64_t entry = host->FindEntry(1);
+  const uint64_t state_off = entry + store::kEntryStateOffset;
+  uint64_t observed;
+  ASSERT_EQ(cluster_->fabric().Cas(1, state_off, kStateInit,
+                                   MakeWriteLocked(0), &observed),
+            rdma::OpStatus::kOk);
+  std::vector<uint8_t> wal;
+  const uint64_t new_value = 4242;
+  NvramLog::EncodeUpdate(&wal, LogUpdate{1, table_, 1, entry, 1, 8},
+                         &new_value);
+  ASSERT_TRUE(
+      cluster_->log(0)->Append(0, LogType::kWriteAhead, 778, wal.data(),
+                               wal.size()));
+
+  cluster_->Crash(0);
+  RecoveryManager recovery(cluster_.get());
+  const auto report = recovery.Recover(0);
+  EXPECT_EQ(report.committed_txns, 1);
+  EXPECT_EQ(report.redone_updates, 1);
+  EXPECT_EQ(report.released_locks, 1);
+  uint64_t value = 0;
+  ASSERT_TRUE(host->Get(1, &value));
+  EXPECT_EQ(value, 4242u);
+  EXPECT_EQ(htm::StrongLoad(host->StatePtr(entry)), kStateInit);
+}
+
+TEST_F(DurabilityTest, RecoverySkipsNewerVersions) {
+  SetUpCluster(2);
+  // The redo's version (1) is not newer than the record's current
+  // version after a later committed write, so redo must be skipped.
+  Worker worker(cluster_.get(), 0, 0);
+  ASSERT_EQ(Transfer(&worker, 0, 1, 1), TxnStatus::kCommitted);  // version 1
+  store::ClusterHashTable* host = cluster_->hash_table(1, table_);
+  const uint64_t entry = host->FindEntry(1);
+  std::vector<uint8_t> wal;
+  const uint64_t stale_value = 1;
+  NvramLog::EncodeUpdate(&wal, LogUpdate{1, table_, 1, entry, 1, 8},
+                         &stale_value);
+  ASSERT_TRUE(cluster_->log(0)->Append(0, LogType::kWriteAhead, 779,
+                                       wal.data(), wal.size()));
+  cluster_->Crash(0);
+  RecoveryManager recovery(cluster_.get());
+  const auto report = recovery.Recover(0);
+  EXPECT_EQ(report.redone_updates, 0);
+  uint64_t value = 0;
+  ASSERT_TRUE(host->Get(1, &value));
+  EXPECT_EQ(value, kInitialBalance + 1);
+}
+
+TEST_F(DurabilityTest, RecoverySkipsCompletedTxns) {
+  SetUpCluster(2);
+  Worker worker(cluster_.get(), 0, 0);
+  ASSERT_EQ(Transfer(&worker, 0, 1, 25), TxnStatus::kCommitted);
+  // The transaction wrote lock-ahead + WAL + complete; recovery must not
+  // touch anything.
+  cluster_->Crash(0);
+  RecoveryManager recovery(cluster_.get());
+  const auto report = recovery.Recover(0);
+  EXPECT_EQ(report.committed_txns, 0);
+  EXPECT_EQ(report.aborted_txns, 0);
+  EXPECT_EQ(report.redone_updates, 0);
+  uint64_t value = 0;
+  ASSERT_TRUE(cluster_->hash_table(1, table_)->Get(1, &value));
+  EXPECT_EQ(value, kInitialBalance + 25);
+}
+
+TEST_F(DurabilityTest, EndToEndCrashDuringWorkloadConservesMoney) {
+  SetUpCluster(3);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> net_to_node2{0};  // committed amount into node-2 keys
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      Worker worker(cluster_.get(), t, 0);
+      Xoshiro256 rng(31 + static_cast<uint64_t>(t));
+      while (!stop.load(std::memory_order_acquire)) {
+        const uint64_t from = rng.NextBounded(kAccounts);
+        uint64_t to = rng.NextBounded(kAccounts);
+        if (to == from) {
+          to = (to + 1) % kAccounts;
+        }
+        (void)Transfer(&worker, from, to, 1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  cluster_->Crash(2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // Recover node 2's in-flight effects on the survivors while it is down
+  // (Fig. 7(a)/(b)), then revive it and finish recovery against its own
+  // records. Surviving transactions that had already committed their HTM
+  // region keep retrying their write-back until the node returns (case
+  // (e)), so workers are only stopped after the revive.
+  RecoveryManager recovery(cluster_.get());
+  recovery.Recover(2);
+  cluster_->Revive(2);
+  recovery.Recover(2);
+  stop.store(true);
+  for (auto& th : threads) {
+    th.join();
+  }
+  (void)net_to_node2;
+
+  // All locks must be clear and the money supply intact.
+  uint64_t sum = 0;
+  for (uint64_t k = 0; k < kAccounts; ++k) {
+    store::ClusterHashTable* host =
+        cluster_->hash_table(cluster_->PartitionOf(table_, k), table_);
+    const uint64_t entry = host->FindEntry(k);
+    ASSERT_NE(entry, store::kInvalidOffset);
+    EXPECT_FALSE(IsWriteLocked(htm::StrongLoad(host->StatePtr(entry))))
+        << "account " << k;
+    uint64_t v = 0;
+    ASSERT_TRUE(host->Get(k, &v));
+    sum += v;
+  }
+  EXPECT_EQ(sum, kAccounts * kInitialBalance);
+}
+
+
+TEST_F(DurabilityTest, FailureDetectorSuspectsCrashedNode) {
+  SetUpCluster(3);
+  // The cluster must be running so softtime heartbeats advance.
+  std::atomic<int> suspected_node{-1};
+  txn::FailureDetector detector(
+      cluster_.get(), /*poll_interval_us=*/500, /*timeout_us=*/20000,
+      [&](int node) { suspected_node.store(node); });
+  detector.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(suspected_node.load(), -1);  // everyone healthy
+  EXPECT_FALSE(detector.IsSuspected(2));
+
+  cluster_->Crash(2);
+  // Heartbeats for node 2 stop advancing; detection within the timeout
+  // plus some slack.
+  for (int i = 0; i < 200 && suspected_node.load() == -1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(suspected_node.load(), 2);
+  EXPECT_TRUE(detector.IsSuspected(2));
+  EXPECT_FALSE(detector.IsSuspected(0));
+
+  // Revive: the heartbeat resumes and the suspicion clears.
+  cluster_->Revive(2);
+  for (int i = 0; i < 200 && detector.IsSuspected(2); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_FALSE(detector.IsSuspected(2));
+  detector.Stop();
+}
+
+TEST_F(DurabilityTest, DetectorDrivenRecoveryClearsLocks) {
+  SetUpCluster(3);
+  // Node 0 locks a record on node 1 and "crashes" pre-commit; the
+  // detector notices and drives recovery, Zookeeper-style.
+  store::ClusterHashTable* host = cluster_->hash_table(1, table_);
+  const uint64_t entry = host->FindEntry(1);
+  const uint64_t state_off = entry + store::kEntryStateOffset;
+  uint64_t observed;
+  ASSERT_EQ(cluster_->fabric().Cas(1, state_off, kStateInit,
+                                   MakeWriteLocked(0), &observed),
+            rdma::OpStatus::kOk);
+  const std::vector<LogLock> locks = {{1, table_, 1, state_off}};
+  const auto payload = NvramLog::EncodeLocks(locks);
+  ASSERT_TRUE(cluster_->log(0)->Append(0, LogType::kLockAhead, 555,
+                                       payload.data(), payload.size()));
+
+  std::atomic<bool> recovered{false};
+  txn::RecoveryManager recovery(cluster_.get());
+  txn::FailureDetector detector(
+      cluster_.get(), 500, 20000, [&](int node) {
+        recovery.Recover(node);
+        recovered.store(true);
+      });
+  detector.Start();
+  cluster_->Crash(0);
+  for (int i = 0; i < 400 && !recovered.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  detector.Stop();
+  ASSERT_TRUE(recovered.load());
+  EXPECT_EQ(htm::StrongLoad(host->StatePtr(entry)), kStateInit);
+}
+
+}  // namespace
+}  // namespace txn
+}  // namespace drtm

@@ -1,0 +1,215 @@
+// Tests for discovered (undeclared) read sets: Transaction::ReadDynamic
+// in both HTM and fallback modes, and the chopping runtime's interaction
+// with logging (chop-info records, section 4.6).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/txn/chopping.h"
+#include "src/txn/cluster.h"
+#include "src/txn/nvram_log.h"
+#include "src/txn/transaction.h"
+
+namespace drtm {
+namespace txn {
+namespace {
+
+class DynamicReadTest : public ::testing::Test {
+ protected:
+  void SetUpCluster(ClusterConfig config) {
+    config.num_nodes = 2;
+    config.workers_per_node = 1;
+    config.region_bytes = 24 << 20;
+    cluster_ = std::make_unique<Cluster>(config);
+    TableSpec spec;
+    spec.value_size = 8;
+    spec.partition = [](uint64_t key) { return static_cast<int>(key % 2); };
+    table_ = cluster_->AddTable(spec);
+    cluster_->Start();
+    for (uint64_t k = 0; k < 32; ++k) {
+      const uint64_t v = k * 10;
+      cluster_->hash_table(cluster_->PartitionOf(table_, k), table_)
+          ->Insert(k, &v);
+    }
+  }
+  void TearDown() override {
+    if (cluster_ != nullptr) {
+      cluster_->Stop();
+    }
+  }
+  std::unique_ptr<Cluster> cluster_;
+  int table_;
+};
+
+TEST_F(DynamicReadTest, HtmModeReadsUndeclaredLocalRecords) {
+  SetUpCluster(ClusterConfig());
+  Worker worker(cluster_.get(), 0, 0);
+  Transaction txn(&worker);
+  txn.AddRead(table_, 0);  // seed: at least one declared record
+  uint64_t sum = 0;
+  ASSERT_EQ(txn.Run([&](Transaction& t) {
+    uint64_t v;
+    if (!t.Read(table_, 0, &v)) {
+      return false;
+    }
+    sum = v;
+    // Discovered reads: every local even key.
+    for (uint64_t k = 2; k < 32; k += 2) {
+      uint64_t dyn = 0;
+      if (!t.ReadDynamic(table_, k, &dyn)) {
+        return false;
+      }
+      sum += dyn;
+    }
+    return true;
+  }),
+            TxnStatus::kCommitted);
+  uint64_t expect = 0;
+  for (uint64_t k = 0; k < 32; k += 2) {
+    expect += k * 10;
+  }
+  EXPECT_EQ(sum, expect);
+}
+
+TEST_F(DynamicReadTest, HtmModeMissingDynamicKeyReturnsFalse) {
+  SetUpCluster(ClusterConfig());
+  Worker worker(cluster_.get(), 0, 0);
+  Transaction txn(&worker);
+  txn.AddRead(table_, 0);
+  ASSERT_EQ(txn.Run([&](Transaction& t) {
+    uint64_t v;
+    t.Read(table_, 0, &v);
+    uint64_t dyn = 0;
+    EXPECT_FALSE(t.ReadDynamic(table_, 1000, &dyn));  // absent, local
+    return true;
+  }),
+            TxnStatus::kCommitted);
+}
+
+TEST_F(DynamicReadTest, FallbackModeLeasesDynamicReads) {
+  ClusterConfig config;
+  config.htm_retry_limit = 0;  // force fallback
+  SetUpCluster(config);
+  Worker worker(cluster_.get(), 0, 0);
+  Transaction txn(&worker);
+  txn.AddWrite(table_, 0);
+  uint64_t seen = 0;
+  ASSERT_EQ(txn.Run([&](Transaction& t) {
+    EXPECT_TRUE(t.in_fallback());
+    uint64_t v;
+    if (!t.Read(table_, 0, &v)) {
+      return false;
+    }
+    uint64_t dyn = 0;
+    if (!t.ReadDynamic(table_, 2, &dyn)) {
+      return false;
+    }
+    seen = dyn;
+    ++v;
+    return t.Write(table_, 0, &v);
+  }),
+            TxnStatus::kCommitted);
+  EXPECT_EQ(seen, 20u);
+  uint64_t v = 0;
+  cluster_->hash_table(0, table_)->Get(0, &v);
+  EXPECT_EQ(v, 1u);
+}
+
+TEST_F(DynamicReadTest, FallbackDynamicReadsConsistentWithWriters) {
+  // Two records on node 0 are always kept equal by a local writer; a
+  // fallback transaction reading one declared + one dynamic must never
+  // observe a mixed pair (the dynamic lease is confirmed pre-apply).
+  ClusterConfig config;
+  config.htm_retry_limit = 0;
+  config.lease_rw_us = 2000;
+  SetUpCluster(config);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+
+  std::thread writer([&] {
+    Worker worker(cluster_.get(), 0, 0);
+    uint64_t v = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      Transaction txn(&worker);
+      txn.AddWrite(table_, 0);
+      txn.AddWrite(table_, 2);
+      ++v;
+      const uint64_t value = v;
+      (void)txn.Run([&](Transaction& t) {
+        return t.Write(table_, 0, &value) && t.Write(table_, 2, &value);
+      });
+    }
+  });
+  std::thread reader([&] {
+    Worker worker(cluster_.get(), 0, 0);  // same node, different thread
+    while (!stop.load(std::memory_order_acquire)) {
+      Transaction txn(&worker);
+      txn.AddRead(table_, 0);
+      uint64_t a = 0;
+      uint64_t b = 0;
+      const TxnStatus status = txn.Run([&](Transaction& t) {
+        if (!t.Read(table_, 0, &a)) {
+          return false;
+        }
+        return t.ReadDynamic(table_, 2, &b);
+      });
+      if (status == TxnStatus::kCommitted && a != b) {
+        torn.store(true);
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true);
+  writer.join();
+  reader.join();
+  EXPECT_FALSE(torn.load());
+}
+
+TEST_F(DynamicReadTest, ChoppedTransactionLogsChopInfo) {
+  ClusterConfig config;
+  config.logging = true;
+  SetUpCluster(config);
+  Worker worker(cluster_.get(), 0, 0);
+  ChoppedTransaction chain;
+  for (int piece = 0; piece < 3; ++piece) {
+    const uint64_t key = static_cast<uint64_t>(piece) * 2;  // node 0
+    chain.AddPiece(
+        [this, key](Transaction& t) { t.AddWrite(table_, key); },
+        [this, key](Transaction& t) {
+          uint64_t v;
+          if (!t.Read(table_, key, &v)) {
+            return false;
+          }
+          ++v;
+          return t.Write(table_, key, &v);
+        });
+  }
+  ASSERT_EQ(chain.Run(&worker), TxnStatus::kCommitted);
+  // One chop-info record per piece, sharing the chain id, with ascending
+  // piece indices.
+  int chop_records = 0;
+  uint64_t chain_id = 0;
+  cluster_->log(0)->ForEach([&](int, const LogRecord& record) {
+    if (record.type != LogType::kChopInfo) {
+      return;
+    }
+    uint32_t piece = 0;
+    uint32_t total = 0;
+    ASSERT_GE(record.payload.size(), 8u);
+    std::memcpy(&piece, record.payload.data(), 4);
+    std::memcpy(&total, record.payload.data() + 4, 4);
+    if (chop_records == 0) {
+      chain_id = record.txn_id;
+    } else {
+      EXPECT_EQ(record.txn_id, chain_id);
+    }
+    EXPECT_EQ(piece, static_cast<uint32_t>(chop_records));
+    EXPECT_EQ(total, 3u);
+    ++chop_records;
+  });
+  EXPECT_EQ(chop_records, 3);
+}
+
+}  // namespace
+}  // namespace txn
+}  // namespace drtm

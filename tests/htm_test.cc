@@ -1,0 +1,341 @@
+#include "src/htm/htm.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/common/barrier.h"
+
+namespace drtm {
+namespace htm {
+namespace {
+
+TEST(VersionTable, SameLineSameSlot) {
+  VersionTable table(1 << 10);
+  alignas(64) char buf[128];
+  EXPECT_EQ(table.SlotFor(buf), table.SlotFor(buf + 32));
+  // Different lines usually map to different slots in a sparse table.
+  EXPECT_NE(table.SlotFor(buf), table.SlotFor(buf + 64));
+}
+
+TEST(Htm, CommitMakesWritesVisible) {
+  alignas(64) uint64_t value = 0;
+  HtmThread htm;
+  const unsigned status = htm.Transact([&] { htm.Store(&value, uint64_t{42}); });
+  EXPECT_EQ(status, kCommitted);
+  EXPECT_EQ(value, 42u);
+  EXPECT_EQ(htm.stats().commits, 1u);
+}
+
+TEST(Htm, WritesInvisibleBeforeCommit) {
+  alignas(64) uint64_t value = 7;
+  HtmThread htm;
+  htm.Transact([&] {
+    htm.Store(&value, uint64_t{99});
+    // Underlying memory still holds the old value: writes are buffered.
+    EXPECT_EQ(value, 7u);
+    // But the transaction reads its own write.
+    EXPECT_EQ(htm.Load(&value), 99u);
+  });
+  EXPECT_EQ(value, 99u);
+}
+
+TEST(Htm, ExplicitAbortDiscardsWrites) {
+  alignas(64) uint64_t value = 1;
+  HtmThread htm;
+  const unsigned status = htm.Transact([&] {
+    htm.Store(&value, uint64_t{2});
+    htm.Abort(0x3c);
+  });
+  EXPECT_NE(status, kCommitted);
+  EXPECT_TRUE(status & kAbortExplicit);
+  EXPECT_EQ(AbortUserCode(status), 0x3cu);
+  EXPECT_EQ(value, 1u);
+  EXPECT_EQ(htm.stats().aborts_explicit, 1u);
+}
+
+TEST(Htm, ReadYourWritesPartialOverlap) {
+  alignas(64) uint8_t buf[16] = {0};
+  HtmThread htm;
+  htm.Transact([&] {
+    const uint32_t part = 0xa1b2c3d4;
+    htm.Write(buf + 4, &part, sizeof(part));
+    uint8_t out[16];
+    htm.Read(out, buf, sizeof(out));
+    EXPECT_EQ(out[0], 0);
+    uint32_t readback;
+    std::memcpy(&readback, out + 4, sizeof(readback));
+    EXPECT_EQ(readback, part);
+    EXPECT_EQ(out[8], 0);
+  });
+}
+
+TEST(Htm, LaterWriteWinsOnOverlap) {
+  alignas(64) uint64_t value = 0;
+  HtmThread htm;
+  htm.Transact([&] {
+    htm.Store(&value, uint64_t{1});
+    htm.Store(&value, uint64_t{2});
+    EXPECT_EQ(htm.Load(&value), 2u);
+  });
+  EXPECT_EQ(value, 2u);
+}
+
+TEST(Htm, CapacityAbortOnWriteSet) {
+  Config config;
+  config.max_write_lines = 4;
+  HtmThread htm(config);
+  std::vector<uint64_t> data(64 * 16, 0);
+  const unsigned status = htm.Transact([&] {
+    for (size_t i = 0; i < data.size(); i += 8) {
+      htm.Store(&data[i], uint64_t{1});
+    }
+  });
+  EXPECT_TRUE(status & kAbortCapacity);
+  EXPECT_EQ(htm.stats().aborts_capacity, 1u);
+}
+
+TEST(Htm, CapacityAbortOnReadSet) {
+  Config config;
+  config.max_read_lines = 4;
+  HtmThread htm(config);
+  std::vector<uint64_t> data(64 * 16, 0);
+  const unsigned status = htm.Transact([&] {
+    uint64_t sum = 0;
+    for (size_t i = 0; i < data.size(); i += 8) {
+      sum += htm.Load(&data[i]);
+    }
+    EXPECT_EQ(sum, 0u);
+  });
+  EXPECT_TRUE(status & kAbortCapacity);
+}
+
+TEST(Htm, StrongWriteAbortsConflictingReader) {
+  alignas(64) static uint64_t value = 0;
+  value = 0;
+  HtmThread htm;
+  const unsigned status = htm.Transact([&] {
+    (void)htm.Load(&value);
+    // A non-transactional (RDMA-style) write lands mid-transaction:
+    // strong atomicity demands this transaction cannot commit.
+    StrongStore(&value, uint64_t{123});
+  });
+  EXPECT_TRUE(status & kAbortConflict);
+  EXPECT_EQ(value, 123u);
+}
+
+TEST(Htm, StrongCasAbortsConflictingReader) {
+  alignas(64) static uint64_t word = 5;
+  word = 5;
+  HtmThread htm;
+  const unsigned status = htm.Transact([&] {
+    (void)htm.Load(&word);
+    EXPECT_EQ(StrongCas64(&word, 5, 6), 5u);
+  });
+  EXPECT_TRUE(status & kAbortConflict);
+  EXPECT_EQ(word, 6u);
+}
+
+TEST(Htm, FailedStrongCasDoesNotAbortReader) {
+  alignas(64) static uint64_t word = 5;
+  word = 5;
+  HtmThread htm;
+  const unsigned status = htm.Transact([&] {
+    (void)htm.Load(&word);
+    // CAS with wrong expectation: no write happens, no version bump.
+    EXPECT_EQ(StrongCas64(&word, 999, 6), 5u);
+  });
+  EXPECT_EQ(status, kCommitted);
+  EXPECT_EQ(word, 5u);
+}
+
+TEST(Htm, StrongFaaAddsAtomically) {
+  alignas(64) static uint64_t counter = 10;
+  counter = 10;
+  EXPECT_EQ(StrongFaa64(&counter, 5), 10u);
+  EXPECT_EQ(counter, 15u);
+}
+
+TEST(Htm, StrongReadSeesCommittedState) {
+  alignas(64) static uint64_t value = 0;
+  value = 0;
+  HtmThread htm;
+  htm.Transact([&] { htm.Store(&value, uint64_t{77}); });
+  EXPECT_EQ(StrongLoad(&value), 77u);
+}
+
+TEST(Htm, NestedTransactionsFlatten) {
+  alignas(64) static uint64_t value = 0;
+  value = 0;
+  HtmThread htm;
+  const unsigned status = htm.Transact([&] {
+    htm.Store(&value, uint64_t{1});
+    const unsigned inner = htm.Transact([&] { htm.Store(&value, uint64_t{2}); });
+    EXPECT_EQ(inner, kCommitted);
+  });
+  EXPECT_EQ(status, kCommitted);
+  EXPECT_EQ(value, 2u);
+}
+
+TEST(Htm, NestedAbortAbortsOuter) {
+  alignas(64) static uint64_t value = 0;
+  value = 0;
+  HtmThread htm;
+  const unsigned status = htm.Transact([&] {
+    htm.Store(&value, uint64_t{1});
+    htm.Transact([&] { htm.Abort(1); });
+  });
+  EXPECT_TRUE(status & kAbortExplicit);
+  EXPECT_EQ(value, 0u);
+}
+
+TEST(Htm, CurrentReflectsActiveTransaction) {
+  EXPECT_EQ(HtmThread::Current(), nullptr);
+  HtmThread htm;
+  htm.Transact([&] { EXPECT_EQ(HtmThread::Current(), &htm); });
+  EXPECT_EQ(HtmThread::Current(), nullptr);
+}
+
+TEST(Htm, DispatchingHelpersOutsideTransaction) {
+  alignas(64) static uint64_t value = 0;
+  value = 0;
+  Store(&value, uint64_t{5});  // strong path
+  EXPECT_EQ(Load(&value), 5u);
+}
+
+// Concurrent counter increments: every committed transaction's increment
+// must survive (atomicity + isolation).
+TEST(Htm, ConcurrentIncrementsAreSerializable) {
+  alignas(64) static uint64_t counter = 0;
+  counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      HtmThread htm;
+      for (int i = 0; i < kIncrements; ++i) {
+        while (true) {
+          const unsigned status = htm.Transact([&] {
+            const uint64_t v = htm.Load(&counter);
+            htm.Store(&counter, v + 1);
+          });
+          if (status == kCommitted) {
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter, uint64_t{kThreads} * kIncrements);
+}
+
+// Two values on distinct lines must move together (consistency): a
+// transaction moves a unit from a to b; concurrent strong readers must
+// never observe a state where the sum changed.
+TEST(Htm, TransfersPreserveInvariantUnderStrongReads) {
+  struct alignas(64) Padded {
+    uint64_t v;
+  };
+  static Padded a, b;
+  a.v = 1000;
+  b.v = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violated{false};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      // Strong reads of both words individually can interleave with a
+      // commit; read them as one transaction for a consistent snapshot.
+      HtmThread htm;
+      uint64_t sum = 0;
+      const unsigned status = htm.Transact([&] {
+        sum = htm.Load(&a.v) + htm.Load(&b.v);
+      });
+      if (status == kCommitted && sum != 1000) {
+        violated.store(true);
+      }
+    }
+  });
+
+  HtmThread htm;
+  for (int i = 0; i < 1000; ++i) {
+    while (true) {
+      const unsigned status = htm.Transact([&] {
+        const uint64_t av = htm.Load(&a.v);
+        const uint64_t bv = htm.Load(&b.v);
+        if (av == 0) {
+          return;
+        }
+        htm.Store(&a.v, av - 1);
+        htm.Store(&b.v, bv + 1);
+      });
+      if (status == kCommitted) {
+        break;
+      }
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(a.v + b.v, 1000u);
+}
+
+// Write-write conflicts: concurrent blind writes both commit (last wins),
+// but read-modify-write conflicts abort one side.
+TEST(Htm, RmwConflictAbortsOneSide) {
+  alignas(64) static uint64_t value = 0;
+  value = 0;
+  Barrier barrier(2);
+  std::atomic<int> aborted{0};
+
+  auto worker = [&] {
+    HtmThread htm;
+    const unsigned status = htm.Transact([&] {
+      const uint64_t v = htm.Load(&value);
+      barrier.Wait();  // Both transactions have read; now both write.
+      htm.Store(&value, v + 1);
+    });
+    if (status != kCommitted) {
+      ++aborted;
+    }
+  };
+  std::thread t1(worker);
+  std::thread t2(worker);
+  t1.join();
+  t2.join();
+  // At least one must abort; serializability forbids both committing +1
+  // from the same base unless one serialized after the other, which the
+  // barrier prevents.
+  EXPECT_GE(aborted.load(), 1);
+  EXPECT_EQ(value, 1u);
+}
+
+TEST(Htm, AbortStatusContainsRetryBitOnConflict) {
+  alignas(64) static uint64_t value = 0;
+  value = 0;
+  HtmThread htm;
+  const unsigned status = htm.Transact([&] {
+    (void)htm.Load(&value);
+    StrongStore(&value, uint64_t{9});
+  });
+  EXPECT_TRUE(status & kAbortRetry);
+}
+
+TEST(Htm, StatsAccumulate) {
+  alignas(64) static uint64_t value = 0;
+  HtmThread htm;
+  htm.Transact([&] { htm.Store(&value, uint64_t{1}); });
+  htm.Transact([&] { htm.Abort(2); });
+  EXPECT_EQ(htm.stats().commits, 1u);
+  EXPECT_EQ(htm.stats().TotalAborts(), 1u);
+}
+
+}  // namespace
+}  // namespace htm
+}  // namespace drtm

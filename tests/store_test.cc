@@ -1,0 +1,684 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/common/rand.h"
+#include "src/htm/htm.h"
+#include "src/rdma/fabric.h"
+#include "src/store/bplus_tree.h"
+#include "src/store/cluster_hash.h"
+#include "src/store/farm_hopscotch.h"
+#include "src/store/kv_layout.h"
+#include "src/store/location_cache.h"
+#include "src/store/pilaf_cuckoo.h"
+#include "src/store/remote_kv.h"
+
+namespace drtm {
+namespace store {
+namespace {
+
+rdma::Fabric::Config TestFabric(int nodes, size_t region = 64 << 20) {
+  rdma::Fabric::Config config;
+  config.num_nodes = nodes;
+  config.region_bytes = region;
+  config.latency = rdma::LatencyModel::Zero();
+  return config;
+}
+
+std::vector<uint8_t> MakeValue(uint64_t key, uint32_t size) {
+  std::vector<uint8_t> v(size);
+  for (uint32_t i = 0; i < size; ++i) {
+    v[i] = static_cast<uint8_t>((key * 31 + i) & 0xff);
+  }
+  return v;
+}
+
+// --- HeaderSlot encoding ----------------------------------------------------
+
+TEST(KvLayout, SlotPackRoundTrip) {
+  const uint64_t meta =
+      HeaderSlot::Pack(SlotType::kEntry, 0x2abc, 0x0000123456789abcULL);
+  HeaderSlot slot;
+  slot.meta = meta;
+  EXPECT_EQ(slot.type(), SlotType::kEntry);
+  EXPECT_EQ(slot.lossy_incarnation(), 0x2abc);
+  EXPECT_EQ(slot.offset(), 0x0000123456789abcULL);
+}
+
+TEST(KvLayout, LossyIncarnationTruncatesTo14Bits) {
+  const uint64_t meta = HeaderSlot::Pack(SlotType::kHeader, 0xffff, 1);
+  HeaderSlot slot;
+  slot.meta = meta;
+  EXPECT_EQ(slot.lossy_incarnation(), 0x3fff);
+  EXPECT_EQ(slot.type(), SlotType::kHeader);
+}
+
+TEST(KvLayout, EntryLayoutMatchesPaper) {
+  EXPECT_EQ(sizeof(EntryHeader), 24u);
+  EXPECT_EQ(kEntryStateOffset, 16u);
+  EXPECT_EQ(kEntryValueOffset, 24u);  // state and value contiguous
+  EXPECT_EQ(sizeof(Bucket), 128u);    // one RDMA READ per 8 candidates
+}
+
+// --- ClusterHashTable -------------------------------------------------------
+
+class ClusterHashTest : public ::testing::Test {
+ protected:
+  ClusterHashTest() : fabric_(TestFabric(2)) {
+    ClusterHashTable::Config config;
+    config.main_buckets = 1 << 8;
+    config.indirect_buckets = 1 << 7;
+    config.capacity = 1 << 12;
+    config.value_size = 32;
+    table_ = std::make_unique<ClusterHashTable>(&fabric_.memory(1), config);
+  }
+
+  rdma::Fabric fabric_;
+  std::unique_ptr<ClusterHashTable> table_;
+};
+
+TEST_F(ClusterHashTest, InsertGetRoundTrip) {
+  const auto value = MakeValue(7, 32);
+  ASSERT_TRUE(table_->Insert(7, value.data()));
+  std::vector<uint8_t> out(32);
+  ASSERT_TRUE(table_->Get(7, out.data()));
+  EXPECT_EQ(out, value);
+}
+
+TEST_F(ClusterHashTest, DuplicateInsertRejected) {
+  const auto value = MakeValue(7, 32);
+  ASSERT_TRUE(table_->Insert(7, value.data()));
+  EXPECT_FALSE(table_->Insert(7, value.data()));
+  EXPECT_EQ(table_->live_entries(), 1u);
+}
+
+TEST_F(ClusterHashTest, GetMissingReturnsFalse) {
+  std::vector<uint8_t> out(32);
+  EXPECT_FALSE(table_->Get(12345, out.data()));
+}
+
+TEST_F(ClusterHashTest, PutBumpsVersion) {
+  const auto v1 = MakeValue(9, 32);
+  ASSERT_TRUE(table_->Insert(9, v1.data()));
+  const uint64_t entry = table_->FindEntry(9);
+  ASSERT_NE(entry, kInvalidOffset);
+  const uint32_t version_before = *table_->VersionPtr(entry);
+  const auto v2 = MakeValue(10, 32);
+  ASSERT_TRUE(table_->Put(9, v2.data()));
+  EXPECT_EQ(*table_->VersionPtr(entry), version_before + 1);
+  std::vector<uint8_t> out(32);
+  table_->Get(9, out.data());
+  EXPECT_EQ(out, v2);
+}
+
+TEST_F(ClusterHashTest, RemoveBumpsIncarnation) {
+  const auto value = MakeValue(5, 32);
+  ASSERT_TRUE(table_->Insert(5, value.data()));
+  const uint64_t entry = table_->FindEntry(5);
+  EntryHeader header;
+  std::memcpy(&header, table_->EntryPtr(entry), sizeof(header));
+  const uint32_t inc_before = header.incarnation;
+  ASSERT_TRUE(table_->Remove(5));
+  std::memcpy(&header, table_->EntryPtr(entry), sizeof(header));
+  EXPECT_EQ(header.incarnation, inc_before + 1);
+  std::vector<uint8_t> out(32);
+  EXPECT_FALSE(table_->Get(5, out.data()));
+  EXPECT_EQ(table_->live_entries(), 0u);
+}
+
+TEST_F(ClusterHashTest, RemoveMissingReturnsFalse) {
+  EXPECT_FALSE(table_->Remove(4242));
+}
+
+TEST_F(ClusterHashTest, ChainsThroughIndirectHeaders) {
+  // Force many keys into the table; with 256 main buckets and 2000 keys,
+  // many buckets overflow into indirect headers.
+  for (uint64_t k = 0; k < 2000; ++k) {
+    const auto value = MakeValue(k, 32);
+    ASSERT_TRUE(table_->Insert(k, value.data())) << "key " << k;
+  }
+  EXPECT_EQ(table_->live_entries(), 2000u);
+  std::vector<uint8_t> out(32);
+  for (uint64_t k = 0; k < 2000; ++k) {
+    ASSERT_TRUE(table_->Get(k, out.data())) << "key " << k;
+    EXPECT_EQ(out, MakeValue(k, 32));
+  }
+}
+
+TEST_F(ClusterHashTest, DeleteThenReinsertReusesEntries) {
+  for (uint64_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(table_->Insert(k, MakeValue(k, 32).data()));
+  }
+  for (uint64_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(table_->Remove(k));
+  }
+  for (uint64_t k = 1000; k < 1500; ++k) {
+    ASSERT_TRUE(table_->Insert(k, MakeValue(k, 32).data()));
+  }
+  std::vector<uint8_t> out(32);
+  for (uint64_t k = 1000; k < 1500; ++k) {
+    ASSERT_TRUE(table_->Get(k, out.data()));
+  }
+  EXPECT_EQ(table_->live_entries(), 500u);
+}
+
+TEST_F(ClusterHashTest, AbortedHtmInsertRollsBack) {
+  htm::HtmThread htm;
+  const unsigned status = htm.Transact([&] {
+    ASSERT_TRUE(table_->Insert(77, MakeValue(77, 32).data()));
+    htm.Abort(1);
+  });
+  EXPECT_NE(status, htm::kCommitted);
+  std::vector<uint8_t> out(32);
+  EXPECT_FALSE(table_->Get(77, out.data()));
+  EXPECT_EQ(table_->live_entries(), 0u);
+  // The entry allocator rolled back too: a committed insert succeeds and
+  // the table stays consistent.
+  htm.Transact([&] { ASSERT_TRUE(table_->Insert(77, MakeValue(77, 32).data())); });
+  EXPECT_TRUE(table_->Get(77, out.data()));
+}
+
+TEST_F(ClusterHashTest, ConcurrentHtmInsertsAllSurvive) {
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      htm::HtmThread htm;
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const uint64_t key = static_cast<uint64_t>(t) * 1000 + i;
+        while (true) {
+          bool ok = false;
+          const unsigned status = htm.Transact(
+              [&] { ok = table_->Insert(key, MakeValue(key, 32).data()); });
+          if (status == htm::kCommitted) {
+            ASSERT_TRUE(ok);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(table_->live_entries(), kThreads * kPerThread);
+  std::vector<uint8_t> out(32);
+  for (int t = 0; t < kThreads; ++t) {
+    for (uint64_t i = 0; i < kPerThread; ++i) {
+      const uint64_t key = static_cast<uint64_t>(t) * 1000 + i;
+      ASSERT_TRUE(table_->Get(key, out.data()));
+    }
+  }
+}
+
+// --- RemoteKv ---------------------------------------------------------------
+
+class RemoteKvTest : public ::testing::Test {
+ protected:
+  RemoteKvTest() : fabric_(TestFabric(2)) {
+    ClusterHashTable::Config config;
+    config.main_buckets = 1 << 8;
+    config.indirect_buckets = 1 << 7;
+    config.capacity = 1 << 12;
+    config.value_size = 32;
+    table_ = std::make_unique<ClusterHashTable>(&fabric_.memory(1), config);
+    for (uint64_t k = 0; k < 1000; ++k) {
+      table_->Insert(k, MakeValue(k, 32).data());
+    }
+  }
+
+  rdma::Fabric fabric_;
+  std::unique_ptr<ClusterHashTable> table_;
+};
+
+TEST_F(RemoteKvTest, UncachedGetFindsValues) {
+  RemoteKv client(&fabric_, 1, table_->geometry());
+  std::vector<uint8_t> out(32);
+  for (uint64_t k = 0; k < 1000; k += 37) {
+    ASSERT_TRUE(client.Get(k, out.data())) << "key " << k;
+    EXPECT_EQ(out, MakeValue(k, 32));
+  }
+  EXPECT_FALSE(client.Get(999999, out.data()));
+}
+
+TEST_F(RemoteKvTest, LookupCountsReads) {
+  RemoteKv client(&fabric_, 1, table_->geometry());
+  const RemoteEntryRef ref = client.Lookup(3);
+  ASSERT_TRUE(ref.found);
+  EXPECT_GE(ref.rdma_reads, 1);
+  EXPECT_EQ(ref.entry_off, table_->FindEntry(3));
+}
+
+TEST_F(RemoteKvTest, CacheEliminatesRepeatLookupReads) {
+  LocationCache cache(1 << 20);
+  RemoteKv client(&fabric_, 1, table_->geometry(), &cache);
+  std::vector<uint8_t> out(32);
+  ASSERT_TRUE(client.Get(3, out.data()));
+  rdma::LocalThreadStats().Reset();
+  ASSERT_TRUE(client.Get(3, out.data()));
+  // Warm cache: only the entry READ remains, no bucket READ.
+  EXPECT_EQ(rdma::LocalThreadStats().reads, 1u);
+}
+
+TEST_F(RemoteKvTest, StaleCacheDetectedByIncarnation) {
+  LocationCache cache(1 << 20);
+  RemoteKv client(&fabric_, 1, table_->geometry(), &cache);
+  std::vector<uint8_t> out(32);
+  ASSERT_TRUE(client.Get(3, out.data()));
+  // Host deletes and reinserts the key; the entry cell is recycled with a
+  // bumped incarnation, so the cached location must be detected as stale.
+  ASSERT_TRUE(table_->Remove(3));
+  ASSERT_TRUE(table_->Insert(3, MakeValue(33, 32).data()));
+  ASSERT_TRUE(client.Get(3, out.data()));
+  EXPECT_EQ(out, MakeValue(33, 32));
+}
+
+TEST_F(RemoteKvTest, DeletedKeyMissesThroughCache) {
+  LocationCache cache(1 << 20);
+  RemoteKv client(&fabric_, 1, table_->geometry(), &cache);
+  std::vector<uint8_t> out(32);
+  ASSERT_TRUE(client.Get(5, out.data()));
+  ASSERT_TRUE(table_->Remove(5));
+  EXPECT_FALSE(client.Get(5, out.data()));
+}
+
+TEST_F(RemoteKvTest, SnapshotReadEntryReturnsHeader) {
+  RemoteKv client(&fabric_, 1, table_->geometry());
+  const RemoteEntryRef ref = client.Lookup(8);
+  ASSERT_TRUE(ref.found);
+  RemoteEntrySnapshot snap;
+  ASSERT_TRUE(client.ReadEntry(ref.entry_off, &snap));
+  EXPECT_EQ(snap.header.key, 8u);
+  EXPECT_EQ(snap.value, MakeValue(8, 32));
+}
+
+// --- LocationCache ----------------------------------------------------------
+
+TEST(LocationCache, InstallLookupInvalidate) {
+  LocationCache cache(64 << 10);
+  Bucket bucket{};
+  bucket.slots[0].key = 42;
+  cache.Install(128, bucket);
+  Bucket out{};
+  ASSERT_TRUE(cache.Lookup(128, &out));
+  EXPECT_EQ(out.slots[0].key, 42u);
+  cache.Invalidate(128);
+  EXPECT_FALSE(cache.Lookup(128, &out));
+}
+
+TEST(LocationCache, DirectMappedEviction) {
+  LocationCache cache(1 << 10);  // tiny: few frames
+  Bucket bucket{};
+  // Install many buckets; collisions evict older frames silently.
+  for (uint64_t off = 0; off < 128 * kBucketBytes; off += kBucketBytes) {
+    bucket.slots[0].key = off;
+    cache.Install(off, bucket);
+  }
+  // The most recently installed frame must be retrievable.
+  Bucket out{};
+  EXPECT_TRUE(cache.Lookup(127 * kBucketBytes, &out));
+}
+
+TEST(LocationCache, TracksHitMissStats) {
+  LocationCache cache(64 << 10);
+  Bucket bucket{};
+  Bucket out{};
+  EXPECT_FALSE(cache.Lookup(0, &out));
+  cache.Install(0, bucket);
+  EXPECT_TRUE(cache.Lookup(0, &out));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+// --- Pilaf cuckoo baseline --------------------------------------------------
+
+TEST(PilafCuckoo, InsertGetLocalAndRemote) {
+  rdma::Fabric fabric(TestFabric(2));
+  PilafCuckooTable::Config config;
+  config.buckets = 1 << 10;
+  config.capacity = 1 << 10;
+  config.value_size = 16;
+  PilafCuckooTable table(&fabric.memory(1), config);
+  for (uint64_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(table.Insert(k, MakeValue(k, 16).data())) << k;
+  }
+  std::vector<uint8_t> out(16);
+  for (uint64_t k = 0; k < 500; k += 7) {
+    ASSERT_TRUE(table.Get(k, out.data()));
+    EXPECT_EQ(out, MakeValue(k, 16));
+    int reads = 0;
+    ASSERT_TRUE(table.RemoteGet(&fabric, 1, k, out.data(), &reads));
+    EXPECT_EQ(out, MakeValue(k, 16));
+    EXPECT_GE(reads, 2);  // at least one bucket + one kv READ
+    EXPECT_LE(reads, 4);
+  }
+}
+
+TEST(PilafCuckoo, MissReturnsFalse) {
+  rdma::Fabric fabric(TestFabric(2));
+  PilafCuckooTable::Config config;
+  PilafCuckooTable table(&fabric.memory(1), config);
+  std::vector<uint8_t> out(config.value_size);
+  int reads = 0;
+  EXPECT_FALSE(table.RemoteGet(&fabric, 1, 7, out.data(), &reads));
+  EXPECT_EQ(reads, 3);  // all three candidate buckets probed
+}
+
+// --- FaRM hopscotch baseline ------------------------------------------------
+
+class FarmHopscotchParamTest
+    : public ::testing::TestWithParam<FarmHopscotchTable::Mode> {};
+
+TEST_P(FarmHopscotchParamTest, InsertGetLocalAndRemote) {
+  rdma::Fabric fabric(TestFabric(2));
+  FarmHopscotchTable::Config config;
+  config.buckets = 1 << 10;
+  config.value_size = 16;
+  config.mode = GetParam();
+  FarmHopscotchTable table(&fabric.memory(1), config);
+  for (uint64_t k = 0; k < 700; ++k) {
+    ASSERT_TRUE(table.Insert(k, MakeValue(k, 16).data())) << k;
+  }
+  std::vector<uint8_t> out(16);
+  for (uint64_t k = 0; k < 700; k += 13) {
+    ASSERT_TRUE(table.Get(k, out.data()));
+    EXPECT_EQ(out, MakeValue(k, 16));
+    int reads = 0;
+    ASSERT_TRUE(table.RemoteGet(&fabric, 1, k, out.data(), &reads));
+    EXPECT_EQ(out, MakeValue(k, 16));
+    EXPECT_GE(reads, 1);
+    // Neighborhood READ (possibly split by wraparound), an optional value
+    // READ in offset mode, plus overflow-chain hops at high occupancy.
+    EXPECT_LE(reads, 8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, FarmHopscotchParamTest,
+    ::testing::Values(FarmHopscotchTable::Mode::kInlineValue,
+                      FarmHopscotchTable::Mode::kOffsetValue));
+
+TEST(FarmHopscotch, InlineModeReadsNoSecondTime) {
+  rdma::Fabric fabric(TestFabric(2));
+  FarmHopscotchTable::Config config;
+  config.buckets = 1 << 10;
+  config.value_size = 16;
+  config.mode = FarmHopscotchTable::Mode::kInlineValue;
+  FarmHopscotchTable table(&fabric.memory(1), config);
+  ASSERT_TRUE(table.Insert(3, MakeValue(3, 16).data()));
+  std::vector<uint8_t> out(16);
+  int reads = 0;
+  ASSERT_TRUE(table.RemoteGet(&fabric, 1, 3, out.data(), &reads));
+  EXPECT_LE(reads, 2);
+  // Inline mode amplifies the READ size by the neighborhood.
+  EXPECT_GE(table.NeighborhoodReadBytes(), size_t{8} * (16 + 24));
+}
+
+// --- B+ tree ----------------------------------------------------------------
+
+class BPlusTreeTest : public ::testing::Test {
+ protected:
+  BPlusTreeTest() {
+    BPlusTree::Config config;
+    config.value_size = 8;
+    config.max_nodes = 1 << 14;
+    tree_ = std::make_unique<BPlusTree>(config);
+  }
+  std::unique_ptr<BPlusTree> tree_;
+};
+
+TEST_F(BPlusTreeTest, InsertGetAscending) {
+  for (uint64_t k = 0; k < 5000; ++k) {
+    const uint64_t v = k * 3;
+    ASSERT_TRUE(tree_->Insert(k, &v)) << k;
+  }
+  EXPECT_EQ(tree_->size(), 5000u);
+  for (uint64_t k = 0; k < 5000; ++k) {
+    uint64_t v = 0;
+    ASSERT_TRUE(tree_->Get(k, &v)) << k;
+    EXPECT_EQ(v, k * 3);
+  }
+}
+
+TEST_F(BPlusTreeTest, InsertGetRandomOrder) {
+  Xoshiro256 rng(77);
+  std::set<uint64_t> keys;
+  while (keys.size() < 3000) {
+    keys.insert(rng.Next() % 100000);
+  }
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(tree_->Insert(k, &k));
+  }
+  for (uint64_t k : keys) {
+    uint64_t v = 0;
+    ASSERT_TRUE(tree_->Get(k, &v)) << k;
+    EXPECT_EQ(v, k);
+  }
+  uint64_t v;
+  EXPECT_FALSE(tree_->Get(100001, &v));
+}
+
+TEST_F(BPlusTreeTest, DuplicateRejected) {
+  const uint64_t v = 1;
+  ASSERT_TRUE(tree_->Insert(9, &v));
+  EXPECT_FALSE(tree_->Insert(9, &v));
+}
+
+TEST_F(BPlusTreeTest, ScanVisitsRangeInOrder) {
+  for (uint64_t k = 0; k < 1000; k += 2) {
+    ASSERT_TRUE(tree_->Insert(k, &k));
+  }
+  std::vector<uint64_t> visited;
+  tree_->Scan(100, 200, [&](uint64_t key, const void* value) {
+    visited.push_back(key);
+    uint64_t v;
+    std::memcpy(&v, value, 8);
+    EXPECT_EQ(v, key);
+    return true;
+  });
+  ASSERT_EQ(visited.size(), 51u);
+  EXPECT_EQ(visited.front(), 100u);
+  EXPECT_EQ(visited.back(), 200u);
+  for (size_t i = 1; i < visited.size(); ++i) {
+    EXPECT_LT(visited[i - 1], visited[i]);
+  }
+}
+
+TEST_F(BPlusTreeTest, ScanEarlyStop) {
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, &k));
+  }
+  int seen = 0;
+  tree_->Scan(0, 99, [&](uint64_t, const void*) { return ++seen < 5; });
+  EXPECT_EQ(seen, 5);
+}
+
+TEST_F(BPlusTreeTest, PutOverwrites) {
+  uint64_t v = 1;
+  ASSERT_TRUE(tree_->Insert(4, &v));
+  v = 2;
+  ASSERT_TRUE(tree_->Put(4, &v));
+  uint64_t out = 0;
+  ASSERT_TRUE(tree_->Get(4, &out));
+  EXPECT_EQ(out, 2u);
+  EXPECT_FALSE(tree_->Put(5, &v));
+}
+
+TEST_F(BPlusTreeTest, RemoveDeletes) {
+  for (uint64_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, &k));
+  }
+  for (uint64_t k = 0; k < 500; k += 3) {
+    ASSERT_TRUE(tree_->Remove(k));
+  }
+  for (uint64_t k = 0; k < 500; ++k) {
+    uint64_t v;
+    EXPECT_EQ(tree_->Get(k, &v), k % 3 != 0) << k;
+  }
+  EXPECT_FALSE(tree_->Remove(0));
+}
+
+TEST_F(BPlusTreeTest, FindFloorReturnsLargestBelowBound) {
+  for (uint64_t k = 10; k <= 100; k += 10) {
+    ASSERT_TRUE(tree_->Insert(k, &k));
+  }
+  uint64_t key = 0;
+  uint64_t value = 0;
+  ASSERT_TRUE(tree_->FindFloor(0, 55, &key, &value));
+  EXPECT_EQ(key, 50u);
+  ASSERT_TRUE(tree_->FindFloor(0, 10, &key, &value));
+  EXPECT_EQ(key, 10u);
+  EXPECT_FALSE(tree_->FindFloor(0, 5, &key, &value));
+}
+
+TEST_F(BPlusTreeTest, AbortedHtmInsertRollsBack) {
+  htm::HtmThread htm;
+  const unsigned status = htm.Transact([&] {
+    const uint64_t v = 8;
+    ASSERT_TRUE(tree_->Insert(21, &v));
+    htm.Abort(1);
+  });
+  EXPECT_NE(status, htm::kCommitted);
+  uint64_t out;
+  EXPECT_FALSE(tree_->Get(21, &out));
+  EXPECT_EQ(tree_->size(), 0u);
+}
+
+TEST_F(BPlusTreeTest, ConcurrentHtmInsertsAreConsistent) {
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 250;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      htm::HtmThread htm;
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const uint64_t key = static_cast<uint64_t>(t) * 10000 + i;
+        while (true) {
+          bool ok = false;
+          const unsigned status =
+              htm.Transact([&] { ok = tree_->Insert(key, &key); });
+          if (status == htm::kCommitted) {
+            ASSERT_TRUE(ok);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(tree_->size(), kThreads * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    for (uint64_t i = 0; i < kPerThread; ++i) {
+      const uint64_t key = static_cast<uint64_t>(t) * 10000 + i;
+      uint64_t v;
+      ASSERT_TRUE(tree_->Get(key, &v)) << key;
+      EXPECT_EQ(v, key);
+    }
+  }
+}
+
+// Property sweep: table behaves like std::map across operation mixes.
+class ClusterHashPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ClusterHashPropertyTest, MatchesReferenceMap) {
+  rdma::Fabric fabric(TestFabric(1));
+  ClusterHashTable::Config config;
+  config.main_buckets = 1 << 6;  // small: stress chaining
+  config.indirect_buckets = 1 << 7;
+  config.capacity = 1 << 11;
+  config.value_size = 8;
+  ClusterHashTable table(&fabric.memory(0), config);
+  std::map<uint64_t, uint64_t> reference;
+  Xoshiro256 rng(GetParam());
+  for (int op = 0; op < 4000; ++op) {
+    const uint64_t key = rng.NextBounded(300);
+    const int action = static_cast<int>(rng.NextBounded(4));
+    if (action == 0) {
+      const uint64_t value = rng.Next();
+      const bool inserted = table.Insert(key, &value);
+      EXPECT_EQ(inserted, reference.emplace(key, value).second);
+    } else if (action == 1) {
+      const uint64_t value = rng.Next();
+      const bool updated = table.Put(key, &value);
+      const auto it = reference.find(key);
+      EXPECT_EQ(updated, it != reference.end());
+      if (it != reference.end()) {
+        it->second = value;
+      }
+    } else if (action == 2) {
+      EXPECT_EQ(table.Remove(key), reference.erase(key) == 1);
+    } else {
+      uint64_t value = 0;
+      const bool found = table.Get(key, &value);
+      const auto it = reference.find(key);
+      ASSERT_EQ(found, it != reference.end()) << "key " << key;
+      if (found) {
+        EXPECT_EQ(value, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(table.live_entries(), reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterHashPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Property sweep: B+ tree behaves like std::map including scans.
+class BPlusTreePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BPlusTreePropertyTest, MatchesReferenceMap) {
+  BPlusTree::Config config;
+  config.value_size = 8;
+  config.max_nodes = 1 << 13;
+  BPlusTree tree(config);
+  std::map<uint64_t, uint64_t> reference;
+  Xoshiro256 rng(GetParam() * 977);
+  for (int op = 0; op < 3000; ++op) {
+    const uint64_t key = rng.NextBounded(500);
+    const int action = static_cast<int>(rng.NextBounded(5));
+    if (action <= 1) {
+      const uint64_t value = rng.Next();
+      EXPECT_EQ(tree.Insert(key, &value),
+                reference.emplace(key, value).second);
+    } else if (action == 2) {
+      EXPECT_EQ(tree.Remove(key), reference.erase(key) == 1);
+    } else if (action == 3) {
+      uint64_t value = 0;
+      const bool found = tree.Get(key, &value);
+      const auto it = reference.find(key);
+      ASSERT_EQ(found, it != reference.end());
+      if (found) {
+        EXPECT_EQ(value, it->second);
+      }
+    } else {
+      const uint64_t lo = key;
+      const uint64_t hi = key + 50;
+      std::vector<uint64_t> got;
+      tree.Scan(lo, hi, [&](uint64_t k, const void*) {
+        got.push_back(k);
+        return true;
+      });
+      std::vector<uint64_t> expect;
+      for (auto it = reference.lower_bound(lo);
+           it != reference.end() && it->first <= hi; ++it) {
+        expect.push_back(it->first);
+      }
+      ASSERT_EQ(got, expect);
+    }
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreePropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace store
+}  // namespace drtm

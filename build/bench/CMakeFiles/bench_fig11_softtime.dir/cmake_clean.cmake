@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_softtime.dir/bench_fig11_softtime.cc.o"
+  "CMakeFiles/bench_fig11_softtime.dir/bench_fig11_softtime.cc.o.d"
+  "bench_fig11_softtime"
+  "bench_fig11_softtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_softtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

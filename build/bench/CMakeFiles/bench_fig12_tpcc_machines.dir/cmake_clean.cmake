@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_tpcc_machines.dir/bench_fig12_tpcc_machines.cc.o"
+  "CMakeFiles/bench_fig12_tpcc_machines.dir/bench_fig12_tpcc_machines.cc.o.d"
+  "bench_fig12_tpcc_machines"
+  "bench_fig12_tpcc_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_tpcc_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

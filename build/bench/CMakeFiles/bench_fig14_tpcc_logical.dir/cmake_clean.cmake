@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_tpcc_logical.dir/bench_fig14_tpcc_logical.cc.o"
+  "CMakeFiles/bench_fig14_tpcc_logical.dir/bench_fig14_tpcc_logical.cc.o.d"
+  "bench_fig14_tpcc_logical"
+  "bench_fig14_tpcc_logical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_tpcc_logical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_crosswh.dir/bench_fig16_crosswh.cc.o"
+  "CMakeFiles/bench_fig16_crosswh.dir/bench_fig16_crosswh.cc.o.d"
+  "bench_fig16_crosswh"
+  "bench_fig16_crosswh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_crosswh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

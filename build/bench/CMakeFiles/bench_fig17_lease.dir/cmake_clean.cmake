@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_lease.dir/bench_fig17_lease.cc.o"
+  "CMakeFiles/bench_fig17_lease.dir/bench_fig17_lease.cc.o.d"
+  "bench_fig17_lease"
+  "bench_fig17_lease.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_lease.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_lookups.dir/bench_table4_lookups.cc.o"
+  "CMakeFiles/bench_table4_lookups.dir/bench_table4_lookups.cc.o.d"
+  "bench_table4_lookups"
+  "bench_table4_lookups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_lookups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_durability.dir/bench_table6_durability.cc.o"
+  "CMakeFiles/bench_table6_durability.dir/bench_table6_durability.cc.o.d"
+  "bench_table6_durability"
+  "bench_table6_durability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_durability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

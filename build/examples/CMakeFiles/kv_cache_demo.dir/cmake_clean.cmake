@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_cache_demo.dir/kv_cache_demo.cc.o"
+  "CMakeFiles/kv_cache_demo.dir/kv_cache_demo.cc.o.d"
+  "kv_cache_demo"
+  "kv_cache_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_cache_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

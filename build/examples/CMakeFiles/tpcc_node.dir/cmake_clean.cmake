@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_node.dir/tpcc_node.cc.o"
+  "CMakeFiles/tpcc_node.dir/tpcc_node.cc.o.d"
+  "tpcc_node"
+  "tpcc_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_cli.dir/workload_cli.cc.o"
+  "CMakeFiles/workload_cli.dir/workload_cli.cc.o.d"
+  "workload_cli"
+  "workload_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

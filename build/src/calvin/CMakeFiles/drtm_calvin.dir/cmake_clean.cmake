@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drtm_calvin.dir/calvin.cc.o"
+  "CMakeFiles/drtm_calvin.dir/calvin.cc.o.d"
+  "libdrtm_calvin.a"
+  "libdrtm_calvin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drtm_calvin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for drtm_calvin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drtm_common.dir/clock.cc.o"
+  "CMakeFiles/drtm_common.dir/clock.cc.o.d"
+  "CMakeFiles/drtm_common.dir/histogram.cc.o"
+  "CMakeFiles/drtm_common.dir/histogram.cc.o.d"
+  "CMakeFiles/drtm_common.dir/zipf.cc.o"
+  "CMakeFiles/drtm_common.dir/zipf.cc.o.d"
+  "libdrtm_common.a"
+  "libdrtm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drtm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

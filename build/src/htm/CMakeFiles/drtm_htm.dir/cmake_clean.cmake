@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drtm_htm.dir/htm.cc.o"
+  "CMakeFiles/drtm_htm.dir/htm.cc.o.d"
+  "CMakeFiles/drtm_htm.dir/version_table.cc.o"
+  "CMakeFiles/drtm_htm.dir/version_table.cc.o.d"
+  "libdrtm_htm.a"
+  "libdrtm_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drtm_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

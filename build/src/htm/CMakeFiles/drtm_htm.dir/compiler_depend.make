@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for drtm_htm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdma/fabric.cc" "src/rdma/CMakeFiles/drtm_rdma.dir/fabric.cc.o" "gcc" "src/rdma/CMakeFiles/drtm_rdma.dir/fabric.cc.o.d"
+  "/root/repo/src/rdma/latency.cc" "src/rdma/CMakeFiles/drtm_rdma.dir/latency.cc.o" "gcc" "src/rdma/CMakeFiles/drtm_rdma.dir/latency.cc.o.d"
+  "/root/repo/src/rdma/messaging.cc" "src/rdma/CMakeFiles/drtm_rdma.dir/messaging.cc.o" "gcc" "src/rdma/CMakeFiles/drtm_rdma.dir/messaging.cc.o.d"
+  "/root/repo/src/rdma/node_memory.cc" "src/rdma/CMakeFiles/drtm_rdma.dir/node_memory.cc.o" "gcc" "src/rdma/CMakeFiles/drtm_rdma.dir/node_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/drtm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/drtm_htm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drtm_rdma.dir/fabric.cc.o"
+  "CMakeFiles/drtm_rdma.dir/fabric.cc.o.d"
+  "CMakeFiles/drtm_rdma.dir/latency.cc.o"
+  "CMakeFiles/drtm_rdma.dir/latency.cc.o.d"
+  "CMakeFiles/drtm_rdma.dir/messaging.cc.o"
+  "CMakeFiles/drtm_rdma.dir/messaging.cc.o.d"
+  "CMakeFiles/drtm_rdma.dir/node_memory.cc.o"
+  "CMakeFiles/drtm_rdma.dir/node_memory.cc.o.d"
+  "libdrtm_rdma.a"
+  "libdrtm_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drtm_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdrtm_rdma.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/bplus_tree.cc" "src/store/CMakeFiles/drtm_store.dir/bplus_tree.cc.o" "gcc" "src/store/CMakeFiles/drtm_store.dir/bplus_tree.cc.o.d"
+  "/root/repo/src/store/cluster_hash.cc" "src/store/CMakeFiles/drtm_store.dir/cluster_hash.cc.o" "gcc" "src/store/CMakeFiles/drtm_store.dir/cluster_hash.cc.o.d"
+  "/root/repo/src/store/farm_hopscotch.cc" "src/store/CMakeFiles/drtm_store.dir/farm_hopscotch.cc.o" "gcc" "src/store/CMakeFiles/drtm_store.dir/farm_hopscotch.cc.o.d"
+  "/root/repo/src/store/location_cache.cc" "src/store/CMakeFiles/drtm_store.dir/location_cache.cc.o" "gcc" "src/store/CMakeFiles/drtm_store.dir/location_cache.cc.o.d"
+  "/root/repo/src/store/pilaf_cuckoo.cc" "src/store/CMakeFiles/drtm_store.dir/pilaf_cuckoo.cc.o" "gcc" "src/store/CMakeFiles/drtm_store.dir/pilaf_cuckoo.cc.o.d"
+  "/root/repo/src/store/remote_kv.cc" "src/store/CMakeFiles/drtm_store.dir/remote_kv.cc.o" "gcc" "src/store/CMakeFiles/drtm_store.dir/remote_kv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/drtm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/drtm_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/drtm_rdma.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drtm_store.dir/bplus_tree.cc.o"
+  "CMakeFiles/drtm_store.dir/bplus_tree.cc.o.d"
+  "CMakeFiles/drtm_store.dir/cluster_hash.cc.o"
+  "CMakeFiles/drtm_store.dir/cluster_hash.cc.o.d"
+  "CMakeFiles/drtm_store.dir/farm_hopscotch.cc.o"
+  "CMakeFiles/drtm_store.dir/farm_hopscotch.cc.o.d"
+  "CMakeFiles/drtm_store.dir/location_cache.cc.o"
+  "CMakeFiles/drtm_store.dir/location_cache.cc.o.d"
+  "CMakeFiles/drtm_store.dir/pilaf_cuckoo.cc.o"
+  "CMakeFiles/drtm_store.dir/pilaf_cuckoo.cc.o.d"
+  "CMakeFiles/drtm_store.dir/remote_kv.cc.o"
+  "CMakeFiles/drtm_store.dir/remote_kv.cc.o.d"
+  "libdrtm_store.a"
+  "libdrtm_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drtm_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/chopping.cc" "src/txn/CMakeFiles/drtm_txn.dir/chopping.cc.o" "gcc" "src/txn/CMakeFiles/drtm_txn.dir/chopping.cc.o.d"
+  "/root/repo/src/txn/cluster.cc" "src/txn/CMakeFiles/drtm_txn.dir/cluster.cc.o" "gcc" "src/txn/CMakeFiles/drtm_txn.dir/cluster.cc.o.d"
+  "/root/repo/src/txn/failure_detector.cc" "src/txn/CMakeFiles/drtm_txn.dir/failure_detector.cc.o" "gcc" "src/txn/CMakeFiles/drtm_txn.dir/failure_detector.cc.o.d"
+  "/root/repo/src/txn/nvram_log.cc" "src/txn/CMakeFiles/drtm_txn.dir/nvram_log.cc.o" "gcc" "src/txn/CMakeFiles/drtm_txn.dir/nvram_log.cc.o.d"
+  "/root/repo/src/txn/recovery.cc" "src/txn/CMakeFiles/drtm_txn.dir/recovery.cc.o" "gcc" "src/txn/CMakeFiles/drtm_txn.dir/recovery.cc.o.d"
+  "/root/repo/src/txn/sync_time.cc" "src/txn/CMakeFiles/drtm_txn.dir/sync_time.cc.o" "gcc" "src/txn/CMakeFiles/drtm_txn.dir/sync_time.cc.o.d"
+  "/root/repo/src/txn/transaction.cc" "src/txn/CMakeFiles/drtm_txn.dir/transaction.cc.o" "gcc" "src/txn/CMakeFiles/drtm_txn.dir/transaction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/drtm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/drtm_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/drtm_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/drtm_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

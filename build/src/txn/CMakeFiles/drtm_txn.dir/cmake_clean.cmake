@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drtm_txn.dir/chopping.cc.o"
+  "CMakeFiles/drtm_txn.dir/chopping.cc.o.d"
+  "CMakeFiles/drtm_txn.dir/cluster.cc.o"
+  "CMakeFiles/drtm_txn.dir/cluster.cc.o.d"
+  "CMakeFiles/drtm_txn.dir/failure_detector.cc.o"
+  "CMakeFiles/drtm_txn.dir/failure_detector.cc.o.d"
+  "CMakeFiles/drtm_txn.dir/nvram_log.cc.o"
+  "CMakeFiles/drtm_txn.dir/nvram_log.cc.o.d"
+  "CMakeFiles/drtm_txn.dir/recovery.cc.o"
+  "CMakeFiles/drtm_txn.dir/recovery.cc.o.d"
+  "CMakeFiles/drtm_txn.dir/sync_time.cc.o"
+  "CMakeFiles/drtm_txn.dir/sync_time.cc.o.d"
+  "CMakeFiles/drtm_txn.dir/transaction.cc.o"
+  "CMakeFiles/drtm_txn.dir/transaction.cc.o.d"
+  "libdrtm_txn.a"
+  "libdrtm_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drtm_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drtm_workload.dir/driver.cc.o"
+  "CMakeFiles/drtm_workload.dir/driver.cc.o.d"
+  "CMakeFiles/drtm_workload.dir/smallbank.cc.o"
+  "CMakeFiles/drtm_workload.dir/smallbank.cc.o.d"
+  "CMakeFiles/drtm_workload.dir/tpcc.cc.o"
+  "CMakeFiles/drtm_workload.dir/tpcc.cc.o.d"
+  "CMakeFiles/drtm_workload.dir/ycsb.cc.o"
+  "CMakeFiles/drtm_workload.dir/ycsb.cc.o.d"
+  "libdrtm_workload.a"
+  "libdrtm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drtm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

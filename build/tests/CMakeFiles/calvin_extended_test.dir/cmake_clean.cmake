@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calvin_extended_test.dir/calvin_extended_test.cc.o"
+  "CMakeFiles/calvin_extended_test.dir/calvin_extended_test.cc.o.d"
+  "calvin_extended_test"
+  "calvin_extended_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calvin_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

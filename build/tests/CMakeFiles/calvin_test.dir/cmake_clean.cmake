@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calvin_test.dir/calvin_test.cc.o"
+  "CMakeFiles/calvin_test.dir/calvin_test.cc.o.d"
+  "calvin_test"
+  "calvin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calvin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/conflict_matrix_test.cc" "tests/CMakeFiles/conflict_matrix_test.dir/conflict_matrix_test.cc.o" "gcc" "tests/CMakeFiles/conflict_matrix_test.dir/conflict_matrix_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/txn/CMakeFiles/drtm_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/drtm_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/drtm_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/drtm_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/drtm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

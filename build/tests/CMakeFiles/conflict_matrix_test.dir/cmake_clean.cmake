@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_matrix_test.dir/conflict_matrix_test.cc.o"
+  "CMakeFiles/conflict_matrix_test.dir/conflict_matrix_test.cc.o.d"
+  "conflict_matrix_test"
+  "conflict_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_read_test.dir/dynamic_read_test.cc.o"
+  "CMakeFiles/dynamic_read_test.dir/dynamic_read_test.cc.o.d"
+  "dynamic_read_test"
+  "dynamic_read_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_read_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

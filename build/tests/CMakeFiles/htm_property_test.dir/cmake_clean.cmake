@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htm_property_test.dir/htm_property_test.cc.o"
+  "CMakeFiles/htm_property_test.dir/htm_property_test.cc.o.d"
+  "htm_property_test"
+  "htm_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htm_test.dir/htm_test.cc.o"
+  "CMakeFiles/htm_test.dir/htm_test.cc.o.d"
+  "htm_test"
+  "htm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

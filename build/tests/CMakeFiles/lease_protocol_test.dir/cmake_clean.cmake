@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lease_protocol_test.dir/lease_protocol_test.cc.o"
+  "CMakeFiles/lease_protocol_test.dir/lease_protocol_test.cc.o.d"
+  "lease_protocol_test"
+  "lease_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lease_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

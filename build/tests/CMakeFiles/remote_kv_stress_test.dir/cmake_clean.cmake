@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_kv_stress_test.dir/remote_kv_stress_test.cc.o"
+  "CMakeFiles/remote_kv_stress_test.dir/remote_kv_stress_test.cc.o.d"
+  "remote_kv_stress_test"
+  "remote_kv_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_kv_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

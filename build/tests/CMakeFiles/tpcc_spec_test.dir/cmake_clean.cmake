@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_spec_test.dir/tpcc_spec_test.cc.o"
+  "CMakeFiles/tpcc_spec_test.dir/tpcc_spec_test.cc.o.d"
+  "tpcc_spec_test"
+  "tpcc_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

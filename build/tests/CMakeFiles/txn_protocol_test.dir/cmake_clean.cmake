@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_protocol_test.dir/txn_protocol_test.cc.o"
+  "CMakeFiles/txn_protocol_test.dir/txn_protocol_test.cc.o.d"
+  "txn_protocol_test"
+  "txn_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -7,6 +7,7 @@
 //      Zipf(0.99).
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -51,7 +52,7 @@ struct KeyPicker {
 
 // --- (a) raw READ throughput -------------------------------------------------
 
-void PartA(uint64_t duration_ms) {
+void PartA(uint64_t duration_ms, stat::BenchReport* report) {
   benchutil::Header("Fig 10(a)", "one-sided RDMA READ throughput vs payload");
   benchutil::PaperNote(
       "throughput decays with payload; ~26.3 Mops for small payloads on 40 "
@@ -61,6 +62,7 @@ void PartA(uint64_t duration_ms) {
   const uint64_t offs[2] = {fabric->memory(1).Allocate(1 << 20),
                             fabric->memory(1).Allocate(1 << 20)};
   std::printf("%-10s %12s\n", "payload_B", "ops_per_sec");
+  stat::BenchReport::Series& series = report->AddSeries("raw_read_tput");
   for (const size_t payload : {16u, 64u, 256u, 1024u, 4096u}) {
     std::vector<std::vector<uint8_t>> bufs(2,
                                            std::vector<uint8_t>(payload));
@@ -70,6 +72,8 @@ void PartA(uint64_t duration_ms) {
                        payload);
         });
     std::printf("%-10zu %12.0f\n", payload, ops);
+    benchutil::AddPoint(&series, {{"payload_B", std::to_string(payload)}},
+                        {{"ops_per_sec", ops}});
   }
 }
 
@@ -192,7 +196,7 @@ GetResult MeasureGets(Stores& stores, System system, uint32_t value_size,
   return GetResult{ops, merged.Mean()};
 }
 
-void PartB(uint64_t duration_ms) {
+void PartB(uint64_t duration_ms, stat::BenchReport* report) {
   benchutil::Header("Fig 10(b)", "GET throughput vs value size (uniform)");
   benchutil::PaperNote(
       "farm-kv/I wins only at small values (single READ, amplified size); "
@@ -202,6 +206,7 @@ void PartB(uint64_t duration_ms) {
                          : std::vector<uint32_t>{16, 64, 128, 256, 512, 1024};
   std::printf("%-8s %10s %12s %12s %10s %12s\n", "value_B", "pilaf",
               "farm-kv/I", "farm-kv/O", "drtm-kv", "drtm-kv/$");
+  stat::BenchReport::Series& series = report->AddSeries("get_tput_vs_value");
   for (const uint32_t size : sizes) {
     Stores stores = BuildStores(size);
     store::LocationCache cache(8 << 20);
@@ -212,13 +217,17 @@ void PartB(uint64_t duration_ms) {
       results[static_cast<int>(system)] =
           MeasureGets(stores, system, size, 2, duration_ms, false, &cache)
               .ops_per_sec;
+      benchutil::AddPoint(&series,
+                          {{"value_B", std::to_string(size)},
+                           {"system", Name(system)}},
+                          {{"ops_per_sec", results[static_cast<int>(system)]}});
     }
     std::printf("%-8u %10.0f %12.0f %12.0f %10.0f %12.0f\n", size, results[0],
                 results[1], results[2], results[3], results[4]);
   }
 }
 
-void PartC(uint64_t duration_ms) {
+void PartC(uint64_t duration_ms, stat::BenchReport* report) {
   benchutil::Header("Fig 10(c)", "latency vs throughput at 64 B values");
   benchutil::PaperNote(
       "farm-kv/I: lowest latency, poorest peak; drtm-kv ~ farm-kv/O; "
@@ -228,6 +237,7 @@ void PartC(uint64_t duration_ms) {
               "mean_us");
   const std::vector<int> thread_counts =
       benchutil::Quick() ? std::vector<int>{2} : std::vector<int>{1, 2, 4};
+  stat::BenchReport::Series& series = report->AddSeries("latency_vs_tput");
   for (const System system :
        {System::kPilaf, System::kFarmInline, System::kFarmOffset,
         System::kDrtm, System::kDrtmCached}) {
@@ -237,11 +247,16 @@ void PartC(uint64_t duration_ms) {
           MeasureGets(stores, system, 64, threads, duration_ms, false, &cache);
       std::printf("%-10s %8d %12.0f %12.1f\n", Name(system), threads,
                   result.ops_per_sec, result.mean_latency_us);
+      benchutil::AddPoint(&series,
+                          {{"system", Name(system)},
+                           {"threads", std::to_string(threads)}},
+                          {{"ops_per_sec", result.ops_per_sec},
+                           {"mean_us", result.mean_latency_us}});
     }
   }
 }
 
-void PartD(uint64_t duration_ms) {
+void PartD(uint64_t duration_ms, stat::BenchReport* report) {
   benchutil::Header("Fig 10(d)", "DrTM-KV/$ throughput vs cache size");
   benchutil::PaperNote(
       "a full-location cache reaches raw-READ throughput; skewed workloads "
@@ -256,6 +271,7 @@ void PartD(uint64_t duration_ms) {
       benchutil::Quick()
           ? std::vector<size_t>{full / 16, full}
           : std::vector<size_t>{full / 64, full / 16, full / 4, full};
+  stat::BenchReport::Series& series = report->AddSeries("cache_sweep");
   for (const bool zipf_dist : {false, true}) {
     for (const size_t cache_bytes : cache_sizes) {
       for (const bool warm : {false, true}) {
@@ -276,6 +292,11 @@ void PartD(uint64_t duration_ms) {
         std::printf("%-10zu %12s %10s %12.0f\n", cache_bytes,
                     zipf_dist ? "zipf" : "uniform", warm ? "warm" : "cold",
                     result.ops_per_sec);
+        benchutil::AddPoint(&series,
+                            {{"cache_bytes", std::to_string(cache_bytes)},
+                             {"dist", zipf_dist ? "zipf" : "uniform"},
+                             {"state", warm ? "warm" : "cold"}},
+                            {{"ops_per_sec", result.ops_per_sec}});
       }
     }
   }
@@ -285,9 +306,18 @@ void PartD(uint64_t duration_ms) {
 
 int main() {
   const uint64_t duration_ms = benchutil::DurationMs(300);
-  PartA(duration_ms);
-  PartB(duration_ms);
-  PartC(duration_ms);
-  PartD(duration_ms);
+  const stat::Snapshot window = benchutil::BeginReportWindow();
+  stat::BenchReport report;
+  report.bench = "fig10_kv";
+  report.title = "DrTM-KV evaluation (raw READ, GET sweeps, location cache)";
+  report.AddConfig("duration_ms", std::to_string(duration_ms));
+  report.AddConfig("latency_scale", std::to_string(kLatencyScale));
+  report.AddConfig("keys", std::to_string(kKeys));
+  report.AddConfig("quick", benchutil::Quick() ? "1" : "0");
+  PartA(duration_ms, &report);
+  PartB(duration_ms, &report);
+  PartC(duration_ms, &report);
+  PartD(duration_ms, &report);
+  benchutil::FinishReport(&report, window);
   return 0;
 }

@@ -3,6 +3,7 @@
 // paper uses to sidestep the non-NUMA-friendly B+ tree) and a Calvin
 // point at its hard-coded 8 threads.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/calvin_tpcc_common.h"
@@ -22,6 +23,15 @@ int main() {
       benchutil::Quick() ? std::vector<int>{1, 4}
                          : std::vector<int>{1, 2, 4, 8};
 
+  stat::RegisterStandardPhaseTimers();
+  stat::BenchReport report;
+  report.bench = "fig13_tpcc_threads";
+  report.title = "TPC-C throughput vs threads per machine";
+  report.AddConfig("machines", std::to_string(kMachines));
+  report.AddConfig("duration_ms", std::to_string(duration_ms));
+  report.AddConfig("quick", benchutil::Quick() ? "1" : "0");
+  stat::BenchReport::Series& mix_series = report.AddSeries("drtm_mix");
+
   std::printf("%-9s %14s %14s %10s\n", "threads", "drtm_neworder",
               "drtm_mix_tps", "speedup");
   double base_mix = 0;
@@ -38,6 +48,13 @@ int main() {
     std::printf("%-9d %14.0f %14.0f %9.2fx%s\n", threads, drtm.neworder_tps,
                 drtm.mix_tps, drtm.mix_tps / base_mix,
                 drtm.consistent ? "" : "  (CONSISTENCY FAIL)");
+    benchutil::AddPoint(&mix_series, {{"threads", std::to_string(threads)}},
+                        {{"mix_tps", drtm.mix_tps},
+                         {"neworder_tps", drtm.neworder_tps},
+                         {"speedup", drtm.mix_tps / base_mix},
+                         {"fallback_rate", drtm.fallback_rate},
+                         {"consistent", drtm.consistent ? 1.0 : 0.0}});
+    report.stats.Merge(drtm.result.stats_delta);
   }
 
   // DrTM(S): the same hardware presented as twice the logical nodes with
@@ -51,6 +68,13 @@ int main() {
     const benchutil::TpccOutcome drtm_s = benchutil::RunTpcc(options);
     std::printf("%-9s %14.0f %14.0f %9.2fx\n", "DrTM(S)", drtm_s.neworder_tps,
                 drtm_s.mix_tps, drtm_s.mix_tps / base_mix);
+    stat::BenchReport::Series& s = report.AddSeries("drtm_s");
+    benchutil::AddPoint(
+        &s,
+        {{"logical_nodes", std::to_string(kMachines * 2)},
+         {"threads", std::to_string(thread_counts.back() / 2)}},
+        {{"mix_tps", drtm_s.mix_tps}, {"neworder_tps", drtm_s.neworder_tps}});
+    report.stats.Merge(drtm_s.result.stats_delta);
   }
 
   // Calvin's single point (its release is hard-coded to 8 workers).
@@ -63,6 +87,11 @@ int main() {
     calvin.duration_ms = duration_ms;
     const double calvin_tps = RunCalvinTpccNewOrder(calvin);
     std::printf("%-9s %14s %14.0f\n", "calvin@8", "-", calvin_tps);
+    stat::BenchReport::Series& s = report.AddSeries("calvin");
+    benchutil::AddPoint(&s, {{"threads", "8"}},
+                        {{"neworder_tps", calvin_tps}});
   }
+
+  report.WriteJsonFile();
   return 0;
 }

@@ -5,6 +5,7 @@
 // target is the ordering (lower distributed probability => higher
 // throughput) and stable scaling.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -15,8 +16,8 @@ namespace {
 
 using namespace drtm;
 
-double RunSmallBank(int nodes, int workers_per_node, double cross_prob,
-                    uint64_t duration_ms) {
+workload::RunResult RunSmallBank(int nodes, int workers_per_node,
+                                 double cross_prob, uint64_t duration_ms) {
   txn::ClusterConfig config;
   config.num_nodes = nodes;
   config.workers_per_node = workers_per_node;
@@ -41,7 +42,7 @@ double RunSmallBank(int nodes, int workers_per_node, double cross_prob,
         return db.RunMix(&worker).status == txn::TxnStatus::kCommitted;
       });
   cluster.Stop();
-  return result.Throughput();
+  return result;
 }
 
 }  // namespace
@@ -58,6 +59,17 @@ int main() {
       benchutil::Quick() ? std::vector<double>{0.01, 0.10}
                          : std::vector<double>{0.01, 0.05, 0.10};
 
+  stat::RegisterStandardPhaseTimers();
+  stat::BenchReport report;
+  report.bench = "fig15_smallbank";
+  report.title = "SmallBank throughput vs machines and threads";
+  report.AddConfig("total_workers", std::to_string(kTotalWorkers));
+  report.AddConfig("duration_ms", std::to_string(duration_ms));
+  report.AddConfig("quick", benchutil::Quick() ? "1" : "0");
+  stat::BenchReport::Series& machine_series =
+      report.AddSeries("machines_sweep");
+  stat::BenchReport::Series& thread_series = report.AddSeries("threads_sweep");
+
   std::printf("-- machines sweep (fixed %d total workers) --\n",
               kTotalWorkers);
   std::printf("%-9s", "machines");
@@ -71,8 +83,16 @@ int main() {
   for (const int m : machines) {
     std::printf("%-9d", m);
     for (const double p : probabilities) {
-      std::printf("  %12.0f",
-                  RunSmallBank(m, kTotalWorkers / m, p, duration_ms));
+      const workload::RunResult result =
+          RunSmallBank(m, kTotalWorkers / m, p, duration_ms);
+      std::printf("  %12.0f", result.Throughput());
+      benchutil::AddPoint(
+          &machine_series,
+          {{"machines", std::to_string(m)},
+           {"dist_pct", std::to_string(static_cast<int>(p * 100))}},
+          {{"tps", result.Throughput()},
+           {"abort_rate", result.AbortRate()}});
+      report.stats.Merge(result.stats_delta);
     }
     std::printf("\n");
   }
@@ -89,9 +109,19 @@ int main() {
   for (const int t : threads) {
     std::printf("%-9d", t);
     for (const double p : probabilities) {
-      std::printf("  %12.0f", RunSmallBank(2, t, p, duration_ms));
+      const workload::RunResult result = RunSmallBank(2, t, p, duration_ms);
+      std::printf("  %12.0f", result.Throughput());
+      benchutil::AddPoint(
+          &thread_series,
+          {{"threads", std::to_string(t)},
+           {"dist_pct", std::to_string(static_cast<int>(p * 100))}},
+          {{"tps", result.Throughput()},
+           {"abort_rate", result.AbortRate()}});
+      report.stats.Merge(result.stats_delta);
     }
     std::printf("\n");
   }
+
+  report.WriteJsonFile();
   return 0;
 }

@@ -17,9 +17,13 @@
 #include <functional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/stat/bench_report.h"
+#include "src/stat/metrics.h"
+#include "src/stat/timer.h"
 
 namespace drtm {
 namespace benchutil {
@@ -63,6 +67,32 @@ inline double MeasureOpsPerSec(int threads, uint64_t duration_ms,
   }
   return static_cast<double>(total.load()) /
          (static_cast<double>(end - begin) / 1e9);
+}
+
+// Opens a report window: pre-registers the standard phase timers (so the
+// report always carries the full histogram set) and returns the current
+// registry state as the baseline to subtract at the end.
+inline stat::Snapshot BeginReportWindow() {
+  stat::RegisterStandardPhaseTimers();
+  return stat::Registry::Global().TakeSnapshot();
+}
+
+// Closes the window opened by BeginReportWindow and writes
+// BENCH_<report->bench>.json (honouring DRTM_BENCH_OUT).
+inline std::string FinishReport(stat::BenchReport* report,
+                                const stat::Snapshot& window_begin) {
+  report->stats =
+      stat::Registry::Global().TakeSnapshot().DeltaSince(window_begin);
+  return report->WriteJsonFile();
+}
+
+// Convenience for sweep points: one labelled point with named values.
+inline void AddPoint(
+    stat::BenchReport::Series* series,
+    std::vector<std::pair<std::string, std::string>> labels,
+    std::vector<std::pair<std::string, double>> values) {
+  series->points.push_back(
+      stat::BenchReport::Point{std::move(labels), std::move(values)});
 }
 
 }  // namespace benchutil

@@ -57,6 +57,20 @@ void Histogram::Merge(const Histogram& other) {
   sum_ += other.sum_;
 }
 
+void Histogram::Subtract(const Histogram& earlier) {
+  for (int i = 0; i < kBuckets; ++i) {
+    const uint64_t prior = earlier.buckets_[static_cast<size_t>(i)];
+    auto& bucket = buckets_[static_cast<size_t>(i)];
+    bucket -= std::min(bucket, prior);
+  }
+  count_ -= std::min(count_, earlier.count_);
+  sum_ -= std::min(sum_, earlier.sum_);
+  if (count_ == 0) {
+    min_ = 0;
+    max_ = 0;
+  }
+}
+
 double Histogram::Mean() const {
   return count_ == 0 ? 0.0
                      : static_cast<double>(sum_) / static_cast<double>(count_);

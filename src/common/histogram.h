@@ -19,6 +19,11 @@ class Histogram {
   void Record(uint64_t value);
   void Merge(const Histogram& other);
 
+  // Bucket-wise subtraction of an earlier cumulative snapshot of the same
+  // histogram, for delta-window reporting. min/max keep this histogram's
+  // values (window extrema are not recoverable from two snapshots).
+  void Subtract(const Histogram& earlier);
+
   uint64_t count() const { return count_; }
   uint64_t min() const { return count_ == 0 ? 0 : min_; }
   uint64_t max() const { return max_; }

@@ -6,9 +6,17 @@
 #include <cstdlib>
 
 #include "src/common/cacheline.h"
+#include "src/stat/abort_taxonomy.h"
 
 namespace drtm {
 namespace htm {
+
+// The taxonomy mirrors the RTM status layout instead of including this
+// header; keep the two definitions in lockstep.
+static_assert(kAbortExplicit == stat::kRtmExplicitBit);
+static_assert(kAbortRetry == stat::kRtmRetryBit);
+static_assert(kAbortConflict == stat::kRtmConflictBit);
+static_assert(kAbortCapacity == stat::kRtmCapacityBit);
 
 namespace {
 
@@ -86,6 +94,7 @@ void HtmThread::Rollback(unsigned status) {
   } else {
     ++stats_.aborts_conflict;
   }
+  stat::RecordHtmOutcome(status);
   read_set_.clear();
   write_set_.clear();
   redo_log_.clear();
@@ -244,6 +253,7 @@ void HtmThread::Commit() {
   }
 
   ++stats_.commits;
+  stat::RecordHtmOutcome(kCommitted);
   depth_ = 0;
   g_current_tx = nullptr;
   read_set_.clear();

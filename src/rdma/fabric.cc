@@ -5,6 +5,7 @@
 
 #include "src/common/clock.h"
 #include "src/htm/htm.h"
+#include "src/stat/metrics.h"
 
 namespace drtm {
 namespace rdma {
@@ -13,6 +14,48 @@ ThreadStats& LocalThreadStats() {
   thread_local ThreadStats stats;
   return stats;
 }
+
+namespace {
+
+// Registry ids for the one-sided verbs and the simulated NIC latency the
+// fabric model charged for each op.  Resolved once per process.
+struct VerbIds {
+  uint32_t reads = 0;
+  uint32_t read_bytes = 0;
+  uint32_t read_ns = 0;
+  uint32_t writes = 0;
+  uint32_t write_bytes = 0;
+  uint32_t write_ns = 0;
+  uint32_t cas_ops = 0;
+  uint32_t cas_ns = 0;
+  uint32_t faa_ops = 0;
+  uint32_t faa_ns = 0;
+  uint32_t sends = 0;
+  uint32_t send_ns = 0;
+};
+
+const VerbIds& Verbs() {
+  static const VerbIds ids = [] {
+    stat::Registry& reg = stat::Registry::Global();
+    VerbIds v;
+    v.reads = reg.CounterId("rdma.read.ops");
+    v.read_bytes = reg.CounterId("rdma.read.bytes");
+    v.read_ns = reg.TimerId("rdma.read_ns");
+    v.writes = reg.CounterId("rdma.write.ops");
+    v.write_bytes = reg.CounterId("rdma.write.bytes");
+    v.write_ns = reg.TimerId("rdma.write_ns");
+    v.cas_ops = reg.CounterId("rdma.cas.ops");
+    v.cas_ns = reg.TimerId("rdma.cas_ns");
+    v.faa_ops = reg.CounterId("rdma.faa.ops");
+    v.faa_ns = reg.TimerId("rdma.faa_ns");
+    v.sends = reg.CounterId("rdma.send.ops");
+    v.send_ns = reg.TimerId("rdma.send_ns");
+    return v;
+  }();
+  return ids;
+}
+
+}  // namespace
 
 struct Fabric::PendingRpc {
   std::mutex mu;
@@ -45,11 +88,16 @@ OpStatus Fabric::Read(int target, uint64_t offset, void* dst, size_t len) {
   if (!IsAlive(target)) {
     return OpStatus::kNodeDown;
   }
-  SpinFor(config_.latency.ReadNs(len));
+  const uint64_t latency_ns = config_.latency.ReadNs(len);
+  SpinFor(latency_ns);
   htm::StrongRead(dst, memory(target).At(offset), len);
   ThreadStats& stats = LocalThreadStats();
   ++stats.reads;
   stats.read_bytes += len;
+  stat::Registry& reg = stat::Registry::Global();
+  reg.Add(Verbs().reads);
+  reg.Add(Verbs().read_bytes, len);
+  reg.Record(Verbs().read_ns, latency_ns);
   return OpStatus::kOk;
 }
 
@@ -58,11 +106,16 @@ OpStatus Fabric::Write(int target, uint64_t offset, const void* src,
   if (!IsAlive(target)) {
     return OpStatus::kNodeDown;
   }
-  SpinFor(config_.latency.WriteNs(len));
+  const uint64_t latency_ns = config_.latency.WriteNs(len);
+  SpinFor(latency_ns);
   htm::StrongWrite(memory(target).At(offset), src, len);
   ThreadStats& stats = LocalThreadStats();
   ++stats.writes;
   stats.write_bytes += len;
+  stat::Registry& reg = stat::Registry::Global();
+  reg.Add(Verbs().writes);
+  reg.Add(Verbs().write_bytes, len);
+  reg.Record(Verbs().write_ns, latency_ns);
   return OpStatus::kOk;
 }
 
@@ -71,7 +124,8 @@ OpStatus Fabric::Cas(int target, uint64_t offset, uint64_t expected,
   if (!IsAlive(target)) {
     return OpStatus::kNodeDown;
   }
-  SpinFor(config_.latency.CasNs());
+  const uint64_t latency_ns = config_.latency.CasNs();
+  SpinFor(latency_ns);
   uint64_t* addr = static_cast<uint64_t*>(memory(target).At(offset));
   {
     // RDMA atomics serialize on the target NIC regardless of level; the
@@ -81,6 +135,9 @@ OpStatus Fabric::Cas(int target, uint64_t offset, uint64_t expected,
     *observed = htm::StrongCas64(addr, expected, desired);
   }
   ++LocalThreadStats().cas_ops;
+  stat::Registry& reg = stat::Registry::Global();
+  reg.Add(Verbs().cas_ops);
+  reg.Record(Verbs().cas_ns, latency_ns);
   return OpStatus::kOk;
 }
 
@@ -89,13 +146,17 @@ OpStatus Fabric::Faa(int target, uint64_t offset, uint64_t delta,
   if (!IsAlive(target)) {
     return OpStatus::kNodeDown;
   }
-  SpinFor(config_.latency.FaaNs());
+  const uint64_t latency_ns = config_.latency.FaaNs();
+  SpinFor(latency_ns);
   uint64_t* addr = static_cast<uint64_t*>(memory(target).At(offset));
   {
     SpinLatchGuard nic(*nic_latches_[static_cast<size_t>(target)]);
     *observed = htm::StrongFaa64(addr, delta);
   }
   ++LocalThreadStats().faa_ops;
+  stat::Registry& reg = stat::Registry::Global();
+  reg.Add(Verbs().faa_ops);
+  reg.Record(Verbs().faa_ns, latency_ns);
   return OpStatus::kOk;
 }
 
@@ -104,7 +165,8 @@ OpStatus Fabric::Send(int from, int to, uint32_t kind,
   if (!IsAlive(to)) {
     return OpStatus::kNodeDown;
   }
-  SpinFor(config_.latency.SendNs(payload.size()));
+  const uint64_t latency_ns = config_.latency.SendNs(payload.size());
+  SpinFor(latency_ns);
   Message msg;
   msg.from = from;
   msg.kind = kind;
@@ -112,6 +174,9 @@ OpStatus Fabric::Send(int from, int to, uint32_t kind,
   msg.payload = std::move(payload);
   queue(to).Push(std::move(msg));
   ++LocalThreadStats().sends;
+  stat::Registry& reg = stat::Registry::Global();
+  reg.Add(Verbs().sends);
+  reg.Record(Verbs().send_ns, latency_ns);
   return OpStatus::kOk;
 }
 
@@ -127,7 +192,8 @@ OpStatus Fabric::Rpc(int from, int to, uint32_t kind,
     std::lock_guard<std::mutex> lock(rpc_mu_);
     pending_rpcs_.emplace(rpc_id, pending);
   }
-  SpinFor(config_.latency.SendNs(payload.size()));
+  const uint64_t latency_ns = config_.latency.SendNs(payload.size());
+  SpinFor(latency_ns);
   Message msg;
   msg.from = from;
   msg.kind = kind;
@@ -135,6 +201,11 @@ OpStatus Fabric::Rpc(int from, int to, uint32_t kind,
   msg.payload = std::move(payload);
   queue(to).Push(std::move(msg));
   ++LocalThreadStats().sends;
+  {
+    stat::Registry& reg = stat::Registry::Global();
+    reg.Add(Verbs().sends);
+    reg.Record(Verbs().send_ns, latency_ns);
+  }
 
   std::unique_lock<std::mutex> lock(pending->mu);
   const bool ok =

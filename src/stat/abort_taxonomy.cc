@@ -1,0 +1,101 @@
+#include "src/stat/abort_taxonomy.h"
+
+#include <cstdio>
+
+namespace drtm {
+namespace stat {
+
+AbortCause ClassifyRtmStatus(unsigned status) {
+  if (status & kRtmCapacityBit) {
+    return AbortCause::kCapacity;
+  }
+  if (status & kRtmExplicitBit) {
+    return AbortCause::kExplicit;
+  }
+  if (status & kRtmConflictBit) {
+    return AbortCause::kConflict;
+  }
+  if (status & kRtmRetryBit) {
+    return AbortCause::kRetry;
+  }
+  return AbortCause::kUnknown;
+}
+
+const char* AbortCauseName(AbortCause cause) {
+  switch (cause) {
+    case AbortCause::kConflict:
+      return "conflict";
+    case AbortCause::kCapacity:
+      return "capacity";
+    case AbortCause::kExplicit:
+      return "explicit";
+    case AbortCause::kRetry:
+      return "retry";
+    case AbortCause::kUnknown:
+    case AbortCause::kCauseCount:
+      break;
+  }
+  return "unknown";
+}
+
+const char* AbortCauseCounterName(AbortCause cause) {
+  switch (cause) {
+    case AbortCause::kConflict:
+      return "htm.abort.conflict";
+    case AbortCause::kCapacity:
+      return "htm.abort.capacity";
+    case AbortCause::kExplicit:
+      return "htm.abort.explicit";
+    case AbortCause::kRetry:
+      return "htm.abort.retry";
+    case AbortCause::kUnknown:
+    case AbortCause::kCauseCount:
+      break;
+  }
+  return "htm.abort.unknown";
+}
+
+void RecordHtmOutcome(unsigned status, Registry* registry) {
+  if (status == ~0u) {  // htm::kCommitted
+    static thread_local struct {
+      Registry* reg = nullptr;
+      uint32_t id = 0;
+    } commit_cache;
+    if (commit_cache.reg != registry) {
+      commit_cache.reg = registry;
+      commit_cache.id = registry->CounterId("htm.commit");
+    }
+    registry->Add(commit_cache.id);
+    return;
+  }
+  const AbortCause cause = ClassifyRtmStatus(status);
+  // Per-registry id cache; the global registry is the overwhelmingly
+  // common case, so cache its ids and fall back to lookups otherwise.
+  struct Ids {
+    uint32_t total;
+    uint32_t per_cause[kAbortCauseCount];
+  };
+  static thread_local struct {
+    Registry* reg = nullptr;
+    Ids ids;
+  } cache;
+  if (cache.reg != registry) {
+    cache.reg = registry;
+    cache.ids.total = registry->CounterId("htm.abort.total");
+    for (size_t i = 0; i < kAbortCauseCount; ++i) {
+      cache.ids.per_cause[i] = registry->CounterId(
+          AbortCauseCounterName(static_cast<AbortCause>(i)));
+    }
+  }
+  registry->Add(cache.ids.total);
+  registry->Add(cache.ids.per_cause[static_cast<size_t>(cause)]);
+  if (cause == AbortCause::kExplicit) {
+    char name[48];
+    std::snprintf(name, sizeof(name), "htm.abort.explicit.code%u",
+                  RtmUserCode(status));
+    registry->Add(registry->CounterId(name));
+  }
+}
+
+}  // namespace stat
+}  // namespace drtm

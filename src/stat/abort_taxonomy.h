@@ -1,0 +1,70 @@
+// Typed abort-cause taxonomy for the HTM emulator's RTM-layout status
+// word and the transaction layer's fallback outcomes.
+//
+// Capacity vs. conflict vs. fallback attribution is the signal that
+// drives HTM tuning (chopping thresholds, retry budgets, lease windows),
+// so causes are first-class names here rather than raw bit tests spread
+// across call sites.
+#ifndef SRC_STAT_ABORT_TAXONOMY_H_
+#define SRC_STAT_ABORT_TAXONOMY_H_
+
+#include <cstdint>
+
+#include "src/stat/metrics.h"
+
+namespace drtm {
+namespace stat {
+
+// Intel RTM EAX status layout. Mirrored here (rather than including
+// src/htm) so the taxonomy sits below the HTM emulator in the link
+// order; htm.cc static_asserts the two definitions agree.
+inline constexpr unsigned kRtmExplicitBit = 1u << 0;
+inline constexpr unsigned kRtmRetryBit = 1u << 1;
+inline constexpr unsigned kRtmConflictBit = 1u << 2;
+inline constexpr unsigned kRtmCapacityBit = 1u << 3;
+
+inline constexpr unsigned RtmUserCode(unsigned status) {
+  return (status >> 24) & 0xff;
+}
+
+// One cause per abort, by RTM priority: capacity subsumes the conflict
+// bit it is usually reported with, an explicit abort is attributed to
+// its XABORT code, a bare retry hint (no conflict bit) is its own class.
+enum class AbortCause : uint8_t {
+  kConflict = 0,   // kAbortConflict (data conflict, lock-wait timeout)
+  kCapacity,       // kAbortCapacity (read/write-set line budget)
+  kExplicit,       // kAbortExplicit (XABORT), user code attached
+  kRetry,          // kAbortRetry alone: transient, retry advised
+  kUnknown,        // status carried none of the cause bits
+  kCauseCount,
+};
+
+constexpr size_t kAbortCauseCount =
+    static_cast<size_t>(AbortCause::kCauseCount);
+
+// Classifies a non-kCommitted status word from htm::HtmThread::Transact.
+AbortCause ClassifyRtmStatus(unsigned status);
+
+// "conflict", "capacity", "explicit", "retry", "unknown".
+const char* AbortCauseName(AbortCause cause);
+
+// Counter names the recorder below increments, so exporters and tests
+// can enumerate the full cause breakdown even when a cause never fired:
+//   htm.abort.<cause>           per-cause totals
+//   htm.abort.total             sum over causes
+//   htm.abort.explicit.code<N>  XABORT user-code attribution
+//   htm.commit                  committed regions
+const char* AbortCauseCounterName(AbortCause cause);
+
+// Records one HTM region outcome into a registry (the global one by
+// default). `status` is exactly what Transact() returned.
+void RecordHtmOutcome(unsigned status, Registry* registry);
+
+inline void RecordHtmOutcome(unsigned status) {
+  RecordHtmOutcome(status, &Registry::Global());
+}
+
+}  // namespace stat
+}  // namespace drtm
+
+#endif  // SRC_STAT_ABORT_TAXONOMY_H_

@@ -1,0 +1,107 @@
+#include "src/stat/bench_report.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace drtm {
+namespace stat {
+
+Json AbortCausesJson(const Snapshot& stats) {
+  Json causes = Json::Object();
+  causes.Set("explicit", Json::Number(stats.Counter("htm.abort.explicit")));
+  causes.Set("retry", Json::Number(stats.Counter("htm.abort.retry")));
+  causes.Set("conflict", Json::Number(stats.Counter("htm.abort.conflict")));
+  causes.Set("capacity", Json::Number(stats.Counter("htm.abort.capacity")));
+  causes.Set("fallback", Json::Number(stats.Counter("txn.fallback")));
+  causes.Set("user", Json::Number(stats.Counter("txn.user_abort")));
+  return causes;
+}
+
+Json HistogramJson(const Histogram& hist) {
+  Json h = Json::Object();
+  h.Set("count", Json::Number(hist.count()));
+  h.Set("min", Json::Number(hist.min()));
+  h.Set("max", Json::Number(hist.max()));
+  h.Set("mean", Json::Number(hist.Mean()));
+  h.Set("p50", Json::Number(hist.Percentile(50)));
+  h.Set("p90", Json::Number(hist.Percentile(90)));
+  h.Set("p99", Json::Number(hist.Percentile(99)));
+  h.Set("p999", Json::Number(hist.Percentile(99.9)));
+  return h;
+}
+
+Json BenchReport::ToJson() const {
+  Json root = Json::Object();
+  root.Set("schema_version", Json::Number(1));
+  root.Set("bench", Json::Str(bench));
+  root.Set("title", Json::Str(title));
+
+  Json config_json = Json::Object();
+  for (const auto& [key, value] : config) {
+    config_json.Set(key, Json::Str(value));
+  }
+  root.Set("config", std::move(config_json));
+
+  Json series_json = Json::Array();
+  for (const Series& s : series) {
+    Json series_entry = Json::Object();
+    series_entry.Set("name", Json::Str(s.name));
+    Json points = Json::Array();
+    for (const Point& p : s.points) {
+      Json point = Json::Object();
+      Json labels = Json::Object();
+      for (const auto& [key, value] : p.labels) {
+        labels.Set(key, Json::Str(value));
+      }
+      Json values = Json::Object();
+      for (const auto& [key, value] : p.values) {
+        values.Set(key, Json::Number(value));
+      }
+      point.Set("labels", std::move(labels));
+      point.Set("values", std::move(values));
+      points.Append(std::move(point));
+    }
+    series_entry.Set("points", std::move(points));
+    series_json.Append(std::move(series_entry));
+  }
+  root.Set("series", std::move(series_json));
+
+  Json counters = Json::Object();
+  for (const auto& [name, value] : stats.counters) {
+    counters.Set(name, Json::Number(value));
+  }
+  root.Set("counters", std::move(counters));
+  root.Set("abort_causes", AbortCausesJson(stats));
+
+  Json histograms = Json::Object();
+  for (const auto& [name, hist] : stats.histograms) {
+    histograms.Set(name, HistogramJson(hist));
+  }
+  root.Set("histograms", std::move(histograms));
+  return root;
+}
+
+std::string BenchReport::WriteJsonFile(const std::string& dir) const {
+  std::string out_dir = dir;
+  if (out_dir.empty()) {
+    const char* env = std::getenv("DRTM_BENCH_OUT");
+    out_dir = env != nullptr ? env : ".";
+  }
+  const std::string path = out_dir + "/BENCH_" + bench + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench report: cannot write %s\n", path.c_str());
+    return "";
+  }
+  const std::string text = ToJson().Dump(/*pretty=*/true);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok) {
+    return "";
+  }
+  std::printf("bench report: wrote %s\n", path.c_str());
+  return path;
+}
+
+}  // namespace stat
+}  // namespace drtm

@@ -1,0 +1,83 @@
+// Machine-readable benchmark reports: the BENCH_*.json schema that
+// tracks the repository's performance trajectory (see ROADMAP.md).
+//
+// Schema (version 1):
+//   {
+//     "schema_version": 1,
+//     "bench": "fig13_tpcc_threads",        // report id -> file name
+//     "title": "...",
+//     "config": {"duration_ms": "800", ...},// stringly-typed knobs
+//     "series": [                           // the measured sweep(s)
+//       {"name": "mix_tps",
+//        "points": [{"labels": {"threads": "4"}, "values": {"tps": 123.0}}]}
+//     ],
+//     "counters": {"htm.commit": 123, ...}, // full registry delta
+//     "abort_causes": {                     // always all six keys
+//       "explicit": 0, "retry": 0, "conflict": 0, "capacity": 0,
+//       "fallback": 0, "user": 0},
+//     "histograms": {"phase.htm_attempt_ns":
+//       {"count":n,"min":..,"max":..,"mean":..,
+//        "p50":..,"p90":..,"p99":..,"p999":..}}
+//   }
+#ifndef SRC_STAT_BENCH_REPORT_H_
+#define SRC_STAT_BENCH_REPORT_H_
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/stat/json.h"
+#include "src/stat/metrics.h"
+
+namespace drtm {
+namespace stat {
+
+struct BenchReport {
+  struct Point {
+    // Sweep coordinates ("threads" -> "8", "system" -> "drtm-kv").
+    std::vector<std::pair<std::string, std::string>> labels;
+    // Measured values ("tps" -> 1.0e6).
+    std::vector<std::pair<std::string, double>> values;
+  };
+  struct Series {
+    std::string name;
+    std::vector<Point> points;
+  };
+
+  std::string bench;  // file name stem: BENCH_<bench>.json
+  std::string title;
+  std::vector<std::pair<std::string, std::string>> config;
+  // Deque, not vector: AddSeries hands out references that benches hold
+  // across later AddSeries calls, so they must stay valid under growth.
+  std::deque<Series> series;
+  Snapshot stats;  // registry delta covering the measured windows
+
+  void AddConfig(const std::string& key, const std::string& value) {
+    config.emplace_back(key, value);
+  }
+  Series& AddSeries(const std::string& name) {
+    series.push_back(Series{name, {}});
+    return series.back();
+  }
+
+  Json ToJson() const;
+
+  // Writes BENCH_<bench>.json under `dir`; empty dir means the
+  // DRTM_BENCH_OUT environment variable, or the working directory when
+  // unset. Returns the path written, empty on I/O failure.
+  std::string WriteJsonFile(const std::string& dir = "") const;
+};
+
+// The abort_causes block: the four RTM causes from the taxonomy counters
+// plus the transaction layer's fallback executions and user aborts.
+// Exposed for tests; always emits every key.
+Json AbortCausesJson(const Snapshot& stats);
+
+// One histogram object of the schema above.
+Json HistogramJson(const Histogram& hist);
+
+}  // namespace stat
+}  // namespace drtm
+
+#endif  // SRC_STAT_BENCH_REPORT_H_

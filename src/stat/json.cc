@@ -1,0 +1,433 @@
+#include "src/stat/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace drtm {
+namespace stat {
+
+Json Json::Bool(bool b) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::Number(double v) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+Json Json::Str(std::string s) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(s);
+  return j;
+}
+
+Json Json::Array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::Object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+void Json::Append(Json value) { elements_.push_back(std::move(value)); }
+
+size_t Json::size() const {
+  return type_ == Type::kArray ? elements_.size() : members_.size();
+}
+
+const Json& Json::at(size_t index) const { return elements_[index]; }
+
+void Json::Set(std::string_view key, Json value) {
+  for (auto& [name, existing] : members_) {
+    if (name == key) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::string(key), std::move(value));
+}
+
+const Json* Json::Find(std::string_view key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+void EscapeInto(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void NumberInto(double v, std::string* out) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.007e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    *out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+void Indent(std::string* out, int depth) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, bool pretty, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      NumberInto(number_, out);
+      return;
+    case Type::kString:
+      EscapeInto(string_, out);
+      return;
+    case Type::kArray: {
+      if (elements_.empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < elements_.size(); ++i) {
+        if (pretty) {
+          out->push_back('\n');
+          Indent(out, depth + 1);
+        }
+        elements_[i].DumpTo(out, pretty, depth + 1);
+        if (i + 1 < elements_.size()) {
+          out->push_back(',');
+        }
+      }
+      if (pretty) {
+        out->push_back('\n');
+        Indent(out, depth);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (pretty) {
+          out->push_back('\n');
+          Indent(out, depth + 1);
+        }
+        EscapeInto(members_[i].first, out);
+        *out += pretty ? ": " : ":";
+        members_[i].second.DumpTo(out, pretty, depth + 1);
+        if (i + 1 < members_.size()) {
+          out->push_back(',');
+        }
+      }
+      if (pretty) {
+        out->push_back('\n');
+        Indent(out, depth);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::Dump(bool pretty) const {
+  std::string out;
+  DumpTo(&out, pretty, 0);
+  if (pretty) {
+    out.push_back('\n');
+  }
+  return out;
+}
+
+// --- parser ------------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipSpace();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool EatLiteral(std::string_view literal) {
+    if (text.substr(pos, literal.size()) == literal) {
+      pos += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Eat('"')) {
+      return false;
+    }
+    out->clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') {
+        return true;
+      }
+      if (c == '\\') {
+        if (pos >= text.size()) {
+          return false;
+        }
+        const char esc = text[pos++];
+        switch (esc) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'u': {
+            if (pos + 4 > text.size()) {
+              return false;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return false;
+              }
+            }
+            // Reports are ASCII; non-ASCII escapes decode to UTF-8.
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+              out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default:
+            return false;
+        }
+        continue;
+      }
+      out->push_back(c);
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseValue(Json* out) {
+    SkipSpace();
+    if (pos >= text.size()) {
+      return false;
+    }
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      Json object = Json::Object();
+      SkipSpace();
+      if (Eat('}')) {
+        *out = std::move(object);
+        return true;
+      }
+      while (true) {
+        std::string key;
+        SkipSpace();
+        if (!ParseString(&key) || !Eat(':')) {
+          return false;
+        }
+        Json value;
+        if (!ParseValue(&value)) {
+          return false;
+        }
+        object.Set(key, std::move(value));
+        if (Eat(',')) {
+          continue;
+        }
+        if (Eat('}')) {
+          *out = std::move(object);
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      Json array = Json::Array();
+      SkipSpace();
+      if (Eat(']')) {
+        *out = std::move(array);
+        return true;
+      }
+      while (true) {
+        Json value;
+        if (!ParseValue(&value)) {
+          return false;
+        }
+        array.Append(std::move(value));
+        if (Eat(',')) {
+          continue;
+        }
+        if (Eat(']')) {
+          *out = std::move(array);
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '"') {
+      std::string s;
+      if (!ParseString(&s)) {
+        return false;
+      }
+      *out = Json::Str(std::move(s));
+      return true;
+    }
+    if (EatLiteral("true")) {
+      *out = Json::Bool(true);
+      return true;
+    }
+    if (EatLiteral("false")) {
+      *out = Json::Bool(false);
+      return true;
+    }
+    if (EatLiteral("null")) {
+      *out = Json::Null();
+      return true;
+    }
+    // Number.
+    const size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) {
+      ++pos;
+    }
+    bool digits = false;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '-' || text[pos] == '+')) {
+      digits = true;
+      ++pos;
+    }
+    if (!digits) {
+      return false;
+    }
+    const std::string token(text.substr(start, pos - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return false;
+    }
+    *out = Json::Number(v);
+    return true;
+  }
+};
+
+}  // namespace
+
+bool Json::Parse(std::string_view text, Json* out) {
+  Parser parser{text};
+  Json value;
+  if (!parser.ParseValue(&value)) {
+    return false;
+  }
+  parser.SkipSpace();
+  if (parser.pos != text.size()) {
+    return false;  // trailing garbage
+  }
+  *out = std::move(value);
+  return true;
+}
+
+}  // namespace stat
+}  // namespace drtm

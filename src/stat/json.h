@@ -1,0 +1,80 @@
+// Minimal JSON value with a writer and a strict parser — just enough for
+// the BENCH_*.json reports and their round-trip tests, so the repository
+// needs no external JSON dependency.
+//
+// Numbers are doubles (counters up to 2^53 round-trip exactly); object
+// member order is preserved on write (insertion order), which keeps the
+// reports diffable.
+#ifndef SRC_STAT_JSON_H_
+#define SRC_STAT_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace drtm {
+namespace stat {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  static Json Null() { return Json(); }
+  static Json Bool(bool b);
+  static Json Number(double v);
+  static Json Number(uint64_t v) { return Number(static_cast<double>(v)); }
+  static Json Number(int v) { return Number(static_cast<double>(v)); }
+  static Json Str(std::string s);
+  static Json Array();
+  static Json Object();
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+
+  // Arrays.
+  void Append(Json value);
+  size_t size() const;
+  const Json& at(size_t index) const;
+
+  // Objects. Set() replaces an existing member in place.
+  void Set(std::string_view key, Json value);
+  const Json* Find(std::string_view key) const;
+  bool Has(std::string_view key) const { return Find(key) != nullptr; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  // Serializes with 2-space indentation and a trailing newline at the
+  // top level when pretty; compact single-line otherwise.
+  std::string Dump(bool pretty = true) const;
+
+  // Strict parser (no comments, no trailing commas). Returns false and
+  // leaves *out untouched on malformed input.
+  static bool Parse(std::string_view text, Json* out);
+
+ private:
+  void DumpTo(std::string* out, bool pretty, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Json> elements_;                         // kArray
+  std::vector<std::pair<std::string, Json>> members_;  // kObject
+};
+
+}  // namespace stat
+}  // namespace drtm
+
+#endif  // SRC_STAT_JSON_H_

@@ -1,0 +1,185 @@
+#include "src/stat/metrics.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace drtm {
+namespace stat {
+
+Snapshot Snapshot::DeltaSince(const Snapshot& earlier) const {
+  Snapshot delta = *this;
+  for (auto& [name, value] : delta.counters) {
+    auto it = earlier.counters.find(name);
+    if (it != earlier.counters.end()) {
+      value -= std::min(value, it->second);
+    }
+  }
+  for (auto& [name, hist] : delta.histograms) {
+    auto it = earlier.histograms.find(name);
+    if (it != earlier.histograms.end()) {
+      hist.Subtract(it->second);
+    }
+  }
+  return delta;
+}
+
+void Snapshot::Merge(const Snapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    counters[name] += value;
+  }
+  for (const auto& [name, hist] : other.histograms) {
+    histograms[name].Merge(hist);
+  }
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // immortal: worker threads
+  return *registry;                            // may outlive main()'s exit
+}
+
+Registry::Registry() {
+  for (auto& shard : shards_) {
+    shard = std::make_unique<Shard>();
+  }
+}
+
+Registry::~Registry() = default;
+
+namespace {
+
+// Round-robin shard assignment: a process-wide thread ordinal, not a
+// hash, so the first kShards threads never collide. Shared across
+// registries (the ordinal identifies the thread, not the metric).
+uint32_t ThreadOrdinal() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace
+
+Registry::Shard& Registry::LocalShard() {
+  return *shards_[ThreadOrdinal() % kShards];
+}
+
+uint32_t Registry::CounterId(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counter_ids_.find(name);
+  if (it != counter_ids_.end()) {
+    return it->second;
+  }
+  assert(counter_names_.size() < kMaxCounters && "raise Registry::kMaxCounters");
+  const uint32_t id = static_cast<uint32_t>(counter_names_.size());
+  counter_names_.emplace_back(name);
+  counter_ids_.emplace(counter_names_.back(), id);
+  return id;
+}
+
+uint32_t Registry::TimerId(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = timer_ids_.find(name);
+  if (it != timer_ids_.end()) {
+    return it->second;
+  }
+  assert(timer_names_.size() < kMaxTimers && "raise Registry::kMaxTimers");
+  const uint32_t id = static_cast<uint32_t>(timer_names_.size());
+  timer_names_.emplace_back(name);
+  timer_ids_.emplace(timer_names_.back(), id);
+  return id;
+}
+
+void Registry::Add(uint32_t counter_id, uint64_t delta) {
+  LocalShard().counters[counter_id].value.fetch_add(delta,
+                                                    std::memory_order_relaxed);
+}
+
+void Registry::Record(uint32_t timer_id, uint64_t value) {
+  Shard& shard = LocalShard();
+  SpinLatchGuard guard(shard.hist_latch);
+  shard.hists[timer_id].Record(value);
+}
+
+Snapshot Registry::TakeSnapshot() {
+  // Copy the name tables first so shard scanning runs without mu_.
+  std::vector<std::string> counter_names;
+  std::vector<std::string> timer_names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counter_names = counter_names_;
+    timer_names = timer_names_;
+  }
+  Snapshot snapshot;
+  for (size_t id = 0; id < counter_names.size(); ++id) {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->counters[id].value.load(std::memory_order_relaxed);
+    }
+    snapshot.counters.emplace(counter_names[id], total);
+  }
+  for (size_t id = 0; id < timer_names.size(); ++id) {
+    Histogram merged;
+    for (const auto& shard : shards_) {
+      SpinLatchGuard guard(shard->hist_latch);
+      merged.Merge(shard->hists[id]);
+    }
+    snapshot.histograms.emplace(timer_names[id], std::move(merged));
+  }
+  return snapshot;
+}
+
+size_t Registry::num_counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counter_names_.size();
+}
+
+size_t Registry::num_timers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timer_names_.size();
+}
+
+namespace {
+
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-') {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const Snapshot& snapshot) {
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PromName(name);
+    std::snprintf(line, sizeof(line), "# TYPE %s counter\n%s %llu\n",
+                  prom.c_str(), prom.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string prom = PromName(name);
+    std::snprintf(line, sizeof(line), "# TYPE %s summary\n", prom.c_str());
+    out += line;
+    for (const double q : {0.5, 0.9, 0.99}) {
+      std::snprintf(line, sizeof(line), "%s{quantile=\"%g\"} %llu\n",
+                    prom.c_str(), q,
+                    static_cast<unsigned long long>(
+                        hist.Percentile(q * 100.0)));
+      out += line;
+    }
+    std::snprintf(line, sizeof(line), "%s_sum %.0f\n%s_count %llu\n",
+                  prom.c_str(), hist.Mean() * static_cast<double>(hist.count()),
+                  prom.c_str(), static_cast<unsigned long long>(hist.count()));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace stat
+}  // namespace drtm

@@ -2,10 +2,32 @@
 
 #include <cstring>
 
+#include "src/stat/metrics.h"
+
 namespace drtm {
 namespace store {
 
 namespace {
+
+struct CacheMetricIds {
+  uint32_t hit = 0;
+  uint32_t miss = 0;
+  uint32_t install = 0;
+  uint32_t invalidate = 0;
+};
+
+const CacheMetricIds& CacheIds() {
+  static const CacheMetricIds ids = [] {
+    stat::Registry& reg = stat::Registry::Global();
+    CacheMetricIds c;
+    c.hit = reg.CounterId("cache.hit");
+    c.miss = reg.CounterId("cache.miss");
+    c.install = reg.CounterId("cache.install");
+    c.invalidate = reg.CounterId("cache.invalidate");
+    return c;
+  }();
+  return ids;
+}
 
 size_t FramesForBudget(size_t budget_bytes) {
   const size_t frame_bytes = sizeof(Bucket) + 16;
@@ -34,10 +56,12 @@ bool LocationCache::Lookup(uint64_t bucket_off, Bucket* out) {
   SpinLatchGuard guard(frame.latch);
   if (frame.tag != bucket_off) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    stat::Registry::Global().Add(CacheIds().miss);
     return false;
   }
   std::memcpy(out, &frame.bucket, sizeof(Bucket));
   hits_.fetch_add(1, std::memory_order_relaxed);
+  stat::Registry::Global().Add(CacheIds().hit);
   return true;
 }
 
@@ -46,6 +70,7 @@ void LocationCache::Install(uint64_t bucket_off, const Bucket& bucket) {
   SpinLatchGuard guard(frame.latch);
   frame.tag = bucket_off;
   std::memcpy(&frame.bucket, &bucket, sizeof(Bucket));
+  stat::Registry::Global().Add(CacheIds().install);
 }
 
 void LocationCache::Invalidate(uint64_t bucket_off) {
@@ -53,6 +78,7 @@ void LocationCache::Invalidate(uint64_t bucket_off) {
   SpinLatchGuard guard(frame.latch);
   if (frame.tag == bucket_off) {
     frame.tag = kInvalidOffset;
+    stat::Registry::Global().Add(CacheIds().invalidate);
   }
 }
 

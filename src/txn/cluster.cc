@@ -3,8 +3,37 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/stat/metrics.h"
+
 namespace drtm {
 namespace txn {
+
+namespace {
+
+// Server-side RPC dispatch and shipped structural operations.
+struct ClusterMetricIds {
+  uint32_t rpc_handled = 0;
+  uint32_t insert_shipped = 0;
+  uint32_t remove_shipped = 0;
+  uint32_t crash = 0;
+  uint32_t revive = 0;
+};
+
+const ClusterMetricIds& ClusterIds() {
+  static const ClusterMetricIds ids = [] {
+    stat::Registry& reg = stat::Registry::Global();
+    ClusterMetricIds c;
+    c.rpc_handled = reg.CounterId("cluster.rpc.handled");
+    c.insert_shipped = reg.CounterId("cluster.insert.shipped");
+    c.remove_shipped = reg.CounterId("cluster.remove.shipped");
+    c.crash = reg.CounterId("cluster.crash");
+    c.revive = reg.CounterId("cluster.revive");
+    return c;
+  }();
+  return ids;
+}
+
+}  // namespace
 
 Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   rdma::Fabric::Config fabric_config;
@@ -138,6 +167,7 @@ void Cluster::ServerLoop(int node) {
         break;
       }
     }
+    stat::Registry::Global().Add(ClusterIds().rpc_handled);
     fabric_->Reply(msg, std::move(reply));
   }
 }
@@ -307,6 +337,7 @@ bool Cluster::RemoteInsert(int from_node, int table, uint64_t key,
   std::memcpy(payload.data() + sizeof(req), value, spec.value_size);
   std::vector<uint8_t> reply;
   const int target = PartitionOf(table, key);
+  stat::Registry::Global().Add(ClusterIds().insert_shipped);
   if (fabric_->Rpc(from_node, target, kRpcKvInsert, std::move(payload),
                    &reply) != rdma::OpStatus::kOk) {
     return false;
@@ -320,6 +351,7 @@ bool Cluster::RemoteRemove(int from_node, int table, uint64_t key) {
   std::memcpy(payload.data(), &req, sizeof(req));
   std::vector<uint8_t> reply;
   const int target = PartitionOf(table, key);
+  stat::Registry::Global().Add(ClusterIds().remove_shipped);
   if (fabric_->Rpc(from_node, target, kRpcKvRemove, std::move(payload),
                    &reply) != rdma::OpStatus::kOk) {
     return false;
@@ -339,11 +371,13 @@ rdma::OpStatus Cluster::Rpc(int from, int to, uint32_t kind,
 }
 
 void Cluster::Crash(int node) {
+  stat::Registry::Global().Add(ClusterIds().crash);
   fabric_->SetAlive(node, false);
   server_running_[static_cast<size_t>(node)]->store(false);
 }
 
 void Cluster::Revive(int node) {
+  stat::Registry::Global().Add(ClusterIds().revive);
   fabric_->queue(node).Reset();
   fabric_->SetAlive(node, true);
   if (started_) {

@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "src/htm/htm.h"
+#include "src/stat/metrics.h"
+#include "src/stat/timer.h"
 
 namespace drtm {
 namespace txn {
@@ -17,6 +19,26 @@ struct RecordHeader {
   uint64_t txn_id;
 };
 static_assert(sizeof(RecordHeader) == 16);
+
+struct LogMetricIds {
+  uint32_t appends = 0;
+  uint32_t bytes = 0;
+  uint32_t full = 0;
+  uint32_t append_ns = 0;
+};
+
+const LogMetricIds& LogIds() {
+  static const LogMetricIds ids = [] {
+    stat::Registry& reg = stat::Registry::Global();
+    LogMetricIds l;
+    l.appends = reg.CounterId("log.append.ops");
+    l.bytes = reg.CounterId("log.append.bytes");
+    l.full = reg.CounterId("log.segment_full");
+    l.append_ns = reg.TimerId("phase.log_append_ns");
+    return l;
+  }();
+  return ids;
+}
 
 }  // namespace
 
@@ -34,12 +56,17 @@ NvramLog::NvramLog(rdma::NodeMemory* memory, int workers,
 
 bool NvramLog::Append(int worker, LogType type, uint64_t txn_id,
                       const void* payload, size_t len) {
+  // If the enclosing (emulated) HTM region aborts out of Append via
+  // longjmp the destructor is skipped and the sample is simply dropped,
+  // which is the intended behaviour for an undone append.
+  stat::ScopedTimer phase(LogIds().append_ns);
   const SegmentRef& seg = segments_[static_cast<size_t>(worker)];
   uint64_t* head =
       static_cast<uint64_t*>(memory_->At(seg.head_off));
   const uint64_t used = htm::Load(head);
   const uint64_t need = sizeof(RecordHeader) + ((len + 7) & ~size_t{7});
   if (used + need > segment_bytes_) {
+    stat::Registry::Global().Add(LogIds().full);
     return false;
   }
   RecordHeader header{};
@@ -52,6 +79,9 @@ bool NvramLog::Append(int worker, LogType type, uint64_t txn_id,
     htm::WriteBytes(dst + sizeof(header), payload, len);
   }
   htm::Store(head, used + need);
+  stat::Registry& reg = stat::Registry::Global();
+  reg.Add(LogIds().appends);
+  reg.Add(LogIds().bytes, need);
   return true;
 }
 

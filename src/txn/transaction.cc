@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "src/common/clock.h"
+#include "src/stat/metrics.h"
+#include "src/stat/timer.h"
 #include "src/store/kv_layout.h"
 #include "src/store/remote_kv.h"
 #include "src/txn/lock_state.h"
@@ -22,6 +24,50 @@ constexpr int kWriteBackRetries = 2000;
 
 void SleepUs(uint64_t us) {
   std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+// Registry ids for the transaction-layer counters and phase timers,
+// resolved once per process.
+struct TxnMetricIds {
+  uint32_t commit = 0;
+  uint32_t user_abort = 0;
+  uint32_t start_conflict = 0;
+  uint32_t fallback = 0;
+  uint32_t exhausted = 0;
+  uint32_t node_failure = 0;
+  uint32_t lease_abort = 0;
+  uint32_t lock_abort = 0;
+  uint32_t ro_commit = 0;
+  uint32_t ro_retry = 0;
+  uint32_t htm_attempt_ns = 0;
+  uint32_t fallback_ns = 0;
+  uint32_t lock_acquire_ns = 0;
+  uint32_t lease_wait_ns = 0;
+  uint32_t commit_ns = 0;
+};
+
+const TxnMetricIds& Ids() {
+  static const TxnMetricIds ids = [] {
+    stat::Registry& reg = stat::Registry::Global();
+    TxnMetricIds t;
+    t.commit = reg.CounterId("txn.commit");
+    t.user_abort = reg.CounterId("txn.user_abort");
+    t.start_conflict = reg.CounterId("txn.start_conflict");
+    t.fallback = reg.CounterId("txn.fallback");
+    t.exhausted = reg.CounterId("txn.fallback_exhausted");
+    t.node_failure = reg.CounterId("txn.node_failure");
+    t.lease_abort = reg.CounterId("txn.lease_abort");
+    t.lock_abort = reg.CounterId("txn.lock_abort");
+    t.ro_commit = reg.CounterId("txn.readonly.commit");
+    t.ro_retry = reg.CounterId("txn.readonly.retry");
+    t.htm_attempt_ns = reg.TimerId("phase.htm_attempt_ns");
+    t.fallback_ns = reg.TimerId("phase.fallback_ns");
+    t.lock_acquire_ns = reg.TimerId("phase.lock_acquire_ns");
+    t.lease_wait_ns = reg.TimerId("phase.lease_wait_ns");
+    t.commit_ns = reg.TimerId("phase.commit_ns");
+    return t;
+  }();
+  return ids;
 }
 
 }  // namespace
@@ -133,6 +179,7 @@ void Transaction::UnlockRef(const Ref& ref) {
 }
 
 Transaction::StartResult Transaction::AcquireExclusive(Ref& ref, bool wait) {
+  stat::ScopedTimer phase(Ids().lock_acquire_ns);
   const uint64_t locked_val =
       MakeWriteLocked(static_cast<uint8_t>(worker_->node()));
   uint64_t expected = kStateInit;
@@ -172,6 +219,7 @@ Transaction::StartResult Transaction::AcquireExclusive(Ref& ref, bool wait) {
 }
 
 Transaction::StartResult Transaction::AcquireLease(Ref& ref, bool wait) {
+  stat::ScopedTimer phase(Ids().lease_wait_ns);
   const uint64_t desired = MakeLease(lease_end_);
   uint64_t expected = kStateInit;
   int tries = 0;
@@ -461,12 +509,14 @@ TxnStatus Transaction::Run(const Body& body) {
     if (sr == StartResult::kNodeDown) {
       ReleaseRemoteLocks();
       ++stats.node_failures;
+      stat::Registry::Global().Add(Ids().node_failure);
       return TxnStatus::kNodeFailure;
     }
     if (sr == StartResult::kConflict) {
       ReleaseRemoteLocks();
       ResetRefsForRetry();
       ++stats.start_conflicts;
+      stat::Registry::Global().Add(Ids().start_conflict);
       if (++start_conflicts > cfg_.start_retry_limit) {
         break;  // heavy remote contention: let the fallback serialize us
       }
@@ -477,23 +527,31 @@ TxnStatus Transaction::Run(const Body& body) {
     user_abort_ = false;
     wal_buffer_.clear();
     htm::HtmThread& htm = worker_->htm();
-    const unsigned hstatus = htm.Transact([&] {
-      if (!body(*this)) {
-        user_abort_ = true;
-        htm.Abort(kCodeUser);
-      }
-      ConfirmLeasesInHtm();
-      WriteWalInHtm();
-    });
+    unsigned hstatus;
+    {
+      stat::ScopedTimer attempt_phase(Ids().htm_attempt_ns);
+      hstatus = htm.Transact([&] {
+        if (!body(*this)) {
+          user_abort_ = true;
+          htm.Abort(kCodeUser);
+        }
+        ConfirmLeasesInHtm();
+        WriteWalInHtm();
+      });
+    }
 
     if (hstatus == htm::kCommitted) {
-      WriteBackAndUnlock();
-      if (cfg_.logging) {
-        cluster_.log(worker_->node())
-            ->Append(worker_->worker_id(), LogType::kComplete, txn_id_,
-                     nullptr, 0);
+      {
+        stat::ScopedTimer commit_phase(Ids().commit_ns);
+        WriteBackAndUnlock();
+        if (cfg_.logging) {
+          cluster_.log(worker_->node())
+              ->Append(worker_->worker_id(), LogType::kComplete, txn_id_,
+                       nullptr, 0);
+        }
       }
       ++stats.committed;
+      stat::Registry::Global().Add(Ids().commit);
       return TxnStatus::kCommitted;
     }
 
@@ -501,6 +559,7 @@ TxnStatus Transaction::Run(const Body& body) {
     ResetRefsForRetry();
     if (user_abort_) {
       ++stats.user_aborts;
+      stat::Registry::Global().Add(Ids().user_abort);
       return TxnStatus::kUserAbort;
     }
     if (hstatus & htm::kAbortCapacity) {
@@ -509,8 +568,10 @@ TxnStatus Transaction::Run(const Body& body) {
       const unsigned code = htm::AbortUserCode(hstatus);
       if (code == kCodeLease) {
         ++stats.htm_lease_aborts;
+        stat::Registry::Global().Add(Ids().lease_abort);
       } else {
         ++stats.htm_lock_aborts;
+        stat::Registry::Global().Add(Ids().lock_abort);
       }
     } else {
       ++stats.htm_conflict_aborts;
@@ -520,6 +581,7 @@ TxnStatus Transaction::Run(const Body& body) {
   }
 
   ++stats.fallbacks;
+  stat::Registry::Global().Add(Ids().fallback);
   return RunFallback(body);
 }
 
@@ -772,6 +834,7 @@ bool Transaction::OrderedFindFloor(int table, uint64_t lo, uint64_t bound,
 
 TxnStatus Transaction::RunFallback(const Body& body) {
   mode_ = Mode::kFallback;
+  stat::ScopedTimer fallback_phase(Ids().fallback_ns);
   TxnStats& stats = worker_->stats();
   htm::HtmThread& htm = worker_->htm();
 
@@ -822,6 +885,7 @@ TxnStatus Transaction::RunFallback(const Body& body) {
       ResetRefsForRetry();
       if (fail == StartResult::kNodeDown) {
         ++stats.node_failures;
+        stat::Registry::Global().Add(Ids().node_failure);
         return TxnStatus::kNodeFailure;
       }
       worker_->Backoff(attempt);
@@ -842,6 +906,7 @@ TxnStatus Transaction::RunFallback(const Body& body) {
       ReleaseRemoteLocks();
       ResetRefsForRetry();
       ++stats.user_aborts;
+      stat::Registry::Global().Add(Ids().user_abort);
       return TxnStatus::kUserAbort;
     }
     if (!dynamic_refs_.empty()) {
@@ -879,6 +944,7 @@ TxnStatus Transaction::RunFallback(const Body& body) {
     // Apply: hash-record write-backs (strong writes abort conflicting HTM
     // readers; the state word is locked so local transactions stay away),
     // then the buffered local structural operations, then unlock.
+    stat::ScopedTimer commit_phase(Ids().commit_ns);
     const uint64_t locked_val =
         MakeWriteLocked(static_cast<uint8_t>(worker_->node()));
     for (Ref& ref : refs_) {
@@ -960,8 +1026,10 @@ TxnStatus Transaction::RunFallback(const Body& body) {
                    0);
     }
     ++stats.committed;
+    stat::Registry::Global().Add(Ids().commit);
     return TxnStatus::kCommitted;
   }
+  stat::Registry::Global().Add(Ids().exhausted);
   return TxnStatus::kAborted;
 }
 
@@ -1101,6 +1169,7 @@ TxnStatus ReadOnlyTransaction::Execute() {
 
     if (node_down) {
       ++stats.node_failures;
+      stat::Registry::Global().Add(Ids().node_failure);
       return TxnStatus::kNodeFailure;
     }
     if (!conflict) {
@@ -1115,10 +1184,12 @@ TxnStatus ReadOnlyTransaction::Execute() {
       }
       if (all_valid) {
         ++stats.read_only_committed;
+        stat::Registry::Global().Add(Ids().ro_commit);
         return TxnStatus::kCommitted;
       }
     }
     ++stats.read_only_retries;
+    stat::Registry::Global().Add(Ids().ro_retry);
     worker_->Backoff(attempt);
   }
   return TxnStatus::kAborted;

@@ -62,6 +62,7 @@ RunResult RunWorkers(txn::Cluster* cluster, const RunOptions& options,
   start_barrier.Wait();
   std::this_thread::sleep_for(std::chrono::milliseconds(options.warmup_ms));
   warming.store(false, std::memory_order_release);
+  const stat::Snapshot stats_begin = stat::Registry::Global().TakeSnapshot();
   const uint64_t measure_begin = MonotonicNanos();
   std::this_thread::sleep_for(std::chrono::milliseconds(options.duration_ms));
   running.store(false, std::memory_order_release);
@@ -71,6 +72,8 @@ RunResult RunWorkers(txn::Cluster* cluster, const RunOptions& options,
   }
   result.seconds =
       static_cast<double>(measure_end - measure_begin) / 1e9;
+  result.stats_delta =
+      stat::Registry::Global().TakeSnapshot().DeltaSince(stats_begin);
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include <functional>
 
 #include "src/common/histogram.h"
+#include "src/stat/metrics.h"
 #include "src/txn/transaction.h"
 
 namespace drtm {
@@ -20,6 +21,9 @@ struct RunResult {
   txn::TxnStats txn_stats;
   htm::Stats htm_stats;
   Histogram latency_us;
+  // Global-registry delta covering only the measured window (the warmup
+  // is excluded): counters by name plus phase/RDMA histograms.
+  stat::Snapshot stats_delta;
 
   double Throughput() const {
     return seconds > 0 ? static_cast<double>(committed) / seconds : 0;

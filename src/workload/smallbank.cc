@@ -1,9 +1,56 @@
 #include "src/workload/smallbank.h"
 
+#include <array>
 #include <cstring>
+#include <string>
+#include <utility>
+
+#include "src/stat/metrics.h"
 
 namespace drtm {
 namespace workload {
+
+namespace {
+
+const char* SmallBankTxnName(SmallBankDb::TxnType type) {
+  switch (type) {
+    case SmallBankDb::TxnType::kSendPayment:
+      return "send_payment";
+    case SmallBankDb::TxnType::kBalance:
+      return "balance";
+    case SmallBankDb::TxnType::kDepositChecking:
+      return "deposit_checking";
+    case SmallBankDb::TxnType::kWriteCheck:
+      return "write_check";
+    case SmallBankDb::TxnType::kTransactSavings:
+      return "transact_savings";
+    case SmallBankDb::TxnType::kAmalgamate:
+      return "amalgamate";
+  }
+  return "unknown";
+}
+
+void RecordSmallBankOutcome(SmallBankDb::TxnType type, txn::TxnStatus status) {
+  // Two counters per mix type, resolved lazily into one table.
+  constexpr int kTypes = 6;
+  static const std::array<std::pair<uint32_t, uint32_t>, kTypes> ids = [] {
+    stat::Registry& reg = stat::Registry::Global();
+    std::array<std::pair<uint32_t, uint32_t>, kTypes> out{};
+    for (int i = 0; i < kTypes; ++i) {
+      const std::string base =
+          std::string("txn.smallbank.") +
+          SmallBankTxnName(static_cast<SmallBankDb::TxnType>(i));
+      out[static_cast<size_t>(i)] = {reg.CounterId(base + ".committed"),
+                                     reg.CounterId(base + ".aborted")};
+    }
+    return out;
+  }();
+  const auto& [committed, aborted] = ids[static_cast<size_t>(type)];
+  stat::Registry::Global().Add(
+      status == txn::TxnStatus::kCommitted ? committed : aborted);
+}
+
+}  // namespace
 
 SmallBankDb::SmallBankDb(txn::Cluster* cluster, const Params& params)
     : cluster_(cluster), params_(params) {
@@ -219,6 +266,7 @@ SmallBankDb::MixResult SmallBankDb::RunMix(txn::Worker* worker) {
       status = RunAmalgamate(worker);
       break;
   }
+  RecordSmallBankOutcome(type, status);
   return MixResult{type, status};
 }
 

@@ -1,9 +1,13 @@
 #include "src/workload/tpcc.h"
 
+#include <array>
 #include <cassert>
 #include <cstring>
 #include <set>
+#include <string>
+#include <utility>
 
+#include "src/stat/metrics.h"
 #include "src/txn/chopping.h"
 
 namespace drtm {
@@ -12,6 +16,40 @@ namespace workload {
 namespace {
 
 constexpr uint32_t kPaymentRpc = txn::Cluster::kUserRpcBase + 1;
+
+const char* TpccTxnName(TpccDb::TxnType type) {
+  switch (type) {
+    case TpccDb::TxnType::kNewOrder:
+      return "new_order";
+    case TpccDb::TxnType::kPayment:
+      return "payment";
+    case TpccDb::TxnType::kOrderStatus:
+      return "order_status";
+    case TpccDb::TxnType::kDelivery:
+      return "delivery";
+    case TpccDb::TxnType::kStockLevel:
+      return "stock_level";
+  }
+  return "unknown";
+}
+
+void RecordTpccOutcome(TpccDb::TxnType type, txn::TxnStatus status) {
+  constexpr int kTypes = 5;
+  static const std::array<std::pair<uint32_t, uint32_t>, kTypes> ids = [] {
+    stat::Registry& reg = stat::Registry::Global();
+    std::array<std::pair<uint32_t, uint32_t>, kTypes> out{};
+    for (int i = 0; i < kTypes; ++i) {
+      const std::string base = std::string("txn.tpcc.") +
+                               TpccTxnName(static_cast<TpccDb::TxnType>(i));
+      out[static_cast<size_t>(i)] = {reg.CounterId(base + ".committed"),
+                                     reg.CounterId(base + ".aborted")};
+    }
+    return out;
+  }();
+  const auto& [committed, aborted] = ids[static_cast<size_t>(type)];
+  stat::Registry::Global().Add(
+      status == txn::TxnStatus::kCommitted ? committed : aborted);
+}
 
 // TPC-C NURand with the spec's per-run constant C.
 uint64_t NuRand(Xoshiro256& rng, uint64_t a, uint64_t n) {
@@ -743,6 +781,7 @@ TpccDb::MixResult TpccDb::RunMix(txn::Worker* worker) {
       status = RunStockLevel(worker);
       break;
   }
+  RecordTpccOutcome(type, status);
   return MixResult{type, status};
 }
 

@@ -87,8 +87,12 @@ TEST(FabricStress, CrashDuringRpcStormIsCleanlySurfaced) {
   });
   std::atomic<uint64_t> ok{0};
   std::atomic<uint64_t> down{0};
+  // The client RPCs until it observes the crash; the main thread crashes
+  // the node only after at least one RPC has succeeded. Sequenced on the
+  // counters rather than a sleep so the interleaving is the same on any
+  // host speed: some successes, then a crash, then a surfaced failure.
   std::thread client([&] {
-    for (int i = 0; i < 2000 && down.load() == 0; ++i) {
+    for (int i = 0; i < 1000000 && down.load() == 0; ++i) {
       std::vector<uint8_t> reply;
       const auto status = fabric.Rpc(0, 1, 7, {0}, &reply, 50000);
       if (status == rdma::OpStatus::kOk) {
@@ -98,7 +102,9 @@ TEST(FabricStress, CrashDuringRpcStormIsCleanlySurfaced) {
       }
     }
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  while (ok.load() == 0 && down.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   fabric.SetAlive(1, false);
   client.join();
   stop.store(true);

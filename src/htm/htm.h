@@ -95,9 +95,13 @@ class HtmThread {
   unsigned Transact(Fn&& fn) {
     if (depth_ > 0) {
       // Flat nesting: run inline; aborts propagate to the outer region.
+      // The scope guard keeps depth_ balanced when the body throws
+      // (AbortException or anything else): the unwind must reach the
+      // outer Transact with the depth it set up, or the thread would
+      // permanently believe it is inside a transaction.
       ++depth_;
+      DepthGuard guard(&depth_);
       fn();
-      --depth_;
       return kCommitted;
     }
     Begin();
@@ -108,6 +112,12 @@ class HtmThread {
     } catch (const AbortException& e) {
       Rollback(e.status);
       return e.status;
+    } catch (...) {
+      // A foreign exception crossing the transaction boundary tears the
+      // region down (counted as an explicit abort) and propagates;
+      // without this the buffered writes and depth would leak.
+      Rollback(kAbortExplicit);
+      throw;
     }
   }
 
@@ -145,6 +155,16 @@ class HtmThread {
     uintptr_t dst;
     uint32_t offset;  // into redo_data_
     uint32_t len;
+  };
+
+  // Balances the flat-nesting depth increment across any exit path of
+  // the inner body, including exception unwinding.
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth(depth) {}
+    ~DepthGuard() { --*depth; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    int* depth;
   };
 
   void Begin();

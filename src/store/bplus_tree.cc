@@ -13,6 +13,27 @@ constexpr uint64_t kControlRoot = 0;
 constexpr uint64_t kControlBump = 1;
 constexpr uint64_t kControlLive = 2;
 constexpr size_t kControlBytes = 64;
+
+// Node header layout (byte offsets into a node).
+constexpr size_t kIsLeafOff = 0;    // uint16_t
+constexpr size_t kNumKeysOff = 2;   // uint16_t
+constexpr size_t kNextLeafOff = 4;  // uint32_t
+
+// Typed field access at a byte offset, with memcpy semantics through
+// the htm dispatch layer: no typed pointer into the pool is ever
+// formed, so there is no alignment or strict-aliasing UB for UBSan to
+// find, and every access is tracked by the transaction (TX01).
+template <typename T>
+T LoadField(const uint8_t* base, size_t off) {
+  T value;
+  htm::ReadBytes(&value, base + off, sizeof(T));
+  return value;
+}
+
+template <typename T>
+void StoreField(uint8_t* base, size_t off, const T& value) {
+  htm::WriteBytes(base + off, &value, sizeof(T));
+}
 }  // namespace
 
 BPlusTree::BPlusTree(const Config& config) : config_(config) {
@@ -28,7 +49,14 @@ BPlusTree::BPlusTree(const Config& config) : config_(config) {
   pool_ = std::make_unique<uint8_t[]>(kControlBytes +
                                       node_bytes_ * config.max_nodes);
   std::memset(pool_.get(), 0, kControlBytes);
-  control_ = reinterpret_cast<uint64_t*>(pool_.get());
+}
+
+uint64_t BPlusTree::ControlLoad(uint64_t which) {
+  return LoadField<uint64_t>(pool_.get(), which * sizeof(uint64_t));
+}
+
+void BPlusTree::ControlStore(uint64_t which, uint64_t value) {
+  StoreField<uint64_t>(pool_.get(), which * sizeof(uint64_t), value);
 }
 
 uint8_t* BPlusTree::NodeAt(uint32_t id) {
@@ -42,51 +70,55 @@ uint8_t* BPlusTree::NodeAt(uint32_t id) {
 }
 
 BPlusTree::NodeRef BPlusTree::AllocateNode(bool leaf) {
-  const uint64_t bump = htm::Load(&control_[kControlBump]);
+  const uint64_t bump = ControlLoad(kControlBump);
   if (bump >= config_.max_nodes) {
     return NodeRef{};
   }
-  htm::Store(&control_[kControlBump], bump + 1);
+  ControlStore(kControlBump, bump + 1);
   const uint32_t id = static_cast<uint32_t>(bump + 1);
   uint8_t* node = NodeAt(id);
-  const uint16_t is_leaf = leaf ? 1 : 0;
-  htm::Store(reinterpret_cast<uint16_t*>(node), is_leaf);
-  htm::Store(reinterpret_cast<uint16_t*>(node + 2), uint16_t{0});
-  htm::Store(reinterpret_cast<uint32_t*>(node + 4), uint32_t{0});
+  StoreField<uint16_t>(node, kIsLeafOff, leaf ? uint16_t{1} : uint16_t{0});
+  StoreField<uint16_t>(node, kNumKeysOff, uint16_t{0});
+  StoreField<uint32_t>(node, kNextLeafOff, uint32_t{0});
   return NodeRef{id};
 }
 
 uint16_t BPlusTree::IsLeaf(uint32_t id) {
-  return htm::Load(reinterpret_cast<uint16_t*>(NodeAt(id)));
+  return LoadField<uint16_t>(NodeAt(id), kIsLeafOff);
 }
 uint16_t BPlusTree::NumKeys(uint32_t id) {
-  const uint16_t n = htm::Load(reinterpret_cast<uint16_t*>(NodeAt(id) + 2));
+  const uint16_t n = LoadField<uint16_t>(NodeAt(id), kNumKeysOff);
   if (n > kFanout) {
     htm::AbortCurrentTransactionOrDie("B+ tree key count out of range");
   }
   return n;
 }
 void BPlusTree::SetNumKeys(uint32_t id, uint16_t n) {
-  htm::Store(reinterpret_cast<uint16_t*>(NodeAt(id) + 2), n);
+  StoreField<uint16_t>(NodeAt(id), kNumKeysOff, n);
 }
 uint32_t BPlusTree::NextLeaf(uint32_t id) {
-  return htm::Load(reinterpret_cast<uint32_t*>(NodeAt(id) + 4));
+  return LoadField<uint32_t>(NodeAt(id), kNextLeafOff);
 }
 void BPlusTree::SetNextLeaf(uint32_t id, uint32_t next) {
-  htm::Store(reinterpret_cast<uint32_t*>(NodeAt(id) + 4), next);
+  StoreField<uint32_t>(NodeAt(id), kNextLeafOff, next);
 }
 uint64_t BPlusTree::KeyAt(uint32_t id, int i) {
-  return htm::Load(reinterpret_cast<uint64_t*>(NodeAt(id) + keys_off_) + i);
+  return LoadField<uint64_t>(NodeAt(id),
+                             keys_off_ + sizeof(uint64_t) * static_cast<size_t>(i));
 }
 void BPlusTree::SetKeyAt(uint32_t id, int i, uint64_t key) {
-  htm::Store(reinterpret_cast<uint64_t*>(NodeAt(id) + keys_off_) + i, key);
+  StoreField<uint64_t>(NodeAt(id),
+                       keys_off_ + sizeof(uint64_t) * static_cast<size_t>(i),
+                       key);
 }
 uint32_t BPlusTree::ChildAt(uint32_t id, int i) {
-  return htm::Load(reinterpret_cast<uint32_t*>(NodeAt(id) + payload_off_) + i);
+  return LoadField<uint32_t>(
+      NodeAt(id), payload_off_ + sizeof(uint32_t) * static_cast<size_t>(i));
 }
 void BPlusTree::SetChildAt(uint32_t id, int i, uint32_t child) {
-  htm::Store(reinterpret_cast<uint32_t*>(NodeAt(id) + payload_off_) + i,
-             child);
+  StoreField<uint32_t>(NodeAt(id),
+                       payload_off_ + sizeof(uint32_t) * static_cast<size_t>(i),
+                       child);
 }
 void BPlusTree::ReadValueAt(uint32_t id, int i, void* out) {
   htm::ReadBytes(out,
@@ -113,7 +145,7 @@ int BPlusTree::LowerBound(uint32_t id, uint64_t key) {
 // smallest key reachable under child[i+1]).
 uint32_t BPlusTree::DescendToLeaf(uint64_t key, uint32_t* path,
                                   int* path_child, int* depth) {
-  uint32_t node = static_cast<uint32_t>(htm::Load(&control_[kControlRoot]));
+  uint32_t node = static_cast<uint32_t>(ControlLoad(kControlRoot));
   int d = 0;
   while (node != 0 && !IsLeaf(node)) {
     if (d > 64) {
@@ -153,7 +185,7 @@ void BPlusTree::InsertIntoLeaf(uint32_t leaf, int pos, uint64_t key,
 }
 
 bool BPlusTree::Insert(uint64_t key, const void* value) {
-  uint32_t root = static_cast<uint32_t>(htm::Load(&control_[kControlRoot]));
+  uint32_t root = static_cast<uint32_t>(ControlLoad(kControlRoot));
   if (root == 0) {
     const NodeRef leaf = AllocateNode(true);
     if (!leaf.valid()) {
@@ -162,9 +194,8 @@ bool BPlusTree::Insert(uint64_t key, const void* value) {
     SetKeyAt(leaf.id, 0, key);
     WriteValueAt(leaf.id, 0, value);
     SetNumKeys(leaf.id, 1);
-    htm::Store(&control_[kControlRoot], static_cast<uint64_t>(leaf.id));
-    htm::Store(&control_[kControlLive],
-               htm::Load(&control_[kControlLive]) + 1);
+    ControlStore(kControlRoot, static_cast<uint64_t>(leaf.id));
+    ControlStore(kControlLive, ControlLoad(kControlLive) + 1);
     return true;
   }
 
@@ -225,7 +256,7 @@ bool BPlusTree::Insert(uint64_t key, const void* value) {
     if (!split_child(new_root.id, 0)) {
       return false;
     }
-    htm::Store(&control_[kControlRoot], static_cast<uint64_t>(new_root.id));
+    ControlStore(kControlRoot, static_cast<uint64_t>(new_root.id));
     root = new_root.id;
   }
 
@@ -254,7 +285,7 @@ bool BPlusTree::Insert(uint64_t key, const void* value) {
     return false;  // duplicate
   }
   InsertIntoLeaf(node, pos, key, value);
-  htm::Store(&control_[kControlLive], htm::Load(&control_[kControlLive]) + 1);
+  ControlStore(kControlLive, ControlLoad(kControlLive) + 1);
   return true;
 }
 
@@ -301,7 +332,7 @@ bool BPlusTree::Remove(uint64_t key) {
     WriteValueAt(leaf, i, tmp);
   }
   SetNumKeys(leaf, static_cast<uint16_t>(n - 1));
-  htm::Store(&control_[kControlLive], htm::Load(&control_[kControlLive]) - 1);
+  ControlStore(kControlLive, ControlLoad(kControlLive) - 1);
   return true;
 }
 
@@ -341,6 +372,7 @@ bool BPlusTree::FindFloor(uint64_t lo, uint64_t bound, uint64_t* key_out,
   bool found = false;
   Scan(lo, bound, [&](uint64_t key, const void* value) {
     found = true;
+    // drtm-lint: allow(TX01 key_out is a caller-owned out-parameter, not store memory)
     *key_out = key;
     std::memcpy(value_out, value, config_.value_size);
     return true;  // keep going; the last visited is the floor
@@ -349,7 +381,7 @@ bool BPlusTree::FindFloor(uint64_t lo, uint64_t bound, uint64_t* key_out,
 }
 
 size_t BPlusTree::size() {
-  return static_cast<size_t>(htm::Load(&control_[kControlLive]));
+  return static_cast<size_t>(ControlLoad(kControlLive));
 }
 
 }  // namespace store

@@ -83,6 +83,12 @@ class BPlusTree {
   void ReadValueAt(uint32_t id, int i, void* out);
   void WriteValueAt(uint32_t id, int i, const void* value);
 
+  // HTM-visible control words live in the 64-byte pool header:
+  // {0: root_id, 1: bump, 2: live_count}. Accessed by byte offset with
+  // memcpy semantics — no typed pointer into the pool exists anywhere.
+  uint64_t ControlLoad(uint64_t which);
+  void ControlStore(uint64_t which, uint64_t value);
+
   // Position of the first key >= key in node id.
   int LowerBound(uint32_t id, uint64_t key);
 
@@ -98,9 +104,6 @@ class BPlusTree {
   size_t keys_off_;
   size_t payload_off_;
   std::unique_ptr<uint8_t[]> pool_;
-  // HTM-visible control words: {root_id, bump, live_count}, 64-byte
-  // aligned inside the pool header.
-  uint64_t* control_;
 };
 
 }  // namespace store

@@ -1,3 +1,6 @@
+// drtm-lint: allow-file(TX03 FaRM-style store is part of the RDMA substrate)
+// Slot publication and hopscotch displacement emulate one-sided RDMA
+// writes with version-table coherence; never run inside a transaction.
 #include "src/store/farm_hopscotch.h"
 
 #include <cstring>

@@ -157,6 +157,7 @@ rdma::OpStatus Transaction::StateCas(const Ref& ref, uint64_t expected,
     SpinFor(cfg_.latency.LocalCasNs());
     uint64_t* addr =
         cluster_.hash_table(ref.node, ref.table)->StatePtr(ref.entry_off);
+    // drtm-lint: allow(TX03 local stand-in for an RDMA CAS verb on GLOB-coherent NICs)
     *observed = htm::StrongCas64(addr, expected, desired);
     return rdma::OpStatus::kOk;
   }
@@ -958,6 +959,7 @@ TxnStatus Transaction::RunFallback(const Body& body) {
         std::memcpy(blob.data() + 4, &locked_val, 8);
         std::memcpy(blob.data() + 12, ref.buf.data(), ref.value_size);
         if (ref.local) {
+          // drtm-lint: allow(TX03 commit write-back of a locked entry, the lock serializes it like an RDMA WRITE)
           htm::StrongWrite(cluster_.hash_table(ref.node, ref.table)
                                ->EntryPtr(ref.entry_off) +
                                store::kEntryVersionOffset,
@@ -1013,6 +1015,7 @@ TxnStatus Transaction::RunFallback(const Body& body) {
             cluster_.fabric().atomic_level() == rdma::AtomicLevel::kGlob) {
           uint64_t* addr = cluster_.hash_table(ref.node, ref.table)
                                ->StatePtr(ref.entry_off);
+          // drtm-lint: allow(TX03 lock release on a state word we own, stands in for an RDMA WRITE)
           htm::StrongStore(addr, kStateInit);
         } else {
           UnlockRef(ref);
@@ -1088,6 +1091,7 @@ TxnStatus ReadOnlyTransaction::Execute() {
       {
         uint64_t observed = 0;
         if (local) {
+          // drtm-lint: allow(TX03 fallback lease probe, stands in for a one-sided RDMA READ)
           observed = htm::StrongLoad(host->StatePtr(ref.entry_off));
         } else if (cluster_.fabric().Read(ref.node, state_off, &observed,
                                           sizeof(observed)) !=
@@ -1114,6 +1118,7 @@ TxnStatus ReadOnlyTransaction::Execute() {
         if (local &&
             cluster_.fabric().atomic_level() == rdma::AtomicLevel::kGlob) {
           SpinFor(cfg.latency.LocalCasNs());
+          // drtm-lint: allow(TX03 local stand-in for an RDMA CAS verb on GLOB-coherent NICs)
           observed = htm::StrongCas64(host->StatePtr(ref.entry_off), expected,
                                       desired);
           cas_status = rdma::OpStatus::kOk;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -177,6 +178,52 @@ TEST(Htm, NestedTransactionsFlatten) {
   });
   EXPECT_EQ(status, kCommitted);
   EXPECT_EQ(value, 2u);
+}
+
+// Regression: the flat-nesting path used to skip its --depth_ when the
+// inner body threw, so after the unwind the thread permanently believed
+// it was inside a transaction (InTransaction() stuck true, later
+// Transact calls flattened into nothing and never committed).
+TEST(Htm, ForeignExceptionFromNestedBodyKeepsDepthBalanced) {
+  alignas(64) static uint64_t value = 0;
+  value = 0;
+  HtmThread htm;
+  const unsigned status = htm.Transact([&] {
+    try {
+      htm.Transact([&] { throw std::runtime_error("inner body"); });
+    } catch (const std::runtime_error&) {
+      // The body swallows its own foreign exception; the outer region
+      // must still be live and commit normally.
+    }
+    htm.Store(&value, uint64_t{5});
+  });
+  EXPECT_EQ(status, kCommitted);
+  EXPECT_FALSE(htm.InTransaction());
+  EXPECT_EQ(value, 5u);
+  // And the thread runs later transactions as usual.
+  const unsigned again = htm.Transact([&] { htm.Store(&value, uint64_t{6}); });
+  EXPECT_EQ(again, kCommitted);
+  EXPECT_EQ(value, 6u);
+}
+
+// Regression companion: a foreign exception that escapes the outermost
+// Transact entirely must roll the region back (no leaked depth, no
+// buffered writes applied) and then propagate.
+TEST(Htm, ForeignExceptionEscapingTransactRollsBack) {
+  alignas(64) static uint64_t value = 0;
+  value = 0;
+  HtmThread htm;
+  EXPECT_THROW(htm.Transact([&] {
+    htm.Store(&value, uint64_t{9});
+    throw std::runtime_error("escapes");
+  }),
+               std::runtime_error);
+  EXPECT_FALSE(htm.InTransaction());
+  EXPECT_EQ(value, 0u) << "buffered write must not be installed";
+  EXPECT_EQ(htm.stats().aborts_explicit, 1u);
+  const unsigned status = htm.Transact([&] { htm.Store(&value, uint64_t{1}); });
+  EXPECT_EQ(status, kCommitted);
+  EXPECT_EQ(value, 1u);
 }
 
 TEST(Htm, NestedAbortAbortsOuter) {

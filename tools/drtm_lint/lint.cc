@@ -1,0 +1,781 @@
+#include "tools/drtm_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace drtm {
+namespace lint {
+namespace {
+
+// --- Lexer ------------------------------------------------------------------
+
+struct Token {
+  enum Kind { kIdent, kNumber, kString, kChar, kPunct };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct Suppression {
+  std::string rule;
+  int line = 0;
+  bool file_scope = false;
+  std::string reason;
+};
+
+// Multi-character operators, longest first so greedy matching works.
+constexpr std::string_view kPuncts[] = {
+    ">>=", "<<=", "...", "->*", "::", "->", "==", "!=", "<=", ">=",
+    "+=",  "-=",  "*=",  "/=",  "%=", "&=", "|=", "^=", "<<", ">>",
+    "++",  "--",  "&&",  "||",
+};
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Extracts "drtm-lint: allow(TXnn reason)" / "allow-file(TXnn reason)"
+// directives from a comment's text.
+void ParseDirectives(const std::string& comment, int line,
+                     std::vector<Suppression>* out) {
+  size_t pos = 0;
+  while ((pos = comment.find("drtm-lint:", pos)) != std::string::npos) {
+    size_t p = pos + std::string_view("drtm-lint:").size();
+    while (p < comment.size() && std::isspace(static_cast<unsigned char>(comment[p]))) ++p;
+    bool file_scope = false;
+    if (comment.compare(p, 11, "allow-file(") == 0) {
+      file_scope = true;
+      p += 11;
+    } else if (comment.compare(p, 6, "allow(") == 0) {
+      p += 6;
+    } else {
+      pos = p;
+      continue;
+    }
+    const size_t close = comment.find(')', p);
+    if (close == std::string::npos) {
+      break;
+    }
+    std::string body = comment.substr(p, close - p);
+    Suppression sup;
+    sup.line = line;
+    sup.file_scope = file_scope;
+    if (body.size() >= 4 && body.compare(0, 2, "TX") == 0) {
+      sup.rule = body.substr(0, 4);
+      size_t r = 4;
+      while (r < body.size() && std::isspace(static_cast<unsigned char>(body[r]))) ++r;
+      sup.reason = body.substr(r);
+      out->push_back(std::move(sup));
+    }
+    pos = close;
+  }
+}
+
+void Lex(const std::string& src, std::vector<Token>* toks,
+         std::vector<Suppression>* sups) {
+  int line = 1;
+  bool at_line_start = true;
+  size_t i = 0;
+  const size_t n = src.size();
+  auto push = [&](Token::Kind k, std::string text, int ln) {
+    toks->push_back(Token{k, std::move(text), ln});
+  };
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor line (with continuations).
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const size_t eol = src.find('\n', i);
+      const std::string text =
+          src.substr(i + 2, (eol == std::string::npos ? n : eol) - i - 2);
+      ParseDirectives(text, line, sups);
+      i = (eol == std::string::npos) ? n : eol;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start_line = line;
+      const size_t end = src.find("*/", i + 2);
+      const size_t stop = (end == std::string::npos) ? n : end;
+      const std::string text = src.substr(i + 2, stop - i - 2);
+      ParseDirectives(text, start_line, sups);
+      line += static_cast<int>(std::count(src.begin() + i, src.begin() + stop, '\n'));
+      i = (end == std::string::npos) ? n : end + 2;
+      continue;
+    }
+    // String / raw string literals. An immediately preceding encoding
+    // prefix identifier (R, u8R, LR, ...) was lexed as an ident; fold it.
+    if (c == '"') {
+      bool raw = false;
+      if (!toks->empty() && toks->back().kind == Token::kIdent) {
+        const std::string& prev = toks->back().text;
+        if (prev == "R" || prev == "u8R" || prev == "uR" || prev == "UR" ||
+            prev == "LR") {
+          raw = true;
+          toks->pop_back();
+        } else if (prev == "u8" || prev == "u" || prev == "U" || prev == "L") {
+          toks->pop_back();
+        }
+      }
+      if (raw) {
+        const size_t open = src.find('(', i);
+        const std::string delim = src.substr(i + 1, open - i - 1);
+        const std::string closer = ")" + delim + "\"";
+        const size_t end = src.find(closer, open + 1);
+        const size_t stop = (end == std::string::npos) ? n : end + closer.size();
+        line += static_cast<int>(std::count(src.begin() + i, src.begin() + stop, '\n'));
+        push(Token::kString, "<raw-string>", line);
+        i = stop;
+        continue;
+      }
+      size_t j = i + 1;
+      while (j < n && src[j] != '"') {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      push(Token::kString, "<string>", line);
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && src[j] != '\'') {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      push(Token::kChar, "<char>", line);
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(src[j])) ++j;
+      push(Token::kIdent, src.substr(i, j - i), line);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      size_t j = i;
+      while (j < n &&
+             (std::isalnum(static_cast<unsigned char>(src[j])) || src[j] == '.' ||
+              src[j] == '\'' ||
+              ((src[j] == '+' || src[j] == '-') && j > i &&
+               (src[j - 1] == 'e' || src[j - 1] == 'E' || src[j - 1] == 'p' ||
+                src[j - 1] == 'P')))) {
+        ++j;
+      }
+      push(Token::kNumber, src.substr(i, j - i), line);
+      i = j;
+      continue;
+    }
+    bool matched = false;
+    for (std::string_view p : kPuncts) {
+      if (src.compare(i, p.size(), p) == 0) {
+        push(Token::kPunct, std::string(p), line);
+        i += p.size();
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      push(Token::kPunct, std::string(1, c), line);
+      ++i;
+    }
+  }
+}
+
+// --- Token-range helpers ----------------------------------------------------
+
+using Tokens = std::vector<Token>;
+
+bool Is(const Tokens& t, size_t i, std::string_view text) {
+  return i < t.size() && t[i].text == text;
+}
+
+// Index just past the matching closer for the opener at `open`.
+size_t MatchForward(const Tokens& t, size_t open, std::string_view o,
+                    std::string_view c) {
+  int depth = 0;
+  for (size_t i = open; i < t.size(); ++i) {
+    if (t[i].text == o) ++depth;
+    else if (t[i].text == c && --depth == 0) return i + 1;
+  }
+  return t.size();
+}
+
+const std::unordered_set<std::string>& ControlKeywords() {
+  static const std::unordered_set<std::string> kSet = {
+      "if",     "while",  "for",    "switch", "catch",  "return",
+      "sizeof", "new",    "delete", "throw",  "else",   "do",
+      "case",   "static_assert",    "alignof", "alignas", "decltype",
+      "assert", "defined",
+  };
+  return kSet;
+}
+
+// Arithmetic/byte type names whose pointers are "data pointers": raw
+// access through them inside a transaction bypasses the version table.
+// Class-type pointers (table handles etc.) are not data pointers —
+// method calls through them are how transactional code is structured.
+// void* is deliberately absent: in this codebase void* parameters are
+// caller-owned out-buffers (thread-local scratch), not store memory.
+const std::unordered_set<std::string>& DataTypeWords() {
+  static const std::unordered_set<std::string> kSet = {
+      "char",     "short",    "int",      "long",     "float",   "double",
+      "bool",     "unsigned", "signed",   "wchar_t",  "int8_t",  "int16_t",
+      "int32_t",  "int64_t",  "uint8_t",  "uint16_t", "uint32_t",
+      "uint64_t", "size_t",   "ssize_t",  "uintptr_t", "intptr_t",
+      "byte",     "auto",
+  };
+  return kSet;
+}
+
+// htm:: primitives and casts: calls that are legal in transaction
+// bodies and must not feed the one-level call summary.
+const std::unordered_set<std::string>& SummarySkipNames() {
+  static const std::unordered_set<std::string> kSet = {
+      "Load",        "Store",       "Read",        "Write",
+      "ReadBytes",   "WriteBytes",  "Abort",       "Transact",
+      "StrongLoad",  "StrongStore", "StrongRead",  "StrongWrite",
+      "StrongCas64", "StrongFaa64", "AbortCurrentTransactionOrDie",
+      "static_cast", "reinterpret_cast", "const_cast", "dynamic_cast",
+      "move",        "forward",     "min",          "max",
+      "size",        "data",        "begin",        "end",
+      "clear",       "empty",       "push_back",    "emplace_back",
+      "resize",      "reserve",     "insert",       "find",
+      "count",       "at",          "front",        "back",
+  };
+  return kSet;
+}
+
+struct Region {
+  size_t file = 0;
+  size_t begin = 0;  // first token of the body (the '{')
+  size_t end = 0;    // one past the closing '}'
+  // Parameter-list token range of the enclosing function ([0,0) for
+  // lambda bodies — their captures are in scope already).
+  size_t param_begin = 0;
+  size_t param_end = 0;
+  std::string context;
+};
+
+struct FunctionDef {
+  std::string name;
+  Region region;
+};
+
+}  // namespace
+
+// --- Analyzer ---------------------------------------------------------------
+
+struct Analyzer::File {
+  std::string path;
+  Tokens toks;
+  std::vector<Suppression> sups;
+  bool excluded = false;
+};
+
+Analyzer::Analyzer(Options options) : options_(std::move(options)) {}
+Analyzer::~Analyzer() = default;
+Analyzer::Analyzer(Analyzer&&) noexcept = default;
+Analyzer& Analyzer::operator=(Analyzer&&) noexcept = default;
+
+bool Analyzer::AddFile(const std::string& path, std::string content) {
+  for (const File& f : files_) {
+    if (f.path == path) return false;
+  }
+  File file;
+  file.path = path;
+  std::replace(file.path.begin(), file.path.end(), '\\', '/');
+  Lex(content, &file.toks, &file.sups);
+  for (const std::string& fragment : options_.exclude) {
+    if (file.path.find(fragment) != std::string::npos) {
+      file.excluded = true;
+      break;
+    }
+  }
+  files_.push_back(std::move(file));
+  return true;
+}
+
+bool Analyzer::AddFileFromDisk(const std::string& path,
+                               const std::string& display) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return AddFile(display.empty() ? path : display, buf.str());
+}
+
+size_t Analyzer::file_count() const { return files_.size(); }
+
+namespace {
+
+// Finds `Transact(` call sites whose argument list contains a lambda
+// body, and returns the body brace ranges.
+void FindTransactBodies(const Tokens& t, size_t file, std::vector<Region>* out) {
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent || t[i].text != "Transact" ||
+        !Is(t, i + 1, "(")) {
+      continue;
+    }
+    int paren = 0;
+    for (size_t j = i + 1; j < t.size(); ++j) {
+      if (t[j].text == "(") ++paren;
+      else if (t[j].text == ")" && --paren == 0) break;  // no lambda body
+      else if (t[j].text == "{") {
+        Region r;
+        r.file = file;
+        r.begin = j;
+        r.end = MatchForward(t, j, "{", "}");
+        r.context = "Transact body at line " + std::to_string(t[i].line);
+        out->push_back(r);
+        break;
+      }
+    }
+  }
+}
+
+// Token-level function-definition recognition: `name(params) [const...]
+// [: ctor-init] {`. Control-flow keywords and member-call contexts are
+// filtered; the residue (e.g. TEST macros) is harmless extra coverage.
+void FindFunctionDefs(const Tokens& t, size_t file,
+                      std::vector<FunctionDef>* out) {
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent || !Is(t, i + 1, "(")) continue;
+    if (ControlKeywords().count(t[i].text) != 0) continue;
+    if (i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->")) continue;
+    const size_t after_params = MatchForward(t, i + 1, "(", ")");
+    if (after_params >= t.size()) continue;
+    size_t j = after_params;
+    while (j < t.size() &&
+           (t[j].text == "const" || t[j].text == "noexcept" ||
+            t[j].text == "override" || t[j].text == "final" ||
+            t[j].text == "mutable")) {
+      ++j;
+    }
+    if (Is(t, j, ":") || Is(t, j, "->")) {
+      // Constructor initializer list or trailing return type: scan to
+      // the body brace (or give up at a statement end).
+      ++j;
+      int depth = 0;
+      while (j < t.size()) {
+        const std::string& x = t[j].text;
+        if (x == "(" || x == "[" || x == "<") ++depth;
+        else if (x == ")" || x == "]" || x == ">") --depth;
+        else if (x == "{" && depth <= 0) break;
+        else if (x == ";" && depth <= 0) break;
+        ++j;
+      }
+    }
+    if (!Is(t, j, "{")) continue;
+    FunctionDef def;
+    def.name = t[i].text;
+    def.region.file = file;
+    def.region.begin = j;
+    def.region.end = MatchForward(t, j, "{", "}");
+    def.region.param_begin = i + 2;
+    def.region.param_end = after_params - 1;
+    def.region.context =
+        "function '" + def.name + "' at line " + std::to_string(t[i].line);
+    out->push_back(std::move(def));
+  }
+}
+
+// Names called from a region, feeding the one-level summary.
+void CollectCalledNames(const Tokens& t, const Region& r,
+                        std::set<std::string>* names) {
+  for (size_t i = r.begin; i + 1 < r.end && i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent || !Is(t, i + 1, "(")) continue;
+    if (ControlKeywords().count(t[i].text) != 0) continue;
+    if (SummarySkipNames().count(t[i].text) != 0) continue;
+    names->insert(t[i].text);
+  }
+}
+
+// Adds pointer-declaration names in [begin, end) to `tracked`: a data
+// type word, optional cv words, '*', then the declared identifier.
+void ScanPointerDecls(const Tokens& t, size_t begin, size_t end,
+                      std::set<std::string>* tracked) {
+  for (size_t i = begin; i < end && i < t.size(); ++i) {
+    if (t[i].text != "*") continue;
+    // Back over cv-qualifiers to the type word.
+    size_t k = i;
+    while (k > begin &&
+           (t[k - 1].text == "const" || t[k - 1].text == "volatile")) {
+      --k;
+    }
+    if (k == begin || t[k - 1].kind != Token::kIdent ||
+        DataTypeWords().count(t[k - 1].text) == 0) {
+      continue;
+    }
+    // Forward over cv-qualifiers to the declared name.
+    size_t j = i + 1;
+    while (j < end && (t[j].text == "const" || t[j].text == "__restrict")) ++j;
+    if (j >= end || t[j].kind != Token::kIdent) continue;
+    // Looks like a declaration (not multiplication) only if the name is
+    // followed by an initializer, separator, or list end.
+    if (j + 1 < t.size() &&
+        (t[j + 1].text == "=" || t[j + 1].text == ";" ||
+         t[j + 1].text == "," || t[j + 1].text == ")")) {
+      tracked->insert(t[j].text);
+    }
+  }
+}
+
+bool IsAssignOp(const std::string& s) {
+  return s == "=" || s == "+=" || s == "-=" || s == "*=" || s == "/=" ||
+         s == "%=" || s == "&=" || s == "|=" || s == "^=" || s == "<<=" ||
+         s == ">>=" || s == "++" || s == "--";
+}
+
+// Tokens that put a following '*' in prefix (dereference) position.
+bool PrefixContext(const std::string& s) {
+  return s == "=" || s == "(" || s == "," || s == ";" || s == "{" ||
+         s == "}" || s == "return" || s == "<" || s == ">" || s == "==" ||
+         s == "!=" || s == "<=" || s == ">=" || s == "&&" || s == "||" ||
+         s == "!" || s == "+" || s == "-" || IsAssignOp(s);
+}
+
+}  // namespace
+
+std::vector<Finding> Analyzer::Unsuppressed() const {
+  std::vector<Finding> out;
+  for (const Finding& f : findings_) {
+    if (!f.suppressed) out.push_back(f);
+  }
+  return out;
+}
+
+void Analyzer::Run() {
+  findings_.clear();
+
+  auto report = [&](const File& file, const std::string& rule, int line,
+                    std::string message, std::string context) {
+    Finding f;
+    f.rule = rule;
+    f.file = file.path;
+    f.line = line;
+    f.message = std::move(message);
+    f.context = std::move(context);
+    for (const Suppression& sup : file.sups) {
+      if (sup.rule != rule) continue;
+      if (sup.file_scope || sup.line == line || sup.line == line - 1) {
+        f.suppressed = true;
+        f.suppress_reason = sup.reason;
+        break;
+      }
+    }
+    findings_.push_back(std::move(f));
+  };
+
+  // Region discovery: Transact lambda bodies, then the one-level call
+  // summary over every function definition in the corpus.
+  std::vector<Region> regions;
+  std::vector<FunctionDef> defs;
+  std::set<std::string> called;
+  for (size_t fi = 0; fi < files_.size(); ++fi) {
+    if (files_[fi].excluded) continue;
+    FindTransactBodies(files_[fi].toks, fi, &regions);
+    FindFunctionDefs(files_[fi].toks, fi, &defs);
+  }
+  // Drop nested Transact regions already covered by an enclosing one.
+  std::vector<Region> primary;
+  for (const Region& r : regions) {
+    bool covered = false;
+    for (const Region& o : regions) {
+      if (o.file == r.file && (o.begin < r.begin && r.end <= o.end)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) primary.push_back(r);
+  }
+  // Lambda bodies capture the enclosing function's scope, so a region
+  // inherits the pointer parameters of the tightest enclosing function.
+  for (Region& r : primary) {
+    size_t best_size = SIZE_MAX;
+    for (const FunctionDef& def : defs) {
+      if (def.region.file != r.file) continue;
+      if (def.region.begin <= r.begin && r.end <= def.region.end &&
+          def.region.end - def.region.begin < best_size) {
+        best_size = def.region.end - def.region.begin;
+        r.param_begin = def.region.param_begin;
+        r.param_end = def.region.param_end;
+      }
+    }
+    CollectCalledNames(files_[r.file].toks, r, &called);
+  }
+  std::vector<Region> all = primary;
+  for (const FunctionDef& def : defs) {
+    if (called.count(def.name) == 0) continue;
+    bool duplicate = false;
+    for (const Region& r : all) {
+      if (r.file == def.region.file && r.begin == def.region.begin) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      Region r = def.region;
+      r.context += " (reachable from a Transact body)";
+      all.push_back(std::move(r));
+    }
+  }
+
+  // --- TX01 / TX02 / TX04 over each transactional region -------------------
+  for (const Region& r : all) {
+    const File& file = files_[r.file];
+    const Tokens& t = file.toks;
+    const size_t end = std::min(r.end, t.size());
+
+    std::set<std::string> tracked;
+    ScanPointerDecls(t, r.param_begin, r.param_end, &tracked);
+    ScanPointerDecls(t, r.begin, end, &tracked);
+
+    for (size_t i = r.begin; i < end; ++i) {
+      const Token& tok = t[i];
+      // TX01a: indexed access through a tracked data pointer. A
+      // preceding '&' is address-of (typically an htm:: argument), not
+      // an access.
+      if (tok.kind == Token::kIdent && tracked.count(tok.text) != 0 &&
+          Is(t, i + 1, "[") && !(i > r.begin && t[i - 1].text == "&")) {
+        const size_t after = MatchForward(t, i + 1, "[", "]");
+        const bool store = after < end && IsAssignOp(t[after].text);
+        report(file, "TX01", tok.line,
+               std::string(store ? "raw indexed store through '"
+                                 : "raw indexed read through '") +
+                   tok.text + "' — route through htm::" +
+                   (store ? "Store/WriteBytes" : "Load/ReadBytes"),
+               r.context);
+        continue;
+      }
+      // TX01b: unary dereference of a tracked data pointer.
+      if (tok.text == "*" && i + 1 < end && t[i + 1].kind == Token::kIdent &&
+          tracked.count(t[i + 1].text) != 0 && i > r.begin &&
+          PrefixContext(t[i - 1].text)) {
+        const bool store = i + 2 < end && IsAssignOp(t[i + 2].text);
+        report(file, "TX01", tok.line,
+               std::string(store ? "raw store through '*" : "raw read through '*") +
+                   t[i + 1].text + "' — route through htm::" +
+                   (store ? "Store/WriteBytes" : "Load/ReadBytes"),
+               r.context);
+        continue;
+      }
+      // TX01c: raw bulk copy into a tracked data pointer.
+      if (tok.kind == Token::kIdent &&
+          (tok.text == "memcpy" || tok.text == "memmove" ||
+           tok.text == "memset" || tok.text == "strcpy" ||
+           tok.text == "strncpy") &&
+          Is(t, i + 1, "(")) {
+        const size_t arg = i + 2;
+        const bool raw_dst =
+            arg < end &&
+            ((t[arg].kind == Token::kIdent && tracked.count(t[arg].text) != 0) ||
+             t[arg].text == "reinterpret_cast" || t[arg].text == "*");
+        if (raw_dst) {
+          report(file, "TX01", tok.line,
+                 tok.text + " writes raw bytes to transactional memory — "
+                            "use htm::WriteBytes",
+                 r.context);
+        }
+        continue;
+      }
+      // TX02: irreversible side effects under AbortException unwinding.
+      if (tok.kind == Token::kIdent) {
+        static const std::unordered_set<std::string> kAlloc = {
+            "new", "delete", "malloc", "calloc", "realloc", "free", "strdup"};
+        static const std::unordered_set<std::string> kIo = {
+            "printf", "fprintf", "vprintf", "vfprintf", "puts",  "fputs",
+            "putchar", "fwrite", "fread",   "fopen",    "fclose", "fflush",
+            "fgets",  "scanf",   "system",  "exit",     "_exit",  "abort"};
+        static const std::unordered_set<std::string> kStream = {"cout", "cerr",
+                                                                "clog"};
+        static const std::unordered_set<std::string> kLockTypes = {
+            "mutex", "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+            "condition_variable"};
+        static const std::unordered_set<std::string> kLockCalls = {
+            "lock", "unlock", "try_lock"};
+        static const std::unordered_set<std::string> kSleep = {
+            "sleep", "usleep", "nanosleep", "sleep_for", "sleep_until"};
+        const bool member = i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->");
+        if (kAlloc.count(tok.text) != 0 && !member) {
+          report(file, "TX02", tok.line,
+                 "'" + tok.text + "' in a transaction body leaks on "
+                 "AbortException unwinding",
+                 r.context);
+        } else if (kIo.count(tok.text) != 0 && !member && Is(t, i + 1, "(")) {
+          report(file, "TX02", tok.line,
+                 "I/O call '" + tok.text + "' is an irreversible side effect "
+                 "inside a transaction body",
+                 r.context);
+        } else if (kStream.count(tok.text) != 0 && !member) {
+          report(file, "TX02", tok.line,
+                 "stream I/O 'std::" + tok.text + "' is an irreversible side "
+                 "effect inside a transaction body",
+                 r.context);
+        } else if (kLockTypes.count(tok.text) != 0 && !member) {
+          report(file, "TX02", tok.line,
+                 "blocking primitive '" + tok.text + "' can deadlock when an "
+                 "abort unwinds past it",
+                 r.context);
+        } else if (kLockCalls.count(tok.text) != 0 && member &&
+                   Is(t, i + 1, "(")) {
+          report(file, "TX02", tok.line,
+                 "mutex ." + tok.text + "() inside a transaction body is not "
+                 "released by AbortException unwinding",
+                 r.context);
+        } else if (kSleep.count(tok.text) != 0 && Is(t, i + 1, "(")) {
+          report(file, "TX02", tok.line,
+                 "sleeping inside a transaction body holds the read/write "
+                 "set across the wait",
+                 r.context);
+        }
+      }
+      // TX04: catch clauses that swallow the abort unwind.
+      if (tok.text == "catch" && Is(t, i + 1, "(")) {
+        const size_t close = MatchForward(t, i + 1, "(", ")");
+        bool catches_all = Is(t, i + 2, "...");
+        bool catches_abort = false;
+        for (size_t j = i + 2; j + 1 < close; ++j) {
+          if (t[j].text == "AbortException") catches_abort = true;
+        }
+        if (catches_all) {
+          report(file, "TX04", tok.line,
+                 "catch (...) inside a transaction body swallows the "
+                 "AbortException unwind and corrupts emulator state",
+                 r.context);
+        } else if (catches_abort) {
+          report(file, "TX04", tok.line,
+                 "catching AbortException inside a transaction body corrupts "
+                 "the emulator's depth/read-set state",
+                 r.context);
+        }
+      }
+    }
+  }
+
+  // --- TX03: Strong* confinement (whole files, not just regions) -----------
+  for (const File& file : files_) {
+    if (file.excluded) continue;
+    bool allowed = false;
+    for (const std::string& fragment : options_.strong_allowlist) {
+      if (file.path.find(fragment) != std::string::npos) {
+        allowed = true;
+        break;
+      }
+    }
+    if (allowed) continue;
+    const Tokens& t = file.toks;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != Token::kIdent ||
+          t[i].text.compare(0, 6, "Strong") != 0 || !Is(t, i + 1, "(")) {
+        continue;
+      }
+      report(file, "TX03", t[i].line,
+             "'" + t[i].text + "' outside the RDMA/softtime/recovery "
+             "allowlist bypasses HTM conflict detection",
+             "file scope");
+    }
+  }
+
+  std::sort(findings_.begin(), findings_.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+}
+
+stat::Json Analyzer::ReportJson() const {
+  stat::Json root = stat::Json::Object();
+  root.Set("schema_version", stat::Json::Number(1));
+  root.Set("report", stat::Json::Str("drtm_lint"));
+  root.Set("title",
+           stat::Json::Str("HTM transaction-discipline findings (TX01-TX04)"));
+  stat::Json config = stat::Json::Object();
+  config.Set("files", stat::Json::Str(std::to_string(files_.size())));
+  config.Set("rules", stat::Json::Str("TX01,TX02,TX03,TX04"));
+  root.Set("config", std::move(config));
+
+  stat::Json arr = stat::Json::Array();
+  std::map<std::string, uint64_t> counters;
+  counters["lint.files"] = files_.size();
+  counters["lint.findings.total"] = findings_.size();
+  counters["lint.findings.suppressed"] = 0;
+  counters["lint.findings.unsuppressed"] = 0;
+  for (const char* rule : {"TX01", "TX02", "TX03", "TX04"}) {
+    counters[std::string("lint.") + rule] = 0;
+  }
+  for (const Finding& f : findings_) {
+    stat::Json item = stat::Json::Object();
+    item.Set("rule", stat::Json::Str(f.rule));
+    item.Set("file", stat::Json::Str(f.file));
+    item.Set("line", stat::Json::Number(f.line));
+    item.Set("message", stat::Json::Str(f.message));
+    item.Set("context", stat::Json::Str(f.context));
+    item.Set("suppressed", stat::Json::Bool(f.suppressed));
+    if (f.suppressed) {
+      item.Set("reason", stat::Json::Str(f.suppress_reason));
+    }
+    arr.Append(std::move(item));
+    ++counters["lint." + f.rule];
+    ++counters[f.suppressed ? "lint.findings.suppressed"
+                            : "lint.findings.unsuppressed"];
+  }
+  root.Set("findings", std::move(arr));
+  stat::Json cj = stat::Json::Object();
+  for (const auto& [name, value] : counters) {
+    cj.Set(name, stat::Json::Number(value));
+  }
+  root.Set("counters", std::move(cj));
+  return root;
+}
+
+bool ReadCompileCommands(const std::string& path,
+                         std::vector<std::string>* files) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  stat::Json db;
+  if (!stat::Json::Parse(buf.str(), &db) || !db.is_array()) return false;
+  for (size_t i = 0; i < db.size(); ++i) {
+    const stat::Json* file = db.at(i).Find("file");
+    if (file != nullptr && file->is_string()) {
+      files->push_back(file->AsString());
+    }
+  }
+  return true;
+}
+
+}  // namespace lint
+}  // namespace drtm

@@ -1,0 +1,118 @@
+// drtm-lint: enforces the HTM transaction-discipline rules that
+// src/htm/htm.h's header comment states but the compiler cannot check.
+//
+// The software RTM emulator is sound only if every transactional access
+// is routed through htm::Load/Store/ReadBytes/WriteBytes (or
+// HtmThread::Read/Write), bodies are abort-safe under AbortException
+// unwinding, and Strong* accesses stay confined to the RDMA substrate
+// and the softtime timer. One silently-raw store inside a Transact body
+// breaks strong atomicity with no test failure, so these rules are
+// enforced at CI time:
+//
+//   TX01  no raw pointer dereference/assignment inside Transact(...)
+//         lambda bodies or functions reachable from them via a
+//         one-level call summary (use the htm:: primitives).
+//   TX02  no irreversible side effects in transaction bodies:
+//         new/delete, malloc/free, mutex lock/unlock, I/O — an
+//         AbortException unwind would leak or deadlock them.
+//   TX03  Strong*/StrongCas64/StrongFaa64 calls are only legal in an
+//         allowlist (src/rdma/, src/txn/sync_time.cc, recovery and
+//         bulk-load paths) — everywhere else they bypass conflict
+//         detection.
+//   TX04  no `catch (...)` or `catch (AbortException)` inside
+//         transaction bodies — swallowing the unwind corrupts the
+//         emulator's depth/read-set state.
+//
+// Intentional exceptions are documented in place with
+//   // drtm-lint: allow(TXnn reason)        (this line or the next)
+//   // drtm-lint: allow-file(TXnn reason)   (whole file)
+//
+// This core is a token-level analyzer: a real C++ lexer (comments,
+// strings, raw strings, preprocessor lines) over the translation units
+// named by compile_commands.json, plus lightweight region recognition
+// for Transact lambda bodies and function definitions. It deliberately
+// has no compiler dependency so it builds and runs everywhere the repo
+// does; an optional Clang-LibTooling frontend (clang_frontend.cc,
+// -DDRTM_LINT_WITH_CLANG=ON) reuses the same rule vocabulary with full
+// type information where LLVM dev packages exist.
+#ifndef TOOLS_DRTM_LINT_LINT_H_
+#define TOOLS_DRTM_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/stat/json.h"
+
+namespace drtm {
+namespace lint {
+
+struct Finding {
+  std::string rule;     // "TX01".."TX04"
+  std::string file;     // as given to AddFile (relative paths preferred)
+  int line = 0;
+  std::string message;
+  std::string context;  // which Transact body / summarized function
+  bool suppressed = false;
+  std::string suppress_reason;  // from the allow(...) directive
+};
+
+struct Options {
+  // Path fragments where Strong* accesses are legal (substring match on
+  // the forward-slashed file name). src/htm is the emulator itself.
+  std::vector<std::string> strong_allowlist = {
+      "src/htm/",          // the Strong* implementation
+      "src/rdma/",         // one-sided verb emulation is the point
+      "src/txn/sync_time.cc",  // softtime timer beat + reads
+      "src/txn/sync_time.h",
+      "src/txn/recovery.",     // recovery replays outside transactions
+      "src/txn/nvram_log.",    // log scan is a recovery/bootstrap path
+  };
+  // Files skipped entirely: the emulator implements the discipline with
+  // raw memory operations by design.
+  std::vector<std::string> exclude = {"src/htm/"};
+};
+
+// Token-level analyzer. Usage: AddFile() every source in the corpus
+// (the call summary is cross-file), then Run(), then read findings().
+class Analyzer {
+ public:
+  explicit Analyzer(Options options = Options());
+  ~Analyzer();  // out-of-line: File is incomplete here
+  Analyzer(Analyzer&&) noexcept;
+  Analyzer& operator=(Analyzer&&) noexcept;
+
+  // Registers file content under `path`. Returns false (and records
+  // nothing) if the file was already added.
+  bool AddFile(const std::string& path, std::string content);
+  // Reads `path` from disk; `display` (if non-empty) is the name used in
+  // findings. Returns false if unreadable.
+  bool AddFileFromDisk(const std::string& path,
+                       const std::string& display = "");
+
+  void Run();
+
+  const std::vector<Finding>& findings() const { return findings_; }
+  std::vector<Finding> Unsuppressed() const;
+  size_t file_count() const;
+
+  // Machine-readable report following the BENCH_*.json conventions
+  // (schema_version, config block, counters map; see
+  // src/stat/bench_report.h).
+  stat::Json ReportJson() const;
+
+ private:
+  struct File;
+  Options options_;
+  std::vector<File> files_;
+  std::vector<Finding> findings_;
+};
+
+// Reads the "file" entries of a CMake compile_commands.json. Returns
+// absolute paths as recorded; false on parse failure.
+bool ReadCompileCommands(const std::string& path,
+                         std::vector<std::string>* files);
+
+}  // namespace lint
+}  // namespace drtm
+
+#endif  // TOOLS_DRTM_LINT_LINT_H_

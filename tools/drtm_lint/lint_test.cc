@@ -1,0 +1,198 @@
+// Self-test for the drtm_lint transaction-discipline checker: every
+// planted violation in testdata/ must be flagged, suppressions must be
+// honoured, and — the acceptance gate — the repository's own src/ tree
+// must carry zero unsuppressed findings.
+#include "tools/drtm_lint/lint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace drtm {
+namespace lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TestdataDir() { return DRTM_LINT_TESTDATA; }
+std::string SourceDir() { return DRTM_SOURCE_DIR; }
+
+Analyzer AnalyzeFixtures(const std::vector<std::string>& names) {
+  Analyzer analyzer;
+  for (const std::string& name : names) {
+    const std::string path = TestdataDir() + "/" + name;
+    EXPECT_TRUE(analyzer.AddFileFromDisk(path, "testdata/" + name))
+        << "missing fixture " << path;
+  }
+  analyzer.Run();
+  return analyzer;
+}
+
+size_t CountRule(const Analyzer& analyzer, const std::string& rule,
+                 bool suppressed) {
+  size_t n = 0;
+  for (const Finding& f : analyzer.findings()) {
+    if (f.rule == rule && f.suppressed == suppressed) ++n;
+  }
+  return n;
+}
+
+TEST(DrtmLint, FlagsPlantedTx01RawAccesses) {
+  Analyzer a = AnalyzeFixtures({"tx01_raw_store.cc"});
+  // node[2]=, *node=, node[1] read, memcpy, base[0]= in the body, plus
+  // block[0]= in the one-level-reachable helper.
+  EXPECT_GE(CountRule(a, "TX01", /*suppressed=*/false), 6u);
+  EXPECT_EQ(CountRule(a, "TX01", /*suppressed=*/true), 1u);
+  // The compliant htm:: calls at the end of the body must not fire.
+  for (const Finding& f : a.findings()) {
+    EXPECT_NE(f.message.find("Store"), 0u);
+  }
+}
+
+TEST(DrtmLint, OneLevelCallSummaryReachesHelpers) {
+  Analyzer a = AnalyzeFixtures({"tx01_raw_store.cc"});
+  const bool helper_flagged = std::any_of(
+      a.findings().begin(), a.findings().end(), [](const Finding& f) {
+        return f.rule == "TX01" &&
+               f.context.find("RawHelper") != std::string::npos;
+      });
+  EXPECT_TRUE(helper_flagged)
+      << "raw store in a function called from a Transact body not found";
+}
+
+TEST(DrtmLint, FlagsPlantedTx02SideEffects) {
+  Analyzer a = AnalyzeFixtures({"tx02_side_effects.cc"});
+  // new, .lock(), printf, .unlock(), delete.
+  EXPECT_EQ(CountRule(a, "TX02", /*suppressed=*/false), 5u);
+}
+
+TEST(DrtmLint, FlagsPlantedTx03OutsideAllowlist) {
+  Analyzer a = AnalyzeFixtures({"tx03_strong.cc"});
+  EXPECT_EQ(CountRule(a, "TX03", /*suppressed=*/false), 1u);
+  EXPECT_EQ(CountRule(a, "TX03", /*suppressed=*/true), 1u);
+}
+
+TEST(DrtmLint, AllowsStrongAccessesInAllowlistedPaths) {
+  Analyzer analyzer;
+  // Same content is legal when it lives in the RDMA substrate.
+  std::ifstream in(TestdataDir() + "/tx03_strong.cc");
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  ASSERT_TRUE(analyzer.AddFile("src/rdma/fixture.cc", content));
+  analyzer.Run();
+  EXPECT_EQ(analyzer.findings().size(), 0u);
+}
+
+TEST(DrtmLint, FlagsPlantedTx04CatchClauses) {
+  Analyzer a = AnalyzeFixtures({"tx04_catch.cc"});
+  EXPECT_EQ(CountRule(a, "TX04", /*suppressed=*/false), 2u);
+}
+
+TEST(DrtmLint, CleanFixtureHasNoFindings) {
+  Analyzer a = AnalyzeFixtures({"clean.cc"});
+  for (const Finding& f : a.findings()) {
+    ADD_FAILURE() << f.file << ":" << f.line << " [" << f.rule << "] "
+                  << f.message;
+  }
+}
+
+TEST(DrtmLint, SuppressionReasonIsPreserved) {
+  Analyzer a = AnalyzeFixtures({"tx03_strong.cc"});
+  bool found = false;
+  for (const Finding& f : a.findings()) {
+    if (f.suppressed) {
+      found = true;
+      EXPECT_NE(f.suppress_reason.find("bulk-load path"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DrtmLint, FileScopeSuppressionCoversWholeFile) {
+  Analyzer analyzer;
+  ASSERT_TRUE(analyzer.AddFile(
+      "scratch/a.cc",
+      "// drtm-lint: allow-file(TX03 fixture-wide exemption)\n"
+      "void f(unsigned char* d, const unsigned char* s) {\n"
+      "  drtm::htm::StrongWrite(d, s, 8);\n"
+      "  drtm::htm::StrongRead(d, s, 8);\n"
+      "}\n"));
+  analyzer.Run();
+  ASSERT_EQ(analyzer.findings().size(), 2u);
+  EXPECT_TRUE(analyzer.findings()[0].suppressed);
+  EXPECT_TRUE(analyzer.findings()[1].suppressed);
+  EXPECT_TRUE(analyzer.Unsuppressed().empty());
+}
+
+TEST(DrtmLint, JsonReportFollowsBenchConventions) {
+  Analyzer a = AnalyzeFixtures({"tx01_raw_store.cc", "tx03_strong.cc"});
+  const stat::Json report = a.ReportJson();
+  ASSERT_TRUE(report.is_object());
+  ASSERT_NE(report.Find("schema_version"), nullptr);
+  EXPECT_EQ(report.Find("schema_version")->AsNumber(), 1.0);
+  EXPECT_EQ(report.Find("report")->AsString(), "drtm_lint");
+  ASSERT_NE(report.Find("config"), nullptr);
+  ASSERT_NE(report.Find("counters"), nullptr);
+  const stat::Json* findings = report.Find("findings");
+  ASSERT_NE(findings, nullptr);
+  EXPECT_EQ(findings->size(), a.findings().size());
+  const stat::Json* tx01 = report.Find("counters")->Find("lint.TX01");
+  ASSERT_NE(tx01, nullptr);
+  EXPECT_GE(tx01->AsNumber(), 6.0);
+  // Round-trips through the strict parser.
+  stat::Json parsed;
+  EXPECT_TRUE(stat::Json::Parse(report.Dump(true), &parsed));
+}
+
+TEST(DrtmLint, ReadsCompileCommands) {
+  const std::string path =
+      (fs::temp_directory_path() / "drtm_lint_compdb_test.json").string();
+  {
+    std::ofstream out(path);
+    out << "[{\"directory\": \"/x\", \"command\": \"c++ a.cc\", "
+           "\"file\": \"/x/a.cc\"},\n"
+           " {\"directory\": \"/x\", \"command\": \"c++ b.cc\", "
+           "\"file\": \"/x/b.cc\"}]\n";
+  }
+  std::vector<std::string> files;
+  ASSERT_TRUE(ReadCompileCommands(path, &files));
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0], "/x/a.cc");
+  EXPECT_EQ(files[1], "/x/b.cc");
+  fs::remove(path);
+}
+
+// The acceptance gate: the repository's own transactional layers carry
+// zero unsuppressed findings. Intentional exceptions are documented in
+// place with drtm-lint: allow(...) comments, so a new raw access in a
+// Transact body fails CI through this test (and the drtm-lint CI job).
+TEST(DrtmLint, RepoSourcesHaveNoUnsuppressedFindings) {
+  Analyzer analyzer;
+  size_t added = 0;
+  const fs::path src = fs::path(SourceDir()) / "src";
+  ASSERT_TRUE(fs::exists(src)) << src;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".cc" && ext != ".h") continue;
+    const std::string rel =
+        fs::relative(entry.path(), SourceDir()).generic_string();
+    ASSERT_TRUE(analyzer.AddFileFromDisk(entry.path().string(), rel));
+    ++added;
+  }
+  EXPECT_GT(added, 40u) << "src/ walk looks incomplete";
+  analyzer.Run();
+  for (const Finding& f : analyzer.Unsuppressed()) {
+    ADD_FAILURE() << f.file << ":" << f.line << " [" << f.rule << "] "
+                  << f.message << " (" << f.context << ")";
+  }
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace drtm

@@ -1,0 +1,163 @@
+// drtm_lint CLI: runs the transaction-discipline checker over the
+// translation units of a compile_commands.json (or an explicit file
+// list) and reports findings human-readably and as JSON.
+//
+//   drtm_lint --compdb build/compile_commands.json --root .
+//             --filter src/ --json LINT_drtm.json   (one line)
+//   drtm_lint src/store/bplus_tree.cc src/store/bplus_tree.h
+//
+// Exit status: 0 when every finding is suppressed, 1 when unsuppressed
+// findings remain, 2 on usage/input errors.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tools/drtm_lint/lint.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: drtm_lint [--compdb compile_commands.json] "
+               "[--root DIR] [--filter PREFIX]... [--json OUT] "
+               "[--all] [files...]\n"
+               "  --compdb  read the translation-unit list from a CMake\n"
+               "            compile_commands.json\n"
+               "  --root    repo root; file names are reported relative "
+               "to it (default: cwd)\n"
+               "  --filter  only analyze files whose relative path starts "
+               "with PREFIX (default: src/; repeatable)\n"
+               "  --all     print suppressed findings too\n"
+               "  --json    write the machine-readable report here\n");
+}
+
+std::string Relativize(const std::string& path, const std::string& root) {
+  std::error_code ec;
+  const std::filesystem::path rel =
+      std::filesystem::relative(path, root, ec);
+  std::string s = (ec || rel.empty()) ? path : rel.generic_string();
+  if (s.compare(0, 3, "../") == 0) {
+    return path;  // outside the root: keep the absolute name
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string compdb;
+  std::string root = ".";
+  std::string json_out;
+  std::vector<std::string> filters;
+  std::vector<std::string> explicit_files;
+  bool print_all = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--compdb") {
+      compdb = value();
+    } else if (arg == "--root") {
+      root = value();
+    } else if (arg == "--filter") {
+      filters.push_back(value());
+    } else if (arg == "--json") {
+      json_out = value();
+    } else if (arg == "--all") {
+      print_all = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      Usage();
+      return 2;
+    } else {
+      explicit_files.push_back(arg);
+    }
+  }
+  if (filters.empty()) {
+    filters.push_back("src/");
+  }
+
+  std::vector<std::string> files = explicit_files;
+  if (!compdb.empty() &&
+      !drtm::lint::ReadCompileCommands(compdb, &files)) {
+    std::fprintf(stderr, "drtm_lint: cannot read compile db '%s'\n",
+                 compdb.c_str());
+    return 2;
+  }
+  if (files.empty()) {
+    Usage();
+    return 2;
+  }
+
+  drtm::lint::Analyzer analyzer;
+  size_t analyzed = 0;
+  for (const std::string& file : files) {
+    const std::string rel = Relativize(file, root);
+    bool keep = false;
+    for (const std::string& f : filters) {
+      if (rel.compare(0, f.size(), f) == 0) {
+        keep = true;
+        break;
+      }
+    }
+    if (!keep) continue;
+    if (!analyzer.AddFileFromDisk(file, rel)) {
+      std::fprintf(stderr, "drtm_lint: cannot read '%s'\n", file.c_str());
+      return 2;
+    }
+    ++analyzed;
+    // Headers paired with a TU carry transactional code too (htm.h-style
+    // inline bodies); pull in a sibling .h when one exists.
+    const std::string::size_type dot = file.find_last_of('.');
+    if (dot != std::string::npos && file.substr(dot) == ".cc") {
+      const std::string header = file.substr(0, dot) + ".h";
+      if (std::filesystem::exists(header)) {
+        if (analyzer.AddFileFromDisk(header, Relativize(header, root))) {
+          ++analyzed;
+        }
+      }
+    }
+  }
+  if (analyzed == 0) {
+    std::fprintf(stderr, "drtm_lint: no files matched the filters\n");
+    return 2;
+  }
+
+  analyzer.Run();
+
+  size_t unsuppressed = 0;
+  for (const drtm::lint::Finding& f : analyzer.findings()) {
+    if (f.suppressed && !print_all) continue;
+    if (!f.suppressed) ++unsuppressed;
+    std::fprintf(stderr, "%s:%d: [%s]%s %s (%s)\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.suppressed ? " [suppressed]" : "",
+                 f.message.c_str(), f.context.c_str());
+  }
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::binary);
+    out << analyzer.ReportJson().Dump(true);
+    if (!out) {
+      std::fprintf(stderr, "drtm_lint: cannot write '%s'\n",
+                   json_out.c_str());
+      return 2;
+    }
+  }
+
+  std::fprintf(stderr,
+               "drtm_lint: %zu file(s), %zu finding(s), %zu unsuppressed\n",
+               analyzer.file_count(), analyzer.findings().size(),
+               unsuppressed);
+  return unsuppressed == 0 ? 0 : 1;
+}

@@ -1,0 +1,29 @@
+// Fixture: fully compliant transactional code — the self-test asserts
+// zero findings here. Never compiled into the build.
+#include <cstdint>
+
+#include "src/htm/htm.h"
+
+namespace fixture {
+
+uint64_t CleanBody(drtm::htm::HtmThread& htm, uint64_t* cell) {
+  uint64_t value = 0;
+  htm.Transact([&] {
+    value = htm.Load(cell);
+    htm.Store(cell, value + 1);
+    if (value > 100) {
+      htm.Abort(1);
+    }
+  });
+  return value;
+}
+
+void CleanBytes(drtm::htm::HtmThread& htm, uint8_t* block, size_t len) {
+  uint8_t scratch[64];
+  htm.Transact([&] {
+    htm.Read(scratch, block, len);
+    htm.Write(block, scratch, len);
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: planted TX02 violations (irreversible side effects inside
+// Transact bodies). Never compiled into the build.
+#include <cstdio>
+#include <mutex>
+
+#include "src/htm/htm.h"
+
+namespace fixture {
+
+std::mutex g_mu;
+
+void PlantTx02(drtm::htm::HtmThread& htm) {
+  htm.Transact([&] {
+    int* leak = new int(5);      // TX02: leaks on AbortException unwind
+    g_mu.lock();                 // TX02: deadlock on abort unwinding
+    std::printf("inside tx\n");  // TX02: irreversible I/O
+    g_mu.unlock();               // TX02: pairs with the lock above
+    delete leak;                 // TX02: raw deallocation
+  });
+}
+
+}  // namespace fixture

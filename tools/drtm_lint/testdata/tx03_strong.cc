@@ -1,0 +1,18 @@
+// Fixture: planted TX03 violation (Strong* access outside the
+// RDMA/softtime/recovery allowlist). Never compiled into the build.
+#include <cstdint>
+
+#include "src/htm/htm.h"
+
+namespace fixture {
+
+void PlantTx03(unsigned char* dst, const unsigned char* src) {
+  drtm::htm::StrongWrite(dst, src, 64);  // TX03: outside the allowlist
+}
+
+uint64_t SuppressedTx03(uint64_t* word) {
+  // drtm-lint: allow(TX03 bulk-load path, runs before any worker starts)
+  return drtm::htm::StrongLoad(word);
+}
+
+}  // namespace fixture

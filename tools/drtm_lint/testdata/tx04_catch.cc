@@ -1,0 +1,19 @@
+// Fixture: planted TX04 violations (catch clauses inside a Transact
+// body that would swallow the AbortException unwind). Never compiled
+// into the build.
+#include "src/htm/htm.h"
+
+namespace fixture {
+
+void PlantTx04(drtm::htm::HtmThread& htm, unsigned* out) {
+  htm.Transact([&] {
+    try {
+      htm.Store(out, 1u);
+    } catch (const drtm::htm::AbortException&) {  // TX04
+      // swallowing the unwind corrupts the emulator's depth state
+    } catch (...) {  // TX04
+    }
+  });
+}
+
+}  // namespace fixture

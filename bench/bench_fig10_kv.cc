@@ -209,7 +209,7 @@ void PartB(uint64_t duration_ms, stat::BenchReport* report) {
   stat::BenchReport::Series& series = report->AddSeries("get_tput_vs_value");
   for (const uint32_t size : sizes) {
     Stores stores = BuildStores(size);
-    store::LocationCache cache(8 << 20);
+    store::LocationCache cache(store::LocationCache::BudgetFromEnv(8 << 20));
     double results[5];
     for (const System system :
          {System::kPilaf, System::kFarmInline, System::kFarmOffset,
@@ -241,7 +241,7 @@ void PartC(uint64_t duration_ms, stat::BenchReport* report) {
   for (const System system :
        {System::kPilaf, System::kFarmInline, System::kFarmOffset,
         System::kDrtm, System::kDrtmCached}) {
-    store::LocationCache cache(8 << 20);
+    store::LocationCache cache(store::LocationCache::BudgetFromEnv(8 << 20));
     for (const int threads : thread_counts) {
       const GetResult result =
           MeasureGets(stores, system, 64, threads, duration_ms, false, &cache);
@@ -302,6 +302,83 @@ void PartD(uint64_t duration_ms, stat::BenchReport* report) {
   }
 }
 
+// --- (e) chain-walk cost: scalar vs hint-pipelined ---------------------------
+
+void PartE(stat::BenchReport* report) {
+  benchutil::Header("Fig 10(e)",
+                    "bucket-chain walk cost: doorbells per lookup");
+  benchutil::PaperNote(
+      "chain-shape hints let a revalidation walk post the whole predicted "
+      "chain as one doorbell batch instead of one round trip per hop");
+  auto fabric = MakeFabric();
+  // Deliberately chain-heavy: ~3 entries per main-bucket slot force
+  // multi-hop walks, the case doorbell batching targets.
+  const uint64_t keys = benchutil::Quick() ? 3000 : 10000;
+  store::ClusterHashTable::Config config;
+  config.main_buckets = benchutil::Quick() ? (1 << 7) : (1 << 9);
+  config.indirect_buckets = 1 << 10;
+  config.capacity = 1 << 14;
+  config.value_size = 64;
+  store::ClusterHashTable table(&fabric->memory(1), config);
+  std::vector<uint8_t> value(64, 0x5a);
+  for (uint64_t k = 0; k < keys; ++k) {
+    table.Insert(k, value.data());
+  }
+  std::printf("%-14s %18s %22s\n", "walk", "reads_per_lookup",
+              "doorbells_per_lookup");
+  stat::BenchReport::Series& series = report->AddSeries("lookup_cost");
+  const auto add = [&](const char* walk, double reads, double doorbells) {
+    std::printf("%-14s %18.2f %22.2f\n", walk, reads, doorbells);
+    benchutil::AddPoint(&series, {{"walk", walk}},
+                        {{"reads_per_lookup", reads},
+                         {"doorbells_per_lookup", doorbells}});
+  };
+
+  // Scalar walk: no hints, so every hop is its own doorbell.
+  {
+    store::RemoteKv client(fabric.get(), 1, table.geometry());
+    uint64_t reads = 0;
+    uint64_t doorbells = 0;
+    for (uint64_t k = 0; k < keys; ++k) {
+      const store::RemoteEntryRef ref = client.Lookup(k);
+      reads += static_cast<uint64_t>(ref.rdma_reads);
+      doorbells += static_cast<uint64_t>(ref.rdma_doorbells);
+    }
+    add("uncached", double(reads) / double(keys),
+        double(doorbells) / double(keys));
+  }
+
+  // Revalidation walk: the cache knows every chain's shape but each
+  // content snapshot has been dropped (what an incarnation miss does).
+  // The walk refetches every hop, pipelined into one doorbell.
+  {
+    store::LocationCache cache(store::LocationCache::BudgetFromEnv(8 << 20));
+    store::RemoteKv client(fabric.get(), 1, table.geometry(), &cache);
+    std::vector<uint8_t> out(64);
+    for (uint64_t k = 0; k < keys; ++k) {
+      client.Get(k, out.data());
+    }
+    uint64_t reads = 0;
+    uint64_t doorbells = 0;
+    for (uint64_t k = 0; k < keys; ++k) {
+      uint64_t cur = table.geometry().MainBucketOffset(k);
+      while (cur != store::kInvalidOffset) {
+        cache.Invalidate(cur);
+        uint64_t next = store::kInvalidOffset;
+        if (!cache.NextHint(cur, &next)) {
+          break;
+        }
+        cur = next;
+      }
+      const store::RemoteEntryRef ref = client.Lookup(k);
+      reads += static_cast<uint64_t>(ref.rdma_reads);
+      doorbells += static_cast<uint64_t>(ref.rdma_doorbells);
+    }
+    add("revalidation", double(reads) / double(keys),
+        double(doorbells) / double(keys));
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -318,6 +395,7 @@ int main() {
   PartB(duration_ms, &report);
   PartC(duration_ms, &report);
   PartD(duration_ms, &report);
+  PartE(&report);
   benchutil::FinishReport(&report, window);
   return 0;
 }

@@ -156,6 +156,18 @@ void CalvinCluster::Execute(std::shared_ptr<TxnRequest> request) {
   request->done_cv.wait(lock, [&] { return request->done; });
 }
 
+void CalvinCluster::Quiesce() {
+  // Callers guarantee all Execute() calls have returned, and the home
+  // node's commit (which finalizes expected_) happens before Execute()
+  // signals done — so expected_ is already final here and applied_ only
+  // climbs toward it as the remaining participants install their writes.
+  while (running_.load(std::memory_order_acquire) &&
+         applied_participations_.load(std::memory_order_acquire) <
+             expected_participations_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
 void CalvinCluster::SequencerLoop() {
   while (running_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(std::chrono::microseconds(config_.epoch_us));
@@ -420,8 +432,11 @@ void CalvinCluster::WorkerLoop(int node_index) {
       ReleaseLocks(node, *txn);
       node.pending.erase(txn->request->global_id);
     }
+    applied_participations_.fetch_add(1, std::memory_order_release);
 
     if (txn->request->home_node == node_index) {
+      expected_participations_.fetch_add(txn->participants.size(),
+                                         std::memory_order_relaxed);
       committed_.fetch_add(1, std::memory_order_relaxed);
       {
         std::lock_guard<std::mutex> lock(txn->request->done_mu);

@@ -110,6 +110,14 @@ class CalvinCluster {
   // home node. Thread-safe; callable from any client thread.
   void Execute(std::shared_ptr<TxnRequest> request);
 
+  // Waits until every participant of every committed transaction has
+  // applied its writes. Execute() returns at the home node's commit, so a
+  // distributed transaction's remote writes may still be in flight when
+  // the client resumes; call this before reading cross-partition state
+  // directly (PeekRow). Only meaningful once the submitting clients have
+  // returned from Execute().
+  void Quiesce();
+
   uint64_t committed() const {
     return committed_.load(std::memory_order_relaxed);
   }
@@ -149,6 +157,11 @@ class CalvinCluster {
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> committed_{0};
   std::atomic<uint64_t> next_global_id_{1};
+  // Quiesce() bookkeeping: the home node's commit adds the transaction's
+  // participant count to expected_; every participant (home included)
+  // bumps applied_ after installing its writes.
+  std::atomic<uint64_t> expected_participations_{0};
+  std::atomic<uint64_t> applied_participations_{0};
 };
 
 }  // namespace calvin

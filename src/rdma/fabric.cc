@@ -84,12 +84,11 @@ Fabric::~Fabric() {
   }
 }
 
-OpStatus Fabric::Read(int target, uint64_t offset, void* dst, size_t len) {
+OpStatus Fabric::ExecuteRead(int target, uint64_t offset, void* dst,
+                             size_t len) {
   if (!IsAlive(target)) {
     return OpStatus::kNodeDown;
   }
-  const uint64_t latency_ns = config_.latency.ReadNs(len);
-  SpinFor(latency_ns);
   htm::StrongRead(dst, memory(target).At(offset), len);
   ThreadStats& stats = LocalThreadStats();
   ++stats.reads;
@@ -97,17 +96,14 @@ OpStatus Fabric::Read(int target, uint64_t offset, void* dst, size_t len) {
   stat::Registry& reg = stat::Registry::Global();
   reg.Add(Verbs().reads);
   reg.Add(Verbs().read_bytes, len);
-  reg.Record(Verbs().read_ns, latency_ns);
   return OpStatus::kOk;
 }
 
-OpStatus Fabric::Write(int target, uint64_t offset, const void* src,
-                       size_t len) {
+OpStatus Fabric::ExecuteWrite(int target, uint64_t offset, const void* src,
+                              size_t len) {
   if (!IsAlive(target)) {
     return OpStatus::kNodeDown;
   }
-  const uint64_t latency_ns = config_.latency.WriteNs(len);
-  SpinFor(latency_ns);
   htm::StrongWrite(memory(target).At(offset), src, len);
   ThreadStats& stats = LocalThreadStats();
   ++stats.writes;
@@ -115,17 +111,14 @@ OpStatus Fabric::Write(int target, uint64_t offset, const void* src,
   stat::Registry& reg = stat::Registry::Global();
   reg.Add(Verbs().writes);
   reg.Add(Verbs().write_bytes, len);
-  reg.Record(Verbs().write_ns, latency_ns);
   return OpStatus::kOk;
 }
 
-OpStatus Fabric::Cas(int target, uint64_t offset, uint64_t expected,
-                     uint64_t desired, uint64_t* observed) {
+OpStatus Fabric::ExecuteCas(int target, uint64_t offset, uint64_t expected,
+                            uint64_t desired, uint64_t* observed) {
   if (!IsAlive(target)) {
     return OpStatus::kNodeDown;
   }
-  const uint64_t latency_ns = config_.latency.CasNs();
-  SpinFor(latency_ns);
   uint64_t* addr = static_cast<uint64_t*>(memory(target).At(offset));
   {
     // RDMA atomics serialize on the target NIC regardless of level; the
@@ -135,10 +128,65 @@ OpStatus Fabric::Cas(int target, uint64_t offset, uint64_t expected,
     *observed = htm::StrongCas64(addr, expected, desired);
   }
   ++LocalThreadStats().cas_ops;
-  stat::Registry& reg = stat::Registry::Global();
-  reg.Add(Verbs().cas_ops);
-  reg.Record(Verbs().cas_ns, latency_ns);
+  stat::Registry::Global().Add(Verbs().cas_ops);
   return OpStatus::kOk;
+}
+
+OpStatus Fabric::ExecuteFaa(int target, uint64_t offset, uint64_t delta,
+                            uint64_t* observed) {
+  if (!IsAlive(target)) {
+    return OpStatus::kNodeDown;
+  }
+  uint64_t* addr = static_cast<uint64_t*>(memory(target).At(offset));
+  {
+    SpinLatchGuard nic(*nic_latches_[static_cast<size_t>(target)]);
+    *observed = htm::StrongFaa64(addr, delta);
+  }
+  ++LocalThreadStats().faa_ops;
+  stat::Registry::Global().Add(Verbs().faa_ops);
+  return OpStatus::kOk;
+}
+
+OpStatus Fabric::Read(int target, uint64_t offset, void* dst, size_t len) {
+  if (!IsAlive(target)) {
+    return OpStatus::kNodeDown;
+  }
+  const uint64_t latency_ns = config_.latency.ReadNs(len);
+  SpinFor(latency_ns);
+  const OpStatus status = ExecuteRead(target, offset, dst, len);
+  if (status == OpStatus::kOk) {
+    stat::Registry::Global().Record(Verbs().read_ns, latency_ns);
+  }
+  return status;
+}
+
+OpStatus Fabric::Write(int target, uint64_t offset, const void* src,
+                       size_t len) {
+  if (!IsAlive(target)) {
+    return OpStatus::kNodeDown;
+  }
+  const uint64_t latency_ns = config_.latency.WriteNs(len);
+  SpinFor(latency_ns);
+  const OpStatus status = ExecuteWrite(target, offset, src, len);
+  if (status == OpStatus::kOk) {
+    stat::Registry::Global().Record(Verbs().write_ns, latency_ns);
+  }
+  return status;
+}
+
+OpStatus Fabric::Cas(int target, uint64_t offset, uint64_t expected,
+                     uint64_t desired, uint64_t* observed) {
+  if (!IsAlive(target)) {
+    return OpStatus::kNodeDown;
+  }
+  const uint64_t latency_ns = config_.latency.CasNs();
+  SpinFor(latency_ns);
+  const OpStatus status = ExecuteCas(target, offset, expected, desired,
+                                     observed);
+  if (status == OpStatus::kOk) {
+    stat::Registry::Global().Record(Verbs().cas_ns, latency_ns);
+  }
+  return status;
 }
 
 OpStatus Fabric::Faa(int target, uint64_t offset, uint64_t delta,
@@ -148,16 +196,11 @@ OpStatus Fabric::Faa(int target, uint64_t offset, uint64_t delta,
   }
   const uint64_t latency_ns = config_.latency.FaaNs();
   SpinFor(latency_ns);
-  uint64_t* addr = static_cast<uint64_t*>(memory(target).At(offset));
-  {
-    SpinLatchGuard nic(*nic_latches_[static_cast<size_t>(target)]);
-    *observed = htm::StrongFaa64(addr, delta);
+  const OpStatus status = ExecuteFaa(target, offset, delta, observed);
+  if (status == OpStatus::kOk) {
+    stat::Registry::Global().Record(Verbs().faa_ns, latency_ns);
   }
-  ++LocalThreadStats().faa_ops;
-  stat::Registry& reg = stat::Registry::Global();
-  reg.Add(Verbs().faa_ops);
-  reg.Record(Verbs().faa_ns, latency_ns);
-  return OpStatus::kOk;
+  return status;
 }
 
 OpStatus Fabric::Send(int from, int to, uint32_t kind,

@@ -111,6 +111,23 @@ class Fabric {
   MessageQueue& queue(int node) { return *queues_[static_cast<size_t>(node)]; }
 
  private:
+  // The doorbell-batched submission path (verbs_batch.h) reuses the
+  // per-WQE executors below so batched and scalar ops are
+  // result-equivalent; only the latency accounting differs.
+  friend class SendQueue;
+
+  // Execute one work request through the HTM strong-access path and bump
+  // the per-op counters. No latency is charged here: the scalar verbs
+  // charge one full base cost per op, the batched path charges one
+  // doorbell per batch (LatencyModel::BatchNs).
+  OpStatus ExecuteRead(int target, uint64_t offset, void* dst, size_t len);
+  OpStatus ExecuteWrite(int target, uint64_t offset, const void* src,
+                        size_t len);
+  OpStatus ExecuteCas(int target, uint64_t offset, uint64_t expected,
+                      uint64_t desired, uint64_t* observed);
+  OpStatus ExecuteFaa(int target, uint64_t offset, uint64_t delta,
+                      uint64_t* observed);
+
   struct PendingRpc;
 
   Config config_;

@@ -31,6 +31,11 @@ struct LatencyModel {
   // Local CAS cost (paper: 0.08 us), charged when the transaction layer
   // is allowed to use processor atomics for local records (GLOB mode).
   uint64_t local_cas_ns = 80;
+  // Marginal cost of one extra work-queue entry in a doorbell-batched
+  // submission (SendQueue): the NIC fetches and executes additional WQEs
+  // without paying another doorbell/PCIe round trip, so a batch of N
+  // small READs costs one read_base_ns plus (N-1) of these.
+  uint64_t wqe_overhead_ns = 150;
 
   double scale = 1.0;
 
@@ -49,6 +54,20 @@ struct LatencyModel {
                   static_cast<uint64_t>(send_per_byte_ns * double(len)));
   }
   uint64_t LocalCasNs() const { return Scaled(local_cas_ns); }
+
+  // Cost of a doorbell-batched submission of `wqes` work requests: one
+  // base cost (the largest base among the batched opcodes — the doorbell
+  // and the first op's round trip dominate), the summed unscaled per-byte
+  // payload cost of every WQE, and a small per-WQE issue overhead for
+  // the rest. Returns 0 for an empty batch.
+  uint64_t BatchNs(uint64_t max_base_ns, uint64_t payload_ns,
+                   size_t wqes) const {
+    if (wqes == 0) {
+      return 0;
+    }
+    return Scaled(max_base_ns + payload_ns +
+                  uint64_t(wqes - 1) * wqe_overhead_ns);
+  }
 
   // No simulated delay at all; unit tests use this.
   static LatencyModel Zero();

@@ -1,0 +1,173 @@
+#include "src/rdma/verbs_batch.h"
+
+#include <algorithm>
+
+#include "src/common/clock.h"
+#include "src/stat/metrics.h"
+
+namespace drtm {
+namespace rdma {
+
+namespace {
+
+struct BatchIds {
+  uint32_t doorbells = 0;
+  uint32_t wqes = 0;
+  uint32_t size = 0;
+  uint32_t batch_ns = 0;
+  uint32_t inflight = 0;
+};
+
+const BatchIds& Batch() {
+  static const BatchIds ids = [] {
+    stat::Registry& reg = stat::Registry::Global();
+    BatchIds b;
+    b.doorbells = reg.CounterId("rdma.batch.doorbells");
+    b.wqes = reg.CounterId("rdma.batch.wqes");
+    b.size = reg.TimerId("rdma.batch.size");
+    b.batch_ns = reg.TimerId("rdma.batch_ns");
+    b.inflight = reg.TimerId("rdma.inflight");
+    return b;
+  }();
+  return ids;
+}
+
+}  // namespace
+
+SendQueue::SendQueue(Fabric& fabric, int target, Config config)
+    : fabric_(fabric), target_(target), config_(config) {
+  wqes_.reserve(std::max<size_t>(config_.max_outstanding, 1));
+}
+
+WrId SendQueue::Enqueue(Wqe wqe) {
+  wqe.wr_id = next_wr_id_++;
+  const WrId id = wqe.wr_id;
+  wqes_.push_back(wqe);
+  if (wqes_.size() >= std::max<size_t>(config_.max_outstanding, 1)) {
+    RingDoorbell();
+  }
+  return id;
+}
+
+WrId SendQueue::PostRead(uint64_t offset, void* dst, size_t len) {
+  Wqe wqe{};
+  wqe.opcode = Opcode::kRead;
+  wqe.offset = offset;
+  wqe.dst = dst;
+  wqe.len = len;
+  return Enqueue(wqe);
+}
+
+WrId SendQueue::PostWrite(uint64_t offset, const void* src, size_t len) {
+  Wqe wqe{};
+  wqe.opcode = Opcode::kWrite;
+  wqe.offset = offset;
+  wqe.src = src;
+  wqe.len = len;
+  return Enqueue(wqe);
+}
+
+WrId SendQueue::PostCas(uint64_t offset, uint64_t expected, uint64_t desired) {
+  Wqe wqe{};
+  wqe.opcode = Opcode::kCas;
+  wqe.offset = offset;
+  wqe.expected = expected;
+  wqe.desired = desired;
+  return Enqueue(wqe);
+}
+
+WrId SendQueue::PostFaa(uint64_t offset, uint64_t delta) {
+  Wqe wqe{};
+  wqe.opcode = Opcode::kFaa;
+  wqe.offset = offset;
+  wqe.delta = delta;
+  return Enqueue(wqe);
+}
+
+size_t SendQueue::RingDoorbell() {
+  if (wqes_.empty()) {
+    return 0;
+  }
+  const LatencyModel& lat = fabric_.latency();
+
+  // One doorbell pays the largest base cost among the batched opcodes
+  // (the NIC executes the batch back to back; the slowest opcode's round
+  // trip dominates), plus every WQE's per-byte payload cost.
+  uint64_t max_base_ns = 0;
+  uint64_t payload_ns = 0;
+  for (const Wqe& wqe : wqes_) {
+    switch (wqe.opcode) {
+      case Opcode::kRead:
+        max_base_ns = std::max(max_base_ns, lat.read_base_ns);
+        payload_ns += uint64_t(lat.read_per_byte_ns * double(wqe.len));
+        break;
+      case Opcode::kWrite:
+        max_base_ns = std::max(max_base_ns, lat.write_base_ns);
+        payload_ns += uint64_t(lat.write_per_byte_ns * double(wqe.len));
+        break;
+      case Opcode::kCas:
+        max_base_ns = std::max(max_base_ns, lat.cas_ns);
+        break;
+      case Opcode::kFaa:
+        max_base_ns = std::max(max_base_ns, lat.faa_ns);
+        break;
+    }
+  }
+  const size_t submitted = wqes_.size();
+  const uint64_t batch_ns = lat.BatchNs(max_base_ns, payload_ns, submitted);
+  // Charge the whole batch's latency up front (the doorbell plus the
+  // NIC's pipelined execution), then execute the WQEs in post order.
+  // A WQE targeting a dead node completes with kNodeDown individually.
+  SpinFor(batch_ns);
+  for (const Wqe& wqe : wqes_) {
+    Completion comp;
+    comp.wr_id = wqe.wr_id;
+    switch (wqe.opcode) {
+      case Opcode::kRead:
+        comp.status = fabric_.ExecuteRead(target_, wqe.offset, wqe.dst,
+                                          wqe.len);
+        break;
+      case Opcode::kWrite:
+        comp.status = fabric_.ExecuteWrite(target_, wqe.offset, wqe.src,
+                                           wqe.len);
+        break;
+      case Opcode::kCas:
+        comp.status = fabric_.ExecuteCas(target_, wqe.offset, wqe.expected,
+                                         wqe.desired, &comp.observed);
+        break;
+      case Opcode::kFaa:
+        comp.status = fabric_.ExecuteFaa(target_, wqe.offset, wqe.delta,
+                                         &comp.observed);
+        break;
+    }
+    completions_.push_back(comp);
+  }
+  wqes_.clear();
+
+  stat::Registry& reg = stat::Registry::Global();
+  reg.Add(Batch().doorbells);
+  reg.Add(Batch().wqes, submitted);
+  reg.Record(Batch().size, submitted);
+  reg.Record(Batch().batch_ns, batch_ns);
+  reg.Record(Batch().inflight, completions_.size());
+  return submitted;
+}
+
+size_t SendQueue::PollCompletions(Completion* out, size_t max) {
+  size_t n = 0;
+  while (n < max && !completions_.empty()) {
+    out[n++] = completions_.front();
+    completions_.pop_front();
+  }
+  return n;
+}
+
+std::vector<Completion> SendQueue::Flush() {
+  RingDoorbell();
+  std::vector<Completion> all(completions_.begin(), completions_.end());
+  completions_.clear();
+  return all;
+}
+
+}  // namespace rdma
+}  // namespace drtm

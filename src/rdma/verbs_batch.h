@@ -1,0 +1,120 @@
+// Doorbell-batched asynchronous verbs (paper section 6.3, FaRM-style).
+//
+// A SendQueue models one RDMA send queue between an initiator thread and
+// a target node. PostRead/PostWrite/PostCas/PostFaa enqueue work-queue
+// entries (WQEs) without touching the network; RingDoorbell() submits
+// every posted WQE as a single batch, charging the latency model one
+// doorbell (the largest base cost among the batched opcodes) plus the
+// summed per-byte payload cost and a small per-WQE issue overhead —
+// instead of one full base round trip per op as the scalar verbs do.
+// PollCompletions() drains the completion queue in FIFO post order.
+//
+// Semantics mirror the hardware contract DrTM relies on:
+//   * WQEs execute in post order within one send queue (in-order QP).
+//   * Each WQE still executes through the HTM strong-access path
+//     (Fabric::Execute*), so strong atomicity and conflicting-HTM-abort
+//     behaviour are preserved *per op*, exactly as for scalar verbs. The
+//     batch is NOT atomic as a unit; only individual WQEs are.
+//   * RDMA atomics (CAS/FAA) serialize on the target NIC latch at both
+//     AtomicLevel settings, same as the scalar path.
+//   * Completions are delivered exactly once, in submission order; a
+//     WQE against a dead node completes with OpStatus::kNodeDown.
+//
+// Posting past the configured max-outstanding window rings the doorbell
+// automatically (a full hardware send queue forces a flush). A SendQueue
+// is owned by one initiator thread and is not thread-safe, like a real
+// verbs QP.
+#ifndef SRC_RDMA_VERBS_BATCH_H_
+#define SRC_RDMA_VERBS_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/rdma/fabric.h"
+
+namespace drtm {
+namespace rdma {
+
+using WrId = uint64_t;
+
+struct Completion {
+  WrId wr_id = 0;
+  OpStatus status = OpStatus::kOk;
+  // Pre-op value for CAS/FAA WQEs; undefined for READ/WRITE.
+  uint64_t observed = 0;
+};
+
+class SendQueue {
+ public:
+  struct Config {
+    // Auto-doorbell threshold: posting the WQE that fills the window
+    // submits the batch, modeling a bounded hardware send queue.
+    size_t max_outstanding = 16;
+  };
+
+  SendQueue(Fabric& fabric, int target, Config config);
+  SendQueue(Fabric& fabric, int target) : SendQueue(fabric, target, Config{}) {}
+
+  SendQueue(const SendQueue&) = delete;
+  SendQueue& operator=(const SendQueue&) = delete;
+
+  int target() const { return target_; }
+
+  // --- posting --------------------------------------------------------------
+  // Each returns the WQE's wr_id; the op has NOT executed yet. Buffers
+  // must stay valid until the matching completion is polled.
+  WrId PostRead(uint64_t offset, void* dst, size_t len);
+  WrId PostWrite(uint64_t offset, const void* src, size_t len);
+  // The pre-swap / pre-add value is reported via Completion::observed.
+  WrId PostCas(uint64_t offset, uint64_t expected, uint64_t desired);
+  WrId PostFaa(uint64_t offset, uint64_t delta);
+
+  // --- submission and completion --------------------------------------------
+  // Submit all pending WQEs as one doorbell; executes them in post order
+  // and queues one completion per WQE. Returns the number submitted
+  // (0 for an empty queue, a no-op).
+  size_t RingDoorbell();
+
+  // Pop up to `max` completions in FIFO submission order. Each
+  // completion is delivered exactly once.
+  size_t PollCompletions(Completion* out, size_t max);
+
+  // RingDoorbell + poll everything outstanding, in order.
+  std::vector<Completion> Flush();
+
+  // WQEs posted but not yet submitted.
+  size_t pending() const { return wqes_.size(); }
+  // Completions produced but not yet polled.
+  size_t inflight() const { return completions_.size(); }
+
+ private:
+  enum class Opcode : uint8_t { kRead, kWrite, kCas, kFaa };
+
+  struct Wqe {
+    Opcode opcode;
+    WrId wr_id;
+    uint64_t offset;
+    void* dst;         // kRead
+    const void* src;   // kWrite
+    size_t len;        // kRead / kWrite
+    uint64_t expected;  // kCas
+    uint64_t desired;   // kCas
+    uint64_t delta;     // kFaa
+  };
+
+  WrId Enqueue(Wqe wqe);
+
+  Fabric& fabric_;
+  const int target_;
+  const Config config_;
+  WrId next_wr_id_ = 1;
+  std::vector<Wqe> wqes_;
+  std::deque<Completion> completions_;
+};
+
+}  // namespace rdma
+}  // namespace drtm
+
+#endif  // SRC_RDMA_VERBS_BATCH_H_

@@ -71,6 +71,12 @@ Json BenchReport::ToJson() const {
     counters.Set(name, Json::Number(value));
   }
   root.Set("counters", std::move(counters));
+
+  Json gauges = Json::Object();
+  for (const auto& [name, value] : stats.gauges) {
+    gauges.Set(name, Json::Number(double(value)));
+  }
+  root.Set("gauges", std::move(gauges));
   root.Set("abort_causes", AbortCausesJson(stats));
 
   Json histograms = Json::Object();

@@ -12,6 +12,7 @@
 //        "points": [{"labels": {"threads": "4"}, "values": {"tps": 123.0}}]}
 //     ],
 //     "counters": {"htm.commit": 123, ...}, // full registry delta
+//     "gauges": {"cache.capacity_entries": 4096, ...},  // levels at end
 //     "abort_causes": {                     // always all six keys
 //       "explicit": 0, "retry": 0, "conflict": 0, "capacity": 0,
 //       "fallback": 0, "user": 0},

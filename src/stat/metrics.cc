@@ -20,6 +20,8 @@ Snapshot Snapshot::DeltaSince(const Snapshot& earlier) const {
       hist.Subtract(it->second);
     }
   }
+  // Gauges are levels, not totals: the later snapshot's values (already
+  // copied into delta) are the right answer for any window.
   return delta;
 }
 
@@ -29,6 +31,9 @@ void Snapshot::Merge(const Snapshot& other) {
   }
   for (const auto& [name, hist] : other.histograms) {
     histograms[name].Merge(hist);
+  }
+  for (const auto& [name, value] : other.gauges) {
+    gauges[name] = value;  // latest window wins
   }
 }
 
@@ -89,6 +94,31 @@ uint32_t Registry::TimerId(std::string_view name) {
   return id;
 }
 
+uint32_t Registry::GaugeId(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauge_ids_.find(name);
+  if (it != gauge_ids_.end()) {
+    return it->second;
+  }
+  assert(gauge_names_.size() < kMaxGauges && "raise Registry::kMaxGauges");
+  const uint32_t id = static_cast<uint32_t>(gauge_names_.size());
+  gauge_names_.emplace_back(name);
+  gauge_ids_.emplace(gauge_names_.back(), id);
+  return id;
+}
+
+void Registry::GaugeSet(uint32_t gauge_id, int64_t value) {
+  gauges_[gauge_id].value.store(value, std::memory_order_relaxed);
+}
+
+void Registry::GaugeAdd(uint32_t gauge_id, int64_t delta) {
+  gauges_[gauge_id].value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+int64_t Registry::GaugeValue(uint32_t gauge_id) const {
+  return gauges_[gauge_id].value.load(std::memory_order_relaxed);
+}
+
 void Registry::Add(uint32_t counter_id, uint64_t delta) {
   LocalShard().counters[counter_id].value.fetch_add(delta,
                                                     std::memory_order_relaxed);
@@ -104,10 +134,12 @@ Snapshot Registry::TakeSnapshot() {
   // Copy the name tables first so shard scanning runs without mu_.
   std::vector<std::string> counter_names;
   std::vector<std::string> timer_names;
+  std::vector<std::string> gauge_names;
   {
     std::lock_guard<std::mutex> lock(mu_);
     counter_names = counter_names_;
     timer_names = timer_names_;
+    gauge_names = gauge_names_;
   }
   Snapshot snapshot;
   for (size_t id = 0; id < counter_names.size(); ++id) {
@@ -125,6 +157,10 @@ Snapshot Registry::TakeSnapshot() {
     }
     snapshot.histograms.emplace(timer_names[id], std::move(merged));
   }
+  for (size_t id = 0; id < gauge_names.size(); ++id) {
+    snapshot.gauges.emplace(gauge_names[id],
+                            gauges_[id].value.load(std::memory_order_relaxed));
+  }
   return snapshot;
 }
 
@@ -136,6 +172,11 @@ size_t Registry::num_counters() const {
 size_t Registry::num_timers() const {
   std::lock_guard<std::mutex> lock(mu_);
   return timer_names_.size();
+}
+
+size_t Registry::num_gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauge_names_.size();
 }
 
 namespace {
@@ -160,6 +201,13 @@ std::string ExportPrometheus(const Snapshot& snapshot) {
     std::snprintf(line, sizeof(line), "# TYPE %s counter\n%s %llu\n",
                   prom.c_str(), prom.c_str(),
                   static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PromName(name);
+    std::snprintf(line, sizeof(line), "# TYPE %s gauge\n%s %lld\n",
+                  prom.c_str(), prom.c_str(),
+                  static_cast<long long>(value));
     out += line;
   }
   for (const auto& [name, hist] : snapshot.histograms) {

@@ -41,6 +41,10 @@ namespace stat {
 struct Snapshot {
   std::map<std::string, uint64_t> counters;
   std::map<std::string, Histogram> histograms;
+  // Instantaneous levels (cache occupancy, configured capacity, window
+  // depth). Unlike counters these can move both ways and are never
+  // differenced: DeltaSince keeps the later snapshot's values verbatim.
+  std::map<std::string, int64_t> gauges;
 
   uint64_t Counter(const std::string& name) const {
     auto it = counters.find(name);
@@ -49,6 +53,10 @@ struct Snapshot {
   const Histogram* Hist(const std::string& name) const {
     auto it = histograms.find(name);
     return it == histograms.end() ? nullptr : &it->second;
+  }
+  int64_t Gauge(const std::string& name) const {
+    auto it = gauges.find(name);
+    return it == gauges.end() ? 0 : it->second;
   }
 
   // This snapshot minus an earlier one: counter-wise subtraction (values
@@ -79,24 +87,39 @@ class Registry {
   // "htm.abort.conflict", "phase.htm_attempt_ns".
   uint32_t CounterId(std::string_view name);
   uint32_t TimerId(std::string_view name);
+  uint32_t GaugeId(std::string_view name);
 
   // Hot path. Ids must come from the matching *Id() on this registry.
   void Add(uint32_t counter_id, uint64_t delta = 1);
   void Record(uint32_t timer_id, uint64_t value);
+
+  // Gauges are registry-level (not sharded): a level shared by all
+  // threads, so increments and decrements from different threads net out
+  // correctly. Still lock-free relaxed atomics — cheap enough for
+  // install/evict paths, not meant for per-op hot loops.
+  void GaugeSet(uint32_t gauge_id, int64_t value);
+  void GaugeAdd(uint32_t gauge_id, int64_t delta);
+  int64_t GaugeValue(uint32_t gauge_id) const;
 
   Snapshot TakeSnapshot();
 
   // Number of registered names (for tests / exporters).
   size_t num_counters() const;
   size_t num_timers() const;
+  size_t num_gauges() const;
 
   static constexpr size_t kShards = 64;
   static constexpr size_t kMaxCounters = 256;
   static constexpr size_t kMaxTimers = 64;
+  static constexpr size_t kMaxGauges = 64;
 
  private:
   struct alignas(kCacheLineSize) PaddedCounter {
     std::atomic<uint64_t> value{0};
+  };
+
+  struct alignas(kCacheLineSize) PaddedGauge {
+    std::atomic<int64_t> value{0};
   };
 
   struct Shard {
@@ -113,9 +136,12 @@ class Registry {
   mutable std::mutex mu_;
   std::vector<std::string> counter_names_;
   std::vector<std::string> timer_names_;
+  std::vector<std::string> gauge_names_;
   std::map<std::string, uint32_t, std::less<>> counter_ids_;
   std::map<std::string, uint32_t, std::less<>> timer_ids_;
+  std::map<std::string, uint32_t, std::less<>> gauge_ids_;
   std::array<std::unique_ptr<Shard>, kShards> shards_;
+  std::array<PaddedGauge, kMaxGauges> gauges_;
 };
 
 // Renders a snapshot in the Prometheus text exposition format

@@ -2,67 +2,145 @@
 
 #include <cstring>
 
+#include "src/rdma/verbs_batch.h"
+
 namespace drtm {
 namespace store {
+
+namespace {
+
+// How far ahead of the confirmed chain position the walk speculates:
+// the deepest predicted run posted as one doorbell. Chains beyond this
+// depth fall back to another batch per window. Small, because chain
+// hints beyond a few hops are increasingly likely to be stale.
+constexpr size_t kSpeculationWindow = 4;
+
+}  // namespace
 
 RemoteKv::RemoteKv(rdma::Fabric* fabric, int target_node,
                    const Geometry& geometry, LocationCache* cache)
     : fabric_(fabric), target_(target_node), geo_(geometry), cache_(cache) {}
 
-bool RemoteKv::FetchBucket(uint64_t bucket_off, Bucket* out, bool* from_cache,
-                           int* reads) {
-  if (cache_ != nullptr && cache_->Lookup(bucket_off, out)) {
-    *from_cache = true;
-    return true;
-  }
-  *from_cache = false;
-  if (fabric_->Read(target_, bucket_off, out, sizeof(Bucket)) !=
-      rdma::OpStatus::kOk) {
-    return false;
-  }
-  ++*reads;
-  if (cache_ != nullptr) {
-    cache_->Install(bucket_off, *out);
-  }
-  return true;
-}
-
 RemoteEntryRef RemoteKv::LookupInternal(uint64_t key, bool bypass_cache) {
   RemoteEntryRef ref;
   uint64_t bucket_off = geo_.MainBucketOffset(key);
   // A chain longer than the indirect pool means corruption; bound the walk.
-  for (uint64_t hops = 0; hops <= geo_.indirect_buckets + 1; ++hops) {
-    Bucket bucket;
-    bool from_cache = false;
-    if (bypass_cache) {
-      if (fabric_->Read(target_, bucket_off, &bucket, sizeof(bucket)) !=
-          rdma::OpStatus::kOk) {
+  const uint64_t max_hops = geo_.indirect_buckets + 1;
+  uint64_t hops = 0;
+  rdma::SendQueue sq(*fabric_, target_,
+                     rdma::SendQueue::Config{kSpeculationWindow});
+  while (hops <= max_hops) {
+    // Serve the walk from cache-resident buckets one hop at a time
+    // first: the warm path must stay one hash probe + one bucket copy
+    // per hop, with no speculation bookkeeping. Only a cache miss below
+    // is worth a predicted run.
+    if (!bypass_cache && cache_ != nullptr) {
+      Bucket cached;
+      while (hops <= max_hops && cache_->Lookup(bucket_off, &cached)) {
+        ++hops;
+        uint64_t next = kInvalidOffset;
+        for (const HeaderSlot& slot : cached.slots) {
+          if (slot.type() == SlotType::kEntry && slot.key == key) {
+            ref.found = true;
+            ref.entry_off = slot.offset();
+            ref.incarnation = slot.lossy_incarnation();
+            return ref;
+          }
+          if (slot.type() == SlotType::kHeader) {
+            next = slot.offset();
+          }
+        }
+        if (next == kInvalidOffset) {
+          return ref;  // end of chain, key absent
+        }
+        bucket_off = next;
+      }
+      if (hops > max_hops) {
         return ref;
       }
-      ++ref.rdma_reads;
+    }
+    // Predict a run of chain buckets starting at bucket_off from the
+    // cache's chain-shape hints. Hints are used even in bypass mode —
+    // bypass distrusts cached *content*, not cached shape, and every
+    // speculative READ's content is still verified below.
+    uint64_t offsets[kSpeculationWindow];
+    size_t run = 0;
+    offsets[run++] = bucket_off;
+    if (cache_ != nullptr) {
+      uint64_t cur = bucket_off;
+      uint64_t next = kInvalidOffset;
+      while (run < kSpeculationWindow && cache_->NextHint(cur, &next) &&
+             next != kInvalidOffset) {
+        offsets[run++] = next;
+        cur = next;
+      }
+    }
+    // Fetch the run: cache-resident buckets are served locally, the
+    // rest ride one doorbell batch.
+    Bucket buckets[kSpeculationWindow];
+    bool from_remote[kSpeculationWindow] = {};
+    size_t posted = 0;
+    for (size_t i = 0; i < run; ++i) {
+      if (!bypass_cache && cache_ != nullptr &&
+          cache_->Lookup(offsets[i], &buckets[i])) {
+        continue;
+      }
+      from_remote[i] = true;
+      sq.PostRead(offsets[i], &buckets[i], sizeof(Bucket));
+      ++posted;
+    }
+    if (posted > 0) {
+      ++ref.rdma_doorbells;
+      ref.rdma_reads += static_cast<int>(posted);
+      for (const rdma::Completion& comp : sq.Flush()) {
+        if (comp.status != rdma::OpStatus::kOk) {
+          return ref;  // target down mid-walk: report not-found
+        }
+      }
       if (cache_ != nullptr) {
-        cache_->Install(bucket_off, bucket);
+        // Install every fetched bucket — including mispredicted ones:
+        // the snapshot is genuinely that offset's current content, and
+        // installing refreshes its chain hint too.
+        for (size_t i = 0; i < run; ++i) {
+          if (from_remote[i]) {
+            cache_->Install(offsets[i], buckets[i]);
+          }
+        }
       }
-    } else if (!FetchBucket(bucket_off, &bucket, &from_cache,
-                            &ref.rdma_reads)) {
-      return ref;
     }
-    uint64_t next = kInvalidOffset;
-    for (const HeaderSlot& slot : bucket.slots) {
-      if (slot.type() == SlotType::kEntry && slot.key == key) {
-        ref.found = true;
-        ref.entry_off = slot.offset();
-        ref.incarnation = slot.lossy_incarnation();
+    // Walk the fetched run in chain order, verifying the predictions.
+    bool restarted = false;
+    for (size_t i = 0; i < run; ++i) {
+      if (++hops > max_hops + 1) {
         return ref;
       }
-      if (slot.type() == SlotType::kHeader) {
-        next = slot.offset();
+      uint64_t next = kInvalidOffset;
+      for (const HeaderSlot& slot : buckets[i].slots) {
+        if (slot.type() == SlotType::kEntry && slot.key == key) {
+          ref.found = true;
+          ref.entry_off = slot.offset();
+          ref.incarnation = slot.lossy_incarnation();
+          return ref;
+        }
+        if (slot.type() == SlotType::kHeader) {
+          next = slot.offset();
+        }
       }
+      if (next == kInvalidOffset) {
+        return ref;  // end of chain, key absent
+      }
+      if (i + 1 < run && offsets[i + 1] == next) {
+        continue;  // speculation confirmed, consume the next bucket
+      }
+      // Mispredicted (or the run simply ended): resume the walk at the
+      // true next bucket, discarding any remaining speculative fetches.
+      bucket_off = next;
+      restarted = true;
+      break;
     }
-    if (next == kInvalidOffset) {
+    if (!restarted) {
       return ref;
     }
-    bucket_off = next;
   }
   return ref;
 }

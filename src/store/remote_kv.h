@@ -1,11 +1,19 @@
 // One-sided RDMA client for a remote DrTM-KV table.
 //
-// Lookup walks the remote bucket chain with one RDMA READ per bucket
-// (each READ fetches all 8 candidate slots — the property that gives
-// cluster chaining its low lookup cost in Table 4), optionally short-
-// circuited by the location cache. A hit through the cache is validated
-// by incarnation checking against the fetched entry; a stale location
-// degrades to a cache miss and a refetch, never to a wrong answer.
+// Lookup walks the remote bucket chain (each READ fetches all 8
+// candidate slots — the property that gives cluster chaining its low
+// lookup cost in Table 4), optionally short-circuited by the location
+// cache. The walk is pipelined: chain-shape hints remembered by the
+// cache (LocationCache::NextHint) let the client post the predicted
+// next bucket's READ in the same doorbell batch as the current one
+// (rdma::SendQueue), so a k-deep chain costs one doorbell instead of k
+// serialized round trips whenever the shape was seen before. A
+// misprediction only wastes the speculative READ — correctness never
+// depends on a hint, because every fetched bucket is re-examined for
+// the key and the true chain pointer. A hit through the cache is
+// validated by incarnation checking against the fetched entry; a stale
+// location degrades to a cache miss and a refetch, never to a wrong
+// answer.
 #ifndef SRC_STORE_REMOTE_KV_H_
 #define SRC_STORE_REMOTE_KV_H_
 
@@ -24,6 +32,7 @@ struct RemoteEntryRef {
   uint64_t entry_off = kInvalidOffset;
   uint32_t incarnation = 0;
   int rdma_reads = 0;  // READs spent on this lookup (bench instrumentation)
+  int rdma_doorbells = 0;  // batched submissions those READs rode on
 };
 
 // Snapshot of a remote entry: header plus value bytes.
@@ -57,11 +66,6 @@ class RemoteKv {
   const Geometry& geometry() const { return geo_; }
 
  private:
-  // Fetches a bucket (through the cache when enabled). Returns false on
-  // node failure. *from_cache reports whether an RDMA READ was avoided.
-  bool FetchBucket(uint64_t bucket_off, Bucket* out, bool* from_cache,
-                   int* reads);
-
   RemoteEntryRef LookupInternal(uint64_t key, bool bypass_cache);
 
   rdma::Fabric* fabric_;

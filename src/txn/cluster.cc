@@ -101,8 +101,11 @@ store::LocationCache* Cluster::cache(int local_node, int target_node) {
   auto& slot = caches_[static_cast<size_t>(local_node)]
                       [static_cast<size_t>(target_node)];
   if (slot == nullptr) {
+    // DRTM_LOC_CACHE_ENTRIES sweeps the per-shard frame count without a
+    // rebuild; all caches owned by one machine share a gauge label.
     slot = std::make_unique<store::LocationCache>(
-        config_.location_cache_bytes);
+        store::LocationCache::BudgetFromEnv(config_.location_cache_bytes),
+        "n" + std::to_string(local_node));
   }
   return slot.get();
 }
@@ -112,6 +115,15 @@ void Cluster::Start() {
     return;
   }
   started_ = true;
+  // Materialize every location-cache shard before any worker or server
+  // thread can race through cache(): its lazy create is single-threaded
+  // setup only — two concurrent first calls for one (local, target) pair
+  // would free a cache out from under its first user.
+  for (int n = 0; n < config_.num_nodes; ++n) {
+    for (int t = 0; t < config_.num_nodes; ++t) {
+      (void)cache(n, t);
+    }
+  }
   synctime_->Start();
   for (int n = 0; n < config_.num_nodes; ++n) {
     server_running_[static_cast<size_t>(n)]->store(true);

@@ -45,6 +45,15 @@ struct ClusterConfig {
   // Start-phase (remote lock) retries before counting as an HTM retry.
   int htm_retry_limit = 8;
   int start_retry_limit = 64;
+  // Lock-observed XABORTs (the body saw a 2PL write lock) mean the
+  // holder is mid-commit: stretch the retry budget by up to this many
+  // extra attempts with a stronger bounded-exponential backoff instead
+  // of falling through to the ~1000x-costlier 2PL fallback (ROADMAP
+  // "SmallBank fallback cost"). 0 restores the paper's flat budget.
+  int lock_abort_extra_retries = 8;
+  // Max-outstanding window for doorbell-batched verbs (rdma::SendQueue)
+  // used by the transaction layer's lock/prefetch/write-back phases.
+  size_t rdma_batch_window = 16;
 
   bool logging = false;
   size_t log_segment_bytes = size_t{8} << 20;

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "src/common/clock.h"
+#include "src/rdma/verbs_batch.h"
 #include "src/stat/metrics.h"
 #include "src/stat/timer.h"
 #include "src/store/kv_layout.h"
@@ -39,6 +40,7 @@ struct TxnMetricIds {
   uint32_t lock_abort = 0;
   uint32_t ro_commit = 0;
   uint32_t ro_retry = 0;
+  uint32_t lock_backoff = 0;
   uint32_t htm_attempt_ns = 0;
   uint32_t fallback_ns = 0;
   uint32_t lock_acquire_ns = 0;
@@ -60,6 +62,7 @@ const TxnMetricIds& Ids() {
     t.lock_abort = reg.CounterId("txn.lock_abort");
     t.ro_commit = reg.CounterId("txn.readonly.commit");
     t.ro_retry = reg.CounterId("txn.readonly.retry");
+    t.lock_backoff = reg.CounterId("txn.lock_backoff");
     t.htm_attempt_ns = reg.TimerId("phase.htm_attempt_ns");
     t.fallback_ns = reg.TimerId("phase.fallback_ns");
     t.lock_acquire_ns = reg.TimerId("phase.lock_acquire_ns");
@@ -97,6 +100,16 @@ void Worker::Backoff(int attempt) {
   const int shift = attempt < 8 ? attempt : 8;
   const uint64_t ceiling = uint64_t{1} << shift;
   SleepUs(1 + rng_.NextBounded(ceiling));
+}
+
+void Worker::LockBackoff(int consecutive_lock_aborts) {
+  // Ceiling grows 8 -> 256 us: enough for the holder's two-WRITE
+  // write-back (a few us modeled) plus queueing, bounded so a stuck
+  // holder still sends us to the fallback reasonably fast.
+  const int shift =
+      consecutive_lock_aborts < 6 ? consecutive_lock_aborts : 6;
+  const uint64_t ceiling = uint64_t{4} << shift;
+  SleepUs(2 + rng_.NextBounded(ceiling));
 }
 
 Transaction::Transaction(Worker* worker)
@@ -220,36 +233,40 @@ Transaction::StartResult Transaction::AcquireExclusive(Ref& ref, bool wait) {
 }
 
 Transaction::StartResult Transaction::AcquireLease(Ref& ref, bool wait) {
-  stat::ScopedTimer phase(Ids().lease_wait_ns);
-  const uint64_t desired = MakeLease(lease_end_);
-  uint64_t expected = kStateInit;
-  int tries = 0;
   // Fast path: an 8-byte READ of the state word. If a healthy lease is
   // already installed, share it without any CAS — an RDMA CAS costs an
   // order of magnitude more than a small READ (section 6.3), and under
   // read-heavy sharing the optimistic CAS-on-INIT would fail anyway.
-  {
-    const uint64_t state_off = ref.entry_off + store::kEntryStateOffset;
-    uint64_t observed = 0;
-    if (cluster_.fabric().Read(ref.node, state_off, &observed,
-                               sizeof(observed)) != rdma::OpStatus::kOk) {
-      return StartResult::kNodeDown;
+  const uint64_t state_off = ref.entry_off + store::kEntryStateOffset;
+  uint64_t observed = 0;
+  if (cluster_.fabric().Read(ref.node, state_off, &observed,
+                             sizeof(observed)) != rdma::OpStatus::kOk) {
+    return StartResult::kNodeDown;
+  }
+  return AcquireLeaseWithState(ref, wait, observed);
+}
+
+Transaction::StartResult Transaction::AcquireLeaseWithState(Ref& ref,
+                                                            bool wait,
+                                                            uint64_t probed) {
+  stat::ScopedTimer phase(Ids().lease_wait_ns);
+  const uint64_t desired = MakeLease(lease_end_);
+  uint64_t expected = kStateInit;
+  int tries = 0;
+  if (IsWriteLocked(probed)) {
+    if (!wait) {
+      return StartResult::kConflict;
     }
-    if (IsWriteLocked(observed)) {
-      if (!wait) {
-        return StartResult::kConflict;
-      }
-      // Leave expected = INIT; the CAS loop below waits the lock out.
-    } else if (HasLease(observed)) {
-      const uint64_t end = LeaseEnd(observed);
-      const uint64_t now = cluster_.synctime().ReadStrong(worker_->node());
-      if (end > now + 2 * cfg_.delta_us + cfg_.lease_rw_us / 8) {
-        ref.leased = true;
-        ref.lease_end = end;
-        return StartResult::kOk;
-      }
-      expected = observed;  // expired or short: steal/renew via CAS
+    // Leave expected = INIT; the CAS loop below waits the lock out.
+  } else if (HasLease(probed)) {
+    const uint64_t end = LeaseEnd(probed);
+    const uint64_t now = cluster_.synctime().ReadStrong(worker_->node());
+    if (end > now + 2 * cfg_.delta_us + cfg_.lease_rw_us / 8) {
+      ref.leased = true;
+      ref.lease_end = end;
+      return StartResult::kOk;
     }
+    expected = probed;  // expired or short: steal/renew via CAS
   }
   while (true) {
     uint64_t observed = 0;
@@ -288,15 +305,10 @@ Transaction::StartResult Transaction::AcquireLease(Ref& ref, bool wait) {
   }
 }
 
-Transaction::StartResult Transaction::PrefetchRef(Ref& ref) {
+Transaction::StartResult Transaction::PrefetchFromRaw(Ref& ref,
+                                                      const uint8_t* raw) {
   store::EntryHeader header;
-  ref.buf.resize(ref.value_size);
-  std::vector<uint8_t> raw(sizeof(header) + ref.value_size);
-  if (cluster_.fabric().Read(ref.node, ref.entry_off, raw.data(),
-                             raw.size()) != rdma::OpStatus::kOk) {
-    return StartResult::kNodeDown;
-  }
-  std::memcpy(&header, raw.data(), sizeof(header));
+  std::memcpy(&header, raw, sizeof(header));
   if (header.key != ref.key) {
     // The entry was deleted (and possibly recycled) between lookup and
     // lock; undo and let the retry re-resolve.
@@ -309,8 +321,18 @@ Transaction::StartResult Transaction::PrefetchRef(Ref& ref) {
     return StartResult::kConflict;
   }
   ref.version = header.version;
-  std::memcpy(ref.buf.data(), raw.data() + sizeof(header), ref.value_size);
+  ref.buf.resize(ref.value_size);
+  std::memcpy(ref.buf.data(), raw + sizeof(header), ref.value_size);
   return StartResult::kOk;
+}
+
+Transaction::StartResult Transaction::PrefetchRef(Ref& ref) {
+  std::vector<uint8_t> raw(sizeof(store::EntryHeader) + ref.value_size);
+  if (cluster_.fabric().Read(ref.node, ref.entry_off, raw.data(),
+                             raw.size()) != rdma::OpStatus::kOk) {
+    return StartResult::kNodeDown;
+  }
+  return PrefetchFromRaw(ref, raw.data());
 }
 
 bool Transaction::ResolveRef(Ref& ref) {
@@ -364,22 +386,142 @@ Transaction::StartResult Transaction::StartPhase() {
                  payload.data(), payload.size());
   }
 
+  std::vector<Ref*> remote;
   for (Ref& ref : refs_) {
-    if (ref.local || !ref.found) {
+    if (!ref.local && ref.found) {
+      remote.push_back(&ref);
+    }
+  }
+  return BatchedStartRemote(remote);
+}
+
+Transaction::StartResult Transaction::BatchedStartRemote(
+    const std::vector<Ref*>& remote) {
+  if (remote.empty()) {
+    return StartResult::kOk;
+  }
+  const uint64_t locked_val =
+      MakeWriteLocked(static_cast<uint8_t>(worker_->node()));
+  const rdma::SendQueue::Config sq_cfg{cfg_.rdma_batch_window};
+  std::vector<int> nodes;
+  for (const Ref* ref : remote) {
+    if (std::find(nodes.begin(), nodes.end(), ref->node) == nodes.end()) {
+      nodes.push_back(ref->node);
+    }
+  }
+
+  // Round 1: per target node, first-attempt lock CASes (INIT -> locked)
+  // and lease-probe READs share one doorbell. Contended refs drop to the
+  // scalar helpers, which know how to steal expired leases and renew
+  // short ones — that path costs one redundant CAS/READ, but only under
+  // contention.
+  StartResult fail = StartResult::kOk;
+  std::vector<Ref*> contended;
+  {
+    stat::ScopedTimer phase(Ids().lock_acquire_ns);
+    for (const int node : nodes) {
+      std::vector<Ref*> batch;
+      for (Ref* ref : remote) {
+        if (ref->node == node) {
+          batch.push_back(ref);
+        }
+      }
+      std::vector<uint64_t> probes(batch.size(), 0);
+      std::vector<bool> is_cas(batch.size(), false);
+      rdma::SendQueue sq(cluster_.fabric(), node, sq_cfg);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        const Ref& ref = *batch[i];
+        const uint64_t state_off = ref.entry_off + store::kEntryStateOffset;
+        if (ref.write || !cfg_.enable_read_lease) {
+          is_cas[i] = true;
+          sq.PostCas(state_off, kStateInit, locked_val);
+        } else {
+          sq.PostRead(state_off, &probes[i], sizeof(probes[i]));
+        }
+      }
+      const std::vector<rdma::Completion> comps = sq.Flush();
+      // Mark every acquired lock before acting on any failure, so an
+      // early conflict return still releases everything acquired by
+      // later completions (Run() walks the marked flags).
+      for (size_t i = 0; i < comps.size(); ++i) {
+        Ref& ref = *batch[i];
+        if (comps[i].status != rdma::OpStatus::kOk) {
+          fail = StartResult::kNodeDown;
+          continue;
+        }
+        if (!is_cas[i]) {
+          continue;  // lease probes are processed below
+        }
+        if (comps[i].observed == kStateInit) {
+          ref.locked = true;
+        } else {
+          contended.push_back(&ref);
+        }
+      }
+      if (fail != StartResult::kOk) {
+        break;  // this node's batch is fully marked; nothing half-posted
+      }
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (is_cas[i]) {
+          continue;
+        }
+        const StartResult sr =
+            AcquireLeaseWithState(*batch[i], /*wait=*/false, probes[i]);
+        if (sr != StartResult::kOk) {
+          fail = sr;
+          break;
+        }
+      }
+      if (fail != StartResult::kOk) {
+        break;
+      }
+    }
+    if (fail == StartResult::kOk) {
+      for (Ref* ref : contended) {
+        const StartResult sr = AcquireExclusive(*ref, /*wait=*/false);
+        if (sr != StartResult::kOk) {
+          fail = sr;
+          break;
+        }
+      }
+    }
+  }
+  if (fail != StartResult::kOk) {
+    return fail;
+  }
+
+  // Round 2: prefetch every acquired ref's header+value image, one
+  // doorbell per target node, then parse locally.
+  std::vector<std::vector<uint8_t>> raws(remote.size());
+  for (const int node : nodes) {
+    rdma::SendQueue sq(cluster_.fabric(), node, sq_cfg);
+    std::vector<size_t> posted;
+    for (size_t i = 0; i < remote.size(); ++i) {
+      Ref& ref = *remote[i];
+      if (ref.node != node || !(ref.locked || ref.leased)) {
+        continue;
+      }
+      raws[i].resize(sizeof(store::EntryHeader) + ref.value_size);
+      sq.PostRead(ref.entry_off, raws[i].data(), raws[i].size());
+      posted.push_back(i);
+    }
+    const std::vector<rdma::Completion> comps = sq.Flush();
+    for (size_t j = 0; j < comps.size(); ++j) {
+      if (comps[j].status != rdma::OpStatus::kOk) {
+        fail = StartResult::kNodeDown;
+      }
+    }
+  }
+  if (fail != StartResult::kOk) {
+    return fail;
+  }
+  for (size_t i = 0; i < remote.size(); ++i) {
+    if (raws[i].empty()) {
       continue;
     }
-    StartResult result;
-    if (ref.write || !cfg_.enable_read_lease) {
-      result = AcquireExclusive(ref, /*wait=*/false);
-    } else {
-      result = AcquireLease(ref, /*wait=*/false);
-    }
-    if (result != StartResult::kOk) {
-      return result;
-    }
-    result = PrefetchRef(ref);
-    if (result != StartResult::kOk) {
-      return result;
+    const StartResult sr = PrefetchFromRaw(*remote[i], raws[i].data());
+    if (sr != StartResult::kOk) {
+      return sr;
     }
   }
   return StartResult::kOk;
@@ -446,30 +588,81 @@ void Transaction::WriteWalInHtm() {
 void Transaction::WriteBackAndUnlock() {
   const uint64_t locked_val =
       MakeWriteLocked(static_cast<uint8_t>(worker_->node()));
-  for (Ref& ref : refs_) {
+  const uint64_t init = kStateInit;
+  // Per ref: one WRITE for version + (still-held) state + value, then
+  // one WRITE to unlock — the two-op commit of REMOTE_WRITE_BACK
+  // (Fig. 5). All of a node's WRITEs ride one doorbell; the send queue
+  // executes in post order, so each unlock still lands after its
+  // write-back exactly as in the scalar sequence.
+  std::vector<std::vector<uint8_t>> blobs(refs_.size());
+  std::vector<int> nodes;
+  for (size_t i = 0; i < refs_.size(); ++i) {
+    Ref& ref = refs_[i];
     if (!ref.locked) {
       continue;
     }
+    if (std::find(nodes.begin(), nodes.end(), ref.node) == nodes.end()) {
+      nodes.push_back(ref.node);
+    }
     if (ref.dirty) {
-      // One WRITE for version + (still-held) state + value, then one
-      // WRITE to unlock — the two-op commit of REMOTE_WRITE_BACK (Fig. 5).
-      std::vector<uint8_t> blob(12 + ref.value_size);
+      blobs[i].resize(12 + ref.value_size);
       const uint32_t new_version = ref.version + 1;
-      std::memcpy(blob.data(), &new_version, 4);
-      std::memcpy(blob.data() + 4, &locked_val, 8);
-      std::memcpy(blob.data() + 12, ref.buf.data(), ref.value_size);
-      for (int attempt = 0; attempt < kWriteBackRetries; ++attempt) {
-        if (cluster_.fabric().Write(ref.node,
-                                    ref.entry_off + store::kEntryVersionOffset,
-                                    blob.data(),
-                                    blob.size()) == rdma::OpStatus::kOk) {
-          break;
+      std::memcpy(blobs[i].data(), &new_version, 4);
+      std::memcpy(blobs[i].data() + 4, &locked_val, 8);
+      std::memcpy(blobs[i].data() + 12, ref.buf.data(), ref.value_size);
+    }
+  }
+  for (const int node : nodes) {
+    rdma::SendQueue sq(cluster_.fabric(), node,
+                       rdma::SendQueue::Config{cfg_.rdma_batch_window});
+    struct Posted {
+      size_t ref_idx;
+      bool unlock;
+    };
+    std::vector<Posted> posted;
+    for (size_t i = 0; i < refs_.size(); ++i) {
+      Ref& ref = refs_[i];
+      if (!ref.locked || ref.node != node) {
+        continue;
+      }
+      if (ref.dirty) {
+        sq.PostWrite(ref.entry_off + store::kEntryVersionOffset,
+                     blobs[i].data(), blobs[i].size());
+        posted.push_back(Posted{i, false});
+      }
+      sq.PostWrite(ref.entry_off + store::kEntryStateOffset, &init,
+                   sizeof(init));
+      posted.push_back(Posted{i, true});
+    }
+    const std::vector<rdma::Completion> comps = sq.Flush();
+    for (size_t j = 0; j < comps.size(); ++j) {
+      if (comps[j].status == rdma::OpStatus::kOk) {
+        continue;
+      }
+      // Target down mid-commit: the transaction has committed, so retry
+      // until the node recovers (§4.6(e)), preserving per-ref order
+      // (write-back failures are retried before their unlock, which
+      // also failed and follows in `posted`).
+      Ref& ref = refs_[posted[j].ref_idx];
+      if (!posted[j].unlock) {
+        for (int attempt = 0; attempt < kWriteBackRetries; ++attempt) {
+          if (cluster_.fabric().Write(
+                  ref.node, ref.entry_off + store::kEntryVersionOffset,
+                  blobs[posted[j].ref_idx].data(),
+                  blobs[posted[j].ref_idx].size()) == rdma::OpStatus::kOk) {
+            break;
+          }
+          SleepUs(1000);
         }
-        SleepUs(1000);  // committed: wait for the node to recover (§4.6(e))
+      } else {
+        UnlockRef(ref);
       }
     }
-    UnlockRef(ref);
-    ref.locked = false;
+    for (Ref& ref : refs_) {
+      if (ref.locked && ref.node == node) {
+        ref.locked = false;
+      }
+    }
   }
 }
 
@@ -505,7 +698,9 @@ TxnStatus Transaction::Run(const Body& body) {
 
   int start_conflicts = 0;
   int attempt = 0;
-  while (attempt < cfg_.htm_retry_limit) {
+  int lock_aborts = 0;
+  int retry_budget = cfg_.htm_retry_limit;
+  while (attempt < retry_budget) {
     const StartResult sr = StartPhase();
     if (sr == StartResult::kNodeDown) {
       ReleaseRemoteLocks();
@@ -563,6 +758,7 @@ TxnStatus Transaction::Run(const Body& body) {
       stat::Registry::Global().Add(Ids().user_abort);
       return TxnStatus::kUserAbort;
     }
+    bool lock_observed = false;
     if (hstatus & htm::kAbortCapacity) {
       ++stats.htm_capacity_aborts;
     } else if (hstatus & htm::kAbortExplicit) {
@@ -573,12 +769,25 @@ TxnStatus Transaction::Run(const Body& body) {
       } else {
         ++stats.htm_lock_aborts;
         stat::Registry::Global().Add(Ids().lock_abort);
+        lock_observed = true;
       }
     } else {
       ++stats.htm_conflict_aborts;
     }
     ++attempt;
-    worker_->Backoff(attempt);
+    if (lock_observed && cfg_.lock_abort_extra_retries > 0) {
+      // A lock-observed XABORT means the holder is mid-commit: grant up
+      // to lock_abort_extra_retries extra attempts and wait it out with
+      // the stronger bounded backoff, rather than burning straight
+      // through the budget into the ~1000x-costlier 2PL fallback.
+      ++lock_aborts;
+      retry_budget = cfg_.htm_retry_limit +
+                     std::min(lock_aborts, cfg_.lock_abort_extra_retries);
+      stat::Registry::Global().Add(Ids().lock_backoff);
+      worker_->LockBackoff(lock_aborts);
+    } else {
+      worker_->Backoff(attempt);
+    }
   }
 
   ++stats.fallbacks;

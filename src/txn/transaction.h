@@ -77,6 +77,12 @@ class Worker {
   // Randomized exponential backoff used between transaction retries.
   void Backoff(int attempt);
 
+  // Stronger bounded-exponential backoff (with jitter) applied after a
+  // lock-observed XABORT: the lock holder is mid-commit and needs real
+  // time (an RDMA write-back) to finish, so waiting beats burning HTM
+  // retries and falling through to the 2PL fallback.
+  void LockBackoff(int consecutive_lock_aborts);
+
  private:
   Cluster* cluster_;
   int node_;
@@ -179,6 +185,11 @@ class Transaction {
 
   // HTM path.
   StartResult StartPhase();
+  // Doorbell-batched Start-phase core: first-attempt lock CASes and
+  // lease-probe READs for all remote refs ride one doorbell per target
+  // node, then the prefetch READs ride a second one. Contended refs
+  // (failed first CAS, locked probe) drop to the scalar helpers.
+  StartResult BatchedStartRemote(const std::vector<Ref*>& remote);
   void ConfirmLeasesInHtm();
   void WriteWalInHtm();
   void WriteBackAndUnlock();
@@ -189,7 +200,13 @@ class Transaction {
   // Shared lock helpers (both paths).
   StartResult AcquireExclusive(Ref& ref, bool wait);
   StartResult AcquireLease(Ref& ref, bool wait);
+  // Lease acquisition given an already-observed state word (the probe
+  // READ happened elsewhere — batched, in the Start doorbell).
+  StartResult AcquireLeaseWithState(Ref& ref, bool wait, uint64_t observed);
   StartResult PrefetchRef(Ref& ref);
+  // Parses a prefetched header+value image into ref (key check, version,
+  // value copy); undoes the ref's lock on a key mismatch.
+  StartResult PrefetchFromRaw(Ref& ref, const uint8_t* raw);
   rdma::OpStatus StateCas(const Ref& ref, uint64_t expected, uint64_t desired,
                           uint64_t* observed);
   void UnlockRef(const Ref& ref);

@@ -202,6 +202,9 @@ TEST_F(CalvinExtendedTest, RandomMixedShapesConserveMoney) {
   for (auto& client : clients) {
     client.join();
   }
+  // Chain transfers span partitions; drain the non-home participants'
+  // write installation before auditing the total.
+  cluster_->Quiesce();
   uint64_t sum = 0;
   for (uint64_t k = 0; k < 64; ++k) {
     Row row;

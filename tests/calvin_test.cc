@@ -90,6 +90,7 @@ TEST_F(CalvinTest, SinglePartitionTransaction) {
 TEST_F(CalvinTest, DistributedTransaction) {
   SetUpCluster(2);
   cluster_->Execute(MakeTransfer(0, 1, 300));  // key 0 -> node 0, 1 -> node 1
+  cluster_->Quiesce();  // node 1's credit installs after the home commit
   EXPECT_EQ(Balance(0), 700u);
   EXPECT_EQ(Balance(1), 1300u);
 }
@@ -123,6 +124,9 @@ TEST_F(CalvinTest, ConcurrentTransfersConserveMoney) {
   for (auto& client : clients) {
     client.join();
   }
+  // Execute() returns at the home node's commit; a transfer's remote
+  // credit may still be in a peer worker's hands. Drain before summing.
+  cluster_->Quiesce();
   EXPECT_EQ(cluster_->committed(),
             static_cast<uint64_t>(kClients) * kPerClient);
   uint64_t sum = 0;
@@ -144,6 +148,7 @@ TEST_F(CalvinTest, WritesToNewKeysAreInserted) {
     (*writes)[RecordKey{table, 101}] = RowOf(6);
   };
   cluster_->Execute(request);
+  cluster_->Quiesce();  // key 101 lives off the home node
   EXPECT_EQ(Balance(100), 5u);
   EXPECT_EQ(Balance(101), 6u);
 }

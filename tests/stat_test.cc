@@ -125,6 +125,62 @@ TEST(Registry, MergeAccumulates) {
   EXPECT_EQ(a.Hist("test.merge_ns")->count(), 2u);
 }
 
+TEST(Registry, GaugesSetAddAndSnapshot) {
+  Registry registry;
+  const uint32_t id = registry.GaugeId("test.level");
+  EXPECT_EQ(id, registry.GaugeId("test.level"));
+  EXPECT_EQ(registry.num_gauges(), 1u);
+  registry.GaugeSet(id, 10);
+  registry.GaugeAdd(id, 5);
+  registry.GaugeAdd(id, -12);  // levels move both ways
+  EXPECT_EQ(registry.GaugeValue(id), 3);
+  EXPECT_EQ(registry.TakeSnapshot().Gauge("test.level"), 3);
+  EXPECT_EQ(registry.TakeSnapshot().Gauge("test.unregistered"), 0);
+}
+
+TEST(Registry, GaugesNetAcrossThreads) {
+  Registry registry;
+  const uint32_t id = registry.GaugeId("test.net");
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.GaugeAdd(id, 1);
+        registry.GaugeAdd(id, -1);
+      }
+      registry.GaugeAdd(id, 1);
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(registry.GaugeValue(id), kThreads);
+}
+
+TEST(Registry, DeltaKeepsGaugeLevels) {
+  Registry registry;
+  const uint32_t id = registry.GaugeId("test.occupancy");
+  registry.GaugeSet(id, 100);
+  const Snapshot begin = registry.TakeSnapshot();
+  registry.GaugeSet(id, 40);
+  // Gauges are levels, not rates: a delta window reports the later
+  // snapshot's level verbatim, never the (meaningless) difference.
+  const Snapshot delta = registry.TakeSnapshot().DeltaSince(begin);
+  EXPECT_EQ(delta.Gauge("test.occupancy"), 40);
+}
+
+TEST(Registry, MergeTakesLatestGauge) {
+  Registry registry;
+  const uint32_t id = registry.GaugeId("test.depth");
+  registry.GaugeSet(id, 7);
+  Snapshot a = registry.TakeSnapshot();
+  registry.GaugeSet(id, 9);
+  const Snapshot b = registry.TakeSnapshot();
+  a.Merge(b);
+  EXPECT_EQ(a.Gauge("test.depth"), 9);
+}
+
 TEST(ScopedTimer, RecordsAndCancels) {
   Registry registry;
   const uint32_t id = registry.TimerId("test.scope_ns");
@@ -209,6 +265,7 @@ Snapshot MakeStats() {
   registry.Record(registry.TimerId("phase.htm_attempt_ns"), 1500);
   registry.Record(registry.TimerId("phase.commit_ns"), 900);
   registry.Record(registry.TimerId("phase.fallback_ns"), 12000);
+  registry.GaugeSet(registry.GaugeId("cache.occupied_entries"), 77);
   return registry.TakeSnapshot();
 }
 
@@ -252,6 +309,11 @@ TEST(BenchReport, EmitsSchemaV1) {
     ASSERT_TRUE(hist->Has(key)) << key;
   }
   EXPECT_EQ(hist->Find("count")->AsNumber(), 1);
+
+  // Gauge levels ride along as their own block.
+  const Json* gauges = parsed.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->Find("cache.occupied_entries")->AsNumber(), 77);
 }
 
 TEST(BenchReport, WritesFileAndRoundTrips) {
@@ -276,9 +338,12 @@ TEST(Prometheus, ExportsCountersAndQuantiles) {
   Registry registry;
   registry.Add(registry.CounterId("htm.commit"), 41);
   registry.Record(registry.TimerId("phase.commit_ns"), 700);
+  registry.GaugeSet(registry.GaugeId("rdma.window"), 16);
   const std::string text = ExportPrometheus(registry.TakeSnapshot());
   EXPECT_NE(text.find("# TYPE htm_commit counter"), std::string::npos);
   EXPECT_NE(text.find("htm_commit 41"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rdma_window gauge"), std::string::npos);
+  EXPECT_NE(text.find("rdma_window 16"), std::string::npos);
   EXPECT_NE(text.find("phase_commit_ns{quantile=\"0.5\"}"),
             std::string::npos);
   EXPECT_NE(text.find("phase_commit_ns_count 1"), std::string::npos);

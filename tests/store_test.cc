@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <set>
@@ -16,6 +17,7 @@
 #include "src/store/location_cache.h"
 #include "src/store/pilaf_cuckoo.h"
 #include "src/store/remote_kv.h"
+#include "src/stat/metrics.h"
 
 namespace drtm {
 namespace store {
@@ -333,6 +335,158 @@ TEST(LocationCache, TracksHitMissStats) {
   EXPECT_TRUE(cache.Lookup(0, &out));
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LocationCache, NextHintRecordsChainShape) {
+  LocationCache cache(64 << 10);
+  uint64_t next = 0;
+  // Never-observed bucket: no hint at all.
+  EXPECT_FALSE(cache.NextHint(256, &next));
+  // A bucket with a kHeader slot hints at the chained indirect bucket.
+  Bucket chained{};
+  chained.slots[7].meta = HeaderSlot::Pack(SlotType::kHeader, 0, 4096);
+  cache.Install(256, chained);
+  ASSERT_TRUE(cache.NextHint(256, &next));
+  EXPECT_EQ(next, 4096u);
+  // A bucket without one hints a known chain end.
+  Bucket leaf{};
+  cache.Install(4096, leaf);
+  ASSERT_TRUE(cache.NextHint(4096, &next));
+  EXPECT_EQ(next, kInvalidOffset);
+}
+
+TEST(LocationCache, NextHintSurvivesInvalidate) {
+  LocationCache cache(64 << 10);
+  Bucket chained{};
+  chained.slots[0].meta = HeaderSlot::Pack(SlotType::kHeader, 0, 8192);
+  cache.Install(256, chained);
+  // An incarnation miss drops the content snapshot but the chain shape
+  // stays predictive — that is what lets a revalidation walk batch.
+  cache.Invalidate(256);
+  Bucket out{};
+  EXPECT_FALSE(cache.Lookup(256, &out));
+  uint64_t next = 0;
+  ASSERT_TRUE(cache.NextHint(256, &next));
+  EXPECT_EQ(next, 8192u);
+}
+
+TEST(LocationCache, OccupancyAndGaugesTrackResidency) {
+  stat::Registry& reg = stat::Registry::Global();
+  const uint32_t cap_id = reg.GaugeId("cache.capacity_entries.t1");
+  const uint32_t occ_id = reg.GaugeId("cache.occupied_entries.t1");
+  const int64_t cap_before = reg.GaugeValue(cap_id);
+  const int64_t occ_before = reg.GaugeValue(occ_id);
+  {
+    LocationCache cache(64 << 10, "t1");
+    EXPECT_EQ(reg.GaugeValue(cap_id),
+              cap_before + static_cast<int64_t>(cache.frames()));
+    EXPECT_EQ(cache.occupied(), 0u);
+    Bucket bucket{};
+    cache.Install(0, bucket);
+    cache.Install(kBucketBytes, bucket);
+    cache.Install(0, bucket);  // replacing a resident frame is not growth
+    EXPECT_EQ(cache.occupied(), 2u);
+    EXPECT_EQ(reg.GaugeValue(occ_id), occ_before + 2);
+    cache.Invalidate(0);
+    EXPECT_EQ(cache.occupied(), 1u);
+    EXPECT_EQ(reg.GaugeValue(occ_id), occ_before + 1);
+  }
+  // The destructor returns both gauges to their prior levels.
+  EXPECT_EQ(reg.GaugeValue(cap_id), cap_before);
+  EXPECT_EQ(reg.GaugeValue(occ_id), occ_before);
+}
+
+TEST(LocationCache, BudgetFromEnvOverridesEntries) {
+  const size_t kDefault = 16 << 20;
+  unsetenv("DRTM_LOC_CACHE_ENTRIES");
+  EXPECT_EQ(LocationCache::BudgetFromEnv(kDefault), kDefault);
+  setenv("DRTM_LOC_CACHE_ENTRIES", "1024", 1);
+  EXPECT_EQ(LocationCache::BudgetFromEnv(kDefault),
+            1024 * (sizeof(Bucket) + 16));
+  setenv("DRTM_LOC_CACHE_ENTRIES", "nonsense", 1);
+  EXPECT_EQ(LocationCache::BudgetFromEnv(kDefault), kDefault);
+  setenv("DRTM_LOC_CACHE_ENTRIES", "0", 1);
+  EXPECT_EQ(LocationCache::BudgetFromEnv(kDefault), kDefault);
+  unsetenv("DRTM_LOC_CACHE_ENTRIES");
+}
+
+// --- Pipelined chain walks --------------------------------------------------
+
+class ChainedRemoteKvTest : public ::testing::Test {
+ protected:
+  ChainedRemoteKvTest() : fabric_(TestFabric(2)) {
+    // Four main buckets force deep indirect chains: ~100 keys over
+    // 4 x 8 slots chains each bucket several hops deep.
+    ClusterHashTable::Config config;
+    config.main_buckets = 4;
+    config.indirect_buckets = 1 << 6;
+    config.capacity = 1 << 10;
+    config.value_size = 8;
+    table_ = std::make_unique<ClusterHashTable>(&fabric_.memory(1), config);
+    for (uint64_t k = 0; k < 100; ++k) {
+      table_->Insert(k, MakeValue(k, 8).data());
+    }
+  }
+
+  rdma::Fabric fabric_;
+  std::unique_ptr<ClusterHashTable> table_;
+};
+
+TEST_F(ChainedRemoteKvTest, PipelinedGetMatchesHostOnDeepChains) {
+  LocationCache cache(1 << 20);
+  RemoteKv client(&fabric_, 1, table_->geometry(), &cache);
+  std::vector<uint8_t> out(8);
+  for (int round = 0; round < 2; ++round) {  // cold, then hint-assisted
+    for (uint64_t k = 0; k < 100; ++k) {
+      ASSERT_TRUE(client.Get(k, out.data())) << "key " << k;
+      EXPECT_EQ(out, MakeValue(k, 8));
+    }
+  }
+  EXPECT_FALSE(client.Get(999999, out.data()));
+}
+
+TEST_F(ChainedRemoteKvTest, ChainHintsCollapseWalkIntoOneDoorbell) {
+  // Find a key several hops deep via an uncached client: with no hints
+  // every hop is its own doorbell, so doorbells == READs.
+  RemoteKv uncached(&fabric_, 1, table_->geometry());
+  uint64_t deep_key = 0;
+  int cold_reads = 0;
+  for (uint64_t k = 0; k < 100; ++k) {
+    const RemoteEntryRef ref = uncached.Lookup(k);
+    ASSERT_TRUE(ref.found);
+    EXPECT_EQ(ref.rdma_doorbells, ref.rdma_reads);
+    if (ref.rdma_reads >= 3 && ref.rdma_reads <= 4 && cold_reads == 0) {
+      deep_key = k;
+      cold_reads = ref.rdma_reads;
+    }
+  }
+  ASSERT_GE(cold_reads, 3) << "fixture did not produce a deep chain";
+
+  // Teach a cache the chain shape, then drop the content snapshots the
+  // way an incarnation miss would — hints survive.
+  LocationCache cache(1 << 20);
+  RemoteKv client(&fabric_, 1, table_->geometry(), &cache);
+  const RemoteEntryRef warm = client.Lookup(deep_key);
+  ASSERT_TRUE(warm.found);
+  uint64_t cur = table_->geometry().MainBucketOffset(deep_key);
+  while (cur != kInvalidOffset) {
+    cache.Invalidate(cur);
+    uint64_t next = kInvalidOffset;
+    if (!cache.NextHint(cur, &next)) {
+      break;
+    }
+    cur = next;
+  }
+  // The revalidation walk speculatively posts the whole predicted chain
+  // as one batch: one doorbell instead of one per hop. Speculation may
+  // overfetch a bucket past the key's (the batch is posted before the
+  // walk knows where the key sits), never more than the window.
+  const RemoteEntryRef hinted = client.Lookup(deep_key);
+  ASSERT_TRUE(hinted.found);
+  EXPECT_EQ(hinted.entry_off, warm.entry_off);
+  EXPECT_GE(hinted.rdma_reads, cold_reads);
+  EXPECT_LE(hinted.rdma_reads, 4);  // kSpeculationWindow
+  EXPECT_EQ(hinted.rdma_doorbells, 1);
 }
 
 // --- Pilaf cuckoo baseline --------------------------------------------------

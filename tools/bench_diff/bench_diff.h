@@ -1,0 +1,69 @@
+// bench_diff: compares two BENCH_*.json reports (schema v1, see
+// src/stat/bench_report.h) and reports per-series value deltas, flagging
+// regressions beyond a threshold.
+//
+// Matching is structural: series by name, points by their full label
+// set, values by key. Series or points present on only one side are
+// reported as notes, never as regressions — a new bench sweep must not
+// fail a trend job.
+//
+// Regression direction is inferred from the value key: throughput-like
+// keys (tps, ops, mops, per_sec) regress when they drop, cost-like keys
+// (ns, us, ms, aborts, reads, doorbells, fallbacks) regress when they
+// rise. Keys matching neither family are shown but never flagged, so a
+// new metric starts trending without risking a false CI failure.
+#ifndef TOOLS_BENCH_DIFF_BENCH_DIFF_H_
+#define TOOLS_BENCH_DIFF_BENCH_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "src/stat/json.h"
+
+namespace drtm {
+namespace bench_diff {
+
+enum class Direction {
+  kHigherIsBetter,
+  kLowerIsBetter,
+  kUnknown,
+};
+
+// "tps" -> higher is better; "p99_ns" -> lower is better.
+Direction DirectionForKey(const std::string& value_key);
+
+struct ValueDelta {
+  std::string series;
+  std::string point;  // labels rendered "threads=8,system=drtm"
+  std::string key;
+  double before = 0;
+  double after = 0;
+  // Signed relative change in percent; +5 means `after` is 5% above
+  // `before`. 0 when before == 0.
+  double pct = 0;
+  Direction direction = Direction::kUnknown;
+  bool regressed = false;  // set by Diff() against its threshold
+};
+
+struct DiffResult {
+  std::string bench;
+  std::vector<ValueDelta> deltas;
+  // Series/points/values present on only one side.
+  std::vector<std::string> notes;
+};
+
+// Diffs two parsed reports. threshold_pct is the tolerated adverse
+// relative change (e.g. 5.0 = anything more than 5% worse regresses).
+// Returns false if either document is not a schema-v1 bench report.
+bool Diff(const stat::Json& before, const stat::Json& after,
+          double threshold_pct, DiffResult* out);
+
+bool HasRegressions(const DiffResult& result);
+
+// Human-readable rendering, one line per delta, regressions marked.
+std::string Format(const DiffResult& result);
+
+}  // namespace bench_diff
+}  // namespace drtm
+
+#endif  // TOOLS_BENCH_DIFF_BENCH_DIFF_H_

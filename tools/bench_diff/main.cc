@@ -1,0 +1,130 @@
+// bench_diff CLI: compare two BENCH_*.json files, or two directories of
+// them (matched by file name), and exit nonzero when any tracked series
+// value regressed beyond the threshold.
+//
+//   bench_diff [--threshold PCT] BEFORE AFTER
+//
+// Exit codes: 0 = no regressions, 1 = regressions found, 2 = bad
+// usage / unreadable or unparsable input. Directories missing a
+// counterpart file only produce notes — a newly added bench must not
+// fail the trend job that first sees it.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/stat/json.h"
+#include "tools/bench_diff/bench_diff.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using drtm::bench_diff::Diff;
+using drtm::bench_diff::DiffResult;
+using drtm::bench_diff::Format;
+using drtm::bench_diff::HasRegressions;
+using drtm::stat::Json;
+
+bool LoadJson(const fs::path& path, Json* out) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream text;
+  text << in.rdbuf();
+  if (!Json::Parse(text.str(), out)) {
+    std::fprintf(stderr, "bench_diff: malformed JSON in %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+// One file pair: 0 ok, 1 regressed, 2 error.
+int DiffFiles(const fs::path& before_path, const fs::path& after_path,
+              double threshold_pct) {
+  Json before;
+  Json after;
+  if (!LoadJson(before_path, &before) || !LoadJson(after_path, &after)) {
+    return 2;
+  }
+  DiffResult result;
+  if (!Diff(before, after, threshold_pct, &result)) {
+    std::fprintf(stderr, "bench_diff: %s vs %s: not schema-v1 bench reports\n",
+                 before_path.c_str(), after_path.c_str());
+    return 2;
+  }
+  std::fputs(Format(result).c_str(), stdout);
+  return HasRegressions(result) ? 1 : 0;
+}
+
+int DiffDirs(const fs::path& before_dir, const fs::path& after_dir,
+             double threshold_pct) {
+  std::vector<fs::path> reports;
+  for (const auto& entry : fs::directory_iterator(before_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+        name.size() > 5 && name.substr(name.size() - 5) == ".json") {
+      reports.push_back(entry.path());
+    }
+  }
+  if (reports.empty()) {
+    std::fprintf(stderr, "bench_diff: no BENCH_*.json under %s\n",
+                 before_dir.c_str());
+    return 2;
+  }
+  std::sort(reports.begin(), reports.end());
+  int worst = 0;
+  for (const fs::path& before_path : reports) {
+    const fs::path after_path = after_dir / before_path.filename();
+    if (!fs::exists(after_path)) {
+      std::printf("note: %s has no counterpart in %s\n",
+                  before_path.filename().c_str(), after_dir.c_str());
+      continue;
+    }
+    std::printf("--- %s\n", before_path.filename().c_str());
+    const int rc = DiffFiles(before_path, after_path, threshold_pct);
+    if (rc > worst) {
+      worst = rc;
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold_pct = 5.0;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold_pct = std::atof(argv[++i]);
+    } else if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
+      threshold_pct = std::atof(argv[i] + 12);
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff [--threshold PCT] BEFORE AFTER\n"
+                 "  BEFORE/AFTER: BENCH_*.json files, or directories of "
+                 "them matched by name\n");
+    return 2;
+  }
+  const fs::path before(paths[0]);
+  const fs::path after(paths[1]);
+  if (fs::is_directory(before) != fs::is_directory(after)) {
+    std::fprintf(stderr,
+                 "bench_diff: BEFORE and AFTER must both be files or both "
+                 "be directories\n");
+    return 2;
+  }
+  return fs::is_directory(before) ? DiffDirs(before, after, threshold_pct)
+                                  : DiffFiles(before, after, threshold_pct);
+}

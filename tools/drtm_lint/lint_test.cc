@@ -88,6 +88,25 @@ TEST(DrtmLint, AllowsStrongAccessesInAllowlistedPaths) {
   EXPECT_EQ(analyzer.findings().size(), 0u);
 }
 
+TEST(DrtmLint, AllowsStrongAccessesInBatchedVerbPaths) {
+  // The batch submission/poll paths carry their own allowlist entries,
+  // independent of the directory-wide "src/rdma/" fragment.
+  Options options;
+  options.strong_allowlist = {"src/rdma/fabric.", "src/rdma/verbs_batch."};
+  Analyzer analyzer(options);
+  const std::string strong_call =
+      "void f(unsigned char* d, const unsigned char* s) {\n"
+      "  drtm::htm::StrongWrite(d, s, 8);\n"
+      "}\n";
+  ASSERT_TRUE(analyzer.AddFile("src/rdma/verbs_batch.cc", strong_call));
+  ASSERT_TRUE(analyzer.AddFile("src/rdma/fabric.cc", strong_call));
+  ASSERT_TRUE(analyzer.AddFile("src/txn/rogue.cc", strong_call));
+  analyzer.Run();
+  ASSERT_EQ(analyzer.findings().size(), 1u);
+  EXPECT_EQ(analyzer.findings()[0].file, "src/txn/rogue.cc");
+  EXPECT_EQ(analyzer.findings()[0].rule, "TX03");
+}
+
 TEST(DrtmLint, FlagsPlantedTx04CatchClauses) {
   Analyzer a = AnalyzeFixtures({"tx04_catch.cc"});
   EXPECT_EQ(CountRule(a, "TX04", /*suppressed=*/false), 2u);

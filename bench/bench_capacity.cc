@@ -1,0 +1,135 @@
+// HTM capacity stress: YCSB update transactions with value sizes swept
+// toward the write-set line budget (htm::Config::max_write_lines x 64 B
+// cache lines, ~32 KB by default). Once a value no longer fits, every
+// HTM attempt aborts with kAbortCapacity deterministically — retrying is
+// pure waste — so this is the workload where the adaptive retry budget
+// (ClusterConfig::adaptive_retry_budget) earns its keep: a
+// capacity-dominant abort mix halves the budget and transactions reach
+// the 2PL fallback sooner. Both configurations are measured side by side.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/workload/driver.h"
+#include "src/workload/ycsb.h"
+
+namespace {
+
+using namespace drtm;
+
+struct Outcome {
+  double tps = 0;
+  double capacity_abort_rate = 0;  // capacity aborts / HTM attempts
+  double fallback_rate = 0;        // fallbacks / committed
+  int64_t retry_budget = 0;        // txn.adaptive.retry_budget at the end
+  stat::Snapshot stats;
+};
+
+Outcome Measure(uint32_t value_size, bool adaptive, uint64_t duration_ms) {
+  txn::ClusterConfig config;
+  config.num_nodes = 2;
+  config.workers_per_node = 2;
+  config.region_bytes = size_t{96} << 20;
+  config.latency = rdma::LatencyModel::Calibrated(0.1);
+  config.adaptive_retry_budget = adaptive;
+  txn::Cluster cluster(config);
+
+  workload::YcsbDb::Params params;
+  params.records_per_node = 1024;
+  params.value_size = value_size;
+  params.mix = workload::YcsbDb::Mix::kA;
+  params.distribution = workload::YcsbDb::Distribution::kUniform;
+  params.ops_per_txn = 1;
+  workload::YcsbDb db(&cluster, params);
+  cluster.Start();
+  db.Load();
+
+  workload::RunOptions run;
+  run.nodes = config.num_nodes;
+  run.workers_per_node = config.workers_per_node;
+  run.warmup_ms = 100;
+  run.duration_ms = duration_ms;
+  run.record_latency = false;
+  const workload::RunResult result = workload::RunWorkers(
+      &cluster, run,
+      [&](txn::Worker& worker) { return db.RunTxn(&worker).committed; });
+  cluster.Stop();
+
+  Outcome out;
+  out.tps = result.Throughput();
+  const uint64_t htm_attempts =
+      result.htm_stats.commits + result.htm_stats.TotalAborts();
+  out.capacity_abort_rate =
+      htm_attempts > 0
+          ? static_cast<double>(result.txn_stats.htm_capacity_aborts) /
+                static_cast<double>(htm_attempts)
+          : 0;
+  out.fallback_rate =
+      result.committed > 0
+          ? static_cast<double>(result.txn_stats.fallbacks) /
+                static_cast<double>(result.committed)
+          : 0;
+  out.retry_budget = result.stats_delta.Gauge("txn.adaptive.retry_budget");
+  out.stats = result.stats_delta;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t duration_ms = benchutil::DurationMs(500);
+  benchutil::Header("capacity", "YCSB-A vs HTM write-set capacity");
+  benchutil::PaperNote(
+      "values past the write-line budget (512 lines x 64 B) abort every "
+      "HTM attempt; the adaptive budget should stop retrying them");
+
+  // The write-set budget in bytes, from the default htm::Config.
+  const htm::Config htm_defaults;
+  const size_t budget_bytes = htm_defaults.max_write_lines * 64;
+  const std::vector<uint32_t> value_sizes =
+      benchutil::Quick()
+          ? std::vector<uint32_t>{4096, static_cast<uint32_t>(budget_bytes +
+                                                              4096)}
+          : std::vector<uint32_t>{1024, 8192,
+                                  static_cast<uint32_t>(budget_bytes / 2),
+                                  static_cast<uint32_t>(budget_bytes - 4096),
+                                  static_cast<uint32_t>(budget_bytes + 4096),
+                                  static_cast<uint32_t>(budget_bytes + 16384)};
+
+  stat::BenchReport report;
+  report.bench = "capacity_ycsb";
+  report.title = "YCSB-A vs HTM write-set capacity";
+  report.AddConfig("duration_ms", std::to_string(duration_ms));
+  report.AddConfig("write_budget_bytes", std::to_string(budget_bytes));
+  report.AddConfig("quick", benchutil::Quick() ? "1" : "0");
+  stat::BenchReport::Series& adaptive_series = report.AddSeries("adaptive");
+  stat::BenchReport::Series& static_series = report.AddSeries("static");
+
+  std::printf("%-12s %12s %12s %10s %10s %8s\n", "value_bytes", "adapt_tps",
+              "static_tps", "cap_abort", "fallback", "budget");
+  for (const uint32_t value_size : value_sizes) {
+    const Outcome adaptive = Measure(value_size, true, duration_ms);
+    const Outcome fixed = Measure(value_size, false, duration_ms);
+    std::printf("%-12u %12.0f %12.0f %9.1f%% %9.2f %8lld\n", value_size,
+                adaptive.tps, fixed.tps, adaptive.capacity_abort_rate * 100,
+                adaptive.fallback_rate,
+                static_cast<long long>(adaptive.retry_budget));
+    benchutil::AddPoint(
+        &adaptive_series, {{"value_bytes", std::to_string(value_size)}},
+        {{"tps", adaptive.tps},
+         {"capacity_abort_rate", adaptive.capacity_abort_rate},
+         {"fallback_rate", adaptive.fallback_rate},
+         {"retry_budget", static_cast<double>(adaptive.retry_budget)}});
+    benchutil::AddPoint(
+        &static_series, {{"value_bytes", std::to_string(value_size)}},
+        {{"tps", fixed.tps},
+         {"capacity_abort_rate", fixed.capacity_abort_rate},
+         {"fallback_rate", fixed.fallback_rate}});
+    report.stats.Merge(adaptive.stats);
+  }
+
+  report.WriteJsonFile();
+  return 0;
+}

@@ -92,6 +92,41 @@ int main() {
                         {{"neworder_tps", calvin_tps}});
   }
 
+  // Scatter-engine observability (merged over every DrTM run above):
+  // doorbells each phase rang, how many scatter rounds they rode on, and
+  // the modeled latency the cross-target overlap saved — plus the 2PL
+  // fallback's latency tail, which the optimistic batched first pass is
+  // meant to shrink.
+  {
+    stat::BenchReport::Series& s = report.AddSeries("scatter_phases");
+    for (const char* phase : {"lookup", "start_lock", "prefetch", "writeback",
+                              "fallback_lock", "ro_lease"}) {
+      const std::string base = std::string("rdma.scatter.") + phase + ".";
+      const double rounds =
+          static_cast<double>(report.stats.Counter(base + "rounds"));
+      const double doorbells =
+          static_cast<double>(report.stats.Counter(base + "doorbells"));
+      benchutil::AddPoint(
+          &s, {{"phase", phase}},
+          {{"rounds", rounds},
+           {"doorbells", doorbells},
+           {"wqes", static_cast<double>(report.stats.Counter(base + "wqes"))},
+           {"overlap_saved_ns",
+            static_cast<double>(
+                report.stats.Counter(base + "overlap_saved_ns"))},
+           {"doorbells_per_round", rounds > 0 ? doorbells / rounds : 0}});
+    }
+    stat::BenchReport::Series& lat = report.AddSeries("fallback_latency");
+    const Histogram* hist = report.stats.Hist("phase.fallback_ns");
+    benchutil::AddPoint(
+        &lat, {{"metric", "phase.fallback_ns"}},
+        {{"p50_ns",
+          hist ? static_cast<double>(hist->Percentile(50)) : 0.0},
+         {"p99_ns",
+          hist ? static_cast<double>(hist->Percentile(99)) : 0.0},
+         {"count", hist ? static_cast<double>(hist->count()) : 0.0}});
+  }
+
   report.WriteJsonFile();
   return 0;
 }

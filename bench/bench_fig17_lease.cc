@@ -185,12 +185,20 @@ int main() {
       "throughput grows with reads. hotspot: lease improvement grows with "
       "machines, up to 29%% at 6");
 
+  stat::BenchReport report;
+  report.bench = "fig17_lease";
+  report.title = "read-lease micro-benchmarks (per-node tps)";
+  report.AddConfig("duration_ms", std::to_string(duration_ms));
+  report.AddConfig("quick", benchutil::Quick() ? "1" : "0");
+  const stat::Snapshot window = stat::Registry::Global().TakeSnapshot();
+
   std::printf("-- read-write transaction (3 machines) --\n");
   std::printf("%-9s %14s %14s %10s\n", "read%%", "lease_tps", "nolease_tps",
               "gain");
   const std::vector<int> ratios = benchutil::Quick()
                                       ? std::vector<int>{0, 90}
                                       : std::vector<int>{0, 30, 60, 90, 100};
+  stat::BenchReport::Series& rw_series = report.AddSeries("read_write");
   for (const int read_pct : ratios) {
     const double with_lease =
         Measure(3, 2, true, duration_ms, [&](Setup& s, txn::Worker& w) {
@@ -203,6 +211,11 @@ int main() {
     std::printf("%-9d %14.0f %14.0f %9.1f%%\n", read_pct, with_lease,
                 without_lease,
                 (with_lease / without_lease - 1.0) * 100);
+    benchutil::AddPoint(&rw_series,
+                        {{"read_pct", std::to_string(read_pct)}},
+                        {{"lease_tps", with_lease},
+                         {"nolease_tps", without_lease},
+                         {"gain", with_lease / without_lease - 1.0}});
   }
 
   std::printf("-- hotspot transaction --\n");
@@ -210,6 +223,7 @@ int main() {
               "gain");
   const std::vector<int> machines =
       benchutil::Quick() ? std::vector<int>{2} : std::vector<int>{2, 3, 4};
+  stat::BenchReport::Series& hot_series = report.AddSeries("hotspot");
   for (const int m : machines) {
     const double with_lease =
         Measure(m, 1, true, duration_ms, HotspotTxn);
@@ -217,6 +231,34 @@ int main() {
         Measure(m, 1, false, duration_ms, HotspotTxn);
     std::printf("%-9d %14.0f %14.0f %9.1f%%\n", m, with_lease, without_lease,
                 (with_lease / without_lease - 1.0) * 100);
+    benchutil::AddPoint(&hot_series, {{"machines", std::to_string(m)}},
+                        {{"lease_tps", with_lease},
+                         {"nolease_tps", without_lease},
+                         {"gain", with_lease / without_lease - 1.0}});
   }
+
+  // Scatter-engine doorbell accounting over the whole run (the ro_lease
+  // phase is the one this micro-benchmark exercises hardest).
+  report.stats = stat::Registry::Global().TakeSnapshot().DeltaSince(window);
+  {
+    stat::BenchReport::Series& s = report.AddSeries("scatter_phases");
+    for (const char* phase : {"lookup", "start_lock", "prefetch", "writeback",
+                              "fallback_lock", "ro_lease"}) {
+      const std::string base = std::string("rdma.scatter.") + phase + ".";
+      const double rounds =
+          static_cast<double>(report.stats.Counter(base + "rounds"));
+      const double doorbells =
+          static_cast<double>(report.stats.Counter(base + "doorbells"));
+      benchutil::AddPoint(
+          &s, {{"phase", phase}},
+          {{"rounds", rounds},
+           {"doorbells", doorbells},
+           {"overlap_saved_ns",
+            static_cast<double>(
+                report.stats.Counter(base + "overlap_saved_ns"))},
+           {"doorbells_per_round", rounds > 0 ? doorbells / rounds : 0}});
+    }
+  }
+  report.WriteJsonFile();
   return 0;
 }

@@ -85,8 +85,20 @@ WrId SendQueue::PostFaa(uint64_t offset, uint64_t delta) {
 }
 
 size_t SendQueue::RingDoorbell() {
+  // The synchronous path is exactly an async submission completed on the
+  // spot: the deadline is stamped now + batch_ns and the spin happens
+  // immediately, so the whole modeled latency is paid here.
+  const Submission sub = SubmitAsync();
+  CompleteSubmission();
+  return sub.wqes;
+}
+
+SendQueue::Submission SendQueue::SubmitAsync() {
+  if (submission_pending()) {
+    CompleteSubmission();  // one async batch outstanding at a time
+  }
   if (wqes_.empty()) {
-    return 0;
+    return Submission{};
   }
   const LatencyModel& lat = fabric_.latency();
 
@@ -113,13 +125,35 @@ size_t SendQueue::RingDoorbell() {
         break;
     }
   }
-  const size_t submitted = wqes_.size();
-  const uint64_t batch_ns = lat.BatchNs(max_base_ns, payload_ns, submitted);
-  // Charge the whole batch's latency up front (the doorbell plus the
-  // NIC's pipelined execution), then execute the WQEs in post order.
-  // A WQE targeting a dead node completes with kNodeDown individually.
-  SpinFor(batch_ns);
-  for (const Wqe& wqe : wqes_) {
+  Submission sub;
+  sub.wqes = wqes_.size();
+  sub.batch_ns = lat.BatchNs(max_base_ns, payload_ns, sub.wqes);
+  submitted_ = std::move(wqes_);
+  wqes_.clear();
+  submitted_batch_ns_ = sub.batch_ns;
+  submit_deadline_ns_ = MonotonicNanos() + sub.batch_ns;
+  return sub;
+}
+
+void SendQueue::CompleteSubmission() {
+  if (submitted_.empty()) {
+    return;
+  }
+  // Wait out whatever is left of the batch's modeled in-flight window.
+  // Doorbells rung on other queues since SubmitAsync() consumed real
+  // time, so overlapped batches mostly find their deadline already past.
+  const uint64_t now = MonotonicNanos();
+  if (submit_deadline_ns_ > now) {
+    SpinFor(submit_deadline_ns_ - now);
+  }
+  ExecuteSubmitted();
+}
+
+void SendQueue::ExecuteSubmitted() {
+  // Execute the WQEs in post order; a WQE targeting a dead node
+  // completes with kNodeDown individually.
+  const size_t submitted = submitted_.size();
+  for (const Wqe& wqe : submitted_) {
     Completion comp;
     comp.wr_id = wqe.wr_id;
     switch (wqe.opcode) {
@@ -142,15 +176,14 @@ size_t SendQueue::RingDoorbell() {
     }
     completions_.push_back(comp);
   }
-  wqes_.clear();
+  submitted_.clear();
 
   stat::Registry& reg = stat::Registry::Global();
   reg.Add(Batch().doorbells);
   reg.Add(Batch().wqes, submitted);
   reg.Record(Batch().size, submitted);
-  reg.Record(Batch().batch_ns, batch_ns);
+  reg.Record(Batch().batch_ns, submitted_batch_ns_);
   reg.Record(Batch().inflight, completions_.size());
-  return submitted;
 }
 
 size_t SendQueue::PollCompletions(Completion* out, size_t max) {

@@ -77,6 +77,28 @@ class SendQueue {
   // (0 for an empty queue, a no-op).
   size_t RingDoorbell();
 
+  // Asynchronous submission: rings the doorbell but does not wait out
+  // the batch's modeled latency. The batch's completion deadline is
+  // stamped now + BatchNs(...), so doorbells rung on *different* queues
+  // back to back overlap in time — a k-target phase pays the longest
+  // batch's latency, not the sum (PhaseScatter drives this). WQEs
+  // execute (and completions appear) only at CompleteSubmission().
+  // At most one async batch is outstanding; submitting again first
+  // completes the previous batch.
+  struct Submission {
+    size_t wqes = 0;        // 0: nothing was pending, no doorbell rung
+    uint64_t batch_ns = 0;  // modeled latency charged to this doorbell
+  };
+  Submission SubmitAsync();
+
+  // Spins out whatever remains of the outstanding async batch's deadline
+  // (nothing, if enough wall time has passed while other queues' batches
+  // were in flight), then executes its WQEs in post order and queues
+  // their completions. No-op without an outstanding submission.
+  void CompleteSubmission();
+
+  bool submission_pending() const { return !submitted_.empty(); }
+
   // Pop up to `max` completions in FIFO submission order. Each
   // completion is delivered exactly once.
   size_t PollCompletions(Completion* out, size_t max);
@@ -105,12 +127,18 @@ class SendQueue {
   };
 
   WrId Enqueue(Wqe wqe);
+  void ExecuteSubmitted();
 
   Fabric& fabric_;
   const int target_;
   const Config config_;
   WrId next_wr_id_ = 1;
   std::vector<Wqe> wqes_;
+  // The outstanding async batch (SubmitAsync) and its completion
+  // deadline on the MonotonicNanos clock.
+  std::vector<Wqe> submitted_;
+  uint64_t submitted_batch_ns_ = 0;
+  uint64_t submit_deadline_ns_ = 0;
   std::deque<Completion> completions_;
 };
 

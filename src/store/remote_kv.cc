@@ -21,128 +21,267 @@ RemoteKv::RemoteKv(rdma::Fabric* fabric, int target_node,
                    const Geometry& geometry, LocationCache* cache)
     : fabric_(fabric), target_(target_node), geo_(geometry), cache_(cache) {}
 
-RemoteEntryRef RemoteKv::LookupInternal(uint64_t key, bool bypass_cache) {
-  RemoteEntryRef ref;
-  uint64_t bucket_off = geo_.MainBucketOffset(key);
-  // A chain longer than the indirect pool means corruption; bound the walk.
-  const uint64_t max_hops = geo_.indirect_buckets + 1;
+// Resumable chain-walk state: the serial Lookup and the multi-target
+// ScatterLookup run the same walk steps, differing only in who rings the
+// doorbell between WalkPostRun and WalkConsumeRun.
+struct RemoteKv::Walk {
+  uint64_t key = 0;
+  bool bypass_cache = false;
+  uint64_t bucket_off = 0;
+  uint64_t max_hops = 0;
   uint64_t hops = 0;
-  rdma::SendQueue sq(*fabric_, target_,
-                     rdma::SendQueue::Config{kSpeculationWindow});
-  while (hops <= max_hops) {
-    // Serve the walk from cache-resident buckets one hop at a time
-    // first: the warm path must stay one hash probe + one bucket copy
-    // per hop, with no speculation bookkeeping. Only a cache miss below
-    // is worth a predicted run.
-    if (!bypass_cache && cache_ != nullptr) {
-      Bucket cached;
-      while (hops <= max_hops && cache_->Lookup(bucket_off, &cached)) {
-        ++hops;
-        uint64_t next = kInvalidOffset;
-        for (const HeaderSlot& slot : cached.slots) {
-          if (slot.type() == SlotType::kEntry && slot.key == key) {
-            ref.found = true;
-            ref.entry_off = slot.offset();
-            ref.incarnation = slot.lossy_incarnation();
-            return ref;
-          }
-          if (slot.type() == SlotType::kHeader) {
-            next = slot.offset();
-          }
-        }
-        if (next == kInvalidOffset) {
-          return ref;  // end of chain, key absent
-        }
-        bucket_off = next;
+  bool done = false;
+  // The current speculative run.
+  uint64_t offsets[kSpeculationWindow];
+  Bucket buckets[kSpeculationWindow];
+  bool from_remote[kSpeculationWindow] = {};
+  size_t run = 0;
+  RemoteEntryRef ref;
+
+  void Finish() { done = true; }
+  void FinishFound(const HeaderSlot& slot) {
+    ref.found = true;
+    ref.entry_off = slot.offset();
+    ref.incarnation = slot.lossy_incarnation();
+    done = true;
+  }
+};
+
+bool RemoteKv::WalkServeFromCache(Walk& w) {
+  if (w.hops > w.max_hops) {
+    w.Finish();  // chain longer than the indirect pool: corruption bound
+    return true;
+  }
+  // Serve the walk from cache-resident buckets one hop at a time first:
+  // the warm path must stay one hash probe + one bucket copy per hop,
+  // with no speculation bookkeeping. Only a cache miss below is worth a
+  // predicted run.
+  if (w.bypass_cache || cache_ == nullptr) {
+    return false;
+  }
+  Bucket cached;
+  while (w.hops <= w.max_hops && cache_->Lookup(w.bucket_off, &cached)) {
+    ++w.hops;
+    uint64_t next = kInvalidOffset;
+    for (const HeaderSlot& slot : cached.slots) {
+      if (slot.type() == SlotType::kEntry && slot.key == w.key) {
+        w.FinishFound(slot);
+        return true;
       }
-      if (hops > max_hops) {
-        return ref;
-      }
-    }
-    // Predict a run of chain buckets starting at bucket_off from the
-    // cache's chain-shape hints. Hints are used even in bypass mode —
-    // bypass distrusts cached *content*, not cached shape, and every
-    // speculative READ's content is still verified below.
-    uint64_t offsets[kSpeculationWindow];
-    size_t run = 0;
-    offsets[run++] = bucket_off;
-    if (cache_ != nullptr) {
-      uint64_t cur = bucket_off;
-      uint64_t next = kInvalidOffset;
-      while (run < kSpeculationWindow && cache_->NextHint(cur, &next) &&
-             next != kInvalidOffset) {
-        offsets[run++] = next;
-        cur = next;
+      if (slot.type() == SlotType::kHeader) {
+        next = slot.offset();
       }
     }
-    // Fetch the run: cache-resident buckets are served locally, the
-    // rest ride one doorbell batch.
-    Bucket buckets[kSpeculationWindow];
-    bool from_remote[kSpeculationWindow] = {};
-    size_t posted = 0;
-    for (size_t i = 0; i < run; ++i) {
-      if (!bypass_cache && cache_ != nullptr &&
-          cache_->Lookup(offsets[i], &buckets[i])) {
-        continue;
-      }
-      from_remote[i] = true;
-      sq.PostRead(offsets[i], &buckets[i], sizeof(Bucket));
-      ++posted;
+    if (next == kInvalidOffset) {
+      w.Finish();  // end of chain, key absent
+      return true;
     }
-    if (posted > 0) {
-      ++ref.rdma_doorbells;
-      ref.rdma_reads += static_cast<int>(posted);
-      for (const rdma::Completion& comp : sq.Flush()) {
-        if (comp.status != rdma::OpStatus::kOk) {
-          return ref;  // target down mid-walk: report not-found
-        }
-      }
-      if (cache_ != nullptr) {
-        // Install every fetched bucket — including mispredicted ones:
-        // the snapshot is genuinely that offset's current content, and
-        // installing refreshes its chain hint too.
-        for (size_t i = 0; i < run; ++i) {
-          if (from_remote[i]) {
-            cache_->Install(offsets[i], buckets[i]);
-          }
-        }
-      }
-    }
-    // Walk the fetched run in chain order, verifying the predictions.
-    bool restarted = false;
-    for (size_t i = 0; i < run; ++i) {
-      if (++hops > max_hops + 1) {
-        return ref;
-      }
-      uint64_t next = kInvalidOffset;
-      for (const HeaderSlot& slot : buckets[i].slots) {
-        if (slot.type() == SlotType::kEntry && slot.key == key) {
-          ref.found = true;
-          ref.entry_off = slot.offset();
-          ref.incarnation = slot.lossy_incarnation();
-          return ref;
-        }
-        if (slot.type() == SlotType::kHeader) {
-          next = slot.offset();
-        }
-      }
-      if (next == kInvalidOffset) {
-        return ref;  // end of chain, key absent
-      }
-      if (i + 1 < run && offsets[i + 1] == next) {
-        continue;  // speculation confirmed, consume the next bucket
-      }
-      // Mispredicted (or the run simply ended): resume the walk at the
-      // true next bucket, discarding any remaining speculative fetches.
-      bucket_off = next;
-      restarted = true;
-      break;
-    }
-    if (!restarted) {
-      return ref;
+    w.bucket_off = next;
+  }
+  if (w.hops > w.max_hops) {
+    w.Finish();
+    return true;
+  }
+  return false;
+}
+
+void RemoteKv::WalkPredictRun(Walk& w) {
+  // Predict a run of chain buckets starting at bucket_off from the
+  // cache's chain-shape hints. Hints are used even in bypass mode —
+  // bypass distrusts cached *content*, not cached shape, and every
+  // speculative READ's content is still verified in WalkConsumeRun.
+  w.run = 0;
+  w.offsets[w.run++] = w.bucket_off;
+  if (cache_ != nullptr) {
+    uint64_t cur = w.bucket_off;
+    uint64_t next = kInvalidOffset;
+    while (w.run < kSpeculationWindow && cache_->NextHint(cur, &next) &&
+           next != kInvalidOffset) {
+      w.offsets[w.run++] = next;
+      cur = next;
     }
   }
-  return ref;
+}
+
+size_t RemoteKv::WalkPostRun(Walk& w, rdma::SendQueue& sq,
+                             std::vector<uint64_t>* wr_ids) {
+  // Fetch the run: cache-resident buckets are served locally, the rest
+  // ride one doorbell batch.
+  size_t posted = 0;
+  for (size_t i = 0; i < w.run; ++i) {
+    w.from_remote[i] = false;
+    if (!w.bypass_cache && cache_ != nullptr &&
+        cache_->Lookup(w.offsets[i], &w.buckets[i])) {
+      continue;
+    }
+    w.from_remote[i] = true;
+    const rdma::WrId id =
+        sq.PostRead(w.offsets[i], &w.buckets[i], sizeof(Bucket));
+    if (wr_ids != nullptr) {
+      wr_ids->push_back(id);
+    }
+    ++posted;
+  }
+  return posted;
+}
+
+bool RemoteKv::WalkConsumeRun(Walk& w, bool fetch_failed) {
+  if (fetch_failed) {
+    w.Finish();  // target down mid-walk: report not-found
+    return true;
+  }
+  if (cache_ != nullptr) {
+    // Install every fetched bucket — including mispredicted ones: the
+    // snapshot is genuinely that offset's current content, and
+    // installing refreshes its chain hint too.
+    for (size_t i = 0; i < w.run; ++i) {
+      if (w.from_remote[i]) {
+        cache_->Install(w.offsets[i], w.buckets[i]);
+      }
+    }
+  }
+  // Walk the fetched run in chain order, verifying the predictions.
+  for (size_t i = 0; i < w.run; ++i) {
+    if (++w.hops > w.max_hops + 1) {
+      w.Finish();
+      return true;
+    }
+    uint64_t next = kInvalidOffset;
+    for (const HeaderSlot& slot : w.buckets[i].slots) {
+      if (slot.type() == SlotType::kEntry && slot.key == w.key) {
+        w.FinishFound(slot);
+        return true;
+      }
+      if (slot.type() == SlotType::kHeader) {
+        next = slot.offset();
+      }
+    }
+    if (next == kInvalidOffset) {
+      w.Finish();  // end of chain, key absent
+      return true;
+    }
+    if (i + 1 < w.run && w.offsets[i + 1] == next) {
+      continue;  // speculation confirmed, consume the next bucket
+    }
+    // Mispredicted (or the run simply ended): resume the walk at the
+    // true next bucket, discarding any remaining speculative fetches.
+    w.bucket_off = next;
+    return false;
+  }
+  w.Finish();  // the run was fully consumed without finding a next hop
+  return true;
+}
+
+RemoteEntryRef RemoteKv::LookupInternal(uint64_t key, bool bypass_cache) {
+  Walk w;
+  w.key = key;
+  w.bypass_cache = bypass_cache;
+  w.bucket_off = geo_.MainBucketOffset(key);
+  // A chain longer than the indirect pool means corruption; bound the walk.
+  w.max_hops = geo_.indirect_buckets + 1;
+  rdma::SendQueue sq(*fabric_, target_,
+                     rdma::SendQueue::Config{kSpeculationWindow});
+  while (!w.done) {
+    if (WalkServeFromCache(w)) {
+      break;
+    }
+    WalkPredictRun(w);
+    const size_t posted = WalkPostRun(w, sq, nullptr);
+    bool failed = false;
+    if (posted > 0) {
+      ++w.ref.rdma_doorbells;
+      w.ref.rdma_reads += static_cast<int>(posted);
+      for (const rdma::Completion& comp : sq.Flush()) {
+        if (comp.status != rdma::OpStatus::kOk) {
+          failed = true;
+        }
+      }
+    }
+    if (WalkConsumeRun(w, failed)) {
+      break;
+    }
+  }
+  return w.ref;
+}
+
+void RemoteKv::ScatterLookup(rdma::PhaseScatter& scatter,
+                             std::vector<LookupTask>* tasks) {
+  const size_t n = tasks->size();
+  std::vector<Walk> walks(n);
+  for (size_t i = 0; i < n; ++i) {
+    Walk& w = walks[i];
+    LookupTask& task = (*tasks)[i];
+    w.key = task.key;
+    w.bypass_cache = false;
+    w.bucket_off = task.client->geo_.MainBucketOffset(task.key);
+    w.max_hops = task.client->geo_.indirect_buckets + 1;
+  }
+  // Round-distinguishing wr_id ownership: (target, wr_id) -> task index,
+  // rebuilt per round (wr_ids are unique per target queue for the
+  // scatter's lifetime, but the map only needs this round's READs).
+  std::vector<std::pair<std::pair<int, uint64_t>, size_t>> owners;
+  std::vector<uint64_t> round_ids;
+  std::vector<bool> posted_this_round(n, false);
+  std::vector<bool> failed(n, false);
+  std::vector<rdma::ScatterCompletion> comps;
+  while (true) {
+    // Scatter: each unfinished walk serves what it can from its cache,
+    // predicts its next run, and posts the run's READs on its host
+    // node's queue. Nothing is polled yet.
+    owners.clear();
+    bool any_posted = false;
+    for (size_t i = 0; i < n; ++i) {
+      Walk& w = walks[i];
+      posted_this_round[i] = false;
+      if (w.done) {
+        continue;
+      }
+      RemoteKv* kv = (*tasks)[i].client;
+      if (kv->WalkServeFromCache(w)) {
+        continue;
+      }
+      kv->WalkPredictRun(w);
+      round_ids.clear();
+      const size_t posted =
+          kv->WalkPostRun(w, scatter.To(kv->target_), &round_ids);
+      if (posted > 0) {
+        ++w.ref.rdma_doorbells;
+        w.ref.rdma_reads += static_cast<int>(posted);
+        for (const uint64_t id : round_ids) {
+          owners.emplace_back(std::make_pair(kv->target_, id), i);
+        }
+        posted_this_round[i] = true;
+        any_posted = true;
+      }
+    }
+    if (!any_posted) {
+      break;  // every walk finished from cache
+    }
+    // Gather: one overlapped doorbell per target, then match each READ's
+    // status back to its walk.
+    comps.clear();
+    scatter.Gather(&comps);
+    for (const rdma::ScatterCompletion& sc : comps) {
+      if (sc.comp.status == rdma::OpStatus::kOk) {
+        continue;
+      }
+      for (const auto& [owner_key, task_idx] : owners) {
+        if (owner_key.first == sc.target && owner_key.second == sc.comp.wr_id) {
+          failed[task_idx] = true;
+          break;
+        }
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (!posted_this_round[i] || walks[i].done) {
+        continue;
+      }
+      (*tasks)[i].client->WalkConsumeRun(walks[i], failed[i]);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    (*tasks)[i].result = walks[i].ref;
+  }
 }
 
 RemoteEntryRef RemoteKv::Lookup(uint64_t key) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/rdma/fabric.h"
+#include "src/rdma/phase_scatter.h"
 #include "src/store/kv_layout.h"
 #include "src/store/location_cache.h"
 
@@ -65,8 +66,39 @@ class RemoteKv {
   int target_node() const { return target_; }
   const Geometry& geometry() const { return geo_; }
 
+  // One key's lookup in a multi-target scatter round: `client` is the
+  // RemoteKv for the key's host node (clients may repeat across tasks).
+  struct LookupTask {
+    RemoteKv* client = nullptr;
+    uint64_t key = 0;
+    RemoteEntryRef result;
+  };
+
+  // Multi-target lookup: walks every task's bucket chain in lockstep.
+  // Each round posts each unfinished walk's next predicted run of chain
+  // READs on its host's queue in `scatter`, rings one doorbell per
+  // target (overlapped — see rdma::PhaseScatter), then consumes the
+  // fetched buckets. A transaction resolving keys on k nodes pays
+  // ~max(chain depth) overlapped rounds instead of the sum of every
+  // node's walk. A task against a dead node reports not-found, exactly
+  // like Lookup.
+  static void ScatterLookup(rdma::PhaseScatter& scatter,
+                            std::vector<LookupTask>* tasks);
+
  private:
+  struct Walk;  // resumable chain-walk state (defined in remote_kv.cc)
+
   RemoteEntryRef LookupInternal(uint64_t key, bool bypass_cache);
+
+  // Chain-walk steps shared by the serial and scatter lookups. A walk
+  // round is: serve from cache (may finish the walk), predict the next
+  // speculative run, post the run's uncached READs, then — after the
+  // doorbell — consume the fetched buckets (may finish or restart).
+  bool WalkServeFromCache(Walk& w);  // true when the walk finished
+  void WalkPredictRun(Walk& w);
+  size_t WalkPostRun(Walk& w, rdma::SendQueue& sq,
+                     std::vector<uint64_t>* wr_ids);
+  bool WalkConsumeRun(Walk& w, bool fetch_failed);  // true when finished
 
   rdma::Fabric* fabric_;
   int target_;

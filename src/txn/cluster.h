@@ -54,6 +54,22 @@ struct ClusterConfig {
   // Max-outstanding window for doorbell-batched verbs (rdma::SendQueue)
   // used by the transaction layer's lock/prefetch/write-back phases.
   size_t rdma_batch_window = 16;
+  // Adaptive contention management: scale htm_retry_limit /
+  // lock_abort_extra_retries from each worker's live abort-cause mix
+  // (ROADMAP "adaptive budgets") — capacity-dominant mixes shrink the
+  // budget (retrying a deterministic overflow only delays the fallback),
+  // conflict/lock-dominant mixes stretch it. The chosen budget is
+  // exported as gauge txn.adaptive.retry_budget. htm_retry_limit == 0
+  // (fallback-only mode) is never overridden; false restores the static
+  // knobs exactly.
+  bool adaptive_retry_budget = true;
+  // 2PL fallback first tries to acquire *all* locks/leases with one
+  // non-blocking overlapped scatter round (rdma::PhaseScatter) and only
+  // drops to the global-sort-order serial loop when a ref comes back
+  // contended (everything acquired out of order is released first, so
+  // deadlock freedom is preserved). false restores the always-serial
+  // paper fallback.
+  bool optimistic_fallback_locking = true;
 
   bool logging = false;
   size_t log_segment_bytes = size_t{8} << 20;

@@ -4,11 +4,15 @@
 #include <cassert>
 #include <chrono>
 #include <cstring>
+#include <memory>
 #include <thread>
+#include <utility>
 
 #include "src/common/clock.h"
+#include "src/rdma/phase_scatter.h"
 #include "src/rdma/verbs_batch.h"
 #include "src/stat/metrics.h"
+#include "src/stat/scatter_stats.h"
 #include "src/stat/timer.h"
 #include "src/store/kv_layout.h"
 #include "src/store/remote_kv.h"
@@ -41,6 +45,9 @@ struct TxnMetricIds {
   uint32_t ro_commit = 0;
   uint32_t ro_retry = 0;
   uint32_t lock_backoff = 0;
+  uint32_t fallback_optimistic_hit = 0;
+  uint32_t fallback_fallthrough = 0;
+  uint32_t adaptive_budget_gauge = 0;
   uint32_t htm_attempt_ns = 0;
   uint32_t fallback_ns = 0;
   uint32_t lock_acquire_ns = 0;
@@ -63,6 +70,10 @@ const TxnMetricIds& Ids() {
     t.ro_commit = reg.CounterId("txn.readonly.commit");
     t.ro_retry = reg.CounterId("txn.readonly.retry");
     t.lock_backoff = reg.CounterId("txn.lock_backoff");
+    t.fallback_optimistic_hit = reg.CounterId("txn.fallback.optimistic_hit");
+    t.fallback_fallthrough =
+        reg.CounterId("txn.fallback.ordered_fallthrough");
+    t.adaptive_budget_gauge = reg.GaugeId("txn.adaptive.retry_budget");
     t.htm_attempt_ns = reg.TimerId("phase.htm_attempt_ns");
     t.fallback_ns = reg.TimerId("phase.fallback_ns");
     t.lock_acquire_ns = reg.TimerId("phase.lock_acquire_ns");
@@ -110,6 +121,54 @@ void Worker::LockBackoff(int consecutive_lock_aborts) {
       consecutive_lock_aborts < 6 ? consecutive_lock_aborts : 6;
   const uint64_t ceiling = uint64_t{4} << shift;
   SleepUs(2 + rng_.NextBounded(ceiling));
+}
+
+int Worker::MixRegime() const {
+  if (abort_mix_.total() < AbortMixWindow::kMinSamples) {
+    return -1;
+  }
+  if (abort_mix_.capacity * 2 >= abort_mix_.total()) {
+    return 0;  // capacity-dominant
+  }
+  if ((abort_mix_.conflict + abort_mix_.lock) * 4 >=
+      abort_mix_.total() * 3) {
+    return 1;  // contention-dominant
+  }
+  return -1;
+}
+
+int Worker::AdaptiveRetryLimit() {
+  const int base = cluster_->config().htm_retry_limit;
+  int chosen = base;
+  if (cluster_->config().adaptive_retry_budget && base > 0) {
+    switch (MixRegime()) {
+      case 0:
+        chosen = std::max(1, base / 2);
+        break;
+      case 1:
+        chosen = base * 2;
+        break;
+      default:
+        break;
+    }
+  }
+  stat::Registry::Global().GaugeSet(Ids().adaptive_budget_gauge, chosen);
+  return chosen;
+}
+
+int Worker::AdaptiveLockExtraRetries() const {
+  const int base = cluster_->config().lock_abort_extra_retries;
+  if (!cluster_->config().adaptive_retry_budget || base <= 0) {
+    return base;
+  }
+  switch (MixRegime()) {
+    case 0:
+      return base / 2;
+    case 1:
+      return base * 2;
+    default:
+      return base;
+  }
 }
 
 Transaction::Transaction(Worker* worker)
@@ -354,20 +413,61 @@ bool Transaction::ResolveRef(Ref& ref) {
   return true;
 }
 
+bool Transaction::ResolveRemoteRefs(const std::vector<Ref*>& remote) {
+  if (remote.empty()) {
+    return true;
+  }
+  if (remote.size() == 1) {
+    return ResolveRef(*remote[0]);  // nothing to overlap
+  }
+  // One RemoteKv per ref (geometry is per <node, table>); the scatter
+  // dedups queues per target node, so all chains walk in lockstep with
+  // one overlapped doorbell per node per round.
+  std::vector<std::unique_ptr<store::RemoteKv>> clients;
+  std::vector<store::RemoteKv::LookupTask> tasks(remote.size());
+  clients.reserve(remote.size());
+  for (size_t i = 0; i < remote.size(); ++i) {
+    const Ref& ref = *remote[i];
+    store::ClusterHashTable* host = cluster_.hash_table(ref.node, ref.table);
+    clients.push_back(std::make_unique<store::RemoteKv>(
+        &cluster_.fabric(), ref.node, host->geometry(),
+        cluster_.cache(worker_->node(), ref.node)));
+    tasks[i].client = clients.back().get();
+    tasks[i].key = ref.key;
+  }
+  rdma::PhaseScatter scatter(cluster_.fabric(),
+                             rdma::SendQueue::Config{cfg_.rdma_batch_window},
+                             &stat::ScatterLookupIds());
+  store::RemoteKv::ScatterLookup(scatter, &tasks);
+  for (size_t i = 0; i < remote.size(); ++i) {
+    Ref& ref = *remote[i];
+    if (!cluster_.fabric().IsAlive(ref.node)) {
+      return false;
+    }
+    ref.found = tasks[i].result.found;
+    ref.entry_off = tasks[i].result.entry_off;
+  }
+  return true;
+}
+
 // --- HTM path ----------------------------------------------------------------
 
 Transaction::StartResult Transaction::StartPhase() {
   now_start_ = cluster_.synctime().ReadStrong(worker_->node());
   lease_end_ = now_start_ + cfg_.lease_rw_us;
 
-  bool any_remote_write = false;
+  std::vector<Ref*> remote_all;
   for (Ref& ref : refs_) {
     if (!ref.local) {
-      if (!ResolveRef(ref)) {
-        return StartResult::kNodeDown;
-      }
-      any_remote_write |= (ref.write && ref.found);
+      remote_all.push_back(&ref);
     }
+  }
+  if (!ResolveRemoteRefs(remote_all)) {
+    return StartResult::kNodeDown;
+  }
+  bool any_remote_write = false;
+  for (const Ref* ref : remote_all) {
+    any_remote_write |= (ref->write && ref->found);
   }
 
   if (cfg_.logging && any_remote_write) {
@@ -403,77 +503,76 @@ Transaction::StartResult Transaction::BatchedStartRemote(
   const uint64_t locked_val =
       MakeWriteLocked(static_cast<uint8_t>(worker_->node()));
   const rdma::SendQueue::Config sq_cfg{cfg_.rdma_batch_window};
-  std::vector<int> nodes;
-  for (const Ref* ref : remote) {
-    if (std::find(nodes.begin(), nodes.end(), ref->node) == nodes.end()) {
-      nodes.push_back(ref->node);
-    }
-  }
 
-  // Round 1: per target node, first-attempt lock CASes (INIT -> locked)
-  // and lease-probe READs share one doorbell. Contended refs drop to the
-  // scalar helpers, which know how to steal expired leases and renew
-  // short ones — that path costs one redundant CAS/READ, but only under
+  // Round 1: first-attempt lock CASes (INIT -> locked) and lease-probe
+  // READs for *all* target nodes ride one overlapped scatter — every
+  // doorbell is rung before any completion is polled, so k nodes cost
+  // ~1 round trip (PhaseScatter). Contended refs drop to the scalar
+  // helpers, which know how to steal expired leases and renew short
+  // ones — that path costs one redundant CAS/READ, but only under
   // contention.
   StartResult fail = StartResult::kOk;
   std::vector<Ref*> contended;
   {
     stat::ScopedTimer phase(Ids().lock_acquire_ns);
-    for (const int node : nodes) {
-      std::vector<Ref*> batch;
-      for (Ref* ref : remote) {
-        if (ref->node == node) {
-          batch.push_back(ref);
+    std::vector<uint64_t> probes(remote.size(), 0);
+    std::vector<bool> is_cas(remote.size(), false);
+    rdma::PhaseScatter scatter(cluster_.fabric(), sq_cfg,
+                               &stat::ScatterStartLockIds());
+    // (target, wr_id) -> remote index, for matching completions back.
+    std::vector<std::pair<std::pair<int, rdma::WrId>, size_t>> owners;
+    for (size_t i = 0; i < remote.size(); ++i) {
+      const Ref& ref = *remote[i];
+      const uint64_t state_off = ref.entry_off + store::kEntryStateOffset;
+      rdma::SendQueue& sq = scatter.To(ref.node);
+      rdma::WrId id;
+      if (ref.write || !cfg_.enable_read_lease) {
+        is_cas[i] = true;
+        id = sq.PostCas(state_off, kStateInit, locked_val);
+      } else {
+        id = sq.PostRead(state_off, &probes[i], sizeof(probes[i]));
+      }
+      owners.emplace_back(std::make_pair(ref.node, id), i);
+    }
+    std::vector<rdma::ScatterCompletion> comps;
+    scatter.Gather(&comps);
+    // Mark every acquired lock before acting on any failure, so an
+    // early conflict return still releases everything acquired by
+    // other completions (Run() walks the marked flags).
+    for (const rdma::ScatterCompletion& sc : comps) {
+      size_t i = remote.size();
+      for (const auto& [owner_key, idx] : owners) {
+        if (owner_key.first == sc.target &&
+            owner_key.second == sc.comp.wr_id) {
+          i = idx;
+          break;
         }
       }
-      std::vector<uint64_t> probes(batch.size(), 0);
-      std::vector<bool> is_cas(batch.size(), false);
-      rdma::SendQueue sq(cluster_.fabric(), node, sq_cfg);
-      for (size_t i = 0; i < batch.size(); ++i) {
-        const Ref& ref = *batch[i];
-        const uint64_t state_off = ref.entry_off + store::kEntryStateOffset;
-        if (ref.write || !cfg_.enable_read_lease) {
-          is_cas[i] = true;
-          sq.PostCas(state_off, kStateInit, locked_val);
-        } else {
-          sq.PostRead(state_off, &probes[i], sizeof(probes[i]));
-        }
+      Ref& ref = *remote[i];
+      if (sc.comp.status != rdma::OpStatus::kOk) {
+        fail = StartResult::kNodeDown;
+        continue;
       }
-      const std::vector<rdma::Completion> comps = sq.Flush();
-      // Mark every acquired lock before acting on any failure, so an
-      // early conflict return still releases everything acquired by
-      // later completions (Run() walks the marked flags).
-      for (size_t i = 0; i < comps.size(); ++i) {
-        Ref& ref = *batch[i];
-        if (comps[i].status != rdma::OpStatus::kOk) {
-          fail = StartResult::kNodeDown;
-          continue;
-        }
-        if (!is_cas[i]) {
-          continue;  // lease probes are processed below
-        }
-        if (comps[i].observed == kStateInit) {
-          ref.locked = true;
-        } else {
-          contended.push_back(&ref);
-        }
+      if (!is_cas[i]) {
+        continue;  // lease probes are processed below
       }
-      if (fail != StartResult::kOk) {
-        break;  // this node's batch is fully marked; nothing half-posted
+      if (sc.comp.observed == kStateInit) {
+        ref.locked = true;
+      } else {
+        contended.push_back(&ref);
       }
-      for (size_t i = 0; i < batch.size(); ++i) {
+    }
+    if (fail == StartResult::kOk) {
+      for (size_t i = 0; i < remote.size(); ++i) {
         if (is_cas[i]) {
           continue;
         }
         const StartResult sr =
-            AcquireLeaseWithState(*batch[i], /*wait=*/false, probes[i]);
+            AcquireLeaseWithState(*remote[i], /*wait=*/false, probes[i]);
         if (sr != StartResult::kOk) {
           fail = sr;
           break;
         }
-      }
-      if (fail != StartResult::kOk) {
-        break;
       }
     }
     if (fail == StartResult::kOk) {
@@ -490,24 +589,25 @@ Transaction::StartResult Transaction::BatchedStartRemote(
     return fail;
   }
 
-  // Round 2: prefetch every acquired ref's header+value image, one
-  // doorbell per target node, then parse locally.
+  // Round 2: prefetch every acquired ref's header+value image in one
+  // more overlapped scatter round, then parse locally.
   std::vector<std::vector<uint8_t>> raws(remote.size());
-  for (const int node : nodes) {
-    rdma::SendQueue sq(cluster_.fabric(), node, sq_cfg);
-    std::vector<size_t> posted;
+  {
+    rdma::PhaseScatter scatter(cluster_.fabric(), sq_cfg,
+                               &stat::ScatterPrefetchIds());
     for (size_t i = 0; i < remote.size(); ++i) {
       Ref& ref = *remote[i];
-      if (ref.node != node || !(ref.locked || ref.leased)) {
+      if (!(ref.locked || ref.leased)) {
         continue;
       }
       raws[i].resize(sizeof(store::EntryHeader) + ref.value_size);
-      sq.PostRead(ref.entry_off, raws[i].data(), raws[i].size());
-      posted.push_back(i);
+      scatter.To(ref.node).PostRead(ref.entry_off, raws[i].data(),
+                                    raws[i].size());
     }
-    const std::vector<rdma::Completion> comps = sq.Flush();
-    for (size_t j = 0; j < comps.size(); ++j) {
-      if (comps[j].status != rdma::OpStatus::kOk) {
+    std::vector<rdma::ScatterCompletion> comps;
+    scatter.Gather(&comps);
+    for (const rdma::ScatterCompletion& sc : comps) {
+      if (sc.comp.status != rdma::OpStatus::kOk) {
         fail = StartResult::kNodeDown;
       }
     }
@@ -591,78 +691,77 @@ void Transaction::WriteBackAndUnlock() {
   const uint64_t init = kStateInit;
   // Per ref: one WRITE for version + (still-held) state + value, then
   // one WRITE to unlock — the two-op commit of REMOTE_WRITE_BACK
-  // (Fig. 5). All of a node's WRITEs ride one doorbell; the send queue
-  // executes in post order, so each unlock still lands after its
+  // (Fig. 5). All of a node's WRITEs ride one doorbell and every
+  // target's doorbell is rung before any is polled (PhaseScatter), so k
+  // commit targets overlap into ~1 round trip. Each per-target send
+  // queue executes in post order, so each unlock still lands after its
   // write-back exactly as in the scalar sequence.
   std::vector<std::vector<uint8_t>> blobs(refs_.size());
-  std::vector<int> nodes;
+  struct Posted {
+    size_t ref_idx;
+    bool unlock;
+  };
+  // (target, wr_id) -> which ref/kind, for failure handling.
+  std::vector<std::pair<std::pair<int, rdma::WrId>, Posted>> owners;
+  rdma::PhaseScatter scatter(cluster_.fabric(),
+                             rdma::SendQueue::Config{cfg_.rdma_batch_window},
+                             &stat::ScatterWritebackIds());
   for (size_t i = 0; i < refs_.size(); ++i) {
     Ref& ref = refs_[i];
     if (!ref.locked) {
       continue;
     }
-    if (std::find(nodes.begin(), nodes.end(), ref.node) == nodes.end()) {
-      nodes.push_back(ref.node);
-    }
+    rdma::SendQueue& sq = scatter.To(ref.node);
     if (ref.dirty) {
       blobs[i].resize(12 + ref.value_size);
       const uint32_t new_version = ref.version + 1;
       std::memcpy(blobs[i].data(), &new_version, 4);
       std::memcpy(blobs[i].data() + 4, &locked_val, 8);
       std::memcpy(blobs[i].data() + 12, ref.buf.data(), ref.value_size);
+      const rdma::WrId id =
+          sq.PostWrite(ref.entry_off + store::kEntryVersionOffset,
+                       blobs[i].data(), blobs[i].size());
+      owners.emplace_back(std::make_pair(ref.node, id), Posted{i, false});
+    }
+    const rdma::WrId id = sq.PostWrite(
+        ref.entry_off + store::kEntryStateOffset, &init, sizeof(init));
+    owners.emplace_back(std::make_pair(ref.node, id), Posted{i, true});
+  }
+  std::vector<rdma::ScatterCompletion> comps;
+  scatter.Gather(&comps);
+  for (const rdma::ScatterCompletion& sc : comps) {
+    if (sc.comp.status == rdma::OpStatus::kOk) {
+      continue;
+    }
+    const Posted* p = nullptr;
+    for (const auto& [owner_key, posted] : owners) {
+      if (owner_key.first == sc.target && owner_key.second == sc.comp.wr_id) {
+        p = &posted;
+        break;
+      }
+    }
+    // Target down mid-commit: the transaction has committed, so retry
+    // until the node recovers (§4.6(e)), preserving per-ref order
+    // (scatter completions come back in per-target post order, so a
+    // write-back failure is retried before its unlock, which also
+    // failed and follows later in `comps`).
+    Ref& ref = refs_[p->ref_idx];
+    if (!p->unlock) {
+      for (int attempt = 0; attempt < kWriteBackRetries; ++attempt) {
+        if (cluster_.fabric().Write(
+                ref.node, ref.entry_off + store::kEntryVersionOffset,
+                blobs[p->ref_idx].data(),
+                blobs[p->ref_idx].size()) == rdma::OpStatus::kOk) {
+          break;
+        }
+        SleepUs(1000);
+      }
+    } else {
+      UnlockRef(ref);
     }
   }
-  for (const int node : nodes) {
-    rdma::SendQueue sq(cluster_.fabric(), node,
-                       rdma::SendQueue::Config{cfg_.rdma_batch_window});
-    struct Posted {
-      size_t ref_idx;
-      bool unlock;
-    };
-    std::vector<Posted> posted;
-    for (size_t i = 0; i < refs_.size(); ++i) {
-      Ref& ref = refs_[i];
-      if (!ref.locked || ref.node != node) {
-        continue;
-      }
-      if (ref.dirty) {
-        sq.PostWrite(ref.entry_off + store::kEntryVersionOffset,
-                     blobs[i].data(), blobs[i].size());
-        posted.push_back(Posted{i, false});
-      }
-      sq.PostWrite(ref.entry_off + store::kEntryStateOffset, &init,
-                   sizeof(init));
-      posted.push_back(Posted{i, true});
-    }
-    const std::vector<rdma::Completion> comps = sq.Flush();
-    for (size_t j = 0; j < comps.size(); ++j) {
-      if (comps[j].status == rdma::OpStatus::kOk) {
-        continue;
-      }
-      // Target down mid-commit: the transaction has committed, so retry
-      // until the node recovers (§4.6(e)), preserving per-ref order
-      // (write-back failures are retried before their unlock, which
-      // also failed and follows in `posted`).
-      Ref& ref = refs_[posted[j].ref_idx];
-      if (!posted[j].unlock) {
-        for (int attempt = 0; attempt < kWriteBackRetries; ++attempt) {
-          if (cluster_.fabric().Write(
-                  ref.node, ref.entry_off + store::kEntryVersionOffset,
-                  blobs[posted[j].ref_idx].data(),
-                  blobs[posted[j].ref_idx].size()) == rdma::OpStatus::kOk) {
-            break;
-          }
-          SleepUs(1000);
-        }
-      } else {
-        UnlockRef(ref);
-      }
-    }
-    for (Ref& ref : refs_) {
-      if (ref.locked && ref.node == node) {
-        ref.locked = false;
-      }
-    }
+  for (Ref& ref : refs_) {
+    ref.locked = false;
   }
 }
 
@@ -699,7 +798,12 @@ TxnStatus Transaction::Run(const Body& body) {
   int start_conflicts = 0;
   int attempt = 0;
   int lock_aborts = 0;
-  int retry_budget = cfg_.htm_retry_limit;
+  // The retry budget and its lock-abort extension come from the live
+  // abort-cause mix (AdaptiveRetryLimit); with adaptive_retry_budget off
+  // or too few samples they equal the static knobs.
+  const int base_budget = worker_->AdaptiveRetryLimit();
+  const int lock_extra = worker_->AdaptiveLockExtraRetries();
+  int retry_budget = base_budget;
   while (attempt < retry_budget) {
     const StartResult sr = StartPhase();
     if (sr == StartResult::kNodeDown) {
@@ -759,30 +863,34 @@ TxnStatus Transaction::Run(const Body& body) {
       return TxnStatus::kUserAbort;
     }
     bool lock_observed = false;
+    AbortMixWindow& mix = worker_->abort_mix();
     if (hstatus & htm::kAbortCapacity) {
       ++stats.htm_capacity_aborts;
+      mix.Observe(&mix.capacity);
     } else if (hstatus & htm::kAbortExplicit) {
       const unsigned code = htm::AbortUserCode(hstatus);
       if (code == kCodeLease) {
         ++stats.htm_lease_aborts;
         stat::Registry::Global().Add(Ids().lease_abort);
+        mix.Observe(&mix.conflict);
       } else {
         ++stats.htm_lock_aborts;
         stat::Registry::Global().Add(Ids().lock_abort);
         lock_observed = true;
+        mix.Observe(&mix.lock);
       }
     } else {
       ++stats.htm_conflict_aborts;
+      mix.Observe(&mix.conflict);
     }
     ++attempt;
-    if (lock_observed && cfg_.lock_abort_extra_retries > 0) {
+    if (lock_observed && lock_extra > 0) {
       // A lock-observed XABORT means the holder is mid-commit: grant up
-      // to lock_abort_extra_retries extra attempts and wait it out with
-      // the stronger bounded backoff, rather than burning straight
-      // through the budget into the ~1000x-costlier 2PL fallback.
+      // to lock_extra extra attempts and wait it out with the stronger
+      // bounded backoff, rather than burning straight through the budget
+      // into the ~1000x-costlier 2PL fallback.
       ++lock_aborts;
-      retry_budget = cfg_.htm_retry_limit +
-                     std::min(lock_aborts, cfg_.lock_abort_extra_retries);
+      retry_budget = base_budget + std::min(lock_aborts, lock_extra);
       stat::Registry::Global().Add(Ids().lock_backoff);
       worker_->LockBackoff(lock_aborts);
     } else {
@@ -1042,6 +1150,165 @@ bool Transaction::OrderedFindFloor(int table, uint64_t lo, uint64_t bound,
 
 // --- fallback path -------------------------------------------------------------
 
+Transaction::StartResult Transaction::OptimisticFallbackAcquire() {
+  stat::ScopedTimer phase(Ids().lock_acquire_ns);
+  const uint64_t locked_val =
+      MakeWriteLocked(static_cast<uint8_t>(worker_->node()));
+  const uint64_t lease_val = MakeLease(lease_end_);
+  const bool glob =
+      cluster_.fabric().atomic_level() == rdma::AtomicLevel::kGlob;
+
+  // Local records first, via the cheap processor CAS where the NIC
+  // level allows it: if a neighbour's record is already contended there
+  // is no point ringing any doorbell.
+  bool contended = false;
+  for (Ref& ref : refs_) {
+    if (!ref.found || !(ref.local && glob)) {
+      continue;
+    }
+    const bool wants_lock = ref.write || !cfg_.enable_read_lease;
+    uint64_t observed = 0;
+    StateCas(ref, kStateInit, wants_lock ? locked_val : lease_val, &observed);
+    if (observed == kStateInit) {
+      if (wants_lock) {
+        ref.locked = true;
+      } else {
+        ref.leased = true;
+        ref.lease_end = lease_end_;
+      }
+      continue;
+    }
+    if (!wants_lock && HasLease(observed)) {
+      const uint64_t end = LeaseEnd(observed);
+      const uint64_t now = cluster_.synctime().ReadStrong(worker_->node());
+      if (end > now + 2 * cfg_.delta_us + cfg_.lease_rw_us / 8) {
+        ref.leased = true;
+        ref.lease_end = end;
+        continue;
+      }
+    }
+    contended = true;
+    break;
+  }
+  if (contended) {
+    ReleaseRemoteLocks();
+    return StartResult::kConflict;
+  }
+
+  // One non-blocking CAS per remaining record — every target's doorbell
+  // rings before any completion is polled, so the whole lock set costs
+  // ~1 overlapped round trip when uncontended. Acquisition order is
+  // arbitrary, which is safe exactly because nothing here waits: on any
+  // contention every acquired ref is released below before the ordered
+  // serial loop re-acquires from scratch, so no worker ever blocks
+  // while holding out-of-order locks (deadlock freedom, §6.2).
+  struct Post {
+    size_t ref_idx;
+    bool wants_lock;
+  };
+  std::vector<std::pair<std::pair<int, rdma::WrId>, Post>> owners;
+  StartResult fail = StartResult::kOk;
+  {
+    rdma::PhaseScatter scatter(cluster_.fabric(),
+                               rdma::SendQueue::Config{cfg_.rdma_batch_window},
+                               &stat::ScatterFallbackIds());
+    for (size_t i = 0; i < refs_.size(); ++i) {
+      Ref& ref = refs_[i];
+      if (!ref.found || (ref.local && glob)) {
+        continue;
+      }
+      const bool wants_lock = ref.write || !cfg_.enable_read_lease;
+      const uint64_t state_off = ref.entry_off + store::kEntryStateOffset;
+      const rdma::WrId id = scatter.To(ref.node).PostCas(
+          state_off, kStateInit, wants_lock ? locked_val : lease_val);
+      owners.emplace_back(std::make_pair(ref.node, id), Post{i, wants_lock});
+    }
+    std::vector<rdma::ScatterCompletion> comps;
+    scatter.Gather(&comps);
+    const uint64_t now = cluster_.synctime().ReadStrong(worker_->node());
+    for (const rdma::ScatterCompletion& sc : comps) {
+      const Post* p = nullptr;
+      for (const auto& [owner_key, post] : owners) {
+        if (owner_key.first == sc.target &&
+            owner_key.second == sc.comp.wr_id) {
+          p = &post;
+          break;
+        }
+      }
+      Ref& ref = refs_[p->ref_idx];
+      if (sc.comp.status != rdma::OpStatus::kOk) {
+        fail = StartResult::kNodeDown;
+        continue;  // keep marking acquisitions so the release sees them
+      }
+      if (sc.comp.observed == kStateInit) {
+        if (p->wants_lock) {
+          ref.locked = true;
+        } else {
+          ref.leased = true;
+          ref.lease_end = lease_end_;
+        }
+        continue;
+      }
+      if (!p->wants_lock && HasLease(sc.comp.observed)) {
+        const uint64_t end = LeaseEnd(sc.comp.observed);
+        if (end > now + 2 * cfg_.delta_us + cfg_.lease_rw_us / 8) {
+          ref.leased = true;
+          ref.lease_end = end;
+          continue;
+        }
+      }
+      contended = true;
+    }
+  }
+  if (fail != StartResult::kOk || contended) {
+    ReleaseRemoteLocks();
+    return fail != StartResult::kOk ? fail : StartResult::kConflict;
+  }
+
+  // Everything acquired: prefetch all images in one more overlapped
+  // round (local records too — the serial fallback's PrefetchRef also
+  // reads them through the fabric).
+  std::vector<std::vector<uint8_t>> raws(refs_.size());
+  {
+    rdma::PhaseScatter scatter(cluster_.fabric(),
+                               rdma::SendQueue::Config{cfg_.rdma_batch_window},
+                               &stat::ScatterPrefetchIds());
+    for (size_t i = 0; i < refs_.size(); ++i) {
+      Ref& ref = refs_[i];
+      if (!ref.found) {
+        continue;
+      }
+      raws[i].resize(sizeof(store::EntryHeader) + ref.value_size);
+      scatter.To(ref.node).PostRead(ref.entry_off, raws[i].data(),
+                                    raws[i].size());
+    }
+    std::vector<rdma::ScatterCompletion> comps;
+    scatter.Gather(&comps);
+    for (const rdma::ScatterCompletion& sc : comps) {
+      if (sc.comp.status != rdma::OpStatus::kOk) {
+        fail = StartResult::kNodeDown;
+      }
+    }
+  }
+  if (fail != StartResult::kOk) {
+    ReleaseRemoteLocks();
+    return fail;
+  }
+  for (size_t i = 0; i < refs_.size(); ++i) {
+    if (raws[i].empty()) {
+      continue;
+    }
+    const StartResult sr = PrefetchFromRaw(refs_[i], raws[i].data());
+    if (sr != StartResult::kOk) {
+      // The entry was deleted under us; release and let the ordered
+      // loop (or the next attempt) re-resolve.
+      ReleaseRemoteLocks();
+      return sr;
+    }
+  }
+  return StartResult::kOk;
+}
+
 TxnStatus Transaction::RunFallback(const Body& body) {
   mode_ = Mode::kFallback;
   stat::ScopedTimer fallback_phase(Ids().fallback_ns);
@@ -1054,29 +1321,60 @@ TxnStatus Transaction::RunFallback(const Body& body) {
     pending_local_ops_.clear();
     wal_buffer_.clear();
 
-    // Resolve and lock everything — local records included — in the
-    // global <table, key> order (refs_ is already sorted).
     StartResult fail = StartResult::kOk;
-    for (Ref& ref : refs_) {
-      if (!ResolveRef(ref)) {
+    bool acquired = false;
+    if (cfg_.optimistic_fallback_locking) {
+      // Optimistic first pass: resolve every chain in lockstep, then try
+      // the whole lock set with one non-blocking overlapped CAS scatter.
+      // Any contention releases everything (preserving deadlock freedom)
+      // and drops to the ordered serial loop below.
+      std::vector<Ref*> remote_all;
+      for (Ref& ref : refs_) {
+        if (ref.local) {
+          ResolveRef(ref);
+        } else {
+          remote_all.push_back(&ref);
+        }
+      }
+      if (!ResolveRemoteRefs(remote_all)) {
         fail = StartResult::kNodeDown;
-        break;
-      }
-      if (!ref.found) {
-        continue;
-      }
-      StartResult result;
-      if (ref.write || !cfg_.enable_read_lease) {
-        result = AcquireExclusive(ref, /*wait=*/true);
       } else {
-        result = AcquireLease(ref, /*wait=*/true);
+        const StartResult sr = OptimisticFallbackAcquire();
+        if (sr == StartResult::kOk) {
+          acquired = true;
+          stat::Registry::Global().Add(Ids().fallback_optimistic_hit);
+        } else if (sr == StartResult::kNodeDown) {
+          fail = sr;
+        } else {
+          stat::Registry::Global().Add(Ids().fallback_fallthrough);
+        }
       }
-      if (result == StartResult::kOk) {
-        result = PrefetchRef(ref);
-      }
-      if (result != StartResult::kOk) {
-        fail = result;
-        break;
+    }
+    // Resolve and lock everything — local records included — in the
+    // global <table, key> order (refs_ is already sorted), waiting out
+    // holders; this order is what makes the waiting deadlock-free.
+    if (fail == StartResult::kOk && !acquired) {
+      for (Ref& ref : refs_) {
+        if (!ResolveRef(ref)) {
+          fail = StartResult::kNodeDown;
+          break;
+        }
+        if (!ref.found) {
+          continue;
+        }
+        StartResult result;
+        if (ref.write || !cfg_.enable_read_lease) {
+          result = AcquireExclusive(ref, /*wait=*/true);
+        } else {
+          result = AcquireLease(ref, /*wait=*/true);
+        }
+        if (result == StartResult::kOk) {
+          result = PrefetchRef(ref);
+        }
+        if (result != StartResult::kOk) {
+          fail = result;
+          break;
+        }
       }
     }
     if (fail == StartResult::kOk) {
@@ -1265,120 +1563,233 @@ TxnStatus ReadOnlyTransaction::Execute() {
     return a.table != b.table ? a.table < b.table : a.key < b.key;
   });
 
+  const rdma::SendQueue::Config sq_cfg{cfg.rdma_batch_window};
   for (int attempt = 0; attempt < kFallbackAttempts; ++attempt) {
     const uint64_t now0 = cluster_.synctime().ReadStrong(worker_->node());
     const uint64_t end = now0 + cfg.lease_ro_us;
+    const uint64_t desired = MakeLease(end);
     bool conflict = false;
     bool node_down = false;
 
-    for (RoRef& ref : refs_) {
-      store::ClusterHashTable* host = cluster_.hash_table(ref.node, ref.table);
-      const bool local = ref.node == worker_->node();
-      if (local) {
-        ref.entry_off = host->FindEntry(ref.key);
-        ref.found = ref.entry_off != store::kInvalidOffset;
-      } else {
-        store::RemoteKv client(&cluster_.fabric(), ref.node, host->geometry(),
-                               cluster_.cache(worker_->node(), ref.node));
-        const store::RemoteEntryRef found = client.Lookup(ref.key);
+    // Phase 1: resolve every key; remote chains walk in lockstep with
+    // one overlapped doorbell per host per round.
+    {
+      std::vector<std::unique_ptr<store::RemoteKv>> clients;
+      std::vector<store::RemoteKv::LookupTask> tasks;
+      std::vector<size_t> task_ref;
+      for (size_t i = 0; i < refs_.size(); ++i) {
+        RoRef& ref = refs_[i];
+        store::ClusterHashTable* host =
+            cluster_.hash_table(ref.node, ref.table);
+        if (ref.node == worker_->node()) {
+          ref.entry_off = host->FindEntry(ref.key);
+          ref.found = ref.entry_off != store::kInvalidOffset;
+          continue;
+        }
+        clients.push_back(std::make_unique<store::RemoteKv>(
+            &cluster_.fabric(), ref.node, host->geometry(),
+            cluster_.cache(worker_->node(), ref.node)));
+        store::RemoteKv::LookupTask task;
+        task.client = clients.back().get();
+        task.key = ref.key;
+        tasks.push_back(std::move(task));
+        task_ref.push_back(i);
+      }
+      if (tasks.size() == 1) {
+        tasks[0].result = tasks[0].client->Lookup(tasks[0].key);
+      } else if (!tasks.empty()) {
+        rdma::PhaseScatter scatter(cluster_.fabric(), sq_cfg,
+                                   &stat::ScatterLookupIds());
+        store::RemoteKv::ScatterLookup(scatter, &tasks);
+      }
+      for (size_t t = 0; t < tasks.size(); ++t) {
+        RoRef& ref = refs_[task_ref[t]];
         if (!cluster_.fabric().IsAlive(ref.node)) {
           node_down = true;
           break;
         }
-        ref.found = found.found;
-        ref.entry_off = found.entry_off;
+        ref.found = tasks[t].result.found;
+        ref.entry_off = tasks[t].result.entry_off;
       }
-      if (!ref.found) {
-        continue;
-      }
-      // All records — local ones included — are leased with a common end
-      // time via CAS (sections 4.5 and 6.3). A healthy existing lease is
-      // shared from a plain state READ, CAS-free.
-      const uint64_t state_off = ref.entry_off + store::kEntryStateOffset;
-      const uint64_t desired = MakeLease(end);
-      uint64_t expected = kStateInit;
-      {
-        uint64_t observed = 0;
-        if (local) {
-          // drtm-lint: allow(TX03 fallback lease probe, stands in for a one-sided RDMA READ)
-          observed = htm::StrongLoad(host->StatePtr(ref.entry_off));
-        } else if (cluster_.fabric().Read(ref.node, state_off, &observed,
-                                          sizeof(observed)) !=
-                   rdma::OpStatus::kOk) {
-          node_down = true;
-          break;
+    }
+
+    // Phase 2: probe every found record's state word — local via a
+    // strong load, all remote probes in one overlapped scatter. A
+    // healthy existing lease is shared from the plain READ, CAS-free
+    // (an RDMA CAS costs an order of magnitude more, section 6.3).
+    std::vector<uint64_t> probes(refs_.size(), 0);
+    if (!node_down) {
+      rdma::PhaseScatter scatter(cluster_.fabric(), sq_cfg,
+                                 &stat::ScatterRoLeaseIds());
+      for (size_t i = 0; i < refs_.size(); ++i) {
+        RoRef& ref = refs_[i];
+        if (!ref.found) {
+          continue;
         }
-        if (HasLease(observed)) {
-          const uint64_t lease = LeaseEnd(observed);
+        if (ref.node == worker_->node()) {
+          store::ClusterHashTable* host =
+              cluster_.hash_table(ref.node, ref.table);
+          // drtm-lint: allow(TX03 fallback lease probe, stands in for a one-sided RDMA READ)
+          probes[i] = htm::StrongLoad(host->StatePtr(ref.entry_off));
+        } else {
+          scatter.To(ref.node).PostRead(
+              ref.entry_off + store::kEntryStateOffset, &probes[i],
+              sizeof(probes[i]));
+        }
+      }
+      std::vector<rdma::ScatterCompletion> comps;
+      scatter.Gather(&comps);
+      for (const rdma::ScatterCompletion& sc : comps) {
+        if (sc.comp.status != rdma::OpStatus::kOk) {
+          node_down = true;
+        }
+      }
+    }
+
+    // Phase 3: lease every found record with a common end time via CAS
+    // (sections 4.5 and 6.3), seeded by its probe. The first CAS of
+    // every record that needs one rides a single overlapped scatter;
+    // only CAS failures drop to the scalar share/renew loop.
+    std::vector<uint64_t> expected(refs_.size(), kStateInit);
+    std::vector<uint64_t> observed(refs_.size(), 0);
+    std::vector<bool> need_cas(refs_.size(), false);
+    if (!node_down) {
+      const bool glob =
+          cluster_.fabric().atomic_level() == rdma::AtomicLevel::kGlob;
+      rdma::PhaseScatter scatter(cluster_.fabric(), sq_cfg,
+                                 &stat::ScatterRoLeaseIds());
+      std::vector<std::pair<std::pair<int, rdma::WrId>, size_t>> owners;
+      for (size_t i = 0; i < refs_.size(); ++i) {
+        RoRef& ref = refs_[i];
+        if (!ref.found) {
+          continue;
+        }
+        const bool local = ref.node == worker_->node();
+        if (HasLease(probes[i])) {
+          const uint64_t lease = LeaseEnd(probes[i]);
           const uint64_t now = cluster_.synctime().ReadStrong(worker_->node());
           if (lease > now + 2 * cfg.delta_us + cfg.lease_ro_us / 8) {
-            ref.lease_end = lease;
-            goto lease_done;
+            ref.lease_end = lease;  // share
+            continue;
           }
-          expected = observed;
-        } else if (IsWriteLocked(observed)) {
+          expected[i] = probes[i];  // expired or short: steal/renew
+        } else if (IsWriteLocked(probes[i])) {
           conflict = true;
           break;
+        }
+        need_cas[i] = true;
+        if (local && glob) {
+          SpinFor(cfg.latency.LocalCasNs());
+          store::ClusterHashTable* host =
+              cluster_.hash_table(ref.node, ref.table);
+          // drtm-lint: allow(TX03 local stand-in for an RDMA CAS verb on GLOB-coherent NICs)
+          observed[i] = htm::StrongCas64(host->StatePtr(ref.entry_off),
+                                         expected[i], desired);
+        } else {
+          const rdma::WrId id = scatter.To(ref.node).PostCas(
+              ref.entry_off + store::kEntryStateOffset, expected[i], desired);
+          owners.emplace_back(std::make_pair(ref.node, id), i);
         }
       }
-      while (true) {
-        uint64_t observed = 0;
-        rdma::OpStatus cas_status;
-        if (local &&
-            cluster_.fabric().atomic_level() == rdma::AtomicLevel::kGlob) {
-          SpinFor(cfg.latency.LocalCasNs());
-          // drtm-lint: allow(TX03 local stand-in for an RDMA CAS verb on GLOB-coherent NICs)
-          observed = htm::StrongCas64(host->StatePtr(ref.entry_off), expected,
-                                      desired);
-          cas_status = rdma::OpStatus::kOk;
-        } else {
-          cas_status = cluster_.fabric().Cas(ref.node, state_off, expected,
-                                             desired, &observed);
+      std::vector<rdma::ScatterCompletion> comps;
+      scatter.Gather(&comps);
+      for (const rdma::ScatterCompletion& sc : comps) {
+        size_t i = refs_.size();
+        for (const auto& [owner_key, idx] : owners) {
+          if (owner_key.first == sc.target &&
+              owner_key.second == sc.comp.wr_id) {
+            i = idx;
+            break;
+          }
         }
-        if (cas_status != rdma::OpStatus::kOk) {
+        if (sc.comp.status != rdma::OpStatus::kOk) {
           node_down = true;
-          break;
+          continue;
         }
-        if (observed == expected) {
-          ref.lease_end = end;
-          break;
+        observed[i] = sc.comp.observed;
+      }
+    }
+    if (!node_down && !conflict) {
+      // Scalar continuation for refs whose batched CAS lost the race.
+      for (size_t i = 0; i < refs_.size() && !conflict && !node_down; ++i) {
+        if (!need_cas[i]) {
+          continue;
         }
-        if (IsWriteLocked(observed)) {
-          conflict = true;
-          break;
-        }
-        const uint64_t lease = LeaseEnd(observed);
-        const uint64_t now = cluster_.synctime().ReadStrong(worker_->node());
-        if (!LeaseExpired(lease, now, cfg.delta_us)) {
-          if (lease > now + 2 * cfg.delta_us + cfg.lease_ro_us / 8) {
+        RoRef& ref = refs_[i];
+        const bool local = ref.node == worker_->node();
+        store::ClusterHashTable* host =
+            cluster_.hash_table(ref.node, ref.table);
+        uint64_t exp = expected[i];
+        uint64_t obs = observed[i];
+        while (true) {
+          if (obs == exp) {
+            ref.lease_end = end;
+            break;
+          }
+          if (IsWriteLocked(obs)) {
+            conflict = true;
+            break;
+          }
+          const uint64_t lease = LeaseEnd(obs);
+          const uint64_t now = cluster_.synctime().ReadStrong(worker_->node());
+          if (!LeaseExpired(lease, now, cfg.delta_us) &&
+              lease > now + 2 * cfg.delta_us + cfg.lease_ro_us / 8) {
             ref.lease_end = lease;  // share
             break;
           }
-          expected = observed;  // renew a nearly-expired lease
+          exp = obs;  // renew a nearly-expired lease / steal an expired one
+          if (local &&
+              cluster_.fabric().atomic_level() == rdma::AtomicLevel::kGlob) {
+            SpinFor(cfg.latency.LocalCasNs());
+            // drtm-lint: allow(TX03 local stand-in for an RDMA CAS verb on GLOB-coherent NICs)
+            obs = htm::StrongCas64(host->StatePtr(ref.entry_off), exp,
+                                   desired);
+          } else if (cluster_.fabric().Cas(
+                         ref.node, ref.entry_off + store::kEntryStateOffset,
+                         exp, desired, &obs) != rdma::OpStatus::kOk) {
+            node_down = true;
+            break;
+          }
+        }
+      }
+    }
+
+    // Phase 4: prefetch every leased record in one overlapped scatter.
+    if (!node_down && !conflict) {
+      std::vector<std::vector<uint8_t>> raws(refs_.size());
+      rdma::PhaseScatter scatter(cluster_.fabric(), sq_cfg,
+                                 &stat::ScatterPrefetchIds());
+      for (size_t i = 0; i < refs_.size(); ++i) {
+        RoRef& ref = refs_[i];
+        if (!ref.found) {
           continue;
         }
-        expected = observed;
+        ref.buf.resize(cluster_.table(ref.table).value_size);
+        raws[i].resize(sizeof(store::EntryHeader) + ref.buf.size());
+        scatter.To(ref.node).PostRead(ref.entry_off, raws[i].data(),
+                                      raws[i].size());
       }
-    lease_done:
-      if (conflict || node_down) {
-        break;
+      std::vector<rdma::ScatterCompletion> comps;
+      scatter.Gather(&comps);
+      for (const rdma::ScatterCompletion& sc : comps) {
+        if (sc.comp.status != rdma::OpStatus::kOk) {
+          node_down = true;
+        }
       }
-      // Prefetch under the lease.
-      ref.buf.resize(cluster_.table(ref.table).value_size);
-      store::EntryHeader header;
-      std::vector<uint8_t> raw(sizeof(header) + ref.buf.size());
-      if (cluster_.fabric().Read(ref.node, ref.entry_off, raw.data(),
-                                 raw.size()) != rdma::OpStatus::kOk) {
-        node_down = true;
-        break;
+      for (size_t i = 0; i < refs_.size() && !node_down; ++i) {
+        if (raws[i].empty()) {
+          continue;
+        }
+        RoRef& ref = refs_[i];
+        store::EntryHeader header;
+        std::memcpy(&header, raws[i].data(), sizeof(header));
+        if (header.key != ref.key) {
+          conflict = true;  // deleted under us; retry
+          break;
+        }
+        std::memcpy(ref.buf.data(), raws[i].data() + sizeof(header),
+                    ref.buf.size());
       }
-      std::memcpy(&header, raw.data(), sizeof(header));
-      if (header.key != ref.key) {
-        conflict = true;  // deleted under us; retry
-        break;
-      }
-      std::memcpy(ref.buf.data(), raw.data() + sizeof(header),
-                  ref.buf.size());
     }
 
     if (node_down) {

@@ -62,6 +62,30 @@ struct TxnStats {
   void Add(const TxnStats& o);
 };
 
+// Decayed per-worker window of recent HTM abort causes — the input to
+// the adaptive retry budget (ClusterConfig::adaptive_retry_budget).
+// Counts halve once the window fills, so the mix tracks the live
+// workload rather than process history.
+struct AbortMixWindow {
+  static constexpr uint64_t kWindow = 512;
+  // Below this many observed aborts the static knobs are used verbatim.
+  static constexpr uint64_t kMinSamples = 32;
+
+  uint64_t capacity = 0;  // read/write-set overflow: retries are futile
+  uint64_t conflict = 0;  // data conflicts + lease-confirm failures
+  uint64_t lock = 0;      // lock-observed XABORTs: holder mid-commit
+
+  uint64_t total() const { return capacity + conflict + lock; }
+  void Observe(uint64_t* bucket) {
+    ++*bucket;
+    if (total() >= kWindow) {
+      capacity /= 2;
+      conflict /= 2;
+      lock /= 2;
+    }
+  }
+};
+
 class Worker {
  public:
   Worker(Cluster* cluster, int node, int worker_id);
@@ -83,7 +107,23 @@ class Worker {
   // retries and falling through to the 2PL fallback.
   void LockBackoff(int consecutive_lock_aborts);
 
+  // Adaptive contention management: the HTM retry budget and the
+  // lock-abort extension derived from this worker's live abort-cause
+  // mix. With too few samples (or adaptive_retry_budget off) these are
+  // the static knobs; a capacity-dominant mix halves them (retrying a
+  // deterministic overflow only delays the fallback), a contention-
+  // dominant mix doubles them (retries are ~1000x cheaper than a 2PL
+  // rerun). htm_retry_limit == 0 (fallback-only mode) is never touched.
+  // The chosen budget is exported as gauge txn.adaptive.retry_budget.
+  int AdaptiveRetryLimit();
+  int AdaptiveLockExtraRetries() const;
+  AbortMixWindow& abort_mix() { return abort_mix_; }
+
  private:
+  // -1 neutral, 0 capacity-dominant (shrink), 1 contention-dominant
+  // (stretch); computed from abort_mix_.
+  int MixRegime() const;
+
   Cluster* cluster_;
   int node_;
   int worker_id_;
@@ -91,6 +131,7 @@ class Worker {
   Xoshiro256 rng_;
   TxnStats stats_;
   Histogram latency_us_;
+  AbortMixWindow abort_mix_;
 };
 
 class Transaction {
@@ -185,11 +226,17 @@ class Transaction {
 
   // HTM path.
   StartResult StartPhase();
-  // Doorbell-batched Start-phase core: first-attempt lock CASes and
-  // lease-probe READs for all remote refs ride one doorbell per target
-  // node, then the prefetch READs ride a second one. Contended refs
-  // (failed first CAS, locked probe) drop to the scalar helpers.
+  // Scatter-gather Start-phase core: first-attempt lock CASes and
+  // lease-probe READs for all remote refs ride one *overlapped* doorbell
+  // per target node (rdma::PhaseScatter), then the prefetch READs ride a
+  // second scatter round — a k-node transaction pays ~2 overlapped round
+  // trips, not 2k serial ones. Contended refs (failed first CAS, locked
+  // probe) drop to the scalar helpers.
   StartResult BatchedStartRemote(const std::vector<Ref*>& remote);
+  // Scatter-resolves every ref in `remote` (entry_off lookup, one
+  // overlapped doorbell per target node per chain round). Returns false
+  // if a target died mid-walk.
+  bool ResolveRemoteRefs(const std::vector<Ref*>& remote);
   void ConfirmLeasesInHtm();
   void WriteWalInHtm();
   void WriteBackAndUnlock();
@@ -213,6 +260,13 @@ class Transaction {
 
   // Fallback path (section 6.2).
   TxnStatus RunFallback(const Body& body);
+  // Optimistic batched first pass of the 2PL fallback: every lock CAS /
+  // lease CAS rides one overlapped scatter round, then every prefetch a
+  // second — strictly non-blocking, so acquiring out of the global order
+  // is deadlock-free. kConflict means some ref came back contended;
+  // everything acquired has been released and the caller must drop to
+  // the global-sort-order serial loop.
+  StartResult OptimisticFallbackAcquire();
   bool ResolveRef(Ref& ref);  // strong/remote lookup of entry_off
 
   // In-body helpers.

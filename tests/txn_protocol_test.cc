@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
 #include "src/htm/htm.h"
+#include "src/stat/metrics.h"
 #include "src/store/kv_layout.h"
 #include "src/txn/chopping.h"
 #include "src/txn/cluster.h"
@@ -533,6 +535,128 @@ TEST_F(TxnProtocolTest, NodeFailureSurfacesAndLocksReleased) {
   EXPECT_EQ(StrongBalance(0), kInitialBalance);
   cluster_->Revive(1);
   EXPECT_EQ(Transfer(&worker, 0, 1, 10), TxnStatus::kCommitted);
+}
+
+TEST_F(TxnProtocolTest, ContendedOptimisticFallbackFallsThroughToOrdered) {
+  auto config = SmallConfig(2);
+  config.htm_retry_limit = 0;  // every transaction uses the 2PL fallback
+  ASSERT_TRUE(config.optimistic_fallback_locking);
+  SetUpCluster(config);
+  // Write-lock the remote account as if another machine held it; the
+  // optimistic batched first pass must see the conflict, release, and
+  // drop to the ordered serial loop (which waits the holder out).
+  store::ClusterHashTable* host = cluster_->hash_table(1, table_);
+  const uint64_t entry = host->FindEntry(1);
+  uint64_t observed = 0;
+  ASSERT_EQ(cluster_->fabric().Cas(1, entry + store::kEntryStateOffset,
+                                   kStateInit, MakeWriteLocked(7), &observed),
+            rdma::OpStatus::kOk);
+  const stat::Snapshot before = stat::Registry::Global().TakeSnapshot();
+
+  std::thread unlocker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const uint64_t init = kStateInit;
+    cluster_->fabric().Write(1, entry + store::kEntryStateOffset, &init, 8);
+  });
+  Worker worker(cluster_.get(), 0, 0);
+  EXPECT_EQ(Transfer(&worker, 0, 1, 10), TxnStatus::kCommitted);
+  unlocker.join();
+
+  const stat::Snapshot mid = stat::Registry::Global().TakeSnapshot();
+  EXPECT_GE(mid.Counter("txn.fallback.ordered_fallthrough") -
+                before.Counter("txn.fallback.ordered_fallthrough"),
+            1u);
+
+  // Uncontended, the optimistic pass should win in one scatter round.
+  EXPECT_EQ(Transfer(&worker, 0, 1, 10), TxnStatus::kCommitted);
+  const stat::Snapshot after = stat::Registry::Global().TakeSnapshot();
+  EXPECT_GE(after.Counter("txn.fallback.optimistic_hit") -
+                mid.Counter("txn.fallback.optimistic_hit"),
+            1u);
+  EXPECT_EQ(StrongBalance(1), kInitialBalance + 20);
+}
+
+TEST_F(TxnProtocolTest, SymmetricCrossNodeConflictsAreDeadlockFree) {
+  // Two workers on different nodes hammer the same two cross-node
+  // accounts in opposite directions. The optimistic pass acquires in
+  // arbitrary order, so a naive hold-and-wait would deadlock; the
+  // release-everything-then-ordered-retry discipline must not. A hang
+  // here (ctest timeout) is the failure mode.
+  auto config = SmallConfig(2);
+  config.htm_retry_limit = 0;
+  ASSERT_TRUE(config.optimistic_fallback_locking);
+  SetUpCluster(config);
+  constexpr int kIters = 200;
+  std::atomic<uint64_t> committed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      Worker worker(cluster_.get(), t, 0);
+      const uint64_t from = static_cast<uint64_t>(t);
+      const uint64_t to = static_cast<uint64_t>(1 - t);
+      for (int i = 0; i < kIters; ++i) {
+        if (Transfer(&worker, from, to, 1) == TxnStatus::kCommitted) {
+          committed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(committed.load(), 2u * kIters);
+  EXPECT_EQ(StrongBalance(0) + StrongBalance(1), 2 * kInitialBalance);
+  EXPECT_EQ(TotalBalance(), kAccounts * kInitialBalance);
+}
+
+TEST_F(TxnProtocolTest, NodeDeathMidScatterSurfacesFailure) {
+  // Crash the remote node while a worker is continuously running
+  // distributed fallback transactions, so the death lands mid-scatter
+  // (lookup, lock, or prefetch round). The gather must surface
+  // kNodeFailure without hanging and with local locks released.
+  auto config = SmallConfig(2);
+  config.htm_retry_limit = 0;  // every phase rides the fallback scatters
+  SetUpCluster(config);
+  Worker warm(cluster_.get(), 0, 0);
+  ASSERT_EQ(Transfer(&warm, 0, 1, 5), TxnStatus::kCommitted);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> saw_failure{false};
+  std::thread driver([&] {
+    Worker worker(cluster_.get(), 0, 1);
+    while (!stop.load(std::memory_order_acquire)) {
+      const TxnStatus status = Transfer(&worker, 0, 1, 1);
+      if (status == TxnStatus::kNodeFailure) {
+        saw_failure.store(true);
+      } else {
+        EXPECT_EQ(status, TxnStatus::kCommitted);
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  cluster_->Crash(1);
+  for (int i = 0; i < 5000 && !saw_failure.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_release);
+  driver.join();
+  EXPECT_TRUE(saw_failure.load());
+
+  // The local half of the aborted transaction must be unlocked.
+  store::ClusterHashTable* local_host = cluster_->hash_table(0, table_);
+  EXPECT_EQ(
+      htm::StrongLoad(local_host->StatePtr(local_host->FindEntry(0))),
+      kStateInit);
+
+  // Recovery: revive the node and clear any lock word the crash stranded
+  // (the recovery manager's job in the paper), then commit again.
+  cluster_->Revive(1);
+  store::ClusterHashTable* host = cluster_->hash_table(1, table_);
+  const uint64_t init = kStateInit;
+  ASSERT_EQ(cluster_->fabric().Write(
+                1, host->FindEntry(1) + store::kEntryStateOffset, &init, 8),
+            rdma::OpStatus::kOk);
+  EXPECT_EQ(Transfer(&warm, 0, 1, 5), TxnStatus::kCommitted);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -9,7 +10,9 @@
 
 #include "src/htm/htm.h"
 #include "src/rdma/fabric.h"
+#include "src/rdma/phase_scatter.h"
 #include "src/stat/metrics.h"
+#include "src/stat/scatter_stats.h"
 
 namespace drtm {
 namespace rdma {
@@ -240,6 +243,174 @@ TEST(SendQueue, BatchedOpsCountInThreadStats) {
   EXPECT_EQ(stats.read_bytes, 32u);
   EXPECT_EQ(stats.writes, 1u);
   EXPECT_EQ(stats.cas_ops, 1u);
+}
+
+TEST(SendQueue, AsyncSubmissionMatchesRingDoorbell) {
+  Fabric fabric(TestConfig(2));
+  const uint64_t off = fabric.memory(1).Allocate(64);
+  const char msg[] = "async payload";
+  SendQueue sq(fabric, 1);
+  char got[sizeof(msg)] = {0};
+  sq.PostWrite(off, msg, sizeof(msg));
+  sq.PostRead(off, got, sizeof(got));
+  ASSERT_FALSE(sq.submission_pending());
+  const SendQueue::Submission sub = sq.SubmitAsync();
+  EXPECT_EQ(sub.wqes, 2u);
+  EXPECT_TRUE(sq.submission_pending());
+  EXPECT_EQ(sq.pending(), 0u);
+  // Nothing has executed yet; the READ buffer is untouched until the
+  // submission completes.
+  sq.CompleteSubmission();
+  EXPECT_FALSE(sq.submission_pending());
+  EXPECT_STREQ(got, msg);
+  Completion out[2];
+  ASSERT_EQ(sq.PollCompletions(out, 2), 2u);
+  EXPECT_EQ(out[0].status, OpStatus::kOk);
+  EXPECT_EQ(out[1].status, OpStatus::kOk);
+  // An empty async submit is a no-op submission.
+  EXPECT_EQ(sq.SubmitAsync().wqes, 0u);
+  EXPECT_FALSE(sq.submission_pending());
+}
+
+TEST(SendQueue, SecondSubmitCompletesTheFirst) {
+  Fabric fabric(TestConfig(2));
+  const uint64_t off = fabric.memory(1).Allocate(8);
+  SendQueue sq(fabric, 1);
+  // Back-to-back async submissions must behave like two doorbells in
+  // order: CASes from the first batch are visible to the second.
+  sq.PostCas(off, 0, 11);
+  ASSERT_EQ(sq.SubmitAsync().wqes, 1u);
+  sq.PostCas(off, 11, 22);
+  ASSERT_EQ(sq.SubmitAsync().wqes, 1u);
+  sq.CompleteSubmission();
+  std::vector<Completion> comps(2);
+  ASSERT_EQ(sq.PollCompletions(comps.data(), 2), 2u);
+  EXPECT_EQ(comps[0].observed, 0u);
+  EXPECT_EQ(comps[1].observed, 11u);
+  uint64_t value = 0;
+  fabric.Read(1, off, &value, 8);
+  EXPECT_EQ(value, 22u);
+}
+
+TEST(SendQueue, AsyncBatchChargesSameLatencyAsSync) {
+  const LatencyModel lat = LatencyModel::Calibrated(1.0);
+  Fabric::Config config = TestConfig(2);
+  config.latency = lat;
+  Fabric fabric(config);
+  const uint64_t off = fabric.memory(1).Allocate(8);
+  SendQueue sq(fabric, 1);
+  uint64_t scratch[2];
+  sq.PostRead(off, &scratch[0], 8);
+  sq.PostRead(off, &scratch[1], 8);
+  const SendQueue::Submission sub = sq.SubmitAsync();
+  // The async submission carries exactly the modeled batch cost the
+  // synchronous doorbell would have spun for.
+  const uint64_t payload =
+      static_cast<uint64_t>(lat.read_per_byte_ns * 8.0);
+  EXPECT_EQ(sub.batch_ns, lat.BatchNs(lat.read_base_ns, 2 * payload, 2));
+  sq.CompleteSubmission();
+}
+
+TEST(PhaseScatter, QueuesArePerTargetAndPersistent) {
+  Fabric fabric(TestConfig(3));
+  PhaseScatter scatter(fabric, SendQueue::Config{});
+  SendQueue& q1 = scatter.To(1);
+  SendQueue& q2 = scatter.To(2);
+  EXPECT_NE(&q1, &q2);
+  EXPECT_EQ(&scatter.To(1), &q1);
+  EXPECT_EQ(&scatter.To(2), &q2);
+}
+
+TEST(PhaseScatter, GatherTagsCompletionsWithTargetInPostOrder) {
+  Fabric fabric(TestConfig(3));
+  const uint64_t off1 = fabric.memory(1).Allocate(8);
+  const uint64_t off2 = fabric.memory(2).Allocate(8);
+  const uint64_t a = 7, b = 8, c = 9;
+  PhaseScatter scatter(fabric, SendQueue::Config{});
+  const WrId w1 = scatter.To(1).PostWrite(off1, &a, 8);
+  const WrId w2 = scatter.To(2).PostWrite(off2, &b, 8);
+  const WrId w3 = scatter.To(1).PostWrite(off1, &c, 8);
+  EXPECT_EQ(scatter.pending(), 3u);
+  EXPECT_EQ(scatter.pending_targets(), 2u);
+  std::vector<ScatterCompletion> comps;
+  EXPECT_EQ(scatter.Gather(&comps), 3u);
+  EXPECT_EQ(scatter.pending(), 0u);
+  ASSERT_EQ(comps.size(), 3u);
+  // Grouped per target in first-use order, FIFO within a target.
+  EXPECT_EQ(comps[0].target, 1);
+  EXPECT_EQ(comps[0].comp.wr_id, w1);
+  EXPECT_EQ(comps[1].target, 1);
+  EXPECT_EQ(comps[1].comp.wr_id, w3);
+  EXPECT_EQ(comps[2].target, 2);
+  EXPECT_EQ(comps[2].comp.wr_id, w2);
+  uint64_t v1 = 0, v2 = 0;
+  fabric.Read(1, off1, &v1, 8);
+  fabric.Read(2, off2, &v2, 8);
+  EXPECT_EQ(v1, c);  // second write to node 1 landed after the first
+  EXPECT_EQ(v2, b);
+}
+
+TEST(PhaseScatter, DeadTargetFailsOnlyItsOwnWqes) {
+  Fabric fabric(TestConfig(3));
+  const uint64_t off1 = fabric.memory(1).Allocate(8);
+  const uint64_t off2 = fabric.memory(2).Allocate(8);
+  fabric.SetAlive(2, false);
+  PhaseScatter scatter(fabric, SendQueue::Config{});
+  uint64_t scratch1 = 0, scratch2 = 0;
+  scatter.To(1).PostRead(off1, &scratch1, 8);
+  scatter.To(2).PostRead(off2, &scratch2, 8);
+  std::vector<ScatterCompletion> comps;
+  EXPECT_EQ(scatter.Gather(&comps), 2u);
+  ASSERT_EQ(comps.size(), 2u);
+  for (const ScatterCompletion& sc : comps) {
+    EXPECT_EQ(sc.comp.status,
+              sc.target == 2 ? OpStatus::kNodeDown : OpStatus::kOk);
+  }
+}
+
+TEST(PhaseScatter, EmptyGatherRecordsNoRound) {
+  Fabric fabric(TestConfig(2));
+  const stat::ScatterPhaseIds ids =
+      stat::RegisterScatterPhase("test_empty_round");
+  const stat::Snapshot before = stat::Registry::Global().TakeSnapshot();
+  PhaseScatter scatter(fabric, SendQueue::Config{}, &ids);
+  std::vector<ScatterCompletion> comps;
+  EXPECT_EQ(scatter.Gather(&comps), 0u);
+  EXPECT_TRUE(comps.empty());
+  const stat::Snapshot delta =
+      stat::Registry::Global().TakeSnapshot().DeltaSince(before);
+  EXPECT_EQ(delta.Counter("rdma.scatter.test_empty_round.rounds"), 0u);
+}
+
+TEST(PhaseScatter, RecordsDoorbellAndOverlapStats) {
+  Fabric::Config config = TestConfig(3);
+  config.latency = LatencyModel::Calibrated(1.0);
+  Fabric fabric(config);
+  const uint64_t off1 = fabric.memory(1).Allocate(8);
+  const uint64_t off2 = fabric.memory(2).Allocate(8);
+  const stat::ScatterPhaseIds ids =
+      stat::RegisterScatterPhase("test_overlap");
+  const stat::Snapshot before = stat::Registry::Global().TakeSnapshot();
+  PhaseScatter scatter(fabric, SendQueue::Config{}, &ids);
+  uint64_t scratch[3];
+  scatter.To(1).PostRead(off1, &scratch[0], 8);
+  scatter.To(1).PostRead(off1, &scratch[1], 8);
+  scatter.To(2).PostRead(off2, &scratch[2], 8);
+  EXPECT_EQ(scatter.Gather(nullptr), 3u);
+  const stat::Snapshot delta =
+      stat::Registry::Global().TakeSnapshot().DeltaSince(before);
+  EXPECT_EQ(delta.Counter("rdma.scatter.test_overlap.rounds"), 1u);
+  EXPECT_EQ(delta.Counter("rdma.scatter.test_overlap.doorbells"), 2u);
+  EXPECT_EQ(delta.Counter("rdma.scatter.test_overlap.wqes"), 3u);
+  // Two overlapped batches: the saved time is exactly the smaller
+  // batch's modeled cost (sum - max).
+  const LatencyModel& lat = config.latency;
+  const uint64_t payload =
+      static_cast<uint64_t>(lat.read_per_byte_ns * 8.0);
+  const uint64_t big = lat.BatchNs(lat.read_base_ns, 2 * payload, 2);
+  const uint64_t small = lat.BatchNs(lat.read_base_ns, payload, 1);
+  EXPECT_EQ(delta.Counter("rdma.scatter.test_overlap.overlap_saved_ns"),
+            std::min(big, small));
 }
 
 TEST(Latency, BatchCostIsOneDoorbellPlusPerWqeOverhead) {

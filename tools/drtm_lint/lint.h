@@ -68,6 +68,9 @@ struct Options {
       // per-op strong accessors as the scalar verbs.
       "src/rdma/fabric.",
       "src/rdma/verbs_batch.",
+      // Scatter-gather phase engine: rings per-target doorbells and
+      // drains completions through the batched verb path above.
+      "src/rdma/phase_scatter.",
       "src/txn/sync_time.cc",  // softtime timer beat + reads
       "src/txn/sync_time.h",
       "src/txn/recovery.",     // recovery replays outside transactions

@@ -107,6 +107,24 @@ TEST(DrtmLint, AllowsStrongAccessesInBatchedVerbPaths) {
   EXPECT_EQ(analyzer.findings()[0].rule, "TX03");
 }
 
+TEST(DrtmLint, AllowsStrongAccessesInPhaseScatterPaths) {
+  // The scatter-gather phase engine has its own allowlist entry; its
+  // WQEs execute through the same strong accessors as the scalar verbs.
+  Options options;
+  options.strong_allowlist = {"src/rdma/phase_scatter."};
+  Analyzer analyzer(options);
+  const std::string strong_call =
+      "void f(unsigned char* d, const unsigned char* s) {\n"
+      "  drtm::htm::StrongWrite(d, s, 8);\n"
+      "}\n";
+  ASSERT_TRUE(analyzer.AddFile("src/rdma/phase_scatter.cc", strong_call));
+  ASSERT_TRUE(analyzer.AddFile("src/txn/rogue.cc", strong_call));
+  analyzer.Run();
+  ASSERT_EQ(analyzer.findings().size(), 1u);
+  EXPECT_EQ(analyzer.findings()[0].file, "src/txn/rogue.cc");
+  EXPECT_EQ(analyzer.findings()[0].rule, "TX03");
+}
+
 TEST(DrtmLint, FlagsPlantedTx04CatchClauses) {
   Analyzer a = AnalyzeFixtures({"tx04_catch.cc"});
   EXPECT_EQ(CountRule(a, "TX04", /*suppressed=*/false), 2u);

@@ -4,9 +4,75 @@
 // (the paper: -11.6% throughput, +4.42%/+4.78% abort/fallback, <10 us
 // added at p50/p90/p99 — still orders of magnitude under Calvin's
 // millisecond latencies).
+//
+// Besides the paper table, the bench probes the other half of
+// durability: how long recovery takes to scan a crashed node's NVRAM
+// log, so the BENCH_table6_durability.json report carries a recovery
+// latency trend (vs log fill) for bench_diff to watch.
 #include <cstdio>
+#include <string>
 
 #include "bench/tpcc_bench_common.h"
+#include "src/txn/recovery.h"
+
+namespace {
+
+using namespace drtm;
+
+struct RecoveryProbe {
+  double wall_us = 0;      // RecoveryManager::Recover(0) wall time
+  double log_bytes = 0;    // crashed node's log fill at crash time
+  txn::RecoveryManager::Report report;
+};
+
+// Runs a short logging TPC-C burst, crashes node 0 and times the
+// recovery scan of its log. After a clean quiesce most transactions
+// carry Complete records, so the probe measures the scan itself — the
+// component that grows with log fill.
+RecoveryProbe MeasureRecovery(uint64_t run_ms) {
+  txn::ClusterConfig config;
+  config.num_nodes = 3;
+  config.workers_per_node = 2;
+  config.region_bytes = 96 << 20;
+  config.latency = rdma::LatencyModel::Calibrated(0.1);
+  config.logging = true;
+  config.log_segment_bytes = 2 << 20;
+  txn::Cluster cluster(config);
+
+  workload::TpccDb::Params params;
+  params.warehouses = config.num_nodes * 2;
+  params.customers_per_district = 100;
+  params.items = 400;
+  params.name_count = 30;
+  params.initial_orders_per_district = 8;
+  workload::TpccDb db(&cluster, params);
+  cluster.Start();
+  db.Load();
+
+  workload::RunOptions run;
+  run.nodes = config.num_nodes;
+  run.workers_per_node = config.workers_per_node;
+  run.warmup_ms = 50;
+  run.duration_ms = run_ms;
+  workload::RunWorkers(&cluster, run, [&](txn::Worker& worker) {
+    return db.RunMix(&worker).status == txn::TxnStatus::kCommitted;
+  });
+
+  RecoveryProbe probe;
+  for (int w = 0; w < config.workers_per_node; ++w) {
+    probe.log_bytes += static_cast<double>(cluster.log(0)->UsedBytes(w));
+  }
+  cluster.Crash(0);
+  txn::RecoveryManager recovery(&cluster);
+  const uint64_t begin = MonotonicNanos();
+  probe.report = recovery.Recover(0);
+  probe.wall_us = static_cast<double>(MonotonicNanos() - begin) / 1e3;
+  cluster.Revive(0);
+  cluster.Stop();
+  return probe;
+}
+
+}  // namespace
 
 int main() {
   using namespace drtm;
@@ -17,8 +83,16 @@ int main() {
       "fallbacks +4.78%%, latency +<10us at p50/p90/p99 "
       "(Calvin without logging: 6.04/15.84/60.54 ms)");
 
+  stat::BenchReport report;
+  report.bench = "table6_durability";
+  report.title = "durability cost on TPC-C";
+  report.AddConfig("duration_ms", std::to_string(duration_ms));
+  report.AddConfig("quick", benchutil::Quick() ? "1" : "0");
+  const stat::Snapshot window = benchutil::BeginReportWindow();
+
   std::printf("%-9s %14s %12s %11s %8s %8s %8s\n", "logging", "neworder_tps",
               "capacity%%", "fallback%%", "p50_us", "p90_us", "p99_us");
+  stat::BenchReport::Series& durability = report.AddSeries("durability");
   double base_tps = 0;
   for (const bool logging : {false, true}) {
     benchutil::TpccOptions options;
@@ -41,18 +115,55 @@ int main() {
     if (!logging) {
       base_tps = outcome.neworder_tps;
     }
+    const double p50 =
+        static_cast<double>(outcome.result.latency_us.Percentile(50));
+    const double p90 =
+        static_cast<double>(outcome.result.latency_us.Percentile(90));
+    const double p99 =
+        static_cast<double>(outcome.result.latency_us.Percentile(99));
     std::printf(
-        "%-9s %14.0f %11.3f%% %10.3f%% %8llu %8llu %8llu%s\n",
+        "%-9s %14.0f %11.3f%% %10.3f%% %8.0f %8.0f %8.0f%s\n",
         logging ? "on" : "off", outcome.neworder_tps,
-        outcome.capacity_abort_rate * 100, outcome.fallback_rate * 100,
-        static_cast<unsigned long long>(outcome.result.latency_us.Percentile(50)),
-        static_cast<unsigned long long>(outcome.result.latency_us.Percentile(90)),
-        static_cast<unsigned long long>(outcome.result.latency_us.Percentile(99)),
-        outcome.consistent ? "" : "  (CONSISTENCY FAIL)");
+        outcome.capacity_abort_rate * 100, outcome.fallback_rate * 100, p50,
+        p90, p99, outcome.consistent ? "" : "  (CONSISTENCY FAIL)");
+    benchutil::AddPoint(&durability, {{"logging", logging ? "on" : "off"}},
+                        {{"neworder_tps", outcome.neworder_tps},
+                         {"capacity_abort_rate", outcome.capacity_abort_rate},
+                         {"fallback_rate", outcome.fallback_rate},
+                         {"p50_us", p50},
+                         {"p90_us", p90},
+                         {"p99_us", p99},
+                         {"consistent", outcome.consistent ? 1.0 : 0.0}});
     if (logging && base_tps > 0) {
       std::printf("throughput change with logging: %+.1f%%\n",
                   (outcome.neworder_tps / base_tps - 1.0) * 100);
     }
   }
+
+  std::printf("-- recovery latency vs log fill --\n");
+  std::printf("%-9s %12s %12s %10s %10s\n", "run_ms", "log_bytes", "scan_us",
+              "committed", "aborted");
+  const std::vector<uint64_t> fills =
+      benchutil::Quick() ? std::vector<uint64_t>{duration_ms / 4}
+                         : std::vector<uint64_t>{duration_ms / 4,
+                                                 duration_ms / 2, duration_ms};
+  stat::BenchReport::Series& recovery_series = report.AddSeries("recovery");
+  for (const uint64_t run_ms : fills) {
+    const RecoveryProbe probe = MeasureRecovery(run_ms);
+    std::printf("%-9llu %12.0f %12.1f %10d %10d\n",
+                static_cast<unsigned long long>(run_ms), probe.log_bytes,
+                probe.wall_us, probe.report.committed_txns,
+                probe.report.aborted_txns);
+    benchutil::AddPoint(
+        &recovery_series, {{"run_ms", std::to_string(run_ms)}},
+        {{"log_bytes", probe.log_bytes},
+         {"recover_wall_us", probe.wall_us},
+         {"committed_txns", static_cast<double>(probe.report.committed_txns)},
+         {"aborted_txns", static_cast<double>(probe.report.aborted_txns)},
+         {"redone_updates", static_cast<double>(probe.report.redone_updates)},
+         {"released_locks", static_cast<double>(probe.report.released_locks)}});
+  }
+
+  benchutil::FinishReport(&report, window);
   return 0;
 }

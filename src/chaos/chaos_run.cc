@@ -1,0 +1,668 @@
+#include "src/chaos/chaos_run.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/chaos/injector.h"
+#include "src/common/rand.h"
+#include "src/txn/cluster.h"
+#include "src/txn/recovery.h"
+#include "src/txn/transaction.h"
+#include "src/workload/smallbank.h"
+#include "src/workload/tpcc.h"
+#include "src/workload/ycsb.h"
+
+namespace drtm {
+namespace chaos {
+namespace {
+
+// --- transfer workload shape ------------------------------------------------
+// Per node: kPairsPerNode pairs of accounts (keys 2p / 2p+1, high word =
+// node) plus one commit counter. Intra-pair transfers preserve each
+// pair's sum; a client-side per-key delta ledger — updated only after
+// Run() returned kCommitted — gives the oracle an exact expected value
+// for every record.
+constexpr uint64_t kPairsPerNode = 48;
+constexpr int64_t kInitialBalance = 1000;
+constexpr uint64_t kCounterIndex = uint64_t{1} << 20;
+
+uint64_t PairKey(int node, uint64_t pair, int half) {
+  return (static_cast<uint64_t>(node) << 32) | (2 * pair + half);
+}
+
+uint64_t CounterKey(int node) {
+  return (static_cast<uint64_t>(node) << 32) | kCounterIndex;
+}
+
+struct TransferState {
+  int table = -1;
+  int nodes = 0;
+  // node-major: [node * stride + 2p | 2p+1], counter at [node * stride +
+  // 2 * kPairsPerNode]. Deltas, not absolute values.
+  static constexpr size_t kStride = 2 * kPairsPerNode + 1;
+  std::unique_ptr<std::atomic<int64_t>[]> ledger;
+  // Read-only pair checks acquire wall-clock leases (a later write's
+  // fate depends on how much real time the lease window has left), so
+  // the single-threaded deterministic mode — which promises the same
+  // run outcome for the same seed — skips them; the threaded runs keep
+  // the full mix and the lease-safety oracle.
+  bool ro_enabled = true;
+  std::atomic<uint64_t> ro_commits{0};
+  std::atomic<uint64_t> ro_anomalies{0};
+
+  explicit TransferState(int num_nodes) : nodes(num_nodes) {
+    ledger = std::make_unique<std::atomic<int64_t>[]>(
+        static_cast<size_t>(num_nodes) * kStride);
+    for (size_t i = 0; i < static_cast<size_t>(num_nodes) * kStride; ++i) {
+      ledger[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  size_t LedgerIndex(uint64_t key) const {
+    const size_t node = static_cast<size_t>(key >> 32);
+    const uint64_t low = key & 0xffffffffULL;
+    if (low == kCounterIndex) {
+      return node * kStride + 2 * kPairsPerNode;
+    }
+    return node * kStride + low;
+  }
+};
+
+// --- fail-stop choreography -------------------------------------------------
+// Cluster::Crash only flips liveness flags; worker threads keep running.
+// To keep the simulation honest — a dead machine does not keep
+// committing — the crash handler pauses the node's workers (they park at
+// the top of their loop) and a dedicated operator thread performs the
+// revive: wait for the node's workers to quiesce, survivor-side
+// Recover(), Revive(), then a second Recover() to scrub the node's own
+// leftover locks. The operator thread (never mid-transaction itself)
+// avoids the deadlock of running recovery from inside an injection-point
+// handler on a worker that still holds locks.
+struct CrashControl {
+  txn::Cluster* cluster = nullptr;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<bool> paused;
+  std::vector<bool> crashed;
+  std::vector<int> active;          // workers currently mid-attempt, per node
+  std::deque<int> pending_revives;  // consumed by the operator thread
+  std::vector<int64_t> applied_skew_us;
+  bool stop = false;
+  std::thread operator_thread;
+  std::atomic<uint64_t> crashes{0};
+
+  explicit CrashControl(txn::Cluster* c)
+      : cluster(c),
+        paused(static_cast<size_t>(c->num_nodes()), false),
+        crashed(static_cast<size_t>(c->num_nodes()), false),
+        active(static_cast<size_t>(c->num_nodes()), 0),
+        applied_skew_us(static_cast<size_t>(c->num_nodes()), 0) {}
+
+  void Crash(int node) {
+    std::lock_guard<std::mutex> lock(mu);
+    // Node 0 is never killed: a survivor must be able to drive recovery.
+    if (node <= 0 || node >= cluster->num_nodes() ||
+        crashed[static_cast<size_t>(node)]) {
+      return;
+    }
+    crashed[static_cast<size_t>(node)] = true;
+    paused[static_cast<size_t>(node)] = true;
+    cluster->Crash(node);
+    crashes.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void QueueRevive(int node) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (node <= 0 || node >= cluster->num_nodes() ||
+        !crashed[static_cast<size_t>(node)]) {
+      return;
+    }
+    if (std::find(pending_revives.begin(), pending_revives.end(), node) ==
+        pending_revives.end()) {
+      pending_revives.push_back(node);
+    }
+    cv.notify_all();
+  }
+
+  void Skew(int node, int64_t skew_us) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (node < 0 || node >= cluster->num_nodes()) {
+      return;
+    }
+    applied_skew_us[static_cast<size_t>(node)] = skew_us;
+    cluster->synctime().SetSkew(node, skew_us);
+  }
+
+  void OperatorLoop() {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      cv.wait(lock, [&] { return stop || !pending_revives.empty(); });
+      if (pending_revives.empty()) {
+        return;  // stop && drained
+      }
+      const int node = pending_revives.front();
+      pending_revives.pop_front();
+      // Quiesce the dead node's (zombie) workers: they park once their
+      // in-flight attempt finishes. Bounded wait — an attempt can stall
+      // a couple of seconds retrying verbs against another dead node.
+      cv.wait_for(lock, std::chrono::seconds(30),
+                  [&] { return active[static_cast<size_t>(node)] == 0; });
+      lock.unlock();
+      // Recovery issues fabric verbs which pass chaos points (and may
+      // fire more handlers), so the control mutex must not be held here.
+      txn::RecoveryManager recovery(cluster);
+      recovery.Recover(node);
+      cluster->Revive(node);
+      recovery.Recover(node);  // scrub the node's own leftover locks
+      lock.lock();
+      crashed[static_cast<size_t>(node)] = false;
+      paused[static_cast<size_t>(node)] = false;
+      cv.notify_all();
+    }
+  }
+
+  void StartOperator() {
+    operator_thread = std::thread([this] { OperatorLoop(); });
+  }
+
+  void StopOperator() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      stop = true;
+    }
+    cv.notify_all();
+    if (operator_thread.joinable()) {
+      operator_thread.join();
+    }
+  }
+
+  // Park while this worker's node is down. Returns false when the node
+  // stayed dead so long the worker should give up its remaining ops
+  // (e.g. a hand-written plan with a crash and no revive).
+  bool WaitRunnable(int node) {
+    std::unique_lock<std::mutex> lock(mu);
+    for (int spins = 0; spins < 300; ++spins) {
+      if (!paused[static_cast<size_t>(node)]) {
+        ++active[static_cast<size_t>(node)];
+        return true;
+      }
+      cv.wait_for(lock, std::chrono::milliseconds(50));
+    }
+    return false;
+  }
+
+  void EndAttempt(int node) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      --active[static_cast<size_t>(node)];
+    }
+    cv.notify_all();
+  }
+
+  std::vector<int> StillDead() {
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<int> dead;
+    for (size_t n = 0; n < crashed.size(); ++n) {
+      if (crashed[n]) {
+        dead.push_back(static_cast<int>(n));
+      }
+    }
+    return dead;
+  }
+};
+
+uint64_t Fnv1a(uint64_t hash, const void* data, size_t len) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+// One transfer-workload attempt. Returns true on commit.
+bool TransferStep(txn::Worker& worker, Xoshiro256& rng,
+                  TransferState* state) {
+  txn::Cluster& cluster = worker.cluster();
+  const int home = worker.node();
+  const uint64_t roll = rng.NextBounded(100);
+  if (roll < 55) {
+    // Intra-pair transfer (any node's pair — remote pairs make the
+    // transaction distributed) + home commit-counter bump.
+    const int target = static_cast<int>(rng.NextBounded(
+        static_cast<uint64_t>(cluster.num_nodes())));
+    const uint64_t pair = rng.NextBounded(kPairsPerNode);
+    const int64_t amount = 1 + static_cast<int64_t>(rng.NextBounded(8));
+    const bool flip = rng.NextBounded(2) == 1;
+    const uint64_t from = PairKey(target, pair, flip ? 1 : 0);
+    const uint64_t to = PairKey(target, pair, flip ? 0 : 1);
+    const uint64_t counter = CounterKey(home);
+    txn::Transaction txn(&worker);
+    txn.AddWrite(state->table, from);
+    txn.AddWrite(state->table, to);
+    txn.AddWrite(state->table, counter);
+    const txn::TxnStatus status = txn.Run([&](txn::Transaction& t) {
+      int64_t a = 0;
+      int64_t b = 0;
+      int64_t c = 0;
+      if (!t.Read(state->table, from, &a) || !t.Read(state->table, to, &b) ||
+          !t.Read(state->table, counter, &c)) {
+        return false;
+      }
+      a -= amount;
+      b += amount;
+      c += 1;
+      return t.Write(state->table, from, &a) &&
+             t.Write(state->table, to, &b) &&
+             t.Write(state->table, counter, &c);
+    });
+    if (status != txn::TxnStatus::kCommitted) {
+      return false;
+    }
+    state->ledger[state->LedgerIndex(from)].fetch_add(
+        -amount, std::memory_order_relaxed);
+    state->ledger[state->LedgerIndex(to)].fetch_add(
+        amount, std::memory_order_relaxed);
+    state->ledger[state->LedgerIndex(counter)].fetch_add(
+        1, std::memory_order_relaxed);
+    return true;
+  }
+  if (roll < 80 && state->ro_enabled) {
+    // Read-only pair check: lease fencing means the snapshot can never
+    // show a half-applied transfer, so the pair sum must be exact.
+    const int target = static_cast<int>(rng.NextBounded(
+        static_cast<uint64_t>(cluster.num_nodes())));
+    const uint64_t pair = rng.NextBounded(kPairsPerNode);
+    const uint64_t x = PairKey(target, pair, 0);
+    const uint64_t y = PairKey(target, pair, 1);
+    txn::ReadOnlyTransaction ro(&worker);
+    ro.AddRead(state->table, x);
+    ro.AddRead(state->table, y);
+    if (ro.Execute() != txn::TxnStatus::kCommitted) {
+      return false;
+    }
+    int64_t vx = 0;
+    int64_t vy = 0;
+    if (!ro.Get(state->table, x, &vx) || !ro.Get(state->table, y, &vy)) {
+      return false;
+    }
+    state->ro_commits.fetch_add(1, std::memory_order_relaxed);
+    if (vx + vy != 2 * kInitialBalance) {
+      state->ro_anomalies.fetch_add(1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+  // Local commit-counter increment.
+  const uint64_t counter = CounterKey(home);
+  txn::Transaction txn(&worker);
+  txn.AddWrite(state->table, counter);
+  const txn::TxnStatus status = txn.Run([&](txn::Transaction& t) {
+    int64_t c = 0;
+    if (!t.Read(state->table, counter, &c)) {
+      return false;
+    }
+    c += 1;
+    return t.Write(state->table, counter, &c);
+  });
+  if (status != txn::TxnStatus::kCommitted) {
+    return false;
+  }
+  state->ledger[state->LedgerIndex(counter)].fetch_add(
+      1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace
+
+const char* ChaosWorkloadName(ChaosWorkload workload) {
+  switch (workload) {
+    case ChaosWorkload::kTransfer:
+      return "transfer";
+    case ChaosWorkload::kSmallBank:
+      return "smallbank";
+    case ChaosWorkload::kTpcc:
+      return "tpcc";
+    case ChaosWorkload::kYcsb:
+      return "ycsb";
+  }
+  return "?";
+}
+
+bool ParseChaosWorkload(const std::string& name, ChaosWorkload* out) {
+  if (name == "transfer") {
+    *out = ChaosWorkload::kTransfer;
+  } else if (name == "smallbank") {
+    *out = ChaosWorkload::kSmallBank;
+  } else if (name == "tpcc") {
+    *out = ChaosWorkload::kTpcc;
+  } else if (name == "ycsb") {
+    *out = ChaosWorkload::kYcsb;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string ChaosRunResult::Artifact() const {
+  std::ostringstream out;
+  out << "chaos " << (ok() ? "ok" : "FAILED") << ": seed=" << seed
+      << " workload=" << workload << " nodes=" << nodes << " workers="
+      << workers_per_node << " ops=" << ops_per_worker << "\n";
+  out << "reproduce: chaos_runner --seed " << seed << " --workload "
+      << workload << " --nodes " << nodes << " --workers "
+      << workers_per_node << " --ops " << ops_per_worker << "\n";
+  out << "attempted=" << attempted << " committed=" << committed
+      << " ro_commits=" << ro_commits << " crashes=" << crashes << "\n";
+  out << "--- fault plan ---\n" << plan_script;
+  out << "--- firings ---\n" << firing_log;
+  out << "--- " << invariants.ToString();
+  return out.str();
+}
+
+ChaosRunResult RunChaos(uint64_t seed, const ChaosRunConfig& config) {
+  ChaosRunResult result;
+  result.seed = seed;
+  result.workload = ChaosWorkloadName(config.workload);
+  result.nodes = config.nodes;
+  result.workers_per_node = config.single_threaded ? 1 : config.workers_per_node;
+  result.ops_per_worker = config.ops_per_worker;
+
+  FaultPlan plan;
+  if (!config.plan_script.empty()) {
+    std::string error;
+    if (!FaultPlan::Parse(config.plan_script, &plan, &error)) {
+      result.invariants.violations.push_back("unparsable plan script: " +
+                                             error);
+      return result;
+    }
+    plan.set_seed(seed);
+  } else {
+    PlanParams params = config.plan_params;
+    params.num_nodes = config.nodes;
+    plan = FaultPlan::FromSeed(seed, params);
+  }
+  result.plan_script = plan.ToScript();
+
+  txn::ClusterConfig cluster_config;
+  cluster_config.num_nodes = config.nodes;
+  cluster_config.workers_per_node = std::max(1, config.workers_per_node);
+  cluster_config.region_bytes = size_t{48} << 20;
+  cluster_config.logging = true;
+  cluster_config.latency = rdma::LatencyModel::Zero();
+  // Short leases: with the default 10 ms RO lease, a chaos-shifted
+  // pile-up of read-only renewals on one hot pair can make every writer
+  // wait out (and lose) lease after lease — hundreds of fallback
+  // attempts at ~10 ms each turns one transaction into minutes. Chaos
+  // runs want many fault/recovery cycles per second, not long leases.
+  cluster_config.lease_rw_us = 1500;
+  cluster_config.lease_ro_us = 2000;
+  cluster_config.delta_us = 300;
+  cluster_config.softtime_interval_us = 200;
+
+  txn::Cluster cluster(cluster_config);
+
+  // Per-workload setup ------------------------------------------------------
+  std::unique_ptr<TransferState> transfer;
+  std::unique_ptr<workload::SmallBankDb> smallbank;
+  std::unique_ptr<workload::TpccDb> tpcc;
+  std::unique_ptr<workload::YcsbDb> ycsb;
+  int64_t smallbank_expected = 0;
+
+  if (config.workload == ChaosWorkload::kTransfer) {
+    transfer = std::make_unique<TransferState>(config.nodes);
+    transfer->ro_enabled = !config.single_threaded;
+    txn::TableSpec spec;
+    spec.value_size = 8;
+    spec.main_buckets = 1 << 8;
+    spec.indirect_buckets = 1 << 7;
+    spec.capacity = 1 << 12;
+    spec.partition = [](uint64_t key) { return static_cast<int>(key >> 32); };
+    transfer->table = cluster.AddTable(spec);
+    cluster.Start();
+    for (int node = 0; node < config.nodes; ++node) {
+      for (uint64_t p = 0; p < kPairsPerNode; ++p) {
+        for (int half = 0; half < 2; ++half) {
+          const int64_t balance = kInitialBalance;
+          cluster.hash_table(node, transfer->table)
+              ->Insert(PairKey(node, p, half), &balance);
+        }
+      }
+      const int64_t zero = 0;
+      cluster.hash_table(node, transfer->table)
+          ->Insert(CounterKey(node), &zero);
+    }
+  } else if (config.workload == ChaosWorkload::kSmallBank) {
+    workload::SmallBankDb::Params params;
+    params.accounts_per_node = 256;
+    params.hot_accounts_per_node = 32;
+    params.cross_node_probability = 0.1;
+    smallbank = std::make_unique<workload::SmallBankDb>(&cluster, params);
+    cluster.Start();
+    smallbank->Load();
+    smallbank_expected = smallbank->TotalMoney();
+  } else if (config.workload == ChaosWorkload::kTpcc) {
+    workload::TpccDb::Params params;
+    params.warehouses = config.nodes;
+    params.customers_per_district = 64;
+    params.items = 256;
+    params.initial_orders_per_district = 4;
+    tpcc = std::make_unique<workload::TpccDb>(&cluster, params);
+    cluster.Start();
+    tpcc->Load();
+  } else {
+    workload::YcsbDb::Params params;
+    params.records_per_node = 2048;
+    params.value_size = 64;
+    params.mix = workload::YcsbDb::Mix::kB;
+    params.ops_per_txn = 2;
+    ycsb = std::make_unique<workload::YcsbDb>(&cluster, params);
+    cluster.Start();
+    ycsb->Load();
+  }
+
+  // Arm --------------------------------------------------------------------
+  CrashControl control(&cluster);
+  control.StartOperator();
+  Injector& injector = Injector::Global();
+  injector.SetCrashHandler([&control](int node) { control.Crash(node); });
+  injector.SetReviveHandler(
+      [&control](int node) { control.QueueRevive(node); });
+  injector.SetSkewHandler([&control](int node, int64_t skew_us) {
+    control.Skew(node, skew_us);
+  });
+  injector.Arm(plan);
+
+  // Run --------------------------------------------------------------------
+  std::atomic<uint64_t> attempted{0};
+  std::atomic<uint64_t> committed{0};
+  auto worker_loop = [&](int node, int worker_id) {
+    txn::Worker worker(&cluster, node, worker_id);
+    Xoshiro256 rng(seed * 0x9e3779b97f4a7c15ULL + 1 +
+                   static_cast<uint64_t>(node * 64 + worker_id));
+    for (uint64_t op = 0; op < config.ops_per_worker; ++op) {
+      if (!control.WaitRunnable(node)) {
+        return;  // node stayed dead (script without a revive): give up
+      }
+      bool ok = false;
+      if (transfer != nullptr) {
+        ok = TransferStep(worker, rng, transfer.get());
+      } else if (smallbank != nullptr) {
+        // Conservation-preserving mix only: send-payment and amalgamate
+        // move money between accounts, balance reads it. The deposit /
+        // write-check / transact-savings types legitimately change
+        // TotalMoney, which would blind the conservation oracle.
+        txn::TxnStatus status;
+        const uint64_t roll = rng.NextBounded(4);
+        if (roll < 2) {
+          status = smallbank->RunSendPayment(&worker);
+        } else if (roll == 2) {
+          status = smallbank->RunAmalgamate(&worker);
+        } else {
+          status = smallbank->RunBalance(&worker);
+        }
+        ok = status == txn::TxnStatus::kCommitted;
+      } else if (tpcc != nullptr) {
+        ok = tpcc->RunMix(&worker).status == txn::TxnStatus::kCommitted;
+      } else {
+        ok = ycsb->RunTxn(&worker).committed;
+      }
+      attempted.fetch_add(1, std::memory_order_relaxed);
+      if (ok) {
+        committed.fetch_add(1, std::memory_order_relaxed);
+      }
+      control.EndAttempt(node);
+    }
+  };
+
+  if (config.single_threaded) {
+    worker_loop(0, 0);
+  } else {
+    std::vector<std::thread> threads;
+    for (int node = 0; node < config.nodes; ++node) {
+      for (int w = 0; w < config.workers_per_node; ++w) {
+        threads.emplace_back(worker_loop, node, w);
+      }
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+
+  // Repair -----------------------------------------------------------------
+  control.StopOperator();  // drains queued revives first
+  result.firing_log = injector.FiringLog();
+  injector.Disarm();  // the operator's manual repair pass runs fault-free
+  for (const int node : control.StillDead()) {
+    txn::RecoveryManager recovery(&cluster);
+    recovery.Recover(node);
+    cluster.Revive(node);
+    recovery.Recover(node);
+    std::lock_guard<std::mutex> lock(control.mu);
+    control.crashed[static_cast<size_t>(node)] = false;
+    control.paused[static_cast<size_t>(node)] = false;
+  }
+  for (int node = 0; node < config.nodes; ++node) {
+    if (control.applied_skew_us[static_cast<size_t>(node)] != 0) {
+      cluster.synctime().SetSkew(node, 0);
+    }
+  }
+  // Cooperative pass (§4.6): a crash also strands locks *on* the dead
+  // node — a survivor mid-commit against it aborts, but its unlock
+  // writes die with the target, and crashed-owner recovery only
+  // releases locks the crashed node itself held. With every node back
+  // and the cluster quiescent, replay each node's own log once: the
+  // lock-ahead records of its incomplete transactions name exactly the
+  // locks it still holds on the revived machine.
+  if (control.crashes.load() > 0) {
+    txn::RecoveryManager recovery(&cluster);
+    for (int node = 0; node < config.nodes; ++node) {
+      recovery.Recover(node);
+    }
+  }
+  // The injector is a process-global singleton: drop the handlers before
+  // the cluster they capture goes away.
+  injector.SetCrashHandler(nullptr);
+  injector.SetReviveHandler(nullptr);
+  injector.SetSkewHandler(nullptr);
+
+  result.attempted = attempted.load();
+  result.committed = committed.load();
+  result.crashes = control.crashes.load();
+
+  // Judge ------------------------------------------------------------------
+  InvariantChecker checker;
+  const std::vector<int> still_dead = control.StillDead();
+  if (transfer != nullptr) {
+    const int table = transfer->table;
+    int64_t pair_total = 0;
+    std::vector<std::pair<uint64_t, int64_t>> expected;
+    std::vector<std::pair<int, uint64_t>> records;
+    uint64_t digest = 0xcbf29ce484222325ULL;
+    for (int node = 0; node < config.nodes; ++node) {
+      for (uint64_t p = 0; p < kPairsPerNode; ++p) {
+        for (int half = 0; half < 2; ++half) {
+          const uint64_t key = PairKey(node, p, half);
+          int64_t value = 0;
+          cluster.hash_table(node, table)->Get(key, &value);
+          pair_total += value;
+          digest = Fnv1a(digest, &value, sizeof(value));
+          expected.emplace_back(
+              key, kInitialBalance +
+                       transfer->ledger[transfer->LedgerIndex(key)].load());
+          records.emplace_back(table, key);
+        }
+      }
+      const uint64_t counter = CounterKey(node);
+      int64_t value = 0;
+      cluster.hash_table(node, table)->Get(counter, &value);
+      digest = Fnv1a(digest, &value, sizeof(value));
+      expected.emplace_back(
+          counter, transfer->ledger[transfer->LedgerIndex(counter)].load());
+      records.emplace_back(table, counter);
+    }
+    result.state_digest = digest;
+    result.ro_commits = transfer->ro_commits.load();
+    result.ro_anomalies = transfer->ro_anomalies.load();
+    checker.CheckConservation(
+        "pair balances",
+        static_cast<int64_t>(config.nodes) * kPairsPerNode * 2 *
+            kInitialBalance,
+        pair_total);
+    checker.CheckCommitLedger(&cluster, table, expected);
+    checker.CheckLeaseSafety(result.ro_anomalies, result.ro_commits);
+    checker.CheckCleanRecovery(&cluster, records, still_dead);
+  } else if (smallbank != nullptr) {
+    checker.CheckConservation("smallbank total money", smallbank_expected,
+                              smallbank->TotalMoney());
+    std::vector<std::pair<int, uint64_t>> records;
+    for (int node = 0; node < config.nodes; ++node) {
+      for (uint64_t i = 0; i < smallbank->params().accounts_per_node; ++i) {
+        const uint64_t key = workload::SmallBankDb::AccountKey(node, i);
+        records.emplace_back(smallbank->savings_table(), key);
+        records.emplace_back(smallbank->checking_table(), key);
+      }
+    }
+    checker.CheckCleanRecovery(&cluster, records, still_dead);
+  } else if (tpcc != nullptr) {
+    ++checker.report().checks;
+    if (!tpcc->CheckConsistency()) {
+      checker.report().violations.push_back(
+          "conservation: TPC-C consistency conditions (YTD sums / order "
+          "continuity) violated");
+    }
+    std::vector<std::pair<int, uint64_t>> records;
+    for (uint64_t w = 0; w < static_cast<uint64_t>(tpcc->params().warehouses);
+         ++w) {
+      records.emplace_back(tpcc->warehouse_table(), w);
+      for (uint64_t d = 0; d < 10; ++d) {
+        records.emplace_back(tpcc->district_table(),
+                             workload::DistrictKey(w, d));
+      }
+    }
+    checker.CheckCleanRecovery(&cluster, records, still_dead);
+  } else {
+    std::vector<std::pair<int, uint64_t>> records;
+    for (uint64_t logical = 0; logical < ycsb->total_records(); ++logical) {
+      records.emplace_back(ycsb->table(), ycsb->KeyAt(logical));
+    }
+    checker.CheckCleanRecovery(&cluster, records, still_dead);
+  }
+  result.invariants = checker.report();
+
+  cluster.Stop();
+  return result;
+}
+
+}  // namespace chaos
+}  // namespace drtm

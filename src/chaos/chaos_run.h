@@ -1,0 +1,91 @@
+// The chaos harness: builds a logging-enabled cluster, arms the injector
+// with a seeded (or explicit) FaultPlan, runs a workload under fire,
+// performs full recovery, and validates the four invariant families
+// (invariants.h). One RunChaos call is one reproducible experiment: the
+// result carries the exact plan script, the firing log, and a digest of
+// the final store state, so a failing seed replays with
+// `chaos_runner --seed <s>` and a determinism test can assert
+// byte-identical schedules and identical outcomes.
+//
+// Workloads:
+//   kTransfer   built-in pair-transfer workload designed for the oracle —
+//               intra-pair transfers conserve each pair's sum, a
+//               client-side per-key ledger (updated only on kCommitted)
+//               catches lost/duplicated commits, and read-only pair reads
+//               assert lease fencing. All four families checked.
+//   kSmallBank  the paper's SmallBank mix; checks value conservation
+//               (TotalMoney) + clean recovery.
+//   kTpcc       the TPC-C mix; checks the spec consistency conditions
+//               (warehouse/district YTD sums, order continuity) + clean
+//               recovery over warehouse/district rows.
+//   kYcsb       YCSB-B over the cluster; checks clean recovery (smoke).
+#ifndef SRC_CHAOS_CHAOS_RUN_H_
+#define SRC_CHAOS_CHAOS_RUN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/chaos/fault_plan.h"
+#include "src/chaos/invariants.h"
+
+namespace drtm {
+namespace chaos {
+
+enum class ChaosWorkload {
+  kTransfer,
+  kSmallBank,
+  kTpcc,
+  kYcsb,
+};
+
+const char* ChaosWorkloadName(ChaosWorkload workload);
+bool ParseChaosWorkload(const std::string& name, ChaosWorkload* out);
+
+struct ChaosRunConfig {
+  ChaosWorkload workload = ChaosWorkload::kTransfer;
+  int nodes = 3;
+  int workers_per_node = 2;
+  // Closed-loop, fixed-op mode: every worker runs exactly this many
+  // transaction attempts (deterministic volume regardless of host speed).
+  uint64_t ops_per_worker = 400;
+  // Plan generation knobs (used when `plan_script` is empty).
+  PlanParams plan_params;
+  // Explicit schedule: replay this script instead of generating from the
+  // seed (the "violation artifact reproduces" path).
+  std::string plan_script;
+  // Determinism mode: one worker total, ops run inline on the calling
+  // thread so arrival ordinals are totally ordered.
+  bool single_threaded = false;
+};
+
+struct ChaosRunResult {
+  uint64_t seed = 0;
+  // Echo of the run shape, so Artifact() can print an exact repro line.
+  std::string workload;
+  int nodes = 0;
+  int workers_per_node = 0;
+  uint64_t ops_per_worker = 0;
+  std::string plan_script;  // the schedule that was armed (canonical form)
+  std::string firing_log;   // what actually fired, in firing order
+  uint64_t attempted = 0;
+  uint64_t committed = 0;
+  uint64_t ro_commits = 0;
+  uint64_t ro_anomalies = 0;
+  uint64_t crashes = 0;
+  InvariantReport invariants;
+  // FNV-1a over the final store contents (transfer workload only) — the
+  // "same outcome" half of the determinism assertion.
+  uint64_t state_digest = 0;
+
+  bool ok() const { return invariants.ok(); }
+  // The failure artifact: seed, repro command line, plan, firings,
+  // violations. Uploaded by the CI chaos job.
+  std::string Artifact() const;
+};
+
+ChaosRunResult RunChaos(uint64_t seed, const ChaosRunConfig& config);
+
+}  // namespace chaos
+}  // namespace drtm
+
+#endif  // SRC_CHAOS_CHAOS_RUN_H_

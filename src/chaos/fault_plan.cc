@@ -1,0 +1,219 @@
+#include "src/chaos/fault_plan.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "src/common/rand.h"
+
+namespace drtm {
+namespace chaos {
+
+namespace {
+
+constexpr const char* kKindNames[] = {
+    "drop", "torn_write", "delay", "nic_down",
+    "crash", "revive", "clock_skew", "crash_point",
+};
+constexpr size_t kKindCount = sizeof(kKindNames) / sizeof(kKindNames[0]);
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  const size_t index = static_cast<size_t>(kind);
+  return index < kKindCount ? kKindNames[index] : "?";
+}
+
+bool ParseFaultKind(const std::string& name, FaultKind* out) {
+  for (size_t i = 0; i < kKindCount; ++i) {
+    if (name == kKindNames[i]) {
+      *out = static_cast<FaultKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultPlan FaultPlan::FromSeed(uint64_t seed, const PlanParams& params) {
+  FaultPlan plan;
+  plan.seed_ = seed;
+  // Xoshiro256 seeds through SplitMix64, so nearby seeds diverge; the
+  // whole generation is a pure function of (seed, params).
+  Xoshiro256 rng(seed ^ 0xc5a05e93ULL);
+
+  // Points faults are drawn from. Torn writes only make sense on the
+  // write WQE path; everything transient can land on any RDMA point.
+  static const char* kRdmaPoints[] = {
+      "rdma.read.wqe", "rdma.write.wqe", "rdma.cas.wqe",
+      "rdma.faa.wqe",  "rdma.send",
+  };
+  constexpr size_t kRdmaPointCount =
+      sizeof(kRdmaPoints) / sizeof(kRdmaPoints[0]);
+
+  // Arrivals must be unique per point for the fire-on-Nth-arrival model;
+  // track (point, arrival) pairs already used.
+  std::set<std::pair<std::string, uint64_t>> used;
+  auto pick_arrival = [&](const std::string& point) {
+    for (int tries = 0; tries < 64; ++tries) {
+      const uint64_t arrival = 1 + rng.NextBounded(params.horizon_ops);
+      if (used.emplace(point, arrival).second) {
+        return arrival;
+      }
+    }
+    // Dense horizon: fall back to the first free ordinal.
+    uint64_t arrival = 1;
+    while (!used.emplace(point, arrival).second) {
+      ++arrival;
+    }
+    return arrival;
+  };
+  auto pick_victim = [&] {
+    // Node 0 stays up so survivors can always drive recovery.
+    return params.num_nodes > 1
+               ? 1 + static_cast<int32_t>(rng.NextBounded(
+                         static_cast<uint64_t>(params.num_nodes - 1)))
+               : 0;
+  };
+
+  for (int i = 0; i < params.events; ++i) {
+    FaultEvent event;
+    const uint64_t roll = rng.NextBounded(100);
+    if (roll < 30) {  // transient single-op drop
+      event.point = kRdmaPoints[rng.NextBounded(kRdmaPointCount)];
+      event.kind = FaultKind::kDropOp;
+    } else if (roll < 45) {  // torn RDMA write
+      event.point = "rdma.write.wqe";
+      event.kind = FaultKind::kTornWrite;
+      event.arg = static_cast<int64_t>(1 + rng.NextBounded(16));
+    } else if (roll < 60) {  // latency spike, 50–800 us
+      event.point = kRdmaPoints[rng.NextBounded(kRdmaPointCount)];
+      event.kind = FaultKind::kDelay;
+      event.arg = static_cast<int64_t>(50000 + rng.NextBounded(750000));
+    } else if (roll < 75) {  // NIC-down window, count-based
+      event.point = kRdmaPoints[rng.NextBounded(kRdmaPointCount)];
+      event.kind = FaultKind::kNicDown;
+      event.node = pick_victim();
+      event.arg = static_cast<int64_t>(8 + rng.NextBounded(120));
+    } else if (roll < 85 && params.allow_crash) {  // crash + paired revive
+      event.point = kRdmaPoints[rng.NextBounded(kRdmaPointCount)];
+      event.kind = FaultKind::kCrashNode;
+      event.node = pick_victim();
+      event.arrival = pick_arrival(event.point);
+      FaultEvent revive;
+      revive.point = event.point;
+      revive.kind = FaultKind::kReviveNode;
+      revive.node = event.node;
+      // Revive soon after: surviving workers stall on a dead target, so
+      // short windows keep the run moving (recovery runs at revive time).
+      revive.arrival = event.arrival + 32 + rng.NextBounded(256);
+      while (!used.emplace(revive.point, revive.arrival).second) {
+        ++revive.arrival;
+      }
+      plan.events_.push_back(std::move(event));
+      plan.events_.push_back(std::move(revive));
+      continue;
+    } else if (roll < 95 && params.allow_skew) {  // softtime skew
+      event.point = kRdmaPoints[rng.NextBounded(kRdmaPointCount)];
+      event.kind = FaultKind::kClockSkew;
+      event.node = pick_victim();
+      // Bounded to +-250 us: past DELTA the protocol may (correctly)
+      // refuse leases, which starves rather than breaks.
+      event.arg = static_cast<int64_t>(rng.NextBounded(501)) - 250;
+    } else {  // simulated power-cut at a log point
+      event.point = rng.Bernoulli(0.5) ? "log.append" : "log.replay";
+      event.kind = FaultKind::kCrashPoint;
+    }
+    event.arrival = pick_arrival(event.point);
+    plan.events_.push_back(std::move(event));
+  }
+
+  // Canonical order: by point name, then arrival. The firing order at run
+  // time is governed by arrivals, not list order, so sorting costs
+  // nothing and makes ToScript() a canonical form.
+  std::sort(plan.events_.begin(), plan.events_.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.point != b.point) return a.point < b.point;
+              return a.arrival < b.arrival;
+            });
+  return plan;
+}
+
+std::string FaultPlan::ToScript() const {
+  std::ostringstream out;
+  out << "# chaos plan seed=" << seed_ << " events=" << events_.size()
+      << "\n";
+  for (const FaultEvent& e : events_) {
+    out << "event point=" << e.point << " arrival=" << e.arrival
+        << " kind=" << FaultKindName(e.kind) << " node=" << e.node
+        << " arg=" << e.arg << "\n";
+  }
+  return out.str();
+}
+
+bool FaultPlan::Parse(const std::string& script, FaultPlan* out,
+                      std::string* error) {
+  FaultPlan plan;
+  std::istringstream in(script);
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + why;
+    }
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const size_t seed_pos = line.find("seed=");
+      if (seed_pos != std::string::npos) {
+        plan.seed_ = std::strtoull(line.c_str() + seed_pos + 5, nullptr, 10);
+      }
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string word;
+    fields >> word;
+    if (word != "event") {
+      return fail("expected 'event', got '" + word + "'");
+    }
+    FaultEvent event;
+    bool have_point = false;
+    while (fields >> word) {
+      const size_t eq = word.find('=');
+      if (eq == std::string::npos) {
+        return fail("malformed field '" + word + "'");
+      }
+      const std::string key = word.substr(0, eq);
+      const std::string value = word.substr(eq + 1);
+      if (key == "point") {
+        event.point = value;
+        have_point = true;
+      } else if (key == "arrival") {
+        event.arrival = std::strtoull(value.c_str(), nullptr, 10);
+      } else if (key == "kind") {
+        if (!ParseFaultKind(value, &event.kind)) {
+          return fail("unknown kind '" + value + "'");
+        }
+      } else if (key == "node") {
+        event.node = static_cast<int32_t>(std::strtol(value.c_str(),
+                                                      nullptr, 10));
+      } else if (key == "arg") {
+        event.arg = std::strtoll(value.c_str(), nullptr, 10);
+      } else {
+        return fail("unknown field '" + key + "'");
+      }
+    }
+    if (!have_point || event.arrival == 0) {
+      return fail("event needs point= and a positive arrival=");
+    }
+    plan.events_.push_back(std::move(event));
+  }
+  *out = std::move(plan);
+  return true;
+}
+
+}  // namespace chaos
+}  // namespace drtm

@@ -1,0 +1,84 @@
+// Deterministic fault schedules for the chaos subsystem.
+//
+// A FaultPlan is a list of FaultEvents, each bound to a *named injection
+// point* (see injector.h for the point catalog) and an *arrival ordinal*:
+// the event fires on exactly the Nth arrival at that point after the plan
+// is armed. Counting arrivals instead of wall-clock time is what makes a
+// schedule reproducible — the Nth RDMA write is the Nth RDMA write no
+// matter how fast the host runs — and a plan built from a seed serializes
+// to a byte-identical script every time (asserted by the determinism
+// test), so a failing chaos run reproduces with `chaos_runner --seed <s>`
+// or with the exact recorded script.
+#ifndef SRC_CHAOS_FAULT_PLAN_H_
+#define SRC_CHAOS_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace drtm {
+namespace chaos {
+
+enum class FaultKind : uint8_t {
+  kDropOp = 0,     // fail this one op with kNodeDown (transient)
+  kTornWrite,      // apply only `arg` bytes of this RDMA write, then fail
+  kDelay,          // latency spike: spin `arg` extra nanoseconds
+  kNicDown,        // drop the next `arg` RDMA ops targeting `node`
+  kCrashNode,      // fail-stop `node` (delivered via the crash handler)
+  kReviveNode,     // restart `node` (delivered via the revive handler)
+  kClockSkew,      // skew `node`'s softtime by `arg` microseconds
+  kCrashPoint,     // simulated power-cut at a log/txn point: the site
+                   // abandons its remaining work (torn append, truncated
+                   // replay, unreleased fallback locks)
+};
+
+const char* FaultKindName(FaultKind kind);
+bool ParseFaultKind(const std::string& name, FaultKind* out);
+
+struct FaultEvent {
+  std::string point;     // injection point name, e.g. "rdma.write.wqe"
+  uint64_t arrival = 1;  // fires on the Nth arrival (1-based) at `point`
+  FaultKind kind = FaultKind::kDropOp;
+  int32_t node = -1;     // target node; -1 means "the op's own target"
+  int64_t arg = 0;       // kind-specific (bytes / ns / op count / us)
+};
+
+struct PlanParams {
+  int num_nodes = 3;
+  int events = 12;
+  // Arrival ordinals are spread over [1, horizon_ops]; size it to the
+  // expected op volume of the run so faults land mid-workload.
+  uint64_t horizon_ops = 4000;
+  bool allow_crash = true;   // crash/revive pairs (needs a crash handler)
+  bool allow_skew = true;    // softtime skew (needs a skew handler)
+};
+
+class FaultPlan {
+ public:
+  // Deterministic generation: the same (seed, params) always yields the
+  // same event list, independent of host, thread count, or time.
+  static FaultPlan FromSeed(uint64_t seed, const PlanParams& params);
+
+  // Parses a script previously produced by ToScript(). Returns false on
+  // malformed input; *error names the offending line.
+  static bool Parse(const std::string& script, FaultPlan* out,
+                    std::string* error);
+
+  // Canonical serialization; Parse(ToScript()) round-trips exactly.
+  std::string ToScript() const;
+
+  uint64_t seed() const { return seed_; }
+  const std::vector<FaultEvent>& events() const { return events_; }
+  std::vector<FaultEvent>& events() { return events_; }
+  void set_seed(uint64_t seed) { seed_ = seed; }
+  void Add(FaultEvent event) { events_.push_back(std::move(event)); }
+
+ private:
+  uint64_t seed_ = 0;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace chaos
+}  // namespace drtm
+
+#endif  // SRC_CHAOS_FAULT_PLAN_H_

@@ -1,0 +1,257 @@
+#include "src/chaos/injector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "src/stat/metrics.h"
+
+namespace drtm {
+namespace chaos {
+
+namespace {
+
+// points_ must never reallocate: OnPoint indexes it without the mutex
+// while new sites may still be registering their function-local statics.
+constexpr size_t kMaxPoints = 256;
+
+struct ChaosMetricIds {
+  uint32_t fired = 0;
+  uint32_t drop = 0;
+  uint32_t torn = 0;
+  uint32_t delay = 0;
+  uint32_t nic_window_drop = 0;
+  uint32_t crash = 0;
+  uint32_t revive = 0;
+  uint32_t skew = 0;
+  uint32_t crash_point = 0;
+};
+
+const ChaosMetricIds& ChaosIds() {
+  static const ChaosMetricIds ids = [] {
+    stat::Registry& reg = stat::Registry::Global();
+    ChaosMetricIds c;
+    c.fired = reg.CounterId("chaos.fired");
+    c.drop = reg.CounterId("chaos.drop");
+    c.torn = reg.CounterId("chaos.torn_write");
+    c.delay = reg.CounterId("chaos.delay");
+    c.nic_window_drop = reg.CounterId("chaos.nic_window_drop");
+    c.crash = reg.CounterId("chaos.crash");
+    c.revive = reg.CounterId("chaos.revive");
+    c.skew = reg.CounterId("chaos.clock_skew");
+    c.crash_point = reg.CounterId("chaos.crash_point");
+    return c;
+  }();
+  return ids;
+}
+
+uint32_t KindCounter(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropOp:
+      return ChaosIds().drop;
+    case FaultKind::kTornWrite:
+      return ChaosIds().torn;
+    case FaultKind::kDelay:
+      return ChaosIds().delay;
+    case FaultKind::kNicDown:
+      return ChaosIds().nic_window_drop;
+    case FaultKind::kCrashNode:
+      return ChaosIds().crash;
+    case FaultKind::kReviveNode:
+      return ChaosIds().revive;
+    case FaultKind::kClockSkew:
+      return ChaosIds().skew;
+    case FaultKind::kCrashPoint:
+      return ChaosIds().crash_point;
+  }
+  return ChaosIds().fired;
+}
+
+}  // namespace
+
+Injector& Injector::Global() {
+  static Injector* injector = new Injector();
+  return *injector;
+}
+
+uint32_t Injector::Point(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (points_.capacity() < kMaxPoints) {
+    points_.reserve(kMaxPoints);
+  }
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i]->name == name) {
+      return static_cast<uint32_t>(i);
+    }
+  }
+  assert(points_.size() < kMaxPoints);
+  auto state = std::make_unique<PointState>();
+  state->name = name;
+  state->is_rdma = name.rfind("rdma.", 0) == 0;
+  points_.push_back(std::move(state));
+  return static_cast<uint32_t>(points_.size() - 1);
+}
+
+void Injector::Arm(const FaultPlan& plan) {
+  Disarm();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    armed_events_ = plan.events();
+    firings_.clear();
+    fired_total_.store(0, std::memory_order_relaxed);
+    for (auto& point : points_) {
+      point->arrivals.store(0, std::memory_order_relaxed);
+      point->triggers.clear();
+    }
+    for (int n = 0; n < kMaxNodes; ++n) {
+      nic_drop_[n].store(0, std::memory_order_relaxed);
+    }
+  }
+  // Point() takes mu_ itself; bind triggers outside the lock.
+  for (size_t i = 0; i < armed_events_.size(); ++i) {
+    const uint32_t id = Point(armed_events_[i].point);
+    std::lock_guard<std::mutex> lock(mu_);
+    points_[id]->triggers.emplace_back(armed_events_[i].arrival, i);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& point : points_) {
+      std::sort(point->triggers.begin(), point->triggers.end());
+    }
+  }
+  armed_.store(true, std::memory_order_release);
+}
+
+void Injector::Disarm() { armed_.store(false, std::memory_order_release); }
+
+void Injector::SetCrashHandler(std::function<void(int)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_handler_ = std::move(fn);
+}
+
+void Injector::SetReviveHandler(std::function<void(int)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  revive_handler_ = std::move(fn);
+}
+
+void Injector::SetSkewHandler(std::function<void(int, int64_t)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  skew_handler_ = std::move(fn);
+}
+
+void Injector::RecordFiring(const PointState& point, uint64_t arrival,
+                            const FaultEvent& event, int node) {
+  Firing firing;
+  firing.seq = fired_total_.fetch_add(1, std::memory_order_relaxed);
+  firing.point = point.name;
+  firing.arrival = arrival;
+  firing.kind = event.kind;
+  firing.node = node;
+  firing.arg = event.arg;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    firings_.push_back(std::move(firing));
+  }
+  stat::Registry& reg = stat::Registry::Global();
+  reg.Add(ChaosIds().fired);
+  reg.Add(KindCounter(event.kind));
+}
+
+Decision Injector::OnPoint(uint32_t point_id, int target_node) {
+  PointState& point = *points_[point_id];
+  const uint64_t arrival =
+      point.arrivals.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  // Scheduled event at this exact arrival?
+  const auto it = std::lower_bound(
+      point.triggers.begin(), point.triggers.end(),
+      std::make_pair(arrival, size_t{0}));
+  if (it != point.triggers.end() && it->first == arrival) {
+    const FaultEvent& event = armed_events_[it->second];
+    const int node = event.node >= 0 ? event.node : target_node;
+    RecordFiring(point, arrival, event, node);
+    switch (event.kind) {
+      case FaultKind::kDropOp:
+        return Decision{Decision::Kind::kFailOp, 0};
+      case FaultKind::kTornWrite:
+        return Decision{Decision::Kind::kTornWrite,
+                        static_cast<uint64_t>(event.arg)};
+      case FaultKind::kDelay:
+        return Decision{Decision::Kind::kDelayNs,
+                        static_cast<uint64_t>(event.arg)};
+      case FaultKind::kNicDown:
+        if (node >= 0 && node < kMaxNodes) {
+          nic_drop_[node].store(event.arg, std::memory_order_relaxed);
+        }
+        return Decision{Decision::Kind::kFailOp, 0};
+      case FaultKind::kCrashNode: {
+        std::function<void(int)> handler;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          handler = crash_handler_;
+        }
+        if (handler) {
+          handler(node);
+        }
+        return Decision{Decision::Kind::kFailOp, 0};
+      }
+      case FaultKind::kReviveNode: {
+        std::function<void(int)> handler;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          handler = revive_handler_;
+        }
+        if (handler) {
+          handler(node);
+        }
+        return Decision{};
+      }
+      case FaultKind::kClockSkew: {
+        std::function<void(int, int64_t)> handler;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          handler = skew_handler_;
+        }
+        if (handler) {
+          handler(node, event.arg);
+        }
+        return Decision{};
+      }
+      case FaultKind::kCrashPoint:
+        return Decision{Decision::Kind::kAbandon, 0};
+    }
+  }
+
+  // Open NIC-down window covering this op's target?
+  if (point.is_rdma && target_node >= 0 && target_node < kMaxNodes &&
+      nic_drop_[target_node].load(std::memory_order_relaxed) > 0) {
+    if (nic_drop_[target_node].fetch_sub(1, std::memory_order_relaxed) > 0) {
+      stat::Registry::Global().Add(ChaosIds().nic_window_drop);
+      return Decision{Decision::Kind::kFailOp, 0};
+    }
+    // Lost the race past zero; repair and fall through.
+    nic_drop_[target_node].store(0, std::memory_order_relaxed);
+  }
+  return Decision{};
+}
+
+std::vector<Injector::Firing> Injector::Firings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Firing> out = firings_;
+  std::sort(out.begin(), out.end(),
+            [](const Firing& a, const Firing& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::string Injector::FiringLog() const {
+  std::ostringstream out;
+  for (const Firing& f : Firings()) {
+    out << "fire " << f.seq << ": point=" << f.point
+        << " arrival=" << f.arrival << " kind=" << FaultKindName(f.kind)
+        << " node=" << f.node << " arg=" << f.arg << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace chaos
+}  // namespace drtm

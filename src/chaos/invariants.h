@@ -1,0 +1,79 @@
+// Invariant oracle for chaos runs (ISSUE 5 tentpole). After a run under
+// fault injection — crashes, torn writes, dropped WQEs, clock skew — the
+// checker validates the four correctness families the DrTM protocol
+// promises to preserve:
+//
+//   1. Value conservation: transfers move money, they never mint or burn
+//      it (SmallBank TotalMoney / the chaos transfer workload pair sums).
+//   2. No lost or duplicated commits: a client-side commit-intent ledger
+//      (updated only after Run() returned kCommitted) must match a
+//      post-recovery scan of the store byte for byte.
+//   3. Lease safety: no read-only transaction may observe a write it
+//      should have been fenced from — an RO pair read that returns a
+//      half-applied transfer is a protocol violation, not bad luck.
+//   4. Clean recovery: once every crashed node is revived and recovered,
+//      no record is left write-locked and no node is still marked dead.
+//
+// Violations are collected, not thrown, so one run reports everything it
+// found; InvariantReport::ToString() is the artifact body a failing CI
+// run uploads next to the fault schedule.
+#ifndef SRC_CHAOS_INVARIANTS_H_
+#define SRC_CHAOS_INVARIANTS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace drtm {
+namespace txn {
+class Cluster;
+}  // namespace txn
+
+namespace chaos {
+
+struct InvariantReport {
+  int checks = 0;
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;
+};
+
+class InvariantChecker {
+ public:
+  InvariantReport& report() { return report_; }
+  const InvariantReport& report() const { return report_; }
+
+  // Family 1: `actual` must equal `expected` exactly (quiescent sums).
+  void CheckConservation(const std::string& what, int64_t expected,
+                         int64_t actual);
+
+  // Family 2: every (key -> expected int64 value) pair must match the
+  // store after recovery. A mismatch means a commit was lost (store
+  // behind the ledger) or duplicated/phantom (store ahead of it).
+  void CheckCommitLedger(
+      txn::Cluster* cluster, int table,
+      const std::vector<std::pair<uint64_t, int64_t>>& expected);
+
+  // Family 3: `anomalies` read-only transactions observed a fenced
+  // write (e.g. a half-applied transfer). Any anomaly is a violation.
+  void CheckLeaseSafety(uint64_t anomalies, uint64_t ro_commits);
+
+  // Family 4: after full recovery no listed (table, key) record may be
+  // write-locked and `still_dead` must be empty.
+  void CheckCleanRecovery(
+      txn::Cluster* cluster,
+      const std::vector<std::pair<int, uint64_t>>& records,
+      const std::vector<int>& still_dead);
+
+ private:
+  void Violation(std::string message);
+
+  InvariantReport report_;
+};
+
+}  // namespace chaos
+}  // namespace drtm
+
+#endif  // SRC_CHAOS_INVARIANTS_H_

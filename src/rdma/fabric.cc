@@ -1,8 +1,10 @@
 #include "src/rdma/fabric.h"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 
+#include "src/chaos/injector.h"
 #include "src/common/clock.h"
 #include "src/htm/htm.h"
 #include "src/stat/metrics.h"
@@ -55,6 +57,33 @@ const VerbIds& Verbs() {
   return ids;
 }
 
+// Per-WQE chaos injection points. Placed in the shared executors so the
+// scalar verbs, the doorbell-batched SendQueue and the PhaseScatter
+// engine are all covered by the same hooks (they funnel through
+// Execute*). A kDelayNs decision models a NIC latency spike; kFailOp /
+// kAbandon surface as kNodeDown exactly like a real fail-stop target.
+struct WqePoints {
+  uint32_t read;
+  uint32_t write;
+  uint32_t cas;
+  uint32_t faa;
+  uint32_t send;
+};
+
+const WqePoints& ChaosPoints() {
+  static const WqePoints points = [] {
+    chaos::Injector& injector = chaos::Injector::Global();
+    WqePoints p;
+    p.read = injector.Point("rdma.read.wqe");
+    p.write = injector.Point("rdma.write.wqe");
+    p.cas = injector.Point("rdma.cas.wqe");
+    p.faa = injector.Point("rdma.faa.wqe");
+    p.send = injector.Point("rdma.send");
+    return p;
+  }();
+  return points;
+}
+
 }  // namespace
 
 struct Fabric::PendingRpc {
@@ -89,6 +118,14 @@ OpStatus Fabric::ExecuteRead(int target, uint64_t offset, void* dst,
   if (!IsAlive(target)) {
     return OpStatus::kNodeDown;
   }
+  const chaos::Decision fault = chaos::Check(ChaosPoints().read, target);
+  if (fault.kind == chaos::Decision::Kind::kFailOp ||
+      fault.kind == chaos::Decision::Kind::kAbandon) {
+    return OpStatus::kNodeDown;
+  }
+  if (fault.kind == chaos::Decision::Kind::kDelayNs) {
+    SpinFor(fault.arg);
+  }
   htm::StrongRead(dst, memory(target).At(offset), len);
   ThreadStats& stats = LocalThreadStats();
   ++stats.reads;
@@ -104,6 +141,24 @@ OpStatus Fabric::ExecuteWrite(int target, uint64_t offset, const void* src,
   if (!IsAlive(target)) {
     return OpStatus::kNodeDown;
   }
+  const chaos::Decision fault = chaos::Check(ChaosPoints().write, target);
+  if (fault.kind == chaos::Decision::Kind::kFailOp ||
+      fault.kind == chaos::Decision::Kind::kAbandon) {
+    return OpStatus::kNodeDown;
+  }
+  if (fault.kind == chaos::Decision::Kind::kTornWrite) {
+    // Partial application: the NIC died mid-transfer. The prefix lands
+    // (through the same strong-access path, so HTM conflicts still fire),
+    // the caller sees a failed op.
+    const size_t prefix = std::min(static_cast<size_t>(fault.arg), len);
+    if (prefix > 0) {
+      htm::StrongWrite(memory(target).At(offset), src, prefix);
+    }
+    return OpStatus::kNodeDown;
+  }
+  if (fault.kind == chaos::Decision::Kind::kDelayNs) {
+    SpinFor(fault.arg);
+  }
   htm::StrongWrite(memory(target).At(offset), src, len);
   ThreadStats& stats = LocalThreadStats();
   ++stats.writes;
@@ -118,6 +173,14 @@ OpStatus Fabric::ExecuteCas(int target, uint64_t offset, uint64_t expected,
                             uint64_t desired, uint64_t* observed) {
   if (!IsAlive(target)) {
     return OpStatus::kNodeDown;
+  }
+  const chaos::Decision fault = chaos::Check(ChaosPoints().cas, target);
+  if (fault.kind == chaos::Decision::Kind::kFailOp ||
+      fault.kind == chaos::Decision::Kind::kAbandon) {
+    return OpStatus::kNodeDown;
+  }
+  if (fault.kind == chaos::Decision::Kind::kDelayNs) {
+    SpinFor(fault.arg);
   }
   uint64_t* addr = static_cast<uint64_t*>(memory(target).At(offset));
   {
@@ -136,6 +199,14 @@ OpStatus Fabric::ExecuteFaa(int target, uint64_t offset, uint64_t delta,
                             uint64_t* observed) {
   if (!IsAlive(target)) {
     return OpStatus::kNodeDown;
+  }
+  const chaos::Decision fault = chaos::Check(ChaosPoints().faa, target);
+  if (fault.kind == chaos::Decision::Kind::kFailOp ||
+      fault.kind == chaos::Decision::Kind::kAbandon) {
+    return OpStatus::kNodeDown;
+  }
+  if (fault.kind == chaos::Decision::Kind::kDelayNs) {
+    SpinFor(fault.arg);
   }
   uint64_t* addr = static_cast<uint64_t*>(memory(target).At(offset));
   {
@@ -208,6 +279,14 @@ OpStatus Fabric::Send(int from, int to, uint32_t kind,
   if (!IsAlive(to)) {
     return OpStatus::kNodeDown;
   }
+  const chaos::Decision fault = chaos::Check(ChaosPoints().send, to);
+  if (fault.kind == chaos::Decision::Kind::kFailOp ||
+      fault.kind == chaos::Decision::Kind::kAbandon) {
+    return OpStatus::kNodeDown;
+  }
+  if (fault.kind == chaos::Decision::Kind::kDelayNs) {
+    SpinFor(fault.arg);
+  }
   const uint64_t latency_ns = config_.latency.SendNs(payload.size());
   SpinFor(latency_ns);
   Message msg;
@@ -228,6 +307,14 @@ OpStatus Fabric::Rpc(int from, int to, uint32_t kind,
                      uint64_t timeout_us) {
   if (!IsAlive(to)) {
     return OpStatus::kNodeDown;
+  }
+  const chaos::Decision fault = chaos::Check(ChaosPoints().send, to);
+  if (fault.kind == chaos::Decision::Kind::kFailOp ||
+      fault.kind == chaos::Decision::Kind::kAbandon) {
+    return OpStatus::kNodeDown;
+  }
+  if (fault.kind == chaos::Decision::Kind::kDelayNs) {
+    SpinFor(fault.arg);
   }
   const uint64_t rpc_id = next_rpc_id_.fetch_add(1, std::memory_order_relaxed);
   auto pending = std::make_shared<PendingRpc>();

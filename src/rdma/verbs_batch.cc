@@ -150,12 +150,25 @@ void SendQueue::CompleteSubmission() {
 }
 
 void SendQueue::ExecuteSubmitted() {
-  // Execute the WQEs in post order; a WQE targeting a dead node
-  // completes with kNodeDown individually.
+  // Execute the WQEs in post order. Reliable-connection semantics: the
+  // first WQE that fails moves the QP to the error state, and every
+  // WQE behind it completes flushed (kNodeDown) WITHOUT executing.
+  // Later-posted ops must not land when an earlier one did not — e.g.
+  // a commit's unlock WRITE must never apply if its write-back WRITE
+  // was lost, or the failure handler's write-back retry would re-lock
+  // the entry after the stale unlock and leak the lock forever. The
+  // next doorbell starts from a re-armed QP (transient faults do not
+  // poison the queue for good; a dead node keeps failing via IsAlive).
   const size_t submitted = submitted_.size();
+  bool errored = false;
   for (const Wqe& wqe : submitted_) {
     Completion comp;
     comp.wr_id = wqe.wr_id;
+    if (errored) {
+      comp.status = OpStatus::kNodeDown;
+      completions_.push_back(comp);
+      continue;
+    }
     switch (wqe.opcode) {
       case Opcode::kRead:
         comp.status = fabric_.ExecuteRead(target_, wqe.offset, wqe.dst,
@@ -173,6 +186,9 @@ void SendQueue::ExecuteSubmitted() {
         comp.status = fabric_.ExecuteFaa(target_, wqe.offset, wqe.delta,
                                          &comp.observed);
         break;
+    }
+    if (comp.status != OpStatus::kOk) {
+      errored = true;
     }
     completions_.push_back(comp);
   }

@@ -19,6 +19,11 @@
 //     AtomicLevel settings, same as the scalar path.
 //   * Completions are delivered exactly once, in submission order; a
 //     WQE against a dead node completes with OpStatus::kNodeDown.
+//   * Reliable-connection error semantics: the first WQE of a batch
+//     that fails errors the queue, and every WQE posted behind it in
+//     the same batch completes with kNodeDown without executing (the
+//     flush a real RC QP performs when it enters the error state). The
+//     next doorbell submits on a re-armed queue.
 //
 // Posting past the configured max-outstanding window rings the doorbell
 // automatically (a full hardware send queue forces a flush). A SendQueue

@@ -157,14 +157,15 @@ uint32_t BPlusTree::DescendToLeaf(uint64_t key, uint32_t* path,
       ++i;
     }
     if (path != nullptr) {
+      // drtm-lint: allow(TX01 out-params point at the caller's stack, not tree memory)
       path[d] = node;
-      path_child[d] = i;
+      path_child[d] = i;  // drtm-lint: allow(TX01 out-param, caller's stack)
     }
     ++d;
     node = ChildAt(node, i);
   }
   if (depth != nullptr) {
-    *depth = d;
+    *depth = d;  // drtm-lint: allow(TX01 out-param, caller's stack)
   }
   return node;
 }

@@ -105,8 +105,9 @@ bool ClusterHashTable::FindSlot(uint64_t key, uint64_t* bucket_off,
     for (int i = 0; i < kSlotsPerBucket; ++i) {
       const HeaderSlot slot = LoadSlot(bucket, i);
       if (slot.type() == SlotType::kEntry && slot.key == key) {
+        // drtm-lint: allow(TX01 out-params point at the caller's stack, not table memory)
         *bucket_off = bucket;
-        *slot_index = i;
+        *slot_index = i;  // drtm-lint: allow(TX01 out-param, caller's stack)
         return true;
       }
       if (slot.type() == SlotType::kHeader) {

@@ -75,6 +75,13 @@ struct ClusterConfig {
   size_t log_segment_bytes = size_t{8} << 20;
   size_t location_cache_bytes = size_t{16} << 20;
   bool enable_location_cache = true;
+  // Adaptive install admission for the location caches: a shard that is
+  // nearly full and thrashing (live cache.hit/cache.miss window hit
+  // rate < 10%) rations installs to 1 in 2^k, k <= 5, and decays the
+  // throttle when the hit rate recovers (>= 25%). Exported as the
+  // cache.admit_shift.<label> gauge; false restores unconditional
+  // installs.
+  bool adaptive_cache_admission = true;
   // When false, remote reads take exclusive locks instead of leases
   // (the paper's "w/o read lease" ablation, Fig. 17).
   bool enable_read_lease = true;

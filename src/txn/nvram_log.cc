@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/chaos/injector.h"
 #include "src/htm/htm.h"
 #include "src/stat/metrics.h"
 #include "src/stat/timer.h"
@@ -78,6 +79,19 @@ bool NvramLog::Append(int worker, LogType type, uint64_t txn_id,
   if (len > 0) {
     htm::WriteBytes(dst + sizeof(header), payload, len);
   }
+  // Chaos crash point between the payload write and the head publish: a
+  // power cut here leaves a torn record below the head counter — which
+  // must be invisible to replay (the head is the commit point of an
+  // append). kAbandon simulates exactly that: payload written, head
+  // untouched, caller told the append failed.
+  static const uint32_t kAppendPoint =
+      chaos::Injector::Global().Point("log.append");
+  const chaos::Decision fault =
+      chaos::Check(kAppendPoint, memory_->node_id());
+  if (fault.kind == chaos::Decision::Kind::kAbandon ||
+      fault.kind == chaos::Decision::Kind::kFailOp) {
+    return false;
+  }
   htm::Store(head, used + need);
   stat::Registry& reg = stat::Registry::Global();
   reg.Add(LogIds().appends);
@@ -87,12 +101,24 @@ bool NvramLog::Append(int worker, LogType type, uint64_t txn_id,
 
 void NvramLog::ForEach(
     const std::function<void(int worker, const LogRecord&)>& fn) const {
+  // Chaos crash point per replayed record: a recovery scan interrupted
+  // here models the recovering machine itself dying mid-replay. Replay
+  // must be idempotent, so a later full scan finishes the job (asserted
+  // by tests/recovery_fault_test.cc).
+  static const uint32_t kReplayPoint =
+      chaos::Injector::Global().Point("log.replay");
   for (size_t w = 0; w < segments_.size(); ++w) {
     const SegmentRef& seg = segments_[w];
     const uint64_t used = htm::StrongLoad(
         static_cast<const uint64_t*>(memory_->At(seg.head_off)));
     uint64_t pos = 0;
     while (pos + sizeof(RecordHeader) <= used) {
+      const chaos::Decision fault =
+          chaos::Check(kReplayPoint, memory_->node_id());
+      if (fault.kind == chaos::Decision::Kind::kAbandon ||
+          fault.kind == chaos::Decision::Kind::kFailOp) {
+        return;
+      }
       RecordHeader header;
       htm::StrongRead(&header, memory_->At(seg.base_off + pos),
                       sizeof(header));

@@ -56,31 +56,35 @@ RecoveryManager::Report RecoveryManager::Recover(int crashed_node) {
       ++report.committed_txns;
       NvramLog::DecodeUpdates(
           state.wal, [&](const LogUpdate& update, const uint8_t* value) {
-            if (update.node == crashed_node) {
-              return;  // local effects committed with XEND and survived
-            }
             if (!fabric.IsAlive(update.node)) {
               return;
             }
-            uint32_t current_version = 0;
-            if (fabric.Read(update.node,
-                            update.entry_off + store::kEntryVersionOffset,
-                            &current_version,
-                            sizeof(current_version)) != rdma::OpStatus::kOk) {
-              return;
-            }
-            if (current_version < update.version) {
-              std::vector<uint8_t> blob(4 + update.value_len);
-              std::memcpy(blob.data(), &update.version, 4);
-              std::memcpy(blob.data() + 4, value, update.value_len);
-              // Write version, skip the state word, then the value.
-              fabric.Write(update.node,
-                           update.entry_off + store::kEntryVersionOffset,
-                           blob.data(), 4);
-              fabric.Write(update.node,
-                           update.entry_off + store::kEntryValueOffset,
-                           blob.data() + 4, update.value_len);
-              ++report.redone_updates;
+            if (update.node != crashed_node) {
+              // Remote effects may be missing: redo if the target is
+              // still on an older version. Local effects (the crashed
+              // node's own records) committed with XEND and survived in
+              // NVRAM-backed memory — no redo, but their locks must
+              // still be released below once the node is back.
+              uint32_t current_version = 0;
+              if (fabric.Read(update.node,
+                              update.entry_off + store::kEntryVersionOffset,
+                              &current_version, sizeof(current_version)) !=
+                  rdma::OpStatus::kOk) {
+                return;
+              }
+              if (current_version < update.version) {
+                std::vector<uint8_t> blob(4 + update.value_len);
+                std::memcpy(blob.data(), &update.version, 4);
+                std::memcpy(blob.data() + 4, value, update.value_len);
+                // Write version, skip the state word, then the value.
+                fabric.Write(update.node,
+                             update.entry_off + store::kEntryVersionOffset,
+                             blob.data(), 4);
+                fabric.Write(update.node,
+                             update.entry_off + store::kEntryValueOffset,
+                             blob.data() + 4, update.value_len);
+                ++report.redone_updates;
+              }
             }
             // Release the exclusive lock if the crashed machine owns it.
             const uint64_t state_off =

@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "src/chaos/injector.h"
 #include "src/common/clock.h"
 #include "src/rdma/phase_scatter.h"
 #include "src/rdma/verbs_batch.h"
@@ -685,10 +686,17 @@ void Transaction::WriteWalInHtm() {
                wal_buffer_.data(), wal_buffer_.size());
 }
 
-void Transaction::WriteBackAndUnlock() {
+bool Transaction::WriteBackAndUnlock() {
   const uint64_t locked_val =
       MakeWriteLocked(static_cast<uint8_t>(worker_->node()));
   const uint64_t init = kStateInit;
+  // Chaos crash point, mirrored from the ordered fallback's release
+  // loop: a machine dying here posts no further write-backs or unlocks
+  // and never writes its Complete record — recovery must redo the WAL
+  // updates and release the remaining locks.
+  static const uint32_t kFallbackUnlockPoint =
+      chaos::Injector::Global().Point("txn.fallback.unlock");
+  bool release_abandoned = false;
   // Per ref: one WRITE for version + (still-held) state + value, then
   // one WRITE to unlock — the two-op commit of REMOTE_WRITE_BACK
   // (Fig. 5). All of a node's WRITEs ride one doorbell and every
@@ -710,6 +718,14 @@ void Transaction::WriteBackAndUnlock() {
     Ref& ref = refs_[i];
     if (!ref.locked) {
       continue;
+    }
+    if (!release_abandoned &&
+        chaos::Check(kFallbackUnlockPoint, ref.node).kind ==
+            chaos::Decision::Kind::kAbandon) {
+      release_abandoned = true;
+    }
+    if (release_abandoned) {
+      continue;  // simulated death mid-release: lock stays held
     }
     rdma::SendQueue& sq = scatter.To(ref.node);
     if (ref.dirty) {
@@ -760,9 +776,12 @@ void Transaction::WriteBackAndUnlock() {
       UnlockRef(ref);
     }
   }
-  for (Ref& ref : refs_) {
-    ref.locked = false;
+  if (!release_abandoned) {
+    for (Ref& ref : refs_) {
+      ref.locked = false;
+    }
   }
+  return !release_abandoned;
 }
 
 void Transaction::ReleaseRemoteLocks() {
@@ -843,8 +862,7 @@ TxnStatus Transaction::Run(const Body& body) {
     if (hstatus == htm::kCommitted) {
       {
         stat::ScopedTimer commit_phase(Ids().commit_ns);
-        WriteBackAndUnlock();
-        if (cfg_.logging) {
+        if (WriteBackAndUnlock() && cfg_.logging) {
           cluster_.log(worker_->node())
               ->Append(worker_->worker_id(), LogType::kComplete, txn_id_,
                        nullptr, 0);
@@ -1516,8 +1534,22 @@ TxnStatus Transaction::RunFallback(const Body& body) {
         }
       }
     }
+    // Chaos crash point in the release loop: a machine dying here leaves
+    // the remaining locks held and never writes the Complete record —
+    // recovery must release them from the lock-ahead/WAL logs.
+    static const uint32_t kFallbackUnlockPoint =
+        chaos::Injector::Global().Point("txn.fallback.unlock");
+    bool release_abandoned = false;
     for (Ref& ref : refs_) {
       if (ref.locked) {
+        if (!release_abandoned &&
+            chaos::Check(kFallbackUnlockPoint, ref.node).kind ==
+                chaos::Decision::Kind::kAbandon) {
+          release_abandoned = true;
+        }
+        if (release_abandoned) {
+          continue;  // simulated death mid-release: lock stays held
+        }
         if (ref.local &&
             cluster_.fabric().atomic_level() == rdma::AtomicLevel::kGlob) {
           uint64_t* addr = cluster_.hash_table(ref.node, ref.table)
@@ -1530,7 +1562,7 @@ TxnStatus Transaction::RunFallback(const Body& body) {
         ref.locked = false;
       }
     }
-    if (cfg_.logging) {
+    if (cfg_.logging && !release_abandoned) {
       cluster_.log(worker_->node())
           ->Append(worker_->worker_id(), LogType::kComplete, txn_id_, nullptr,
                    0);

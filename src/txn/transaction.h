@@ -239,7 +239,10 @@ class Transaction {
   bool ResolveRemoteRefs(const std::vector<Ref*>& remote);
   void ConfirmLeasesInHtm();
   void WriteWalInHtm();
-  void WriteBackAndUnlock();
+  // Returns false when a chaos crash point abandoned the release
+  // (simulated death mid-commit): remaining locks stay held and the
+  // caller must not write the Complete record.
+  bool WriteBackAndUnlock();
   void ReleaseRemoteLocks();
   void ResetRefsForRetry();
   TxnStatus RunHtmPath(const Body& body, bool* out_committed);

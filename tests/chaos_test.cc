@@ -1,0 +1,283 @@
+// Chaos subsystem tests (src/chaos): fault-plan determinism and script
+// round-tripping, exact-arrival injector firing, NIC-down windows, the
+// invariant oracle, and whole-run determinism of the chaos harness —
+// the same seed must produce a byte-identical fault schedule and the
+// same run outcome, which is what makes `chaos_runner --seed <s>` a
+// one-command reproduction of any failure.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/chaos/chaos_run.h"
+#include "src/chaos/fault_plan.h"
+#include "src/chaos/injector.h"
+#include "src/chaos/invariants.h"
+#include "src/htm/htm.h"
+#include "src/store/kv_layout.h"
+#include "src/txn/cluster.h"
+#include "src/txn/lock_state.h"
+
+namespace drtm {
+namespace chaos {
+namespace {
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    Injector::Global().Disarm();
+    Injector::Global().SetCrashHandler(nullptr);
+    Injector::Global().SetReviveHandler(nullptr);
+    Injector::Global().SetSkewHandler(nullptr);
+  }
+};
+
+// --- fault plans -----------------------------------------------------------
+
+TEST_F(ChaosTest, FromSeedIsByteIdentical) {
+  PlanParams params;
+  params.num_nodes = 3;
+  params.events = 16;
+  params.horizon_ops = 5000;
+  const FaultPlan a = FaultPlan::FromSeed(42, params);
+  const FaultPlan b = FaultPlan::FromSeed(42, params);
+  EXPECT_EQ(a.ToScript(), b.ToScript());
+  EXPECT_FALSE(a.events().empty());
+}
+
+TEST_F(ChaosTest, FromSeedDifferentSeedsDiffer) {
+  PlanParams params;
+  const FaultPlan a = FaultPlan::FromSeed(1, params);
+  const FaultPlan b = FaultPlan::FromSeed(2, params);
+  EXPECT_NE(a.ToScript(), b.ToScript());
+}
+
+TEST_F(ChaosTest, ScriptRoundTrips) {
+  PlanParams params;
+  params.events = 20;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const FaultPlan plan = FaultPlan::FromSeed(seed, params);
+    FaultPlan reparsed;
+    std::string error;
+    ASSERT_TRUE(FaultPlan::Parse(plan.ToScript(), &reparsed, &error)) << error;
+    EXPECT_EQ(reparsed.seed(), seed);
+    EXPECT_EQ(reparsed.ToScript(), plan.ToScript());
+  }
+}
+
+TEST_F(ChaosTest, ParseRejectsMalformedScript) {
+  FaultPlan plan;
+  std::string error;
+  EXPECT_FALSE(FaultPlan::Parse(
+      "event point=rdma.read.wqe arrival=1 kind=not_a_kind node=0 arg=0\n",
+      &plan, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(ChaosTest, FromSeedNeverCrashesNodeZeroAndPairsRevives) {
+  PlanParams params;
+  params.events = 24;
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    const FaultPlan plan = FaultPlan::FromSeed(seed, params);
+    int crashes = 0;
+    int revives = 0;
+    for (const FaultEvent& event : plan.events()) {
+      if (event.kind == FaultKind::kCrashNode) {
+        ++crashes;
+        EXPECT_GE(event.node, 1) << "node 0 must never be crashed";
+      } else if (event.kind == FaultKind::kReviveNode) {
+        ++revives;
+      }
+    }
+    EXPECT_EQ(crashes, revives) << "every crash needs a paired revive";
+  }
+}
+
+// --- injector --------------------------------------------------------------
+
+TEST_F(ChaosTest, InjectorFiresAtExactArrival) {
+  Injector& injector = Injector::Global();
+  const uint32_t point = injector.Point("test.exact_arrival");
+  FaultPlan plan;
+  plan.Add(FaultEvent{"test.exact_arrival", 3, FaultKind::kDropOp, -1, 0});
+  injector.Arm(plan);
+  EXPECT_EQ(Check(point, 0).kind, Decision::Kind::kNone);
+  EXPECT_EQ(Check(point, 0).kind, Decision::Kind::kNone);
+  EXPECT_EQ(Check(point, 0).kind, Decision::Kind::kFailOp);
+  EXPECT_EQ(Check(point, 0).kind, Decision::Kind::kNone);
+  EXPECT_EQ(injector.firing_count(), 1u);
+  EXPECT_NE(injector.FiringLog().find("test.exact_arrival"),
+            std::string::npos);
+}
+
+TEST_F(ChaosTest, InjectorArmResetsArrivalCounters) {
+  Injector& injector = Injector::Global();
+  const uint32_t point = injector.Point("test.rearm");
+  FaultPlan plan;
+  plan.Add(FaultEvent{"test.rearm", 1, FaultKind::kDropOp, -1, 0});
+  injector.Arm(plan);
+  EXPECT_EQ(Check(point, 0).kind, Decision::Kind::kFailOp);
+  injector.Arm(plan);  // re-arm: the same event must fire again
+  EXPECT_EQ(Check(point, 0).kind, Decision::Kind::kFailOp);
+}
+
+TEST_F(ChaosTest, NicDownWindowDropsFollowingOpsToThatNode) {
+  Injector& injector = Injector::Global();
+  const uint32_t point = injector.Point("rdma.read.wqe");
+  FaultPlan plan;
+  plan.Add(FaultEvent{"rdma.read.wqe", 1, FaultKind::kNicDown, 1, 2});
+  injector.Arm(plan);
+  // The triggering op is dropped and opens a 2-op window for node 1.
+  EXPECT_EQ(Check(point, 1).kind, Decision::Kind::kFailOp);
+  // Other targets are unaffected while node 1's window drains.
+  EXPECT_EQ(Check(point, 0).kind, Decision::Kind::kNone);
+  EXPECT_EQ(Check(point, 1).kind, Decision::Kind::kFailOp);
+  EXPECT_EQ(Check(point, 1).kind, Decision::Kind::kFailOp);
+  EXPECT_EQ(Check(point, 1).kind, Decision::Kind::kNone);
+}
+
+TEST_F(ChaosTest, DisarmedCheckIsTransparent) {
+  Injector& injector = Injector::Global();
+  const uint32_t point = injector.Point("test.disarmed");
+  ASSERT_FALSE(injector.armed());
+  EXPECT_EQ(Check(point, 0).kind, Decision::Kind::kNone);
+}
+
+// --- invariant oracle ------------------------------------------------------
+
+TEST_F(ChaosTest, ConservationCheckPassesAndFails) {
+  InvariantChecker ok_checker;
+  ok_checker.CheckConservation("total", 100, 100);
+  EXPECT_TRUE(ok_checker.report().ok());
+
+  InvariantChecker bad_checker;
+  bad_checker.CheckConservation("total", 100, 93);
+  EXPECT_FALSE(bad_checker.report().ok());
+  EXPECT_NE(bad_checker.report().ToString().find("conservation"),
+            std::string::npos);
+}
+
+TEST_F(ChaosTest, LeaseSafetyCheckFlagsAnomalies) {
+  InvariantChecker checker;
+  checker.CheckLeaseSafety(0, 500);
+  EXPECT_TRUE(checker.report().ok());
+  checker.CheckLeaseSafety(3, 500);
+  EXPECT_FALSE(checker.report().ok());
+}
+
+TEST_F(ChaosTest, LedgerAndCleanRecoveryChecksScanTheStore) {
+  txn::ClusterConfig config;
+  config.num_nodes = 2;
+  config.workers_per_node = 1;
+  config.region_bytes = 16 << 20;
+  txn::Cluster cluster(config);
+  txn::TableSpec spec;
+  spec.value_size = 8;
+  spec.main_buckets = 1 << 6;
+  spec.capacity = 1 << 10;
+  spec.partition = [](uint64_t key) { return static_cast<int>(key % 2); };
+  const int table = cluster.AddTable(spec);
+  cluster.Start();
+  const int64_t value = 77;
+  ASSERT_TRUE(cluster.hash_table(1, table)->Insert(1, &value));
+
+  InvariantChecker good;
+  good.CheckCommitLedger(&cluster, table, {{1, 77}});
+  good.CheckCleanRecovery(&cluster, {{table, 1}}, {});
+  EXPECT_TRUE(good.report().ok());
+
+  InvariantChecker lost;
+  lost.CheckCommitLedger(&cluster, table, {{1, 78}});
+  EXPECT_FALSE(lost.report().ok());
+  EXPECT_NE(lost.report().ToString().find("lost commit"), std::string::npos);
+
+  // Leak a write lock; the clean-recovery family must flag it.
+  store::ClusterHashTable* host = cluster.hash_table(1, table);
+  const uint64_t entry = host->FindEntry(1);
+  htm::StrongStore(host->StatePtr(entry), txn::MakeWriteLocked(0));
+  InvariantChecker leaked;
+  leaked.CheckCleanRecovery(&cluster, {{table, 1}}, {});
+  EXPECT_FALSE(leaked.report().ok());
+  EXPECT_NE(leaked.report().ToString().find("write-locked"),
+            std::string::npos);
+  htm::StrongStore(host->StatePtr(entry), txn::kStateInit);
+  cluster.Stop();
+}
+
+// --- whole-run determinism -------------------------------------------------
+
+ChaosRunConfig DeterministicConfig() {
+  ChaosRunConfig config;
+  config.workload = ChaosWorkload::kTransfer;
+  config.nodes = 2;
+  config.workers_per_node = 1;
+  config.ops_per_worker = 150;
+  config.single_threaded = true;
+  // Crash choreography and skew run on operator threads whose timing is
+  // not part of the deterministic contract; keep the plan to data-plane
+  // faults (drops, torn writes, delays, NIC windows).
+  config.plan_params.allow_crash = false;
+  config.plan_params.allow_skew = false;
+  config.plan_params.events = 10;
+  config.plan_params.horizon_ops = 600;
+  return config;
+}
+
+TEST_F(ChaosTest, SameSeedSameScheduleSameOutcome) {
+  const ChaosRunConfig config = DeterministicConfig();
+  const ChaosRunResult a = RunChaos(11, config);
+  const ChaosRunResult b = RunChaos(11, config);
+  ASSERT_TRUE(a.ok()) << a.Artifact();
+  EXPECT_EQ(a.plan_script, b.plan_script);
+  EXPECT_EQ(a.firing_log, b.firing_log);
+  EXPECT_EQ(a.attempted, b.attempted);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.state_digest, b.state_digest);
+}
+
+TEST_F(ChaosTest, DifferentSeedsDifferentSchedule) {
+  const ChaosRunConfig config = DeterministicConfig();
+  const ChaosRunResult a = RunChaos(11, config);
+  const ChaosRunResult b = RunChaos(12, config);
+  EXPECT_NE(a.plan_script, b.plan_script);
+}
+
+TEST_F(ChaosTest, ScriptReplayReproducesSeedRun) {
+  const ChaosRunConfig config = DeterministicConfig();
+  const ChaosRunResult from_seed = RunChaos(11, config);
+  ChaosRunConfig replay = config;
+  replay.plan_script = from_seed.plan_script;  // the artifact repro path
+  const ChaosRunResult replayed = RunChaos(11, replay);
+  EXPECT_EQ(replayed.plan_script, from_seed.plan_script);
+  EXPECT_EQ(replayed.firing_log, from_seed.firing_log);
+  EXPECT_EQ(replayed.committed, from_seed.committed);
+  EXPECT_EQ(replayed.state_digest, from_seed.state_digest);
+}
+
+TEST_F(ChaosTest, ScriptedCrashAndReviveRecoversCleanly) {
+  ChaosRunConfig config;
+  config.workload = ChaosWorkload::kTransfer;
+  config.nodes = 3;
+  config.workers_per_node = 2;
+  config.ops_per_worker = 200;
+  config.plan_script =
+      "# chaos plan seed=0 events=2\n"
+      "event point=rdma.read.wqe arrival=40 kind=crash node=1 arg=0\n"
+      "event point=rdma.read.wqe arrival=900 kind=revive node=1 arg=0\n";
+  const ChaosRunResult result = RunChaos(5, config);
+  EXPECT_TRUE(result.ok()) << result.Artifact();
+  EXPECT_GE(result.crashes, 1u);
+}
+
+TEST_F(ChaosTest, ArtifactCarriesReproLine) {
+  const ChaosRunConfig config = DeterministicConfig();
+  const ChaosRunResult result = RunChaos(11, config);
+  const std::string artifact = result.Artifact();
+  EXPECT_NE(artifact.find("chaos_runner"), std::string::npos);
+  EXPECT_NE(artifact.find("--seed 11"), std::string::npos);
+  EXPECT_NE(artifact.find("chaos plan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chaos
+}  // namespace drtm

@@ -1,0 +1,209 @@
+// Recovery under injected faults (src/chaos x paper section 4.6):
+//   * a crash between a log append's payload write and its head publish
+//     leaves a torn record that must be invisible to replay;
+//   * a recovery scan that itself dies mid-replay must be resumable —
+//     redo is version-gated and idempotent, so a second full scan
+//     finishes the job;
+//   * a machine dying inside the fallback's lock-release loop leaves
+//     locks held and no Complete record; recovery must redo the WAL
+//     updates and clear every lock the dead machine owned.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/chaos/fault_plan.h"
+#include "src/chaos/injector.h"
+#include "src/htm/htm.h"
+#include "src/store/kv_layout.h"
+#include "src/txn/cluster.h"
+#include "src/txn/lock_state.h"
+#include "src/txn/nvram_log.h"
+#include "src/txn/recovery.h"
+#include "src/txn/transaction.h"
+
+namespace drtm {
+namespace txn {
+namespace {
+
+class RecoveryFaultTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kInitialBalance = 1000;
+
+  void SetUpCluster(int nodes, int htm_retry_limit = -1) {
+    ClusterConfig config;
+    config.num_nodes = nodes;
+    config.workers_per_node = 2;
+    config.region_bytes = 32 << 20;
+    config.logging = true;
+    if (htm_retry_limit >= 0) {
+      config.htm_retry_limit = htm_retry_limit;
+    }
+    cluster_ = std::make_unique<Cluster>(config);
+    TableSpec spec;
+    spec.value_size = 8;
+    spec.main_buckets = 1 << 8;
+    spec.capacity = 1 << 12;
+    spec.partition = [nodes](uint64_t key) {
+      return static_cast<int>(key % static_cast<uint64_t>(nodes));
+    };
+    table_ = cluster_->AddTable(spec);
+    cluster_->Start();
+    for (uint64_t k = 0; k < 8; ++k) {
+      const uint64_t balance = kInitialBalance;
+      ASSERT_TRUE(cluster_
+                      ->hash_table(cluster_->PartitionOf(table_, k), table_)
+                      ->Insert(k, &balance));
+    }
+  }
+
+  void TearDown() override {
+    chaos::Injector::Global().Disarm();
+    if (cluster_ != nullptr) {
+      cluster_->Stop();
+    }
+  }
+
+  TxnStatus Transfer(Worker* worker, uint64_t from, uint64_t to,
+                     uint64_t amount) {
+    Transaction txn(worker);
+    txn.AddWrite(table_, from);
+    txn.AddWrite(table_, to);
+    return txn.Run([&](Transaction& t) {
+      uint64_t a = 0;
+      uint64_t b = 0;
+      if (!t.Read(table_, from, &a) || !t.Read(table_, to, &b)) {
+        return false;
+      }
+      a -= amount;
+      b += amount;
+      return t.Write(table_, from, &a) && t.Write(table_, to, &b);
+    });
+  }
+
+  void ArmOne(const char* point, uint64_t arrival, chaos::FaultKind kind) {
+    chaos::FaultPlan plan;
+    plan.Add(chaos::FaultEvent{point, arrival, kind, -1, 0});
+    chaos::Injector::Global().Arm(plan);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  int table_ = -1;
+};
+
+TEST_F(RecoveryFaultTest, CrashMidAppendLeavesTornRecordInvisible) {
+  SetUpCluster(2);
+  NvramLog* log = cluster_->log(0);
+  const uint8_t payload[4] = {1, 2, 3, 4};
+  ASSERT_TRUE(log->Append(0, LogType::kWriteAhead, 100, payload, 4));
+
+  // The power cut lands between the payload write and the head publish:
+  // Append reports failure and the head counter never moves.
+  const size_t used_before = log->UsedBytes(0);
+  ArmOne("log.append", 1, chaos::FaultKind::kCrashPoint);
+  EXPECT_FALSE(log->Append(0, LogType::kWriteAhead, 101, payload, 4));
+  chaos::Injector::Global().Disarm();
+  EXPECT_EQ(log->UsedBytes(0), used_before);
+
+  ASSERT_TRUE(log->Append(0, LogType::kWriteAhead, 102, payload, 4));
+
+  // Replay sees the records around the torn one, never the torn one —
+  // even though its payload bytes sit in the segment below the head.
+  std::vector<uint64_t> seen;
+  log->ForEach([&](int worker, const LogRecord& record) {
+    if (worker == 0) {
+      seen.push_back(record.txn_id);
+    }
+  });
+  EXPECT_EQ(seen, (std::vector<uint64_t>{100, 102}));
+}
+
+TEST_F(RecoveryFaultTest, CrashMidReplayIsResumableAndIdempotent) {
+  SetUpCluster(2);
+  // Fig. 7(b) by hand: node 0's HTM committed (WAL durable) but it died
+  // before writing back the remote update on node 1.
+  store::ClusterHashTable* host = cluster_->hash_table(1, table_);
+  const uint64_t entry = host->FindEntry(1);
+  const uint64_t state_off = entry + store::kEntryStateOffset;
+  uint64_t observed = 0;
+  ASSERT_EQ(cluster_->fabric().Cas(1, state_off, kStateInit,
+                                   MakeWriteLocked(0), &observed),
+            rdma::OpStatus::kOk);
+  std::vector<uint8_t> wal;
+  const uint64_t new_value = 4242;
+  NvramLog::EncodeUpdate(&wal, LogUpdate{1, table_, 1, entry, 1, 8},
+                         &new_value);
+  ASSERT_TRUE(cluster_->log(0)->Append(0, LogType::kWriteAhead, 778,
+                                       wal.data(), wal.size()));
+  cluster_->Crash(0);
+
+  // First recovery attempt dies on the very first replayed record: no
+  // redo happens, the lock stays held.
+  ArmOne("log.replay", 1, chaos::FaultKind::kCrashPoint);
+  RecoveryManager recovery(cluster_.get());
+  const auto truncated = recovery.Recover(0);
+  chaos::Injector::Global().Disarm();
+  EXPECT_EQ(truncated.redone_updates, 0);
+  EXPECT_EQ(htm::StrongLoad(host->StatePtr(entry)), MakeWriteLocked(0));
+
+  // A later full scan must finish the job exactly once.
+  const auto full = recovery.Recover(0);
+  EXPECT_EQ(full.committed_txns, 1);
+  EXPECT_EQ(full.redone_updates, 1);
+  EXPECT_EQ(full.released_locks, 1);
+  uint64_t value = 0;
+  ASSERT_TRUE(host->Get(1, &value));
+  EXPECT_EQ(value, 4242u);
+  EXPECT_EQ(htm::StrongLoad(host->StatePtr(entry)), kStateInit);
+
+  // Redo is version-gated: running recovery yet again changes nothing.
+  const auto again = recovery.Recover(0);
+  EXPECT_EQ(again.redone_updates, 0);
+  ASSERT_TRUE(host->Get(1, &value));
+  EXPECT_EQ(value, 4242u);
+}
+
+TEST_F(RecoveryFaultTest, CrashDuringFallbackLockReleaseIsRecovered) {
+  SetUpCluster(2, /*htm_retry_limit=*/0);  // every transaction uses 2PL
+  Worker worker(cluster_.get(), 0, 0);
+
+  // The machine dies inside the release loop: the transaction committed
+  // (WAL written) but locks stay held and no Complete record lands.
+  ArmOne("txn.fallback.unlock", 1, chaos::FaultKind::kCrashPoint);
+  ASSERT_EQ(Transfer(&worker, 0, 1, 50), TxnStatus::kCommitted);
+  chaos::Injector::Global().Disarm();
+
+  bool any_locked = false;
+  for (uint64_t k = 0; k <= 1; ++k) {
+    store::ClusterHashTable* host =
+        cluster_->hash_table(cluster_->PartitionOf(table_, k), table_);
+    const uint64_t word = htm::StrongLoad(host->StatePtr(host->FindEntry(k)));
+    any_locked = any_locked || IsWriteLocked(word);
+  }
+  ASSERT_TRUE(any_locked) << "crash point did not leave locks held";
+
+  // Fail-stop the owner and recover: WAL redo + lock release must leave
+  // both records unlocked with the committed values in place.
+  cluster_->Crash(0);
+  RecoveryManager recovery(cluster_.get());
+  recovery.Recover(0);
+  cluster_->Revive(0);
+  recovery.Recover(0);
+
+  uint64_t total = 0;
+  for (uint64_t k = 0; k <= 1; ++k) {
+    store::ClusterHashTable* host =
+        cluster_->hash_table(cluster_->PartitionOf(table_, k), table_);
+    const uint64_t entry = host->FindEntry(k);
+    EXPECT_EQ(htm::StrongLoad(host->StatePtr(entry)), kStateInit)
+        << "key " << k << " still locked after recovery";
+    uint64_t value = 0;
+    ASSERT_TRUE(host->Get(k, &value));
+    total += value;
+  }
+  EXPECT_EQ(total, 2 * kInitialBalance);
+}
+
+}  // namespace
+}  // namespace txn
+}  // namespace drtm

@@ -1,0 +1,256 @@
+// chaos_runner: drives workloads under seeded fault injection and
+// validates the invariant families (src/chaos). Exit code 0 when every
+// seed passed, 1 on any invariant violation, 2 on usage errors.
+//
+//   chaos_runner --seed 7                       one seed, transfer workload
+//   chaos_runner --seeds 1..20                  the CI fixed-seed gate
+//   chaos_runner --random 3                     fresh random seeds
+//   chaos_runner --seed 7 --workload smallbank  other workloads
+//   chaos_runner --script plan.txt --seed 7     replay an exact schedule
+//   chaos_runner --seed 7 --artifact fail.txt   write the failure artifact
+//   chaos_runner --seed 7 --print-plan          dump the schedule, no run
+//
+// A failing run prints (and optionally writes) its artifact: the seed,
+// the exact repro command line, the armed fault plan, the firing log and
+// every invariant violation.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/chaos/chaos_run.h"
+#include "src/stat/metrics.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: chaos_runner [--seed S | --seeds A..B | --random N]\n"
+      "                    [--workload transfer|smallbank|tpcc|ycsb]\n"
+      "                    [--nodes N] [--workers W] [--ops O]\n"
+      "                    [--events E] [--no-crash] [--no-skew]\n"
+      "                    [--script FILE] [--artifact FILE]\n"
+      "                    [--print-plan] [--verbose]\n");
+}
+
+bool ParseU64(const char* text, uint64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoull(text, &end, 10);
+  return end != text && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using drtm::chaos::ChaosRunConfig;
+  using drtm::chaos::ChaosRunResult;
+  using drtm::chaos::RunChaos;
+
+  ChaosRunConfig config;
+  std::vector<uint64_t> seeds;
+  std::string artifact_path;
+  std::string script_path;
+  bool print_plan = false;
+  bool verbose = false;
+  int watchdog_s = 0;  // dump progress + counters every N seconds
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      uint64_t seed = 0;
+      if (!ParseU64(next(), &seed)) {
+        Usage();
+        return 2;
+      }
+      seeds.push_back(seed);
+    } else if (arg == "--seeds") {
+      const std::string range = next();
+      const size_t dots = range.find("..");
+      uint64_t lo = 0;
+      uint64_t hi = 0;
+      if (dots == std::string::npos ||
+          !ParseU64(range.substr(0, dots).c_str(), &lo) ||
+          !ParseU64(range.substr(dots + 2).c_str(), &hi) || hi < lo) {
+        Usage();
+        return 2;
+      }
+      for (uint64_t s = lo; s <= hi; ++s) {
+        seeds.push_back(s);
+      }
+    } else if (arg == "--random") {
+      uint64_t count = 0;
+      if (!ParseU64(next(), &count)) {
+        Usage();
+        return 2;
+      }
+      std::random_device rd;
+      for (uint64_t i2 = 0; i2 < count; ++i2) {
+        seeds.push_back((static_cast<uint64_t>(rd()) << 32) ^ rd());
+      }
+    } else if (arg == "--workload") {
+      if (!drtm::chaos::ParseChaosWorkload(next(), &config.workload)) {
+        Usage();
+        return 2;
+      }
+    } else if (arg == "--nodes") {
+      config.nodes = std::atoi(next());
+    } else if (arg == "--workers") {
+      config.workers_per_node = std::atoi(next());
+    } else if (arg == "--ops") {
+      uint64_t ops = 0;
+      if (!ParseU64(next(), &ops)) {
+        Usage();
+        return 2;
+      }
+      config.ops_per_worker = ops;
+    } else if (arg == "--events") {
+      config.plan_params.events = std::atoi(next());
+    } else if (arg == "--no-crash") {
+      config.plan_params.allow_crash = false;
+    } else if (arg == "--no-skew") {
+      config.plan_params.allow_skew = false;
+    } else if (arg == "--script") {
+      script_path = next();
+    } else if (arg == "--artifact") {
+      artifact_path = next();
+    } else if (arg == "--print-plan") {
+      print_plan = true;
+    } else if (arg == "--watchdog") {
+      watchdog_s = std::atoi(next());
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      Usage();
+      return 2;
+    }
+  }
+
+  if (config.nodes < 2 || config.nodes > 16 || config.workers_per_node < 1 ||
+      config.ops_per_worker == 0) {
+    std::fprintf(stderr, "invalid cluster shape\n");
+    return 2;
+  }
+  if (seeds.empty()) {
+    seeds.push_back(1);
+  }
+  if (!script_path.empty()) {
+    std::ifstream in(script_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", script_path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    config.plan_script = buf.str();
+  }
+  // Size the schedule horizon to the run's op volume so faults land
+  // mid-workload (each attempt issues a handful of RDMA verbs).
+  config.plan_params.horizon_ops =
+      config.ops_per_worker *
+      static_cast<uint64_t>(config.nodes * config.workers_per_node) * 4;
+
+  // Diagnostic heartbeat: with --watchdog N, a side thread dumps the
+  // registry counter deltas every N seconds so a stuck run shows which
+  // path it is burning time in.
+  std::atomic<bool> watchdog_stop{false};
+  std::thread watchdog;
+  if (watchdog_s > 0) {
+    watchdog = std::thread([&] {
+      drtm::stat::Snapshot last = drtm::stat::Registry::Global().TakeSnapshot();
+      while (!watchdog_stop.load()) {
+        std::this_thread::sleep_for(std::chrono::seconds(watchdog_s));
+        if (watchdog_stop.load()) {
+          return;
+        }
+        drtm::stat::Snapshot now =
+            drtm::stat::Registry::Global().TakeSnapshot();
+        std::fprintf(stderr, "--- watchdog ---\n");
+        for (const auto& [name, value] : now.counters) {
+          const uint64_t delta = value - last.Counter(name);
+          if (delta > 0) {
+            std::fprintf(stderr, "  %s +%llu\n", name.c_str(),
+                         static_cast<unsigned long long>(delta));
+          }
+        }
+        last = std::move(now);
+      }
+    });
+  }
+
+  int failures = 0;
+  for (const uint64_t seed : seeds) {
+    if (print_plan) {
+      // Dump mode: print the schedule the seed would arm, without
+      // running — so `--print-plan > plan.txt` is directly a valid
+      // `--script` input.
+      drtm::chaos::FaultPlan plan;
+      if (!config.plan_script.empty()) {
+        std::string error;
+        if (!drtm::chaos::FaultPlan::Parse(config.plan_script, &plan,
+                                           &error)) {
+          std::fprintf(stderr, "unparsable plan script: %s\n", error.c_str());
+          return 2;
+        }
+        plan.set_seed(seed);
+      } else {
+        drtm::chaos::PlanParams params = config.plan_params;
+        params.num_nodes = config.nodes;
+        plan = drtm::chaos::FaultPlan::FromSeed(seed, params);
+      }
+      std::printf("%s", plan.ToScript().c_str());
+      continue;
+    }
+    const ChaosRunResult result = RunChaos(seed, config);
+    if (result.ok()) {
+      std::printf(
+          "seed %llu: ok (%llu/%llu committed, %llu RO, %llu crashes, "
+          "%d checks)\n",
+          static_cast<unsigned long long>(seed),
+          static_cast<unsigned long long>(result.committed),
+          static_cast<unsigned long long>(result.attempted),
+          static_cast<unsigned long long>(result.ro_commits),
+          static_cast<unsigned long long>(result.crashes),
+          result.invariants.checks);
+      if (verbose) {
+        std::printf("%s", result.firing_log.c_str());
+      }
+      continue;
+    }
+    ++failures;
+    const std::string artifact = result.Artifact();
+    std::printf("%s", artifact.c_str());
+    if (!artifact_path.empty()) {
+      std::ofstream out(artifact_path, std::ios::app);
+      out << artifact;
+    }
+  }
+  if (watchdog.joinable()) {
+    watchdog_stop.store(true);
+    watchdog.join();
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "%d of %zu seeds FAILED\n", failures, seeds.size());
+    return 1;
+  }
+  return 0;
+}

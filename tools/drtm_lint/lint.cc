@@ -497,8 +497,9 @@ void Analyzer::Run() {
     findings_.push_back(std::move(f));
   };
 
-  // Region discovery: Transact lambda bodies, then the one-level call
-  // summary over every function definition in the corpus.
+  // Region discovery: Transact lambda bodies, then the call summary
+  // over every function definition in the corpus, propagated two call
+  // levels deep by name (helpers, then helpers-of-helpers).
   std::vector<Region> regions;
   std::vector<FunctionDef> defs;
   std::set<std::string> called;
@@ -535,19 +536,31 @@ void Analyzer::Run() {
     CollectCalledNames(files_[r.file].toks, r, &called);
   }
   std::vector<Region> all = primary;
-  for (const FunctionDef& def : defs) {
-    if (called.count(def.name) == 0) continue;
-    bool duplicate = false;
-    for (const Region& r : all) {
-      if (r.file == def.region.file && r.begin == def.region.begin) {
-        duplicate = true;
-        break;
+  std::set<std::string> frontier = std::move(called);
+  static const char* const kLevelTag[] = {
+      " (reachable from a Transact body)",
+      " (reachable from a Transact body via a helper)"};
+  for (size_t level = 0; level < 2; ++level) {
+    const size_t level_begin = all.size();
+    for (const FunctionDef& def : defs) {
+      if (frontier.count(def.name) == 0) continue;
+      bool duplicate = false;
+      for (const Region& r : all) {
+        if (r.file == def.region.file && r.begin == def.region.begin) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) {
+        Region r = def.region;
+        r.context += kLevelTag[level];
+        all.push_back(std::move(r));
       }
     }
-    if (!duplicate) {
-      Region r = def.region;
-      r.context += " (reachable from a Transact body)";
-      all.push_back(std::move(r));
+    // Names called from the regions this level added feed the next one.
+    frontier.clear();
+    for (size_t i = level_begin; i < all.size(); ++i) {
+      CollectCalledNames(files_[all[i].file].toks, all[i], &frontier);
     }
   }
 

@@ -65,6 +65,20 @@ TEST(DrtmLint, OneLevelCallSummaryReachesHelpers) {
       << "raw store in a function called from a Transact body not found";
 }
 
+TEST(DrtmLint, TwoLevelCallSummaryReachesHelpersOfHelpers) {
+  Analyzer a = AnalyzeFixtures({"tx01_raw_store.cc"});
+  // RawHelperHelper is only reachable through RawHelper — two call
+  // levels below the Transact body — and must carry the level-two tag.
+  const bool flagged = std::any_of(
+      a.findings().begin(), a.findings().end(), [](const Finding& f) {
+        return f.rule == "TX01" &&
+               f.context.find("'RawHelperHelper'") != std::string::npos &&
+               f.context.find("via a helper") != std::string::npos;
+      });
+  EXPECT_TRUE(flagged)
+      << "raw store two call levels below a Transact body not found";
+}
+
 TEST(DrtmLint, FlagsPlantedTx02SideEffects) {
   Analyzer a = AnalyzeFixtures({"tx02_side_effects.cc"});
   // new, .lock(), printf, .unlock(), delete.

@@ -7,9 +7,16 @@
 
 namespace fixture {
 
+// Two call levels below the Transact body (RawHelper calls it): the
+// call summary must propagate the obligation here too.
+void RawHelperHelper(unsigned char* block) {
+  block[1] = 9;  // TX01: raw store two levels below a Transact body
+}
+
 // Reachable from the Transact body below via the one-level summary.
 void RawHelper(unsigned char* block) {
   block[0] = 7;  // TX01: raw indexed store in a tx-reachable function
+  RawHelperHelper(block);  // pulls RawHelperHelper in at level two
 }
 
 void PlantTx01(drtm::htm::HtmThread& htm, unsigned char* base) {

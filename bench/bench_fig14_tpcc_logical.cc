@@ -6,7 +6,16 @@
 // the logical nodes (constant-resources adaptation), so the figure reads
 // as "how much does the protocol lose as the same resources are split
 // into ever more machines" — the paper's question asked inversely.
+//
+// DRTM_F14_NODES overrides the sweep with a single logical-node count
+// (e.g. 64 for the elastic CI job's large-cluster smoke run); counts
+// past the worker pool run one worker per node. Large sweeps shrink the
+// per-pair location-cache budget so lazily materialized caches cannot
+// blow up a 64-node host.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench/tpcc_bench_common.h"
@@ -20,23 +29,53 @@ int main() {
       "second; the protocol keeps working as the cluster grows");
 
   constexpr int kTotalWorkers = 8;
-  const std::vector<int> node_counts =
-      benchutil::Quick() ? std::vector<int>{2, 8}
-                         : std::vector<int>{1, 2, 4, 8};
+  std::vector<int> node_counts = benchutil::Quick()
+                                     ? std::vector<int>{2, 8}
+                                     : std::vector<int>{1, 2, 4, 8};
+  if (const char* env = std::getenv("DRTM_F14_NODES")) {
+    const int forced = std::atoi(env);
+    if (forced > 0) {
+      node_counts = {forced};
+    }
+  }
+
+  const stat::Snapshot window = benchutil::BeginReportWindow();
+  stat::BenchReport report;
+  report.bench = "fig14_tpcc_logical";
+  report.title = "TPC-C throughput vs logical node count";
+  report.AddConfig("total_workers", std::to_string(kTotalWorkers));
+  report.AddConfig("duration_ms", std::to_string(duration_ms));
+  report.AddConfig("quick", benchutil::Quick() ? "1" : "0");
+  stat::BenchReport::Series& series = report.AddSeries("logical_nodes_sweep");
 
   std::printf("%-14s %9s %14s %14s %12s\n", "logical_nodes", "workers",
-              "drtm_neworder", "drtm_mix_tps", "fallback%%");
+              "drtm_neworder", "drtm_mix_tps", "fallback%");
+  bool all_consistent = true;
   for (const int nodes : node_counts) {
     benchutil::TpccOptions options;
     options.nodes = nodes;
-    options.workers_per_node = kTotalWorkers / nodes;
+    options.workers_per_node = std::max(1, kTotalWorkers / nodes);
     options.warehouses_per_node = 1;
     options.duration_ms = duration_ms;
+    options.config_hook = [nodes](txn::ClusterConfig* config) {
+      if (nodes >= 16) {
+        // O(nodes^2) cache pairs can materialize; cap each shard so the
+        // aggregate stays bounded on one host.
+        config->location_cache_bytes = size_t{1} << 20;
+      }
+    };
     const benchutil::TpccOutcome drtm = benchutil::RunTpcc(options);
+    all_consistent = all_consistent && drtm.consistent;
     std::printf("%-14d %9d %14.0f %14.0f %11.2f%%%s\n", nodes,
                 options.workers_per_node, drtm.neworder_tps, drtm.mix_tps,
                 drtm.fallback_rate * 100,
                 drtm.consistent ? "" : "  (CONSISTENCY FAIL)");
+    benchutil::AddPoint(&series, {{"logical_nodes", std::to_string(nodes)}},
+                        {{"mix_tps", drtm.mix_tps},
+                         {"neworder_tps", drtm.neworder_tps},
+                         {"fallback_rate", drtm.fallback_rate},
+                         {"consistent", drtm.consistent ? 1.0 : 0.0}});
   }
-  return 0;
+  benchutil::FinishReport(&report, window);
+  return all_consistent ? 0 : 1;
 }

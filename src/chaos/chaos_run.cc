@@ -45,6 +45,15 @@ uint64_t CounterKey(int node) {
   return (static_cast<uint64_t>(node) << 32) | kCounterIndex;
 }
 
+// Scratch keys live above the counter index so the conservation and
+// commit-ledger oracles never scan them; they exist only to drive the
+// server-thread RPC path (rpc.dispatch plus the shipped INSERT/DELETE
+// chaos points), which pure one-sided transfer traffic never touches.
+uint64_t ScratchKey(int target, int node, int worker_id) {
+  return (static_cast<uint64_t>(target) << 32) | (kCounterIndex << 1) |
+         static_cast<uint64_t>(node * 64 + worker_id);
+}
+
 struct TransferState {
   int table = -1;
   int nodes = 0;
@@ -496,6 +505,19 @@ ChaosRunResult RunChaos(uint64_t seed, const ChaosRunConfig& config) {
       }
       bool ok = false;
       if (transfer != nullptr) {
+        if ((op & 7) == 3) {
+          // Structural scratch op: a shipped INSERT then DELETE against a
+          // random host. A chaos-dropped DELETE leaves a stray scratch
+          // key, which no oracle reads; the point is to put traffic on
+          // the RPC dispatch path while faults fire.
+          const int target =
+              static_cast<int>(rng.NextBounded(config.nodes));
+          const uint64_t scratch = ScratchKey(target, node, worker_id);
+          const int64_t one = 1;
+          if (cluster.RemoteInsert(node, transfer->table, scratch, &one)) {
+            cluster.RemoteRemove(node, transfer->table, scratch);
+          }
+        }
         ok = TransferStep(worker, rng, transfer.get());
       } else if (smallbank != nullptr) {
         // Conservation-preserving mix only: send-payment and amalgamate

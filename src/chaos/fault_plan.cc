@@ -43,13 +43,24 @@ FaultPlan FaultPlan::FromSeed(uint64_t seed, const PlanParams& params) {
   Xoshiro256 rng(seed ^ 0xc5a05e93ULL);
 
   // Points faults are drawn from. Torn writes only make sense on the
-  // write WQE path; everything transient can land on any RDMA point.
+  // write WQE path; NIC-down / crash windows stay on the RDMA points
+  // (they model NIC and machine state); single-op drops and latency
+  // spikes additionally land on the server-thread RPC path — dispatch
+  // plus the shipped INSERT/DELETE handlers — which also covers the
+  // elastic tier's migration ships and cache invalidations.
   static const char* kRdmaPoints[] = {
       "rdma.read.wqe", "rdma.write.wqe", "rdma.cas.wqe",
       "rdma.faa.wqe",  "rdma.send",
   };
   constexpr size_t kRdmaPointCount =
       sizeof(kRdmaPoints) / sizeof(kRdmaPoints[0]);
+  static const char* kTransientPoints[] = {
+      "rdma.read.wqe", "rdma.write.wqe", "rdma.cas.wqe",
+      "rdma.faa.wqe",  "rdma.send",      "rpc.dispatch",
+      "rpc.insert",    "rpc.remove",
+  };
+  constexpr size_t kTransientPointCount =
+      sizeof(kTransientPoints) / sizeof(kTransientPoints[0]);
 
   // Arrivals must be unique per point for the fire-on-Nth-arrival model;
   // track (point, arrival) pairs already used.
@@ -80,14 +91,14 @@ FaultPlan FaultPlan::FromSeed(uint64_t seed, const PlanParams& params) {
     FaultEvent event;
     const uint64_t roll = rng.NextBounded(100);
     if (roll < 30) {  // transient single-op drop
-      event.point = kRdmaPoints[rng.NextBounded(kRdmaPointCount)];
+      event.point = kTransientPoints[rng.NextBounded(kTransientPointCount)];
       event.kind = FaultKind::kDropOp;
     } else if (roll < 45) {  // torn RDMA write
       event.point = "rdma.write.wqe";
       event.kind = FaultKind::kTornWrite;
       event.arg = static_cast<int64_t>(1 + rng.NextBounded(16));
     } else if (roll < 60) {  // latency spike, 50–800 us
-      event.point = kRdmaPoints[rng.NextBounded(kRdmaPointCount)];
+      event.point = kTransientPoints[rng.NextBounded(kTransientPointCount)];
       event.kind = FaultKind::kDelay;
       event.arg = static_cast<int64_t>(50000 + rng.NextBounded(750000));
     } else if (roll < 75) {  // NIC-down window, count-based

@@ -1,0 +1,159 @@
+#include "src/elastic/hotkey.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "src/stat/metrics.h"
+#include "src/txn/lock_state.h"
+
+namespace drtm {
+namespace elastic {
+
+HotKeyTracker::HotKeyTracker(size_t capacity, uint32_t sample_shift)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      sample_mask_((uint64_t{1} << sample_shift) - 1) {}
+
+void HotKeyTracker::RecordRead(int table, uint64_t key) {
+  Record(reads_, table, key);
+}
+
+void HotKeyTracker::RecordWrite(int table, uint64_t key) {
+  Record(writes_, table, key);
+}
+
+void HotKeyTracker::Record(Stream& stream, int table, uint64_t key) {
+  if (sample_mask_ != 0 &&
+      (stream.tick.fetch_add(1, std::memory_order_relaxed) & sample_mask_) !=
+          0) {
+    return;
+  }
+  SpinLatchGuard guard(stream.latch);
+  const std::pair<int, uint64_t> id{table, key};
+  auto it = stream.counts.find(id);
+  if (it != stream.counts.end()) {
+    ++it->second;
+    return;
+  }
+  if (stream.counts.size() < capacity_) {
+    stream.counts.emplace(id, 1);
+    return;
+  }
+  // Space-saving eviction: the newcomer replaces the current minimum
+  // and inherits its count + 1, an upper bound on its true frequency.
+  auto min_it = stream.counts.begin();
+  for (auto cur = stream.counts.begin(); cur != stream.counts.end(); ++cur) {
+    if (cur->second < min_it->second) {
+      min_it = cur;
+    }
+  }
+  const uint64_t inherited = min_it->second + 1;
+  stream.counts.erase(min_it);
+  stream.counts.emplace(id, inherited);
+}
+
+std::vector<HotKeyTracker::HotKey> HotKeyTracker::Top(const Stream& stream,
+                                                      size_t k) {
+  std::vector<HotKey> out;
+  {
+    SpinLatchGuard guard(stream.latch);
+    out.reserve(stream.counts.size());
+    for (const auto& [id, count] : stream.counts) {
+      out.push_back(HotKey{id.first, id.second, count});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const HotKey& a, const HotKey& b) {
+    return a.count != b.count ? a.count > b.count : a.key < b.key;
+  });
+  if (out.size() > k) {
+    out.resize(k);
+  }
+  return out;
+}
+
+std::vector<HotKeyTracker::HotKey> HotKeyTracker::TopReads(size_t k) const {
+  return Top(reads_, k);
+}
+
+std::vector<HotKeyTracker::HotKey> HotKeyTracker::TopWrites(size_t k) const {
+  return Top(writes_, k);
+}
+
+std::vector<uint32_t> MigrationCandidateBuckets(const HotKeyTracker& tracker,
+                                                const RoutingTable& routing,
+                                                size_t max_buckets) {
+  std::unordered_map<uint32_t, uint64_t> weight;
+  for (const HotKeyTracker::HotKey& hot :
+       tracker.TopWrites(~size_t{0} >> 1)) {
+    weight[routing.BucketOf(hot.key)] += hot.count;
+  }
+  std::vector<std::pair<uint64_t, uint32_t>> ranked;
+  ranked.reserve(weight.size());
+  for (const auto& [bucket, w] : weight) {
+    ranked.emplace_back(w, bucket);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a > b; });
+  std::vector<uint32_t> out;
+  for (const auto& [w, bucket] : ranked) {
+    if (out.size() >= max_buckets) {
+      break;
+    }
+    out.push_back(bucket);
+  }
+  return out;
+}
+
+ReadLeaseReplica::ReadLeaseReplica(txn::Cluster* cluster, int node)
+    : cluster_(cluster), node_(node) {
+  stat::Registry& reg = stat::Registry::Global();
+  hit_counter_ = reg.CounterId("elastic.hotkey.replica_hit");
+  miss_counter_ = reg.CounterId("elastic.hotkey.replica_miss");
+  entries_gauge_ = reg.GaugeId("elastic.hotkey.replica_entries");
+}
+
+void ReadLeaseReplica::Publish(int table, uint64_t key, const void* value,
+                               uint32_t len, uint64_t lease_end) {
+  if (lease_end == 0) {
+    return;
+  }
+  SpinLatchGuard guard(latch_);
+  Entry& entry = entries_[{table, key}];
+  entry.value.assign(static_cast<const uint8_t*>(value),
+                     static_cast<const uint8_t*>(value) + len);
+  entry.lease_end = lease_end;
+  stat::Registry::Global().GaugeSet(entries_gauge_,
+                                    static_cast<int64_t>(entries_.size()));
+}
+
+bool ReadLeaseReplica::TryServe(int table, uint64_t key, void* out,
+                                uint32_t len) {
+  stat::Registry& reg = stat::Registry::Global();
+  const uint64_t now = cluster_->synctime().ReadStrong(node_);
+  {
+    SpinLatchGuard guard(latch_);
+    auto it = entries_.find({table, key});
+    if (it != entries_.end() &&
+        txn::LeaseValid(it->second.lease_end, now,
+                        cluster_->config().delta_us) &&
+        it->second.value.size() >= len) {
+      std::memcpy(out, it->second.value.data(), len);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      reg.Add(hit_counter_);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  reg.Add(miss_counter_);
+  return false;
+}
+
+void ReadLeaseReplica::Drop(int table, uint64_t key) {
+  SpinLatchGuard guard(latch_);
+  entries_.erase({table, key});
+  stat::Registry::Global().GaugeSet(entries_gauge_,
+                                    static_cast<int64_t>(entries_.size()));
+}
+
+}  // namespace elastic
+}  // namespace drtm

@@ -1,0 +1,130 @@
+// Hot-key mitigation for the elastic tier.
+//
+// HotKeyTracker is a sampled space-saving (Metwally et al.) top-K
+// sketch over the read and write streams: a bounded map of candidate
+// keys where an arrival that misses a full map evicts the minimum
+// count and inherits it (+1), so genuinely Zipf-hot keys float to the
+// top with O(capacity) memory regardless of the keyspace. Reads and
+// writes are tracked separately because they get different remedies:
+//
+//   * hot READ keys are served from a read-lease replica — the RO
+//     protocol already pins a record immutable until lease_end, so any
+//     node may answer from a local copy until then without violating
+//     strict serializability (the same argument as lease sharing);
+//   * hot WRITE keys cannot be replicated (writes must revoke the
+//     lease), so their routing buckets are surfaced as migration
+//     candidates for MigrationEngine to spread over nodes.
+//
+// ReadLeaseReplica is the per-node replica store: Publish() records a
+// value together with the lease end observed by the RO transaction
+// that read it, TryServe() answers from the copy only while
+// LeaseValid(lease_end, now, DELTA) still holds against the node's
+// synchronized clock — the exact validity test a remote reader would
+// apply, so a served value can never outlive the writers' obligation
+// to wait out the lease.
+#ifndef SRC_ELASTIC_HOTKEY_H_
+#define SRC_ELASTIC_HOTKEY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/common/spin_latch.h"
+#include "src/elastic/routing.h"
+#include "src/txn/cluster.h"
+
+namespace drtm {
+namespace elastic {
+
+class HotKeyTracker {
+ public:
+  struct HotKey {
+    int table = 0;
+    uint64_t key = 0;
+    uint64_t count = 0;
+  };
+
+  // capacity bounds each stream's candidate set; sample_shift samples
+  // 1 in 2^shift arrivals (0 = every arrival) to keep the latch off
+  // the hot path.
+  explicit HotKeyTracker(size_t capacity = 64, uint32_t sample_shift = 0);
+
+  HotKeyTracker(const HotKeyTracker&) = delete;
+  HotKeyTracker& operator=(const HotKeyTracker&) = delete;
+
+  void RecordRead(int table, uint64_t key);
+  void RecordWrite(int table, uint64_t key);
+
+  // Descending by count, at most k entries.
+  std::vector<HotKey> TopReads(size_t k) const;
+  std::vector<HotKey> TopWrites(size_t k) const;
+
+ private:
+  struct Stream {
+    mutable SpinLatch latch;
+    std::map<std::pair<int, uint64_t>, uint64_t> counts;
+    std::atomic<uint64_t> tick{0};
+  };
+
+  void Record(Stream& stream, int table, uint64_t key);
+  static std::vector<HotKey> Top(const Stream& stream, size_t k);
+
+  const size_t capacity_;
+  const uint64_t sample_mask_;
+  Stream reads_;
+  Stream writes_;
+};
+
+// Routing buckets holding the heaviest write traffic — the inputs a
+// rebalancer would feed into MigrationPlan::buckets. Buckets are ranked
+// by the summed counts of their tracked hot write keys.
+std::vector<uint32_t> MigrationCandidateBuckets(const HotKeyTracker& tracker,
+                                                const RoutingTable& routing,
+                                                size_t max_buckets);
+
+class ReadLeaseReplica {
+ public:
+  ReadLeaseReplica(txn::Cluster* cluster, int node);
+
+  ReadLeaseReplica(const ReadLeaseReplica&) = delete;
+  ReadLeaseReplica& operator=(const ReadLeaseReplica&) = delete;
+
+  // Records a value read under a lease ending at lease_end (microseconds
+  // of synchronized time, from ReadOnlyTransaction::LeaseEndOf). A
+  // lease_end of 0 (no lease granted) is ignored.
+  void Publish(int table, uint64_t key, const void* value, uint32_t len,
+               uint64_t lease_end);
+
+  // Serves from the replica iff the recorded lease is still valid under
+  // the node's synchronized clock with the configured DELTA. Counts
+  // elastic.hotkey.replica_hit / replica_miss.
+  bool TryServe(int table, uint64_t key, void* out, uint32_t len);
+
+  void Drop(int table, uint64_t key);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    std::vector<uint8_t> value;
+    uint64_t lease_end = 0;
+  };
+
+  txn::Cluster* cluster_;
+  const int node_;
+  mutable SpinLatch latch_;
+  std::map<std::pair<int, uint64_t>, Entry> entries_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  uint32_t hit_counter_;
+  uint32_t miss_counter_;
+  uint32_t entries_gauge_;
+};
+
+}  // namespace elastic
+}  // namespace drtm
+
+#endif  // SRC_ELASTIC_HOTKEY_H_

@@ -1,0 +1,129 @@
+// Live shard migration: moves a set of routing buckets between nodes
+// while transactions keep running, via copy / catch-up / switch:
+//
+//   install    SetElasticHooks(this), dual-write on, DrainTxnWindows —
+//              every commit that lands in a plan bucket on the source
+//              is now also shipped to the destination.
+//   copy       enumerate the source table (ForEachEntryInBucketRange),
+//              read each plan-bucket entry over doorbell-batched RDMA
+//              READs, install on the destination via gate-free
+//              versioned upserts (kRpcKvUpsert). Max-version-wins makes
+//              copy/dual-write interleavings converge; write-locked
+//              entries are skipped (catch-up gets them).
+//   freeze     set the routing frozen bit on the plan buckets and drain:
+//              AllowAcquire now bounces every writer off those buckets,
+//              so they retry until the flip re-routes them.
+//   revoke     wait out synchronized time past
+//              freeze + max(lease_rw, lease_ro) + 2 DELTA: every read
+//              lease granted before the freeze has expired at every
+//              machine, so no reader can still be serving old-owner
+//              data after the switch.
+//   catch-up   re-enumerate (now quiescent) and ship entries whose
+//              version moved past the copied one, then reconcile the
+//              destination against the source live set (erasing strays
+//              left by dropped dual-write erases under chaos).
+//   oracle     run the caller's mid-migration invariant callback while
+//              both sides are frozen and reconciled.
+//   switch     flip bucket ownership, bump the routing epoch, broadcast
+//              location-cache invalidations for the moved keys'
+//              source-side header buckets, erase the source copies
+//              (gate-free kRpcKvErase), unfreeze, uninstall hooks.
+//
+// Known benign race (documented in README): a shipped structural INSERT
+// is never frozen (gating it could deadlock the drain against a worker
+// spinning inside its txn window), so one landing on the source after
+// the final catch-up enumeration leaves an unreachable source copy —
+// routing already points at the destination and conservation counts
+// through PartitionOf, so the stray is garbage, not an anomaly; the
+// dual-write hook still forwards it to the destination.
+#ifndef SRC_ELASTIC_MIGRATION_H_
+#define SRC_ELASTIC_MIGRATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/elastic/routing.h"
+#include "src/txn/cluster.h"
+
+namespace drtm {
+namespace elastic {
+
+struct MigrationPlan {
+  int table = 0;
+  int source = 0;
+  int dest = 0;
+  std::vector<uint32_t> buckets;  // routing buckets to move
+};
+
+struct MigrationReport {
+  bool ok = false;
+  uint64_t copied = 0;     // entries shipped by the copy pass
+  uint64_t caught_up = 0;  // entries (re-)shipped by catch-up
+  uint64_t reconciled = 0;  // destination strays erased by catch-up
+  uint64_t erased = 0;     // source copies erased after the flip
+  uint64_t shipped_bytes = 0;
+  uint64_t moved_keys = 0;  // live keys owned by dest after the switch
+  int cache_inval_acks = 0;
+  uint64_t duration_us = 0;
+};
+
+class MigrationEngine : public txn::Cluster::ElasticHooks {
+ public:
+  MigrationEngine(txn::Cluster* cluster, RoutingTable* routing);
+
+  // Runs one migration start to finish on the calling thread. The
+  // optional mid_oracle runs at the quiescent point (buckets frozen,
+  // leases revoked, catch-up done, ownership not yet flipped) — the
+  // chaos invariant checkers hook in here. One migration at a time.
+  MigrationReport Migrate(const MigrationPlan& plan,
+                          const std::function<void()>& mid_oracle = nullptr);
+
+  // --- ElasticHooks (called by the txn layer while installed) --------------
+  bool AllowAcquire(int table, uint64_t key) override;
+  void OnCommittedWrite(int node, int table, uint64_t key, uint32_t version,
+                        const void* value, uint32_t len) override;
+  void OnStructuralOp(int node, int table, uint64_t key, bool inserted,
+                      const void* value, uint32_t len) override;
+
+ private:
+  bool InPlan(int table, uint64_t key) const {
+    return table == plan_.table &&
+           bucket_set_.count(routing_->BucketOf(key)) != 0;
+  }
+
+  // One enumerate-read-ship sweep over the source's plan-bucket entries.
+  // catch_up additionally reconciles the destination against the live
+  // set. Returns false if a ship failed permanently.
+  bool CopyPass(bool catch_up, MigrationReport* report);
+
+  bool RetryShipUpsert(uint64_t key, uint32_t version, const void* value);
+  bool RetryShipErase(int target_node, uint64_t key);
+
+  txn::Cluster* cluster_;
+  RoutingTable* routing_;
+
+  MigrationPlan plan_;
+  std::unordered_set<uint32_t> bucket_set_;
+  std::atomic<bool> dual_write_{false};
+
+  // Engine-thread only (hooks never touch these).
+  std::unordered_map<uint64_t, uint32_t> copied_versions_;
+  std::unordered_set<uint64_t> live_keys_;
+
+  struct MetricIds {
+    uint32_t copied;
+    uint32_t caught_up;
+    uint32_t dual_writes;
+    uint32_t runs;
+    uint32_t inflight_bytes;  // gauge
+  };
+  MetricIds ids_;
+};
+
+}  // namespace elastic
+}  // namespace drtm
+
+#endif  // SRC_ELASTIC_MIGRATION_H_

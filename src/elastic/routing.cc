@@ -1,0 +1,62 @@
+#include "src/elastic/routing.h"
+
+#include <cassert>
+
+#include "src/stat/metrics.h"
+
+namespace drtm {
+namespace elastic {
+
+RoutingTable::RoutingTable(uint32_t num_buckets, int num_nodes)
+    : num_buckets_(num_buckets),
+      mask_(num_buckets - 1),
+      words_(new std::atomic<uint64_t>[num_buckets]) {
+  assert(num_buckets > 0 && (num_buckets & (num_buckets - 1)) == 0 &&
+         "routing bucket count must be a power of two");
+  assert(num_nodes > 0);
+  for (uint32_t b = 0; b < num_buckets; ++b) {
+    words_[b].store(static_cast<uint64_t>(b % num_nodes),
+                    std::memory_order_relaxed);
+  }
+  epoch_gauge_ = stat::Registry::Global().GaugeId("elastic.routing.epoch");
+  stat::Registry::Global().GaugeSet(epoch_gauge_, 0);
+}
+
+void RoutingTable::SetOwner(uint32_t bucket, int node) {
+  while (true) {
+    uint64_t word = words_[bucket].load(std::memory_order_acquire);
+    const uint64_t next =
+        (word & kFrozenBit) | (static_cast<uint64_t>(node) & kOwnerMask);
+    if (words_[bucket].compare_exchange_weak(word, next,
+                                             std::memory_order_acq_rel)) {
+      return;
+    }
+  }
+}
+
+void RoutingTable::Freeze(uint32_t bucket) {
+  words_[bucket].fetch_or(kFrozenBit, std::memory_order_acq_rel);
+}
+
+void RoutingTable::Unfreeze(uint32_t bucket) {
+  words_[bucket].fetch_and(~kFrozenBit, std::memory_order_acq_rel);
+}
+
+void RoutingTable::BumpEpoch() {
+  const uint64_t next = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  stat::Registry::Global().GaugeSet(epoch_gauge_,
+                                    static_cast<int64_t>(next));
+}
+
+std::vector<uint32_t> RoutingTable::BucketsOwnedBy(int node) const {
+  std::vector<uint32_t> out;
+  for (uint32_t b = 0; b < num_buckets_; ++b) {
+    if (OwnerOfBucket(b) == node) {
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
+}  // namespace elastic
+}  // namespace drtm

@@ -1,0 +1,95 @@
+// Bucket-granular routing table for the elastic serving tier.
+//
+// Keys hash into a fixed power-of-two set of routing buckets (coarser
+// than, and deliberately decorrelated from, the KV store's own hash
+// buckets); each routing bucket maps to an owning node through one
+// atomic word that also carries a "frozen" bit. A live migration flips
+// ownership bucket-by-bucket: the frozen bit is what the elastic gate
+// (Cluster::ElasticHooks::AllowAcquire) consults to bounce writers off
+// a bucket mid-switch, and the epoch counter — exported as the
+// elastic.routing.epoch gauge — stamps every completed flip so clients
+// and tests can observe configuration changes.
+//
+// The table is installed as a TableSpec::partition function, so the txn
+// layer re-resolves ownership through it on every attempt; it must
+// outlive the Cluster it routes for.
+#ifndef SRC_ELASTIC_ROUTING_H_
+#define SRC_ELASTIC_ROUTING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/store/kv_layout.h"
+
+namespace drtm {
+namespace elastic {
+
+class RoutingTable {
+ public:
+  // num_buckets must be a power of two. Buckets start round-robin
+  // striped over [0, num_nodes).
+  RoutingTable(uint32_t num_buckets, int num_nodes);
+
+  RoutingTable(const RoutingTable&) = delete;
+  RoutingTable& operator=(const RoutingTable&) = delete;
+
+  uint32_t num_buckets() const { return num_buckets_; }
+
+  // Salted so a routing bucket does not alias the KV table's own bucket
+  // mapping (both are MixHash-based); a migration then moves keys that
+  // are spread across the store, not one contiguous hash range.
+  uint32_t BucketOf(uint64_t key) const {
+    return static_cast<uint32_t>(store::MixHash(key ^ kRoutingSalt)) & mask_;
+  }
+
+  int OwnerOfBucket(uint32_t bucket) const {
+    return static_cast<int>(Word(bucket) & kOwnerMask);
+  }
+  int OwnerOf(uint64_t key) const { return OwnerOfBucket(BucketOf(key)); }
+
+  bool FrozenBucket(uint32_t bucket) const {
+    return (Word(bucket) & kFrozenBit) != 0;
+  }
+  bool Frozen(uint64_t key) const { return FrozenBucket(BucketOf(key)); }
+
+  // Ownership flip keeps the frozen bit as-is (the migration unfreezes
+  // separately, after the source copies are erased).
+  void SetOwner(uint32_t bucket, int node);
+  void Freeze(uint32_t bucket);
+  void Unfreeze(uint32_t bucket);
+
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  // Stamps a completed configuration change (gauge elastic.routing.epoch).
+  void BumpEpoch();
+
+  // Adapter for TableSpec::partition. The RoutingTable must outlive the
+  // Cluster the function is registered with.
+  std::function<int(uint64_t)> PartitionFn() {
+    return [this](uint64_t key) { return OwnerOf(key); };
+  }
+
+  std::vector<uint32_t> BucketsOwnedBy(int node) const;
+
+ private:
+  static constexpr uint64_t kRoutingSalt = 0xc28459a7d6f3b1e5ULL;
+  static constexpr uint64_t kOwnerMask = (uint64_t{1} << 32) - 1;
+  static constexpr uint64_t kFrozenBit = uint64_t{1} << 32;
+
+  uint64_t Word(uint32_t bucket) const {
+    return words_[bucket].load(std::memory_order_acquire);
+  }
+
+  uint32_t num_buckets_;
+  uint32_t mask_;
+  std::unique_ptr<std::atomic<uint64_t>[]> words_;
+  std::atomic<uint64_t> epoch_{0};
+  uint32_t epoch_gauge_;
+};
+
+}  // namespace elastic
+}  // namespace drtm
+
+#endif  // SRC_ELASTIC_ROUTING_H_

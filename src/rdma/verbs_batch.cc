@@ -1,6 +1,7 @@
 #include "src/rdma/verbs_batch.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "src/common/clock.h"
 #include "src/stat/metrics.h"
@@ -16,6 +17,7 @@ struct BatchIds {
   uint32_t size = 0;
   uint32_t batch_ns = 0;
   uint32_t inflight = 0;
+  uint32_t outstanding = 0;
 };
 
 const BatchIds& Batch() {
@@ -27,22 +29,53 @@ const BatchIds& Batch() {
     b.size = reg.TimerId("rdma.batch.size");
     b.batch_ns = reg.TimerId("rdma.batch_ns");
     b.inflight = reg.TimerId("rdma.inflight");
+    b.outstanding = reg.GaugeId("rdma.sendq.outstanding");
     return b;
   }();
   return ids;
 }
 
+// Outstanding-window occupancy, shared by every SendQueue in the
+// process so admission control sees the node's aggregate NIC pressure,
+// not one queue's. Targets hash into a fixed slot array; with the
+// repo-wide 64-node ceiling the mapping is collision-free.
+constexpr int kOutstandingSlots = 256;
+std::atomic<int64_t> g_outstanding[kOutstandingSlots];
+std::atomic<int64_t> g_outstanding_total{0};
+
+void TrackOutstanding(int target, int64_t delta) {
+  g_outstanding[target & (kOutstandingSlots - 1)].fetch_add(
+      delta, std::memory_order_relaxed);
+  g_outstanding_total.fetch_add(delta, std::memory_order_relaxed);
+}
+
 }  // namespace
+
+int64_t SendQueue::OutstandingForTarget(int target) {
+  return g_outstanding[target & (kOutstandingSlots - 1)].load(
+      std::memory_order_relaxed);
+}
 
 SendQueue::SendQueue(Fabric& fabric, int target, Config config)
     : fabric_(fabric), target_(target), config_(config) {
   wqes_.reserve(std::max<size_t>(config_.max_outstanding, 1));
 }
 
+SendQueue::~SendQueue() {
+  // WQEs abandoned without a doorbell still left the window; give their
+  // occupancy back or the admission signal drifts upward forever.
+  const int64_t abandoned =
+      static_cast<int64_t>(wqes_.size() + submitted_.size());
+  if (abandoned != 0) {
+    TrackOutstanding(target_, -abandoned);
+  }
+}
+
 WrId SendQueue::Enqueue(Wqe wqe) {
   wqe.wr_id = next_wr_id_++;
   const WrId id = wqe.wr_id;
   wqes_.push_back(wqe);
+  TrackOutstanding(target_, 1);
   if (wqes_.size() >= std::max<size_t>(config_.max_outstanding, 1)) {
     RingDoorbell();
   }
@@ -193,6 +226,7 @@ void SendQueue::ExecuteSubmitted() {
     completions_.push_back(comp);
   }
   submitted_.clear();
+  TrackOutstanding(target_, -static_cast<int64_t>(submitted));
 
   stat::Registry& reg = stat::Registry::Global();
   reg.Add(Batch().doorbells);
@@ -200,6 +234,8 @@ void SendQueue::ExecuteSubmitted() {
   reg.Record(Batch().size, submitted);
   reg.Record(Batch().batch_ns, submitted_batch_ns_);
   reg.Record(Batch().inflight, completions_.size());
+  reg.GaugeSet(Batch().outstanding,
+               g_outstanding_total.load(std::memory_order_relaxed));
 }
 
 size_t SendQueue::PollCompletions(Completion* out, size_t max) {

@@ -61,9 +61,17 @@ class SendQueue {
 
   SendQueue(Fabric& fabric, int target, Config config);
   SendQueue(Fabric& fabric, int target) : SendQueue(fabric, target, Config{}) {}
+  ~SendQueue();
 
   SendQueue(const SendQueue&) = delete;
   SendQueue& operator=(const SendQueue&) = delete;
+
+  // Process-wide count of WQEs posted toward `target` but not yet
+  // executed (pending + async-submitted, summed over every SendQueue).
+  // This is the NIC-side congestion signal admission control samples;
+  // the process-wide total is also exported as the gauge
+  // "rdma.sendq.outstanding", refreshed at each doorbell.
+  static int64_t OutstandingForTarget(int target);
 
   int target() const { return target_; }
 

@@ -111,7 +111,7 @@ class Registry {
   static constexpr size_t kShards = 64;
   static constexpr size_t kMaxCounters = 256;
   static constexpr size_t kMaxTimers = 64;
-  static constexpr size_t kMaxGauges = 64;
+  static constexpr size_t kMaxGauges = 256;
 
  private:
   struct alignas(kCacheLineSize) PaddedCounter {

@@ -249,6 +249,60 @@ bool ClusterHashTable::Remove(uint64_t key) {
   return true;
 }
 
+uint64_t ClusterHashTable::ForEachEntryInBucketRange(
+    uint64_t bucket_lo, uint64_t bucket_hi,
+    const std::function<bool(uint64_t, uint64_t)>& fn) {
+  if (bucket_hi > geo_.main_buckets) {
+    bucket_hi = geo_.main_buckets;
+  }
+  uint64_t visited = 0;
+  const uint64_t max_chain = geo_.indirect_buckets + 1;
+  for (uint64_t b = bucket_lo; b < bucket_hi; ++b) {
+    uint64_t bucket = geo_.main_offset + b * kBucketBytes;
+    for (uint64_t depth = 0; depth < max_chain; ++depth) {
+      uint64_t next_bucket = kInvalidOffset;
+      for (int i = 0; i < kSlotsPerBucket; ++i) {
+        const HeaderSlot slot = LoadSlot(bucket, i);
+        if (slot.type() == SlotType::kEntry) {
+          ++visited;
+          if (!fn(slot.key, slot.offset())) {
+            return visited;
+          }
+        } else if (slot.type() == SlotType::kHeader) {
+          next_bucket = slot.offset();
+        }
+      }
+      if (next_bucket == kInvalidOffset) {
+        break;
+      }
+      bucket = next_bucket;
+    }
+  }
+  return visited;
+}
+
+bool ClusterHashTable::InstallVersioned(uint64_t key, uint32_t version,
+                                        const void* value) {
+  uint64_t entry = FindEntry(key);
+  if (entry == kInvalidOffset) {
+    if (!Insert(key, value)) {
+      return false;
+    }
+    entry = FindEntry(key);
+    if (entry == kInvalidOffset) {
+      return false;
+    }
+    htm::Store(VersionPtr(entry), version);
+    return true;
+  }
+  const uint32_t current = htm::Load(VersionPtr(entry));
+  if (current < version) {
+    htm::Store(VersionPtr(entry), version);
+    htm::WriteBytes(ValuePtr(entry), value, geo_.value_size);
+  }
+  return true;
+}
+
 uint64_t ClusterHashTable::live_entries() const {
   const uint64_t* meta =
       reinterpret_cast<const uint64_t*>(memory_->At(meta_offset_));

@@ -14,6 +14,7 @@
 #define SRC_STORE_CLUSTER_HASH_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "src/rdma/node_memory.h"
 #include "src/store/kv_layout.h"
@@ -74,6 +75,30 @@ class ClusterHashTable {
   uint8_t* ValuePtr(uint64_t entry_off) {
     return EntryPtr(entry_off) + kEntryValueOffset;
   }
+
+  // Walks main buckets [bucket_lo, bucket_hi) and their indirect chains,
+  // calling fn(key, entry_off) for every resident entry; fn returning
+  // false stops the walk. Chain walks are step-capped (an indirect chain
+  // can never exceed the indirect pool) so a torn header link from a
+  // chaos run degrades to a short scan instead of an infinite loop.
+  // Returns the number of entries visited. The snapshot is only loosely
+  // consistent under concurrent writers — migration re-walks the range
+  // after freezing it, so transient misses are caught up, not lost.
+  uint64_t ForEachEntryInBucketRange(
+      uint64_t bucket_lo, uint64_t bucket_hi,
+      const std::function<bool(uint64_t key, uint64_t entry_off)>& fn);
+
+  uint64_t ForEachEntry(
+      const std::function<bool(uint64_t key, uint64_t entry_off)>& fn) {
+    return ForEachEntryInBucketRange(0, geo_.main_buckets, fn);
+  }
+
+  // Migration-side install: create-or-overwrite `key` so the record ends
+  // at least at `version`. Copy-pass and dual-write installs can arrive
+  // in either order; keeping the max version makes every interleaving
+  // converge to the newest value. Returns false only on allocation
+  // failure (table full).
+  bool InstallVersioned(uint64_t key, uint32_t version, const void* value);
 
   uint64_t live_entries() const;
 

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/chaos/injector.h"
+#include "src/common/clock.h"
 #include "src/stat/metrics.h"
 
 namespace drtm {
@@ -15,6 +17,9 @@ struct ClusterMetricIds {
   uint32_t rpc_handled = 0;
   uint32_t insert_shipped = 0;
   uint32_t remove_shipped = 0;
+  uint32_t upsert_shipped = 0;
+  uint32_t erase_shipped = 0;
+  uint32_t cache_inval_sent = 0;
   uint32_t crash = 0;
   uint32_t revive = 0;
 };
@@ -26,11 +31,54 @@ const ClusterMetricIds& ClusterIds() {
     c.rpc_handled = reg.CounterId("cluster.rpc.handled");
     c.insert_shipped = reg.CounterId("cluster.insert.shipped");
     c.remove_shipped = reg.CounterId("cluster.remove.shipped");
+    c.upsert_shipped = reg.CounterId("cluster.upsert.shipped");
+    c.erase_shipped = reg.CounterId("cluster.erase.shipped");
+    c.cache_inval_sent = reg.CounterId("cluster.cache_inval.sent");
     c.crash = reg.CounterId("cluster.crash");
     c.revive = reg.CounterId("cluster.revive");
     return c;
   }();
   return ids;
+}
+
+// Chaos injection points in the server-thread RPC path (the carried-over
+// gap from ROADMAP item 5): rpc.dispatch covers every request at the
+// dispatch switch, rpc.insert / rpc.remove cover the shipped structural
+// ops specifically. kFailOp / kAbandon read as a dropped request — an
+// empty reply, the same visible class as a lost SEND — and kDelayNs
+// models a stalled server thread.
+struct RpcPointIds {
+  uint32_t dispatch = 0;
+  uint32_t insert = 0;
+  uint32_t remove = 0;
+};
+
+const RpcPointIds& RpcPoints() {
+  static const RpcPointIds ids = [] {
+    chaos::Injector& inj = chaos::Injector::Global();
+    RpcPointIds p;
+    p.dispatch = inj.Point("rpc.dispatch");
+    p.insert = inj.Point("rpc.insert");
+    p.remove = inj.Point("rpc.remove");
+    return p;
+  }();
+  return ids;
+}
+
+// Returns true when the op should be dropped (fail/abandon); applies a
+// delay decision in place.
+bool ChaosDropsRpc(uint32_t point, int node) {
+  const chaos::Decision decision = chaos::Check(point, node);
+  switch (decision.kind) {
+    case chaos::Decision::Kind::kFailOp:
+    case chaos::Decision::Kind::kAbandon:
+      return true;
+    case chaos::Decision::Kind::kDelayNs:
+      SpinFor(decision.arg);
+      return false;
+    default:
+      return false;
+  }
 }
 
 }  // namespace
@@ -157,6 +205,12 @@ void Cluster::ServerLoop(int node) {
     if (!fabric_->queue(node).PopWait(&msg, 1000)) {
       continue;
     }
+    if (ChaosDropsRpc(RpcPoints().dispatch, node)) {
+      // Drop at the door: the empty reply reads as op-failed at every
+      // call site, same visible class as a lost SEND.
+      fabric_->Reply(msg, {});
+      continue;
+    }
     std::vector<uint8_t> reply;
     switch (msg.kind) {
       case kRpcKvInsert:
@@ -164,6 +218,15 @@ void Cluster::ServerLoop(int node) {
         break;
       case kRpcKvRemove:
         reply = HandleKvRemove(node, msg);
+        break;
+      case kRpcKvUpsert:
+        reply = HandleKvUpsert(node, msg);
+        break;
+      case kRpcKvErase:
+        reply = HandleKvErase(node, msg);
+        break;
+      case kRpcCacheInval:
+        reply = HandleCacheInval(node, msg);
         break;
       case kRpcOrderedGet:
         reply = HandleOrderedGet(node, msg);
@@ -195,6 +258,9 @@ struct KvRequest {
 
 std::vector<uint8_t> Cluster::HandleKvInsert(int node,
                                              const rdma::Message& msg) {
+  if (ChaosDropsRpc(RpcPoints().insert, node)) {
+    return {static_cast<uint8_t>(0)};
+  }
   KvRequest req;
   std::memcpy(&req, msg.payload.data(), sizeof(req));
   const uint8_t* value = msg.payload.data() + sizeof(req);
@@ -208,11 +274,77 @@ std::vector<uint8_t> Cluster::HandleKvInsert(int node,
       break;
     }
   }
+  if (ok) {
+    if (ElasticHooks* hooks = elastic_hooks()) {
+      hooks->OnStructuralOp(node, req.table, req.key, /*inserted=*/true,
+                            value,
+                            tables_[static_cast<size_t>(req.table)].value_size);
+    }
+  }
   return {static_cast<uint8_t>(ok ? 1 : 0)};
 }
 
 std::vector<uint8_t> Cluster::HandleKvRemove(int node,
                                              const rdma::Message& msg) {
+  if (ChaosDropsRpc(RpcPoints().remove, node)) {
+    return {static_cast<uint8_t>(0)};
+  }
+  KvRequest req;
+  std::memcpy(&req, msg.payload.data(), sizeof(req));
+  store::ClusterHashTable* table = hash_table(node, req.table);
+  htm::HtmThread htm(config_.htm);
+  bool ok = false;
+  while (true) {
+    const unsigned status =
+        htm.Transact([&] { ok = table->Remove(req.key); });
+    if (status == htm::kCommitted) {
+      break;
+    }
+  }
+  if (ok) {
+    if (ElasticHooks* hooks = elastic_hooks()) {
+      hooks->OnStructuralOp(node, req.table, req.key, /*inserted=*/false,
+                            nullptr, 0);
+    }
+  }
+  return {static_cast<uint8_t>(ok ? 1 : 0)};
+}
+
+namespace {
+
+struct UpsertRequest {
+  int32_t table;
+  uint32_t version;
+  uint64_t key;
+};
+
+struct CacheInvalHeader {
+  int32_t source;
+  uint32_t count;
+};
+
+}  // namespace
+
+std::vector<uint8_t> Cluster::HandleKvUpsert(int node,
+                                             const rdma::Message& msg) {
+  UpsertRequest req;
+  std::memcpy(&req, msg.payload.data(), sizeof(req));
+  const uint8_t* value = msg.payload.data() + sizeof(req);
+  store::ClusterHashTable* table = hash_table(node, req.table);
+  htm::HtmThread htm(config_.htm);
+  bool ok = false;
+  while (true) {
+    const unsigned status = htm.Transact(
+        [&] { ok = table->InstallVersioned(req.key, req.version, value); });
+    if (status == htm::kCommitted) {
+      break;
+    }
+  }
+  return {static_cast<uint8_t>(ok ? 1 : 0)};
+}
+
+std::vector<uint8_t> Cluster::HandleKvErase(int node,
+                                            const rdma::Message& msg) {
   KvRequest req;
   std::memcpy(&req, msg.payload.data(), sizeof(req));
   store::ClusterHashTable* table = hash_table(node, req.table);
@@ -226,6 +358,28 @@ std::vector<uint8_t> Cluster::HandleKvRemove(int node,
     }
   }
   return {static_cast<uint8_t>(ok ? 1 : 0)};
+}
+
+std::vector<uint8_t> Cluster::HandleCacheInval(int node,
+                                               const rdma::Message& msg) {
+  CacheInvalHeader header;
+  if (msg.payload.size() < sizeof(header)) {
+    return {static_cast<uint8_t>(0)};
+  }
+  std::memcpy(&header, msg.payload.data(), sizeof(header));
+  store::LocationCache* local = cache(node, header.source);
+  if (local != nullptr) {
+    const uint8_t* offs = msg.payload.data() + sizeof(header);
+    for (uint32_t i = 0;
+         i < header.count &&
+         sizeof(header) + (i + 1) * sizeof(uint64_t) <= msg.payload.size();
+         ++i) {
+      uint64_t bucket_off = 0;
+      std::memcpy(&bucket_off, offs + i * sizeof(uint64_t), sizeof(uint64_t));
+      local->Invalidate(bucket_off);
+    }
+  }
+  return {static_cast<uint8_t>(1)};
 }
 
 namespace {
@@ -369,6 +523,95 @@ bool Cluster::RemoteRemove(int from_node, int table, uint64_t key) {
     return false;
   }
   return !reply.empty() && reply[0] == 1;
+}
+
+bool Cluster::ShipUpsert(int from_node, int target_node, int table,
+                         uint64_t key, uint32_t version, const void* value) {
+  const TableSpec& spec = tables_[static_cast<size_t>(table)];
+  UpsertRequest req{table, version, key};
+  std::vector<uint8_t> payload(sizeof(req) + spec.value_size);
+  std::memcpy(payload.data(), &req, sizeof(req));
+  std::memcpy(payload.data() + sizeof(req), value, spec.value_size);
+  std::vector<uint8_t> reply;
+  stat::Registry::Global().Add(ClusterIds().upsert_shipped);
+  if (fabric_->Rpc(from_node, target_node, kRpcKvUpsert, std::move(payload),
+                   &reply) != rdma::OpStatus::kOk) {
+    return false;
+  }
+  return !reply.empty() && reply[0] == 1;
+}
+
+bool Cluster::ShipErase(int from_node, int target_node, int table,
+                        uint64_t key) {
+  KvRequest req{table, key};
+  std::vector<uint8_t> payload(sizeof(req));
+  std::memcpy(payload.data(), &req, sizeof(req));
+  std::vector<uint8_t> reply;
+  stat::Registry::Global().Add(ClusterIds().erase_shipped);
+  if (fabric_->Rpc(from_node, target_node, kRpcKvErase, std::move(payload),
+                   &reply) != rdma::OpStatus::kOk) {
+    return false;
+  }
+  return !reply.empty() && reply[0] == 1;
+}
+
+int Cluster::BroadcastCacheInvalidate(
+    int from_node, int source_node, const std::vector<uint64_t>& bucket_offs) {
+  if (bucket_offs.empty()) {
+    return 0;
+  }
+  CacheInvalHeader header{source_node,
+                          static_cast<uint32_t>(bucket_offs.size())};
+  std::vector<uint8_t> payload(sizeof(header) +
+                               bucket_offs.size() * sizeof(uint64_t));
+  std::memcpy(payload.data(), &header, sizeof(header));
+  std::memcpy(payload.data() + sizeof(header), bucket_offs.data(),
+              bucket_offs.size() * sizeof(uint64_t));
+  int acked = 0;
+  for (int n = 0; n < config_.num_nodes; ++n) {
+    if (n == source_node) {
+      continue;  // a node never caches its own memory
+    }
+    std::vector<uint8_t> reply;
+    stat::Registry::Global().Add(ClusterIds().cache_inval_sent);
+    if (fabric_->Rpc(from_node, n, kRpcCacheInval, payload, &reply) ==
+            rdma::OpStatus::kOk &&
+        !reply.empty() && reply[0] == 1) {
+      ++acked;
+    }
+  }
+  return acked;
+}
+
+uint64_t Cluster::BeginTxnWindow() {
+  while (true) {
+    const uint64_t epoch = window_epoch_.load(std::memory_order_acquire);
+    std::atomic<int64_t>& counter =
+        (epoch & 1) != 0 ? windows_odd_ : windows_even_;
+    counter.fetch_add(1, std::memory_order_acq_rel);
+    if (window_epoch_.load(std::memory_order_acquire) == epoch) {
+      return epoch;
+    }
+    // A drain slipped between the epoch read and the increment; back out
+    // and register under the new epoch so the drain does not wait on us.
+    counter.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void Cluster::EndTxnWindow(uint64_t token) {
+  std::atomic<int64_t>& counter =
+      (token & 1) != 0 ? windows_odd_ : windows_even_;
+  counter.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Cluster::DrainTxnWindows() {
+  const uint64_t old_epoch =
+      window_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  std::atomic<int64_t>& counter =
+      (old_epoch & 1) != 0 ? windows_odd_ : windows_even_;
+  while (counter.load(std::memory_order_acquire) != 0) {
+    SpinFor(2000);
+  }
 }
 
 void Cluster::RegisterRpcHandler(uint32_t kind, RpcHandler handler) {

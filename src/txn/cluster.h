@@ -113,7 +113,36 @@ class Cluster {
   static constexpr uint32_t kRpcKvRemove = 2;
   static constexpr uint32_t kRpcOrderedGet = 3;
   static constexpr uint32_t kRpcOrderedScan = 4;
+  // Elastic-tier kinds: migration-side installs/erases (gate-free — they
+  // carry the migration itself) and location-cache invalidation.
+  static constexpr uint32_t kRpcKvUpsert = 5;
+  static constexpr uint32_t kRpcKvErase = 6;
+  static constexpr uint32_t kRpcCacheInval = 7;
   static constexpr uint32_t kUserRpcBase = 100;
+
+  // Hooks the elastic tier (src/elastic) installs around the txn layer
+  // while a migration is live. One engine at a time; install/uninstall
+  // must bracket DrainTxnWindows() so no in-flight transaction straddles
+  // the toggle. All methods may be called concurrently from worker and
+  // server threads.
+  class ElasticHooks {
+   public:
+    virtual ~ElasticHooks() = default;
+    // Gate for write-lock / lease acquisition and local HTM writes.
+    // Returning false means the key's bucket is frozen mid-switch: the
+    // transaction aborts the attempt and retries, re-resolving the
+    // owner, so it lands on the new owner after the flip.
+    virtual bool AllowAcquire(int table, uint64_t key) { return true; }
+    // A transaction's write to (table, key) on `node` became visible at
+    // `version`. Drives dual-write during the catch-up phase.
+    virtual void OnCommittedWrite(int node, int table, uint64_t key,
+                                  uint32_t version, const void* value,
+                                  uint32_t len) {}
+    // A shipped INSERT (inserted=true) / DELETE executed on `node`.
+    virtual void OnStructuralOp(int node, int table, uint64_t key,
+                                bool inserted, const void* value,
+                                uint32_t len) {}
+  };
 
   using RpcHandler =
       std::function<std::vector<uint8_t>(const rdma::Message&)>;
@@ -168,6 +197,44 @@ class Cluster {
                     const void* value);
   bool RemoteRemove(int from_node, int table, uint64_t key);
 
+  // --- elastic-tier plumbing -----------------------------------------------
+  // Installs (or clears, with nullptr) the migration hooks. The caller
+  // must DrainTxnWindows() after every toggle before relying on it.
+  void SetElasticHooks(ElasticHooks* hooks) {
+    elastic_hooks_.store(hooks, std::memory_order_release);
+  }
+  ElasticHooks* elastic_hooks() const {
+    return elastic_hooks_.load(std::memory_order_acquire);
+  }
+
+  // Epoch-tagged transaction windows. Every transaction attempt brackets
+  // itself with Begin/End (see txn::WindowGuard); DrainTxnWindows() bumps
+  // the epoch and waits until every attempt that began under the old
+  // epoch has ended — i.e. until no in-flight attempt can still be
+  // acting on hook state sampled before the toggle.
+  uint64_t BeginTxnWindow();
+  void EndTxnWindow(uint64_t token);
+  void DrainTxnWindows();
+
+  // Migration-side record shipping: install-or-overwrite at `version`
+  // (max-version-wins, idempotent) / erase on an explicit node,
+  // bypassing the partition function and the elastic gate.
+  bool ShipUpsert(int from_node, int target_node, int table, uint64_t key,
+                  uint32_t version, const void* value);
+  bool ShipErase(int from_node, int target_node, int table, uint64_t key);
+
+  // Tells every other node to drop its location-cache hints for the
+  // listed bucket offsets in `source_node`'s memory. Returns the number
+  // of nodes that acknowledged.
+  int BroadcastCacheInvalidate(int from_node, int source_node,
+                               const std::vector<uint64_t>& bucket_offs);
+
+  // Queue depth of a node's server thread — the admission-control
+  // congestion signal on the RPC side.
+  size_t ServerQueueDepth(int node) {
+    return fabric_->queue(node).ApproxSize();
+  }
+
   // Remote access to ordered stores over SEND/RECV verbs (the paper's
   // stated mechanism for ordered tables, sections 3 and 6.5 — DrTM has
   // no RDMA-friendly B+ tree). The host executes the operation inside an
@@ -201,6 +268,9 @@ class Cluster {
   void ServerLoop(int node);
   std::vector<uint8_t> HandleKvInsert(int node, const rdma::Message& msg);
   std::vector<uint8_t> HandleKvRemove(int node, const rdma::Message& msg);
+  std::vector<uint8_t> HandleKvUpsert(int node, const rdma::Message& msg);
+  std::vector<uint8_t> HandleKvErase(int node, const rdma::Message& msg);
+  std::vector<uint8_t> HandleCacheInval(int node, const rdma::Message& msg);
   std::vector<uint8_t> HandleOrderedGet(int node, const rdma::Message& msg);
   std::vector<uint8_t> HandleOrderedScan(int node, const rdma::Message& msg);
 
@@ -217,6 +287,14 @@ class Cluster {
   std::vector<std::thread> servers_;
   std::vector<std::unique_ptr<std::atomic<bool>>> server_running_;
   std::vector<std::unique_ptr<std::atomic<uint64_t>>> txn_seq_;
+  std::atomic<ElasticHooks*> elastic_hooks_{nullptr};
+  // Two-parity window counters: attempts increment the counter of the
+  // epoch they began under; a drain bumps the epoch and waits out the
+  // old parity. Parity reuse is safe because a drain only returns once
+  // its parity counter reached zero.
+  std::atomic<uint64_t> window_epoch_{0};
+  std::atomic<int64_t> windows_even_{0};
+  std::atomic<int64_t> windows_odd_{0};
   bool started_ = false;
 };
 

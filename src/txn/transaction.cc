@@ -32,6 +32,31 @@ void SleepUs(uint64_t us) {
   std::this_thread::sleep_for(std::chrono::microseconds(us));
 }
 
+// RAII bracket around one transaction attempt so the elastic tier's
+// DrainTxnWindows() can wait out every attempt that sampled hook or
+// routing state from before a toggle.
+class WindowGuard {
+ public:
+  explicit WindowGuard(Cluster& cluster)
+      : cluster_(cluster), token_(cluster.BeginTxnWindow()) {}
+  ~WindowGuard() { cluster_.EndTxnWindow(token_); }
+
+  WindowGuard(const WindowGuard&) = delete;
+  WindowGuard& operator=(const WindowGuard&) = delete;
+
+ private:
+  Cluster& cluster_;
+  uint64_t token_;
+};
+
+// The elastic freeze gate: false while a live migration has the key's
+// bucket frozen mid-switch. Gated acquisitions fail as conflicts; the
+// retry re-resolves the owner and lands on the new one after the flip.
+bool GateAllows(Cluster& cluster, int table, uint64_t key) {
+  Cluster::ElasticHooks* hooks = cluster.elastic_hooks();
+  return hooks == nullptr || hooks->AllowAcquire(table, key);
+}
+
 // Registry ids for the transaction-layer counters and phase timers,
 // resolved once per process.
 struct TxnMetricIds {
@@ -253,6 +278,9 @@ void Transaction::UnlockRef(const Ref& ref) {
 }
 
 Transaction::StartResult Transaction::AcquireExclusive(Ref& ref, bool wait) {
+  if (!GateAllows(cluster_, ref.table, ref.key)) {
+    return StartResult::kConflict;
+  }
   stat::ScopedTimer phase(Ids().lock_acquire_ns);
   const uint64_t locked_val =
       MakeWriteLocked(static_cast<uint8_t>(worker_->node()));
@@ -309,6 +337,9 @@ Transaction::StartResult Transaction::AcquireLease(Ref& ref, bool wait) {
 Transaction::StartResult Transaction::AcquireLeaseWithState(Ref& ref,
                                                             bool wait,
                                                             uint64_t probed) {
+  if (!GateAllows(cluster_, ref.table, ref.key)) {
+    return StartResult::kConflict;
+  }
   stat::ScopedTimer phase(Ids().lease_wait_ns);
   const uint64_t desired = MakeLease(lease_end_);
   uint64_t expected = kStateInit;
@@ -457,6 +488,14 @@ Transaction::StartResult Transaction::StartPhase() {
   now_start_ = cluster_.synctime().ReadStrong(worker_->node());
   lease_end_ = now_start_ + cfg_.lease_rw_us;
 
+  // Re-resolve every ref's owner: the elastic tier can flip bucket
+  // ownership between attempts (live migration), and a stale node would
+  // acquire against the old owner's copy after the switch.
+  for (Ref& ref : refs_) {
+    ref.node = cluster_.PartitionOf(ref.table, ref.key);
+    ref.local = (ref.node == worker_->node());
+  }
+
   std::vector<Ref*> remote_all;
   for (Ref& ref : refs_) {
     if (!ref.local) {
@@ -500,6 +539,14 @@ Transaction::StartResult Transaction::BatchedStartRemote(
     const std::vector<Ref*>& remote) {
   if (remote.empty()) {
     return StartResult::kOk;
+  }
+  // The scatter below posts first-attempt lock CASes directly, bypassing
+  // the scalar acquire helpers — so the elastic freeze gate must be
+  // checked here, before any CAS can land on a frozen bucket.
+  for (const Ref* ref : remote) {
+    if (!GateAllows(cluster_, ref->table, ref->key)) {
+      return StartResult::kConflict;
+    }
   }
   const uint64_t locked_val =
       MakeWriteLocked(static_cast<uint8_t>(worker_->node()));
@@ -824,6 +871,7 @@ TxnStatus Transaction::Run(const Body& body) {
   const int lock_extra = worker_->AdaptiveLockExtraRetries();
   int retry_budget = base_budget;
   while (attempt < retry_budget) {
+    WindowGuard window(cluster_);
     const StartResult sr = StartPhase();
     if (sr == StartResult::kNodeDown) {
       ReleaseRemoteLocks();
@@ -845,6 +893,10 @@ TxnStatus Transaction::Run(const Body& body) {
 
     user_abort_ = false;
     wal_buffer_.clear();
+    // HTM-mode structural ops append notification-only records here;
+    // an aborted attempt's records must not survive into the retry
+    // (plain heap state is not rolled back by the HTM emulator).
+    pending_local_ops_.clear();
     htm::HtmThread& htm = worker_->htm();
     unsigned hstatus;
     {
@@ -860,13 +912,20 @@ TxnStatus Transaction::Run(const Body& body) {
     }
 
     if (hstatus == htm::kCommitted) {
+      bool release_clean;
       {
         stat::ScopedTimer commit_phase(Ids().commit_ns);
-        if (WriteBackAndUnlock() && cfg_.logging) {
+        release_clean = WriteBackAndUnlock();
+        if (release_clean && cfg_.logging) {
           cluster_.log(worker_->node())
               ->Append(worker_->worker_id(), LogType::kComplete, txn_id_,
                        nullptr, 0);
         }
+      }
+      if (release_clean) {
+        // A chaos-abandoned release simulates the machine dying
+        // mid-commit; a dead machine reports nothing.
+        NotifyCommittedWrites();
       }
       ++stats.committed;
       stat::Registry::Global().Add(Ids().commit);
@@ -947,6 +1006,12 @@ bool Transaction::LocalWriteInHtm(Ref& ref, const void* value) {
     return false;
   }
   htm::HtmThread& htm = worker_->htm();
+  // Elastic freeze gate: local HTM writes take no lock at all, so a
+  // frozen bucket must abort the attempt here or a post-catch-up local
+  // commit would race the ownership flip.
+  if (!GateAllows(cluster_, ref.table, ref.key)) {
+    htm.Abort(kCodeLocked);
+  }
   // LOCAL_WRITE (Fig. 6): abort on a write lock or an unexpired lease;
   // actively clear an expired lease (side effect: the state word joins
   // the HTM write set, which is why LOCAL_READ does not do this).
@@ -972,8 +1037,57 @@ bool Transaction::LocalWriteInHtm(Ref& ref, const void* value) {
   htm.Write(table->ValuePtr(entry), value, ref.value_size);
   ref.entry_off = entry;
   ref.version = version;
+  // Local HTM refs are never `locked`, so WriteBackAndUnlock ignores
+  // them; the dirty flag is what NotifyCommittedWrites keys off.
+  ref.dirty = true;
   RecordWalUpdate(ref, value);
   return true;
+}
+
+void Transaction::NotifyCommittedWrites() {
+  Cluster::ElasticHooks* hooks = cluster_.elastic_hooks();
+  if (hooks == nullptr) {
+    return;
+  }
+  for (Ref& ref : refs_) {
+    if (!ref.dirty) {
+      continue;
+    }
+    if (ref.local && mode_ == Mode::kHtm) {
+      // Local HTM writes landed directly in the table; read the
+      // committed version/value back with strong accesses. A concurrent
+      // later writer may bump them again in between — harmless, the
+      // dual-write install keeps the max version.
+      store::ClusterHashTable* table = cluster_.hash_table(ref.node, ref.table);
+      const uint64_t entry = table->FindEntry(ref.key);
+      if (entry == store::kInvalidOffset) {
+        continue;  // removed since; the remove's own report covers it
+      }
+      const uint32_t version = htm::Load(table->VersionPtr(entry));
+      std::vector<uint8_t> value(ref.value_size);
+      htm::ReadBytes(value.data(), table->ValuePtr(entry), ref.value_size);
+      hooks->OnCommittedWrite(ref.node, ref.table, ref.key, version,
+                              value.data(), ref.value_size);
+    } else {
+      hooks->OnCommittedWrite(ref.node, ref.table, ref.key, ref.version + 1,
+                              ref.buf.data(), ref.value_size);
+    }
+  }
+  for (const PendingOp& op : pending_local_ops_) {
+    switch (op.op) {
+      case PendingOp::kHashInsert:
+        hooks->OnStructuralOp(worker_->node(), op.table, op.key,
+                              /*inserted=*/true, op.value.data(),
+                              static_cast<uint32_t>(op.value.size()));
+        break;
+      case PendingOp::kHashRemove:
+        hooks->OnStructuralOp(worker_->node(), op.table, op.key,
+                              /*inserted=*/false, nullptr, 0);
+        break;
+      default:
+        break;  // ordered stores are not elastic-managed
+    }
+  }
 }
 
 bool Transaction::Read(int table, uint64_t key, void* out) {
@@ -1045,7 +1159,19 @@ bool Transaction::Insert(int table, uint64_t key, const void* value) {
          "inserts are shipped outside transactions (paper footnote 5)");
   store::ClusterHashTable* host = cluster_.hash_table(worker_->node(), table);
   if (mode_ == Mode::kHtm) {
-    return host->Insert(key, value);
+    const bool ok = host->Insert(key, value);
+    if (ok && cluster_.elastic_hooks() != nullptr) {
+      // Notification-only record: the insert already landed in the
+      // table; NotifyCommittedWrites replays it to the elastic hooks
+      // after commit (aborted attempts clear pending_local_ops_).
+      pending_local_ops_.push_back(
+          PendingOp{PendingOp::kHashInsert, table, key,
+                    std::vector<uint8_t>(
+                        static_cast<const uint8_t*>(value),
+                        static_cast<const uint8_t*>(value) +
+                            cluster_.table(table).value_size)});
+    }
+    return ok;
   }
   pending_local_ops_.push_back(
       PendingOp{PendingOp::kHashInsert, table, key,
@@ -1059,7 +1185,12 @@ bool Transaction::Remove(int table, uint64_t key) {
   assert(cluster_.PartitionOf(table, key) == worker_->node());
   store::ClusterHashTable* host = cluster_.hash_table(worker_->node(), table);
   if (mode_ == Mode::kHtm) {
-    return host->Remove(key);
+    const bool ok = host->Remove(key);
+    if (ok && cluster_.elastic_hooks() != nullptr) {
+      pending_local_ops_.push_back(
+          PendingOp{PendingOp::kHashRemove, table, key, {}});
+    }
+    return ok;
   }
   pending_local_ops_.push_back(
       PendingOp{PendingOp::kHashRemove, table, key, {}});
@@ -1169,6 +1300,13 @@ bool Transaction::OrderedFindFloor(int table, uint64_t lo, uint64_t bound,
 // --- fallback path -------------------------------------------------------------
 
 Transaction::StartResult Transaction::OptimisticFallbackAcquire() {
+  // Like BatchedStartRemote, this posts CASes directly; check the
+  // elastic freeze gate up front.
+  for (const Ref& ref : refs_) {
+    if (ref.found && !GateAllows(cluster_, ref.table, ref.key)) {
+      return StartResult::kConflict;
+    }
+  }
   stat::ScopedTimer phase(Ids().lock_acquire_ns);
   const uint64_t locked_val =
       MakeWriteLocked(static_cast<uint8_t>(worker_->node()));
@@ -1334,8 +1472,15 @@ TxnStatus Transaction::RunFallback(const Body& body) {
   htm::HtmThread& htm = worker_->htm();
 
   for (int attempt = 0; attempt < kFallbackAttempts; ++attempt) {
+    WindowGuard window(cluster_);
     now_start_ = cluster_.synctime().ReadStrong(worker_->node());
     lease_end_ = now_start_ + cfg_.lease_rw_us;
+    // Re-resolve ownership each attempt: a live migration may have
+    // flipped a key's home node between attempts.
+    for (Ref& ref : refs_) {
+      ref.node = cluster_.PartitionOf(ref.table, ref.key);
+      ref.local = (ref.node == worker_->node());
+    }
     pending_local_ops_.clear();
     wal_buffer_.clear();
 
@@ -1567,6 +1712,9 @@ TxnStatus Transaction::RunFallback(const Body& body) {
           ->Append(worker_->worker_id(), LogType::kComplete, txn_id_, nullptr,
                    0);
     }
+    if (!release_abandoned) {
+      NotifyCommittedWrites();
+    }
     ++stats.committed;
     stat::Registry::Global().Add(Ids().commit);
     return TxnStatus::kCommitted;
@@ -1597,6 +1745,12 @@ TxnStatus ReadOnlyTransaction::Execute() {
 
   const rdma::SendQueue::Config sq_cfg{cfg.rdma_batch_window};
   for (int attempt = 0; attempt < kFallbackAttempts; ++attempt) {
+    WindowGuard window(cluster_);
+    // Re-resolve ownership each attempt: a live migration may have
+    // flipped a key's home node between attempts.
+    for (RoRef& ref : refs_) {
+      ref.node = cluster_.PartitionOf(ref.table, ref.key);
+    }
     const uint64_t now0 = cluster_.synctime().ReadStrong(worker_->node());
     const uint64_t end = now0 + cfg.lease_ro_us;
     const uint64_t desired = MakeLease(end);
@@ -1706,6 +1860,13 @@ TxnStatus ReadOnlyTransaction::Execute() {
           }
           expected[i] = probes[i];  // expired or short: steal/renew
         } else if (IsWriteLocked(probes[i])) {
+          conflict = true;
+          break;
+        }
+        // Elastic freeze gate: sharing an existing lease above is safe
+        // (it never extends one), but installing or renewing a lease on
+        // a frozen bucket would stretch the revocation wait — retry.
+        if (!GateAllows(cluster_, ref.table, ref.key)) {
           conflict = true;
           break;
         }
@@ -1863,6 +2024,15 @@ bool ReadOnlyTransaction::Get(int table, uint64_t key, void* out) const {
     }
   }
   return false;
+}
+
+uint64_t ReadOnlyTransaction::LeaseEndOf(int table, uint64_t key) const {
+  for (const RoRef& ref : refs_) {
+    if (ref.table == table && ref.key == key) {
+      return ref.found ? ref.lease_end : 0;
+    }
+  }
+  return 0;
 }
 
 }  // namespace txn

@@ -277,6 +277,11 @@ class Transaction {
   bool LocalWriteInHtm(Ref& ref, const void* value);
   void RecordWalUpdate(const Ref& ref, const void* value);
 
+  // After a commit became visible: reports every written record (and
+  // buffered structural op) to the installed ElasticHooks, driving the
+  // dual-write phase of a live migration. No-op without hooks.
+  void NotifyCommittedWrites();
+
   Worker* worker_;
   Cluster& cluster_;
   const ClusterConfig& cfg_;
@@ -308,6 +313,13 @@ class ReadOnlyTransaction {
   // Valid after a kCommitted Execute(). Returns false if the key did not
   // exist at snapshot time.
   bool Get(int table, uint64_t key, void* out) const;
+
+  // Lease end time (synctime µs) of a record read by a kCommitted
+  // Execute(), or 0 if the key was absent. The elastic hot-key replica
+  // cache serves a cached value only while this lease is still valid —
+  // writers wait out the lease, so the cached value cannot go stale
+  // within it (paper section 4.5).
+  uint64_t LeaseEndOf(int table, uint64_t key) const;
 
  private:
   struct RoRef {

@@ -85,7 +85,8 @@ Direction DirectionForKey(const std::string& value_key) {
     }
   }
   for (const char* cost : {"latency", "abort", "fallback", "reads",
-                           "doorbells", "hops", "retries"}) {
+                           "doorbells", "hops", "retries", "shed", "stale",
+                           "violations"}) {
     if (Contains(value_key, cost)) {
       return Direction::kLowerIsBetter;
     }

@@ -44,6 +44,12 @@ TEST(DirectionForKey, ClassifiesMetricFamilies) {
   EXPECT_EQ(DirectionForKey("doorbells_per_lookup"),
             Direction::kLowerIsBetter);
   EXPECT_EQ(DirectionForKey("abort_rate"), Direction::kLowerIsBetter);
+  EXPECT_EQ(DirectionForKey("shed"), Direction::kLowerIsBetter);
+  EXPECT_EQ(DirectionForKey("stale_serves"), Direction::kLowerIsBetter);
+  EXPECT_EQ(DirectionForKey("invariant_violations"),
+            Direction::kLowerIsBetter);
+  EXPECT_EQ(DirectionForKey("admitted_rpc_per_sec"),
+            Direction::kHigherIsBetter);
   EXPECT_EQ(DirectionForKey("mystery_metric"), Direction::kUnknown);
 }
 

@@ -20,6 +20,19 @@
 //       kCrashPoint abandons the remaining releases and suppresses the
 //       Complete log record, exactly the state a machine dying mid-release
 //       leaves behind.
+//   rpc.dispatch / rpc.insert / rpc.remove
+//       the server-thread RPC path: every request at the dispatch switch,
+//       plus the shipped structural INSERT/DELETE ops — kFailOp/kAbandon
+//       read as a dropped request (empty reply). In kTransientPoints, so
+//       random plans draw them.
+//   rpc.upsert / rpc.erase / rpc.cache_inval
+//       the elastic tier's migration dual-write, erase and
+//       location-cache invalidation broadcast channels. NOT in
+//       kTransientPoints (fixed CI seeds keep byte-identical schedules);
+//       scripted plans target them by name.
+//
+// drtm-lint's CP01 rule cross-checks this catalog: every mutating
+// RDMA/log/RPC entry point must reach one of these hooks on some path.
 //
 // Design constraints honoured here:
 //   * Disarmed cost is one relaxed atomic load — the hooks live on hot

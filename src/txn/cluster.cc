@@ -44,13 +44,21 @@ const ClusterMetricIds& ClusterIds() {
 // Chaos injection points in the server-thread RPC path (the carried-over
 // gap from ROADMAP item 5): rpc.dispatch covers every request at the
 // dispatch switch, rpc.insert / rpc.remove cover the shipped structural
-// ops specifically. kFailOp / kAbandon read as a dropped request — an
+// ops specifically, and rpc.upsert / rpc.erase / rpc.cache_inval cover
+// the elastic tier's migration dual-write, erase and invalidation
+// broadcast channels. kFailOp / kAbandon read as a dropped request — an
 // empty reply, the same visible class as a lost SEND — and kDelayNs
-// models a stalled server thread.
+// models a stalled server thread. The three migration-path points are
+// deliberately NOT in chaos::kTransientPoints: random plan generation
+// draws only from that list, so the fixed CI seeds keep byte-identical
+// schedules; scripted plans target the new points by name.
 struct RpcPointIds {
   uint32_t dispatch = 0;
   uint32_t insert = 0;
   uint32_t remove = 0;
+  uint32_t upsert = 0;
+  uint32_t erase = 0;
+  uint32_t cache_inval = 0;
 };
 
 const RpcPointIds& RpcPoints() {
@@ -60,6 +68,9 @@ const RpcPointIds& RpcPoints() {
     p.dispatch = inj.Point("rpc.dispatch");
     p.insert = inj.Point("rpc.insert");
     p.remove = inj.Point("rpc.remove");
+    p.upsert = inj.Point("rpc.upsert");
+    p.erase = inj.Point("rpc.erase");
+    p.cache_inval = inj.Point("rpc.cache_inval");
     return p;
   }();
   return ids;
@@ -327,6 +338,11 @@ struct CacheInvalHeader {
 
 std::vector<uint8_t> Cluster::HandleKvUpsert(int node,
                                              const rdma::Message& msg) {
+  // A dropped upsert is a lost dual-write/catch-up installment: the
+  // migration engine must retry off the 0 reply or reconcile at flip.
+  if (ChaosDropsRpc(RpcPoints().upsert, node)) {
+    return {static_cast<uint8_t>(0)};
+  }
   UpsertRequest req;
   std::memcpy(&req, msg.payload.data(), sizeof(req));
   const uint8_t* value = msg.payload.data() + sizeof(req);
@@ -345,6 +361,9 @@ std::vector<uint8_t> Cluster::HandleKvUpsert(int node,
 
 std::vector<uint8_t> Cluster::HandleKvErase(int node,
                                             const rdma::Message& msg) {
+  if (ChaosDropsRpc(RpcPoints().erase, node)) {
+    return {static_cast<uint8_t>(0)};
+  }
   KvRequest req;
   std::memcpy(&req, msg.payload.data(), sizeof(req));
   store::ClusterHashTable* table = hash_table(node, req.table);
@@ -362,6 +381,11 @@ std::vector<uint8_t> Cluster::HandleKvErase(int node,
 
 std::vector<uint8_t> Cluster::HandleCacheInval(int node,
                                                const rdma::Message& msg) {
+  // A dropped invalidation leaves stale location-cache hints; hints are
+  // validated on use, so the cost is extra RDMA reads, never wrong data.
+  if (ChaosDropsRpc(RpcPoints().cache_inval, node)) {
+    return {static_cast<uint8_t>(0)};
+  }
   CacheInvalHeader header;
   if (msg.payload.size() < sizeof(header)) {
     return {static_cast<uint8_t>(0)};

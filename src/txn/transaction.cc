@@ -990,12 +990,18 @@ bool Transaction::LocalReadInHtm(Ref& ref, void* out) {
   }
   htm::HtmThread& htm = worker_->htm();
   // LOCAL_READ (Fig. 6): a write lock by a distributed transaction means
-  // we must abort; a read lease is fine for readers.
+  // we must abort; a read lease is fine for readers. The state word is
+  // subscribed AFTER the value read (lazy lock subscription, rtmseq):
+  // probing first would keep the word in the HTM read set across the
+  // value copy, so a holder's unlock store aborts this reader
+  // needlessly. Reordering is safe inside the region — if the word turns
+  // out write-locked we abort and the speculative read is discarded
+  // before the body can observe it.
+  htm.Read(out, table->ValuePtr(entry), ref.value_size);
   const uint64_t state = htm.Load(table->StatePtr(entry));
   if (IsWriteLocked(state)) {
     htm.Abort(kCodeLocked);
   }
-  htm.Read(out, table->ValuePtr(entry), ref.value_size);
   return true;
 }
 
@@ -1012,9 +1018,19 @@ bool Transaction::LocalWriteInHtm(Ref& ref, const void* value) {
   if (!GateAllows(cluster_, ref.table, ref.key)) {
     htm.Abort(kCodeLocked);
   }
-  // LOCAL_WRITE (Fig. 6): abort on a write lock or an unexpired lease;
-  // actively clear an expired lease (side effect: the state word joins
-  // the HTM write set, which is why LOCAL_READ does not do this).
+  // LOCAL_WRITE (Fig. 6): write the version bump and the value
+  // speculatively, then subscribe the state word as late as possible
+  // (lazy lock subscription, rtmseq): probing before the data writes
+  // would hold the word in the HTM read set across the value copy and
+  // abort needlessly on the holder's unlock store. Safe to defer — if
+  // the word turns out locked/leased we abort and the region's stores
+  // are discarded wholesale.
+  const uint32_t version = htm.Load(table->VersionPtr(entry));
+  htm.Store(table->VersionPtr(entry), version + 1);
+  htm.Write(table->ValuePtr(entry), value, ref.value_size);
+  // Abort on a write lock or an unexpired lease; actively clear an
+  // expired lease (side effect: the state word joins the HTM write set,
+  // which is why LOCAL_READ does not do this).
   const uint64_t state = htm.Load(table->StatePtr(entry));
   if (IsWriteLocked(state)) {
     htm.Abort(kCodeLocked);
@@ -1032,9 +1048,6 @@ bool Transaction::LocalWriteInHtm(Ref& ref, const void* value) {
     }
     htm.Store(table->StatePtr(entry), kStateInit);
   }
-  const uint32_t version = htm.Load(table->VersionPtr(entry));
-  htm.Store(table->VersionPtr(entry), version + 1);
-  htm.Write(table->ValuePtr(entry), value, ref.value_size);
   ref.entry_off = entry;
   ref.version = version;
   // Local HTM refs are never `locked`, so WriteBackAndUnlock ignores

@@ -17,8 +17,17 @@
 //   TX04  catch handlers for `...` or drtm::htm::AbortException inside
 //         tx bodies.
 //
+// Division of labor vs the core: the core's call-graph fixpoint engine
+// (whole-program summaries, arbitrary-depth propagation) and the newer
+// rule families — EL01/EL02 (elastic-hook discipline), LS01/LS02
+// (lock/lease subscription timing), CP01 (chaos coverage drift) — are
+// interprocedural and whole-corpus by nature, so they live in the
+// portable core only; this frontend stays a per-TU, type-precise second
+// opinion on the TX family. Rule ids are shared: a finding either
+// frontend emits names the same rule in lint.h's catalog.
+//
 // Suppressions use the same comment syntax as the core
-// (`// drtm-lint: allow(TXnn reason)`), handled by reusing
+// (`// drtm-lint: allow(XXnn reason)`, any rule id), handled by reusing
 // lint::Analyzer's directive parser on the raw source buffer, so a
 // finding suppressed for one frontend is suppressed for both.
 #include <memory>

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <deque>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string_view>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -39,7 +42,15 @@ constexpr std::string_view kPuncts[] = {
 bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
 bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
 
-// Extracts "drtm-lint: allow(TXnn reason)" / "allow-file(TXnn reason)"
+// A rule id is two uppercase letters + two digits (TX01, EL02, CP01...).
+bool IsRuleId(const std::string& s, size_t pos) {
+  return pos + 4 <= s.size() && std::isupper(static_cast<unsigned char>(s[pos])) &&
+         std::isupper(static_cast<unsigned char>(s[pos + 1])) &&
+         std::isdigit(static_cast<unsigned char>(s[pos + 2])) &&
+         std::isdigit(static_cast<unsigned char>(s[pos + 3]));
+}
+
+// Extracts "drtm-lint: allow(XXnn reason)" / "allow-file(XXnn reason)"
 // directives from a comment's text.
 void ParseDirectives(const std::string& comment, int line,
                      std::vector<Suppression>* out) {
@@ -65,7 +76,7 @@ void ParseDirectives(const std::string& comment, int line,
     Suppression sup;
     sup.line = line;
     sup.file_scope = file_scope;
-    if (body.size() >= 4 && body.compare(0, 2, "TX") == 0) {
+    if (IsRuleId(body, 0)) {
       sup.rule = body.substr(0, 4);
       size_t r = 4;
       while (r < body.size() && std::isspace(static_cast<unsigned char>(body[r]))) ++r;
@@ -132,6 +143,8 @@ void Lex(const std::string& src, std::vector<Token>* toks,
     }
     // String / raw string literals. An immediately preceding encoding
     // prefix identifier (R, u8R, LR, ...) was lexed as an ident; fold it.
+    // Plain string contents are preserved: the chaos-point catalog is
+    // read off Point("name") literals.
     if (c == '"') {
       bool raw = false;
       if (!toks->empty() && toks->back().kind == Token::kIdent) {
@@ -156,11 +169,13 @@ void Lex(const std::string& src, std::vector<Token>* toks,
         continue;
       }
       size_t j = i + 1;
+      std::string content;
       while (j < n && src[j] != '"') {
         if (src[j] == '\\' && j + 1 < n) ++j;
+        content.push_back(src[j]);
         ++j;
       }
-      push(Token::kString, "<string>", line);
+      push(Token::kString, std::move(content), line);
       i = (j < n) ? j + 1 : n;
       continue;
     }
@@ -259,7 +274,7 @@ const std::unordered_set<std::string>& DataTypeWords() {
 }
 
 // htm:: primitives and casts: calls that are legal in transaction
-// bodies and must not feed the one-level call summary.
+// bodies and must not feed the call-graph propagation.
 const std::unordered_set<std::string>& SummarySkipNames() {
   static const std::unordered_set<std::string> kSet = {
       "Load",        "Store",       "Read",        "Write",
@@ -285,11 +300,20 @@ struct Region {
   size_t param_begin = 0;
   size_t param_end = 0;
   std::string context;
+  std::string function;  // enclosing/summarized function name
+  size_t depth = 0;      // call edges below the Transact body (0 = the body)
 };
 
 struct FunctionDef {
   std::string name;
   Region region;
+};
+
+// A call site inside a function body, in token order.
+struct CallSite {
+  std::string name;
+  size_t tok = 0;
+  int line = 0;
 };
 
 }  // namespace
@@ -309,12 +333,14 @@ Analyzer::Analyzer(Analyzer&&) noexcept = default;
 Analyzer& Analyzer::operator=(Analyzer&&) noexcept = default;
 
 bool Analyzer::AddFile(const std::string& path, std::string content) {
+  std::string norm = path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  while (norm.compare(0, 2, "./") == 0) norm.erase(0, 2);
   for (const File& f : files_) {
-    if (f.path == path) return false;
+    if (f.path == norm) return false;
   }
   File file;
-  file.path = path;
-  std::replace(file.path.begin(), file.path.end(), '\\', '/');
+  file.path = std::move(norm);
   Lex(content, &file.toks, &file.sups);
   for (const std::string& fragment : options_.exclude) {
     if (file.path.find(fragment) != std::string::npos) {
@@ -404,20 +430,21 @@ void FindFunctionDefs(const Tokens& t, size_t file,
     def.region.end = MatchForward(t, j, "{", "}");
     def.region.param_begin = i + 2;
     def.region.param_end = after_params - 1;
+    def.region.function = def.name;
     def.region.context =
         "function '" + def.name + "' at line " + std::to_string(t[i].line);
     out->push_back(std::move(def));
   }
 }
 
-// Names called from a region, feeding the one-level summary.
-void CollectCalledNames(const Tokens& t, const Region& r,
-                        std::set<std::string>* names) {
+// Every call site in a region, in token order. Control keywords are
+// filtered; member calls are kept (the summary is name-based).
+void CollectCallSites(const Tokens& t, const Region& r,
+                      std::vector<CallSite>* out) {
   for (size_t i = r.begin; i + 1 < r.end && i + 1 < t.size(); ++i) {
     if (t[i].kind != Token::kIdent || !Is(t, i + 1, "(")) continue;
     if (ControlKeywords().count(t[i].text) != 0) continue;
-    if (SummarySkipNames().count(t[i].text) != 0) continue;
-    names->insert(t[i].text);
+    out->push_back(CallSite{t[i].text, i, t[i].line});
   }
 }
 
@@ -465,6 +492,38 @@ bool PrefixContext(const std::string& s) {
          s == "!" || s == "+" || s == "-" || IsAssignOp(s);
 }
 
+bool MatchesAny(const std::string& text, const std::vector<std::string>& names) {
+  return std::find(names.begin(), names.end(), text) != names.end();
+}
+
+// Human tag for a summarized function `depth` call edges below a
+// Transact body.
+std::string DepthTag(size_t depth) {
+  if (depth == 1) return " (reachable from a Transact body)";
+  if (depth == 2) return " (reachable from a Transact body via a helper)";
+  return " (reachable from a Transact body via " + std::to_string(depth - 1) +
+         " helpers)";
+}
+
+uint64_t Fnv1a64(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string HexFingerprint(uint64_t h) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<Finding> Analyzer::Unsuppressed() const {
@@ -477,15 +536,40 @@ std::vector<Finding> Analyzer::Unsuppressed() const {
 
 void Analyzer::Run() {
   findings_.clear();
+  chaos_catalog_.clear();
 
-  auto report = [&](const File& file, const std::string& rule, int line,
-                    std::string message, std::string context) {
+  // Raw findings carry the token index of the violating site so the same
+  // site reached through several call paths (or the same header pulled
+  // into several translation units) keys to one report entry.
+  struct RawFinding {
+    Finding finding;
+    size_t file = 0;
+    size_t tok = 0;
+    size_t depth = 0;
+  };
+  std::vector<RawFinding> raw;
+  // (rule, file, token) -> index into `raw`; the shallowest path wins.
+  std::map<std::tuple<std::string, size_t, size_t>, size_t> site_index;
+
+  auto report = [&](size_t file_idx, const std::string& rule, size_t tok,
+                    int line, std::string message, const Region& region) {
+    const File& file = files_[file_idx];
+    const auto key = std::make_tuple(rule, file_idx, tok);
+    auto it = site_index.find(key);
+    if (it != site_index.end()) {
+      if (region.depth < raw[it->second].depth) {
+        raw[it->second].finding.context = region.context;
+        raw[it->second].depth = region.depth;
+      }
+      return;
+    }
     Finding f;
     f.rule = rule;
     f.file = file.path;
     f.line = line;
     f.message = std::move(message);
-    f.context = std::move(context);
+    f.context = region.context;
+    f.function = region.function;
     for (const Suppression& sup : file.sups) {
       if (sup.rule != rule) continue;
       if (sup.file_scope || sup.line == line || sup.line == line - 1) {
@@ -494,25 +578,186 @@ void Analyzer::Run() {
         break;
       }
     }
-    findings_.push_back(std::move(f));
+    site_index.emplace(key, raw.size());
+    raw.push_back(RawFinding{std::move(f), file_idx, tok, region.depth});
   };
 
-  // Region discovery: Transact lambda bodies, then the call summary
-  // over every function definition in the corpus, propagated two call
-  // levels deep by name (helpers, then helpers-of-helpers).
-  std::vector<Region> regions;
+  // --- Pass 1: regions, definitions and per-function summaries --------------
+  std::vector<Region> transact_bodies;
   std::vector<FunctionDef> defs;
-  std::set<std::string> called;
   for (size_t fi = 0; fi < files_.size(); ++fi) {
     if (files_[fi].excluded) continue;
-    FindTransactBodies(files_[fi].toks, fi, &regions);
+    FindTransactBodies(files_[fi].toks, fi, &transact_bodies);
     FindFunctionDefs(files_[fi].toks, fi, &defs);
   }
+
+  // Per-definition call summaries, plus the rule-vocabulary bits.
+  struct Summary {
+    std::vector<CallSite> calls;
+    bool calls_gate = false;
+    bool calls_notify = false;
+    bool calls_chaos = false;
+    bool reach_notify = false;  // fixpoint: self or any callee
+    bool reach_chaos = false;   // fixpoint: self or any callee
+    bool gated = true;          // fixpoint over callers (greatest fixpoint)
+  };
+  std::vector<Summary> summaries(defs.size());
+  std::unordered_map<std::string, std::vector<size_t>> defs_by_name;
+  for (size_t d = 0; d < defs.size(); ++d) {
+    defs_by_name[defs[d].name].push_back(d);
+  }
+  for (size_t d = 0; d < defs.size(); ++d) {
+    const Tokens& t = files_[defs[d].region.file].toks;
+    CollectCallSites(t, defs[d].region, &summaries[d].calls);
+    for (const CallSite& c : summaries[d].calls) {
+      if (MatchesAny(c.name, options_.acquire_gates)) summaries[d].calls_gate = true;
+      if (MatchesAny(c.name, options_.notify_names)) summaries[d].calls_notify = true;
+      if (MatchesAny(c.name, options_.chaos_markers)) summaries[d].calls_chaos = true;
+    }
+  }
+
+  // Chaos point catalog: every Point("name") literal in the corpus.
+  {
+    std::set<std::string> catalog;
+    for (const File& file : files_) {
+      const Tokens& t = file.toks;
+      for (size_t i = 0; i + 2 < t.size(); ++i) {
+        if (t[i].kind == Token::kIdent && t[i].text == "Point" &&
+            Is(t, i + 1, "(") && t[i + 2].kind == Token::kString &&
+            !t[i + 2].text.empty()) {
+          catalog.insert(t[i + 2].text);
+        }
+      }
+    }
+    chaos_catalog_.assign(catalog.begin(), catalog.end());
+  }
+
+  // Call-graph edges (callee defs per definition), with the htm::
+  // primitive vocabulary filtered out so e.g. `Load` never aliases into
+  // a user-defined Load().
+  auto callees_of = [&](size_t d, std::vector<size_t>* out) {
+    for (const CallSite& c : summaries[d].calls) {
+      if (SummarySkipNames().count(c.name) != 0) continue;
+      auto it = defs_by_name.find(c.name);
+      if (it == defs_by_name.end()) continue;
+      for (size_t callee : it->second) {
+        if (callee != d) out->push_back(callee);
+      }
+    }
+  };
+
+  // --- Pass 2: worklist fixpoints over the call graph -----------------------
+
+  // (a) Transact reachability: minimum call depth below any Transact
+  // lambda body, to options_.max_call_depth. This is the engine that
+  // carries TX obligations to arbitrary depth.
+  std::vector<size_t> depth(defs.size(), SIZE_MAX);
+  {
+    std::deque<size_t> worklist;
+    std::set<std::string> seeds;
+    for (const Region& body : transact_bodies) {
+      std::vector<CallSite> calls;
+      CollectCallSites(files_[body.file].toks, body, &calls);
+      for (const CallSite& c : calls) {
+        if (SummarySkipNames().count(c.name) != 0) continue;
+        seeds.insert(c.name);
+      }
+    }
+    for (const std::string& name : seeds) {
+      auto it = defs_by_name.find(name);
+      if (it == defs_by_name.end()) continue;
+      for (size_t d : it->second) {
+        if (depth[d] > 1) {
+          depth[d] = 1;
+          worklist.push_back(d);
+        }
+      }
+    }
+    while (!worklist.empty()) {
+      const size_t d = worklist.front();
+      worklist.pop_front();
+      if (depth[d] >= options_.max_call_depth) continue;
+      std::vector<size_t> callees;
+      callees_of(d, &callees);
+      for (size_t callee : callees) {
+        if (depth[callee] > depth[d] + 1) {
+          depth[callee] = depth[d] + 1;
+          worklist.push_back(callee);
+        }
+      }
+    }
+  }
+
+  // (b) Forward closures: does some path out of each definition reach a
+  // notify call (EL02) / a chaos-injector reference (CP01)?
+  {
+    bool changed = true;
+    for (size_t d = 0; d < defs.size(); ++d) {
+      summaries[d].reach_notify = summaries[d].calls_notify;
+      summaries[d].reach_chaos = summaries[d].calls_chaos;
+    }
+    while (changed) {
+      changed = false;
+      for (size_t d = 0; d < defs.size(); ++d) {
+        if (summaries[d].reach_notify && summaries[d].reach_chaos) continue;
+        std::vector<size_t> callees;
+        callees_of(d, &callees);
+        for (size_t callee : callees) {
+          if (!summaries[d].reach_notify && summaries[callee].reach_notify) {
+            summaries[d].reach_notify = true;
+            changed = true;
+          }
+          if (!summaries[d].reach_chaos && summaries[callee].reach_chaos) {
+            summaries[d].reach_chaos = true;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // (c) EL01 gate cover, a greatest fixpoint over the REVERSE graph:
+  // a definition is gated when it consults the gate itself or when every
+  // caller (by name) is gated. Roots with neither gate nor callers are
+  // not gated, and that verdict flows down. (A caller cycle with no
+  // outside entry keeps its optimistic verdict — dead code can't acquire
+  // anything at runtime.)
+  {
+    std::vector<std::vector<size_t>> callers(defs.size());
+    for (size_t d = 0; d < defs.size(); ++d) {
+      std::vector<size_t> callees;
+      callees_of(d, &callees);
+      std::sort(callees.begin(), callees.end());
+      callees.erase(std::unique(callees.begin(), callees.end()), callees.end());
+      for (size_t callee : callees) callers[callee].push_back(d);
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t d = 0; d < defs.size(); ++d) {
+        if (!summaries[d].gated || summaries[d].calls_gate) continue;
+        bool now_gated = !callers[d].empty();
+        for (size_t caller : callers[d]) {
+          if (!summaries[caller].gated) {
+            now_gated = false;
+            break;
+          }
+        }
+        if (!now_gated) {
+          summaries[d].gated = false;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // --- Pass 3: assemble the transactional regions ----------------------------
+
   // Drop nested Transact regions already covered by an enclosing one.
   std::vector<Region> primary;
-  for (const Region& r : regions) {
+  for (const Region& r : transact_bodies) {
     bool covered = false;
-    for (const Region& o : regions) {
+    for (const Region& o : transact_bodies) {
       if (o.file == r.file && (o.begin < r.begin && r.end <= o.end)) {
         covered = true;
         break;
@@ -521,7 +766,8 @@ void Analyzer::Run() {
     if (!covered) primary.push_back(r);
   }
   // Lambda bodies capture the enclosing function's scope, so a region
-  // inherits the pointer parameters of the tightest enclosing function.
+  // inherits the pointer parameters (and the name) of the tightest
+  // enclosing function.
   for (Region& r : primary) {
     size_t best_size = SIZE_MAX;
     for (const FunctionDef& def : defs) {
@@ -531,41 +777,25 @@ void Analyzer::Run() {
         best_size = def.region.end - def.region.begin;
         r.param_begin = def.region.param_begin;
         r.param_end = def.region.param_end;
+        r.function = def.name;
       }
-    }
-    CollectCalledNames(files_[r.file].toks, r, &called);
-  }
-  std::vector<Region> all = primary;
-  std::set<std::string> frontier = std::move(called);
-  static const char* const kLevelTag[] = {
-      " (reachable from a Transact body)",
-      " (reachable from a Transact body via a helper)"};
-  for (size_t level = 0; level < 2; ++level) {
-    const size_t level_begin = all.size();
-    for (const FunctionDef& def : defs) {
-      if (frontier.count(def.name) == 0) continue;
-      bool duplicate = false;
-      for (const Region& r : all) {
-        if (r.file == def.region.file && r.begin == def.region.begin) {
-          duplicate = true;
-          break;
-        }
-      }
-      if (!duplicate) {
-        Region r = def.region;
-        r.context += kLevelTag[level];
-        all.push_back(std::move(r));
-      }
-    }
-    // Names called from the regions this level added feed the next one.
-    frontier.clear();
-    for (size_t i = level_begin; i < all.size(); ++i) {
-      CollectCalledNames(files_[all[i].file].toks, all[i], &frontier);
     }
   }
+  std::vector<Region> transactional = primary;
+  for (size_t d = 0; d < defs.size(); ++d) {
+    if (depth[d] == SIZE_MAX) continue;
+    Region r = defs[d].region;
+    r.depth = depth[d];
+    r.context += DepthTag(depth[d]);
+    transactional.push_back(std::move(r));
+  }
+  std::stable_sort(transactional.begin(), transactional.end(),
+                   [](const Region& a, const Region& b) {
+                     return a.depth < b.depth;
+                   });
 
-  // --- TX01 / TX02 / TX04 over each transactional region -------------------
-  for (const Region& r : all) {
+  // --- TX01 / TX02 / TX04 over each transactional region ---------------------
+  for (const Region& r : transactional) {
     const File& file = files_[r.file];
     const Tokens& t = file.toks;
     const size_t end = std::min(r.end, t.size());
@@ -583,12 +813,12 @@ void Analyzer::Run() {
           Is(t, i + 1, "[") && !(i > r.begin && t[i - 1].text == "&")) {
         const size_t after = MatchForward(t, i + 1, "[", "]");
         const bool store = after < end && IsAssignOp(t[after].text);
-        report(file, "TX01", tok.line,
+        report(r.file, "TX01", i, tok.line,
                std::string(store ? "raw indexed store through '"
                                  : "raw indexed read through '") +
                    tok.text + "' — route through htm::" +
                    (store ? "Store/WriteBytes" : "Load/ReadBytes"),
-               r.context);
+               r);
         continue;
       }
       // TX01b: unary dereference of a tracked data pointer.
@@ -596,11 +826,11 @@ void Analyzer::Run() {
           tracked.count(t[i + 1].text) != 0 && i > r.begin &&
           PrefixContext(t[i - 1].text)) {
         const bool store = i + 2 < end && IsAssignOp(t[i + 2].text);
-        report(file, "TX01", tok.line,
+        report(r.file, "TX01", i, tok.line,
                std::string(store ? "raw store through '*" : "raw read through '*") +
                    t[i + 1].text + "' — route through htm::" +
                    (store ? "Store/WriteBytes" : "Load/ReadBytes"),
-               r.context);
+               r);
         continue;
       }
       // TX01c: raw bulk copy into a tracked data pointer.
@@ -615,10 +845,10 @@ void Analyzer::Run() {
             ((t[arg].kind == Token::kIdent && tracked.count(t[arg].text) != 0) ||
              t[arg].text == "reinterpret_cast" || t[arg].text == "*");
         if (raw_dst) {
-          report(file, "TX01", tok.line,
+          report(r.file, "TX01", i, tok.line,
                  tok.text + " writes raw bytes to transactional memory — "
                             "use htm::WriteBytes",
-                 r.context);
+                 r);
         }
         continue;
       }
@@ -641,36 +871,36 @@ void Analyzer::Run() {
             "sleep", "usleep", "nanosleep", "sleep_for", "sleep_until"};
         const bool member = i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->");
         if (kAlloc.count(tok.text) != 0 && !member) {
-          report(file, "TX02", tok.line,
+          report(r.file, "TX02", i, tok.line,
                  "'" + tok.text + "' in a transaction body leaks on "
                  "AbortException unwinding",
-                 r.context);
+                 r);
         } else if (kIo.count(tok.text) != 0 && !member && Is(t, i + 1, "(")) {
-          report(file, "TX02", tok.line,
+          report(r.file, "TX02", i, tok.line,
                  "I/O call '" + tok.text + "' is an irreversible side effect "
                  "inside a transaction body",
-                 r.context);
+                 r);
         } else if (kStream.count(tok.text) != 0 && !member) {
-          report(file, "TX02", tok.line,
+          report(r.file, "TX02", i, tok.line,
                  "stream I/O 'std::" + tok.text + "' is an irreversible side "
                  "effect inside a transaction body",
-                 r.context);
+                 r);
         } else if (kLockTypes.count(tok.text) != 0 && !member) {
-          report(file, "TX02", tok.line,
+          report(r.file, "TX02", i, tok.line,
                  "blocking primitive '" + tok.text + "' can deadlock when an "
                  "abort unwinds past it",
-                 r.context);
+                 r);
         } else if (kLockCalls.count(tok.text) != 0 && member &&
                    Is(t, i + 1, "(")) {
-          report(file, "TX02", tok.line,
+          report(r.file, "TX02", i, tok.line,
                  "mutex ." + tok.text + "() inside a transaction body is not "
                  "released by AbortException unwinding",
-                 r.context);
+                 r);
         } else if (kSleep.count(tok.text) != 0 && Is(t, i + 1, "(")) {
-          report(file, "TX02", tok.line,
+          report(r.file, "TX02", i, tok.line,
                  "sleeping inside a transaction body holds the read/write "
                  "set across the wait",
-                 r.context);
+                 r);
         }
       }
       // TX04: catch clauses that swallow the abort unwind.
@@ -682,22 +912,99 @@ void Analyzer::Run() {
           if (t[j].text == "AbortException") catches_abort = true;
         }
         if (catches_all) {
-          report(file, "TX04", tok.line,
+          report(r.file, "TX04", i, tok.line,
                  "catch (...) inside a transaction body swallows the "
                  "AbortException unwind and corrupts emulator state",
-                 r.context);
+                 r);
         } else if (catches_abort) {
-          report(file, "TX04", tok.line,
+          report(r.file, "TX04", i, tok.line,
                  "catching AbortException inside a transaction body corrupts "
                  "the emulator's depth/read-set state",
-                 r.context);
+                 r);
         }
       }
     }
   }
 
+  // --- LS01 over every htm-using region --------------------------------------
+  // A transactional READ of a lock/lease word that still has a data
+  // access after it keeps the word in the HTM read set across the rest
+  // of the region, so the holder's unlock store aborts this transaction
+  // needlessly (mem-record-rtmseq.c's lazy-subscription argument).
+  // Reads placed after the last data access — and stores that clear an
+  // expired lease — are fine. Scanned over the Transact-reachable
+  // regions PLUS any function issuing member htm accesses: the call
+  // graph deliberately cuts propagation at Transaction::Read/Write
+  // (their names shadow the htm primitive vocabulary), yet their bodies
+  // are the canonical transactional accessors.
+  {
+    static const std::unordered_set<std::string> kHtmReads = {
+        "Load", "Read", "ReadBytes"};
+    static const std::unordered_set<std::string> kHtmAccess = {
+        "Load", "Store", "Read", "Write", "ReadBytes", "WriteBytes"};
+    auto scan_ls01 = [&](const Region& r) {
+      const Tokens& t = files_[r.file].toks;
+      const size_t end = std::min(r.end, t.size());
+      auto is_htm_call = [&](size_t i,
+                             const std::unordered_set<std::string>& set) {
+        return t[i].kind == Token::kIdent && set.count(t[i].text) != 0 &&
+               Is(t, i + 1, "(") && i > r.begin &&
+               (t[i - 1].text == "." || t[i - 1].text == "::");
+      };
+      auto arg_mentions = [&](size_t call_ident,
+                              const std::vector<std::string>& markers) {
+        const size_t close = MatchForward(t, call_ident + 1, "(", ")");
+        for (size_t k = call_ident + 2; k + 1 < close; ++k) {
+          if (t[k].kind == Token::kIdent && MatchesAny(t[k].text, markers)) {
+            return true;
+          }
+        }
+        return false;
+      };
+      size_t last_data_tok = 0;
+      int last_data_line = 0;
+      for (size_t i = r.begin; i < end; ++i) {
+        if (is_htm_call(i, kHtmAccess) &&
+            !arg_mentions(i, options_.lock_word_markers) &&
+            !arg_mentions(i, options_.subscription_neutral_markers)) {
+          last_data_tok = i;
+          last_data_line = t[i].line;
+        }
+      }
+      if (last_data_tok == 0) return;
+      for (size_t i = r.begin; i < last_data_tok; ++i) {
+        if (is_htm_call(i, kHtmReads) &&
+            arg_mentions(i, options_.lock_word_markers)) {
+          report(r.file, "LS01", i, t[i].line,
+                 "early lock/lease-word subscription: this transactional "
+                 "read precedes a later data access at line " +
+                     std::to_string(last_data_line) +
+                     " — defer the probe until after the last data access",
+                 r);
+        }
+      }
+    };
+    for (const Region& r : transactional) scan_ls01(r);
+    for (const FunctionDef& def : defs) {
+      if (files_[def.region.file].excluded) continue;
+      const Tokens& t = files_[def.region.file].toks;
+      bool uses_htm = false;
+      for (size_t i = def.region.begin;
+           i + 1 < def.region.end && i + 1 < t.size(); ++i) {
+        if (t[i].kind == Token::kIdent && kHtmAccess.count(t[i].text) != 0 &&
+            Is(t, i + 1, "(") && i > 0 &&
+            (t[i - 1].text == "." || t[i - 1].text == "::")) {
+          uses_htm = true;
+          break;
+        }
+      }
+      if (uses_htm) scan_ls01(def.region);
+    }
+  }
+
   // --- TX03: Strong* confinement (whole files, not just regions) -----------
-  for (const File& file : files_) {
+  for (size_t fi = 0; fi < files_.size(); ++fi) {
+    const File& file = files_[fi];
     if (file.excluded) continue;
     bool allowed = false;
     for (const std::string& fragment : options_.strong_allowlist) {
@@ -713,11 +1020,116 @@ void Analyzer::Run() {
           t[i].text.compare(0, 6, "Strong") != 0 || !Is(t, i + 1, "(")) {
         continue;
       }
-      report(file, "TX03", t[i].line,
+      Region file_scope;
+      file_scope.file = fi;
+      file_scope.context = "file scope";
+      report(fi, "TX03", i, t[i].line,
              "'" + t[i].text + "' outside the RDMA/softtime/recovery "
              "allowlist bypasses HTM conflict detection",
-             "file scope");
+             file_scope);
     }
+  }
+
+  // --- EL01 / EL02 / LS02 / CP01 over every definition -----------------------
+  for (size_t d = 0; d < defs.size(); ++d) {
+    const FunctionDef& def = defs[d];
+    const File& file = files_[def.region.file];
+    if (file.excluded) continue;
+    const Tokens& t = file.toks;
+    const Summary& sum = summaries[d];
+
+    // EL01: acquire primitives on an ungated path.
+    if (!sum.gated && !sum.calls_gate) {
+      for (const CallSite& c : sum.calls) {
+        if (!MatchesAny(c.name, options_.acquire_primitives)) continue;
+        report(def.region.file, "EL01", c.tok, c.line,
+               "'" + c.name + "' acquires a lock/lease or installs a table "
+               "entry on a path that never consults "
+               "ElasticHooks::AllowAcquire — a live bucket migration can "
+               "lose this write across the ownership flip",
+               def.region);
+      }
+    }
+
+    // EL02: a write-back path that never reaches the commit notify.
+    if (!sum.reach_notify) {
+      for (const CallSite& c : sum.calls) {
+        if (!MatchesAny(c.name, options_.writeback_names)) continue;
+        report(def.region.file, "EL02", c.tok, c.line,
+               "'" + c.name + "' writes back committed values but no path "
+               "from here reaches NotifyCommittedWrites — the elastic "
+               "tier's dual-write misses these commits",
+               def.region);
+      }
+    }
+
+    // LS02: lease arithmetic against an unsynchronized clock.
+    {
+      bool mentions_lease = false;
+      for (size_t i = def.region.begin;
+           i < def.region.end && i < t.size(); ++i) {
+        if (t[i].kind == Token::kIdent &&
+            MatchesAny(t[i].text, options_.lease_markers)) {
+          mentions_lease = true;
+          break;
+        }
+      }
+      if (mentions_lease) {
+        for (size_t i = def.region.begin;
+             i < def.region.end && i < t.size(); ++i) {
+          if (t[i].kind != Token::kIdent ||
+              !MatchesAny(t[i].text, options_.unsynced_time_names)) {
+            continue;
+          }
+          if (!(Is(t, i + 1, "(") || Is(t, i + 1, "::"))) continue;
+          report(def.region.file, "LS02", i, t[i].line,
+                 "lease validity compared against unsynchronized time "
+                 "source '" + t[i].text + "' — leases are only meaningful "
+                 "against the synced softtime (SyncTime)",
+                 def.region);
+        }
+      }
+    }
+  }
+
+  // CP01: mutating entry points with no chaos point on any path.
+  for (const EntryPointSpec& spec : options_.chaos_entry_points) {
+    for (size_t d = 0; d < defs.size(); ++d) {
+      const FunctionDef& def = defs[d];
+      const File& file = files_[def.region.file];
+      if (file.excluded || def.name != spec.function) continue;
+      if (file.path.find(spec.file_fragment) == std::string::npos) continue;
+      if (summaries[d].reach_chaos) continue;
+      const int line =
+          files_[def.region.file].toks[def.region.begin].line;
+      report(def.region.file, "CP01", def.region.begin, line,
+             "mutating entry point '" + def.name + "' has no chaos::Injector "
+             "point on any path — fault-injection sweeps cannot cover it "
+             "(catalog: " + std::to_string(chaos_catalog_.size()) +
+             " registered points)",
+             def.region);
+    }
+  }
+
+  // --- Fingerprints ----------------------------------------------------------
+  // Ordinal = position among findings with the same (rule, file,
+  // function, message), in token order, so two identical violations in
+  // one function keep distinct identities while line churn above them
+  // changes nothing.
+  std::stable_sort(raw.begin(), raw.end(),
+                   [](const RawFinding& a, const RawFinding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.tok < b.tok;
+                   });
+  std::map<std::string, size_t> ordinals;
+  for (RawFinding& rf : raw) {
+    Finding& f = rf.finding;
+    const std::string key =
+        f.rule + "|" + f.file + "|" + f.function + "|" + f.message;
+    const size_t ordinal = ordinals[key]++;
+    f.fingerprint =
+        HexFingerprint(Fnv1a64(key + "|" + std::to_string(ordinal)));
+    findings_.push_back(std::move(f));
   }
 
   std::sort(findings_.begin(), findings_.end(),
@@ -728,15 +1140,118 @@ void Analyzer::Run() {
             });
 }
 
+void Analyzer::ApplyBaseline(const std::vector<BaselineEntry>& baseline,
+                             std::vector<BaselineEntry>* stale) {
+  std::unordered_map<std::string, const BaselineEntry*> by_fp;
+  for (const BaselineEntry& e : baseline) {
+    by_fp.emplace(e.fingerprint, &e);
+  }
+  std::unordered_set<std::string> matched;
+  for (Finding& f : findings_) {
+    auto it = by_fp.find(f.fingerprint);
+    if (it == by_fp.end()) continue;
+    matched.insert(f.fingerprint);
+    if (!f.suppressed) {
+      f.suppressed = true;
+      f.suppress_reason = "baseline: " + it->second->rationale;
+    }
+  }
+  if (stale != nullptr) {
+    for (const BaselineEntry& e : baseline) {
+      if (matched.count(e.fingerprint) == 0) {
+        stale->push_back(e);
+      }
+    }
+  }
+}
+
+std::string FormatBaseline(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "# drtm-lint baseline v1\n"
+      << "# <fingerprint> <rule> <file> :: <rationale>\n";
+  for (const Finding& f : findings) {
+    if (f.suppressed) continue;
+    out << f.fingerprint << " " << f.rule << " " << f.file
+        << " :: TODO: rationale\n";
+  }
+  return out.str();
+}
+
+bool ParseBaseline(const std::string& text, std::vector<BaselineEntry>* out,
+                   std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t p = line.find_first_not_of(" \t");
+    if (p == std::string::npos || line[p] == '#') continue;
+    std::istringstream fields(line);
+    BaselineEntry entry;
+    std::string sep;
+    if (!(fields >> entry.fingerprint >> entry.rule >> entry.file >> sep) ||
+        sep != "::") {
+      if (error != nullptr) {
+        *error = "baseline line " + std::to_string(lineno) +
+                 ": expected '<fingerprint> <rule> <file> :: <rationale>'";
+      }
+      return false;
+    }
+    std::getline(fields, entry.rationale);
+    const size_t r = entry.rationale.find_first_not_of(" \t");
+    entry.rationale =
+        r == std::string::npos ? "" : entry.rationale.substr(r);
+    if (entry.fingerprint.size() != 16 || !IsRuleId(entry.rule, 0)) {
+      if (error != nullptr) {
+        *error = "baseline line " + std::to_string(lineno) +
+                 ": malformed fingerprint or rule id";
+      }
+      return false;
+    }
+    if (entry.rationale.empty()) {
+      if (error != nullptr) {
+        *error = "baseline line " + std::to_string(lineno) +
+                 ": every allowlist entry must carry a rationale";
+      }
+      return false;
+    }
+    out->push_back(std::move(entry));
+  }
+  return true;
+}
+
+bool LoadBaselineFile(const std::string& path,
+                      std::vector<BaselineEntry>* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot read baseline '" + path + "'";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseBaseline(buf.str(), out, error);
+}
+
 stat::Json Analyzer::ReportJson() const {
+  static const char* const kRules[] = {"TX01", "TX02", "TX03", "TX04",
+                                       "EL01", "EL02", "LS01", "LS02",
+                                       "CP01"};
   stat::Json root = stat::Json::Object();
-  root.Set("schema_version", stat::Json::Number(1));
+  root.Set("schema_version", stat::Json::Number(2));
   root.Set("report", stat::Json::Str("drtm_lint"));
   root.Set("title",
-           stat::Json::Str("HTM transaction-discipline findings (TX01-TX04)"));
+           stat::Json::Str("HTM transaction-discipline, elastic-hook, "
+                           "lock-subscription and chaos-coverage findings"));
   stat::Json config = stat::Json::Object();
   config.Set("files", stat::Json::Str(std::to_string(files_.size())));
-  config.Set("rules", stat::Json::Str("TX01,TX02,TX03,TX04"));
+  {
+    std::string rules;
+    for (const char* rule : kRules) {
+      if (!rules.empty()) rules += ",";
+      rules += rule;
+    }
+    config.Set("rules", stat::Json::Str(rules));
+  }
   root.Set("config", std::move(config));
 
   stat::Json arr = stat::Json::Array();
@@ -745,7 +1260,8 @@ stat::Json Analyzer::ReportJson() const {
   counters["lint.findings.total"] = findings_.size();
   counters["lint.findings.suppressed"] = 0;
   counters["lint.findings.unsuppressed"] = 0;
-  for (const char* rule : {"TX01", "TX02", "TX03", "TX04"}) {
+  counters["lint.chaos_points"] = chaos_catalog_.size();
+  for (const char* rule : kRules) {
     counters[std::string("lint.") + rule] = 0;
   }
   for (const Finding& f : findings_) {
@@ -755,6 +1271,8 @@ stat::Json Analyzer::ReportJson() const {
     item.Set("line", stat::Json::Number(f.line));
     item.Set("message", stat::Json::Str(f.message));
     item.Set("context", stat::Json::Str(f.context));
+    item.Set("function", stat::Json::Str(f.function));
+    item.Set("fingerprint", stat::Json::Str(f.fingerprint));
     item.Set("suppressed", stat::Json::Bool(f.suppressed));
     if (f.suppressed) {
       item.Set("reason", stat::Json::Str(f.suppress_reason));
@@ -765,6 +1283,11 @@ stat::Json Analyzer::ReportJson() const {
                             : "lint.findings.unsuppressed"];
   }
   root.Set("findings", std::move(arr));
+  stat::Json catalog = stat::Json::Array();
+  for (const std::string& point : chaos_catalog_) {
+    catalog.Append(stat::Json::Str(point));
+  }
+  root.Set("chaos_point_catalog", std::move(catalog));
   stat::Json cj = stat::Json::Object();
   for (const auto& [name, value] : counters) {
     cj.Set(name, stat::Json::Number(value));

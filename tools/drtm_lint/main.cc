@@ -1,13 +1,17 @@
-// drtm_lint CLI: runs the transaction-discipline checker over the
-// translation units of a compile_commands.json (or an explicit file
-// list) and reports findings human-readably and as JSON.
+// drtm_lint CLI: runs the transaction-discipline / elastic-hook /
+// lock-subscription / chaos-coverage checker (TX01-TX04, EL01/EL02,
+// LS01/LS02, CP01 — see lint.h) over the translation units of a
+// compile_commands.json (or an explicit file list) and reports findings
+// human-readably and as JSON.
 //
 //   drtm_lint --compdb build/compile_commands.json --root .
-//             --filter src/ --json LINT_drtm.json   (one line)
+//             --filter src/ --baseline tools/drtm_lint/lint_baseline.txt
+//             --json LINT_drtm.json                 (one line)
 //   drtm_lint src/store/bplus_tree.cc src/store/bplus_tree.h
 //
-// Exit status: 0 when every finding is suppressed, 1 when unsuppressed
-// findings remain, 2 on usage/input errors.
+// Exit status: 0 when every finding is suppressed (inline directive or
+// baseline entry) and no baseline entry is stale, 1 when unsuppressed
+// findings or stale baseline entries remain, 2 on usage/input errors.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -23,6 +27,7 @@ void Usage() {
   std::fprintf(stderr,
                "usage: drtm_lint [--compdb compile_commands.json] "
                "[--root DIR] [--filter PREFIX]... [--json OUT] "
+               "[--baseline FILE] [--write-baseline FILE] "
                "[--all] [files...]\n"
                "  --compdb  read the translation-unit list from a CMake\n"
                "            compile_commands.json\n"
@@ -31,7 +36,15 @@ void Usage() {
                "  --filter  only analyze files whose relative path starts "
                "with PREFIX (default: src/; repeatable)\n"
                "  --all     print suppressed findings too\n"
-               "  --json    write the machine-readable report here\n");
+               "  --json    write the machine-readable report here\n"
+               "  --baseline        suppress findings listed in this "
+               "allowlist file;\n"
+               "                    stale entries (fixed findings) fail "
+               "the run\n"
+               "  --write-baseline  write the current unsuppressed "
+               "findings as a\n"
+               "                    baseline skeleton (rationales to be "
+               "filled in)\n");
 }
 
 std::string Relativize(const std::string& path, const std::string& root) {
@@ -51,6 +64,8 @@ int main(int argc, char** argv) {
   std::string compdb;
   std::string root = ".";
   std::string json_out;
+  std::string baseline_path;
+  std::string write_baseline_path;
   std::vector<std::string> filters;
   std::vector<std::string> explicit_files;
   bool print_all = false;
@@ -72,6 +87,10 @@ int main(int argc, char** argv) {
       filters.push_back(value());
     } else if (arg == "--json") {
       json_out = value();
+    } else if (arg == "--baseline") {
+      baseline_path = value();
+    } else if (arg == "--write-baseline") {
+      write_baseline_path = value();
     } else if (arg == "--all") {
       print_all = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -136,13 +155,42 @@ int main(int argc, char** argv) {
 
   analyzer.Run();
 
+  std::vector<drtm::lint::BaselineEntry> stale;
+  if (!baseline_path.empty()) {
+    std::vector<drtm::lint::BaselineEntry> baseline;
+    std::string error;
+    if (!drtm::lint::LoadBaselineFile(baseline_path, &baseline, &error)) {
+      std::fprintf(stderr, "drtm_lint: %s\n", error.c_str());
+      return 2;
+    }
+    analyzer.ApplyBaseline(baseline, &stale);
+  }
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    out << drtm::lint::FormatBaseline(analyzer.findings());
+    if (!out) {
+      std::fprintf(stderr, "drtm_lint: cannot write '%s'\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "drtm_lint: wrote baseline skeleton to %s\n",
+                 write_baseline_path.c_str());
+  }
+
   size_t unsuppressed = 0;
   for (const drtm::lint::Finding& f : analyzer.findings()) {
     if (f.suppressed && !print_all) continue;
     if (!f.suppressed) ++unsuppressed;
-    std::fprintf(stderr, "%s:%d: [%s]%s %s (%s)\n", f.file.c_str(), f.line,
-                 f.rule.c_str(), f.suppressed ? " [suppressed]" : "",
-                 f.message.c_str(), f.context.c_str());
+    std::fprintf(stderr, "%s:%d: [%s]%s %s (%s) {%s}\n", f.file.c_str(),
+                 f.line, f.rule.c_str(), f.suppressed ? " [suppressed]" : "",
+                 f.message.c_str(), f.context.c_str(), f.fingerprint.c_str());
+  }
+  for (const drtm::lint::BaselineEntry& e : stale) {
+    std::fprintf(stderr,
+                 "drtm_lint: stale baseline entry %s (%s %s): the finding "
+                 "is gone — delete the line\n",
+                 e.fingerprint.c_str(), e.rule.c_str(), e.file.c_str());
   }
 
   if (!json_out.empty()) {
@@ -156,8 +204,9 @@ int main(int argc, char** argv) {
   }
 
   std::fprintf(stderr,
-               "drtm_lint: %zu file(s), %zu finding(s), %zu unsuppressed\n",
+               "drtm_lint: %zu file(s), %zu finding(s), %zu unsuppressed, "
+               "%zu stale baseline entr%s\n",
                analyzer.file_count(), analyzer.findings().size(),
-               unsuppressed);
-  return unsuppressed == 0 ? 0 : 1;
+               unsuppressed, stale.size(), stale.size() == 1 ? "y" : "ies");
+  return (unsuppressed == 0 && stale.empty()) ? 0 : 1;
 }

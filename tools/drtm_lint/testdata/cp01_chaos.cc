@@ -1,0 +1,35 @@
+// Fixture: CP01 chaos coverage drift. Mutating entry points (the test
+// configures this file's MutateUncovered/MutateCovered as the entry
+// catalog) must reach a chaos::Injector reference on some path, so the
+// fault-injection sweeps keep covering every mutation channel. Never
+// compiled into the build.
+#include <cstdint>
+
+namespace fixture {
+
+struct Fabric {
+  void Post(int op);
+};
+
+namespace chaos {
+uint32_t Point(const char* name);
+int Check(uint32_t point, int node);
+}  // namespace chaos
+
+// Registers a named point — also feeds the analyzer's point catalog.
+uint32_t FixturePoint() { return chaos::Point("fixture.rpc.mutate"); }
+
+// FIRES: a mutating entry point no chaos path can reach.
+void MutateUncovered(Fabric& fabric) {
+  fabric.Post(1);  // CP01 (reported at the function definition)
+}
+
+// Silent: the injector reference is reached through a helper.
+void CoveredHelper(int node) { chaos::Check(FixturePoint(), node); }
+
+void MutateCovered(Fabric& fabric) {
+  CoveredHelper(0);
+  fabric.Post(2);
+}
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Fixture: EL01 elastic-hook discipline. A function that calls an
+// acquire primitive (StateCas / InstallVersioned) must consult the
+// elastic freeze gate itself, or be reachable only through callers that
+// do. Never compiled into the build.
+#include <cstdint>
+
+namespace fixture {
+
+bool StateCas(uint64_t* word, uint64_t expected, uint64_t desired);
+bool AllowAcquire(int table, uint64_t key);
+
+// FIRES: acquires with no gate anywhere on its caller chain (it has no
+// callers at all, so the greatest fixpoint resolves it ungated).
+bool UngatedAcquire(uint64_t* word) {
+  return StateCas(word, 0, 42);  // EL01
+}
+
+// Silent: consults the gate locally before acquiring.
+bool GatedAcquire(uint64_t* word, int table, uint64_t key) {
+  if (!AllowAcquire(table, key)) {
+    return false;
+  }
+  return StateCas(word, 0, 42);
+}
+
+// Silent: gate-free itself, but its only caller gates — the reverse
+// fixpoint covers it.
+bool LeafAcquire(uint64_t* word) { return StateCas(word, 0, 7); }
+
+bool CallerWithGate(uint64_t* word, int table, uint64_t key) {
+  if (!AllowAcquire(table, key)) {
+    return false;
+  }
+  return LeafAcquire(word);
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: EL02 write-back/notify discipline. A function performing
+// transactional write-back (WriteBackAndUnlock) must reach
+// NotifyCommittedWrites on some path, or the elastic tier's dual-write
+// misses committed values. Never compiled into the build.
+
+namespace fixture {
+
+bool WriteBackAndUnlock();
+void NotifyCommittedWrites();
+
+// FIRES: writes back but nothing downstream notifies the elastic hooks.
+bool BadCommit() {
+  return WriteBackAndUnlock();  // EL02
+}
+
+// Silent: the notify is reached through a helper (transitive closure).
+void FinishHelper() { NotifyCommittedWrites(); }
+
+bool GoodCommit() {
+  const bool ok = WriteBackAndUnlock();
+  FinishHelper();
+  return ok;
+}
+
+}  // namespace fixture

@@ -1,0 +1,56 @@
+// Fixture: LS01 lazy lock subscription. A transactional read of a
+// lock/lease word (argument mentions StatePtr/lock_word/...) that still
+// has a data access after it keeps the word in the HTM read set across
+// the rest of the region — the early-subscription anti-pattern from
+// mem-record-rtmseq.c. Probes after the last data access, and softtime
+// (synctime) reads, are fine. Never compiled into the build.
+#include <cstdint>
+
+#include "src/htm/htm.h"
+
+namespace fixture {
+
+struct Table {
+  uint64_t* StatePtr(uint64_t entry);
+  unsigned char* ValuePtr(uint64_t entry);
+};
+
+struct Clock {
+  uint64_t* Word(int node);
+};
+
+// FIRES: the state-word probe precedes the value read.
+bool EarlyProbeRead(drtm::htm::HtmThread& htm, Table& table, uint64_t entry,
+                    void* out) {
+  const uint64_t state = htm.Load(table.StatePtr(entry));  // LS01
+  if (state != 0) {
+    return false;
+  }
+  htm.Read(out, table.ValuePtr(entry), 8);
+  return true;
+}
+
+// Silent: same accesses, probe deferred past the last data access.
+bool LateProbeRead(drtm::htm::HtmThread& htm, Table& table, uint64_t entry,
+                   void* out) {
+  htm.Read(out, table.ValuePtr(entry), 8);
+  const uint64_t state = htm.Load(table.StatePtr(entry));
+  return state == 0;
+}
+
+// Silent: after the late probe, only a softtime read (subscription-
+// neutral: the synced clock word has its own subscription story) and a
+// lease-clearing STORE to the state word follow — neither is a data
+// access, so the probe still counts as last.
+bool LateProbeWithClock(drtm::htm::HtmThread& htm, Table& table,
+                        Clock& synctime, uint64_t entry, const void* value) {
+  htm.Write(table.ValuePtr(entry), value, 8);
+  const uint64_t state = htm.Load(table.StatePtr(entry));
+  const uint64_t now = htm.Load(synctime.Word(0));
+  if (state != 0 && now > state) {
+    htm.Store(table.StatePtr(entry), static_cast<uint64_t>(0));
+  }
+  return true;
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: LS02 lease-vs-clock discipline. Lease validity arithmetic
+// (LeaseExpired/LeaseValid/MakeLease) must not be fed from an
+// unsynchronized clock — leases are only meaningful against the synced
+// softtime. Never compiled into the build.
+#include <cstdint>
+
+namespace fixture {
+
+bool LeaseExpired(uint64_t lease_end, uint64_t now, uint64_t delta_us);
+bool LeaseValid(uint64_t lease_end, uint64_t now, uint64_t delta_us);
+uint64_t MonotonicNanos();
+uint64_t SyncedSofttime();
+
+// FIRES: compares a lease end against the local monotonic clock.
+bool StaleLeaseCheck(uint64_t lease_end) {
+  const uint64_t now = MonotonicNanos();  // LS02
+  return LeaseExpired(lease_end, now, 10);
+}
+
+// Silent: lease arithmetic against the synced softtime only.
+bool SyncedLeaseCheck(uint64_t lease_end) {
+  const uint64_t now = SyncedSofttime();
+  return LeaseValid(lease_end, now, 10);
+}
+
+// Silent: the unsynced clock is fine when no lease is involved.
+uint64_t ElapsedNanos(uint64_t start) { return MonotonicNanos() - start; }
+
+}  // namespace fixture

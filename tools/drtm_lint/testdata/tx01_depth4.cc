@@ -1,0 +1,37 @@
+// Fixture: a TX01 obligation threaded through FOUR call levels. The old
+// engine's summary propagation was hard-capped at two levels, so the
+// raw store in DeepRaw was invisible; the call-graph fixpoint must
+// carry it to arbitrary depth. Never compiled into the build.
+#include "src/htm/htm.h"
+
+namespace fixture {
+
+// Depth 4 below the Transact body: flagged with the "via 3 helpers" tag.
+void DeepRaw(unsigned char* block) {
+  block[0] = 1;  // TX01: raw store four call levels below a Transact body
+}
+
+void Depth3(unsigned char* block) { DeepRaw(block); }
+
+void Depth2(unsigned char* block) { Depth3(block); }
+
+void Depth1(unsigned char* block) { Depth2(block); }
+
+void PlantDeep(drtm::htm::HtmThread& htm, unsigned char* base) {
+  htm.Transact([&] {
+    Depth1(base);  // the only route to DeepRaw
+  });
+}
+
+// Negative: the same chain shape with compliant accesses stays silent.
+void CleanLeaf(unsigned char* block, unsigned char v) {
+  drtm::htm::Store(block, v);
+}
+
+void CleanMid(unsigned char* block) { CleanLeaf(block, 2); }
+
+void PlantClean(drtm::htm::HtmThread& htm, unsigned char* base) {
+  htm.Transact([&] { CleanMid(base); });
+}
+
+}  // namespace fixture

@@ -2,10 +2,16 @@
 // toward the write-set line budget (htm::Config::max_write_lines x 64 B
 // cache lines, ~32 KB by default). Once a value no longer fits, every
 // HTM attempt aborts with kAbortCapacity deterministically — retrying is
-// pure waste — so this is the workload where the adaptive retry budget
-// (ClusterConfig::adaptive_retry_budget) earns its keep: a
-// capacity-dominant abort mix halves the budget and transactions reach
-// the 2PL fallback sooner. Both configurations are measured side by side.
+// pure waste. Two mitigations are measured against the static baseline:
+//   * the adaptive retry budget (ClusterConfig::adaptive_retry_budget),
+//     which stops retrying a capacity-dominant mix and reaches the 2PL
+//     fallback sooner;
+//   * the chop planner (ClusterConfig::enable_chop_planner), which
+//     slices the oversized write into a chain of budget-sized WriteRange
+//     pieces that commit in HTM — flattening the capacity cliff instead
+//     of falling back over it.
+// The abort_causes series records the per-size cause breakdown
+// (capacity / conflict / lock / lease / explicit) for both paths.
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -24,22 +30,28 @@ struct Outcome {
   double capacity_abort_rate = 0;  // capacity aborts / HTM attempts
   double fallback_rate = 0;        // fallbacks / committed
   int64_t retry_budget = 0;        // txn.adaptive.retry_budget at the end
+  txn::TxnStats txn_stats;
   stat::Snapshot stats;
 };
 
-Outcome Measure(uint32_t value_size, bool adaptive, uint64_t duration_ms) {
+Outcome Measure(uint32_t value_size, bool adaptive, bool chop,
+                uint64_t duration_ms) {
   txn::ClusterConfig config;
   config.num_nodes = 2;
   config.workers_per_node = 2;
   config.region_bytes = size_t{96} << 20;
   config.latency = rdma::LatencyModel::Calibrated(0.1);
   config.adaptive_retry_budget = adaptive;
+  config.enable_chop_planner = chop;
   txn::Cluster cluster(config);
 
   workload::YcsbDb::Params params;
   params.records_per_node = 1024;
   params.value_size = value_size;
   params.mix = workload::YcsbDb::Mix::kA;
+  // Update-only: the line budget constrains writes, and 36 KB lease
+  // reads cost the same everywhere — they would only dilute the sweep.
+  params.update_fraction = 1.0;
   params.distribution = workload::YcsbDb::Distribution::kUniform;
   params.ops_per_txn = 1;
   workload::YcsbDb db(&cluster, params);
@@ -72,8 +84,24 @@ Outcome Measure(uint32_t value_size, bool adaptive, uint64_t duration_ms) {
                 static_cast<double>(result.committed)
           : 0;
   out.retry_budget = result.stats_delta.Gauge("txn.adaptive.retry_budget");
+  out.txn_stats = result.txn_stats;
   out.stats = result.stats_delta;
   return out;
+}
+
+void AddAbortCauses(stat::BenchReport::Series* series, uint32_t value_size,
+                    const char* config, const Outcome& out) {
+  benchutil::AddPoint(
+      series,
+      {{"value_bytes", std::to_string(value_size)}, {"config", config}},
+      {{"capacity_aborts",
+        static_cast<double>(out.txn_stats.htm_capacity_aborts)},
+       {"conflict_aborts",
+        static_cast<double>(out.txn_stats.htm_conflict_aborts)},
+       {"lock_aborts", static_cast<double>(out.txn_stats.htm_lock_aborts)},
+       {"lease_aborts", static_cast<double>(out.txn_stats.htm_lease_aborts)},
+       {"explicit_aborts", static_cast<double>(out.txn_stats.user_aborts)},
+       {"fallbacks", static_cast<double>(out.txn_stats.fallbacks)}});
 }
 
 }  // namespace
@@ -83,7 +111,8 @@ int main() {
   benchutil::Header("capacity", "YCSB-A vs HTM write-set capacity");
   benchutil::PaperNote(
       "values past the write-line budget (512 lines x 64 B) abort every "
-      "HTM attempt; the adaptive budget should stop retrying them");
+      "HTM attempt; the adaptive budget stops retrying them and the chop "
+      "planner slices them into chains that commit in HTM");
 
   // The write-set budget in bytes, from the default htm::Config.
   const htm::Config htm_defaults;
@@ -104,18 +133,27 @@ int main() {
   report.AddConfig("duration_ms", std::to_string(duration_ms));
   report.AddConfig("write_budget_bytes", std::to_string(budget_bytes));
   report.AddConfig("quick", benchutil::Quick() ? "1" : "0");
+  stat::BenchReport::Series& chopped_series = report.AddSeries("chopped");
   stat::BenchReport::Series& adaptive_series = report.AddSeries("adaptive");
   stat::BenchReport::Series& static_series = report.AddSeries("static");
+  stat::BenchReport::Series& abort_series = report.AddSeries("abort_causes");
 
-  std::printf("%-12s %12s %12s %10s %10s %8s\n", "value_bytes", "adapt_tps",
-              "static_tps", "cap_abort", "fallback", "budget");
+  std::printf("%-12s %12s %12s %12s %10s %10s %8s\n", "value_bytes",
+              "chop_tps", "adapt_tps", "static_tps", "cap_abort", "fallback",
+              "budget");
   for (const uint32_t value_size : value_sizes) {
-    const Outcome adaptive = Measure(value_size, true, duration_ms);
-    const Outcome fixed = Measure(value_size, false, duration_ms);
-    std::printf("%-12u %12.0f %12.0f %9.1f%% %9.2f %8lld\n", value_size,
-                adaptive.tps, fixed.tps, adaptive.capacity_abort_rate * 100,
-                adaptive.fallback_rate,
+    const Outcome chopped = Measure(value_size, true, true, duration_ms);
+    const Outcome adaptive = Measure(value_size, true, false, duration_ms);
+    const Outcome fixed = Measure(value_size, false, false, duration_ms);
+    std::printf("%-12u %12.0f %12.0f %12.0f %9.1f%% %9.2f %8lld\n", value_size,
+                chopped.tps, adaptive.tps, fixed.tps,
+                chopped.capacity_abort_rate * 100, chopped.fallback_rate,
                 static_cast<long long>(adaptive.retry_budget));
+    benchutil::AddPoint(
+        &chopped_series, {{"value_bytes", std::to_string(value_size)}},
+        {{"tps", chopped.tps},
+         {"capacity_abort_rate", chopped.capacity_abort_rate},
+         {"fallback_rate", chopped.fallback_rate}});
     benchutil::AddPoint(
         &adaptive_series, {{"value_bytes", std::to_string(value_size)}},
         {{"tps", adaptive.tps},
@@ -127,7 +165,9 @@ int main() {
         {{"tps", fixed.tps},
          {"capacity_abort_rate", fixed.capacity_abort_rate},
          {"fallback_rate", fixed.fallback_rate}});
-    report.stats.Merge(adaptive.stats);
+    AddAbortCauses(&abort_series, value_size, "chopped", chopped);
+    AddAbortCauses(&abort_series, value_size, "monolithic", adaptive);
+    report.stats.Merge(chopped.stats);
   }
 
   report.WriteJsonFile();

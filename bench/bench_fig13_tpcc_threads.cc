@@ -31,6 +31,7 @@ int main() {
   report.AddConfig("duration_ms", std::to_string(duration_ms));
   report.AddConfig("quick", benchutil::Quick() ? "1" : "0");
   stat::BenchReport::Series& mix_series = report.AddSeries("drtm_mix");
+  stat::BenchReport::Series& abort_series = report.AddSeries("abort_causes");
 
   std::printf("%-9s %14s %14s %10s\n", "threads", "drtm_neworder",
               "drtm_mix_tps", "speedup");
@@ -54,6 +55,17 @@ int main() {
                          {"speedup", drtm.mix_tps / base_mix},
                          {"fallback_rate", drtm.fallback_rate},
                          {"consistent", drtm.consistent ? 1.0 : 0.0}});
+    // Abort-cause breakdown per thread count (ROADMAP: abort-mix
+    // measurement) — what drives the scaling losses at each point.
+    const txn::TxnStats& ts = drtm.result.txn_stats;
+    benchutil::AddPoint(
+        &abort_series, {{"threads", std::to_string(threads)}},
+        {{"capacity_aborts", static_cast<double>(ts.htm_capacity_aborts)},
+         {"conflict_aborts", static_cast<double>(ts.htm_conflict_aborts)},
+         {"lock_aborts", static_cast<double>(ts.htm_lock_aborts)},
+         {"lease_aborts", static_cast<double>(ts.htm_lease_aborts)},
+         {"explicit_aborts", static_cast<double>(ts.user_aborts)},
+         {"fallbacks", static_cast<double>(ts.fallbacks)}});
     report.stats.Merge(drtm.result.stats_delta);
   }
 

@@ -15,6 +15,11 @@
 //   log.replay
 //       NvramLog::ForEach, per record — a kCrashPoint truncates a
 //       recovery scan mid-replay.
+//   log.chop
+//       the chopped-transaction runtime, between a chain's remaining-piece
+//       record and the piece body — a kCrashPoint dies with pieces < k
+//       committed and the chain locks still held; recovery reports the
+//       chain's resume point and releases its locks.
 //   txn.fallback.unlock
 //       the 2PL fallback's lock-release loop, per reference — a
 //       kCrashPoint abandons the remaining releases and suppresses the

@@ -55,6 +55,14 @@ HtmThread::HtmThread(Config config, VersionTable* table)
   write_set_.reserve(64);
   redo_log_.reserve(64);
   redo_data_.reserve(4096);
+  size_t lines = std::min(config_.probe_batch_lines, kMaxProbeCache);
+  while (lines & (lines - 1)) {
+    lines &= lines - 1;  // round down to a power of two
+  }
+  probe_mask_ = lines >= 2 ? lines - 1 : 0;
+  if (config_.commit_write_combining) {
+    wc_slots_.reserve(64);
+  }
 }
 
 HtmThread::~HtmThread() {
@@ -71,10 +79,12 @@ void HtmThread::Begin() {
   assert(g_current_tx == nullptr && "another HtmThread active on this thread");
   depth_ = 1;
   g_current_tx = this;
+  ++epoch_;  // invalidates both probe caches without touching them
   read_set_.clear();
   write_set_.clear();
   redo_log_.clear();
   redo_data_.clear();
+  wc_slots_.clear();
 }
 
 void HtmThread::AbortWith(unsigned status) { throw AbortException{status}; }
@@ -99,14 +109,28 @@ void HtmThread::Rollback(unsigned status) {
   write_set_.clear();
   redo_log_.clear();
   redo_data_.clear();
+  wc_slots_.clear();
 }
 
 void HtmThread::TrackRead(const void* addr, size_t len) {
   ForEachLineSlot(table_, addr, len, [&](std::atomic<uint64_t>* slot) {
+    ReadProbe* probe = nullptr;
+    if (probe_mask_ != 0) {
+      probe = &read_probe_[ProbeIndex(slot)];
+      if (probe->slot == slot && probe->epoch == epoch_) {
+        // Region-batched hit: this line was probed moments ago; skip the
+        // read-set map entirely. Freshness is still verified by the
+        // post-copy check in Read() and by commit validation.
+        return;
+      }
+    }
     auto it = read_set_.find(slot);
     if (it != read_set_.end()) {
       // Already tracked; freshness is verified by the post-copy check in
       // Read() and by commit validation.
+      if (probe != nullptr) {
+        *probe = ReadProbe{slot, it->second, epoch_};
+      }
       return;
     }
     uint64_t v = slot->load(std::memory_order_acquire);
@@ -121,6 +145,9 @@ void HtmThread::TrackRead(const void* addr, size_t len) {
       AbortWith(kAbortCapacity);
     }
     read_set_.emplace(slot, v);
+    if (probe != nullptr) {
+      *probe = ReadProbe{slot, v, epoch_};
+    }
   });
 }
 
@@ -137,7 +164,15 @@ void HtmThread::Read(void* dst, const void* src, size_t len) {
   // transaction first observed, otherwise a concurrent commit or strong
   // write raced with the copy.
   ForEachLineSlot(table_, src, len, [&](std::atomic<uint64_t>* slot) {
-    const uint64_t recorded = read_set_.find(slot)->second;
+    uint64_t recorded;
+    if (probe_mask_ != 0) {
+      const ReadProbe& probe = read_probe_[ProbeIndex(slot)];
+      recorded = (probe.slot == slot && probe.epoch == epoch_)
+                     ? probe.version
+                     : read_set_.find(slot)->second;
+    } else {
+      recorded = read_set_.find(slot)->second;
+    }
     if (slot->load(std::memory_order_acquire) != recorded) {
       AbortWith(kAbortConflict | kAbortRetry);
     }
@@ -164,14 +199,44 @@ void HtmThread::Write(void* dst, const void* src, size_t len) {
     return;
   }
   ForEachLineSlot(table_, dst, len, [&](std::atomic<uint64_t>* slot) {
+    WriteProbe* probe = nullptr;
+    if (probe_mask_ != 0) {
+      probe = &write_probe_[ProbeIndex(slot)];
+      if (probe->slot == slot && probe->epoch == epoch_) {
+        return;  // region-batched hit: line already in the write set
+      }
+    }
     if (write_set_.find(slot) != write_set_.end()) {
+      if (probe != nullptr) {
+        *probe = WriteProbe{slot, epoch_};
+      }
       return;
     }
     if (write_set_.size() >= config_.max_write_lines) {
       AbortWith(kAbortCapacity);
     }
     write_set_.emplace(slot, 0);
+    if (config_.commit_write_combining) {
+      wc_slots_.push_back(slot);
+    }
+    if (probe != nullptr) {
+      *probe = WriteProbe{slot, epoch_};
+    }
   });
+  if (config_.commit_write_combining && !redo_log_.empty()) {
+    // Write-combining: a byte-adjacent append (the common pattern when a
+    // large value is written as consecutive slices) extends the previous
+    // redo entry instead of growing the log. Program order is preserved —
+    // only the latest entry ever extends.
+    RedoEntry& last = redo_log_.back();
+    if (last.dst + last.len == reinterpret_cast<uintptr_t>(dst) &&
+        last.offset + last.len == redo_data_.size()) {
+      redo_data_.insert(redo_data_.end(), static_cast<const uint8_t*>(src),
+                        static_cast<const uint8_t*>(src) + len);
+      last.len += static_cast<uint32_t>(len);
+      return;
+    }
+  }
   const uint32_t offset = static_cast<uint32_t>(redo_data_.size());
   redo_data_.insert(redo_data_.end(), static_cast<const uint8_t*>(src),
                     static_cast<const uint8_t*>(src) + len);
@@ -187,15 +252,22 @@ void HtmThread::Commit() {
     return;
   }
 
-  // Phase 1: lock write lines in global (slot-address) order.
+  // Phase 1: lock write lines in global (slot-address) order. With write
+  // combining on, the insertion-ordered wc_slots_ buffer (deduplicated at
+  // insert) replaces a full re-enumeration of the write-set map — one pass
+  // over the seqlock table per commit, à la mem-order's seqbatch recorder.
   std::vector<std::pair<std::atomic<uint64_t>*, uint64_t>> locked;
   locked.reserve(write_set_.size());
   {
-    std::vector<std::atomic<uint64_t>*> slots;
-    slots.reserve(write_set_.size());
-    for (const auto& [slot, unused] : write_set_) {
-      slots.push_back(slot);
+    std::vector<std::atomic<uint64_t>*> rebuilt;
+    if (!config_.commit_write_combining) {
+      rebuilt.reserve(write_set_.size());
+      for (const auto& [slot, unused] : write_set_) {
+        rebuilt.push_back(slot);
+      }
     }
+    std::vector<std::atomic<uint64_t>*>& slots =
+        config_.commit_write_combining ? wc_slots_ : rebuilt;
     std::sort(slots.begin(), slots.end());
     for (std::atomic<uint64_t>* slot : slots) {
       int spins = 0;
@@ -218,14 +290,22 @@ void HtmThread::Commit() {
   }
 
   // Phase 2: validate the read set against the snapshot versions.
+  // `locked` was filled in sorted slot order, so the locked-by-us lookup
+  // is a binary search — a read-write transaction touching W lines would
+  // otherwise pay O(W) per overlapping read line (quadratic for the
+  // sliced bulk writes the chop planner emits, whose read and write sets
+  // largely coincide).
   bool valid = true;
   for (const auto& [slot, recorded] : read_set_) {
     uint64_t current = slot->load(std::memory_order_acquire);
     if (VersionTable::IsLocked(current)) {
       // Locked by us? Then its pre-lock base must match what we read.
-      auto it = std::find_if(locked.begin(), locked.end(),
-                             [&](const auto& p) { return p.first == slot; });
-      if (it == locked.end() || it->second != recorded) {
+      auto it = std::lower_bound(
+          locked.begin(), locked.end(), slot,
+          [](const auto& p, const std::atomic<uint64_t>* s) {
+            return p.first < s;
+          });
+      if (it == locked.end() || it->first != slot || it->second != recorded) {
         valid = false;
         break;
       }
@@ -260,6 +340,7 @@ void HtmThread::Commit() {
   write_set_.clear();
   redo_log_.clear();
   redo_data_.clear();
+  wc_slots_.clear();
 }
 
 void AbortCurrentTransactionOrDie(const char* what) {

@@ -53,6 +53,17 @@ struct Config {
   size_t max_read_lines = 8192;
   // Bounded spin (iterations) on a locked line before declaring conflict.
   int lock_spin_limit = 256;
+  // Region batching (mem-order's RTM_BATCH_N idiom): a direct-mapped
+  // per-thread cache of recently probed version-table slots, so a run of
+  // accesses to the same lines pays one read/write-set map probe per
+  // ~batch instead of one per access. Rounded down to a power of two,
+  // clamped to 64; 0 disables the cache.
+  size_t probe_batch_lines = 8;
+  // Commit-time write combining (mem-order's seqbatch idiom): slots are
+  // appended to a per-thread buffer as they first enter the write set, so
+  // commit walks that buffer in one pass instead of re-enumerating the
+  // write-set map, and byte-adjacent redo appends coalesce into one entry.
+  bool commit_write_combining = true;
 };
 
 struct Stats {
@@ -176,6 +187,11 @@ class HtmThread {
   // stable snapshot. Aborts on conflict/capacity.
   void TrackRead(const void* addr, size_t len);
 
+  // Direct-mapped probe-cache index for a slot (valid iff probe_mask_ != 0).
+  size_t ProbeIndex(const std::atomic<uint64_t>* slot) const {
+    return (reinterpret_cast<uintptr_t>(slot) >> 3) & probe_mask_;
+  }
+
   Config config_;
   VersionTable* table_;
   int depth_ = 0;
@@ -188,6 +204,27 @@ class HtmThread {
   std::unordered_map<std::atomic<uint64_t>*, uint64_t> write_set_;
   std::vector<RedoEntry> redo_log_;
   std::vector<uint8_t> redo_data_;
+
+  // Region-batching probe caches (Config::probe_batch_lines). Entries are
+  // epoch-tagged so Begin() invalidates them without a clear pass.
+  struct ReadProbe {
+    std::atomic<uint64_t>* slot = nullptr;
+    uint64_t version = 0;
+    uint64_t epoch = 0;
+  };
+  struct WriteProbe {
+    std::atomic<uint64_t>* slot = nullptr;
+    uint64_t epoch = 0;
+  };
+  static constexpr size_t kMaxProbeCache = 64;
+  size_t probe_mask_ = 0;  // 0 => caches disabled
+  uint64_t epoch_ = 0;
+  ReadProbe read_probe_[kMaxProbeCache];
+  WriteProbe write_probe_[kMaxProbeCache];
+
+  // Write-combining buffer (Config::commit_write_combining): every slot in
+  // insertion order, deduplicated at insert, consumed by Commit in one pass.
+  std::vector<std::atomic<uint64_t>*> wc_slots_;
 };
 
 // --- Strong (non-transactional) accesses -----------------------------------

@@ -1,0 +1,292 @@
+#include "src/txn/chop_planner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string_view>
+
+#include "src/common/cacheline.h"
+#include "src/stat/metrics.h"
+
+namespace drtm {
+namespace txn {
+
+namespace {
+
+// The offline SC-graph catalog (see the header). Adding a workload here
+// asserts that its fragment decomposition, as declared at the AddFragment
+// sites, has no cyclic C-edge through the pieces.
+constexpr ChopCatalogEntry kCatalog[] = {
+    // New-order: header piece (district o_id allocation; the 1% rollback
+    // decision lives here so only the first piece user-aborts), one
+    // fragment per item line (stock rows are disjoint per line), inserts
+    // last. Cross-piece stock writes are chain-locked by the planner.
+    {"tpcc.new_order", true, 0},
+    // Delivery: the paper's canonical chopping — one district per piece,
+    // pieces mutually independent, so fragments never merge.
+    {"tpcc.delivery", true, 1},
+    // YCSB update: a single-record value update sliced by WriteRange;
+    // slices of one record trivially have no cross-piece C-edge beyond
+    // the record itself, which is chain-locked.
+    {"ycsb.update", true, 0},
+};
+
+// Fraction of max_write_lines a piece may plan to fill; the rest absorbs
+// bookkeeping (lease confirmation reads, version bumps, estimate error).
+constexpr size_t kHeadroomNum = 1;
+constexpr size_t kHeadroomDen = 2;
+
+size_t FragmentWriteLines(const ChopPlanner& planner,
+                          const ChopPlanner::Fragment& fragment) {
+  size_t lines = fragment.extra_write_lines;
+  for (const FragmentRecord& record : fragment.records) {
+    if (record.write) {
+      lines += planner.RecordWriteLines(record.table, record.key);
+    }
+  }
+  return lines;
+}
+
+// Accumulates records into a deduplicated union, write-wins on
+// read+write overlap.
+void MergeRecords(const std::vector<FragmentRecord>& records,
+                  std::vector<FragmentRecord>* out) {
+  for (const FragmentRecord& record : records) {
+    FragmentRecord* existing = nullptr;
+    for (FragmentRecord& candidate : *out) {
+      if (candidate.table == record.table && candidate.key == record.key) {
+        existing = &candidate;
+        break;
+      }
+    }
+    if (existing == nullptr) {
+      out->push_back(record);
+    } else {
+      existing->write |= record.write;
+    }
+  }
+}
+
+void DeclareRecords(const std::vector<FragmentRecord>& records,
+                    Transaction* txn) {
+  for (const FragmentRecord& record : records) {
+    if (record.write) {
+      txn->AddWrite(record.table, record.key);
+    } else {
+      txn->AddRead(record.table, record.key);
+    }
+  }
+}
+
+}  // namespace
+
+const ChopCatalogEntry* FindChopCatalog(const char* name) {
+  for (const ChopCatalogEntry& entry : kCatalog) {
+    if (std::string_view(entry.name) == name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+ChopPlanner::ChopPlanner(Cluster* cluster, int node, const char* catalog_name)
+    : cluster_(cluster), node_(node), catalog_(FindChopCatalog(catalog_name)) {}
+
+void ChopPlanner::AddFragment(Fragment fragment) {
+  assert((!fragment.may_user_abort || fragments_.empty()) &&
+         "only the first fragment may user-abort (first-piece rule)");
+  fragments_.push_back(std::move(fragment));
+}
+
+size_t ChopPlanner::LinesForBytes(size_t bytes) {
+  return (bytes + kCacheLineSize - 1) / kCacheLineSize + 1;
+}
+
+size_t ChopPlanner::RecordWriteLines(int table, uint64_t key) const {
+  if (cluster_->PartitionOf(table, key) != node_) {
+    return 0;  // remote writes bypass the HTM write set
+  }
+  return LinesForBytes(cluster_->table(table).value_size);
+}
+
+size_t ChopPlanner::PieceBudgetLines() const {
+  const size_t budget =
+      cluster_->config().htm.max_write_lines * kHeadroomNum / kHeadroomDen;
+  return std::max<size_t>(budget, 8);
+}
+
+ChopPlanner::Plan ChopPlanner::BuildPlan() const {
+  Plan plan;
+  for (const Fragment& fragment : fragments_) {
+    plan.write_lines += FragmentWriteLines(*this, fragment);
+  }
+
+  const size_t max_per_piece =
+      catalog_ != nullptr ? catalog_->max_fragments_per_piece : 0;
+  const bool allowed = catalog_ != nullptr && catalog_->choppable &&
+                       cluster_->config().enable_chop_planner;
+  const bool over_budget =
+      plan.write_lines > cluster_->config().htm.max_write_lines;
+  const bool forced_split =
+      max_per_piece > 0 && fragments_.size() > max_per_piece;
+  if (!allowed || (!over_budget && !forced_split) || fragments_.size() <= 1) {
+    plan.pieces.emplace_back();
+    for (size_t i = 0; i < fragments_.size(); ++i) {
+      plan.pieces.back().push_back(i);
+    }
+    return plan;
+  }
+
+  // Greedy packing in declaration order (order is part of the SC-graph
+  // argument, so fragments never reorder). A fragment larger than the
+  // budget gets a piece of its own — it may still commit via the 2PL
+  // fallback, and chopping cannot shrink it further.
+  const size_t budget = PieceBudgetLines();
+  size_t piece_lines = 0;
+  for (size_t i = 0; i < fragments_.size(); ++i) {
+    const size_t lines = FragmentWriteLines(*this, fragments_[i]);
+    const bool full =
+        !plan.pieces.empty() && !plan.pieces.back().empty() &&
+        (piece_lines + lines > budget ||
+         (max_per_piece > 0 && plan.pieces.back().size() >= max_per_piece));
+    if (plan.pieces.empty() || full) {
+      plan.pieces.emplace_back();
+      piece_lines = 0;
+    }
+    plan.pieces.back().push_back(i);
+    piece_lines += lines;
+  }
+  plan.chopped = plan.pieces.size() > 1;
+  if (!plan.chopped) {
+    return plan;
+  }
+
+  // Chain locks: writes spanning pieces, and remote writes issued by any
+  // piece after the first (locks-ahead discipline, §4.6).
+  struct WriteSite {
+    int table;
+    uint64_t key;
+    size_t first_piece;
+    size_t last_piece;
+    size_t piece_count;
+  };
+  std::vector<WriteSite> sites;
+  for (size_t p = 0; p < plan.pieces.size(); ++p) {
+    for (const size_t f : plan.pieces[p]) {
+      for (const FragmentRecord& record : fragments_[f].records) {
+        if (!record.write) {
+          continue;
+        }
+        WriteSite* site = nullptr;
+        for (WriteSite& existing : sites) {
+          if (existing.table == record.table && existing.key == record.key) {
+            site = &existing;
+            break;
+          }
+        }
+        if (site == nullptr) {
+          sites.push_back(WriteSite{record.table, record.key, p, p, 1});
+        } else if (site->last_piece != p) {
+          site->last_piece = p;
+          ++site->piece_count;
+        }
+      }
+    }
+  }
+  for (const WriteSite& site : sites) {
+    const bool remote = cluster_->PartitionOf(site.table, site.key) != node_;
+    if (site.piece_count > 1 || (remote && site.last_piece > 0)) {
+      plan.chain_locks.emplace_back(site.table, site.key);
+    }
+  }
+  return plan;
+}
+
+TxnStatus ChopPlanner::Run(Worker* worker) {
+  static const uint32_t kMonolithicId =
+      stat::Registry::Global().CounterId("txn.chop.monolithic");
+  static const uint32_t kChainsId =
+      stat::Registry::Global().CounterId("txn.chop.chains");
+  static const uint32_t kPiecesId =
+      stat::Registry::Global().CounterId("txn.chop.pieces");
+
+  const Plan plan = BuildPlan();
+  if (!plan.chopped) {
+    stat::Registry::Global().Add(kMonolithicId);
+    Transaction txn(worker);
+    std::vector<FragmentRecord> declared;
+    for (const Fragment& fragment : fragments_) {
+      MergeRecords(fragment.records, &declared);
+    }
+    DeclareRecords(declared, &txn);
+    return txn.Run([this](Transaction& t) {
+      for (const Fragment& fragment : fragments_) {
+        if (!fragment.body(t)) {
+          return false;
+        }
+      }
+      return true;
+    });
+  }
+
+  stat::Registry::Global().Add(kChainsId);
+  stat::Registry::Global().Add(kPiecesId, plan.pieces.size());
+  ChoppedTransaction chain;
+  for (const auto& [table, key] : plan.chain_locks) {
+    chain.AddChainLock(table, key);
+  }
+  for (const std::vector<size_t>& piece : plan.pieces) {
+    chain.AddPiece(
+        [this, piece](Transaction& t) {
+          std::vector<FragmentRecord> declared;
+          for (const size_t f : piece) {
+            MergeRecords(fragments_[f].records, &declared);
+          }
+          DeclareRecords(declared, &t);
+        },
+        [this, piece](Transaction& t) {
+          for (const size_t f : piece) {
+            if (!fragments_[f].body(t)) {
+              return false;
+            }
+          }
+          return true;
+        });
+  }
+  return chain.Run(worker);
+}
+
+size_t ChopSliceBytes(const Cluster& cluster) {
+  // Unlike fragment packing — where the per-fragment line estimate is
+  // itself uncertain and gets the 1/2 headroom — a slice piece's write
+  // set is exactly the slice payload plus the entry header and version
+  // words, so only a fixed slack is reserved and the slice fills nearly
+  // the whole budget (fewer pieces per value, fewer HTM regions).
+  const size_t max_lines = cluster.config().htm.max_write_lines;
+  constexpr size_t kSlack = 8;
+  const size_t budget_lines = max_lines > 2 * kSlack
+                                  ? max_lines - kSlack
+                                  : std::max<size_t>(max_lines / 2, 1);
+  // Two lines inside the slack stay off the payload: the entry header
+  // line plus the version bump.
+  const size_t payload_lines = budget_lines > 2 ? budget_lines - 2 : 1;
+  return payload_lines * kCacheLineSize;
+}
+
+size_t ChopSlicesForValue(const Cluster& cluster, uint32_t value_bytes) {
+  if (!cluster.config().enable_chop_planner || value_bytes == 0) {
+    return 1;
+  }
+  const ChopCatalogEntry* entry = FindChopCatalog("ycsb.update");
+  if (entry == nullptr || !entry->choppable) {
+    return 1;
+  }
+  if (ChopPlanner::LinesForBytes(value_bytes) <=
+      cluster.config().htm.max_write_lines) {
+    return 1;  // the whole value fits one HTM region
+  }
+  const size_t slice = ChopSliceBytes(cluster);
+  return (value_bytes + slice - 1) / slice;
+}
+
+}  // namespace txn
+}  // namespace drtm

@@ -1,0 +1,128 @@
+// Auto-chopping planner (paper section 3, ROADMAP "transaction
+// chopping"): turns a declared transaction footprint into either one
+// monolithic Transaction or a ChoppedTransaction chain, depending on
+// whether the footprint fits the HTM write-line budget.
+//
+// The unit of planning is a *fragment*: a body closure plus the hash
+// records it touches (and an estimate for untracked extras such as
+// ordered-store inserts). The workload declares fragments in program
+// order; the planner packs consecutive fragments into pieces whose
+// estimated HTM write set stays inside a headroom-scaled budget, and
+// derives the chain locks the paper's discipline requires (§4.6: all
+// cross-piece locks acquired before the first piece, released after the
+// last):
+//   * a record written by fragments landing in more than one piece;
+//   * a remote record written by any piece after the first (acquiring it
+//     ahead converts a mid-chain acquisition failure — which would
+//     strand the already-committed prefix — into a before-chain one).
+//
+// Only *local* writes count against the budget: remote writes land in
+// the prefetch buffer and are written back over RDMA after XEND, so they
+// never enter the HTM write set.
+//
+// Chopping is only sound for decompositions whose SC-graph has no cyclic
+// C-edge through the pieces (Shasha et al.); that analysis is offline,
+// per workload, and recorded in the catalog below. Workloads name their
+// catalog entry when constructing a planner; entries that are not
+// choppable (and transactions under budget) always run monolithically.
+#ifndef SRC_TXN_CHOP_PLANNER_H_
+#define SRC_TXN_CHOP_PLANNER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/txn/chopping.h"
+#include "src/txn/transaction.h"
+
+namespace drtm {
+namespace txn {
+
+// One hash record in a fragment's footprint.
+struct FragmentRecord {
+  int table = 0;
+  uint64_t key = 0;
+  bool write = false;
+};
+
+// The offline SC-graph verdict for a workload transaction type. The
+// planner consults it by name; an absent or non-choppable entry pins the
+// transaction to monolithic execution regardless of footprint.
+struct ChopCatalogEntry {
+  const char* name;
+  bool choppable;
+  // Upper bound on fragments per piece; 0 = budget-only packing.
+  // Delivery uses 1: the paper's decomposition is one district per piece
+  // and the pieces are mutually independent, so they never merge.
+  size_t max_fragments_per_piece;
+};
+
+// nullptr when the name is unknown.
+const ChopCatalogEntry* FindChopCatalog(const char* name);
+
+class ChopPlanner {
+ public:
+  struct Fragment {
+    std::vector<FragmentRecord> records;
+    Transaction::Body body;
+    // Estimated HTM write lines not visible in `records` (ordered-store
+    // inserts/puts: tree-node writes are HTM-tracked but not declared).
+    size_t extra_write_lines = 0;
+    // Only the first fragment may set this (chopped chains may only
+    // user-abort from the first piece, §3).
+    bool may_user_abort = false;
+  };
+
+  struct Plan {
+    bool chopped = false;
+    // Fragment indices per piece, in declaration order.
+    std::vector<std::vector<size_t>> pieces;
+    // Records whose exclusive lock must span the chain.
+    std::vector<std::pair<int, uint64_t>> chain_locks;
+    // Monolithic write-line estimate, for introspection.
+    size_t write_lines = 0;
+  };
+
+  ChopPlanner(Cluster* cluster, int node, const char* catalog_name);
+
+  void AddFragment(Fragment fragment);
+
+  // HTM lines a value of `bytes` occupies, plus one line for the entry
+  // header (version/state words share the first line).
+  static size_t LinesForBytes(size_t bytes);
+
+  // Write-line cost of (table, key) for this planner's node: 0 when the
+  // record is remote (remote writes bypass the HTM write set).
+  size_t RecordWriteLines(int table, uint64_t key) const;
+
+  // Per-piece write-line budget: max_write_lines scaled by headroom so
+  // bookkeeping (lease confirmation, WAL, version bumps) fits too.
+  size_t PieceBudgetLines() const;
+
+  // Pure planning step, unit-testable without running anything.
+  Plan BuildPlan() const;
+
+  // Plans and executes: monolithic Transaction when the plan has one
+  // piece (or the planner/catalog disables chopping), otherwise a
+  // ChoppedTransaction chain with the plan's chain locks.
+  TxnStatus Run(Worker* worker);
+
+ private:
+  Cluster* cluster_;
+  int node_;
+  const ChopCatalogEntry* catalog_;
+  std::vector<Fragment> fragments_;
+};
+
+// Slices needed to update one local value of value_bytes through
+// Transaction::WriteRange so each piece's write set fits the budget;
+// 1 = the whole value fits one HTM region (or the planner is disabled).
+size_t ChopSlicesForValue(const Cluster& cluster, uint32_t value_bytes);
+
+// Byte width of one such slice (the last slice may be shorter).
+size_t ChopSliceBytes(const Cluster& cluster);
+
+}  // namespace txn
+}  // namespace drtm
+
+#endif  // SRC_TXN_CHOP_PLANNER_H_

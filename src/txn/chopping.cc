@@ -2,45 +2,95 @@
 
 #include <cassert>
 
+#include "src/chaos/injector.h"
+
 namespace drtm {
 namespace txn {
 
 namespace {
 
 struct ChopInfo {
-  uint32_t piece;
+  uint32_t piece;  // next piece to run; pieces < piece have committed
   uint32_t total;
 };
 
 }  // namespace
 
-TxnStatus ChoppedTransaction::Run(Worker* worker) {
+TxnStatus ChoppedTransaction::RunFrom(Worker* worker, size_t first_piece) {
   Cluster& cluster = worker->cluster();
   const bool logging = cluster.config().logging;
+  const bool chained = pieces_.size() > 1;
   const uint64_t chain_id =
       cluster.NextTxnId(worker->node(), worker->worker_id());
 
-  for (size_t i = 0; i < pieces_.size(); ++i) {
-    if (logging && pieces_.size() > 1) {
-      // Chop-info ahead of each piece: on recovery, the highest logged
-      // piece index tells DrTM which pieces of the parent remain (§4.6).
-      const ChopInfo info{static_cast<uint32_t>(i),
+  // All chain locks are acquired before the first piece runs and held
+  // until after the last (§4.6). A resumed chain re-acquires them —
+  // recovery released the crashed node's.
+  if (chained && !chain_locks_.empty()) {
+    const TxnStatus lock_status =
+        AcquireChainLocks(worker, chain_id, &chain_locks_);
+    if (lock_status != TxnStatus::kCommitted) {
+      return lock_status;
+    }
+  }
+
+  // Chaos point on the chop log path: fires between the remaining-piece
+  // record and the piece body, simulating a power-cut at the resume
+  // point. Chain locks stay held (recovery releases them) and the piece
+  // has not started, so recovery resumes exactly here.
+  static const uint32_t kChopPoint =
+      chaos::Injector::Global().Point("log.chop");
+
+  for (size_t i = first_piece; i < pieces_.size(); ++i) {
+    if (chained) {
+      if (logging) {
+        // Remaining-piece record ahead of each piece: on recovery, the
+        // highest logged index is the chain's resume point (§4.6).
+        const ChopInfo info{static_cast<uint32_t>(i),
+                            static_cast<uint32_t>(pieces_.size())};
+        cluster.log(worker->node())
+            ->Append(worker->worker_id(), LogType::kChopInfo, chain_id,
+                     &info, sizeof(info));
+      }
+      if (chaos::Check(kChopPoint, worker->node()).kind ==
+          chaos::Decision::Kind::kAbandon) {
+        return TxnStatus::kNodeFailure;  // simulated death: locks stay held
+      }
+    }
+    Transaction txn(worker);
+    pieces_[i].declare(txn);
+    for (const ChainLock& lock : chain_locks_) {
+      txn.MarkChainLocked(lock.table, lock.key);
+    }
+    const TxnStatus status = txn.Run(pieces_[i].body);
+    if (status == TxnStatus::kUserAbort) {
+      assert(i == 0 &&
+             "only the first piece of a chopped transaction may user-abort");
+      ReleaseChainLocks(worker, &chain_locks_);
+      return status;
+    }
+    if (status != TxnStatus::kCommitted) {
+      if (i == first_piece && status == TxnStatus::kAborted) {
+        // Nothing from this (possibly resumed) chain segment committed;
+        // release so the caller can retry the chain from scratch.
+        ReleaseChainLocks(worker, &chain_locks_);
+      }
+      // Otherwise surface as-is: earlier pieces committed, the chain
+      // locks stay held, and recovery (or the caller) finishes the chain.
+      return status;
+    }
+  }
+  if (chained) {
+    if (logging) {
+      // Chain-complete marker: {total, total} tells recovery there is
+      // nothing left to resume.
+      const ChopInfo info{static_cast<uint32_t>(pieces_.size()),
                           static_cast<uint32_t>(pieces_.size())};
       cluster.log(worker->node())
           ->Append(worker->worker_id(), LogType::kChopInfo, chain_id, &info,
                    sizeof(info));
     }
-    Transaction txn(worker);
-    pieces_[i].declare(txn);
-    const TxnStatus status = txn.Run(pieces_[i].body);
-    if (status == TxnStatus::kUserAbort) {
-      assert(i == 0 &&
-             "only the first piece of a chopped transaction may user-abort");
-      return status;
-    }
-    if (status != TxnStatus::kCommitted) {
-      return status;
-    }
+    ReleaseChainLocks(worker, &chain_locks_);
   }
   return TxnStatus::kCommitted;
 }

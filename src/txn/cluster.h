@@ -70,6 +70,13 @@ struct ClusterConfig {
   // deadlock freedom is preserved). false restores the always-serial
   // paper fallback.
   bool optimistic_fallback_locking = true;
+  // Auto-chopping planner (paper section 3 / ROADMAP "transaction
+  // chopping"): workloads route capacity-bound transactions through
+  // txn::ChopPlanner, which splits a declared footprint that exceeds the
+  // HTM write-line budget into a chain of chopped pieces (locks ahead of
+  // the first piece, write-back in the last). false forces every planned
+  // transaction to run monolithically — the pre-chopping behaviour.
+  bool enable_chop_planner = true;
 
   bool logging = false;
   size_t log_segment_bytes = size_t{8} << 20;

@@ -1,5 +1,7 @@
 #include "src/txn/recovery.h"
 
+#include <algorithm>
+#include <cstring>
 #include <map>
 #include <vector>
 
@@ -17,6 +19,10 @@ struct TxnLogState {
   std::vector<uint8_t> wal;
   bool has_wal = false;
   bool complete = false;
+  // Chopped-chain records under this id: {next_piece, total} is appended
+  // before each piece, {total, total} after the last.
+  uint32_t chop_max = 0;
+  uint32_t chop_total = 0;  // 0 = not a chopped chain
 };
 
 }  // namespace
@@ -41,13 +47,53 @@ RecoveryManager::Report RecoveryManager::Recover(int crashed_node) {
             state.complete = true;
             break;
           case LogType::kChopInfo:
-            break;  // consumed by the chopping runtime, not here
+            if (record.payload.size() >= 2 * sizeof(uint32_t)) {
+              uint32_t piece = 0;
+              uint32_t total = 0;
+              std::memcpy(&piece, record.payload.data(), sizeof(piece));
+              std::memcpy(&total, record.payload.data() + sizeof(piece),
+                          sizeof(total));
+              state.chop_max = std::max(state.chop_max, piece);
+              state.chop_total = total;
+            }
+            break;
         }
       });
 
   rdma::Fabric& fabric = cluster_->fabric();
   for (auto& [txn_id, state] : txns) {
     if (state.complete) {
+      continue;
+    }
+    if (state.chop_total != 0) {
+      // A chopped chain. {total, total} marks it finished (its locks were
+      // released by the chain itself); anything less is a resume point —
+      // release the chain locks the crashed node still owns (the
+      // lock-ahead under the chain id names them; RunFrom re-acquires)
+      // and report the chain so the caller can finish it.
+      if (state.chop_max >= state.chop_total) {
+        continue;
+      }
+      for (const LogLock& lock : state.locks) {
+        if (!fabric.IsAlive(lock.node)) {
+          continue;
+        }
+        uint64_t lock_word = 0;
+        if (fabric.Read(lock.node, lock.state_off, &lock_word,
+                        sizeof(lock_word)) != rdma::OpStatus::kOk) {
+          continue;
+        }
+        if (IsWriteLocked(lock_word) && LockOwner(lock_word) == crashed_node) {
+          uint64_t observed = 0;
+          if (fabric.Cas(lock.node, lock.state_off, lock_word, kStateInit,
+                         &observed) == rdma::OpStatus::kOk &&
+              observed == lock_word) {
+            ++report.released_locks;
+          }
+        }
+      }
+      report.pending_chains.push_back(
+          PendingChain{txn_id, state.chop_max, state.chop_total});
       continue;
     }
     if (state.has_wal) {

@@ -16,6 +16,9 @@
 #ifndef SRC_TXN_RECOVERY_H_
 #define SRC_TXN_RECOVERY_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "src/txn/cluster.h"
 
 namespace drtm {
@@ -25,11 +28,22 @@ class RecoveryManager {
  public:
   explicit RecoveryManager(Cluster* cluster) : cluster_(cluster) {}
 
+  // A chopped chain the crashed node left unfinished: pieces
+  // [0, next_piece) committed, [next_piece, total) remain. The chain's
+  // locks were released during recovery; ChoppedTransaction::RunFrom
+  // re-acquires them and finishes the chain (§4.6).
+  struct PendingChain {
+    uint64_t chain_id = 0;
+    uint32_t next_piece = 0;
+    uint32_t total = 0;
+  };
+
   struct Report {
     int committed_txns = 0;   // redone from WAL
     int aborted_txns = 0;     // rolled back via lock-ahead
     int redone_updates = 0;   // remote records rewritten
     int released_locks = 0;   // exclusive locks cleared
+    std::vector<PendingChain> pending_chains;  // chopped chains to resume
   };
 
   // Recovers the effects of crashed_node's in-flight transactions on the

@@ -228,6 +228,12 @@ void Transaction::AddWrite(int table, uint64_t key) {
   refs_.back().write = true;
 }
 
+void Transaction::MarkChainLocked(int table, uint64_t key) {
+  if (Ref* ref = FindRef(table, key)) {
+    ref->chain_locked = true;
+  }
+}
+
 Transaction::Ref* Transaction::FindRef(int table, uint64_t key) {
   for (Ref& ref : refs_) {
     if (ref.table == table && ref.key == key) {
@@ -507,7 +513,10 @@ Transaction::StartResult Transaction::StartPhase() {
   }
   bool any_remote_write = false;
   for (const Ref* ref : remote_all) {
-    any_remote_write |= (ref->write && ref->found);
+    // Chain-locked refs are excluded: their lock belongs to the chain
+    // (logged once under the chain id), and a per-piece lock-ahead entry
+    // would let recovery release the chain lock after a mere piece crash.
+    any_remote_write |= (ref->write && ref->found && !ref->chain_locked);
   }
 
   if (cfg_.logging && any_remote_write) {
@@ -515,7 +524,7 @@ Transaction::StartResult Transaction::StartPhase() {
     // lock, so recovery can unlock them if we crash pre-commit (§4.6).
     std::vector<LogLock> locks;
     for (const Ref& ref : refs_) {
-      if (!ref.local && ref.write && ref.found) {
+      if (!ref.local && ref.write && ref.found && !ref.chain_locked) {
         locks.push_back(LogLock{ref.node, ref.table, ref.key,
                                 ref.entry_off + store::kEntryStateOffset});
       }
@@ -543,8 +552,10 @@ Transaction::StartResult Transaction::BatchedStartRemote(
   // The scatter below posts first-attempt lock CASes directly, bypassing
   // the scalar acquire helpers — so the elastic freeze gate must be
   // checked here, before any CAS can land on a frozen bucket.
+  // Chain-locked refs are exempt throughout: the chain already holds
+  // their exclusive lock, so this piece only prefetches them.
   for (const Ref* ref : remote) {
-    if (!GateAllows(cluster_, ref->table, ref->key)) {
+    if (!ref->chain_locked && !GateAllows(cluster_, ref->table, ref->key)) {
       return StartResult::kConflict;
     }
   }
@@ -571,6 +582,9 @@ Transaction::StartResult Transaction::BatchedStartRemote(
     std::vector<std::pair<std::pair<int, rdma::WrId>, size_t>> owners;
     for (size_t i = 0; i < remote.size(); ++i) {
       const Ref& ref = *remote[i];
+      if (ref.chain_locked) {
+        continue;  // lock already held by the chain; prefetch-only below
+      }
       const uint64_t state_off = ref.entry_off + store::kEntryStateOffset;
       rdma::SendQueue& sq = scatter.To(ref.node);
       rdma::WrId id;
@@ -612,7 +626,7 @@ Transaction::StartResult Transaction::BatchedStartRemote(
     }
     if (fail == StartResult::kOk) {
       for (size_t i = 0; i < remote.size(); ++i) {
-        if (is_cas[i]) {
+        if (is_cas[i] || remote[i]->chain_locked) {
           continue;
         }
         const StartResult sr =
@@ -645,7 +659,7 @@ Transaction::StartResult Transaction::BatchedStartRemote(
                                &stat::ScatterPrefetchIds());
     for (size_t i = 0; i < remote.size(); ++i) {
       Ref& ref = *remote[i];
-      if (!(ref.locked || ref.leased)) {
+      if (!(ref.locked || ref.leased || ref.chain_locked)) {
         continue;
       }
       raws[i].resize(sizeof(store::EntryHeader) + ref.value_size);
@@ -763,7 +777,11 @@ bool Transaction::WriteBackAndUnlock() {
                              &stat::ScatterWritebackIds());
   for (size_t i = 0; i < refs_.size(); ++i) {
     Ref& ref = refs_[i];
-    if (!ref.locked) {
+    // Chain-locked dirty remote refs are written back here too — the
+    // state-word field of the blob re-writes the chain's own lock word
+    // (a no-op) — but their unlock belongs to the chain, not this piece.
+    const bool chain_write_back = ref.chain_locked && ref.dirty && !ref.local;
+    if (!ref.locked && !chain_write_back) {
       continue;
     }
     if (!release_abandoned &&
@@ -786,9 +804,11 @@ bool Transaction::WriteBackAndUnlock() {
                        blobs[i].data(), blobs[i].size());
       owners.emplace_back(std::make_pair(ref.node, id), Posted{i, false});
     }
-    const rdma::WrId id = sq.PostWrite(
-        ref.entry_off + store::kEntryStateOffset, &init, sizeof(init));
-    owners.emplace_back(std::make_pair(ref.node, id), Posted{i, true});
+    if (ref.locked) {
+      const rdma::WrId id = sq.PostWrite(
+          ref.entry_off + store::kEntryStateOffset, &init, sizeof(init));
+      owners.emplace_back(std::make_pair(ref.node, id), Posted{i, true});
+    }
   }
   std::vector<rdma::ScatterCompletion> comps;
   scatter.Gather(&comps);
@@ -999,7 +1019,9 @@ bool Transaction::LocalReadInHtm(Ref& ref, void* out) {
   // before the body can observe it.
   htm.Read(out, table->ValuePtr(entry), ref.value_size);
   const uint64_t state = htm.Load(table->StatePtr(entry));
-  if (IsWriteLocked(state)) {
+  if (IsWriteLocked(state) && !ref.chain_locked) {
+    // A chain-locked ref's write lock is necessarily our own chain's
+    // (held continuously across the pieces), never a conflict.
     htm.Abort(kCodeLocked);
   }
   return true;
@@ -1030,9 +1052,10 @@ bool Transaction::LocalWriteInHtm(Ref& ref, const void* value) {
   htm.Write(table->ValuePtr(entry), value, ref.value_size);
   // Abort on a write lock or an unexpired lease; actively clear an
   // expired lease (side effect: the state word joins the HTM write set,
-  // which is why LOCAL_READ does not do this).
+  // which is why LOCAL_READ does not do this). A chain-locked ref's
+  // write lock is our own chain's — tolerated, and left in place.
   const uint64_t state = htm.Load(table->StatePtr(entry));
-  if (IsWriteLocked(state)) {
+  if (IsWriteLocked(state) && !ref.chain_locked) {
     htm.Abort(kCodeLocked);
   }
   if (HasLease(state)) {
@@ -1054,6 +1077,52 @@ bool Transaction::LocalWriteInHtm(Ref& ref, const void* value) {
   // them; the dirty flag is what NotifyCommittedWrites keys off.
   ref.dirty = true;
   RecordWalUpdate(ref, value);
+  return true;
+}
+
+bool Transaction::LocalWriteRangeInHtm(Ref& ref, uint32_t offset,
+                                       const void* data, uint32_t len) {
+  store::ClusterHashTable* table = cluster_.hash_table(ref.node, ref.table);
+  const uint64_t entry = table->FindEntry(ref.key);
+  if (entry == store::kInvalidOffset) {
+    return false;
+  }
+  htm::HtmThread& htm = worker_->htm();
+  if (!GateAllows(cluster_, ref.table, ref.key)) {
+    htm.Abort(kCodeLocked);
+  }
+  // The sliced LOCAL_WRITE: only the slice's lines (plus the header)
+  // enter the HTM write set — this is what lets a chopped piece update
+  // one slice of a value whose full footprint overflows the budget.
+  const uint32_t version = htm.Load(table->VersionPtr(entry));
+  htm.Store(table->VersionPtr(entry), version + 1);
+  htm.Write(static_cast<uint8_t*>(table->ValuePtr(entry)) + offset, data,
+            len);
+  // Lazy state subscription, identical to LocalWriteInHtm.
+  const uint64_t state = htm.Load(table->StatePtr(entry));
+  if (IsWriteLocked(state) && !ref.chain_locked) {
+    htm.Abort(kCodeLocked);
+  }
+  if (HasLease(state)) {
+    const uint64_t now =
+        cfg_.softtime_read_every_local_op
+            ? htm.Load(cluster_.synctime().Word(worker_->node()))
+            : now_start_;
+    if (!LeaseExpired(LeaseEnd(state), now, cfg_.delta_us)) {
+      htm.Abort(kCodeLocked);
+    }
+    htm.Store(table->StatePtr(entry), kStateInit);
+  }
+  ref.entry_off = entry;
+  ref.version = version;
+  ref.dirty = true;
+  if (cfg_.logging) {
+    // The WAL records full values; compose the post-write image (the
+    // transactional read overlays our buffered slice). Logging-only cost.
+    std::vector<uint8_t> full(ref.value_size);
+    htm.Read(full.data(), table->ValuePtr(entry), ref.value_size);
+    RecordWalUpdate(ref, full.data());
+  }
   return true;
 }
 
@@ -1130,6 +1199,24 @@ bool Transaction::Write(int table, uint64_t key, const void* value) {
     return true;
   }
   return LocalWriteInHtm(*ref, value);
+}
+
+bool Transaction::WriteRange(int table, uint64_t key, uint32_t offset,
+                             const void* data, uint32_t len) {
+  Ref* ref = FindRef(table, key);
+  assert(ref != nullptr && ref->write && "write requires AddWrite");
+  assert(offset + len <= ref->value_size && "range outside the value");
+  if (mode_ == Mode::kFallback || !ref->local) {
+    if (!ref->found) {
+      return false;
+    }
+    // Overlay the slice on the prefetched image; write-back ships the
+    // composed full value.
+    std::memcpy(ref->buf.data() + offset, data, len);
+    ref->dirty = true;
+    return true;
+  }
+  return LocalWriteRangeInHtm(*ref, offset, data, len);
 }
 
 bool Transaction::ReadDynamic(int table, uint64_t key, void* out) {
@@ -1314,9 +1401,11 @@ bool Transaction::OrderedFindFloor(int table, uint64_t lo, uint64_t bound,
 
 Transaction::StartResult Transaction::OptimisticFallbackAcquire() {
   // Like BatchedStartRemote, this posts CASes directly; check the
-  // elastic freeze gate up front.
+  // elastic freeze gate up front. Chain-locked refs are exempt: their
+  // lock is already held by the chain, so they are prefetch-only here.
   for (const Ref& ref : refs_) {
-    if (ref.found && !GateAllows(cluster_, ref.table, ref.key)) {
+    if (ref.found && !ref.chain_locked &&
+        !GateAllows(cluster_, ref.table, ref.key)) {
       return StartResult::kConflict;
     }
   }
@@ -1332,7 +1421,7 @@ Transaction::StartResult Transaction::OptimisticFallbackAcquire() {
   // is no point ringing any doorbell.
   bool contended = false;
   for (Ref& ref : refs_) {
-    if (!ref.found || !(ref.local && glob)) {
+    if (!ref.found || !(ref.local && glob) || ref.chain_locked) {
       continue;
     }
     const bool wants_lock = ref.write || !cfg_.enable_read_lease;
@@ -1383,7 +1472,7 @@ Transaction::StartResult Transaction::OptimisticFallbackAcquire() {
                                &stat::ScatterFallbackIds());
     for (size_t i = 0; i < refs_.size(); ++i) {
       Ref& ref = refs_[i];
-      if (!ref.found || (ref.local && glob)) {
+      if (!ref.found || (ref.local && glob) || ref.chain_locked) {
         continue;
       }
       const bool wants_lock = ref.write || !cfg_.enable_read_lease;
@@ -1539,7 +1628,9 @@ TxnStatus Transaction::RunFallback(const Body& body) {
           continue;
         }
         StartResult result;
-        if (ref.write || !cfg_.enable_read_lease) {
+        if (ref.chain_locked) {
+          result = StartResult::kOk;  // the chain already holds the lock
+        } else if (ref.write || !cfg_.enable_read_lease) {
           result = AcquireExclusive(ref, /*wait=*/true);
         } else {
           result = AcquireLease(ref, /*wait=*/true);
@@ -1632,7 +1723,11 @@ TxnStatus Transaction::RunFallback(const Body& body) {
     const uint64_t locked_val =
         MakeWriteLocked(static_cast<uint8_t>(worker_->node()));
     for (Ref& ref : refs_) {
-      if (!ref.locked) {
+      // Chain-locked dirty refs are applied too (their blob's state-word
+      // field re-writes the chain's own lock word, a no-op); the release
+      // loop below still skips them — the chain unlocks after its last
+      // piece.
+      if (!ref.locked && !(ref.chain_locked && ref.dirty)) {
         continue;
       }
       if (ref.dirty) {
@@ -1734,6 +1829,157 @@ TxnStatus Transaction::RunFallback(const Body& body) {
   }
   stat::Registry::Global().Add(Ids().exhausted);
   return TxnStatus::kAborted;
+}
+
+// --- chain locks (chopped transactions, section 4.6) -------------------------
+
+namespace {
+
+// Resolves a chain lock's owner node and entry offset. Returns false on a
+// dead node; *found is false when the key is absent.
+bool ResolveChainLock(Worker* worker, ChainLock* lock, bool* found) {
+  Cluster& cluster = worker->cluster();
+  lock->node = cluster.PartitionOf(lock->table, lock->key);
+  store::ClusterHashTable* host = cluster.hash_table(lock->node, lock->table);
+  if (lock->node == worker->node()) {
+    lock->entry_off = host->FindEntry(lock->key);
+    *found = lock->entry_off != store::kInvalidOffset;
+    return true;
+  }
+  store::RemoteKv client(&cluster.fabric(), lock->node, host->geometry(),
+                         cluster.cache(worker->node(), lock->node));
+  const store::RemoteEntryRef ref = client.Lookup(lock->key);
+  if (!cluster.fabric().IsAlive(lock->node)) {
+    return false;
+  }
+  *found = ref.found;
+  lock->entry_off = ref.entry_off;
+  return true;
+}
+
+}  // namespace
+
+TxnStatus AcquireChainLocks(Worker* worker, uint64_t chain_id,
+                            std::vector<ChainLock>* locks) {
+  Cluster& cluster = worker->cluster();
+  const ClusterConfig& cfg = cluster.config();
+  // Global <table, key> order, like the 2PL fallback: waiting while
+  // holding earlier chain locks is deadlock-free.
+  std::sort(locks->begin(), locks->end(),
+            [](const ChainLock& a, const ChainLock& b) {
+              return a.table != b.table ? a.table < b.table : a.key < b.key;
+            });
+  for (ChainLock& lock : *locks) {
+    bool found = false;
+    if (!ResolveChainLock(worker, &lock, &found)) {
+      return TxnStatus::kNodeFailure;
+    }
+    if (!found) {
+      return TxnStatus::kAborted;
+    }
+  }
+  if (cfg.logging) {
+    // One lock-ahead record for the whole chain, under the chain id: if
+    // this machine dies mid-chain, recovery releases the chain locks it
+    // still owns (the resumed chain re-acquires them).
+    std::vector<LogLock> entries;
+    entries.reserve(locks->size());
+    for (const ChainLock& lock : *locks) {
+      entries.push_back(LogLock{lock.node, lock.table, lock.key,
+                                lock.entry_off + store::kEntryStateOffset});
+    }
+    const std::vector<uint8_t> payload = NvramLog::EncodeLocks(entries);
+    cluster.log(worker->node())
+        ->Append(worker->worker_id(), LogType::kLockAhead, chain_id,
+                 payload.data(), payload.size());
+  }
+  const uint64_t locked_val =
+      MakeWriteLocked(static_cast<uint8_t>(worker->node()));
+  for (ChainLock& lock : *locks) {
+    if (!GateAllows(cluster, lock.table, lock.key)) {
+      ReleaseChainLocks(worker, locks);
+      return TxnStatus::kAborted;
+    }
+    uint64_t expected = kStateInit;
+    int tries = 0;
+    while (!lock.locked) {
+      uint64_t observed = 0;
+      rdma::OpStatus cas_status;
+      if (lock.node == worker->node() &&
+          cluster.fabric().atomic_level() == rdma::AtomicLevel::kGlob) {
+        SpinFor(cfg.latency.LocalCasNs());
+        uint64_t* addr = cluster.hash_table(lock.node, lock.table)
+                             ->StatePtr(lock.entry_off);
+        // drtm-lint: allow(TX03 local stand-in for an RDMA CAS verb on GLOB-coherent NICs)
+        observed = htm::StrongCas64(addr, expected, locked_val);
+        cas_status = rdma::OpStatus::kOk;
+      } else {
+        cas_status = cluster.fabric().Cas(
+            lock.node, lock.entry_off + store::kEntryStateOffset, expected,
+            locked_val, &observed);
+      }
+      if (cas_status != rdma::OpStatus::kOk) {
+        ReleaseChainLocks(worker, locks);
+        return TxnStatus::kNodeFailure;
+      }
+      if (observed == expected) {
+        lock.locked = true;
+        break;
+      }
+      if (IsWriteLocked(observed)) {
+        if (++tries > kWaitTriesLimit) {
+          ReleaseChainLocks(worker, locks);
+          return TxnStatus::kAborted;
+        }
+        SleepUs(10 + worker->rng().NextBounded(50));
+        expected = kStateInit;
+        continue;
+      }
+      // A read lease: writers wait for expiry, then CAS it away (Fig. 5).
+      const uint64_t end = LeaseEnd(observed);
+      while (true) {
+        const uint64_t now = cluster.synctime().ReadStrong(worker->node());
+        if (LeaseExpired(end, now, cfg.delta_us)) {
+          break;
+        }
+        if (++tries > kWaitTriesLimit) {
+          ReleaseChainLocks(worker, locks);
+          return TxnStatus::kAborted;
+        }
+        SleepUs(20);
+      }
+      expected = observed;
+    }
+  }
+  return TxnStatus::kCommitted;
+}
+
+void ReleaseChainLocks(Worker* worker, std::vector<ChainLock>* locks) {
+  Cluster& cluster = worker->cluster();
+  const uint64_t init = kStateInit;
+  for (ChainLock& lock : *locks) {
+    if (!lock.locked) {
+      continue;
+    }
+    if (lock.node == worker->node() &&
+        cluster.fabric().atomic_level() == rdma::AtomicLevel::kGlob) {
+      uint64_t* addr =
+          cluster.hash_table(lock.node, lock.table)->StatePtr(lock.entry_off);
+      // drtm-lint: allow(TX03 chain-lock release on a state word we own, stands in for an RDMA WRITE)
+      htm::StrongStore(addr, init);
+    } else {
+      for (int attempt = 0; attempt < kWriteBackRetries; ++attempt) {
+        if (cluster.fabric().Write(lock.node,
+                                   lock.entry_off + store::kEntryStateOffset,
+                                   &init, sizeof(init)) ==
+            rdma::OpStatus::kOk) {
+          break;
+        }
+        SleepUs(1000);
+      }
+    }
+    lock.locked = false;
+  }
 }
 
 // --- read-only transactions ----------------------------------------------------

@@ -134,6 +134,30 @@ class Worker {
   AbortMixWindow abort_mix_;
 };
 
+// A record whose exclusive lock spans a whole chopped-transaction chain
+// (paper §4.6): acquired before the first piece runs, held across every
+// piece, released only after the last piece committed. Pieces mark the
+// matching declared refs chain-locked so their own acquire/release
+// machinery skips them and tolerates observing the (held-by-us) lock.
+struct ChainLock {
+  int table = 0;
+  uint64_t key = 0;
+  int node = -1;
+  uint64_t entry_off = ~uint64_t{0};
+  bool locked = false;
+};
+
+// Acquires every chain lock (resolving owner + entry offset) in global
+// <table, key> order, waiting out holders and lease expiry like the 2PL
+// fallback. When logging is on, a lock-ahead record is appended under
+// chain_id first, so recovery can release the chain locks of a crashed
+// node (§4.6). On any failure everything acquired is released. Returns
+// kCommitted on success, kAborted on conflict/missing-record exhaustion,
+// kNodeFailure when an owner node is down.
+TxnStatus AcquireChainLocks(Worker* worker, uint64_t chain_id,
+                            std::vector<ChainLock>* locks);
+void ReleaseChainLocks(Worker* worker, std::vector<ChainLock>* locks);
+
 class Transaction {
  public:
   using Body = std::function<bool(Transaction&)>;
@@ -143,6 +167,11 @@ class Transaction {
   // --- declaration (before Run) --------------------------------------------
   void AddRead(int table, uint64_t key);
   void AddWrite(int table, uint64_t key);
+  // Marks a declared record as covered by a ChainLock held by the
+  // enclosing chopped transaction: this piece neither acquires nor
+  // releases it, and a write lock observed on it is (necessarily) our
+  // own chain lock, not a conflict.
+  void MarkChainLocked(int table, uint64_t key);
 
   // Runs the body to commit (HTM path with retries, then fallback). The
   // body may execute several times and must be idempotent in its effects
@@ -153,6 +182,12 @@ class Transaction {
   // Declared hash-table records:
   bool Read(int table, uint64_t key, void* out);
   bool Write(int table, uint64_t key, const void* value);
+  // Partial write of [offset, offset+len) within a declared record's
+  // value. The workhorse of chopped large-value updates: each piece
+  // writes only its slice, so the piece's HTM write set holds the
+  // slice's lines instead of the whole value's.
+  bool WriteRange(int table, uint64_t key, uint32_t offset, const void* data,
+                  uint32_t len);
 
   // Dynamic (undeclared) read of a *local* hash record, for read sets
   // discovered during execution (paper section 4.1 pairs this with a
@@ -202,6 +237,9 @@ class Transaction {
     bool locked = false;  // exclusive lock held by us
     bool leased = false;
     bool dirty = false;
+    // Covered by an enclosing chain lock: skip acquire/release, and an
+    // observed write lock is our own (the chain holds it continuously).
+    bool chain_locked = false;
   };
 
   // Local structural operations buffered by the fallback path until after
@@ -275,6 +313,8 @@ class Transaction {
   // In-body helpers.
   bool LocalReadInHtm(Ref& ref, void* out);
   bool LocalWriteInHtm(Ref& ref, const void* value);
+  bool LocalWriteRangeInHtm(Ref& ref, uint32_t offset, const void* data,
+                            uint32_t len);
   void RecordWalUpdate(const Ref& ref, const void* value);
 
   // After a commit became visible: reports every written record (and

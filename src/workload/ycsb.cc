@@ -1,7 +1,12 @@
 #include "src/workload/ycsb.h"
 
+#include <algorithm>
 #include <cstring>
+#include <memory>
 #include <vector>
+
+#include "src/txn/chop_planner.h"
+#include "src/txn/chopping.h"
 
 namespace drtm {
 namespace workload {
@@ -54,6 +59,10 @@ uint64_t YcsbDb::PickKey(txn::Worker* worker) {
 }
 
 bool YcsbDb::IsReadOp(Xoshiro256& rng) const {
+  if (params_.update_fraction >= 0) {
+    return rng.NextBounded(10000) >=
+           static_cast<uint64_t>(params_.update_fraction * 10000);
+  }
   switch (params_.mix) {
     case Mix::kA:
       return rng.NextBounded(100) < 50;
@@ -95,6 +104,11 @@ YcsbDb::OpResult YcsbDb::RunTxn(txn::Worker* worker) {
 
   OpResult result;
   std::vector<uint8_t> buf(params_.value_size);
+  // A/B updates overwrite the value with fresh content; only F derives
+  // the new value from a read (read-modify-write), per the YCSB core
+  // workload definitions.
+  const bool rmw = params_.mix == Mix::kF;
+  const uint8_t stamp = static_cast<uint8_t>(worker->rng().Next() | 1);
 
   if (all_reads && params_.use_read_only_path) {
     txn::ReadOnlyTransaction ro(worker);
@@ -111,6 +125,53 @@ YcsbDb::OpResult YcsbDb::RunTxn(txn::Worker* worker) {
     return result;
   }
 
+  // Capacity-bound single-record update on a *local* key: values past
+  // the HTM write-line budget abort every HTM attempt, so slice the
+  // write into a chopped chain ("ycsb.update" catalog entry) — piece 0
+  // reads and mutates the value, every piece WriteRanges one budget-
+  // sized slice, and the record's exclusive lock spans the chain.
+  // Remote writes never enter the HTM write set and stay monolithic.
+  if (ops.size() == 1 && !ops[0].read) {
+    const uint64_t key = ops[0].key;
+    const size_t slices =
+        txn::ChopSlicesForValue(*cluster_, params_.value_size);
+    if (slices > 1 &&
+        cluster_->PartitionOf(table_, key) == worker->node()) {
+      auto value = std::make_shared<std::vector<uint8_t>>(params_.value_size);
+      const uint32_t slice_bytes =
+          static_cast<uint32_t>(txn::ChopSliceBytes(*cluster_));
+      txn::ChoppedTransaction chain;
+      chain.AddChainLock(table_, key);
+      chain.AddPiece(
+          [this, key](txn::Transaction& t) { t.AddWrite(table_, key); },
+          [this, key, value, slice_bytes, stamp, rmw](txn::Transaction& t) {
+            if (rmw) {
+              if (!t.Read(table_, key, value->data())) {
+                return false;
+              }
+              (*value)[0] = static_cast<uint8_t>((*value)[0] + 1);
+            } else {
+              std::fill(value->begin(), value->end(), stamp);
+            }
+            const uint32_t len =
+                std::min<uint32_t>(slice_bytes, params_.value_size);
+            return t.WriteRange(table_, key, 0, value->data(), len);
+          });
+      for (uint32_t off = slice_bytes; off < params_.value_size;
+           off += slice_bytes) {
+        const uint32_t len =
+            std::min<uint32_t>(slice_bytes, params_.value_size - off);
+        chain.AddPiece(
+            [this, key](txn::Transaction& t) { t.AddWrite(table_, key); },
+            [this, key, value, off, len](txn::Transaction& t) {
+              return t.WriteRange(table_, key, off, value->data() + off, len);
+            });
+      }
+      result.committed = chain.Run(worker) == txn::TxnStatus::kCommitted;
+      return result;
+    }
+  }
+
   txn::Transaction txn(worker);
   for (const Op& op : ops) {
     if (op.read) {
@@ -122,14 +183,17 @@ YcsbDb::OpResult YcsbDb::RunTxn(txn::Worker* worker) {
   result.committed =
       txn.Run([&](txn::Transaction& t) {
         for (const Op& op : ops) {
-          if (!t.Read(table_, op.key, buf.data())) {
-            return false;
+          if (op.read || rmw) {
+            if (!t.Read(table_, op.key, buf.data())) {
+              return false;
+            }
           }
           if (!op.read) {
-            // Update: YCSB overwrites a field; F additionally derives the
-            // new value from the read (read-modify-write) — both amount
-            // to a value mutation here.
-            buf[0] = static_cast<uint8_t>(buf[0] + 1);
+            if (rmw) {
+              buf[0] = static_cast<uint8_t>(buf[0] + 1);
+            } else {
+              std::fill(buf.begin(), buf.end(), stamp);
+            }
             if (!t.Write(table_, op.key, buf.data())) {
               return false;
             }

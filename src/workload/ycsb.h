@@ -42,6 +42,10 @@ class YcsbDb {
     // Read-only transactions (single- or multi-read) go through the
     // lease-based read-only scheme instead of HTM when true.
     bool use_read_only_path = true;
+    // >= 0 overrides the mix's read/update split with this update
+    // probability (1.0 = update-only). The capacity benchmarks use it to
+    // isolate the write path the HTM line budget actually constrains.
+    double update_fraction = -1;
   };
 
   YcsbDb(txn::Cluster* cluster, const Params& params);

@@ -1,0 +1,229 @@
+// ChopPlanner unit tests: footprint-threshold piece splitting (an
+// under-budget footprint stays monolithic, an over-budget one chops),
+// chain-lock derivation, first-piece-only user-abort, and the
+// large-value WriteRange slicing helpers.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/txn/chop_planner.h"
+#include "src/txn/cluster.h"
+#include "src/txn/transaction.h"
+
+namespace drtm {
+namespace txn {
+namespace {
+
+class ChopPlannerTest : public ::testing::Test {
+ protected:
+  // value_size 192 -> 4 write lines per local record (3 value + header).
+  void SetUpCluster(size_t max_write_lines,
+                    bool enable_planner = true) {
+    ClusterConfig config;
+    config.num_nodes = 2;
+    config.workers_per_node = 1;
+    config.region_bytes = 24 << 20;
+    config.htm.max_write_lines = max_write_lines;
+    config.enable_chop_planner = enable_planner;
+    cluster_ = std::make_unique<Cluster>(config);
+    TableSpec spec;
+    spec.value_size = 192;
+    spec.partition = [](uint64_t key) { return static_cast<int>(key % 2); };
+    table_ = cluster_->AddTable(spec);
+    cluster_->Start();
+    std::vector<uint8_t> value(192, 0);
+    for (uint64_t k = 0; k < 64; ++k) {
+      value[0] = static_cast<uint8_t>(k);
+      cluster_->hash_table(cluster_->PartitionOf(table_, k), table_)
+          ->Insert(k, value.data());
+    }
+  }
+  void TearDown() override {
+    if (cluster_ != nullptr) {
+      cluster_->Stop();
+    }
+  }
+
+  // A fragment incrementing byte 1 of a (local-to-node-0) record.
+  ChopPlanner::Fragment BumpFragment(uint64_t key) {
+    ChopPlanner::Fragment fragment;
+    fragment.records = {{table_, key, true}};
+    fragment.body = [this, key](Transaction& t) {
+      uint8_t value[192];
+      if (!t.Read(table_, key, value)) {
+        return false;
+      }
+      ++value[1];
+      return t.Write(table_, key, value);
+    };
+    return fragment;
+  }
+
+  uint8_t ByteOf(uint64_t key, size_t index) {
+    uint8_t value[192];
+    EXPECT_TRUE(
+        cluster_->hash_table(cluster_->PartitionOf(table_, key), table_)
+            ->Get(key, value));
+    return value[index];
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  int table_;
+};
+
+TEST_F(ChopPlannerTest, UnderBudgetStaysMonolithic) {
+  SetUpCluster(/*max_write_lines=*/512);
+  ChopPlanner planner(cluster_.get(), 0, "tpcc.new_order");
+  for (uint64_t k = 0; k < 8; ++k) {
+    planner.AddFragment(BumpFragment(k * 2));  // 8 local writes = 32 lines
+  }
+  const ChopPlanner::Plan plan = planner.BuildPlan();
+  EXPECT_FALSE(plan.chopped);
+  ASSERT_EQ(plan.pieces.size(), 1u);
+  EXPECT_EQ(plan.pieces[0].size(), 8u);
+  EXPECT_TRUE(plan.chain_locks.empty());
+
+  Worker worker(cluster_.get(), 0, 0);
+  EXPECT_EQ(planner.Run(&worker), TxnStatus::kCommitted);
+  for (uint64_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(ByteOf(k * 2, 1), 1);
+  }
+}
+
+TEST_F(ChopPlannerTest, OverBudgetChopsIntoBudgetedPieces) {
+  // 4 lines per local write, budget 16/2 = 8 lines -> 2 fragments per
+  // piece, 8 fragments -> 4 pieces.
+  SetUpCluster(/*max_write_lines=*/16);
+  ChopPlanner planner(cluster_.get(), 0, "tpcc.new_order");
+  for (uint64_t k = 0; k < 8; ++k) {
+    planner.AddFragment(BumpFragment(k * 2));
+  }
+  const ChopPlanner::Plan plan = planner.BuildPlan();
+  EXPECT_TRUE(plan.chopped);
+  EXPECT_EQ(plan.pieces.size(), 4u);
+  // Disjoint local records written by exactly one piece each: no chain
+  // locks required.
+  EXPECT_TRUE(plan.chain_locks.empty());
+
+  Worker worker(cluster_.get(), 0, 0);
+  EXPECT_EQ(planner.Run(&worker), TxnStatus::kCommitted);
+  for (uint64_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(ByteOf(k * 2, 1), 1);
+  }
+}
+
+TEST_F(ChopPlannerTest, DisabledPlannerForcesMonolithic) {
+  SetUpCluster(/*max_write_lines=*/16, /*enable_planner=*/false);
+  ChopPlanner planner(cluster_.get(), 0, "tpcc.new_order");
+  for (uint64_t k = 0; k < 8; ++k) {
+    planner.AddFragment(BumpFragment(k * 2));
+  }
+  const ChopPlanner::Plan plan = planner.BuildPlan();
+  EXPECT_FALSE(plan.chopped);
+  EXPECT_EQ(plan.pieces.size(), 1u);
+}
+
+TEST_F(ChopPlannerTest, UnknownCatalogEntryNeverChops) {
+  SetUpCluster(/*max_write_lines=*/16);
+  EXPECT_EQ(FindChopCatalog("no.such.txn"), nullptr);
+  ChopPlanner planner(cluster_.get(), 0, "no.such.txn");
+  for (uint64_t k = 0; k < 8; ++k) {
+    planner.AddFragment(BumpFragment(k * 2));
+  }
+  EXPECT_FALSE(planner.BuildPlan().chopped);
+}
+
+TEST_F(ChopPlannerTest, CrossPieceWriteIsChainLocked) {
+  SetUpCluster(/*max_write_lines=*/16);
+  ChopPlanner planner(cluster_.get(), 0, "tpcc.new_order");
+  // Key 0 written by the first and last fragment; with 4-line fragments
+  // and an 8-line piece budget they land in different pieces.
+  planner.AddFragment(BumpFragment(0));
+  for (uint64_t k = 1; k < 7; ++k) {
+    planner.AddFragment(BumpFragment(k * 2));
+  }
+  planner.AddFragment(BumpFragment(0));
+  const ChopPlanner::Plan plan = planner.BuildPlan();
+  ASSERT_TRUE(plan.chopped);
+  ASSERT_EQ(plan.chain_locks.size(), 1u);
+  EXPECT_EQ(plan.chain_locks[0].first, table_);
+  EXPECT_EQ(plan.chain_locks[0].second, 0u);
+
+  Worker worker(cluster_.get(), 0, 0);
+  EXPECT_EQ(planner.Run(&worker), TxnStatus::kCommitted);
+  EXPECT_EQ(ByteOf(0, 1), 2);  // bumped by both pieces
+  // The chain lock was released after the last piece.
+  Transaction probe(&worker);
+  probe.AddWrite(table_, 0);
+  EXPECT_EQ(probe.Run([this](Transaction& t) {
+    uint8_t value[192];
+    return t.Read(table_, 0, value);
+  }),
+            TxnStatus::kCommitted);
+}
+
+TEST_F(ChopPlannerTest, RemoteWriteInLaterPieceIsChainLocked) {
+  SetUpCluster(/*max_write_lines=*/16);
+  ChopPlanner planner(cluster_.get(), 0, "tpcc.new_order");
+  for (uint64_t k = 0; k < 6; ++k) {
+    planner.AddFragment(BumpFragment(k * 2));
+  }
+  planner.AddFragment(BumpFragment(1));  // remote (node 1), lands late
+  const ChopPlanner::Plan plan = planner.BuildPlan();
+  ASSERT_TRUE(plan.chopped);
+  ASSERT_EQ(plan.chain_locks.size(), 1u);
+  EXPECT_EQ(plan.chain_locks[0].second, 1u);
+
+  Worker worker(cluster_.get(), 0, 0);
+  EXPECT_EQ(planner.Run(&worker), TxnStatus::kCommitted);
+  EXPECT_EQ(ByteOf(1, 1), 1);
+}
+
+TEST_F(ChopPlannerTest, FirstPieceUserAbortAbortsWholeChain) {
+  SetUpCluster(/*max_write_lines=*/16);
+  ChopPlanner planner(cluster_.get(), 0, "tpcc.new_order");
+  ChopPlanner::Fragment aborter = BumpFragment(0);
+  aborter.may_user_abort = true;
+  aborter.body = [](Transaction&) { return false; };
+  planner.AddFragment(std::move(aborter));
+  for (uint64_t k = 1; k < 8; ++k) {
+    planner.AddFragment(BumpFragment(k * 2));
+  }
+  ASSERT_TRUE(planner.BuildPlan().chopped);
+
+  Worker worker(cluster_.get(), 0, 0);
+  EXPECT_EQ(planner.Run(&worker), TxnStatus::kUserAbort);
+  // Nothing committed: later pieces never ran.
+  for (uint64_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(ByteOf(k * 2, 1), 0);
+  }
+}
+
+TEST_F(ChopPlannerTest, SliceHelpersCoverLargeValues) {
+  SetUpCluster(/*max_write_lines=*/512);
+  // 36 KB value: 577 lines > 512 -> must slice; with the near-full slice
+  // budget (504 lines, 502-line payload) that is 2 slices.
+  EXPECT_EQ(ChopSlicesForValue(*cluster_, 36864), 2u);
+  // Values within the budget stay monolithic.
+  EXPECT_EQ(ChopSlicesForValue(*cluster_, 4096), 1u);
+  // Slices cover the value exactly.
+  const size_t slice = ChopSliceBytes(*cluster_);
+  EXPECT_GE(slice * ChopSlicesForValue(*cluster_, 36864), size_t{36864});
+}
+
+TEST_F(ChopPlannerTest, DeliveryCatalogPinsOneFragmentPerPiece) {
+  SetUpCluster(/*max_write_lines=*/512);
+  ChopPlanner planner(cluster_.get(), 0, "tpcc.delivery");
+  for (uint64_t k = 0; k < 3; ++k) {
+    planner.AddFragment(BumpFragment(k * 2));
+  }
+  const ChopPlanner::Plan plan = planner.BuildPlan();
+  EXPECT_TRUE(plan.chopped);
+  EXPECT_EQ(plan.pieces.size(), 3u);
+}
+
+}  // namespace
+}  // namespace txn
+}  // namespace drtm

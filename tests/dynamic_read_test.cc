@@ -185,8 +185,9 @@ TEST_F(DynamicReadTest, ChoppedTransactionLogsChopInfo) {
         });
   }
   ASSERT_EQ(chain.Run(&worker), TxnStatus::kCommitted);
-  // One chop-info record per piece, sharing the chain id, with ascending
-  // piece indices.
+  // One remaining-piece record {i, total} ahead of each piece plus the
+  // final {total, total} chain-complete marker, all sharing the chain id,
+  // with ascending piece indices.
   int chop_records = 0;
   uint64_t chain_id = 0;
   cluster_->log(0)->ForEach([&](int, const LogRecord& record) {
@@ -207,7 +208,7 @@ TEST_F(DynamicReadTest, ChoppedTransactionLogsChopInfo) {
     EXPECT_EQ(total, 3u);
     ++chop_records;
   });
-  EXPECT_EQ(chop_records, 3);
+  EXPECT_EQ(chop_records, 4);
 }
 
 }  // namespace

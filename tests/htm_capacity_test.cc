@@ -12,6 +12,9 @@
 #include "src/htm/version_table.h"
 #include "src/stat/abort_taxonomy.h"
 #include "src/stat/metrics.h"
+#include "src/txn/cluster.h"
+#include "src/txn/transaction.h"
+#include "src/workload/tpcc.h"
 
 namespace drtm {
 namespace {
@@ -129,6 +132,67 @@ TEST(HtmRetry, BareRetryHintClassifiesAsRetry) {
       stat::Registry::Global().TakeSnapshot().DeltaSince(before);
   EXPECT_EQ(delta.Counter("htm.abort.retry"), 1u);
   EXPECT_EQ(delta.Counter("htm.abort.total"), 1u);
+}
+
+// End-to-end capacity stretching: with a write-line budget too small for
+// a full new-order body, the monolithic transaction capacity-aborts every
+// HTM attempt and commits only through the 2PL fallback; the chop planner
+// splits the same work into budget-sized pieces that commit in HTM.
+TEST(HtmCapacity, ChoppedNewOrderAvoidsCapacityFallback) {
+  struct Outcome {
+    txn::TxnStats stats;
+    uint64_t chains = 0;
+  };
+  auto run = [](bool chop) {
+    txn::ClusterConfig config;
+    config.num_nodes = 1;
+    config.workers_per_node = 1;
+    config.region_bytes = 96 << 20;
+    config.htm.max_write_lines = 32;  // a 15-item body needs ~2x this
+    config.enable_chop_planner = chop;
+    txn::Cluster cluster(config);
+    workload::TpccDb::Params params;
+    params.warehouses = 1;
+    params.customers_per_district = 40;
+    params.items = 120;
+    params.name_count = 10;
+    params.initial_orders_per_district = 6;
+    params.new_order_rollback = 0.0;
+    workload::TpccDb db(&cluster, params);
+    cluster.Start();
+    db.Load();
+    const stat::Snapshot before = stat::Registry::Global().TakeSnapshot();
+    txn::Worker worker(&cluster, 0, 0);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_EQ(db.RunNewOrderWithCross(&worker, 0.0),
+                txn::TxnStatus::kCommitted);
+    }
+    EXPECT_TRUE(db.CheckConsistency());
+    Outcome out;
+    out.stats = worker.stats();
+    out.chains = stat::Registry::Global()
+                     .TakeSnapshot()
+                     .DeltaSince(before)
+                     .Counter("txn.chop.chains");
+    cluster.Stop();
+    return out;
+  };
+
+  const Outcome monolithic = run(/*chop=*/false);
+  const Outcome chopped = run(/*chop=*/true);
+
+  // The baseline is capacity-bound: HTM attempts overflow and the commits
+  // come from the fallback path.
+  EXPECT_GT(monolithic.stats.htm_capacity_aborts, 0u);
+  EXPECT_GT(monolithic.stats.fallbacks, 0u);
+  EXPECT_EQ(monolithic.chains, 0u);
+
+  // Chopping ran the same 100 orders as chains of budget-sized pieces and
+  // collapsed both the capacity aborts and the fallback rate.
+  EXPECT_EQ(chopped.chains, 100u);
+  EXPECT_LT(chopped.stats.htm_capacity_aborts,
+            monolithic.stats.htm_capacity_aborts);
+  EXPECT_LT(chopped.stats.fallbacks, monolithic.stats.fallbacks);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include "src/chaos/injector.h"
 #include "src/htm/htm.h"
 #include "src/store/kv_layout.h"
+#include "src/txn/chopping.h"
 #include "src/txn/cluster.h"
 #include "src/txn/lock_state.h"
 #include "src/txn/nvram_log.h"
@@ -202,6 +203,68 @@ TEST_F(RecoveryFaultTest, CrashDuringFallbackLockReleaseIsRecovered) {
     total += value;
   }
   EXPECT_EQ(total, 2 * kInitialBalance);
+}
+
+TEST_F(RecoveryFaultTest, CrashMidChainResumesFromLoggedRemainder) {
+  SetUpCluster(2);
+  Worker worker(cluster_.get(), 0, 0);
+
+  // A 3-piece chain on node-0 keys 0/2/4, each piece adding 100 to its
+  // key, with the chain's exclusive lock on key 0.
+  auto build = [this](ChoppedTransaction* chain) {
+    chain->AddChainLock(table_, 0);
+    for (uint64_t piece = 0; piece < 3; ++piece) {
+      const uint64_t key = piece * 2;
+      chain->AddPiece(
+          [this, key](Transaction& t) { t.AddWrite(table_, key); },
+          [this, key](Transaction& t) {
+            uint64_t v = 0;
+            if (!t.Read(table_, key, &v)) {
+              return false;
+            }
+            v += 100;
+            return t.Write(table_, key, &v);
+          });
+    }
+  };
+
+  // Die at piece 2's resume point: pieces 0 and 1 committed, the {2,3}
+  // remaining-piece record is logged, the chain lock stays held.
+  ChoppedTransaction chain;
+  build(&chain);
+  ArmOne("log.chop", 3, chaos::FaultKind::kCrashPoint);
+  ASSERT_EQ(chain.Run(&worker), TxnStatus::kNodeFailure);
+  chaos::Injector::Global().Disarm();
+
+  store::ClusterHashTable* host = cluster_->hash_table(0, table_);
+  const uint64_t entry = host->FindEntry(0);
+  ASSERT_EQ(htm::StrongLoad(host->StatePtr(entry)), MakeWriteLocked(0));
+
+  // Recovery reports the chain's resume point from the logged remainder;
+  // the lock hosted by the dead node itself is cleared once it revives
+  // (same two-pass shape as the fallback-release test above).
+  cluster_->Crash(0);
+  RecoveryManager recovery(cluster_.get());
+  recovery.Recover(0);
+  cluster_->Revive(0);
+  const auto report = recovery.Recover(0);
+  ASSERT_EQ(report.pending_chains.size(), 1u);
+  EXPECT_EQ(report.pending_chains[0].next_piece, 2u);
+  EXPECT_EQ(report.pending_chains[0].total, 3u);
+  EXPECT_EQ(htm::StrongLoad(host->StatePtr(entry)), kStateInit);
+
+  // A surviving worker finishes the chain from the reported piece; the
+  // committed prefix is never re-run.
+  ChoppedTransaction resume;
+  build(&resume);
+  ASSERT_EQ(resume.RunFrom(&worker, report.pending_chains[0].next_piece),
+            TxnStatus::kCommitted);
+
+  for (uint64_t k = 0; k <= 4; k += 2) {
+    uint64_t value = 0;
+    ASSERT_TRUE(cluster_->hash_table(0, table_)->Get(k, &value));
+    EXPECT_EQ(value, kInitialBalance + 100) << "key " << k;
+  }
 }
 
 }  // namespace

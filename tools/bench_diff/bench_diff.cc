@@ -84,9 +84,9 @@ Direction DirectionForKey(const std::string& value_key) {
       return Direction::kLowerIsBetter;
     }
   }
-  for (const char* cost : {"latency", "abort", "fallback", "reads",
-                           "doorbells", "hops", "retries", "shed", "stale",
-                           "violations"}) {
+  for (const char* cost : {"latency", "abort", "fallback", "capacity",
+                           "reads", "doorbells", "hops", "retries", "shed",
+                           "stale", "violations"}) {
     if (Contains(value_key, cost)) {
       return Direction::kLowerIsBetter;
     }

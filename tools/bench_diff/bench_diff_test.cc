@@ -44,6 +44,8 @@ TEST(DirectionForKey, ClassifiesMetricFamilies) {
   EXPECT_EQ(DirectionForKey("doorbells_per_lookup"),
             Direction::kLowerIsBetter);
   EXPECT_EQ(DirectionForKey("abort_rate"), Direction::kLowerIsBetter);
+  EXPECT_EQ(DirectionForKey("capacity_aborts"), Direction::kLowerIsBetter);
+  EXPECT_EQ(DirectionForKey("fallbacks"), Direction::kLowerIsBetter);
   EXPECT_EQ(DirectionForKey("shed"), Direction::kLowerIsBetter);
   EXPECT_EQ(DirectionForKey("stale_serves"), Direction::kLowerIsBetter);
   EXPECT_EQ(DirectionForKey("invariant_violations"),

@@ -408,6 +408,7 @@ ChaosRunResult RunChaos(uint64_t seed, const ChaosRunConfig& config) {
   cluster_config.workers_per_node = std::max(1, config.workers_per_node);
   cluster_config.region_bytes = size_t{48} << 20;
   cluster_config.logging = true;
+  cluster_config.group_commit = config.group_commit;
   cluster_config.latency = rdma::LatencyModel::Zero();
   // Short leases: with the default 10 ms RO lease, a chaos-shifted
   // pile-up of read-only renewals on one hot pair can make every writer

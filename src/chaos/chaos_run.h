@@ -56,6 +56,11 @@ struct ChaosRunConfig {
   // Determinism mode: one worker total, ops run inline on the calling
   // thread so arrival ordinals are totally ordered.
   bool single_threaded = false;
+  // Epoch-batched group commit (ClusterConfig::group_commit): commits
+  // acknowledge at the epoch flush, and crashes can land between a
+  // record and its epoch seal — the torn-tail window the
+  // log.epoch.seal/log.epoch.flush points exercise.
+  bool group_commit = false;
 };
 
 struct ChaosRunResult {

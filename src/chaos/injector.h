@@ -15,6 +15,13 @@
 //   log.replay
 //       NvramLog::ForEach, per record — a kCrashPoint truncates a
 //       recovery scan mid-replay.
+//   log.epoch.seal
+//       NvramLog::SealAndSubmit, before the checksum/backpatch — a
+//       kCrashPoint here dies with records staged in an unsealed epoch,
+//       which recovery must treat as invisible (torn tail).
+//   log.epoch.flush
+//       NvramLog flush submission (the emulated doorbell) — a kAbandon
+//       drops one flush; the next epoch's cumulative end-LSN heals it.
 //   log.chop
 //       the chopped-transaction runtime, between a chain's remaining-piece
 //       record and the piece body — a kCrashPoint dies with pieces < k

@@ -48,9 +48,25 @@ TxnStatus ChoppedTransaction::RunFrom(Worker* worker, size_t first_piece) {
         // highest logged index is the chain's resume point (§4.6).
         const ChopInfo info{static_cast<uint32_t>(i),
                             static_cast<uint32_t>(pieces_.size())};
-        cluster.log(worker->node())
-            ->Append(worker->worker_id(), LogType::kChopInfo, chain_id,
-                     &info, sizeof(info));
+        NvramLog* log = cluster.log(worker->node());
+        if (!log->Append(worker->worker_id(), LogType::kChopInfo, chain_id,
+                         &info, sizeof(info)) &&
+            (!log->ReclaimSpace(worker->worker_id()) ||
+             !log->Append(worker->worker_id(), LogType::kChopInfo, chain_id,
+                          &info, sizeof(info)))) {
+          if (i == first_piece) {
+            // Nothing from this segment committed yet; surface as a
+            // retryable abort rather than running without a resume marker.
+            ReleaseChainLocks(worker, &chain_locks_);
+            return TxnStatus::kAborted;
+          }
+          // Mid-chain: earlier pieces committed, so keep the locks and let
+          // the caller resume once log space frees up.
+          return TxnStatus::kAborted;
+        }
+        // The resume marker must be recoverable before the piece makes any
+        // of its effects visible (it runs under already-held chain locks).
+        log->Externalize(worker->worker_id());
       }
       if (chaos::Check(kChopPoint, worker->node()).kind ==
           chaos::Decision::Kind::kAbandon) {
@@ -86,9 +102,16 @@ TxnStatus ChoppedTransaction::RunFrom(Worker* worker, size_t first_piece) {
       // nothing left to resume.
       const ChopInfo info{static_cast<uint32_t>(pieces_.size()),
                           static_cast<uint32_t>(pieces_.size())};
-      cluster.log(worker->node())
-          ->Append(worker->worker_id(), LogType::kChopInfo, chain_id, &info,
-                   sizeof(info));
+      NvramLog* log = cluster.log(worker->node());
+      if (!log->Append(worker->worker_id(), LogType::kChopInfo, chain_id,
+                       &info, sizeof(info)) &&
+          log->ReclaimSpace(worker->worker_id())) {
+        log->Append(worker->worker_id(), LogType::kChopInfo, chain_id, &info,
+                    sizeof(info));
+      }
+      // Seal before the release below: resuming a finished chain would
+      // re-run its last piece, so the marker must outlive the locks.
+      log->Externalize(worker->worker_id());
     }
     ReleaseChainLocks(worker, &chain_locks_);
   }

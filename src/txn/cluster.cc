@@ -112,11 +112,16 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
         static_cast<size_t>(config.num_nodes));
     // NVRAM segments consume registered memory; only reserve them when
     // durability is on.
+    LogEpochConfig epoch;
+    epoch.group_commit = config.group_commit;
+    epoch.epoch_bytes = config.durability_epoch_bytes;
+    epoch.epoch_us = config.durability_epoch_us;
+    epoch.latency = config.latency;
     logs_.push_back(config.logging
                         ? std::make_unique<NvramLog>(
                               &fabric_->memory(n),
                               config.workers_per_node + 1,
-                              config.log_segment_bytes)
+                              config.log_segment_bytes, epoch)
                         : nullptr);
     server_running_.push_back(std::make_unique<std::atomic<bool>>(false));
     txn_seq_.push_back(std::make_unique<std::atomic<uint64_t>>(1));

@@ -80,6 +80,17 @@ struct ClusterConfig {
 
   bool logging = false;
   size_t log_segment_bytes = size_t{8} << 20;
+  // Group-commit durability pipeline (ISSUE 9 / ROADMAP item 3). Off,
+  // every log record seals + flushes its own epoch and the commit path
+  // waits out the flush — the synchronous per-record baseline. On,
+  // records batch into per-worker epochs sealed at the byte/time
+  // thresholds below (or at externalization barriers), flushed
+  // asynchronously; transactions still commit at XEND but are durably
+  // acknowledged only at their epoch's flush (Worker::WaitDurable /
+  // NvramLog::DurableUpTo).
+  bool group_commit = false;
+  size_t durability_epoch_bytes = size_t{64} << 10;
+  uint64_t durability_epoch_us = 200;
   size_t location_cache_bytes = size_t{16} << 20;
   bool enable_location_cache = true;
   // Adaptive install admission for the location caches: a shard that is

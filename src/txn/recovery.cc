@@ -57,6 +57,9 @@ RecoveryManager::Report RecoveryManager::Recover(int crashed_node) {
               state.chop_total = total;
             }
             break;
+          case LogType::kEpoch:
+          case LogType::kPad:
+            break;  // framing records never surface through ForEach
         }
       });
 

@@ -133,6 +133,13 @@ Worker::Worker(Cluster* cluster, int node, int worker_id)
       htm_(cluster->config().htm),
       rng_(0x5bd1e995u * static_cast<uint64_t>(node * 131 + worker_id + 7)) {}
 
+void Worker::WaitDurable(uint64_t txn_id) {
+  if (!cluster_->config().logging) {
+    return;
+  }
+  cluster_->log(node_)->WaitDurable(worker_id_, txn_id);
+}
+
 void Worker::Backoff(int attempt) {
   const int shift = attempt < 8 ? attempt : 8;
   const uint64_t ceiling = uint64_t{1} << shift;
@@ -530,9 +537,21 @@ Transaction::StartResult Transaction::StartPhase() {
       }
     }
     const std::vector<uint8_t> payload = NvramLog::EncodeLocks(locks);
-    cluster_.log(worker_->node())
-        ->Append(worker_->worker_id(), LogType::kLockAhead, txn_id_,
-                 payload.data(), payload.size());
+    NvramLog* log = cluster_.log(worker_->node());
+    if (!log->Append(worker_->worker_id(), LogType::kLockAhead, txn_id_,
+                     payload.data(), payload.size()) &&
+        (!log->ReclaimSpace(worker_->worker_id()) ||
+         !log->Append(worker_->worker_id(), LogType::kLockAhead, txn_id_,
+                      payload.data(), payload.size()))) {
+      // Log full even after reclaiming: without a lock-ahead record a
+      // pre-commit crash would strand the remote locks, so the
+      // transaction must not acquire them. Retry as a conflict.
+      return StartResult::kConflict;
+    }
+    // Externalization barrier: the lock-ahead record must be
+    // recovery-visible (sealed) before any remote lock CAS lands, or a
+    // crash inside the locked window could not be repaired (§4.6).
+    log->Externalize(worker_->worker_id());
   }
 
   std::vector<Ref*> remote;
@@ -741,10 +760,14 @@ void Transaction::WriteWalInHtm() {
     return;
   }
   // Inside the HTM region: the record becomes durable iff XEND commits
-  // (all-or-nothing), which is what recovery keys off (§4.6).
-  cluster_.log(worker_->node())
-      ->Append(worker_->worker_id(), LogType::kWriteAhead, txn_id_,
-               wal_buffer_.data(), wal_buffer_.size());
+  // (all-or-nothing), which is what recovery keys off (§4.6). A full
+  // segment cannot be reclaimed here (reclamation takes the flush
+  // mutex), so abort; the retry path reclaims outside the region.
+  if (!cluster_.log(worker_->node())
+           ->Append(worker_->worker_id(), LogType::kWriteAhead, txn_id_,
+                    wal_buffer_.data(), wal_buffer_.size())) {
+    worker_->htm().Abort(kCodeLogFull);
+  }
 }
 
 bool Transaction::WriteBackAndUnlock() {
@@ -935,11 +958,35 @@ TxnStatus Transaction::Run(const Body& body) {
       bool release_clean;
       {
         stat::ScopedTimer commit_phase(Ids().commit_ns);
+        if (cfg_.logging) {
+          bool any_remote_effect = false;
+          for (const Ref& ref : refs_) {
+            any_remote_effect |=
+                ref.locked || (ref.chain_locked && ref.dirty && !ref.local);
+          }
+          if (any_remote_effect) {
+            // Externalization barrier: the WAL staged inside the HTM
+            // region must be sealed (recovery-visible) before the first
+            // remote write-back, or a crash mid-write-back could not be
+            // redone. Local-only commits skip this — their effects live
+            // in whole-system-persistent memory and need no redo — so
+            // their epochs keep batching.
+            cluster_.log(worker_->node())->Externalize(worker_->worker_id());
+          }
+        }
         release_clean = WriteBackAndUnlock();
         if (release_clean && cfg_.logging) {
-          cluster_.log(worker_->node())
-              ->Append(worker_->worker_id(), LogType::kComplete, txn_id_,
-                       nullptr, 0);
+          NvramLog* log = cluster_.log(worker_->node());
+          if (!log->Append(worker_->worker_id(), LogType::kComplete, txn_id_,
+                           nullptr, 0) &&
+              log->ReclaimSpace(worker_->worker_id())) {
+            // Dropping a Complete is benign (redo is version-gated and
+            // lock release idempotent), but try once more after
+            // reclaiming — the record is what lets the epoch recycle.
+            log->Append(worker_->worker_id(), LogType::kComplete, txn_id_,
+                        nullptr, 0);
+          }
+          log->NoteCommit(worker_->worker_id(), txn_id_);
         }
       }
       if (release_clean) {
@@ -966,7 +1013,14 @@ TxnStatus Transaction::Run(const Body& body) {
       mix.Observe(&mix.capacity);
     } else if (hstatus & htm::kAbortExplicit) {
       const unsigned code = htm::AbortUserCode(hstatus);
-      if (code == kCodeLease) {
+      if (code == kCodeLogFull) {
+        // The in-HTM WAL append found the segment full; reclaim durable
+        // completed epochs out here and retry. Deterministic like a
+        // capacity overflow, so it feeds that bucket.
+        cluster_.log(worker_->node())->ReclaimSpace(worker_->worker_id());
+        ++stats.htm_capacity_aborts;
+        mix.Observe(&mix.capacity);
+      } else if (code == kCodeLease) {
         ++stats.htm_lease_aborts;
         stat::Registry::Global().Add(Ids().lease_abort);
         mix.Observe(&mix.conflict);
@@ -1711,9 +1765,24 @@ TxnStatus Transaction::RunFallback(const Body& body) {
       }
     }
     if (cfg_.logging && !wal_buffer_.empty()) {
-      cluster_.log(worker_->node())
-          ->Append(worker_->worker_id(), LogType::kWriteAhead, txn_id_,
-                   wal_buffer_.data(), wal_buffer_.size());
+      NvramLog* log = cluster_.log(worker_->node());
+      if (!log->Append(worker_->worker_id(), LogType::kWriteAhead, txn_id_,
+                       wal_buffer_.data(), wal_buffer_.size()) &&
+          (!log->ReclaimSpace(worker_->worker_id()) ||
+           !log->Append(worker_->worker_id(), LogType::kWriteAhead, txn_id_,
+                        wal_buffer_.data(), wal_buffer_.size()))) {
+        // Log full even after reclaiming: nothing has been applied yet, so
+        // release the locks and retry the attempt instead of committing
+        // writes that recovery could not redo.
+        ReleaseRemoteLocks();
+        ResetRefsForRetry();
+        worker_->Backoff(attempt);
+        continue;
+      }
+      // The fallback always externalizes effects (strong write-backs and
+      // remote lock releases below), so the WAL epoch must be sealed before
+      // any of them become visible to other nodes.
+      log->Externalize(worker_->worker_id());
     }
 
     // Apply: hash-record write-backs (strong writes abort conflicting HTM
@@ -1816,9 +1885,16 @@ TxnStatus Transaction::RunFallback(const Body& body) {
       }
     }
     if (cfg_.logging && !release_abandoned) {
-      cluster_.log(worker_->node())
-          ->Append(worker_->worker_id(), LogType::kComplete, txn_id_, nullptr,
-                   0);
+      NvramLog* log = cluster_.log(worker_->node());
+      if (!log->Append(worker_->worker_id(), LogType::kComplete, txn_id_,
+                       nullptr, 0) &&
+          log->ReclaimSpace(worker_->worker_id())) {
+        // Losing a Complete record is benign (redo is version-gated and
+        // lock release is idempotent), so a second failure is ignored.
+        log->Append(worker_->worker_id(), LogType::kComplete, txn_id_,
+                    nullptr, 0);
+      }
+      log->NoteCommit(worker_->worker_id(), txn_id_);
     }
     if (!release_abandoned) {
       NotifyCommittedWrites();
@@ -1889,9 +1965,19 @@ TxnStatus AcquireChainLocks(Worker* worker, uint64_t chain_id,
                                 lock.entry_off + store::kEntryStateOffset});
     }
     const std::vector<uint8_t> payload = NvramLog::EncodeLocks(entries);
-    cluster.log(worker->node())
-        ->Append(worker->worker_id(), LogType::kLockAhead, chain_id,
-                 payload.data(), payload.size());
+    NvramLog* log = cluster.log(worker->node());
+    if (!log->Append(worker->worker_id(), LogType::kLockAhead, chain_id,
+                     payload.data(), payload.size()) &&
+        (!log->ReclaimSpace(worker->worker_id()) ||
+         !log->Append(worker->worker_id(), LogType::kLockAhead, chain_id,
+                      payload.data(), payload.size()))) {
+      // Without a durable lock-ahead record a crash mid-chain would strand
+      // the chain locks; abort before acquiring any.
+      return TxnStatus::kAborted;
+    }
+    // Seal so the lock-ahead is recoverable before the first CAS makes the
+    // chain's locks visible to other nodes.
+    log->Externalize(worker->worker_id());
   }
   const uint64_t locked_val =
       MakeWriteLocked(static_cast<uint8_t>(worker->node()));

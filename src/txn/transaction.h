@@ -45,6 +45,8 @@ inline constexpr uint8_t kCodeUser = 1;
 inline constexpr uint8_t kCodeLocked = 2;   // local access hit a 2PL lock
 inline constexpr uint8_t kCodeLease = 3;    // lease confirmation failed
 inline constexpr uint8_t kCodeMissing = 4;  // record vanished mid-run
+inline constexpr uint8_t kCodeLogFull = 5;  // WAL append hit a full log
+                                            // segment; reclaim + retry
 
 struct TxnStats {
   uint64_t committed = 0;
@@ -97,6 +99,12 @@ class Worker {
   Xoshiro256& rng() { return rng_; }
   TxnStats& stats() { return stats_; }
   Histogram& latency_us() { return latency_us_; }
+
+  // Blocks until txn_id — a transaction this worker committed — is
+  // durably acknowledged: its epoch sealed and its flush completed
+  // (NvramLog::WaitDurable). No-op when logging is off, when group
+  // commit is off (commit already waited), or for unknown ids.
+  void WaitDurable(uint64_t txn_id);
 
   // Randomized exponential backoff used between transaction retries.
   void Backoff(int attempt);

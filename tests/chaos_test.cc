@@ -269,6 +269,43 @@ TEST_F(ChaosTest, ScriptedCrashAndReviveRecoversCleanly) {
   EXPECT_GE(result.crashes, 1u);
 }
 
+TEST_F(ChaosTest, GroupCommitCrashAtEpochSealHoldsInvariants) {
+  // A power cut inside the epoch seal leaves the victim's log with an
+  // unsealed tail; recovery must treat it as invisible (no half-epoch
+  // redo) and conservation must still hold after the revive.
+  ChaosRunConfig config;
+  config.workload = ChaosWorkload::kTransfer;
+  config.nodes = 3;
+  config.workers_per_node = 2;
+  config.ops_per_worker = 200;
+  config.group_commit = true;
+  config.plan_script =
+      "# chaos plan seed=0 events=2\n"
+      "event point=log.epoch.seal arrival=6 kind=crash node=1 arg=0\n"
+      "event point=rdma.read.wqe arrival=900 kind=revive node=1 arg=0\n";
+  const ChaosRunResult result = RunChaos(7, config);
+  EXPECT_TRUE(result.ok()) << result.Artifact();
+  EXPECT_GE(result.crashes, 1u);
+}
+
+TEST_F(ChaosTest, GroupCommitLostFlushDoorbellHeals) {
+  // Dropping a flush submission loses one doorbell; the next epoch's
+  // cumulative end-LSN covers it, so commits keep acknowledging and the
+  // invariant sweep stays green.
+  ChaosRunConfig config;
+  config.workload = ChaosWorkload::kTransfer;
+  config.nodes = 3;
+  config.workers_per_node = 2;
+  config.ops_per_worker = 200;
+  config.group_commit = true;
+  config.plan_script =
+      "# chaos plan seed=0 events=2\n"
+      "event point=log.epoch.flush arrival=2 kind=drop node=-1 arg=0\n"
+      "event point=log.epoch.flush arrival=5 kind=drop node=-1 arg=0\n";
+  const ChaosRunResult result = RunChaos(9, config);
+  EXPECT_TRUE(result.ok()) << result.Artifact();
+}
+
 TEST_F(ChaosTest, ArtifactCarriesReproLine) {
   const ChaosRunConfig config = DeterministicConfig();
   const ChaosRunResult result = RunChaos(11, config);

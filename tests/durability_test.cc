@@ -28,6 +28,11 @@ class DurabilityTest : public ::testing::Test {
     config.workers_per_node = 2;
     config.region_bytes = 32 << 20;
     config.logging = true;
+    SetUpClusterWith(config);
+  }
+
+  void SetUpClusterWith(ClusterConfig config) {
+    const int nodes = config.num_nodes;
     cluster_ = std::make_unique<Cluster>(config);
     TableSpec spec;
     spec.value_size = 8;
@@ -356,6 +361,121 @@ TEST_F(DurabilityTest, DetectorDrivenRecoveryClearsLocks) {
   detector.Stop();
   ASSERT_TRUE(recovered.load());
   EXPECT_EQ(htm::StrongLoad(host->StatePtr(entry)), kStateInit);
+}
+
+// --- group commit: the durability point is the epoch flush ------------------
+
+class GroupCommitTest : public DurabilityTest {
+ protected:
+  void SetUpGroupCommit(uint64_t flush_base_ns = 0,
+                        size_t epoch_bytes = size_t{64} << 10) {
+    ClusterConfig config;
+    config.num_nodes = 1;
+    config.workers_per_node = 2;
+    config.region_bytes = 32 << 20;
+    config.logging = true;
+    config.group_commit = true;
+    config.durability_epoch_bytes = epoch_bytes;
+    // Keep the timer out of the way: the tests below seal explicitly.
+    config.durability_epoch_us = 10'000'000;
+    config.latency.flush_base_ns = flush_base_ns;
+    SetUpClusterWith(config);
+  }
+};
+
+TEST_F(GroupCommitTest, NoAckBeforeEpochFlush) {
+  SetUpGroupCommit();
+  NvramLog* log = cluster_->log(0);
+  const char payload[] = "wal";
+  ASSERT_TRUE(log->Append(0, LogType::kWriteAhead, 7, payload,
+                          sizeof(payload)));
+  const uint64_t lsn = log->NoteCommit(0, 7);
+  EXPECT_GT(lsn, 0u);
+  // Committed at XEND but not durably acknowledged: the record sits in an
+  // open epoch, so the durability frontier has not moved.
+  log->Poll(0);
+  EXPECT_EQ(log->DurableUpTo(0), 0u);
+  // Sealing flushes the epoch; with the default free-flush model the
+  // frontier covers the record immediately after.
+  log->Externalize(0);
+  log->WaitDurable(0, 7);
+  EXPECT_GE(log->DurableUpTo(0), lsn);
+}
+
+TEST_F(GroupCommitTest, WaitDurableBlocksUntilCoveringFlush) {
+  SetUpGroupCommit(/*flush_base_ns=*/2'000'000);
+  NvramLog* log = cluster_->log(0);
+  const char payload[] = "wal";
+  ASSERT_TRUE(log->Append(0, LogType::kWriteAhead, 9, payload,
+                          sizeof(payload)));
+  const uint64_t lsn = log->NoteCommit(0, 9);
+  log->Externalize(0);
+  // The flush is in flight for ~2ms; WaitDurable must not return before
+  // the device retires it.
+  log->WaitDurable(0, 9);
+  EXPECT_GE(log->DurableUpTo(0), lsn);
+}
+
+TEST_F(GroupCommitTest, DurabilityFrontierIsMonotone) {
+  SetUpGroupCommit();
+  NvramLog* log = cluster_->log(0);
+  const char payload[] = "wal";
+  uint64_t last = 0;
+  for (uint64_t id = 1; id <= 8; ++id) {
+    ASSERT_TRUE(log->Append(0, LogType::kWriteAhead, id, payload,
+                            sizeof(payload)));
+    log->NoteCommit(0, id);
+    if (id % 2 == 0) {
+      log->Externalize(0);
+      log->WaitDurable(0, id);
+    }
+    const uint64_t now = log->DurableUpTo(0);
+    EXPECT_GE(now, last) << "frontier moved backwards at txn " << id;
+    last = now;
+  }
+  EXPECT_GT(last, 0u);
+}
+
+TEST_F(GroupCommitTest, LocalOnlyCommitsBatchIntoOneEpoch) {
+  SetUpGroupCommit();
+  Worker worker(cluster_.get(), 0, 0);
+  // Local-only transfers commit at XEND without sealing: all their WAL
+  // records batch into the same open epoch.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(Transfer(&worker, 0, 1, 10), TxnStatus::kCommitted);
+  }
+  NvramLog* log = cluster_->log(0);
+  EXPECT_GT(log->UsedBytes(0), 0u);
+  EXPECT_EQ(log->DurableUpTo(0), 0u);
+  // The explicit durability point catches the whole batch up at once.
+  log->Externalize(0);
+  log->Poll(0);
+  EXPECT_GE(log->DurableUpTo(0), log->UsedBytes(0));
+}
+
+TEST_F(GroupCommitTest, ReclaimSpaceRecyclesCompletedEpochs) {
+  SetUpGroupCommit();
+  NvramLog* log = cluster_->log(0);
+  const char payload[] = "wal";
+  ASSERT_TRUE(log->Append(0, LogType::kWriteAhead, 1, payload,
+                          sizeof(payload)));
+  ASSERT_TRUE(log->Append(0, LogType::kComplete, 1, nullptr, 0));
+  log->Externalize(0);
+  log->Poll(0);
+  const uint64_t used_done = log->UsedBytes(0);
+  ASSERT_GT(used_done, 0u);
+  // Epoch 1's every transaction is complete — reclaimable.
+  EXPECT_TRUE(log->ReclaimSpace(0));
+  EXPECT_EQ(log->UsedBytes(0), 0u);
+
+  // An epoch holding an unfinished transaction pins the tail.
+  ASSERT_TRUE(log->Append(0, LogType::kWriteAhead, 2, payload,
+                          sizeof(payload)));
+  log->Externalize(0);
+  log->Poll(0);
+  const uint64_t used_pinned = log->UsedBytes(0);
+  EXPECT_FALSE(log->ReclaimSpace(0));
+  EXPECT_EQ(log->UsedBytes(0), used_pinned);
 }
 
 }  // namespace

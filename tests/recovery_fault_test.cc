@@ -31,12 +31,14 @@ class RecoveryFaultTest : public ::testing::Test {
  protected:
   static constexpr uint64_t kInitialBalance = 1000;
 
-  void SetUpCluster(int nodes, int htm_retry_limit = -1) {
+  void SetUpCluster(int nodes, int htm_retry_limit = -1,
+                    bool group_commit = false) {
     ClusterConfig config;
     config.num_nodes = nodes;
     config.workers_per_node = 2;
     config.region_bytes = 32 << 20;
     config.logging = true;
+    config.group_commit = group_commit;
     if (htm_retry_limit >= 0) {
       config.htm_retry_limit = htm_retry_limit;
     }
@@ -265,6 +267,126 @@ TEST_F(RecoveryFaultTest, CrashMidChainResumesFromLoggedRemainder) {
     ASSERT_TRUE(cluster_->hash_table(0, table_)->Get(k, &value));
     EXPECT_EQ(value, kInitialBalance + 100) << "key " << k;
   }
+}
+
+// --- group commit: crashes at the epoch boundary ----------------------------
+
+TEST_F(RecoveryFaultTest, CrashBeforeEpochSealLeavesTailInvisible) {
+  SetUpCluster(2, /*htm_retry_limit=*/-1, /*group_commit=*/true);
+  NvramLog* log = cluster_->log(0);
+  const uint8_t payload[4] = {1, 2, 3, 4};
+
+  // Epoch 1 seals cleanly around txn 200.
+  ASSERT_TRUE(log->Append(0, LogType::kWriteAhead, 200, payload, 4));
+  log->Externalize(0);
+
+  // Txn 201 stages into epoch 2; the power cut lands inside the seal,
+  // before the checksum backpatch — the epoch keeps its open magic.
+  ASSERT_TRUE(log->Append(0, LogType::kWriteAhead, 201, payload, 4));
+  ArmOne("log.epoch.seal", 1, chaos::FaultKind::kCrashPoint);
+  log->Externalize(0);
+  chaos::Injector::Global().Disarm();
+
+  // Replay never surfaces a half-epoch: txn 201's bytes sit below the
+  // head, but the unsealed tail is invisible.
+  std::vector<uint64_t> seen;
+  log->ForEach([&](int worker, const LogRecord& record) {
+    if (worker == 0) {
+      seen.push_back(record.txn_id);
+    }
+  });
+  EXPECT_EQ(seen, (std::vector<uint64_t>{200}));
+
+  // A later clean seal makes the tail (and everything in it) visible.
+  log->Externalize(0);
+  seen.clear();
+  log->ForEach([&](int worker, const LogRecord& record) {
+    if (worker == 0) {
+      seen.push_back(record.txn_id);
+    }
+  });
+  EXPECT_EQ(seen, (std::vector<uint64_t>{200, 201}));
+}
+
+TEST_F(RecoveryFaultTest, RecoveryReplaysSealedEpochsOnly) {
+  SetUpCluster(2, /*htm_retry_limit=*/-1, /*group_commit=*/true);
+  // Fig. 7(b) with group commit: txn 778's WAL made it into a sealed
+  // epoch, txn 779's is still staged in the open epoch when the machine
+  // dies — only 778 may be redone.
+  store::ClusterHashTable* host = cluster_->hash_table(1, table_);
+  const uint64_t entry = host->FindEntry(1);
+  const uint64_t state_off = entry + store::kEntryStateOffset;
+  uint64_t observed = 0;
+  ASSERT_EQ(cluster_->fabric().Cas(1, state_off, kStateInit,
+                                   MakeWriteLocked(0), &observed),
+            rdma::OpStatus::kOk);
+  std::vector<uint8_t> wal;
+  const uint64_t new_value = 4242;
+  NvramLog::EncodeUpdate(&wal, LogUpdate{1, table_, 1, entry, 1, 8},
+                         &new_value);
+  NvramLog* log = cluster_->log(0);
+  ASSERT_TRUE(log->Append(0, LogType::kWriteAhead, 778, wal.data(),
+                          wal.size()));
+  log->Externalize(0);
+
+  std::vector<uint8_t> wal2;
+  const uint64_t other_value = 9999;
+  NvramLog::EncodeUpdate(&wal2, LogUpdate{1, table_, 3, host->FindEntry(3),
+                                          1, 8},
+                         &other_value);
+  ASSERT_TRUE(log->Append(0, LogType::kWriteAhead, 779, wal2.data(),
+                          wal2.size()));
+  cluster_->Crash(0);
+
+  RecoveryManager recovery(cluster_.get());
+  const auto report = recovery.Recover(0);
+  EXPECT_EQ(report.committed_txns, 1);
+  EXPECT_EQ(report.redone_updates, 1);
+  uint64_t value = 0;
+  ASSERT_TRUE(host->Get(1, &value));
+  EXPECT_EQ(value, 4242u);
+  ASSERT_TRUE(host->Get(3, &value));
+  EXPECT_EQ(value, kInitialBalance) << "unsealed-epoch WAL must not redo";
+  EXPECT_EQ(htm::StrongLoad(host->StatePtr(entry)), kStateInit);
+}
+
+TEST_F(RecoveryFaultTest, LockAheadRepairRunsWhenWalEpochIsTorn) {
+  SetUpCluster(2, /*htm_retry_limit=*/-1, /*group_commit=*/true);
+  // The dangerous window: the lock-ahead sealed (it must, before the
+  // remote CAS), the HTM region committed and staged its WAL, but the
+  // machine died before the WAL epoch flushed. The transaction is not
+  // durably acknowledged, so recovery treats it as aborted: no redo,
+  // locks released.
+  store::ClusterHashTable* host = cluster_->hash_table(1, table_);
+  const uint64_t entry = host->FindEntry(1);
+  const uint64_t state_off = entry + store::kEntryStateOffset;
+  uint64_t observed = 0;
+  ASSERT_EQ(cluster_->fabric().Cas(1, state_off, kStateInit,
+                                   MakeWriteLocked(0), &observed),
+            rdma::OpStatus::kOk);
+  NvramLog* log = cluster_->log(0);
+  const std::vector<LogLock> locks = {{1, table_, 1, state_off}};
+  const auto lock_payload = NvramLog::EncodeLocks(locks);
+  ASSERT_TRUE(log->Append(0, LogType::kLockAhead, 880, lock_payload.data(),
+                          lock_payload.size()));
+  log->Externalize(0);
+
+  std::vector<uint8_t> wal;
+  const uint64_t new_value = 7777;
+  NvramLog::EncodeUpdate(&wal, LogUpdate{1, table_, 1, entry, 1, 8},
+                         &new_value);
+  ASSERT_TRUE(log->Append(0, LogType::kWriteAhead, 880, wal.data(),
+                          wal.size()));
+  cluster_->Crash(0);
+
+  RecoveryManager recovery(cluster_.get());
+  const auto report = recovery.Recover(0);
+  EXPECT_EQ(report.redone_updates, 0) << "torn WAL epoch must not redo";
+  EXPECT_EQ(report.released_locks, 1) << "lock-ahead repair must run";
+  uint64_t value = 0;
+  ASSERT_TRUE(host->Get(1, &value));
+  EXPECT_EQ(value, kInitialBalance);
+  EXPECT_EQ(htm::StrongLoad(host->StatePtr(entry)), kStateInit);
 }
 
 }  // namespace

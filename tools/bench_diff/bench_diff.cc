@@ -86,7 +86,7 @@ Direction DirectionForKey(const std::string& value_key) {
   }
   for (const char* cost : {"latency", "abort", "fallback", "capacity",
                            "reads", "doorbells", "hops", "retries", "shed",
-                           "stale", "violations"}) {
+                           "stale", "violations", "ack"}) {
     if (Contains(value_key, cost)) {
       return Direction::kLowerIsBetter;
     }

@@ -38,8 +38,8 @@ void Usage() {
       "                    [--workload transfer|smallbank|tpcc|ycsb]\n"
       "                    [--nodes N] [--workers W] [--ops O]\n"
       "                    [--events E] [--no-crash] [--no-skew]\n"
-      "                    [--script FILE] [--artifact FILE]\n"
-      "                    [--print-plan] [--verbose]\n");
+      "                    [--group-commit] [--script FILE]\n"
+      "                    [--artifact FILE] [--print-plan] [--verbose]\n");
 }
 
 bool ParseU64(const char* text, uint64_t* out) {
@@ -125,6 +125,8 @@ int main(int argc, char** argv) {
       config.plan_params.allow_crash = false;
     } else if (arg == "--no-skew") {
       config.plan_params.allow_skew = false;
+    } else if (arg == "--group-commit") {
+      config.group_commit = true;
     } else if (arg == "--script") {
       script_path = next();
     } else if (arg == "--artifact") {

@@ -188,6 +188,8 @@ struct Options {
       {"src/rdma/fabric.", "Rpc"},
       {"src/txn/nvram_log.", "Append"},
       {"src/txn/nvram_log.", "ForEach"},
+      {"src/txn/nvram_log.", "SealAndSubmit"},
+      {"src/txn/nvram_log.", "SubmitFlush"},
       {"src/txn/cluster.", "ServerLoop"},
       {"src/txn/cluster.", "HandleKvInsert"},
       {"src/txn/cluster.", "HandleKvRemove"},

@@ -147,7 +147,8 @@ TEST(DrtmLint, Ls02FlagsLeaseAgainstUnsyncedClock) {
 TEST(DrtmLint, Cp01FlagsUncoveredEntryPointsAndBuildsCatalog) {
   Options options;
   options.chaos_entry_points = {{"cp01_chaos", "MutateUncovered"},
-                                {"cp01_chaos", "MutateCovered"}};
+                                {"cp01_chaos", "MutateCovered"},
+                                {"cp01_chaos", "FlushEpoch"}};
   Analyzer analyzer(options);
   ASSERT_TRUE(analyzer.AddFileFromDisk(TestdataDir() + "/cp01_chaos.cc",
                                        "testdata/cp01_chaos.cc"));
@@ -162,6 +163,8 @@ TEST(DrtmLint, Cp01FlagsUncoveredEntryPointsAndBuildsCatalog) {
   // Point("...") string literals feed the registered-point catalog.
   const std::vector<std::string>& catalog = analyzer.chaos_point_catalog();
   EXPECT_NE(std::find(catalog.begin(), catalog.end(), "fixture.rpc.mutate"),
+            catalog.end());
+  EXPECT_NE(std::find(catalog.begin(), catalog.end(), "fixture.epoch.flush"),
             catalog.end());
 }
 
@@ -459,10 +462,11 @@ TEST(DrtmLint, RepoSourcesHaveNoUnsuppressedFindings) {
                   << " " << e.file << "): finding fixed — delete the line";
   }
   // The repo's chaos point catalog is visible to CP01 and includes the
-  // migration-path RPC points.
+  // migration-path RPC points and the group-commit epoch points.
   const std::vector<std::string>& catalog = analyzer.chaos_point_catalog();
   for (const char* point : {"txn.fallback.unlock", "rpc.upsert", "rpc.erase",
-                            "rpc.cache_inval"}) {
+                            "rpc.cache_inval", "log.epoch.seal",
+                            "log.epoch.flush"}) {
     EXPECT_NE(std::find(catalog.begin(), catalog.end(), point), catalog.end())
         << point;
   }

@@ -32,4 +32,14 @@ void MutateCovered(Fabric& fabric) {
   fabric.Post(2);
 }
 
+// Registers the epoch-flush doorbell point, mirroring the group-commit
+// pipeline's flush submission.
+uint32_t EpochFlushPoint() { return chaos::Point("fixture.epoch.flush"); }
+
+// Silent: an epoch-flush entry point whose doorbell carries a point.
+void FlushEpoch(Fabric& fabric) {
+  chaos::Check(EpochFlushPoint(), 0);
+  fabric.Post(3);
+}
+
 }  // namespace fixture

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/chaos/injector.h"
+#include "src/stat/metrics.h"
 
 namespace drtm {
 namespace txn {
@@ -13,6 +14,42 @@ struct ChopInfo {
   uint32_t piece;  // next piece to run; pieces < piece have committed
   uint32_t total;
 };
+
+// Chain markers that could not be made durable (see AppendChopMarker's
+// give-up conditions) — each one is a chain that aborted mid-way or
+// completed without its {total, total} record.
+uint32_t MarkerDroppedId() {
+  static const uint32_t id =
+      stat::Registry::Global().CounterId("txn.chop.marker_dropped");
+  return id;
+}
+
+// Appends a chain marker, riding out a full segment: each retry drains
+// the flush pipeline (so the durability frontier catches up with the
+// sealed frontier) and reclaims completed epochs before trying again.
+// Gives up only when the segment stays full with the pipeline fully
+// drained — the leading epochs then carry obligations of unfinished
+// transactions (this chain's own lock-ahead among them), which no
+// amount of waiting clears — or when chaos injection fails the append
+// itself (a modeled op failure, not reclaimable).
+bool AppendChopMarker(NvramLog* log, int worker, uint64_t chain_id,
+                      const ChopInfo& info) {
+  // One drained-and-reclaimed retry observes the steady state; the
+  // extra rounds ride out chaos-delayed seals and dropped doorbells.
+  constexpr int kDrainRetries = 3;
+  for (int attempt = 0;; ++attempt) {
+    const AppendStatus status = log->TryAppend(worker, LogType::kChopInfo,
+                                               chain_id, &info, sizeof(info));
+    if (status == AppendStatus::kOk) {
+      return true;
+    }
+    if (status == AppendStatus::kFaulted || attempt >= kDrainRetries) {
+      return false;
+    }
+    log->DrainFlushes(worker);
+    log->ReclaimSpace(worker);
+  }
+}
 
 }  // namespace
 
@@ -49,19 +86,18 @@ TxnStatus ChoppedTransaction::RunFrom(Worker* worker, size_t first_piece) {
         const ChopInfo info{static_cast<uint32_t>(i),
                             static_cast<uint32_t>(pieces_.size())};
         NvramLog* log = cluster.log(worker->node());
-        if (!log->Append(worker->worker_id(), LogType::kChopInfo, chain_id,
-                         &info, sizeof(info)) &&
-            (!log->ReclaimSpace(worker->worker_id()) ||
-             !log->Append(worker->worker_id(), LogType::kChopInfo, chain_id,
-                          &info, sizeof(info)))) {
-          if (i == first_piece) {
-            // Nothing from this segment committed yet; surface as a
-            // retryable abort rather than running without a resume marker.
-            ReleaseChainLocks(worker, &chain_locks_);
-            return TxnStatus::kAborted;
-          }
-          // Mid-chain: earlier pieces committed, so keep the locks and let
-          // the caller resume once log space frees up.
+        if (!AppendChopMarker(log, worker->worker_id(), chain_id, info)) {
+          // No resume marker can be made durable even with the flush
+          // pipeline drained and every completed epoch reclaimed. Never
+          // keep the chain locks on a live node — no caller resumes an
+          // aborted chain, so the keys would stay write-locked until a
+          // crash. Release and surface a retryable abort; mid-chain
+          // (pieces < i committed) the retried chain re-runs those
+          // pieces, which catalog pieces after the first are written to
+          // tolerate — the same idempotence contract recovery's resume
+          // path relies on.
+          stat::Registry::Global().Add(MarkerDroppedId());
+          ReleaseChainLocks(worker, &chain_locks_);
           return TxnStatus::kAborted;
         }
         // The resume marker must be recoverable before the piece makes any
@@ -99,19 +135,27 @@ TxnStatus ChoppedTransaction::RunFrom(Worker* worker, size_t first_piece) {
   if (chained) {
     if (logging) {
       // Chain-complete marker: {total, total} tells recovery there is
-      // nothing left to resume.
+      // nothing left to resume. It must be durable before the chain
+      // locks are released — resuming a "finished" chain would re-run
+      // its last piece — so a full segment is ridden out (drain +
+      // reclaim + retry) rather than the marker being dropped.
       const ChopInfo info{static_cast<uint32_t>(pieces_.size()),
                           static_cast<uint32_t>(pieces_.size())};
       NvramLog* log = cluster.log(worker->node());
-      if (!log->Append(worker->worker_id(), LogType::kChopInfo, chain_id,
-                       &info, sizeof(info)) &&
-          log->ReclaimSpace(worker->worker_id())) {
-        log->Append(worker->worker_id(), LogType::kChopInfo, chain_id, &info,
-                    sizeof(info));
+      if (AppendChopMarker(log, worker->worker_id(), chain_id, info)) {
+        // Seal before the release below so the marker is
+        // recovery-visible before the locks go.
+        log->Externalize(worker->worker_id());
+      } else {
+        // The marker cannot be persisted (segment pinned by unfinished
+        // transactions even after draining, or an injected append
+        // fault). Holding the chain locks forever would wedge every
+        // later writer on these keys, so release anyway and count the
+        // drop: if this node later crashes, recovery resumes at the
+        // final piece and re-runs it, which catalog pieces after the
+        // first are written to tolerate.
+        stat::Registry::Global().Add(MarkerDroppedId());
       }
-      // Seal before the release below: resuming a finished chain would
-      // re-run its last piece, so the marker must outlive the locks.
-      log->Externalize(worker->worker_id());
     }
     ReleaseChainLocks(worker, &chain_locks_);
   }

@@ -119,8 +119,8 @@ uint8_t* NvramLog::SegAt(const SegmentRef& seg, uint64_t lsn) const {
       memory_->At(seg.base_off + lsn % segment_bytes_));
 }
 
-bool NvramLog::Append(int worker, LogType type, uint64_t txn_id,
-                      const void* payload, size_t len) {
+AppendStatus NvramLog::TryAppend(int worker, LogType type, uint64_t txn_id,
+                                 const void* payload, size_t len) {
   // If the enclosing (emulated) HTM region aborts out of Append via
   // longjmp the destructor is skipped and the sample is simply dropped,
   // which is the intended behaviour for an undone append.
@@ -148,20 +148,26 @@ bool NvramLog::Append(int worker, LogType type, uint64_t txn_id,
     const uint64_t phys_left = segment_bytes_ - head % segment_bytes_;
     if (open_epoch) {
       // A new epoch (header + first record) must be physically
-      // contiguous; pad the ring tail if it cannot fit.
-      if (phys_left < kEpochHeaderBytes + need) {
+      // contiguous; pad the ring tail if it cannot fit. An *exact* fit
+      // pads too: it would leave the open epoch ending on the ring
+      // boundary, and the next record would continue it at physical
+      // offset 0 — breaking the contiguity the seal/replay checksums
+      // (which read data_bytes linearly from data_start) rely on.
+      if (phys_left <= kEpochHeaderBytes + need) {
         pad_bytes = phys_left;
       }
       record_lsn = head + pad_bytes + kEpochHeaderBytes;
       total = pad_bytes + kEpochHeaderBytes + need;
-    } else if (phys_left < need) {
-      // The record would cross the ring boundary mid-epoch. Epochs are
-      // contiguous, so the open one must seal first — impossible inside
-      // an HTM region (the seal takes the flush mutex); the caller
-      // aborts and the retry path seals/reclaims outside.
+    } else if (phys_left <= need) {
+      // The record would reach or cross the ring boundary mid-epoch.
+      // Epochs are contiguous — and may never end *on* the boundary
+      // while open (see above) — so the open one must seal first.
+      // Impossible inside an HTM region (the seal takes the flush
+      // mutex); the caller aborts and the retry path seals/reclaims
+      // outside.
       if (in_htm) {
         stat::Registry::Global().Add(LogIds().full);
-        return false;
+        return AppendStatus::kFull;
       }
       SealAndSubmit(worker);
       continue;
@@ -174,7 +180,7 @@ bool NvramLog::Append(int worker, LogType type, uint64_t txn_id,
         }
       }
       stat::Registry::Global().Add(LogIds().full);
-      return false;
+      return AppendStatus::kFull;
     }
 
     // Stage every byte before publishing anything: inside HTM the
@@ -220,7 +226,12 @@ bool NvramLog::Append(int worker, LogType type, uint64_t txn_id,
         chaos::Check(kAppendPoint, memory_->node_id());
     if (fault.kind == chaos::Decision::Kind::kAbandon ||
         fault.kind == chaos::Decision::Kind::kFailOp) {
-      return false;
+      // kFaulted, not kFull: the injected fault models the op failing,
+      // so callers must not respond with a reclaim-and-retry.
+      return AppendStatus::kFaulted;
+    }
+    if (fault.kind == chaos::Decision::Kind::kDelayNs) {
+      SpinFor(fault.arg);
     }
     htm::Store(Ctrl(seg, kHeadSlot), head + total);
     if (open_epoch) {
@@ -246,7 +257,7 @@ bool NvramLog::Append(int worker, LogType type, uint64_t txn_id,
         MaybeSealOnThreshold(worker);
       }
     }
-    return true;
+    return AppendStatus::kOk;
   }
 }
 
@@ -387,6 +398,14 @@ void NvramLog::Poll(int worker) {
   FlushState& state = *flush_[static_cast<size_t>(worker)];
   std::lock_guard<std::mutex> lock(state.mu);
   PollLocked(worker, state);
+}
+
+void NvramLog::DrainFlushes(int worker) {
+  // Seal whatever is open, then wait out the device up to the sealed
+  // frontier. WaitFlushed re-submits if a chaos-dropped doorbell (or a
+  // chaos-skipped seal) left the frontier short, so this converges to
+  // durable == head as long as the injector eventually lets one through.
+  WaitFlushed(worker, SealAndSubmit(worker));
 }
 
 void NvramLog::Externalize(int worker) {

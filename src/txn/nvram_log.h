@@ -83,6 +83,17 @@ struct LogRecord {
   std::vector<uint8_t> payload;
 };
 
+// Outcome of a log append attempt. The two failure kinds demand
+// different reactions: a full segment is healed by sealing/reclaiming
+// and retrying, while a chaos-injected fault models the op itself
+// failing (power cut, lost write) — reclaiming cannot heal it and the
+// caller must take its failure path.
+enum class AppendStatus : uint8_t {
+  kOk = 0,
+  kFull,
+  kFaulted,
+};
+
 // Group-commit knobs, mirrored from ClusterConfig by the cluster.
 struct LogEpochConfig {
   // false = synchronous baseline: every record seals its own epoch and
@@ -109,11 +120,19 @@ class NvramLog {
 
   // Appends a record to the worker's segment. When called inside an HTM
   // transaction the append is transactional (WAL records use this) and
-  // the epoch bookkeeping rolls back with the region. Returns false if
+  // the epoch bookkeeping rolls back with the region. Returns kFull if
   // the segment is full (callers outside HTM should ReclaimSpace and
-  // retry; inside HTM, abort and reclaim outside).
+  // retry; inside HTM, abort and reclaim outside) and kFaulted when
+  // chaos injection failed the append itself.
+  AppendStatus TryAppend(int worker, LogType type, uint64_t txn_id,
+                         const void* payload, size_t len);
+
+  // Convenience wrapper collapsing both failure kinds to false, for
+  // callers whose reaction does not depend on which one it was.
   bool Append(int worker, LogType type, uint64_t txn_id, const void* payload,
-              size_t len);
+              size_t len) {
+    return TryAppend(worker, type, txn_id, payload, len) == AppendStatus::kOk;
+  }
 
   // Iterates every *sealed* record of every segment in append order per
   // segment. The sealed frontier is the recovery visibility bound: the
@@ -154,6 +173,12 @@ class NvramLog {
   // submissions whose modeled completion time has passed and drains
   // their acks. Called from outside-HTM log touches; harmless anytime.
   void Poll(int worker);
+
+  // Seals the open epoch and blocks until the durability frontier covers
+  // everything appended so far — the strongest precondition ReclaimSpace
+  // can be given. Callers that must not proceed until an append succeeds
+  // (chain resume markers) drain, reclaim and retry. Outside HTM only.
+  void DrainFlushes(int worker);
 
   // Drops leading epochs in which every transaction has a kComplete
   // record below the durability frontier, freeing ring space. Returns

@@ -538,14 +538,19 @@ Transaction::StartResult Transaction::StartPhase() {
     }
     const std::vector<uint8_t> payload = NvramLog::EncodeLocks(locks);
     NvramLog* log = cluster_.log(worker_->node());
-    if (!log->Append(worker_->worker_id(), LogType::kLockAhead, txn_id_,
-                     payload.data(), payload.size()) &&
-        (!log->ReclaimSpace(worker_->worker_id()) ||
-         !log->Append(worker_->worker_id(), LogType::kLockAhead, txn_id_,
-                      payload.data(), payload.size()))) {
-      // Log full even after reclaiming: without a lock-ahead record a
-      // pre-commit crash would strand the remote locks, so the
-      // transaction must not acquire them. Retry as a conflict.
+    AppendStatus logged =
+        log->TryAppend(worker_->worker_id(), LogType::kLockAhead, txn_id_,
+                       payload.data(), payload.size());
+    if (logged == AppendStatus::kFull &&
+        log->ReclaimSpace(worker_->worker_id())) {
+      logged = log->TryAppend(worker_->worker_id(), LogType::kLockAhead,
+                              txn_id_, payload.data(), payload.size());
+    }
+    if (logged != AppendStatus::kOk) {
+      // Log full even after reclaiming, or the append itself faulted:
+      // without a lock-ahead record a pre-commit crash would strand the
+      // remote locks, so the transaction must not acquire them. Retry
+      // as a conflict.
       return StartResult::kConflict;
     }
     // Externalization barrier: the lock-ahead record must be
@@ -977,12 +982,13 @@ TxnStatus Transaction::Run(const Body& body) {
         release_clean = WriteBackAndUnlock();
         if (release_clean && cfg_.logging) {
           NvramLog* log = cluster_.log(worker_->node());
-          if (!log->Append(worker_->worker_id(), LogType::kComplete, txn_id_,
-                           nullptr, 0) &&
+          if (log->TryAppend(worker_->worker_id(), LogType::kComplete,
+                             txn_id_, nullptr, 0) == AppendStatus::kFull &&
               log->ReclaimSpace(worker_->worker_id())) {
             // Dropping a Complete is benign (redo is version-gated and
             // lock release idempotent), but try once more after
-            // reclaiming — the record is what lets the epoch recycle.
+            // reclaiming — the record is what lets the epoch recycle. A
+            // kFaulted append is the modeled drop itself; no retry.
             log->Append(worker_->worker_id(), LogType::kComplete, txn_id_,
                         nullptr, 0);
           }
@@ -1766,14 +1772,19 @@ TxnStatus Transaction::RunFallback(const Body& body) {
     }
     if (cfg_.logging && !wal_buffer_.empty()) {
       NvramLog* log = cluster_.log(worker_->node());
-      if (!log->Append(worker_->worker_id(), LogType::kWriteAhead, txn_id_,
-                       wal_buffer_.data(), wal_buffer_.size()) &&
-          (!log->ReclaimSpace(worker_->worker_id()) ||
-           !log->Append(worker_->worker_id(), LogType::kWriteAhead, txn_id_,
-                        wal_buffer_.data(), wal_buffer_.size()))) {
-        // Log full even after reclaiming: nothing has been applied yet, so
-        // release the locks and retry the attempt instead of committing
-        // writes that recovery could not redo.
+      AppendStatus logged =
+          log->TryAppend(worker_->worker_id(), LogType::kWriteAhead, txn_id_,
+                         wal_buffer_.data(), wal_buffer_.size());
+      if (logged == AppendStatus::kFull &&
+          log->ReclaimSpace(worker_->worker_id())) {
+        logged = log->TryAppend(worker_->worker_id(), LogType::kWriteAhead,
+                                txn_id_, wal_buffer_.data(),
+                                wal_buffer_.size());
+      }
+      if (logged != AppendStatus::kOk) {
+        // Log full even after reclaiming (or the append faulted): nothing
+        // has been applied yet, so release the locks and retry the attempt
+        // instead of committing writes that recovery could not redo.
         ReleaseRemoteLocks();
         ResetRefsForRetry();
         worker_->Backoff(attempt);
@@ -1886,11 +1897,12 @@ TxnStatus Transaction::RunFallback(const Body& body) {
     }
     if (cfg_.logging && !release_abandoned) {
       NvramLog* log = cluster_.log(worker_->node());
-      if (!log->Append(worker_->worker_id(), LogType::kComplete, txn_id_,
-                       nullptr, 0) &&
+      if (log->TryAppend(worker_->worker_id(), LogType::kComplete, txn_id_,
+                         nullptr, 0) == AppendStatus::kFull &&
           log->ReclaimSpace(worker_->worker_id())) {
         // Losing a Complete record is benign (redo is version-gated and
-        // lock release is idempotent), so a second failure is ignored.
+        // lock release is idempotent), so a second failure is ignored —
+        // and a kFaulted append is the modeled drop itself; no retry.
         log->Append(worker_->worker_id(), LogType::kComplete, txn_id_,
                     nullptr, 0);
       }
@@ -1966,11 +1978,15 @@ TxnStatus AcquireChainLocks(Worker* worker, uint64_t chain_id,
     }
     const std::vector<uint8_t> payload = NvramLog::EncodeLocks(entries);
     NvramLog* log = cluster.log(worker->node());
-    if (!log->Append(worker->worker_id(), LogType::kLockAhead, chain_id,
-                     payload.data(), payload.size()) &&
-        (!log->ReclaimSpace(worker->worker_id()) ||
-         !log->Append(worker->worker_id(), LogType::kLockAhead, chain_id,
-                      payload.data(), payload.size()))) {
+    AppendStatus logged =
+        log->TryAppend(worker->worker_id(), LogType::kLockAhead, chain_id,
+                       payload.data(), payload.size());
+    if (logged == AppendStatus::kFull &&
+        log->ReclaimSpace(worker->worker_id())) {
+      logged = log->TryAppend(worker->worker_id(), LogType::kLockAhead,
+                              chain_id, payload.data(), payload.size());
+    }
+    if (logged != AppendStatus::kOk) {
       // Without a durable lock-ahead record a crash mid-chain would strand
       // the chain locks; abort before acquiring any.
       return TxnStatus::kAborted;

@@ -15,6 +15,7 @@
 #include "src/chaos/fault_plan.h"
 #include "src/chaos/injector.h"
 #include "src/htm/htm.h"
+#include "src/stat/metrics.h"
 #include "src/store/kv_layout.h"
 #include "src/txn/chopping.h"
 #include "src/txn/cluster.h"
@@ -267,6 +268,102 @@ TEST_F(RecoveryFaultTest, CrashMidChainResumesFromLoggedRemainder) {
     ASSERT_TRUE(cluster_->hash_table(0, table_)->Get(k, &value));
     EXPECT_EQ(value, kInitialBalance + 100) << "key " << k;
   }
+}
+
+// A 3-piece all-local chain on node-0 keys 0/2/4 with the chain lock on
+// key 0, plus the calibration both marker-failure tests below need: how
+// many log appends one clean run makes. The chain skeleton contributes
+// five (lock-ahead, three resume markers, the completion marker); the
+// pieces split the rest evenly.
+class ChainMarkerFaultTest : public RecoveryFaultTest {
+ protected:
+  void BuildChain(ChoppedTransaction* chain) {
+    chain->AddChainLock(table_, 0);
+    for (uint64_t piece = 0; piece < 3; ++piece) {
+      const uint64_t key = piece * 2;
+      chain->AddPiece(
+          [this, key](Transaction& t) { t.AddWrite(table_, key); },
+          [this, key](Transaction& t) {
+            uint64_t v = 0;
+            if (!t.Read(table_, key, &v)) {
+              return false;
+            }
+            v += 100;
+            return t.Write(table_, key, &v);
+          });
+    }
+  }
+
+  // Log appends per clean chain run, measured so the tests stay correct
+  // if the per-piece record shape changes.
+  uint64_t CalibrateAppendsPerChain(Worker* worker) {
+    const stat::Snapshot before = stat::Registry::Global().TakeSnapshot();
+    ChoppedTransaction chain;
+    BuildChain(&chain);
+    EXPECT_EQ(chain.Run(worker), TxnStatus::kCommitted);
+    const uint64_t appends = stat::Registry::Global()
+                                 .TakeSnapshot()
+                                 .DeltaSince(before)
+                                 .Counter("log.append.ops");
+    EXPECT_GE(appends, 5u);
+    EXPECT_EQ((appends - 5) % 3, 0u) << "pieces appended unevenly; the "
+                                        "arrival arithmetic below is stale";
+    return appends;
+  }
+
+  uint64_t ChainLockWord() {
+    store::ClusterHashTable* host = cluster_->hash_table(0, table_);
+    return htm::StrongLoad(host->StatePtr(host->FindEntry(0)));
+  }
+};
+
+TEST_F(ChainMarkerFaultTest, MidChainMarkerFailureNeverStrandsChainLocks) {
+  SetUpCluster(2);
+  Worker worker(cluster_.get(), 0, 0);
+  const uint64_t per_chain = CalibrateAppendsPerChain(&worker);
+  const uint64_t per_piece = (per_chain - 5) / 3;
+
+  // Fail piece 1's resume marker (arrival: lock-ahead + piece-0 marker +
+  // piece-0's own appends + 1). Piece 0 has committed, so this is the
+  // mid-chain path: the chain must abort WITHOUT keeping the chain lock
+  // — on a live node nobody resumes it, and a kept lock would wedge
+  // every later writer on key 0 until a crash.
+  ChoppedTransaction chain;
+  BuildChain(&chain);
+  ArmOne("log.append", 3 + per_piece, chaos::FaultKind::kDropOp);
+  EXPECT_EQ(chain.Run(&worker), TxnStatus::kAborted);
+  chaos::Injector::Global().Disarm();
+  EXPECT_EQ(ChainLockWord(), kStateInit)
+      << "chain lock stranded after a mid-chain marker failure";
+
+  // The keys stay writable on the live node: a fresh chain goes through.
+  ChoppedTransaction retry;
+  BuildChain(&retry);
+  EXPECT_EQ(retry.Run(&worker), TxnStatus::kCommitted);
+}
+
+TEST_F(ChainMarkerFaultTest, DroppedCompletionMarkerStillReleasesChainLocks) {
+  SetUpCluster(2);
+  Worker worker(cluster_.get(), 0, 0);
+  const uint64_t per_chain = CalibrateAppendsPerChain(&worker);
+
+  // Fail the {total, total} completion marker (the chain's last append).
+  // All pieces committed, so the chain reports success; the drop is
+  // counted and the chain locks are still released — recovery may re-run
+  // the final piece after a later crash, which catalog pieces tolerate.
+  const stat::Snapshot before = stat::Registry::Global().TakeSnapshot();
+  ChoppedTransaction chain;
+  BuildChain(&chain);
+  ArmOne("log.append", per_chain, chaos::FaultKind::kDropOp);
+  EXPECT_EQ(chain.Run(&worker), TxnStatus::kCommitted);
+  chaos::Injector::Global().Disarm();
+  EXPECT_EQ(ChainLockWord(), kStateInit)
+      << "chain lock stranded after a dropped completion marker";
+  EXPECT_EQ(stat::Registry::Global()
+                .TakeSnapshot()
+                .DeltaSince(before)
+                .Counter("txn.chop.marker_dropped"),
+            1u);
 }
 
 // --- group commit: crashes at the epoch boundary ----------------------------

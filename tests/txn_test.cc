@@ -5,6 +5,9 @@
 #include <cstring>
 #include <thread>
 
+#include "src/chaos/fault_plan.h"
+#include "src/chaos/injector.h"
+#include "src/common/clock.h"
 #include "src/common/rand.h"
 #include "src/htm/htm.h"
 #include "src/txn/cluster.h"
@@ -173,6 +176,159 @@ TEST_F(NvramLogTest, TransactionalAppendIsAllOrNothing) {
     }
   });
   EXPECT_EQ(wal_records, 1);
+}
+
+TEST_F(NvramLogTest, TryAppendDistinguishesFullFromInjectedFault) {
+  std::vector<uint8_t> big(1 << 15, 0xab);
+  EXPECT_EQ(log_->TryAppend(0, LogType::kWriteAhead, 1, big.data(),
+                            big.size()),
+            AppendStatus::kOk);
+  // A genuinely full segment reports kFull: the reclaim-and-retry signal.
+  EXPECT_EQ(log_->TryAppend(0, LogType::kWriteAhead, 2, big.data(),
+                            big.size()),
+            AppendStatus::kFull);
+  // An injected fault on an empty segment reports kFaulted: the modeled
+  // op failure, which reclaiming cannot heal.
+  chaos::FaultPlan plan;
+  plan.Add(chaos::FaultEvent{"log.append", 1, chaos::FaultKind::kDropOp, -1,
+                             0});
+  chaos::Injector::Global().Arm(plan);
+  EXPECT_EQ(log_->TryAppend(1, LogType::kWriteAhead, 3, big.data(), 16),
+            AppendStatus::kFaulted);
+  chaos::Injector::Global().Disarm();
+  EXPECT_EQ(log_->UsedBytes(1), 0u);
+  // The same append succeeds once the injector is quiet.
+  EXPECT_EQ(log_->TryAppend(1, LogType::kWriteAhead, 3, big.data(), 16),
+            AppendStatus::kOk);
+}
+
+TEST_F(NvramLogTest, AppendHonoursInjectedDelay) {
+  // A kDelay at log.append must spin the modeled latency out (like the
+  // seal/flush points do) and then proceed — not fail the append.
+  constexpr int64_t kDelayNs = 2'000'000;
+  chaos::FaultPlan plan;
+  plan.Add(chaos::FaultEvent{"log.append", 1, chaos::FaultKind::kDelay, -1,
+                             kDelayNs});
+  chaos::Injector::Global().Arm(plan);
+  const char payload[] = "slow";
+  const uint64_t start = MonotonicNanos();
+  EXPECT_EQ(log_->TryAppend(0, LogType::kWriteAhead, 5, payload,
+                            sizeof(payload)),
+            AppendStatus::kOk);
+  const uint64_t elapsed = MonotonicNanos() - start;
+  chaos::Injector::Global().Disarm();
+  EXPECT_GE(elapsed, static_cast<uint64_t>(kDelayNs));
+  EXPECT_GT(log_->UsedBytes(0), 0u);
+}
+
+// Regression tests for the ring-wrap/epoch-contiguity invariant: an open
+// epoch must never end exactly on the ring boundary, or the next record
+// would continue it at physical offset 0 and the seal/replay checksums
+// (linear reads of data_bytes from data_start) would run off the end of
+// the segment into whatever is allocated after it.
+class NvramLogRingTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kSegment = 1024;
+  // sizeof(RecordHeader) and sizeof(RecordHeader) + sizeof(EpochInfo),
+  // mirrored here to make the boundary arithmetic below readable.
+  static constexpr uint64_t kRec = 16;
+  static constexpr uint64_t kEpochHdr = 48;
+
+  NvramLogRingTest() {
+    rdma::Fabric::Config config;
+    config.num_nodes = 1;
+    config.region_bytes = 8 << 20;
+    fabric_ = std::make_unique<rdma::Fabric>(config);
+    LogEpochConfig epoch;
+    epoch.group_commit = true;
+    epoch.epoch_bytes = size_t{1} << 20;  // never seal on bytes
+    epoch.epoch_us = 0;                   // never seal on time
+    log_ = std::make_unique<NvramLog>(&fabric_->memory(0), 2, kSegment,
+                                      epoch);
+  }
+
+  void AppendWal(uint64_t txn, size_t len) {
+    std::vector<uint8_t> payload(len, static_cast<uint8_t>(txn));
+    ASSERT_TRUE(log_->Append(0, LogType::kWriteAhead, txn, payload.data(),
+                             payload.size()))
+        << "txn " << txn << " len " << len;
+  }
+
+  // Seals, flushes and reclaims everything appended so far, so the
+  // worker-0 ring's truncation base advances to its head — the wrapped
+  // scenarios below need free space behind the boundary.
+  void CompleteAndReclaim(uint64_t txn) {
+    ASSERT_TRUE(log_->Append(0, LogType::kComplete, txn, nullptr, 0));
+    log_->DrainFlushes(0);
+    ASSERT_TRUE(log_->ReclaimSpace(0));
+    ASSERT_EQ(log_->UsedBytes(0), 0u);
+  }
+
+  // Replays worker 0's sealed log and collects the WAL txn ids seen.
+  std::vector<uint64_t> ReplayedWalIds() {
+    std::vector<uint64_t> ids;
+    log_->ForEach([&](int worker, const LogRecord& record) {
+      if (worker == 0 && record.type == LogType::kWriteAhead) {
+        ids.push_back(record.txn_id);
+      }
+    });
+    return ids;
+  }
+
+  // Dirties the memory physically adjacent to worker 0's segment by
+  // appending on worker 1 (its control block is the next allocation).
+  // If an epoch's checksum covered out-of-bounds bytes, this flips them
+  // between seal and replay and the epoch reads as torn.
+  void DirtyAdjacentRegion() {
+    const char payload[] = "w1";
+    ASSERT_TRUE(log_->Append(1, LogType::kWriteAhead, 99, payload,
+                             sizeof(payload)));
+  }
+
+  std::unique_ptr<rdma::Fabric> fabric_;
+  std::unique_ptr<NvramLog> log_;
+};
+
+TEST_F(NvramLogRingTest, ExactFitMidEpochSealsInsteadOfWrapping) {
+  // Park the truncation base at 448 so the ring has space past the wrap.
+  AppendWal(1, 368);  // epoch hdr at 0, record needs 16+368: head = 432
+  CompleteAndReclaim(1);  // +16: head = truncate = 448
+
+  AppendWal(2, 224);  // epoch hdr at 448, need 240: head = 736
+  // phys_left is exactly 288 == this record's need: the open epoch must
+  // seal (and the new one pad past the boundary) rather than end with
+  // its head on the ring boundary.
+  AppendWal(3, 272);
+  AppendWal(4, 8);  // rides in the post-wrap epoch
+
+  log_->Externalize(0);
+  DirtyAdjacentRegion();
+
+  const std::vector<uint64_t> ids = ReplayedWalIds();
+  EXPECT_EQ(ids, (std::vector<uint64_t>{2, 3, 4}))
+      << "a sealed epoch became invisible: its checksum covered bytes "
+         "outside the segment";
+}
+
+TEST_F(NvramLogRingTest, ExactFitWhenOpeningEpochPadsPastBoundary) {
+  AppendWal(1, 368);
+  CompleteAndReclaim(1);  // truncate = 448
+  AppendWal(2, 296);      // epoch hdr at 448, need 312: head = 808
+  CompleteAndReclaim(2);  // +16: head = truncate = 824
+
+  // phys_left is exactly 200 == epoch header + this record's need: the
+  // fresh epoch must pad the ring tail and open past the boundary, not
+  // fill the lap exactly and leave its head on it.
+  AppendWal(3, 136);
+  AppendWal(4, 8);
+
+  log_->Externalize(0);
+  DirtyAdjacentRegion();
+
+  const std::vector<uint64_t> ids = ReplayedWalIds();
+  EXPECT_EQ(ids, (std::vector<uint64_t>{3, 4}))
+      << "a sealed epoch became invisible: its checksum covered bytes "
+         "outside the segment";
 }
 
 TEST(NvramLogCodec, LocksRoundTrip) {

@@ -8,6 +8,7 @@
 
 #include "bench/calvin_tpcc_common.h"
 #include "bench/tpcc_bench_common.h"
+#include "src/replay/recorder.h"
 
 int main() {
   using namespace drtm;
@@ -87,6 +88,33 @@ int main() {
          {"threads", std::to_string(thread_counts.back() / 2)}},
         {{"mix_tps", drtm_s.mix_tps}, {"neworder_tps", drtm_s.neworder_tps}});
     report.stats.Merge(drtm_s.result.stats_delta);
+  }
+
+  // Record-mode overhead at the 4-thread point: the same mix run twice,
+  // replay recorder disarmed vs armed (per-thread ring pushes + the
+  // publish-hook write-set capture are the entire cost — the gate stays
+  // open in record mode). The budget is <= 10% on mix_tps;
+  // record_overhead_pct is lower-is-better for bench_diff.
+  {
+    benchutil::TpccOptions options;
+    options.nodes = kMachines;
+    options.workers_per_node = 4;
+    options.warehouses_per_node = 4;
+    options.duration_ms = duration_ms;
+    const benchutil::TpccOutcome off = benchutil::RunTpcc(options);
+    replay::Recorder::Global().Arm(replay::Recorder::Config{});
+    const benchutil::TpccOutcome on = benchutil::RunTpcc(options);
+    replay::Recorder::Global().Disarm();
+    const double overhead_pct =
+        off.mix_tps > 0 ? (off.mix_tps - on.mix_tps) / off.mix_tps * 100.0
+                        : 0.0;
+    std::printf("%-9s %14.0f %14.0f %8.1f%%\n", "record@4", off.mix_tps,
+                on.mix_tps, overhead_pct);
+    stat::BenchReport::Series& s = report.AddSeries("record_overhead");
+    benchutil::AddPoint(&s, {{"threads", "4"}},
+                        {{"mix_tps_record_off", off.mix_tps},
+                         {"mix_tps_record_on", on.mix_tps},
+                         {"record_overhead_pct", overhead_pct}});
   }
 
   // Calvin's single point (its release is hard-coded to 8 workers).

@@ -1,0 +1,43 @@
+// Chaos-side wiring for the replay engine (src/chaos). A replay log
+// header carries the full WorkloadShape of the recorded run; this module
+// rebuilds that environment with WorkloadHarness, hosts every recorded
+// worker identity on the calling thread (persistent txn::Worker + rng
+// stream per identity, so each continues its own recorded draw
+// sequence), and drives replay::Replay over the workload's RunOp path.
+//
+// The fault plan is deliberately NOT re-armed: recorded chaos firings
+// ride along as timeline context, and their *effects* on the committed
+// schedule are reproduced by the recorder's commit gate (an op replays
+// exactly as many commits as the recording holds — a transaction the
+// recorded run lost to a crash aborts here too).
+#ifndef SRC_CHAOS_CHAOS_REPLAY_H_
+#define SRC_CHAOS_CHAOS_REPLAY_H_
+
+#include <string>
+
+#include "src/replay/replay_log.h"
+#include "src/replay/replayer.h"
+
+namespace drtm {
+namespace chaos {
+
+struct ChaosReplayResult {
+  // Environment rebuilt and the replay engine ran. False means the log
+  // header was unusable (unknown workload, bad shape); see `error`.
+  bool loaded = false;
+  std::string error;
+  replay::ReplayReport report;
+
+  bool ok() const { return loaded && report.ok(); }
+};
+
+// Replays a parsed log against a freshly built workload environment.
+ChaosReplayResult ReplayChaosLog(const replay::ReplayLog& log);
+
+// Convenience: parse (checksum + chain validation) then replay.
+ChaosReplayResult ReplayChaosLogText(const std::string& text);
+
+}  // namespace chaos
+}  // namespace drtm
+
+#endif  // SRC_CHAOS_CHAOS_REPLAY_H_

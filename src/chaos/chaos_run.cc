@@ -14,79 +14,18 @@
 #include <thread>
 #include <vector>
 
+#include "src/chaos/chaos_workload.h"
 #include "src/chaos/injector.h"
 #include "src/common/rand.h"
+#include "src/replay/recorder.h"
+#include "src/replay/replay_log.h"
 #include "src/txn/cluster.h"
 #include "src/txn/recovery.h"
 #include "src/txn/transaction.h"
-#include "src/workload/smallbank.h"
-#include "src/workload/tpcc.h"
-#include "src/workload/ycsb.h"
 
 namespace drtm {
 namespace chaos {
 namespace {
-
-// --- transfer workload shape ------------------------------------------------
-// Per node: kPairsPerNode pairs of accounts (keys 2p / 2p+1, high word =
-// node) plus one commit counter. Intra-pair transfers preserve each
-// pair's sum; a client-side per-key delta ledger — updated only after
-// Run() returned kCommitted — gives the oracle an exact expected value
-// for every record.
-constexpr uint64_t kPairsPerNode = 48;
-constexpr int64_t kInitialBalance = 1000;
-constexpr uint64_t kCounterIndex = uint64_t{1} << 20;
-
-uint64_t PairKey(int node, uint64_t pair, int half) {
-  return (static_cast<uint64_t>(node) << 32) | (2 * pair + half);
-}
-
-uint64_t CounterKey(int node) {
-  return (static_cast<uint64_t>(node) << 32) | kCounterIndex;
-}
-
-// Scratch keys live above the counter index so the conservation and
-// commit-ledger oracles never scan them; they exist only to drive the
-// server-thread RPC path (rpc.dispatch plus the shipped INSERT/DELETE
-// chaos points), which pure one-sided transfer traffic never touches.
-uint64_t ScratchKey(int target, int node, int worker_id) {
-  return (static_cast<uint64_t>(target) << 32) | (kCounterIndex << 1) |
-         static_cast<uint64_t>(node * 64 + worker_id);
-}
-
-struct TransferState {
-  int table = -1;
-  int nodes = 0;
-  // node-major: [node * stride + 2p | 2p+1], counter at [node * stride +
-  // 2 * kPairsPerNode]. Deltas, not absolute values.
-  static constexpr size_t kStride = 2 * kPairsPerNode + 1;
-  std::unique_ptr<std::atomic<int64_t>[]> ledger;
-  // Read-only pair checks acquire wall-clock leases (a later write's
-  // fate depends on how much real time the lease window has left), so
-  // the single-threaded deterministic mode — which promises the same
-  // run outcome for the same seed — skips them; the threaded runs keep
-  // the full mix and the lease-safety oracle.
-  bool ro_enabled = true;
-  std::atomic<uint64_t> ro_commits{0};
-  std::atomic<uint64_t> ro_anomalies{0};
-
-  explicit TransferState(int num_nodes) : nodes(num_nodes) {
-    ledger = std::make_unique<std::atomic<int64_t>[]>(
-        static_cast<size_t>(num_nodes) * kStride);
-    for (size_t i = 0; i < static_cast<size_t>(num_nodes) * kStride; ++i) {
-      ledger[i].store(0, std::memory_order_relaxed);
-    }
-  }
-
-  size_t LedgerIndex(uint64_t key) const {
-    const size_t node = static_cast<size_t>(key >> 32);
-    const uint64_t low = key & 0xffffffffULL;
-    if (low == kCounterIndex) {
-      return node * kStride + 2 * kPairsPerNode;
-    }
-    return node * kStride + low;
-  }
-};
 
 // --- fail-stop choreography -------------------------------------------------
 // Cluster::Crash only flips liveness flags; worker threads keep running.
@@ -231,107 +170,6 @@ struct CrashControl {
   }
 };
 
-uint64_t Fnv1a(uint64_t hash, const void* data, size_t len) {
-  const uint8_t* bytes = static_cast<const uint8_t*>(data);
-  for (size_t i = 0; i < len; ++i) {
-    hash ^= bytes[i];
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
-}
-
-// One transfer-workload attempt. Returns true on commit.
-bool TransferStep(txn::Worker& worker, Xoshiro256& rng,
-                  TransferState* state) {
-  txn::Cluster& cluster = worker.cluster();
-  const int home = worker.node();
-  const uint64_t roll = rng.NextBounded(100);
-  if (roll < 55) {
-    // Intra-pair transfer (any node's pair — remote pairs make the
-    // transaction distributed) + home commit-counter bump.
-    const int target = static_cast<int>(rng.NextBounded(
-        static_cast<uint64_t>(cluster.num_nodes())));
-    const uint64_t pair = rng.NextBounded(kPairsPerNode);
-    const int64_t amount = 1 + static_cast<int64_t>(rng.NextBounded(8));
-    const bool flip = rng.NextBounded(2) == 1;
-    const uint64_t from = PairKey(target, pair, flip ? 1 : 0);
-    const uint64_t to = PairKey(target, pair, flip ? 0 : 1);
-    const uint64_t counter = CounterKey(home);
-    txn::Transaction txn(&worker);
-    txn.AddWrite(state->table, from);
-    txn.AddWrite(state->table, to);
-    txn.AddWrite(state->table, counter);
-    const txn::TxnStatus status = txn.Run([&](txn::Transaction& t) {
-      int64_t a = 0;
-      int64_t b = 0;
-      int64_t c = 0;
-      if (!t.Read(state->table, from, &a) || !t.Read(state->table, to, &b) ||
-          !t.Read(state->table, counter, &c)) {
-        return false;
-      }
-      a -= amount;
-      b += amount;
-      c += 1;
-      return t.Write(state->table, from, &a) &&
-             t.Write(state->table, to, &b) &&
-             t.Write(state->table, counter, &c);
-    });
-    if (status != txn::TxnStatus::kCommitted) {
-      return false;
-    }
-    state->ledger[state->LedgerIndex(from)].fetch_add(
-        -amount, std::memory_order_relaxed);
-    state->ledger[state->LedgerIndex(to)].fetch_add(
-        amount, std::memory_order_relaxed);
-    state->ledger[state->LedgerIndex(counter)].fetch_add(
-        1, std::memory_order_relaxed);
-    return true;
-  }
-  if (roll < 80 && state->ro_enabled) {
-    // Read-only pair check: lease fencing means the snapshot can never
-    // show a half-applied transfer, so the pair sum must be exact.
-    const int target = static_cast<int>(rng.NextBounded(
-        static_cast<uint64_t>(cluster.num_nodes())));
-    const uint64_t pair = rng.NextBounded(kPairsPerNode);
-    const uint64_t x = PairKey(target, pair, 0);
-    const uint64_t y = PairKey(target, pair, 1);
-    txn::ReadOnlyTransaction ro(&worker);
-    ro.AddRead(state->table, x);
-    ro.AddRead(state->table, y);
-    if (ro.Execute() != txn::TxnStatus::kCommitted) {
-      return false;
-    }
-    int64_t vx = 0;
-    int64_t vy = 0;
-    if (!ro.Get(state->table, x, &vx) || !ro.Get(state->table, y, &vy)) {
-      return false;
-    }
-    state->ro_commits.fetch_add(1, std::memory_order_relaxed);
-    if (vx + vy != 2 * kInitialBalance) {
-      state->ro_anomalies.fetch_add(1, std::memory_order_relaxed);
-    }
-    return true;
-  }
-  // Local commit-counter increment.
-  const uint64_t counter = CounterKey(home);
-  txn::Transaction txn(&worker);
-  txn.AddWrite(state->table, counter);
-  const txn::TxnStatus status = txn.Run([&](txn::Transaction& t) {
-    int64_t c = 0;
-    if (!t.Read(state->table, counter, &c)) {
-      return false;
-    }
-    c += 1;
-    return t.Write(state->table, counter, &c);
-  });
-  if (status != txn::TxnStatus::kCommitted) {
-    return false;
-  }
-  state->ledger[state->LedgerIndex(counter)].fetch_add(
-      1, std::memory_order_relaxed);
-  return true;
-}
-
 }  // namespace
 
 const char* ChaosWorkloadName(ChaosWorkload workload) {
@@ -373,6 +211,10 @@ std::string ChaosRunResult::Artifact() const {
       << workers_per_node << " --ops " << ops_per_worker << "\n";
   out << "attempted=" << attempted << " committed=" << committed
       << " ro_commits=" << ro_commits << " crashes=" << crashes << "\n";
+  if (!replay_log_text.empty()) {
+    out << "replay log: recorded (" << replay_log_text.size()
+        << " bytes, dropped=" << replay_dropped << ")\n";
+  }
   out << "--- fault plan ---\n" << plan_script;
   out << "--- firings ---\n" << firing_log;
   out << "--- " << invariants.ToString();
@@ -403,83 +245,16 @@ ChaosRunResult RunChaos(uint64_t seed, const ChaosRunConfig& config) {
   }
   result.plan_script = plan.ToScript();
 
-  txn::ClusterConfig cluster_config;
-  cluster_config.num_nodes = config.nodes;
-  cluster_config.workers_per_node = std::max(1, config.workers_per_node);
-  cluster_config.region_bytes = size_t{48} << 20;
-  cluster_config.logging = true;
-  cluster_config.group_commit = config.group_commit;
-  cluster_config.latency = rdma::LatencyModel::Zero();
-  // Short leases: with the default 10 ms RO lease, a chaos-shifted
-  // pile-up of read-only renewals on one hot pair can make every writer
-  // wait out (and lose) lease after lease — hundreds of fallback
-  // attempts at ~10 ms each turns one transaction into minutes. Chaos
-  // runs want many fault/recovery cycles per second, not long leases.
-  cluster_config.lease_rw_us = 1500;
-  cluster_config.lease_ro_us = 2000;
-  cluster_config.delta_us = 300;
-  cluster_config.softtime_interval_us = 200;
-
-  txn::Cluster cluster(cluster_config);
-
-  // Per-workload setup ------------------------------------------------------
-  std::unique_ptr<TransferState> transfer;
-  std::unique_ptr<workload::SmallBankDb> smallbank;
-  std::unique_ptr<workload::TpccDb> tpcc;
-  std::unique_ptr<workload::YcsbDb> ycsb;
-  int64_t smallbank_expected = 0;
-
-  if (config.workload == ChaosWorkload::kTransfer) {
-    transfer = std::make_unique<TransferState>(config.nodes);
-    transfer->ro_enabled = !config.single_threaded;
-    txn::TableSpec spec;
-    spec.value_size = 8;
-    spec.main_buckets = 1 << 8;
-    spec.indirect_buckets = 1 << 7;
-    spec.capacity = 1 << 12;
-    spec.partition = [](uint64_t key) { return static_cast<int>(key >> 32); };
-    transfer->table = cluster.AddTable(spec);
-    cluster.Start();
-    for (int node = 0; node < config.nodes; ++node) {
-      for (uint64_t p = 0; p < kPairsPerNode; ++p) {
-        for (int half = 0; half < 2; ++half) {
-          const int64_t balance = kInitialBalance;
-          cluster.hash_table(node, transfer->table)
-              ->Insert(PairKey(node, p, half), &balance);
-        }
-      }
-      const int64_t zero = 0;
-      cluster.hash_table(node, transfer->table)
-          ->Insert(CounterKey(node), &zero);
-    }
-  } else if (config.workload == ChaosWorkload::kSmallBank) {
-    workload::SmallBankDb::Params params;
-    params.accounts_per_node = 256;
-    params.hot_accounts_per_node = 32;
-    params.cross_node_probability = 0.1;
-    smallbank = std::make_unique<workload::SmallBankDb>(&cluster, params);
-    cluster.Start();
-    smallbank->Load();
-    smallbank_expected = smallbank->TotalMoney();
-  } else if (config.workload == ChaosWorkload::kTpcc) {
-    workload::TpccDb::Params params;
-    params.warehouses = config.nodes;
-    params.customers_per_district = 64;
-    params.items = 256;
-    params.initial_orders_per_district = 4;
-    tpcc = std::make_unique<workload::TpccDb>(&cluster, params);
-    cluster.Start();
-    tpcc->Load();
-  } else {
-    workload::YcsbDb::Params params;
-    params.records_per_node = 2048;
-    params.value_size = 64;
-    params.mix = workload::YcsbDb::Mix::kB;
-    params.ops_per_txn = 2;
-    ycsb = std::make_unique<workload::YcsbDb>(&cluster, params);
-    cluster.Start();
-    ycsb->Load();
-  }
+  // Environment + workload (shared with replay mode, which rebuilds the
+  // identical harness from the recorded log header).
+  WorkloadShape shape;
+  shape.workload = config.workload;
+  shape.nodes = config.nodes;
+  shape.cluster_workers_per_node = std::max(1, config.workers_per_node);
+  shape.group_commit = config.group_commit;
+  shape.transfer_ro_enabled = !config.single_threaded;
+  WorkloadHarness harness(shape);
+  txn::Cluster& cluster = harness.cluster();
 
   // Arm --------------------------------------------------------------------
   CrashControl control(&cluster);
@@ -491,6 +266,17 @@ ChaosRunResult RunChaos(uint64_t seed, const ChaosRunConfig& config) {
   injector.SetSkewHandler([&control](int node, int64_t skew_us) {
     control.Skew(node, skew_us);
   });
+  if (config.record) {
+    // Arm before the first worker op so every commit is captured; the
+    // firing observer interleaves injector firings into the event
+    // stream (sequence numbers allocated at firing time).
+    replay::Recorder::Global().Arm(replay::Recorder::Config{});
+    injector.SetFiringObserver([](const Injector::Firing& firing) {
+      replay::Recorder::Global().RecordChaosFiring(firing.point,
+                                                   firing.arrival,
+                                                   firing.node);
+    });
+  }
   injector.Arm(plan);
 
   // Run --------------------------------------------------------------------
@@ -504,41 +290,12 @@ ChaosRunResult RunChaos(uint64_t seed, const ChaosRunConfig& config) {
       if (!control.WaitRunnable(node)) {
         return;  // node stayed dead (script without a revive): give up
       }
-      bool ok = false;
-      if (transfer != nullptr) {
-        if ((op & 7) == 3) {
-          // Structural scratch op: a shipped INSERT then DELETE against a
-          // random host. A chaos-dropped DELETE leaves a stray scratch
-          // key, which no oracle reads; the point is to put traffic on
-          // the RPC dispatch path while faults fire.
-          const int target =
-              static_cast<int>(rng.NextBounded(config.nodes));
-          const uint64_t scratch = ScratchKey(target, node, worker_id);
-          const int64_t one = 1;
-          if (cluster.RemoteInsert(node, transfer->table, scratch, &one)) {
-            cluster.RemoteRemove(node, transfer->table, scratch);
-          }
-        }
-        ok = TransferStep(worker, rng, transfer.get());
-      } else if (smallbank != nullptr) {
-        // Conservation-preserving mix only: send-payment and amalgamate
-        // move money between accounts, balance reads it. The deposit /
-        // write-check / transact-savings types legitimately change
-        // TotalMoney, which would blind the conservation oracle.
-        txn::TxnStatus status;
-        const uint64_t roll = rng.NextBounded(4);
-        if (roll < 2) {
-          status = smallbank->RunSendPayment(&worker);
-        } else if (roll == 2) {
-          status = smallbank->RunAmalgamate(&worker);
-        } else {
-          status = smallbank->RunBalance(&worker);
-        }
-        ok = status == txn::TxnStatus::kCommitted;
-      } else if (tpcc != nullptr) {
-        ok = tpcc->RunMix(&worker).status == txn::TxnStatus::kCommitted;
-      } else {
-        ok = ycsb->RunTxn(&worker).committed;
+      if (config.record) {
+        replay::Recorder::Global().BeginOp(node, worker_id, op);
+      }
+      const bool ok = harness.RunOp(worker, rng, op);
+      if (config.record) {
+        replay::Recorder::Global().EndOp(ok);
       }
       attempted.fetch_add(1, std::memory_order_relaxed);
       if (ok) {
@@ -562,10 +319,18 @@ ChaosRunResult RunChaos(uint64_t seed, const ChaosRunConfig& config) {
     }
   }
 
+  if (config.record) {
+    // Workers are quiesced; stop capturing before the repair pass so the
+    // log ends at the last workload op (recovery redo re-installs
+    // already-recorded committed writes and is digest-neutral).
+    replay::Recorder::Global().Disarm();
+  }
+
   // Repair -----------------------------------------------------------------
   control.StopOperator();  // drains queued revives first
   result.firing_log = injector.FiringLog();
   injector.Disarm();  // the operator's manual repair pass runs fault-free
+  injector.SetFiringObserver(nullptr);
   for (const int node : control.StillDead()) {
     txn::RecoveryManager recovery(&cluster);
     recovery.Recover(node);
@@ -606,12 +371,12 @@ ChaosRunResult RunChaos(uint64_t seed, const ChaosRunConfig& config) {
   // Judge ------------------------------------------------------------------
   InvariantChecker checker;
   const std::vector<int> still_dead = control.StillDead();
-  if (transfer != nullptr) {
+  result.state_digest = harness.StateDigest();
+  if (TransferState* transfer = harness.transfer()) {
     const int table = transfer->table;
     int64_t pair_total = 0;
     std::vector<std::pair<uint64_t, int64_t>> expected;
     std::vector<std::pair<int, uint64_t>> records;
-    uint64_t digest = 0xcbf29ce484222325ULL;
     for (int node = 0; node < config.nodes; ++node) {
       for (uint64_t p = 0; p < kPairsPerNode; ++p) {
         for (int half = 0; half < 2; ++half) {
@@ -619,7 +384,6 @@ ChaosRunResult RunChaos(uint64_t seed, const ChaosRunConfig& config) {
           int64_t value = 0;
           cluster.hash_table(node, table)->Get(key, &value);
           pair_total += value;
-          digest = Fnv1a(digest, &value, sizeof(value));
           expected.emplace_back(
               key, kInitialBalance +
                        transfer->ledger[transfer->LedgerIndex(key)].load());
@@ -627,14 +391,10 @@ ChaosRunResult RunChaos(uint64_t seed, const ChaosRunConfig& config) {
         }
       }
       const uint64_t counter = CounterKey(node);
-      int64_t value = 0;
-      cluster.hash_table(node, table)->Get(counter, &value);
-      digest = Fnv1a(digest, &value, sizeof(value));
       expected.emplace_back(
           counter, transfer->ledger[transfer->LedgerIndex(counter)].load());
       records.emplace_back(table, counter);
     }
-    result.state_digest = digest;
     result.ro_commits = transfer->ro_commits.load();
     result.ro_anomalies = transfer->ro_anomalies.load();
     checker.CheckConservation(
@@ -645,8 +405,9 @@ ChaosRunResult RunChaos(uint64_t seed, const ChaosRunConfig& config) {
     checker.CheckCommitLedger(&cluster, table, expected);
     checker.CheckLeaseSafety(result.ro_anomalies, result.ro_commits);
     checker.CheckCleanRecovery(&cluster, records, still_dead);
-  } else if (smallbank != nullptr) {
-    checker.CheckConservation("smallbank total money", smallbank_expected,
+  } else if (workload::SmallBankDb* smallbank = harness.smallbank()) {
+    checker.CheckConservation("smallbank total money",
+                              harness.smallbank_expected(),
                               smallbank->TotalMoney());
     std::vector<std::pair<int, uint64_t>> records;
     for (int node = 0; node < config.nodes; ++node) {
@@ -657,7 +418,7 @@ ChaosRunResult RunChaos(uint64_t seed, const ChaosRunConfig& config) {
       }
     }
     checker.CheckCleanRecovery(&cluster, records, still_dead);
-  } else if (tpcc != nullptr) {
+  } else if (workload::TpccDb* tpcc = harness.tpcc()) {
     ++checker.report().checks;
     if (!tpcc->CheckConsistency()) {
       checker.report().violations.push_back(
@@ -675,6 +436,7 @@ ChaosRunResult RunChaos(uint64_t seed, const ChaosRunConfig& config) {
     }
     checker.CheckCleanRecovery(&cluster, records, still_dead);
   } else {
+    workload::YcsbDb* ycsb = harness.ycsb();
     std::vector<std::pair<int, uint64_t>> records;
     for (uint64_t logical = 0; logical < ycsb->total_records(); ++logical) {
       records.emplace_back(ycsb->table(), ycsb->KeyAt(logical));
@@ -683,7 +445,24 @@ ChaosRunResult RunChaos(uint64_t seed, const ChaosRunConfig& config) {
   }
   result.invariants = checker.report();
 
-  cluster.Stop();
+  // Seal the replay log ----------------------------------------------------
+  if (config.record) {
+    replay::ReplayLog log;
+    replay::Recorder::Global().Merge(&log);
+    log.seed = seed;
+    log.workload = result.workload;
+    log.nodes = config.nodes;
+    log.workers_per_node = shape.cluster_workers_per_node;
+    log.ops_per_worker = config.ops_per_worker;
+    log.single_threaded = config.single_threaded;
+    log.ro_enabled = shape.transfer_ro_enabled;
+    log.group_commit = config.group_commit;
+    log.final_digest = result.state_digest;
+    result.replay_dropped = log.dropped;
+    result.replay_log_text = log.Serialize();
+  }
+
+  // WorkloadHarness's destructor stops the cluster.
   return result;
 }
 

@@ -61,6 +61,11 @@ struct ChaosRunConfig {
   // record and its epoch seal — the torn-tail window the
   // log.epoch.seal/log.epoch.flush points exercise.
   bool group_commit = false;
+  // Record mode: arm the replay recorder for the run and serialize the
+  // merged, checksummed event log into ChaosRunResult::replay_log_text.
+  // A failing seed's artifact bundle then carries everything replay mode
+  // needs to re-execute the committed schedule single-threaded.
+  bool record = false;
 };
 
 struct ChaosRunResult {
@@ -78,9 +83,14 @@ struct ChaosRunResult {
   uint64_t ro_anomalies = 0;
   uint64_t crashes = 0;
   InvariantReport invariants;
-  // FNV-1a over the final store contents (transfer workload only) — the
-  // "same outcome" half of the determinism assertion.
+  // FNV-1a over the final store contents (all workloads; fold order is
+  // WorkloadHarness::StateDigest) — the "same outcome" half of the
+  // determinism assertion and the replay log's final digest.
   uint64_t state_digest = 0;
+  // Record mode (ChaosRunConfig::record): the serialized replay log and
+  // the number of ring-overflow events dropped while recording.
+  std::string replay_log_text;
+  uint64_t replay_dropped = 0;
 
   bool ok() const { return invariants.ok(); }
   // The failure artifact: seed, repro command line, plan, firings,

@@ -1,0 +1,136 @@
+// Workload harness shared by the chaos runner and the replay engine
+// (src/chaos). RunChaos historically built the cluster, loaded one of
+// the four workloads, and ran the per-op mix inline; replay mode needs
+// to rebuild *exactly* that environment from a recorded log header and
+// re-issue the same per-op mix single-threaded. This header extracts the
+// common pieces:
+//
+//   * WorkloadShape     — everything needed to reconstruct the run
+//                         environment (also what a replay log header
+//                         carries).
+//   * WorkloadHarness   — owns the cluster + loaded workload; RunOp()
+//                         executes one worker-loop op (including the
+//                         transfer scratch RPC op and the smallbank mix
+//                         roll, with identical rng draw order), and
+//                         StateDigest() folds the workload's observable
+//                         store state into an FNV-1a digest.
+//
+// Determinism contract: for a fixed (shape, worker identity, rng stream)
+// the sequence of key/amount draws RunOp makes is a pure function of the
+// op ordinal — both record and replay call through this one path.
+#ifndef SRC_CHAOS_CHAOS_WORKLOAD_H_
+#define SRC_CHAOS_CHAOS_WORKLOAD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/chaos/chaos_run.h"
+#include "src/common/rand.h"
+#include "src/txn/cluster.h"
+#include "src/txn/transaction.h"
+#include "src/workload/smallbank.h"
+#include "src/workload/tpcc.h"
+#include "src/workload/ycsb.h"
+
+namespace drtm {
+namespace chaos {
+
+// --- transfer workload shape ------------------------------------------------
+// Per node: kPairsPerNode pairs of accounts (keys 2p / 2p+1, high word =
+// node) plus one commit counter. Intra-pair transfers preserve each
+// pair's sum; a client-side per-key delta ledger — updated only after
+// Run() returned kCommitted — gives the oracle an exact expected value
+// for every record.
+inline constexpr uint64_t kPairsPerNode = 48;
+inline constexpr int64_t kInitialBalance = 1000;
+inline constexpr uint64_t kCounterIndex = uint64_t{1} << 20;
+
+uint64_t PairKey(int node, uint64_t pair, int half);
+uint64_t CounterKey(int node);
+// Scratch keys live above the counter index so the conservation and
+// commit-ledger oracles never scan them; they exist only to drive the
+// server-thread RPC path (rpc.dispatch plus the shipped INSERT/DELETE
+// chaos points), which pure one-sided transfer traffic never touches.
+uint64_t ScratchKey(int target, int node, int worker_id);
+
+struct TransferState {
+  int table = -1;
+  int nodes = 0;
+  // node-major: [node * stride + 2p | 2p+1], counter at [node * stride +
+  // 2 * kPairsPerNode]. Deltas, not absolute values.
+  static constexpr size_t kStride = 2 * kPairsPerNode + 1;
+  std::unique_ptr<std::atomic<int64_t>[]> ledger;
+  // Read-only pair checks acquire wall-clock leases (a later write's
+  // fate depends on how much real time the lease window has left), so
+  // the single-threaded deterministic mode — which promises the same
+  // run outcome for the same seed — skips them; the threaded runs keep
+  // the full mix and the lease-safety oracle.
+  bool ro_enabled = true;
+  std::atomic<uint64_t> ro_commits{0};
+  std::atomic<uint64_t> ro_anomalies{0};
+
+  explicit TransferState(int num_nodes);
+  size_t LedgerIndex(uint64_t key) const;
+};
+
+// Everything needed to rebuild a chaos run's environment. A replay log
+// header serializes exactly these fields (plus the seed).
+struct WorkloadShape {
+  ChaosWorkload workload = ChaosWorkload::kTransfer;
+  int nodes = 3;
+  // The ClusterConfig value (WAL segmentation, server threads) — not the
+  // number of workers that actually ran ops.
+  int cluster_workers_per_node = 2;
+  bool group_commit = false;
+  // Transfer's lease-read mix knob: op-type draws depend on it, so a
+  // replay must honour the recorded value.
+  bool transfer_ro_enabled = true;
+};
+
+class WorkloadHarness {
+ public:
+  // Builds the cluster (chaos lease/logging config), adds the workload's
+  // tables, starts the cluster, and loads initial data.
+  explicit WorkloadHarness(const WorkloadShape& shape);
+  ~WorkloadHarness();
+
+  WorkloadHarness(const WorkloadHarness&) = delete;
+  WorkloadHarness& operator=(const WorkloadHarness&) = delete;
+
+  txn::Cluster& cluster() { return *cluster_; }
+  const WorkloadShape& shape() const { return shape_; }
+
+  // One worker-loop op: the transfer scratch RPC op on (op & 7) == 3,
+  // then the workload's own mix step. All randomness comes from `rng`
+  // and the worker's identity-seeded internal streams, in a fixed draw
+  // order. Returns true when the op's transaction committed.
+  bool RunOp(txn::Worker& worker, Xoshiro256& rng, uint64_t op);
+
+  // FNV-1a over the workload's observable final store state, in a fixed
+  // iteration order. For transfer this folds exactly the records (and
+  // order) the judge historically digested; scratch keys are excluded
+  // everywhere.
+  uint64_t StateDigest();
+
+  // Judge access.
+  TransferState* transfer() { return transfer_.get(); }
+  workload::SmallBankDb* smallbank() { return smallbank_.get(); }
+  workload::TpccDb* tpcc() { return tpcc_.get(); }
+  workload::YcsbDb* ycsb() { return ycsb_.get(); }
+  int64_t smallbank_expected() const { return smallbank_expected_; }
+
+ private:
+  WorkloadShape shape_;
+  std::unique_ptr<txn::Cluster> cluster_;
+  std::unique_ptr<TransferState> transfer_;
+  std::unique_ptr<workload::SmallBankDb> smallbank_;
+  std::unique_ptr<workload::TpccDb> tpcc_;
+  std::unique_ptr<workload::YcsbDb> ycsb_;
+  int64_t smallbank_expected_ = 0;
+};
+
+}  // namespace chaos
+}  // namespace drtm
+
+#endif  // SRC_CHAOS_CHAOS_WORKLOAD_H_

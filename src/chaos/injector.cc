@@ -139,6 +139,11 @@ void Injector::SetSkewHandler(std::function<void(int, int64_t)> fn) {
   skew_handler_ = std::move(fn);
 }
 
+void Injector::SetFiringObserver(std::function<void(const Firing&)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  firing_observer_ = std::move(fn);
+}
+
 void Injector::RecordFiring(const PointState& point, uint64_t arrival,
                             const FaultEvent& event, int node) {
   Firing firing;
@@ -148,9 +153,14 @@ void Injector::RecordFiring(const PointState& point, uint64_t arrival,
   firing.kind = event.kind;
   firing.node = node;
   firing.arg = event.arg;
+  std::function<void(const Firing&)> observer;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    firings_.push_back(std::move(firing));
+    observer = firing_observer_;
+    firings_.push_back(firing);
+  }
+  if (observer) {
+    observer(firing);
   }
   stat::Registry& reg = stat::Registry::Global();
   reg.Add(ChaosIds().fired);

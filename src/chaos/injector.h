@@ -119,6 +119,10 @@ class Injector {
     int64_t arg;
   };
   std::vector<Firing> Firings() const;
+  // Observer invoked synchronously on every firing (after it is recorded
+  // in the firing log). Record-mode replay uses this to interleave chaos
+  // firings into the replay event stream; pass nullptr to clear.
+  void SetFiringObserver(std::function<void(const Firing&)> fn);
   // Deterministic text form: "fire <n>: point=... arrival=... kind=..."
   // per line, in firing order.
   std::string FiringLog() const;
@@ -155,6 +159,7 @@ class Injector {
   std::function<void(int)> crash_handler_;
   std::function<void(int)> revive_handler_;
   std::function<void(int, int64_t)> skew_handler_;
+  std::function<void(const Firing&)> firing_observer_;
 };
 
 // The one-line site hook: zero-cost when disarmed.

@@ -22,6 +22,12 @@ namespace {
 
 thread_local HtmThread* g_current_tx = nullptr;
 
+// Replay seam (SetReplayHooks). The armed flag is the only thing commits
+// load on the fast path; the pointers themselves are written only while
+// workloads are quiesced.
+std::atomic<bool> g_replay_armed{false};
+ReplayHooks g_replay_hooks;
+
 // Enumerates the version-table slot of every cache line in [addr, addr+len).
 template <typename Fn>
 void ForEachLineSlot(VersionTable* table, const void* addr, size_t len,
@@ -97,6 +103,10 @@ void HtmThread::Abort(uint8_t user_code) {
 void HtmThread::Rollback(unsigned status) {
   depth_ = 0;
   g_current_tx = nullptr;
+  if (g_replay_armed.load(std::memory_order_relaxed) &&
+      g_replay_hooks.on_abort != nullptr) {
+    g_replay_hooks.on_abort(status);
+  }
   if (status & kAbortCapacity) {
     ++stats_.aborts_capacity;
   } else if (status & kAbortExplicit) {
@@ -328,6 +338,19 @@ void HtmThread::Commit() {
                 e.len);
   }
   std::atomic_thread_fence(std::memory_order_release);
+  if (g_replay_armed.load(std::memory_order_relaxed) &&
+      g_replay_hooks.on_publish != nullptr && !locked.empty()) {
+    // Inside the critical section (slots still locked): the hook's
+    // observation order is the serialization order of conflicting
+    // commits. Read-only regions (no locked lines) publish nothing.
+    std::vector<PublishedLine> lines;
+    lines.reserve(locked.size());
+    for (const auto& [slot, base] : locked) {
+      lines.push_back(PublishedLine{
+          static_cast<uint32_t>(table_->IndexOf(slot)), base + 2});
+    }
+    g_replay_hooks.on_publish(lines.data(), lines.size(), table_);
+  }
   for (auto& [slot, base] : locked) {
     slot->store(base + 2, std::memory_order_release);
   }
@@ -341,6 +364,18 @@ void HtmThread::Commit() {
   redo_log_.clear();
   redo_data_.clear();
   wc_slots_.clear();
+}
+
+void SetReplayHooks(const ReplayHooks& hooks) {
+  const bool arm =
+      hooks.on_publish != nullptr || hooks.on_abort != nullptr;
+  if (arm) {
+    g_replay_hooks = hooks;
+    g_replay_armed.store(true, std::memory_order_release);
+  } else {
+    g_replay_armed.store(false, std::memory_order_release);
+    g_replay_hooks = ReplayHooks{};
+  }
 }
 
 void AbortCurrentTransactionOrDie(const char* what) {

@@ -227,6 +227,34 @@ class HtmThread {
   std::vector<std::atomic<uint64_t>*> wc_slots_;
 };
 
+// --- Replay hooks -----------------------------------------------------------
+//
+// Seam for the record/replay subsystem (src/replay). The replay library
+// sits above htm in the dependency order, so htm exposes raw function
+// pointers rather than linking against it. The publish hook fires inside
+// the commit critical section — after the redo log is installed, before
+// the seqlock slots are released — so the order in which hooks observe
+// commits IS the conflict order two commits on overlapping lines
+// serialized in. Disarmed cost: one relaxed atomic load per commit.
+struct PublishedLine {
+  uint32_t slot;      // VersionTable::IndexOf of the locked slot
+  uint64_t version;   // version the slot is released to (base + 2)
+};
+
+struct ReplayHooks {
+  // Called with the committed region's locked lines (empty for read-only
+  // regions, which are skipped). `table` disambiguates non-global tables.
+  void (*on_publish)(const PublishedLine* lines, size_t count,
+                     const VersionTable* table) = nullptr;
+  // Called when a top-level region rolls back, with the RTM status word.
+  void (*on_abort)(unsigned status) = nullptr;
+};
+
+// Installs (or, with default-constructed hooks, clears) the process-wide
+// replay hooks. Not thread-safe against in-flight commits — arm/disarm
+// only while the workload threads are quiesced, as the recorder does.
+void SetReplayHooks(const ReplayHooks& hooks);
+
 // --- Strong (non-transactional) accesses -----------------------------------
 //
 // These model accesses that bypass the transactional tracking but are

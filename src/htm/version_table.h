@@ -37,6 +37,15 @@ class VersionTable {
 
   size_t size() const { return mask_ + 1; }
 
+  // Index of a slot previously returned by SlotFor — stable within one
+  // process (the table never grows), used by the replay recorder to name
+  // lines in event context. NOT stable across processes: heap layout
+  // shifts the line→slot mapping, which is why cross-run replay
+  // validation never keys off slot indices.
+  size_t IndexOf(const std::atomic<uint64_t>* slot) const {
+    return static_cast<size_t>(slot - slots_.get());
+  }
+
   // The process-wide instance used by default throughout the library.
   static VersionTable& Global();
 

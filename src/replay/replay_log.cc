@@ -1,0 +1,342 @@
+#include "src/replay/replay_log.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace drtm {
+namespace replay {
+namespace {
+
+// Rolling chain digest over the logical content of one committed event.
+// txn ids and seqs are excluded: id allocation order is not replay-stable
+// and seqs are covered by the whole-file checksum.
+uint64_t EventChainDigest(uint64_t prev, const ReplayEvent& e) {
+  uint64_t h = FnvMix(prev, static_cast<uint64_t>(e.node));
+  h = FnvMix(h, static_cast<uint64_t>(e.worker));
+  h = FnvMix(h, e.op);
+  h = FnvMix(h, e.wal_digest);
+  for (const WriteRec& w : e.writes) {
+    h = FnvMix(h, static_cast<uint64_t>(w.node));
+    h = FnvMix(h, static_cast<uint64_t>(w.table));
+    h = FnvMix(h, w.key);
+    h = FnvMix(h, w.version);
+  }
+  return h;
+}
+
+bool ParseU64(const std::string& tok, uint64_t* out, int base = 10) {
+  if (tok.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  *out = std::strtoull(tok.c_str(), &end, base);
+  return end == tok.c_str() + tok.size();
+}
+
+bool ParseI64(const std::string& tok, int64_t* out) {
+  if (tok.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  *out = std::strtoll(tok.c_str(), &end, 10);
+  return end == tok.c_str() + tok.size();
+}
+
+// Splits "a:b:c,d:e:f" into groups of `fields` u64s (":"-separated
+// within a group, ","-separated between). An empty text yields zero
+// groups. Values may be negative for the first field (node -1).
+bool ParseGroups(const std::string& text, size_t fields,
+                 std::vector<std::vector<int64_t>>* out) {
+  if (text.empty()) {
+    return true;
+  }
+  std::stringstream groups(text);
+  std::string group;
+  while (std::getline(groups, group, ',')) {
+    std::stringstream parts(group);
+    std::string part;
+    std::vector<int64_t> values;
+    while (std::getline(parts, part, ':')) {
+      int64_t v = 0;
+      if (!ParseI64(part, &v)) {
+        return false;
+      }
+      values.push_back(v);
+    }
+    if (values.size() != fields) {
+      return false;
+    }
+    out->push_back(std::move(values));
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t Fnv1a(uint64_t hash, const void* data, size_t len) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    // drtm-lint: allow(TX01 digests fold transaction-private buffers — WAL values and staged write records — never shared store lines)
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTxnCommit:
+      return "txn";
+    case EventKind::kHtmCommit:
+      return "htm";
+    case EventKind::kHtmAbort:
+      return "abort";
+    case EventKind::kLockRelease:
+      return "rel";
+    case EventKind::kRpcApply:
+      return "rpc";
+    case EventKind::kChaosFiring:
+      return "chaos";
+    case EventKind::kOpEnd:
+      return "opend";
+  }
+  return "?";
+}
+
+namespace {
+
+bool ParseEventKind(const std::string& name, EventKind* out) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kOpEnd); ++k) {
+    const EventKind kind = static_cast<EventKind>(k);
+    if (name == EventKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string ReplayEvent::ToLine() const {
+  std::ostringstream out;
+  out << "e " << seq << ' ' << EventKindName(kind) << ' ' << node << ' '
+      << worker << ' ' << op << ' ' << txn_id << ' ' << aux << ' ' << std::hex
+      << wal_digest << ' ' << chain << std::dec;
+  out << " w=";
+  for (size_t i = 0; i < writes.size(); ++i) {
+    if (i > 0) {
+      out << ',';
+    }
+    out << writes[i].node << ':' << writes[i].table << ':' << writes[i].key
+        << ':' << writes[i].version;
+  }
+  // Seqlock slot indices hash line *addresses* (VersionTable::IndexOf),
+  // so they shift with every region allocation; serializing them would
+  // break the byte-identical-logs determinism contract. They stay on the
+  // in-memory event for in-process debugging but never reach log text.
+  out << " l=";
+  out << " p=" << point;
+  return out.str();
+}
+
+std::string ReplayLog::Serialize() const {
+  std::ostringstream out;
+  out << "drtm-replay-log v" << kFormatVersion << "\n";
+  out << "seed " << seed << "\n";
+  out << "workload " << workload << "\n";
+  out << "nodes " << nodes << "\n";
+  out << "workers " << workers_per_node << "\n";
+  out << "ops " << ops_per_worker << "\n";
+  out << "single_threaded " << (single_threaded ? 1 : 0) << "\n";
+  out << "ro_enabled " << (ro_enabled ? 1 : 0) << "\n";
+  out << "group_commit " << (group_commit ? 1 : 0) << "\n";
+  out << "dropped " << dropped << "\n";
+  out << "events " << events.size() << "\n";
+  for (const ReplayEvent& e : events) {
+    out << e.ToLine() << "\n";
+  }
+  out << "final_digest " << std::hex << final_digest << std::dec << "\n";
+  std::string text = out.str();
+  char footer[64];
+  std::snprintf(footer, sizeof(footer), "checksum %" PRIx64 "\n",
+                Fnv1a(kFnvBasis, text.data(), text.size()));
+  text += footer;
+  return text;
+}
+
+void ReplayLog::Reseal() {
+  uint64_t chain = kFnvBasis;
+  for (ReplayEvent& e : events) {
+    if (e.kind != EventKind::kTxnCommit) {
+      continue;
+    }
+    chain = EventChainDigest(chain, e);
+    e.chain = chain;
+  }
+}
+
+bool ReplayLog::Parse(const std::string& text, ReplayLog* out,
+                      std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = why;
+    }
+    return false;
+  };
+  // Checksum layer first: everything before the final "checksum " line
+  // must hash to the recorded value.
+  const size_t footer = text.rfind("checksum ");
+  if (footer == std::string::npos ||
+      (footer != 0 && text[footer - 1] != '\n')) {
+    return fail("missing checksum footer");
+  }
+  uint64_t recorded_checksum = 0;
+  {
+    std::string value = text.substr(footer + 9);
+    while (!value.empty() && (value.back() == '\n' || value.back() == '\r')) {
+      value.pop_back();
+    }
+    if (!ParseU64(value, &recorded_checksum, 16)) {
+      return fail("unparsable checksum footer");
+    }
+  }
+  const uint64_t actual_checksum = Fnv1a(kFnvBasis, text.data(), footer);
+  if (actual_checksum != recorded_checksum) {
+    return fail("checksum mismatch: log bytes were perturbed");
+  }
+
+  ReplayLog log;
+  std::istringstream in(text.substr(0, footer));
+  std::string line;
+  if (!std::getline(in, line) ||
+      line != "drtm-replay-log v" + std::to_string(kFormatVersion)) {
+    return fail("bad magic/version line: " + line);
+  }
+  uint64_t declared_events = 0;
+  bool have_events = false;
+  auto header_u64 = [&](const std::string& l, const char* key,
+                        uint64_t* value) {
+    const std::string prefix = std::string(key) + " ";
+    if (l.rfind(prefix, 0) != 0) {
+      return false;
+    }
+    return ParseU64(l.substr(prefix.size()), value);
+  };
+  // Header lines until "events N".
+  while (std::getline(in, line)) {
+    uint64_t v = 0;
+    if (header_u64(line, "seed", &v)) {
+      log.seed = v;
+    } else if (line.rfind("workload ", 0) == 0) {
+      log.workload = line.substr(9);
+    } else if (header_u64(line, "nodes", &v)) {
+      log.nodes = static_cast<int>(v);
+    } else if (header_u64(line, "workers", &v)) {
+      log.workers_per_node = static_cast<int>(v);
+    } else if (header_u64(line, "ops", &v)) {
+      log.ops_per_worker = v;
+    } else if (header_u64(line, "single_threaded", &v)) {
+      log.single_threaded = v != 0;
+    } else if (header_u64(line, "ro_enabled", &v)) {
+      log.ro_enabled = v != 0;
+    } else if (header_u64(line, "group_commit", &v)) {
+      log.group_commit = v != 0;
+    } else if (header_u64(line, "dropped", &v)) {
+      log.dropped = v;
+    } else if (header_u64(line, "events", &v)) {
+      declared_events = v;
+      have_events = true;
+      break;
+    } else {
+      return fail("unrecognized header line: " + line);
+    }
+  }
+  if (!have_events) {
+    return fail("missing events header");
+  }
+
+  uint64_t chain = kFnvBasis;
+  log.events.reserve(declared_events);
+  bool have_final = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("final_digest ", 0) == 0) {
+      if (!ParseU64(line.substr(13), &log.final_digest, 16)) {
+        return fail("unparsable final_digest");
+      }
+      have_final = true;
+      continue;
+    }
+    if (line.rfind("e ", 0) != 0) {
+      return fail("unrecognized line: " + line);
+    }
+    std::istringstream fields(line);
+    std::string tag, kind_name, wal_hex, chain_hex, w_tok, l_tok, p_tok;
+    ReplayEvent e;
+    int64_t node = 0;
+    int64_t worker = 0;
+    fields >> tag >> e.seq >> kind_name >> node >> worker >> e.op >>
+        e.txn_id >> e.aux >> wal_hex >> chain_hex >> w_tok >> l_tok;
+    if (fields.fail()) {
+      return fail("truncated event line: " + line);
+    }
+    fields >> p_tok;  // optional: "p=" with an empty name
+    e.node = static_cast<int32_t>(node);
+    e.worker = static_cast<int32_t>(worker);
+    if (!ParseEventKind(kind_name, &e.kind)) {
+      return fail("unknown event kind: " + kind_name);
+    }
+    if (!ParseU64(wal_hex, &e.wal_digest, 16) ||
+        !ParseU64(chain_hex, &e.chain, 16)) {
+      return fail("unparsable digests in event line: " + line);
+    }
+    if (w_tok.rfind("w=", 0) != 0 || l_tok.rfind("l=", 0) != 0) {
+      return fail("malformed event sections: " + line);
+    }
+    std::vector<std::vector<int64_t>> groups;
+    if (!ParseGroups(w_tok.substr(2), 4, &groups)) {
+      return fail("malformed write set: " + line);
+    }
+    for (const auto& g : groups) {
+      e.writes.push_back(WriteRec{static_cast<int32_t>(g[0]),
+                                  static_cast<int32_t>(g[1]),
+                                  static_cast<uint64_t>(g[2]),
+                                  static_cast<uint32_t>(g[3])});
+    }
+    groups.clear();
+    if (!ParseGroups(l_tok.substr(2), 2, &groups)) {
+      return fail("malformed line set: " + line);
+    }
+    for (const auto& g : groups) {
+      e.lines.push_back(LineRec{static_cast<uint32_t>(g[0]),
+                                static_cast<uint64_t>(g[1])});
+    }
+    if (p_tok.rfind("p=", 0) == 0) {
+      e.point = p_tok.substr(2);
+    }
+    if (e.kind == EventKind::kTxnCommit) {
+      chain = EventChainDigest(chain, e);
+      if (chain != e.chain) {
+        return fail("chain digest mismatch at event " +
+                    std::to_string(log.events.size()) +
+                    " (first corrupted committed event): " + line);
+      }
+    }
+    log.events.push_back(std::move(e));
+  }
+  if (!have_final) {
+    return fail("missing final_digest");
+  }
+  if (log.events.size() != declared_events) {
+    return fail("event count mismatch: header declares " +
+                std::to_string(declared_events) + ", parsed " +
+                std::to_string(log.events.size()));
+  }
+  *out = std::move(log);
+  return true;
+}
+
+}  // namespace replay
+}  // namespace drtm

@@ -1,0 +1,129 @@
+// Replay log: the on-disk artifact of a recorded run (src/replay).
+//
+// A log is a totally ordered event stream — one event per committed HTM
+// region / fallback lock release / RPC apply / chaos firing / workload op
+// boundary — plus a header naming everything a replayer needs to rebuild
+// the run (seed, workload, cluster shape, determinism knobs) and two
+// integrity layers:
+//
+//   * a per-commit rolling chain digest, so a corrupted committed event
+//     is localized at parse time ("chain mismatch at event N"), and
+//   * an FNV-64 checksum over the whole byte stream, so any other
+//     perturbation fails loudly instead of replaying garbage.
+//
+// Cross-run validation is logical: (node, table, key, record version)
+// per committed write plus an order-insensitive WAL digest. Version-table
+// slot indices are recorded too, but only as in-run debugging context —
+// heap layout shifts the line→slot mapping across processes, so replay
+// never keys off them.
+#ifndef SRC_REPLAY_REPLAY_LOG_H_
+#define SRC_REPLAY_REPLAY_LOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace drtm {
+namespace replay {
+
+// FNV-1a over a byte range, seeded with `hash` (basis
+// 0xcbf29ce484222325 for a fresh digest).
+uint64_t Fnv1a(uint64_t hash, const void* data, size_t len);
+
+inline constexpr uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+
+// Folds one 64-bit value into an FNV-1a digest.
+inline uint64_t FnvMix(uint64_t hash, uint64_t value) {
+  return Fnv1a(hash, &value, sizeof(value));
+}
+
+enum class EventKind : uint8_t {
+  kTxnCommit = 0,    // a Transaction commit (HTM or fallback) + write set
+  kHtmCommit = 1,    // an unstaged HTM region publish (server apply, ...)
+  kHtmAbort = 2,     // a top-level HTM rollback (opt-in: record_aborts)
+  kLockRelease = 3,  // post-commit lock release; aux 1 = chaos-abandoned
+  kRpcApply = 4,     // server-side RPC structural apply; aux 1 = applied
+  kChaosFiring = 5,  // injector point firing; aux = arrival ordinal
+  kOpEnd = 6,        // end of one workload op; aux 1 = committed
+};
+
+const char* EventKindName(EventKind kind);
+
+// One committed write, identified logically (stable across processes).
+struct WriteRec {
+  int32_t node = 0;
+  int32_t table = 0;
+  uint64_t key = 0;
+  uint32_t version = 0;  // record version the commit installed
+
+  bool operator==(const WriteRec&) const = default;
+};
+
+// One published seqlock line (slot index + released version). In-run
+// debugging context only: slot indices hash line addresses, which shift
+// with every region allocation, so ToLine() never serializes them —
+// byte-identical logs for a fixed seed are part of the format contract.
+struct LineRec {
+  uint32_t slot = 0;
+  uint64_t version = 0;
+
+  bool operator==(const LineRec&) const = default;
+};
+
+struct ReplayEvent {
+  uint64_t seq = 0;  // global total order (allocated in-critical-section
+                     // for commits, so it respects conflict order)
+  EventKind kind = EventKind::kOpEnd;
+  int32_t node = -1;    // worker-op context; -1 on server/helper threads
+  int32_t worker = -1;
+  uint64_t op = 0;      // worker-local op ordinal
+  uint64_t txn_id = 0;  // context only: allocation order is not
+                        // replay-stable, so never validated
+  uint64_t aux = 0;     // kind-specific (see EventKind)
+  uint64_t wal_digest = 0;  // kTxnCommit: order-insensitive WAL digest
+  uint64_t chain = 0;       // kTxnCommit: rolling chain digest
+  std::vector<WriteRec> writes;  // kTxnCommit
+  std::vector<LineRec> lines;    // kTxnCommit / kHtmCommit
+  std::string point;             // kChaosFiring / kRpcApply: point name
+
+  // One-line human/parseable rendering (the serialized event line).
+  std::string ToLine() const;
+};
+
+struct ReplayLog {
+  static constexpr uint32_t kFormatVersion = 1;
+
+  uint64_t seed = 0;
+  std::string workload;
+  int nodes = 0;
+  int workers_per_node = 0;
+  uint64_t ops_per_worker = 0;
+  bool single_threaded = false;
+  bool ro_enabled = false;   // transfer's lease-read mix knob; op-type
+                             // draws depend on it, so replay must honour
+                             // the recorded value
+  bool group_commit = false;
+  uint64_t dropped = 0;      // ring-overflow drops during recording
+  uint64_t final_digest = 0; // workload store digest at quiescence
+  std::vector<ReplayEvent> events;
+
+  // Serializes header + events + footer (final_digest, checksum).
+  std::string Serialize() const;
+
+  // Parses and verifies both integrity layers. On failure returns false
+  // with *error naming the first corrupted line/event.
+  static bool Parse(const std::string& text, ReplayLog* out,
+                    std::string* error);
+
+  // Recomputes every commit's chain digest from the current event
+  // contents. Tests use this to build a log that parses cleanly but
+  // carries a semantic perturbation, which replay must then catch as an
+  // execution divergence rather than a parse error.
+  void Reseal();
+};
+
+}  // namespace replay
+}  // namespace drtm
+
+#endif  // SRC_REPLAY_REPLAY_LOG_H_

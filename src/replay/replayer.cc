@@ -1,0 +1,220 @@
+#include "src/replay/replayer.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "src/replay/recorder.h"
+
+namespace drtm {
+namespace replay {
+namespace {
+
+// One scheduled workload op: the recorded commits it must reproduce and
+// the sequence key ordering it against every other op.
+struct ScheduledOp {
+  int node = 0;
+  int worker = 0;
+  uint64_t op = 0;
+  uint64_t key_seq = 0;  // first commit's seq, else the op-end seq
+  bool committed = false;
+  std::vector<size_t> commit_events;  // indices into log.events
+  size_t op_end_event = 0;
+};
+
+std::string DescribeWrites(const std::vector<WriteRec>& writes) {
+  std::ostringstream out;
+  out << '[';
+  for (size_t i = 0; i < writes.size(); ++i) {
+    if (i > 0) {
+      out << ' ';
+    }
+    out << writes[i].node << ':' << writes[i].table << ':' << writes[i].key
+        << "@v" << writes[i].version;
+  }
+  out << ']';
+  return out.str();
+}
+
+std::string EventContext(const ReplayLog& log, size_t center,
+                         size_t radius) {
+  std::ostringstream out;
+  const size_t begin = center > radius ? center - radius : 0;
+  const size_t end = std::min(log.events.size(), center + radius + 1);
+  for (size_t i = begin; i < end; ++i) {
+    out << (i == center ? ">>> " : "    ") << '#' << i << ' '
+        << log.events[i].ToLine() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string ReplayReport::Summary(bool diverge_dump) const {
+  std::ostringstream out;
+  out << "replay " << (ok() ? "ok" : "FAILED") << ": " << ops_replayed << "/"
+      << ops_total << " ops, " << commits_replayed << "/" << commits_expected
+      << " commits, digest " << std::hex << replayed_digest << " vs recorded "
+      << recorded_digest << std::dec
+      << (digest_match ? " (match)" : " (MISMATCH)") << "\n";
+  if (!divergence.empty()) {
+    out << "first divergence: " << divergence << "\n";
+  }
+  if (diverge_dump && !context.empty()) {
+    out << "--- recorded event context ---\n" << context;
+  }
+  return out.str();
+}
+
+ReplayReport Replay(const ReplayLog& log, const ReplayCallbacks& callbacks,
+                    size_t context_radius) {
+  ReplayReport report;
+  report.recorded_digest = log.final_digest;
+  if (log.dropped > 0) {
+    report.divergence =
+        "recording dropped " + std::to_string(log.dropped) +
+        " events on ring overflow; the log is incomplete and cannot be "
+        "replayed faithfully (re-record with a larger ring)";
+    return report;
+  }
+
+  // Group events into per-(node, worker, op) schedule entries. kOpEnd
+  // defines an op's existence; commits attach by matching context.
+  std::map<std::tuple<int, int, uint64_t>, ScheduledOp> ops;
+  for (size_t i = 0; i < log.events.size(); ++i) {
+    const ReplayEvent& e = log.events[i];
+    if (e.node < 0) {
+      continue;  // server/helper-thread context: timeline only
+    }
+    const auto key = std::make_tuple(e.node, e.worker, e.op);
+    if (e.kind == EventKind::kTxnCommit) {
+      ops[key].commit_events.push_back(i);
+    } else if (e.kind == EventKind::kOpEnd) {
+      ScheduledOp& s = ops[key];
+      s.node = e.node;
+      s.worker = e.worker;
+      s.op = e.op;
+      s.committed = e.aux != 0;
+      s.op_end_event = i;
+      s.key_seq = e.seq;
+    }
+  }
+  std::vector<ScheduledOp> schedule;
+  schedule.reserve(ops.size());
+  for (auto& [key, s] : ops) {
+    if (!s.commit_events.empty()) {
+      // Commits were recorded inside the critical section, so the first
+      // commit's seq places the op in global conflict order.
+      s.key_seq = log.events[s.commit_events.front()].seq;
+    }
+    report.commits_expected += s.commit_events.size();
+    schedule.push_back(std::move(s));
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const ScheduledOp& a, const ScheduledOp& b) {
+              return a.key_seq < b.key_seq;
+            });
+  report.ops_total = schedule.size();
+
+  // Re-record while replaying; the gate forces recorded aborts.
+  Recorder& recorder = Recorder::Global();
+  Recorder::Config config;
+  config.replay_gate = true;
+  recorder.Arm(config);
+
+  // Per-worker op-order sanity: the schedule key must never invert a
+  // worker's own program order (commit seqs are monotone per worker).
+  std::map<std::pair<int, int>, uint64_t> next_op;
+
+  auto diverge = [&](size_t event_index, const std::string& what) {
+    report.diverged = true;
+    report.divergence_event = event_index;
+    report.divergence = what;
+    report.context = EventContext(log, event_index, context_radius);
+  };
+
+  for (const ScheduledOp& s : schedule) {
+    if (report.diverged) {
+      break;
+    }
+    auto worker_key = std::make_pair(s.node, s.worker);
+    auto it = next_op.find(worker_key);
+    const uint64_t expected_next = it == next_op.end() ? s.op : it->second;
+    if (s.op < expected_next) {
+      diverge(s.op_end_event,
+              "schedule inverts worker (" + std::to_string(s.node) + "," +
+                  std::to_string(s.worker) + ") program order at op " +
+                  std::to_string(s.op));
+      break;
+    }
+    next_op[worker_key] = s.op + 1;
+
+    recorder.BeginOp(s.node, s.worker, s.op);
+    recorder.SetCommitBudget(s.commit_events.size());
+    callbacks.run_op(s.node, s.worker, s.op);
+    recorder.EndOp(true);  // flag compared via commit counts, not here
+    ++report.ops_replayed;
+
+    // Compare this op's replayed commits against the recording.
+    std::vector<ReplayEvent> replayed = recorder.DrainThread();
+    std::vector<const ReplayEvent*> commits;
+    for (const ReplayEvent& e : replayed) {
+      if (e.kind == EventKind::kTxnCommit) {
+        commits.push_back(&e);
+      }
+    }
+    report.commits_replayed += commits.size();
+    if (commits.size() != s.commit_events.size()) {
+      const size_t anchor = s.commit_events.empty()
+                                ? s.op_end_event
+                                : s.commit_events.front();
+      diverge(anchor, "op (" + std::to_string(s.node) + "," +
+                          std::to_string(s.worker) + "," +
+                          std::to_string(s.op) + ") replayed " +
+                          std::to_string(commits.size()) +
+                          " commits, recording has " +
+                          std::to_string(s.commit_events.size()));
+      break;
+    }
+    for (size_t c = 0; c < commits.size(); ++c) {
+      const ReplayEvent& recorded = log.events[s.commit_events[c]];
+      const ReplayEvent& now = *commits[c];
+      if (now.writes != recorded.writes) {
+        diverge(s.commit_events[c],
+                "commit " + std::to_string(c) + " of op (" +
+                    std::to_string(s.node) + "," + std::to_string(s.worker) +
+                    "," + std::to_string(s.op) + ") wrote " +
+                    DescribeWrites(now.writes) + ", recording has " +
+                    DescribeWrites(recorded.writes));
+        break;
+      }
+      if (now.wal_digest != recorded.wal_digest) {
+        diverge(s.commit_events[c],
+                "commit " + std::to_string(c) + " of op (" +
+                    std::to_string(s.node) + "," + std::to_string(s.worker) +
+                    "," + std::to_string(s.op) +
+                    ") WAL digest differs from the recording (same keys and "
+                    "versions, different values)");
+        break;
+      }
+    }
+  }
+
+  recorder.Disarm();
+  report.complete = report.ops_replayed == report.ops_total;
+  report.replayed_digest = callbacks.state_digest();
+  report.digest_match = report.replayed_digest == report.recorded_digest;
+  if (!report.digest_match && !report.diverged && report.complete) {
+    report.divergence =
+        "all per-op commits matched but the final store digest differs — "
+        "state outside the recorded write sets changed (structural op or "
+        "recovery effect not covered by the commit taps)";
+  }
+  return report;
+}
+
+}  // namespace replay
+}  // namespace drtm

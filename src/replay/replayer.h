@@ -1,0 +1,67 @@
+// Replay-mode execution engine (src/replay).
+//
+// Re-executes a recorded run single-threaded, scheduling workload ops in
+// recorded version order (each op is keyed by the sequence number its
+// first commit drew inside the seqlock critical section), re-recording
+// as it goes, and comparing every replayed commit against the recording:
+// the logical write set (node, table, key, record version) and the WAL
+// digest must match event-for-event, and the final store digest must
+// match the recorded one. The first mismatch is reported with the
+// surrounding recorded event context (chaos firings included), which is
+// the debugging payoff: the diverging transaction, not a diffuse
+// "digests differ".
+//
+// The engine is workload-agnostic: callers supply callbacks that run one
+// (node, worker, op) workload step and compute the store digest. The
+// chaos harness wires those up in src/chaos/chaos_replay.
+#ifndef SRC_REPLAY_REPLAYER_H_
+#define SRC_REPLAY_REPLAYER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/replay/replay_log.h"
+
+namespace drtm {
+namespace replay {
+
+struct ReplayCallbacks {
+  // Runs one workload op for the given worker identity. Ops of one
+  // worker are always invoked in ascending op order.
+  std::function<void(int node, int worker, uint64_t op)> run_op;
+  // Workload store digest, compared against the log's final_digest after
+  // every op has replayed.
+  std::function<uint64_t()> state_digest;
+};
+
+struct ReplayReport {
+  bool complete = false;      // log usable and every scheduled op ran
+  bool diverged = false;
+  bool digest_match = false;
+  uint64_t recorded_digest = 0;
+  uint64_t replayed_digest = 0;
+  uint64_t ops_total = 0;
+  uint64_t ops_replayed = 0;
+  uint64_t commits_expected = 0;
+  uint64_t commits_replayed = 0;
+  size_t divergence_event = 0;  // index into log.events (when diverged)
+  std::string divergence;       // first divergence, one paragraph
+  std::string context;          // recorded events around the divergence
+
+  bool ok() const { return complete && !diverged && digest_match; }
+  // Human summary; with diverge_dump the event context is appended.
+  std::string Summary(bool diverge_dump) const;
+};
+
+// Replays `log` through the callbacks. Arms the global Recorder in
+// replay-gate mode for the duration (the caller must not have it armed).
+// context_radius bounds the recorded-event window captured around a
+// divergence.
+ReplayReport Replay(const ReplayLog& log, const ReplayCallbacks& callbacks,
+                    size_t context_radius = 8);
+
+}  // namespace replay
+}  // namespace drtm
+
+#endif  // SRC_REPLAY_REPLAYER_H_

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/chaos/injector.h"
+#include "src/replay/recorder.h"
 #include "src/common/clock.h"
 #include "src/stat/metrics.h"
 
@@ -59,6 +60,13 @@ struct RpcPointIds {
   uint32_t upsert = 0;
   uint32_t erase = 0;
   uint32_t cache_inval = 0;
+  // Ordered-store server ops. Like the migration points these stay out
+  // of chaos::kTransientPoints, so the fixed CI seeds keep
+  // byte-identical schedules; scripted plans target them by name.
+  uint32_t ordered_get = 0;
+  uint32_t ordered_scan = 0;
+  uint32_t ordered_insert = 0;
+  uint32_t ordered_remove = 0;
 };
 
 const RpcPointIds& RpcPoints() {
@@ -71,6 +79,10 @@ const RpcPointIds& RpcPoints() {
     p.upsert = inj.Point("rpc.upsert");
     p.erase = inj.Point("rpc.erase");
     p.cache_inval = inj.Point("rpc.cache_inval");
+    p.ordered_get = inj.Point("rpc.ordered.get");
+    p.ordered_scan = inj.Point("rpc.ordered.scan");
+    p.ordered_insert = inj.Point("rpc.ordered.insert");
+    p.ordered_remove = inj.Point("rpc.ordered.remove");
     return p;
   }();
   return ids;
@@ -280,15 +292,35 @@ std::vector<uint8_t> Cluster::HandleKvInsert(int node,
   KvRequest req;
   std::memcpy(&req, msg.payload.data(), sizeof(req));
   const uint8_t* value = msg.payload.data() + sizeof(req);
-  store::ClusterHashTable* table = hash_table(node, req.table);
   htm::HtmThread htm(config_.htm);
   bool ok = false;
-  while (true) {
-    const unsigned status =
-        htm.Transact([&] { ok = table->Insert(req.key, value); });
-    if (status == htm::kCommitted) {
-      break;
+  if (tables_[static_cast<size_t>(req.table)].ordered) {
+    // Ordered tables take the same shipped-insert channel; a dedicated
+    // point lets scripted chaos plans drop B+-tree inserts specifically.
+    if (ChaosDropsRpc(RpcPoints().ordered_insert, node)) {
+      return {static_cast<uint8_t>(0)};
     }
+    store::BPlusTree* tree = ordered_table(node, req.table);
+    while (true) {
+      const unsigned status =
+          htm.Transact([&] { ok = tree->Insert(req.key, value); });
+      if (status == htm::kCommitted) {
+        break;
+      }
+    }
+    replay::Recorder::Global().RecordRpcApply("rpc.ordered.insert", node,
+                                              req.table, req.key, ok);
+  } else {
+    store::ClusterHashTable* table = hash_table(node, req.table);
+    while (true) {
+      const unsigned status =
+          htm.Transact([&] { ok = table->Insert(req.key, value); });
+      if (status == htm::kCommitted) {
+        break;
+      }
+    }
+    replay::Recorder::Global().RecordRpcApply("rpc.insert", node, req.table,
+                                              req.key, ok);
   }
   if (ok) {
     if (ElasticHooks* hooks = elastic_hooks()) {
@@ -307,15 +339,33 @@ std::vector<uint8_t> Cluster::HandleKvRemove(int node,
   }
   KvRequest req;
   std::memcpy(&req, msg.payload.data(), sizeof(req));
-  store::ClusterHashTable* table = hash_table(node, req.table);
   htm::HtmThread htm(config_.htm);
   bool ok = false;
-  while (true) {
-    const unsigned status =
-        htm.Transact([&] { ok = table->Remove(req.key); });
-    if (status == htm::kCommitted) {
-      break;
+  if (tables_[static_cast<size_t>(req.table)].ordered) {
+    if (ChaosDropsRpc(RpcPoints().ordered_remove, node)) {
+      return {static_cast<uint8_t>(0)};
     }
+    store::BPlusTree* tree = ordered_table(node, req.table);
+    while (true) {
+      const unsigned status =
+          htm.Transact([&] { ok = tree->Remove(req.key); });
+      if (status == htm::kCommitted) {
+        break;
+      }
+    }
+    replay::Recorder::Global().RecordRpcApply("rpc.ordered.remove", node,
+                                              req.table, req.key, ok);
+  } else {
+    store::ClusterHashTable* table = hash_table(node, req.table);
+    while (true) {
+      const unsigned status =
+          htm.Transact([&] { ok = table->Remove(req.key); });
+      if (status == htm::kCommitted) {
+        break;
+      }
+    }
+    replay::Recorder::Global().RecordRpcApply("rpc.remove", node, req.table,
+                                              req.key, ok);
   }
   if (ok) {
     if (ElasticHooks* hooks = elastic_hooks()) {
@@ -361,6 +411,8 @@ std::vector<uint8_t> Cluster::HandleKvUpsert(int node,
       break;
     }
   }
+  replay::Recorder::Global().RecordRpcApply("rpc.upsert", node, req.table,
+                                            req.key, ok);
   return {static_cast<uint8_t>(ok ? 1 : 0)};
 }
 
@@ -381,6 +433,8 @@ std::vector<uint8_t> Cluster::HandleKvErase(int node,
       break;
     }
   }
+  replay::Recorder::Global().RecordRpcApply("rpc.erase", node, req.table,
+                                            req.key, ok);
   return {static_cast<uint8_t>(ok ? 1 : 0)};
 }
 
@@ -429,6 +483,11 @@ struct OrderedScanRequest {
 
 std::vector<uint8_t> Cluster::HandleOrderedGet(int node,
                                                const rdma::Message& msg) {
+  // A dropped ordered get reads as a lost request: empty/negative reply,
+  // and the client treats the key as unreachable this attempt.
+  if (ChaosDropsRpc(RpcPoints().ordered_get, node)) {
+    return {static_cast<uint8_t>(0)};
+  }
   OrderedGetRequest req;
   std::memcpy(&req, msg.payload.data(), sizeof(req));
   store::BPlusTree* tree = ordered_table(node, req.table);
@@ -450,6 +509,11 @@ std::vector<uint8_t> Cluster::HandleOrderedGet(int node,
 
 std::vector<uint8_t> Cluster::HandleOrderedScan(int node,
                                                 const rdma::Message& msg) {
+  // Dropped scan: a sub-4-byte reply, which RemoteOrderedScan reports as
+  // a failed RPC rather than an empty (but successful) result set.
+  if (ChaosDropsRpc(RpcPoints().ordered_scan, node)) {
+    return {static_cast<uint8_t>(0)};
+  }
   OrderedScanRequest req;
   std::memcpy(&req, msg.payload.data(), sizeof(req));
   store::BPlusTree* tree = ordered_table(node, req.table);

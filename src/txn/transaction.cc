@@ -11,6 +11,7 @@
 #include "src/chaos/injector.h"
 #include "src/common/clock.h"
 #include "src/rdma/phase_scatter.h"
+#include "src/replay/recorder.h"
 #include "src/rdma/verbs_batch.h"
 #include "src/stat/metrics.h"
 #include "src/stat/scatter_stats.h"
@@ -131,7 +132,10 @@ Worker::Worker(Cluster* cluster, int node, int worker_id)
       node_(node),
       worker_id_(worker_id),
       htm_(cluster->config().htm),
-      rng_(0x5bd1e995u * static_cast<uint64_t>(node * 131 + worker_id + 7)) {}
+      rng_(0x5bd1e995u * static_cast<uint64_t>(node * 131 + worker_id + 7)),
+      backoff_rng_(0xb5297a4db432ca99ULL ^
+                   (0x9e3779b9u * static_cast<uint64_t>(node * 131 +
+                                                        worker_id + 7))) {}
 
 void Worker::WaitDurable(uint64_t txn_id) {
   if (!cluster_->config().logging) {
@@ -143,7 +147,7 @@ void Worker::WaitDurable(uint64_t txn_id) {
 void Worker::Backoff(int attempt) {
   const int shift = attempt < 8 ? attempt : 8;
   const uint64_t ceiling = uint64_t{1} << shift;
-  SleepUs(1 + rng_.NextBounded(ceiling));
+  SleepUs(1 + backoff_rng_.NextBounded(ceiling));
 }
 
 void Worker::LockBackoff(int consecutive_lock_aborts) {
@@ -153,7 +157,7 @@ void Worker::LockBackoff(int consecutive_lock_aborts) {
   const int shift =
       consecutive_lock_aborts < 6 ? consecutive_lock_aborts : 6;
   const uint64_t ceiling = uint64_t{4} << shift;
-  SleepUs(2 + rng_.NextBounded(ceiling));
+  SleepUs(2 + backoff_rng_.NextBounded(ceiling));
 }
 
 int Worker::MixRegime() const {
@@ -313,7 +317,7 @@ Transaction::StartResult Transaction::AcquireExclusive(Ref& ref, bool wait) {
       if (!wait || ++tries > kWaitTriesLimit) {
         return StartResult::kConflict;
       }
-      SleepUs(10 + worker_->rng().NextBounded(50));
+      SleepUs(10 + worker_->backoff_rng().NextBounded(50));
       expected = kStateInit;
       continue;
     }
@@ -386,7 +390,7 @@ Transaction::StartResult Transaction::AcquireLeaseWithState(Ref& ref,
       if (!wait || ++tries > kWaitTriesLimit) {
         return StartResult::kConflict;
       }
-      SleepUs(10 + worker_->rng().NextBounded(50));
+      SleepUs(10 + worker_->backoff_rng().NextBounded(50));
       expected = kStateInit;
       continue;
     }
@@ -736,6 +740,16 @@ void Transaction::ConfirmLeasesInHtm() {
 }
 
 void Transaction::RecordWalUpdate(const Ref& ref, const void* value) {
+  if (replay::Armed()) {
+    // Wrapping sum of per-update digests: order-insensitive, so the HTM
+    // path (locals logged in program order, remotes gathered at commit)
+    // and the fallback path (everything gathered in sorted ref order)
+    // produce the same digest for the same logical updates. Deliberately
+    // excludes entry_off — entry allocation is not replay-stable.
+    replay_wal_sum_ +=
+        replay::WalUpdateDigest(ref.node, ref.table, ref.key,
+                                ref.version + 1, value, ref.value_size);
+  }
   if (!cfg_.logging) {
     return;
   }
@@ -749,19 +763,55 @@ void Transaction::RecordWalUpdate(const Ref& ref, const void* value) {
   NvramLog::EncodeUpdate(&wal_buffer_, update, value);
 }
 
+std::vector<replay::WriteRec> Transaction::ReplayGatherWrites() const {
+  std::vector<replay::WriteRec> writes;
+  for (const Ref& ref : refs_) {
+    if (ref.dirty) {
+      writes.push_back(replay::WriteRec{ref.node, ref.table, ref.key,
+                                        ref.version + 1});
+    }
+  }
+  return writes;
+}
+
+// Split from the fallback variant on purpose: this one runs inside the
+// HTM region, so it must only touch thread-local recorder state (no ring
+// mutex on an abortable path).
+void Transaction::ReplayStageCommitHtm() {
+  std::vector<replay::WriteRec> writes = ReplayGatherWrites();
+  if (writes.empty()) {
+    // Zero-write commit (e.g. smallbank's insufficient-funds success):
+    // nothing observable changed, so there is nothing to validate.
+    return;
+  }
+  replay::Recorder::Global().StageCommit(txn_id_, std::move(writes),
+                                         replay_wal_sum_);
+}
+
+void Transaction::ReplayRecordFallbackCommit() {
+  std::vector<replay::WriteRec> writes = ReplayGatherWrites();
+  if (writes.empty()) {
+    return;
+  }
+  replay::Recorder::Global().RecordFallbackCommit(txn_id_, std::move(writes),
+                                                  replay_wal_sum_);
+}
+
 void Transaction::WriteWalInHtm() {
-  if (!cfg_.logging) {
+  if (!cfg_.logging && !replay::Armed()) {
     return;
   }
   // Local updates were recorded as they happened (LocalWriteInHtm);
   // remote updates sit in their prefetch buffers until write-back, so
-  // log their final values here.
+  // log their final values here. With replay recording armed this also
+  // folds the remote updates into the replay WAL digest even when
+  // durability logging itself is off.
   for (const Ref& ref : refs_) {
     if (!ref.local && ref.dirty) {
       RecordWalUpdate(ref, ref.buf.data());
     }
   }
-  if (wal_buffer_.empty()) {
+  if (!cfg_.logging || wal_buffer_.empty()) {
     return;
   }
   // Inside the HTM region: the record becomes durable iff XEND commits
@@ -900,6 +950,7 @@ void Transaction::ResetRefsForRetry() {
     ref.lease_end = 0;
   }
   wal_buffer_.clear();
+  replay_wal_sum_ = 0;
 }
 
 TxnStatus Transaction::Run(const Body& body) {
@@ -941,6 +992,7 @@ TxnStatus Transaction::Run(const Body& body) {
 
     user_abort_ = false;
     wal_buffer_.clear();
+    replay_wal_sum_ = 0;
     // HTM-mode structural ops append notification-only records here;
     // an aborted attempt's records must not survive into the retry
     // (plain heap state is not rolled back by the HTM emulator).
@@ -954,8 +1006,22 @@ TxnStatus Transaction::Run(const Body& body) {
           user_abort_ = true;
           htm.Abort(kCodeUser);
         }
+        if (replay::Armed() &&
+            !replay::Recorder::Global().CommitAllowed()) {
+          // Replay mode: the recording says this op committed fewer
+          // transactions than the body just tried to — suppress the
+          // extra commit so the replayed schedule matches the log.
+          user_abort_ = true;
+          htm.Abort(kCodeUser);
+        }
         ConfirmLeasesInHtm();
         WriteWalInHtm();
+        if (replay::Armed()) {
+          // Stage inside the region: the publish hook turns this into a
+          // kTxnCommit stamped with the critical-section sequence iff
+          // XEND actually commits; a rollback discards it.
+          ReplayStageCommitHtm();
+        }
       });
     }
 
@@ -980,6 +1046,16 @@ TxnStatus Transaction::Run(const Body& body) {
           }
         }
         release_clean = WriteBackAndUnlock();
+        if (replay::Armed()) {
+          bool any_locked = false;
+          for (const Ref& ref : refs_) {
+            any_locked |= ref.locked;
+          }
+          if (any_locked) {
+            replay::Recorder::Global().RecordLockRelease(txn_id_,
+                                                         !release_clean);
+          }
+        }
         if (release_clean && cfg_.logging) {
           NvramLog* log = cluster_.log(worker_->node());
           if (log->TryAppend(worker_->worker_id(), LogType::kComplete,
@@ -1176,9 +1252,10 @@ bool Transaction::LocalWriteRangeInHtm(Ref& ref, uint32_t offset,
   ref.entry_off = entry;
   ref.version = version;
   ref.dirty = true;
-  if (cfg_.logging) {
-    // The WAL records full values; compose the post-write image (the
-    // transactional read overlays our buffered slice). Logging-only cost.
+  if (cfg_.logging || replay::Armed()) {
+    // The WAL (and the replay digest) record full values; compose the
+    // post-write image (the transactional read overlays our buffered
+    // slice). Logging/recording-only cost.
     std::vector<uint8_t> full(ref.value_size);
     htm.Read(full.data(), table->ValuePtr(entry), ref.value_size);
     RecordWalUpdate(ref, full.data());
@@ -1645,6 +1722,7 @@ TxnStatus Transaction::RunFallback(const Body& body) {
     }
     pending_local_ops_.clear();
     wal_buffer_.clear();
+    replay_wal_sum_ = 0;
 
     StartResult fail = StartResult::kOk;
     bool acquired = false;
@@ -1738,6 +1816,15 @@ TxnStatus Transaction::RunFallback(const Body& body) {
       continue;
     }
     if (!body_ok) {
+      ReleaseRemoteLocks();
+      ResetRefsForRetry();
+      ++stats.user_aborts;
+      stat::Registry::Global().Add(Ids().user_abort);
+      return TxnStatus::kUserAbort;
+    }
+    if (replay::Armed() && !replay::Recorder::Global().CommitAllowed()) {
+      // Replay mode: the recording committed fewer transactions in this
+      // op — suppress the extra commit (see the HTM-path gate).
       ReleaseRemoteLocks();
       ResetRefsForRetry();
       ++stats.user_aborts;
@@ -1867,6 +1954,12 @@ TxnStatus Transaction::RunFallback(const Body& body) {
         }
       }
     }
+    if (replay::Armed()) {
+      // Every 2PL lock is still held, so the sequence number this
+      // records lands inside the critical section — totally ordering the
+      // fallback commit against concurrent HTM publishes on its lines.
+      ReplayRecordFallbackCommit();
+    }
     // Chaos crash point in the release loop: a machine dying here leaves
     // the remaining locks held and never writes the Complete record —
     // recovery must release them from the lock-ahead/WAL logs.
@@ -1894,6 +1987,10 @@ TxnStatus Transaction::RunFallback(const Body& body) {
         }
         ref.locked = false;
       }
+    }
+    if (replay::Armed()) {
+      replay::Recorder::Global().RecordLockRelease(txn_id_,
+                                                   release_abandoned);
     }
     if (cfg_.logging && !release_abandoned) {
       NvramLog* log = cluster_.log(worker_->node());
@@ -2033,7 +2130,7 @@ TxnStatus AcquireChainLocks(Worker* worker, uint64_t chain_id,
           ReleaseChainLocks(worker, locks);
           return TxnStatus::kAborted;
         }
-        SleepUs(10 + worker->rng().NextBounded(50));
+        SleepUs(10 + worker->backoff_rng().NextBounded(50));
         expected = kStateInit;
         continue;
       }

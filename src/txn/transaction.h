@@ -28,6 +28,7 @@
 #include "src/common/histogram.h"
 #include "src/common/rand.h"
 #include "src/htm/htm.h"
+#include "src/replay/replay_log.h"
 #include "src/txn/cluster.h"
 
 namespace drtm {
@@ -97,6 +98,11 @@ class Worker {
   int worker_id() const { return worker_id_; }
   htm::HtmThread& htm() { return htm_; }
   Xoshiro256& rng() { return rng_; }
+  // Retry/wait jitter stream, deliberately separate from rng(): workload
+  // key draws come from rng(), and contention-dependent retry counts
+  // must not desynchronize them between a threaded recording and its
+  // single-threaded replay.
+  Xoshiro256& backoff_rng() { return backoff_rng_; }
   TxnStats& stats() { return stats_; }
   Histogram& latency_us() { return latency_us_; }
 
@@ -137,6 +143,7 @@ class Worker {
   int worker_id_;
   htm::HtmThread htm_;
   Xoshiro256 rng_;
+  Xoshiro256 backoff_rng_;
   TxnStats stats_;
   Histogram latency_us_;
   AbortMixWindow abort_mix_;
@@ -325,6 +332,16 @@ class Transaction {
                             uint32_t len);
   void RecordWalUpdate(const Ref& ref, const void* value);
 
+  // Replay taps (src/replay): hand the recorder this commit's logical
+  // write set and WAL digest. The HTM variant stages inside the region
+  // (the seqlock publish hook emits the event with the critical-section
+  // sequence) and touches only thread-local state; the fallback variant
+  // emits directly while its 2PL locks are still held. Zero-write
+  // commits stage nothing.
+  std::vector<replay::WriteRec> ReplayGatherWrites() const;
+  void ReplayStageCommitHtm();
+  void ReplayRecordFallbackCommit();
+
   // After a commit became visible: reports every written record (and
   // buffered structural op) to the installed ElasticHooks, driving the
   // dual-write phase of a live migration. No-op without hooks.
@@ -340,6 +357,9 @@ class Transaction {
   uint64_t lease_end_ = 0;
   bool user_abort_ = false;
   std::vector<uint8_t> wal_buffer_;
+  // Order-insensitive digest of this attempt's WAL updates (replay
+  // recording); reset wherever wal_buffer_ is.
+  uint64_t replay_wal_sum_ = 0;
   std::vector<PendingOp> pending_local_ops_;
   // Leases taken by ReadDynamic in fallback mode (confirmed post-body).
   std::vector<Ref> dynamic_refs_;

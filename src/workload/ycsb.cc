@@ -26,6 +26,7 @@ YcsbDb::YcsbDb(txn::Cluster* cluster, const Params& params)
     return static_cast<int>(key % static_cast<uint64_t>(nodes));
   };
   table_ = cluster->AddTable(spec);
+  zipf_.resize(static_cast<size_t>(nodes) * kMaxWorkersPerNode);
 }
 
 uint64_t YcsbDb::KeyAt(uint64_t logical) const { return logical; }
@@ -45,15 +46,16 @@ uint64_t YcsbDb::PickKey(txn::Worker* worker) {
   if (params_.distribution == Distribution::kUniform) {
     return worker->rng().NextBounded(total_records());
   }
-  // Per-thread Zipf generator (zeta precomputation is per-thread too).
-  thread_local std::unique_ptr<ZipfGenerator> zipf;
-  thread_local uint64_t zipf_n = 0;
-  if (zipf == nullptr || zipf_n != total_records()) {
+  // Per-worker Zipf generator (zeta precomputation is per-worker too).
+  const size_t slot =
+      static_cast<size_t>(worker->node()) * kMaxWorkersPerNode +
+      static_cast<size_t>(worker->worker_id());
+  std::unique_ptr<ZipfGenerator>& zipf = zipf_.at(slot);
+  if (zipf == nullptr) {
     zipf = std::make_unique<ZipfGenerator>(
         total_records(), params_.zipf_theta,
         0x9c5b + static_cast<uint64_t>(worker->node()) * 131 +
             static_cast<uint64_t>(worker->worker_id()));
-    zipf_n = total_records();
   }
   return zipf->Next();
 }

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "src/common/zipf.h"
 #include "src/txn/cluster.h"
@@ -75,8 +76,13 @@ class YcsbDb {
   txn::Cluster* cluster_;
   Params params_;
   int table_;
-  // One generator per (worker-thread) caller would be ideal; ZipfGenerator
-  // is cheap, so workers each get a lazily built thread-local instance.
+  // Per-worker Zipf generators, keyed by worker identity rather than OS
+  // thread: a single-threaded replay run hosts every worker on one
+  // thread, and each must continue its own recorded key stream. Slots
+  // are pre-sized, each touched by exactly one worker, so draws stay
+  // lock-free.
+  static constexpr int kMaxWorkersPerNode = 64;
+  std::vector<std::unique_ptr<ZipfGenerator>> zipf_;
 };
 
 }  // namespace workload

@@ -86,7 +86,7 @@ Direction DirectionForKey(const std::string& value_key) {
   }
   for (const char* cost : {"latency", "abort", "fallback", "capacity",
                            "reads", "doorbells", "hops", "retries", "shed",
-                           "stale", "violations", "ack"}) {
+                           "stale", "violations", "ack", "overhead"}) {
     if (Contains(value_key, cost)) {
       return Direction::kLowerIsBetter;
     }

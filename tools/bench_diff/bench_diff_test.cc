@@ -45,6 +45,7 @@ TEST(DirectionForKey, ClassifiesMetricFamilies) {
             Direction::kLowerIsBetter);
   EXPECT_EQ(DirectionForKey("abort_rate"), Direction::kLowerIsBetter);
   EXPECT_EQ(DirectionForKey("capacity_aborts"), Direction::kLowerIsBetter);
+  EXPECT_EQ(DirectionForKey("record_overhead_pct"), Direction::kLowerIsBetter);
   EXPECT_EQ(DirectionForKey("fallbacks"), Direction::kLowerIsBetter);
   EXPECT_EQ(DirectionForKey("shed"), Direction::kLowerIsBetter);
   EXPECT_EQ(DirectionForKey("stale_serves"), Direction::kLowerIsBetter);

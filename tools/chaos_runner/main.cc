@@ -9,6 +9,14 @@
 //   chaos_runner --script plan.txt --seed 7     replay an exact schedule
 //   chaos_runner --seed 7 --artifact fail.txt   write the failure artifact
 //   chaos_runner --seed 7 --print-plan          dump the schedule, no run
+//   chaos_runner --seed 7 --record log.replay   also record a replay log
+//
+// With --record, every run additionally records the committed schedule
+// into a checksummed replay log (PREFIX, or PREFIX.<seed> when several
+// seeds run); a failing seed's artifact bundle then carries the log and
+// the repro line names both the seed and the recording:
+// `replay_runner --replay <log> --diverge-dump` re-executes it
+// single-threaded and pinpoints the first diverging transaction.
 //
 // A failing run prints (and optionally writes) its artifact: the seed,
 // the exact repro command line, the armed fault plan, the firing log and
@@ -39,7 +47,8 @@ void Usage() {
       "                    [--nodes N] [--workers W] [--ops O]\n"
       "                    [--events E] [--no-crash] [--no-skew]\n"
       "                    [--group-commit] [--script FILE]\n"
-      "                    [--artifact FILE] [--print-plan] [--verbose]\n");
+      "                    [--artifact FILE] [--record PREFIX]\n"
+      "                    [--print-plan] [--verbose]\n");
 }
 
 bool ParseU64(const char* text, uint64_t* out) {
@@ -58,6 +67,7 @@ int main(int argc, char** argv) {
   ChaosRunConfig config;
   std::vector<uint64_t> seeds;
   std::string artifact_path;
+  std::string record_prefix;
   std::string script_path;
   bool print_plan = false;
   bool verbose = false;
@@ -131,6 +141,9 @@ int main(int argc, char** argv) {
       script_path = next();
     } else if (arg == "--artifact") {
       artifact_path = next();
+    } else if (arg == "--record") {
+      record_prefix = next();
+      config.record = true;
     } else if (arg == "--print-plan") {
       print_plan = true;
     } else if (arg == "--watchdog") {
@@ -223,6 +236,19 @@ int main(int argc, char** argv) {
       continue;
     }
     const ChaosRunResult result = RunChaos(seed, config);
+    std::string replay_log_path;
+    if (config.record && !result.replay_log_text.empty()) {
+      replay_log_path = seeds.size() > 1
+                            ? record_prefix + "." + std::to_string(seed)
+                            : record_prefix;
+      std::ofstream out(replay_log_path, std::ios::trunc);
+      out << result.replay_log_text;
+      if (!out) {
+        std::fprintf(stderr, "cannot write replay log %s\n",
+                     replay_log_path.c_str());
+        return 2;
+      }
+    }
     if (result.ok()) {
       std::printf(
           "seed %llu: ok (%llu/%llu committed, %llu RO, %llu crashes, "
@@ -239,11 +265,21 @@ int main(int argc, char** argv) {
       continue;
     }
     ++failures;
-    const std::string artifact = result.Artifact();
+    std::string artifact = result.Artifact();
+    if (!replay_log_path.empty()) {
+      // The failing-seed bundle names both repro paths: re-run the seed,
+      // or replay the recorded schedule single-threaded.
+      artifact += "reproduce (replay): replay_runner --seed " +
+                  std::to_string(seed) + " --replay " + replay_log_path +
+                  " --diverge-dump\n";
+    }
     std::printf("%s", artifact.c_str());
     if (!artifact_path.empty()) {
       std::ofstream out(artifact_path, std::ios::app);
       out << artifact;
+      if (!replay_log_path.empty()) {
+        out << "replay log file: " << replay_log_path << "\n";
+      }
     }
   }
   if (watchdog.joinable()) {

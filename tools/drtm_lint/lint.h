@@ -195,6 +195,8 @@ struct Options {
       {"src/txn/cluster.", "HandleKvRemove"},
       {"src/txn/cluster.", "HandleKvUpsert"},
       {"src/txn/cluster.", "HandleKvErase"},
+      {"src/txn/cluster.", "HandleOrderedGet"},
+      {"src/txn/cluster.", "HandleOrderedScan"},
       {"src/txn/cluster.", "HandleCacheInval"},
       {"src/txn/transaction.", "WriteBackAndUnlock"},
   };

@@ -462,11 +462,15 @@ TEST(DrtmLint, RepoSourcesHaveNoUnsuppressedFindings) {
                   << " " << e.file << "): finding fixed — delete the line";
   }
   // The repo's chaos point catalog is visible to CP01 and includes the
-  // migration-path RPC points and the group-commit epoch points.
+  // migration-path RPC points, the group-commit epoch points, and the
+  // ordered-store RPC points (deliberately not transient: a dropped
+  // structural op must surface as a failed RPC, not a silent retry).
   const std::vector<std::string>& catalog = analyzer.chaos_point_catalog();
   for (const char* point : {"txn.fallback.unlock", "rpc.upsert", "rpc.erase",
                             "rpc.cache_inval", "log.epoch.seal",
-                            "log.epoch.flush"}) {
+                            "log.epoch.flush", "rpc.ordered.get",
+                            "rpc.ordered.scan", "rpc.ordered.insert",
+                            "rpc.ordered.remove"}) {
     EXPECT_NE(std::find(catalog.begin(), catalog.end(), point), catalog.end())
         << point;
   }

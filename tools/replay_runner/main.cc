@@ -1,0 +1,187 @@
+// replay_runner: record/replay front-end for the deterministic replay
+// subsystem (src/replay + src/chaos). Exit code 0 when the mode
+// succeeded, 1 on divergence / invariant failure, 2 on usage errors.
+//
+//   replay_runner --record log.replay --seed 7          record a chaos run
+//   replay_runner --record log.replay --seed 7 --workload smallbank
+//   replay_runner --replay log.replay                   re-execute + verify
+//   replay_runner --replay log.replay --diverge-dump    + event context
+//
+// Record mode drives the same seeded chaos harness as chaos_runner
+// (fault plan generated from the seed unless --no-crash/--no-skew/
+// --events prune it) with the replay recorder armed, then writes the
+// merged, checksummed event log. Replay mode rebuilds the recorded
+// environment from the log header, re-executes the committed schedule
+// single-threaded in recorded commit order, and reports the first
+// diverging transaction — or digest match.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/chaos/chaos_replay.h"
+#include "src/chaos/chaos_run.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: replay_runner --record FILE --seed S\n"
+      "                     [--workload transfer|smallbank|tpcc|ycsb]\n"
+      "                     [--nodes N] [--workers W] [--ops O]\n"
+      "                     [--events E] [--no-crash] [--no-skew]\n"
+      "                     [--group-commit] [--single-threaded]\n"
+      "       replay_runner --replay FILE [--diverge-dump]\n");
+}
+
+bool ParseU64(const char* text, uint64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoull(text, &end, 10);
+  return end != text && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using drtm::chaos::ChaosRunConfig;
+  using drtm::chaos::ChaosRunResult;
+
+  ChaosRunConfig config;
+  std::string record_path;
+  std::string replay_path;
+  uint64_t seed = 1;
+  bool have_seed = false;
+  bool diverge_dump = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--record") {
+      record_path = next();
+    } else if (arg == "--replay") {
+      replay_path = next();
+    } else if (arg == "--seed") {
+      if (!ParseU64(next(), &seed)) {
+        Usage();
+        return 2;
+      }
+      have_seed = true;
+    } else if (arg == "--workload") {
+      if (!drtm::chaos::ParseChaosWorkload(next(), &config.workload)) {
+        Usage();
+        return 2;
+      }
+    } else if (arg == "--nodes") {
+      config.nodes = std::atoi(next());
+    } else if (arg == "--workers") {
+      config.workers_per_node = std::atoi(next());
+    } else if (arg == "--ops") {
+      uint64_t ops = 0;
+      if (!ParseU64(next(), &ops)) {
+        Usage();
+        return 2;
+      }
+      config.ops_per_worker = ops;
+    } else if (arg == "--events") {
+      config.plan_params.events = std::atoi(next());
+    } else if (arg == "--no-crash") {
+      config.plan_params.allow_crash = false;
+    } else if (arg == "--no-skew") {
+      config.plan_params.allow_skew = false;
+    } else if (arg == "--group-commit") {
+      config.group_commit = true;
+    } else if (arg == "--single-threaded") {
+      config.single_threaded = true;
+    } else if (arg == "--diverge-dump") {
+      diverge_dump = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      Usage();
+      return 2;
+    }
+  }
+
+  if (record_path.empty() == replay_path.empty()) {
+    std::fprintf(stderr, "exactly one of --record / --replay is required\n");
+    Usage();
+    return 2;
+  }
+
+  if (!record_path.empty()) {
+    if (!have_seed) {
+      std::fprintf(stderr, "--record needs --seed\n");
+      Usage();
+      return 2;
+    }
+    if (config.nodes < 2 || config.nodes > 16 ||
+        config.workers_per_node < 1 || config.ops_per_worker == 0) {
+      std::fprintf(stderr, "invalid cluster shape\n");
+      return 2;
+    }
+    config.record = true;
+    config.plan_params.horizon_ops =
+        config.ops_per_worker *
+        static_cast<uint64_t>(config.nodes * config.workers_per_node) * 4;
+    const ChaosRunResult result = drtm::chaos::RunChaos(seed, config);
+    if (result.replay_log_text.empty()) {
+      std::fprintf(stderr, "recording produced no log (run did not start?)\n");
+      return 1;
+    }
+    std::ofstream out(record_path, std::ios::trunc);
+    out << result.replay_log_text;
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", record_path.c_str());
+      return 2;
+    }
+    std::printf(
+        "recorded seed %llu (%s): %llu/%llu committed, %llu crashes, "
+        "%zu bytes, dropped=%llu -> %s\n",
+        static_cast<unsigned long long>(seed), result.workload.c_str(),
+        static_cast<unsigned long long>(result.committed),
+        static_cast<unsigned long long>(result.attempted),
+        static_cast<unsigned long long>(result.crashes),
+        result.replay_log_text.size(),
+        static_cast<unsigned long long>(result.replay_dropped),
+        record_path.c_str());
+    if (result.replay_dropped > 0) {
+      std::fprintf(stderr,
+                   "warning: %llu events dropped on ring overflow; the log "
+                   "will be refused by --replay\n",
+                   static_cast<unsigned long long>(result.replay_dropped));
+    }
+    if (!result.ok()) {
+      std::printf("%s", result.Artifact().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  std::ifstream in(replay_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", replay_path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const drtm::chaos::ChaosReplayResult result =
+      drtm::chaos::ReplayChaosLogText(buf.str());
+  if (!result.loaded) {
+    std::fprintf(stderr, "%s\n", result.error.c_str());
+    return 1;
+  }
+  std::printf("%s", result.report.Summary(diverge_dump).c_str());
+  return result.ok() ? 0 : 1;
+}
